@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+The quantization bench needs a trained model; training happens once per
+session here (outside any timed region).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, paper_accelerator, transformer_base
+from repro.nmt import SyntheticTranslationTask, train_model
+from repro.transformer import Transformer
+
+
+@pytest.fixture(scope="session")
+def base_model():
+    return transformer_base()
+
+
+@pytest.fixture(scope="session")
+def paper_acc():
+    return paper_accelerator()
+
+
+@pytest.fixture(scope="session")
+def trained_nmt_bench():
+    """A synthetic-NMT model trained well enough for the BLEU study."""
+    task = SyntheticTranslationTask(num_words=24, min_len=4, max_len=10)
+    config = ModelConfig(
+        "nmt-bench", d_model=64, d_ff=256, num_heads=1,
+        num_encoder_layers=2, num_decoder_layers=2,
+        max_seq_len=24, dropout=0.0,
+    )
+    rng = np.random.default_rng(42)
+    model = Transformer(
+        config, len(task.src_vocab), len(task.tgt_vocab), rng=rng
+    )
+    train, valid, test = task.splits(train=1600, valid=100, test=100, seed=7)
+    train_model(model, task, train, epochs=16, batch_size=32, warmup=300,
+                lr_factor=2.0, seed=3)
+    return model, task, valid, test

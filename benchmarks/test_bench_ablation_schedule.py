@@ -1,0 +1,55 @@
+"""[A1] Ablation: the scheduling design choices DESIGN.md calls out.
+
+Sweeps the accelerator's microarchitectural knobs — pass overlap,
+single- vs dual-ported activation buffers, LayerNorm schedule, and
+non-hidden weight loads — and reports their MHA/FFN cycle impact, showing
+which choices the paper's published counts are consistent with.  The timed
+region is a full knob sweep.
+"""
+
+from repro.analysis import render_table
+from repro.core import (
+    PAPER_FFN_CYCLES,
+    PAPER_MHA_CYCLES,
+    schedule_ffn,
+    schedule_mha,
+)
+
+VARIANTS = [
+    ("paper-consistent defaults", {}),
+    ("no pass overlap", {"pass_overlap": False}),
+    ("dual-ported buffers", {"single_ported_buffers": False}),
+    ("LN straightforward", {"layernorm_mode": "straightforward"}),
+    ("LN step one", {"layernorm_mode": "step_one"}),
+    ("weight load not hidden", {"weight_load_cycles": 64}),
+]
+
+
+def sweep(model, acc):
+    rows = []
+    for label, overrides in VARIANTS:
+        cfg = acc.with_updates(**overrides)
+        mha = schedule_mha(model, cfg).total_cycles
+        ffn = schedule_ffn(model, cfg).total_cycles
+        rows.append([label, mha, ffn, f"{ffn / mha:.2f}"])
+    return rows
+
+
+def test_bench_ablation_schedule(benchmark, base_model, paper_acc):
+    rows = sweep(base_model, paper_acc)
+    print()
+    print(render_table(
+        f"Scheduling ablation (paper: MHA {PAPER_MHA_CYCLES:,}, "
+        f"FFN {PAPER_FFN_CYCLES:,}, ratio 1.97)",
+        ["variant", "MHA cycles", "FFN cycles", "FFN/MHA"],
+        rows,
+    ))
+    defaults = rows[0]
+    # The default (paper-consistent) point is the closest to the paper
+    # among the ablated variants on MHA.
+    for row in rows[1:]:
+        assert (abs(defaults[1] - PAPER_MHA_CYCLES)
+                <= abs(row[1] - PAPER_MHA_CYCLES))
+
+    result = benchmark(sweep, base_model, paper_acc)
+    assert result == rows

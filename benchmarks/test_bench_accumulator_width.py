@@ -1,0 +1,50 @@
+"""[A6] Ablation: PE accumulator width vs correctness and cost.
+
+Table II's register counts imply the authors sized the PE accumulator
+minimally (~26 bits for the deepest k = 4096 reduction) rather than a
+round 32.  This bench sweeps the accumulator width on the cycle-accurate
+SA over a worst-case-ish INT8 GEMM and reports where saturation starts
+corrupting results, alongside the register cost per width — reproducing
+the sizing decision.  The timed region is one pass at the paper's width.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import SystolicArray, accumulator_bits
+
+
+def test_bench_accumulator_width(benchmark, paper_acc):
+    rng = np.random.default_rng(11)
+    k = 2048  # the FFN W2 reduction depth at Transformer-base
+    a = rng.integers(-128, 128, size=(64, k))
+    b = rng.integers(-128, 128, size=(k, 64))
+    exact = a @ b
+    required = accumulator_bits(k)
+
+    rows = []
+    for bits in (16, 20, 24, required, 28, 32):
+        sa = SystolicArray(64, 64, acc_bits=bits)
+        product = sa.run_pass(a, b).product
+        errors = int((product != exact).sum())
+        regs_per_pe = 8 + 8 + bits
+        rows.append([
+            bits, errors, f"{errors / exact.size:.1%}",
+            regs_per_pe, f"{regs_per_pe * 4096:,}",
+        ])
+    print()
+    print(render_table(
+        f"Accumulator-width ablation (k = {k} INT8 GEMM; required = "
+        f"{required} bits)",
+        ["acc bits", "saturated outputs", "fraction", "regs/PE",
+         "SA registers"],
+        rows,
+    ))
+    by_bits = {r[0]: r[1] for r in rows}
+    assert by_bits[16] > 0                   # 16 bits clearly saturates
+    assert by_bits[required] == 0            # the minimal width is exact
+    assert by_bits[32] == 0
+
+    sa = SystolicArray(64, 64, acc_bits=required)
+    result = benchmark(sa.run_pass, a, b)
+    assert np.array_equal(result.product, exact)

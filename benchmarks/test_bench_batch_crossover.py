@@ -1,0 +1,56 @@
+"""[A2] Extension: where does the GPU catch up?
+
+The paper evaluates batch 1 only (the latency-critical online regime).
+This bench sweeps batch size under two GPU operating models — the paper's
+measurement setup (eager per-kernel overhead) and an amortized/batched
+setup — against the accelerator's fixed per-sentence latency, locating the
+throughput crossover.  The timed region is the full sweep.
+"""
+
+from repro.analysis import render_table
+from repro.core import schedule_ffn, schedule_mha
+from repro.gpu_model import (
+    ffn_latency_us,
+    mha_latency_us,
+    v100_batch1,
+    v100_batched,
+)
+
+BATCHES = (1, 4, 16, 64, 256)
+
+
+def sweep(model, acc):
+    fpga = (schedule_mha(model, acc).latency_us(acc.clock_mhz)
+            + schedule_ffn(model, acc).latency_us(acc.clock_mhz))
+    eager, amortized = v100_batch1(), v100_batched()
+    rows = []
+    for batch in BATCHES:
+        gpu_eager = (mha_latency_us(model, 64, eager, batch)
+                     + ffn_latency_us(model, 64, eager, batch)) / batch
+        gpu_amort = (mha_latency_us(model, 64, amortized, batch)
+                     + ffn_latency_us(model, 64, amortized, batch)) / batch
+        rows.append([
+            batch, f"{fpga:.1f}", f"{gpu_eager:.1f}", f"{gpu_amort:.1f}",
+            "FPGA" if fpga < gpu_eager else "GPU",
+        ])
+    return fpga, rows
+
+
+def test_bench_batch_crossover(benchmark, base_model, paper_acc):
+    fpga, rows = sweep(base_model, paper_acc)
+    print()
+    print(render_table(
+        "Per-sentence latency vs batch (us; encoder layer = MHA + FFN)",
+        ["batch", "FPGA (batch 1 design)", "GPU eager", "GPU amortized",
+         "winner"],
+        rows,
+    ))
+    # Shape: the accelerator wins the paper's batch-1 measurement regime
+    # decisively (winner column compares against the eager setup, as the
+    # paper did); an amortized GPU eventually wins per-sentence.
+    assert rows[0][-1] == "FPGA"
+    assert rows[-1][-1] == "GPU"
+    assert float(rows[-1][3]) < fpga   # amortized GPU beats FPGA at 256
+
+    result = benchmark(sweep, base_model, paper_acc)
+    assert result[0] == fpga

@@ -1,0 +1,84 @@
+"""[A7] Extension: BERT-family layers on the same accelerator.
+
+Section II-B's motivation: BERT, T5, ERNIE, StructBERT all consist of the
+same two ResBlocks, so the accelerator should serve them as-is.  This
+bench schedules one encoder layer of every Table I architecture on the
+64x64 SA and runs a real quantized BERT-style encoder through the
+datapath (bit-verified), then reports classification accuracy across the
+quantization steps — the encoder-only analogue of the Section V-A study.
+The timed region is one quantized INT8 encoder batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.config import ModelConfig, TABLE1_PRESETS
+from repro.core import schedule_ffn, schedule_mha
+from repro.nmt import SyntheticClassificationTask, accuracy, train_classifier
+from repro.quant import QuantizedEncoderOnly
+from repro.transformer import EncoderOnlyClassifier
+
+
+@pytest.fixture(scope="module")
+def trained_classifier():
+    task = SyntheticClassificationTask(words_per_group=6, min_len=5,
+                                       max_len=10)
+    config = ModelConfig(
+        "enc-bench", d_model=64, d_ff=256, num_heads=1,
+        num_encoder_layers=2, num_decoder_layers=0,
+        max_seq_len=16, dropout=0.0,
+    )
+    model = EncoderOnlyClassifier(
+        config, len(task.vocab), task.num_classes,
+        rng=np.random.default_rng(0),
+    )
+    train = task.make_dataset(800, seed=1)
+    test = task.make_dataset(200, seed=2)
+    train_classifier(model, task, train, epochs=10, batch_size=32,
+                     lr=2e-3, seed=0)
+    return model, task, train, test
+
+
+def test_bench_bert_layer(benchmark, paper_acc, trained_classifier):
+    # Per-architecture encoder-layer cycle table (Table I motivation).
+    rows = []
+    for config in TABLE1_PRESETS.values():
+        mha = schedule_mha(config, paper_acc)
+        ffn = schedule_ffn(config, paper_acc)
+        layer = mha.total_cycles + ffn.total_cycles
+        full = layer * config.num_encoder_layers
+        rows.append([
+            config.name, config.num_encoder_layers, layer,
+            f"{full / 200_000.0:.2f}",
+        ])
+    print()
+    print(render_table(
+        "Encoder layers of the BERT family on the 64x64 SA @ 200 MHz",
+        ["model", "layers", "cycles / layer", "encoder stack ms"],
+        rows,
+    ))
+
+    model, task, train, test = trained_classifier
+    fp_acc = accuracy(model, task, test)
+    quant = QuantizedEncoderOnly(model)
+    ids, lengths, _ = task.encode_batch(train[:64])
+    quant.calibrate([(ids, lengths)])
+    int8_acc = accuracy(quant, task, test)
+    quant.softmax_mode = "hardware"
+    hw_acc = accuracy(quant, task, test)
+    quant.softmax_mode = "fp32"
+    print(render_table(
+        "Encoder-only quantization study (synthetic GLUE stand-in)",
+        ["step", "accuracy"],
+        [["FP32", f"{fp_acc:.1%}"],
+         ["INT8", f"{int8_acc:.1%}"],
+         ["INT8 + hardware softmax", f"{hw_acc:.1%}"]],
+    ))
+    assert fp_acc > 0.6
+    assert int8_acc > fp_acc - 0.1
+    assert hw_acc > fp_acc - 0.15
+
+    test_ids, test_lengths, _ = task.encode_batch(test[:32])
+    result = benchmark(quant.forward, test_ids, test_lengths)
+    assert result.shape == (32, 3)

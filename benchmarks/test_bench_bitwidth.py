@@ -1,0 +1,83 @@
+"""[A13] Ablation: datapath bit width around the paper's INT8 choice.
+
+Sweeps the quantization word width for all ResBlock weights and
+activations and measures the logit perturbation against FP32 — showing
+the INT8 choice sits at the knee (INT4/6 visibly hurt, INT10+ buys little)
+that ref. [2]'s BLEU study implies.  Also reports Section II-A's
+motivating parameter/FLOP split.  The timed region is one INT8 inference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import flop_split, parameter_split, render_table
+from repro.config import ModelConfig, transformer_base
+from repro.quant import QuantizedTransformer
+from repro.transformer import Transformer
+
+
+@pytest.fixture(scope="module")
+def bitwidth_setup():
+    config = ModelConfig(
+        "bits", d_model=128, d_ff=512, num_heads=2,
+        num_encoder_layers=1, num_decoder_layers=1,
+        max_seq_len=16, dropout=0.0,
+    )
+    model = Transformer(config, 30, 30,
+                        rng=np.random.default_rng(0)).eval()
+    rng = np.random.default_rng(1)
+    src = rng.integers(1, 30, size=(4, 14))
+    tgt = rng.integers(1, 30, size=(4, 14))
+    lengths = np.full(4, 14)
+    return model, src, tgt, lengths
+
+
+def _error_at_bits(model, src, tgt, lengths, bits):
+    """Relative logit error with every tensor quantized at ``bits``."""
+    quant = QuantizedTransformer(model, bits=bits)
+    quant.calibrate([(src, tgt, lengths)])
+    fp = model(src, tgt, src_lengths=lengths).numpy()
+    q = quant.forward(src, tgt, lengths).numpy()
+    return float(np.abs(fp - q).max() / np.abs(fp).max())
+
+
+def test_bench_bitwidth(benchmark, bitwidth_setup):
+    model, src, tgt, lengths = bitwidth_setup
+    rows = []
+    errors = {}
+    for bits in (4, 6, 8, 10, 12):
+        err = _error_at_bits(model, src, tgt, lengths, bits)
+        errors[bits] = err
+        rows.append([f"INT{bits}", f"{err:.4f}"])
+    print()
+    print(render_table(
+        "Word-width sweep (relative max logit error vs FP32)",
+        ["format", "error"],
+        rows,
+    ))
+    assert errors[4] > 4 * errors[8]        # INT4 clearly hurts
+    assert errors[8] < 0.05                 # INT8 is deployable
+    assert errors[12] <= errors[8]          # diminishing returns
+
+    base = transformer_base()
+    params = parameter_split(base, 37_000, 37_000,
+                             tied_embeddings=True, tied_generator=True)
+    flops = flop_split(base, 37_000, 64, 64)
+    print(render_table(
+        "Section II-A motivation: where the parameters/MACs live "
+        "(Transformer-base, tied embeddings, 37k BPE vocab)",
+        ["component", "parameters", "forward MACs (s=64)"],
+        [
+            ["embeddings", f"{params.embeddings:,}", f"{flops.embeddings:,}"],
+            ["MHA+FFN ResBlocks", f"{params.resblocks:,}",
+             f"{flops.resblocks:,}"],
+            ["generator", f"{params.generator:,}", f"{flops.generator:,}"],
+        ],
+    ))
+    assert params.resblock_fraction > 0.5
+    assert flops.resblock_fraction > 0.5
+
+    quant = QuantizedTransformer(model)
+    quant.calibrate([(src, tgt, lengths)])
+    result = benchmark(quant.forward, src, tgt, lengths)
+    assert result.shape[0] == 4

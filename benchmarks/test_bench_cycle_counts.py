@@ -1,0 +1,56 @@
+"""[C1] Section V-B cycle counts: 21,344 (MHA) and 42,099 (FFN).
+
+Runs the Algorithm 1 scheduler for both ResBlocks at the paper's operating
+point (Transformer-base, s = 64, batch 1) and prints measured vs published
+cycles, utilization, and the FFN/MHA ratio.  The timed region is one full
+MHA schedule construction.
+"""
+
+from repro.analysis import deviation_row, render_table
+from repro.core import (
+    PAPER_FFN_CYCLES,
+    PAPER_MHA_CYCLES,
+    ffn_cycle_breakdown,
+    mha_cycle_breakdown,
+    schedule_ffn,
+    schedule_mha,
+)
+
+
+def test_bench_cycle_counts(benchmark, base_model, paper_acc):
+    mha = schedule_mha(base_model, paper_acc)
+    ffn = schedule_ffn(base_model, paper_acc)
+
+    rows = [
+        deviation_row("MHA ResBlock", mha.total_cycles, PAPER_MHA_CYCLES),
+        deviation_row("FFN ResBlock", ffn.total_cycles, PAPER_FFN_CYCLES),
+        deviation_row("FFN / MHA ratio",
+                      ffn.total_cycles / mha.total_cycles,
+                      PAPER_FFN_CYCLES / PAPER_MHA_CYCLES),
+    ]
+    print()
+    print(render_table(
+        "Section V-B — cycle counts (Transformer-base, s=64, batch 1)",
+        ["block", "simulated", "paper", "deviation"],
+        rows,
+    ))
+    breakdown_rows = []
+    for name, b in (("MHA", mha_cycle_breakdown(base_model, paper_acc)),
+                    ("FFN", ffn_cycle_breakdown(base_model, paper_acc))):
+        breakdown_rows.append([
+            name, b.active_cycles, b.skew_cycles, b.issue_cycles,
+            b.layernorm_cycles, b.total_cycles, f"{b.utilization:.1%}",
+        ])
+    print(render_table(
+        "Analytic latency decomposition",
+        ["block", "GEMM stream", "skew/drain", "issue", "layernorm",
+         "total", "SA util"],
+        breakdown_rows,
+    ))
+
+    assert abs(mha.total_cycles / PAPER_MHA_CYCLES - 1) < 0.05
+    assert abs(ffn.total_cycles / PAPER_FFN_CYCLES - 1) < 0.15
+    assert 1.6 < ffn.total_cycles / mha.total_cycles < 2.2
+
+    result = benchmark(schedule_mha, base_model, paper_acc)
+    assert result.total_cycles == mha.total_cycles

@@ -1,0 +1,75 @@
+"""[A8] Extension: design-space exploration and the roofline view.
+
+Two analyses the paper implies but does not publish:
+
+* a DSE sweep over (s, clock, LayerNorm schedule) with Pareto extraction
+  over (latency, LUT, power) — where the paper's design point sits in its
+  own neighbourhood;
+* the roofline placement showing both ResBlocks compute-bound thanks to
+  the on-chip weight memory, and the same FFN memory-bound if weights had
+  to stream from an embedded LPDDR channel — the quantitative version of
+  the paper's "huge memory requirements" motivation.
+
+The timed region is the full DSE sweep + frontier extraction.
+"""
+
+from repro.analysis import (
+    accelerator_roofline,
+    enumerate_designs,
+    ffn_point,
+    mha_point,
+    offchip_weights_point,
+    pareto_frontier,
+    render_table,
+    summarize,
+)
+
+
+def run_dse(model):
+    points = enumerate_designs(
+        model,
+        seq_lens=(16, 32, 64, 128),
+        clocks_mhz=(150.0, 200.0, 250.0),
+        layernorm_modes=("step_two", "straightforward"),
+    )
+    return points, pareto_frontier(points)
+
+
+def test_bench_dse_roofline(benchmark, base_model, paper_acc):
+    points, frontier = run_dse(base_model)
+    rows = [
+        [r["s"], r["clock_mhz"], r["ln_mode"], r["latency_us"],
+         r["lut_k"], r["power_w"], str(r["fits"])]
+        for r in summarize(frontier)
+    ]
+    print()
+    print(render_table(
+        f"Pareto frontier of {len(points)} design points "
+        "(latency / LUT / power minimized)",
+        ["s", "MHz", "LN mode", "layer us", "LUT k", "W", "fits device"],
+        rows,
+    ))
+    # The paper's design point's configuration style survives on the
+    # frontier: step-two LayerNorm everywhere.
+    assert all(p.config.layernorm_mode == "step_two" for p in frontier)
+    assert len(frontier) < len(points)
+
+    roofline = accelerator_roofline(paper_acc)
+    placements = [
+        mha_point(base_model, paper_acc, roofline),
+        ffn_point(base_model, paper_acc, roofline),
+        offchip_weights_point(base_model, paper_acc),
+    ]
+    print(render_table(
+        f"Roofline (ridge {roofline.ridge_intensity:.0f} MACs/byte, peak "
+        f"{roofline.peak_macs_per_s / 1e12:.2f} TMAC/s)",
+        ["workload", "MACs/byte", "bound", "attainable TMAC/s"],
+        [[p.name, f"{p.intensity:.1f}", p.bound,
+          f"{p.attainable_macs_per_s / 1e12:.2f}"] for p in placements],
+    ))
+    assert placements[0].bound == "compute"
+    assert placements[1].bound == "compute"
+    assert placements[2].bound == "memory"
+
+    result = benchmark(run_dse, base_model)
+    assert len(result[1]) == len(frontier)

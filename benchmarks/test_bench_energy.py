@@ -1,0 +1,57 @@
+"""[A10] Extension: energy per ResBlock, integrated over the timeline.
+
+Integrates the power model over the scheduler's events (rather than
+multiplying the flat 16.7 W by latency) and uses it to restate the Fig. 7
+LayerNorm ablation in microjoules — the metric the paper's
+mobile/embedded motivation actually cares about.  The timed region is one
+timeline energy integration.
+"""
+
+from repro.analysis import render_table
+from repro.core import (
+    energy_per_token_uj,
+    schedule_energy,
+    schedule_ffn,
+    schedule_mha,
+)
+
+
+def test_bench_energy(benchmark, base_model, paper_acc):
+    mha_schedule = schedule_mha(base_model, paper_acc)
+    mha = schedule_energy(mha_schedule, base_model, paper_acc)
+    ffn = schedule_energy(schedule_ffn(base_model, paper_acc),
+                          base_model, paper_acc)
+    rows = []
+    for name, e in (("MHA ResBlock", mha), ("FFN ResBlock", ffn)):
+        d = e.as_dict()
+        rows.append([
+            name, f"{d['total_uj']:.0f}", f"{d['sa_uj']:.0f}",
+            f"{d['memory_uj']:.0f}", f"{d['static_uj']:.0f}",
+        ])
+    print()
+    print(render_table(
+        "Energy per ResBlock (uJ; timeline-integrated)",
+        ["block", "total", "SA", "weight memory", "static"],
+        rows,
+    ))
+    assert ffn.total_uj > mha.total_uj
+    assert mha.sa_uj > 0.5 * mha.dynamic_uj
+
+    ablation_rows = []
+    for mode in ("straightforward", "step_one", "step_two"):
+        acc = paper_acc.with_updates(layernorm_mode=mode)
+        e = schedule_energy(schedule_mha(base_model, acc), base_model, acc)
+        ablation_rows.append([mode, f"{e.total_uj:.0f}",
+                              f"{e.static_uj:.0f}"])
+    print(render_table(
+        "Fig. 7 LayerNorm schedules, restated as energy (uJ per MHA block)",
+        ["schedule", "total", "static share"],
+        ablation_rows,
+    ))
+    totals = [float(r[1]) for r in ablation_rows]
+    assert totals[0] > totals[1] > totals[2]
+    print(f"energy per token, one encoder layer: "
+          f"{energy_per_token_uj(base_model, paper_acc):.1f} uJ")
+
+    result = benchmark(schedule_energy, mha_schedule, base_model, paper_acc)
+    assert result.total_uj == mha.total_uj

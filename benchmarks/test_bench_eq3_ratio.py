@@ -1,0 +1,44 @@
+"""[E3] Paper Eq. (3): the Q K^T multiply share, swept over s and h.
+
+Prints the ratio series in both the paper's printed closed form and the
+exact enumeration, and verifies the Section III claim that the share is
+"very small" across the whole design space (so the zero-padded Q K^T pass
+cannot hurt overall utilization much).  The timed region is one zero-padded
+Q K^T pass on the cycle-accurate SA — the operation Eq. (3) is about.
+"""
+
+import numpy as np
+
+from repro.analysis import ratio_sweep, render_table
+from repro.core import SystolicArray, plan_qkt
+
+
+def test_bench_eq3(benchmark):
+    points = ratio_sweep(seq_lens=(16, 32, 64, 128), heads=(8, 12, 16))
+    rows = [
+        [p.s, p.h, f"{p.paper_form:.5f}", f"{p.exact_form:.5f}",
+         f"{100 * p.divergence:.2f}%"]
+        for p in points
+    ]
+    print()
+    print(render_table(
+        "Eq. (3) — share of MHA multiplies spent in Q K^T",
+        ["s", "h", "paper form", "exact", "divergence"],
+        rows,
+    ))
+    assert all(p.exact_form < 0.01 for p in points)
+    # The printed form is exact at the paper's s = 64 evaluation point.
+    assert all(p.divergence < 1e-12 for p in points if p.s == 64)
+
+    # Timed region: the zero-padded Q K^T pass itself (s = 48 < 64).
+    s = 48
+    plan = plan_qkt(s)
+    assert plan.strategy == "zero_pad"
+    rng = np.random.default_rng(1)
+    q = rng.integers(-128, 128, size=(s, 64))
+    kt = rng.integers(-128, 128, size=(64, s))
+    kt_padded = np.pad(kt, ((0, 0), (0, plan.padded_cols - s)))
+    sa = SystolicArray(s, 64)
+
+    result = benchmark(sa.run_pass, q, kt_padded)
+    assert np.array_equal(result.product[:, :s], q @ kt)

@@ -1,0 +1,53 @@
+"""[F6] Fig. 6: the four-stage scaled masked-softmax module.
+
+Reports the module's timing (input stream, output pass, pipeline tail),
+its hideability behind the V-projection SA pass (the Algorithm 1 overlap
+condition), and the accuracy of the multiplier-free EXP/LN datapath against
+the exact softmax.  The timed region is one 64x64 hardware softmax.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import SoftmaxModule
+from repro.fixedpoint import ExpUnit, InverseSqrtLUT, LnUnit
+from repro.transformer.functional import scaled_masked_softmax
+
+
+def test_bench_fig6_softmax(benchmark, paper_acc):
+    module = SoftmaxModule(paper_acc, approximate=True)
+    timing = module.timing()
+    print()
+    print(render_table(
+        "Fig. 6 — softmax module timing (s = 64)",
+        ["input cycles", "output pass", "pipeline tail",
+         "exposed after input", "hidden behind VWv (512 cyc)?"],
+        [[timing.input_cycles, timing.second_pass_cycles,
+          timing.pipeline_tail, timing.exposed_after_input,
+          str(module.hideable_behind(512))]],
+    ))
+    assert module.hideable_behind(512)
+
+    rng = np.random.default_rng(3)
+    logits = rng.normal(0, 12, size=(64, 64))
+    mask = np.triu(np.ones((64, 64), dtype=bool), k=1)
+    exact = scaled_masked_softmax(logits, mask, 8.0)
+    approx = module(logits, mask)
+    max_err = np.abs(approx - exact).max()
+    row_sum_err = np.abs(approx.sum(-1) - 1.0).max()
+    argmax_agree = (approx.argmax(-1) == exact.argmax(-1)).mean()
+    exp_err = ExpUnit().max_relative_error()
+    ln_err = LnUnit().max_absolute_error()
+    isqrt_err = InverseSqrtLUT().max_relative_error()
+    print(render_table(
+        "Multiplier-free datapath accuracy",
+        ["max |y - exact|", "max |row sum - 1|", "argmax agreement",
+         "EXP rel err", "LN abs err", "isqrt rel err"],
+        [[f"{max_err:.4f}", f"{row_sum_err:.4f}", f"{argmax_agree:.1%}",
+          f"{exp_err:.4f}", f"{ln_err:.4f}", f"{isqrt_err:.5f}"]],
+    ))
+    assert max_err < 0.10
+    assert argmax_agree > 0.95
+
+    out = benchmark(module, logits, mask)
+    assert out.shape == (64, 64)

@@ -1,0 +1,56 @@
+"""[F7] Fig. 7: LayerNorm latency-minimization ablation.
+
+Regenerates the figure's three schedules — straightforward, step one
+(streaming mean accumulators), step two (Eq. 9 variance) — as the added
+latency between the last element of G and the first output, across all
+Table I architectures, plus the end-to-end MHA impact of each mode.
+The timed region is one approximate (isqrt-LUT) LayerNorm over G.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.config import TABLE1_PRESETS
+from repro.core import LayerNormModule, schedule_mha
+
+
+def test_bench_fig7_layernorm(benchmark, base_model, paper_acc):
+    rows = []
+    for config in TABLE1_PRESETS.values():
+        module = LayerNormModule(paper_acc, config.d_model)
+        rows.append([
+            config.name, config.d_model,
+            module.timing("straightforward").added_latency,
+            module.timing("step_one").added_latency,
+            module.timing("step_two").added_latency,
+        ])
+    print()
+    print(render_table(
+        "Fig. 7 — LayerNorm added latency before output (cycles)",
+        ["model", "d_model = 64h", "straightforward (~128h)",
+         "step one (~64h)", "step two (few)"],
+        rows,
+    ))
+    for row in rows:
+        assert row[2] > row[3] > row[4]
+
+    impact_rows = []
+    for mode in ("straightforward", "step_one", "step_two"):
+        acc = paper_acc.with_updates(layernorm_mode=mode)
+        impact_rows.append([
+            mode, schedule_mha(base_model, acc).total_cycles,
+        ])
+    print(render_table(
+        "End-to-end MHA ResBlock cycles per LayerNorm schedule",
+        ["schedule", "MHA cycles"],
+        impact_rows,
+    ))
+    assert impact_rows[0][1] > impact_rows[1][1] > impact_rows[2][1]
+
+    module = LayerNormModule(paper_acc, base_model.d_model)
+    rng = np.random.default_rng(5)
+    g = rng.normal(0, 2, size=(64, base_model.d_model))
+    gamma = np.ones(base_model.d_model)
+    beta = np.zeros(base_model.d_model)
+    out = benchmark(module, g, gamma, beta)
+    assert out.shape == g.shape

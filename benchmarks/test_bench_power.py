@@ -1,0 +1,47 @@
+"""[P1] Section V-B power figures: 16.7 W total (13.3 dynamic + 3.4 static).
+
+Prints the activity-based power breakdown next to the published split and
+derives per-ResBlock energy.  The timed region is one power estimation.
+"""
+
+from repro.analysis import render_table
+from repro.core import (
+    PAPER_DYNAMIC_W,
+    PAPER_STATIC_W,
+    PAPER_TOTAL_W,
+    energy_per_resblock_uj,
+    estimate_power,
+    schedule_ffn,
+    schedule_mha,
+)
+
+
+def test_bench_power(benchmark, base_model, paper_acc):
+    power = estimate_power(base_model, paper_acc)
+    d = power.as_dict()
+    print()
+    print(render_table(
+        "Section V-B — on-chip power (ours / paper, W)",
+        ["total", "dynamic", "static", "SA", "memory", "clock"],
+        [[
+            f"{d['total_w']:.1f} / {PAPER_TOTAL_W}",
+            f"{d['dynamic_w']:.1f} / {PAPER_DYNAMIC_W}",
+            f"{d['static_w']:.1f} / {PAPER_STATIC_W}",
+            f"{d['sa_w']:.1f}", f"{d['memory_w']:.1f}", f"{d['clock_w']:.1f}",
+        ]],
+    ))
+    mha_cycles = schedule_mha(base_model, paper_acc).total_cycles
+    ffn_cycles = schedule_ffn(base_model, paper_acc).total_cycles
+    print(render_table(
+        "Derived energy per ResBlock (uJ)",
+        ["MHA", "FFN"],
+        [[
+            f"{energy_per_resblock_uj(d['total_w'], mha_cycles, 200.0):.0f}",
+            f"{energy_per_resblock_uj(d['total_w'], ffn_cycles, 200.0):.0f}",
+        ]],
+    ))
+    assert abs(d["total_w"] - PAPER_TOTAL_W) / PAPER_TOTAL_W < 0.15
+    assert abs(d["dynamic_w"] - PAPER_DYNAMIC_W) / PAPER_DYNAMIC_W < 0.15
+
+    result = benchmark(estimate_power, base_model, paper_acc)
+    assert result.total_w == power.total_w

@@ -1,0 +1,61 @@
+"""[Q1] Section V-A: the two-step INT8 quantization study.
+
+The paper: FP32 BLEU 23.88 -> INT8 (FP32 softmax) 23.48 -> INT8 +
+approximate softmax 23.57 on IWSLT'16 De-En.  Our substitution trains the
+same kind of model on the synthetic translation task (DESIGN.md), then
+applies the identical two quantization steps.  The shape to reproduce:
+step one costs little BLEU; step two costs essentially nothing more
+(the paper even gained 0.09).  The timed region is one INT8 inference
+batch through the quantized model.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.nmt import encode_pairs, evaluate_bleu
+from repro.quant import QuantizedTransformer, SOFTMAX_HARDWARE
+
+
+def test_bench_quantization(benchmark, trained_nmt_bench):
+    model, task, valid, test = trained_nmt_bench
+    subset = test
+
+    fp32_bleu = evaluate_bleu(model, task, subset)
+
+    qt = QuantizedTransformer(model)
+    calib = encode_pairs(valid, task.src_vocab, task.tgt_vocab)
+    qt.calibrate([(calib.src, calib.tgt_in, calib.src_lengths)])
+    int8_bleu = evaluate_bleu(qt, task, subset)
+
+    qt.softmax_mode = SOFTMAX_HARDWARE
+    hw_bleu = evaluate_bleu(qt, task, subset)
+    qt.softmax_mode = "fp32"
+
+    print()
+    print(render_table(
+        "Section V-A — quantization study (ours / paper BLEU)",
+        ["step", "ours", "paper"],
+        [
+            ["FP32 baseline", f"{fp32_bleu:.2f}", "23.88"],
+            ["step 1: INT8, FP32 softmax", f"{int8_bleu:.2f}", "23.48"],
+            ["step 2: INT8 + approx softmax", f"{hw_bleu:.2f}", "23.57"],
+        ],
+    ))
+    print(f"step-1 delta: {int8_bleu - fp32_bleu:+.2f} "
+          f"(paper {23.48 - 23.88:+.2f}); "
+          f"step-2 delta vs step 1: {hw_bleu - int8_bleu:+.2f} "
+          f"(paper {23.57 - 23.48:+.2f})")
+
+    # Shape: a usable baseline, small INT8 drop, approx-softmax roughly
+    # free relative to step one.
+    assert fp32_bleu > 40.0
+    assert int8_bleu > fp32_bleu - 0.3 * fp32_bleu
+    assert abs(hw_bleu - int8_bleu) < 0.2 * fp32_bleu
+
+    batch = encode_pairs(test[:16], task.src_vocab, task.tgt_vocab)
+
+    def int8_batch():
+        return qt.forward(batch.src, batch.tgt_in, batch.src_lengths)
+
+    logits = benchmark(int8_batch)
+    assert logits.shape[0] == 16

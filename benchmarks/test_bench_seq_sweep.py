@@ -1,0 +1,50 @@
+"""[A5] Extension: sequence-length scaling of the s x 64 design.
+
+Section III notes "s is usually no bigger than 128" and handles s > 64 by
+partitioning Q.  This bench sweeps s across the SA-row dimension and
+reports cycles, utilization, and the Q K^T handling strategy — showing the
+design point (s = 64) sits where utilization is still high and the
+zero-pad strategy still applies.  The timed region is the s-sweep.
+"""
+
+from repro.analysis import render_table
+from repro.config import AcceleratorConfig
+from repro.core import plan_qkt, schedule_ffn, schedule_mha
+
+SEQ_LENS = (16, 32, 48, 64, 96, 128)
+
+
+def sweep(model):
+    rows = []
+    for s in SEQ_LENS:
+        acc = AcceleratorConfig(seq_len=s)
+        mha = schedule_mha(model, acc)
+        ffn = schedule_ffn(model, acc)
+        plan = plan_qkt(s)
+        rows.append([
+            s, mha.total_cycles, f"{mha.sa_utilization:.1%}",
+            ffn.total_cycles, f"{ffn.sa_utilization:.1%}",
+            plan.strategy, plan.num_passes,
+        ])
+    return rows
+
+
+def test_bench_seq_sweep(benchmark, base_model):
+    rows = sweep(base_model)
+    print()
+    print(render_table(
+        "Sequence-length sweep (Transformer-base; SA rows = s)",
+        ["s", "MHA cycles", "MHA util", "FFN cycles", "FFN util",
+         "QKt strategy", "QKt passes"],
+        rows,
+    ))
+    # Cycles grow with s; the strategy flips from zero-pad to
+    # partition-q beyond the 64-column boundary.
+    cycles = [r[1] for r in rows]
+    assert cycles == sorted(cycles)
+    strategies = {r[0]: r[5] for r in rows}
+    assert strategies[64] == "zero_pad"
+    assert strategies[128] == "partition_q"
+
+    result = benchmark(sweep, base_model)
+    assert result == rows

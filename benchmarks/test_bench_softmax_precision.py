@@ -1,0 +1,51 @@
+"""[A11] Ablation: softmax datapath precision (the Wang-2018 Q-format).
+
+The softmax module's internal Q6.10 format is a design choice inherited
+from the paper's reference [13].  This bench sweeps the fractional width
+of the shifted-logit format and reports the approximation error against
+the exact softmax — locating the knee where fewer bits start costing
+accuracy and more bits stop helping (the PWL error floor).  The timed
+region is one 64x64 softmax at the paper's precision.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.fixedpoint import QFormat
+from repro.quant import HardwareSoftmax
+from repro.transformer.functional import scaled_masked_softmax
+
+
+def test_bench_softmax_precision(benchmark):
+    rng = np.random.default_rng(21)
+    logits = rng.normal(0, 10, size=(64, 64))
+    exact = scaled_masked_softmax(logits, None, 8.0)
+
+    rows = []
+    errors = {}
+    for frac_bits in (2, 4, 6, 8, 10, 12):
+        fmt = QFormat(int_bits=6, frac_bits=frac_bits)
+        hw = HardwareSoftmax(in_fmt=fmt)
+        approx = hw(logits)
+        max_err = float(np.abs(approx - exact).max())
+        row_sum_err = float(np.abs(approx.sum(-1) - 1.0).max())
+        errors[frac_bits] = max_err
+        rows.append([
+            f"Q6.{frac_bits}", fmt.total_bits, f"{max_err:.4f}",
+            f"{row_sum_err:.4f}",
+        ])
+    print()
+    print(render_table(
+        "Softmax input-format sweep (paper's module uses Q6.10)",
+        ["format", "bits", "max |y - exact|", "max |row sum - 1|"],
+        rows,
+    ))
+    # Coarse formats hurt; beyond ~8 fractional bits the PWL error floor
+    # dominates and extra bits stop helping.
+    assert errors[2] > 2 * errors[10]
+    assert abs(errors[10] - errors[12]) < 0.01
+    assert errors[10] < 0.08
+
+    hw = HardwareSoftmax()
+    result = benchmark(hw, logits)
+    assert result.shape == (64, 64)

@@ -1,0 +1,47 @@
+"""[A12] Extension: the speedup landscape beyond Table III's two cells.
+
+Sweeps FPGA-vs-GPU speedups across every Table I architecture and
+sequence length under the paper's eager measurement protocol.  Shape: the
+MHA advantage always exceeds the FFN's, both erode as sequences grow (the
+GPU's fixed overheads amortize), and the paper's (Transformer-base, s=64)
+cell is where it claims to be.  The timed region is the full landscape.
+"""
+
+from repro.analysis import render_table
+from repro.config import TABLE1_PRESETS
+from repro.gpu_model import best_and_worst, speedup_landscape
+
+SEQ_LENS = (16, 32, 64, 128)
+
+
+def test_bench_speedup_landscape(benchmark):
+    models = list(TABLE1_PRESETS.values())
+    cells = speedup_landscape(models, seq_lens=SEQ_LENS)
+    rows = [
+        [c.model_name, c.seq_len, f"{c.mha_speedup:.1f}x",
+         f"{c.ffn_speedup:.1f}x", f"{c.layer_speedup:.1f}x"]
+        for c in cells
+    ]
+    print()
+    print(render_table(
+        "FPGA-vs-GPU speedup landscape (eager protocol, batch 1)",
+        ["model", "s", "MHA", "FFN", "layer"],
+        rows,
+    ))
+    extremes = best_and_worst(cells)
+    print(f"best: {extremes['best'].model_name} s={extremes['best'].seq_len} "
+          f"({extremes['best'].layer_speedup:.1f}x); "
+          f"worst: {extremes['worst'].model_name} "
+          f"s={extremes['worst'].seq_len} "
+          f"({extremes['worst'].layer_speedup:.1f}x)")
+
+    assert all(c.mha_speedup > c.ffn_speedup for c in cells)
+    paper_cell = next(
+        c for c in cells
+        if c.model_name == "Transformer-base" and c.seq_len == 64
+    )
+    assert abs(paper_cell.mha_speedup / 14.6 - 1) < 0.05
+    assert extremes["best"].seq_len == min(SEQ_LENS)
+
+    result = benchmark(speedup_landscape, models, SEQ_LENS)
+    assert len(result) == len(cells)

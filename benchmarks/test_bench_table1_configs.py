@@ -1,0 +1,41 @@
+"""[T1] Paper Table I: architecture variations and the 64h/256h pattern.
+
+Regenerates the Table I rows, validates that every architecture satisfies
+``d_model = 64h`` and ``d_ff = 256h`` (the structural basis of the whole
+partitioning scheme), and reports the per-architecture weight-block counts
+the partitioner produces.  The timed region is the Fig. 4 partitioning of
+one full layer's weights.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.config import TABLE1_PRESETS
+from repro.core import partition_model_weights
+
+
+def test_bench_table1(benchmark):
+    rows = []
+    for name, config in TABLE1_PRESETS.items():
+        rows.append([
+            config.name, config.d_model, config.d_ff, config.num_heads,
+            config.d_model // 64, config.num_w1_blocks, config.num_w2_blocks,
+        ])
+        assert config.d_model == 64 * config.num_heads
+        assert config.d_ff == 256 * config.num_heads
+    print()
+    print(render_table(
+        "Table I — Variations on the Transformer and BERT architectures",
+        ["model", "d_model", "d_ff", "h", "WG blocks", "W1 blocks",
+         "W2 blocks"],
+        rows,
+    ))
+
+    config = TABLE1_PRESETS["transformer-base"]
+    rng = np.random.default_rng(0)
+    wg = rng.normal(size=(config.d_model, config.d_model))
+    w1 = rng.normal(size=(config.d_model, config.d_ff))
+    w2 = rng.normal(size=(config.d_ff, config.d_model))
+
+    blocks = benchmark(partition_model_weights, config, wg, w1, w2)
+    assert len(blocks["W1"]) == 32

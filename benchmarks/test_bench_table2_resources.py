@@ -1,0 +1,47 @@
+"""[T2] Paper Table II: FPGA utilization report.
+
+Prints our analytic per-module estimates next to the published Vivado
+figures and asserts the table's shape: the SA dominates LUTs, the softmax
+module out-weighs the LayerNorm logic, the LayerNorm module owns every
+DSP, and the weight memory owns the BRAM.  The timed region is one full
+resource estimation.
+"""
+
+from repro.analysis import render_table
+from repro.core import PAPER_TABLE2, XCVU13P, estimate_top
+
+
+def test_bench_table2(benchmark, base_model, paper_acc):
+    estimates = estimate_top(base_model, paper_acc)
+    rows = []
+    order = ["top", "sa", "softmax", "layernorm", "weight_memory"]
+    labels = {
+        "top": "Top", "sa": "64x64 SA", "softmax": "Softmax",
+        "layernorm": "LayerNorm", "weight_memory": "Weight Memory",
+    }
+    for key in order:
+        ours = estimates[key].as_dict()
+        paper = PAPER_TABLE2[key]
+        rows.append([
+            labels[key],
+            f"{ours['lut']:,} / {paper['lut']:,}",
+            f"{ours['registers']:,} / {paper['registers']:,}",
+            f"{ours['bram']:.1f} / {paper['bram']}",
+            f"{ours['dsp']} / {paper['dsp']}",
+        ])
+    print()
+    print(render_table(
+        "Table II — utilization (ours / paper), device xcvu13p",
+        ["module", "LUT", "CLB registers", "BRAM", "DSP"],
+        rows,
+    ))
+    print(f"device capacity: {XCVU13P}")
+
+    top = estimates["top"]
+    assert estimates["sa"].lut / top.lut > 0.8
+    assert estimates["softmax"].lut > estimates["layernorm"].lut
+    assert estimates["layernorm"].dsp == top.dsp == 129
+    assert estimates["weight_memory"].bram == 456
+
+    result = benchmark(estimate_top, base_model, paper_acc)
+    assert result["top"].lut == top.lut

@@ -1,0 +1,67 @@
+"""[T3] Paper Table III: FPGA vs GPU latency and speedups.
+
+FPGA latencies come from the Algorithm 1 scheduler at 200 MHz; GPU
+latencies from the V100 kernel-level model (overhead fitted once on the
+FFN row, MHA is a prediction).  Asserts the headline shape: ~14.6x on the
+MHA ResBlock, ~3.4x on the FFN ResBlock, and the GPU-side inversion (MHA
+slower than FFN despite fewer FLOPs).  The timed region is one end-to-end
+Table III evaluation.
+"""
+
+from repro.analysis import render_table
+from repro.core import (
+    PAPER_FFN_LATENCY_US,
+    PAPER_FFN_SPEEDUP,
+    PAPER_GPU_FFN_LATENCY_US,
+    PAPER_GPU_MHA_LATENCY_US,
+    PAPER_MHA_LATENCY_US,
+    PAPER_MHA_SPEEDUP,
+    schedule_ffn,
+    schedule_mha,
+)
+from repro.gpu_model import ffn_latency_us, mha_latency_us, v100_batch1
+
+
+def build_table3(model, acc):
+    """Compute the Table III cells (measured side)."""
+    spec = v100_batch1()
+    fpga_mha = schedule_mha(model, acc).latency_us(acc.clock_mhz)
+    fpga_ffn = schedule_ffn(model, acc).latency_us(acc.clock_mhz)
+    gpu_mha = mha_latency_us(model, 64, spec)
+    gpu_ffn = ffn_latency_us(model, 64, spec)
+    return {
+        "fpga_mha": fpga_mha, "fpga_ffn": fpga_ffn,
+        "gpu_mha": gpu_mha, "gpu_ffn": gpu_ffn,
+        "mha_speedup": gpu_mha / fpga_mha,
+        "ffn_speedup": gpu_ffn / fpga_ffn,
+    }
+
+
+def test_bench_table3(benchmark, base_model, paper_acc):
+    cells = build_table3(base_model, paper_acc)
+    rows = [
+        ["MHA ResBlock",
+         f"{cells['fpga_mha']:.1f} / {PAPER_MHA_LATENCY_US}",
+         f"{cells['gpu_mha']:.1f} / {PAPER_GPU_MHA_LATENCY_US}",
+         f"{cells['mha_speedup']:.1f}x / {PAPER_MHA_SPEEDUP}x"],
+        ["FFN ResBlock",
+         f"{cells['fpga_ffn']:.1f} / {PAPER_FFN_LATENCY_US}",
+         f"{cells['gpu_ffn']:.1f} / {PAPER_GPU_FFN_LATENCY_US}",
+         f"{cells['ffn_speedup']:.1f}x / {PAPER_FFN_SPEEDUP}x"],
+    ]
+    print()
+    print(render_table(
+        "Table III — FPGA vs GPU latency (ours / paper, us)",
+        ["block", "FPGA latency", "GPU latency", "speed-up"],
+        rows,
+    ))
+
+    # Shape assertions: who wins, by roughly what factor, and the GPU
+    # inversion.
+    assert cells["gpu_mha"] > cells["gpu_ffn"]
+    assert cells["mha_speedup"] > 3 * cells["ffn_speedup"]
+    assert abs(cells["mha_speedup"] / PAPER_MHA_SPEEDUP - 1) < 0.15
+    assert abs(cells["ffn_speedup"] / PAPER_FFN_SPEEDUP - 1) < 0.20
+
+    result = benchmark(build_table3, base_model, paper_acc)
+    assert result["mha_speedup"] == cells["mha_speedup"]

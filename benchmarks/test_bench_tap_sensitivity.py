@@ -1,0 +1,70 @@
+"""[A9] Extension: which activation tap costs the INT8 accuracy?
+
+Section V-A quantizes every weight and activation matrix at once.  This
+bench isolates each activation tap group (ResBlock input, Q/K/V
+projections, attention context, FFN hidden) and measures the logit
+perturbation it alone causes, ranking the taps a deployment would widen
+first if INT8 ever proved too coarse.  The timed region is one full
+sensitivity sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.config import ModelConfig
+from repro.quant import (
+    QuantizedTransformer,
+    full_vs_sum_of_parts,
+    rank_by_sensitivity,
+    tap_sensitivity,
+)
+from repro.transformer import Transformer
+
+
+@pytest.fixture(scope="module")
+def sensitivity_setup():
+    config = ModelConfig(
+        "sens", d_model=128, d_ff=512, num_heads=2,
+        num_encoder_layers=2, num_decoder_layers=2,
+        max_seq_len=24, dropout=0.0,
+    )
+    model = Transformer(config, 40, 40,
+                        rng=np.random.default_rng(0)).eval()
+    quant = QuantizedTransformer(model)
+    rng = np.random.default_rng(1)
+    src = rng.integers(1, 40, size=(4, 20))
+    tgt = rng.integers(1, 40, size=(4, 20))
+    lengths = np.full(4, 20)
+    quant.calibrate([(src, tgt, lengths)])
+    return model, quant, src, tgt, lengths
+
+
+def test_bench_tap_sensitivity(benchmark, sensitivity_setup):
+    model, quant, src, tgt, lengths = sensitivity_setup
+    results = tap_sensitivity(model, quant, src, tgt, lengths)
+    ranked = rank_by_sensitivity(results)
+    by_group = {r.tap_group: r for r in results}
+    rows = [
+        [group, f"{by_group[group].rms_error:.4f}",
+         f"{by_group[group].max_error:.4f}",
+         f"{relative:.4f}"]
+        for group, relative in ranked
+    ]
+    print()
+    print(render_table(
+        "Per-tap quantization sensitivity (logit RMS error vs FP32)",
+        ["tap group", "RMS", "max", "relative RMS"],
+        rows,
+    ))
+    interaction = full_vs_sum_of_parts(model, quant, src, tgt, lengths)
+    print(f"full-pipeline RMS {interaction['full_rms']:.4f} vs per-tap RSS "
+          f"{interaction['per_tap_rss']:.4f} "
+          f"(interaction ratio {interaction['interaction_ratio']:.2f})")
+
+    assert len(ranked) == 8
+    assert all(v >= 0 for _, v in ranked)
+    assert 0.1 < interaction["interaction_ratio"] < 10.0
+
+    result = benchmark(tap_sensitivity, model, quant, src, tgt, lengths)
+    assert len(result) == 8

@@ -1,0 +1,71 @@
+"""Compile, ship, and run a deployment image (toolchain workflow demo).
+
+Run:  python examples/deploy_image.py
+
+The workflow a real accelerator deployment would follow:
+
+1. quantize + calibrate the model (the "compiler" frontend);
+2. ``save_image`` — emit a standalone .npz artifact (INT8 weight tiles,
+   activation scales, LayerNorm parameters);
+3. on the "device": ``load_image`` with no framework model present, load
+   the tiles into the accelerator, and run — verified bit-identical to
+   the original quantized model;
+4. draw the ResBlock schedule as an ASCII Gantt chart.
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.config import AcceleratorConfig, ModelConfig
+from repro.core import TransformerAccelerator, load_image, save_image
+from repro.core.gantt import render_gantt
+from repro.quant import QuantizedTransformer
+from repro.transformer import Transformer
+
+
+def main() -> None:
+    seq_len = 16
+    model_cfg = ModelConfig(
+        "deploy-demo", d_model=128, d_ff=512, num_heads=2,
+        num_encoder_layers=2, num_decoder_layers=1,
+        max_seq_len=seq_len, dropout=0.0,
+    )
+    rng = np.random.default_rng(7)
+
+    # --- compile side -------------------------------------------------
+    fp_model = Transformer(model_cfg, 50, 50, rng=rng).eval()
+    quant = QuantizedTransformer(fp_model)
+    src = rng.integers(1, 50, size=(2, seq_len))
+    tgt = rng.integers(1, 50, size=(2, seq_len))
+    quant.calibrate([(src, tgt, np.full(2, seq_len))])
+
+    image_path = os.path.join(tempfile.gettempdir(), "repro_demo.img.npz")
+    entries = save_image(quant, image_path)
+    size_kib = os.path.getsize(image_path) / 1024
+    print(f"compiled image: {entries} entries, {size_kib:.0f} KiB "
+          f"-> {image_path}")
+
+    # --- device side (no Transformer object in sight) ------------------
+    stacks = load_image(image_path)
+    acc_cfg = AcceleratorConfig(seq_len=seq_len)
+    hw = TransformerAccelerator(model_cfg, acc_cfg, exact_nonlinear=True)
+    hw.load_mha(stacks["enc_mha"][0])
+    hw.load_ffn(stacks["enc_ffn"][0])
+
+    x = rng.normal(size=(seq_len, model_cfg.d_model))
+    result = hw.run_ffn(hw.run_mha(x).output)
+
+    # Verify against the original quantized model.
+    ref = quant.enc_mha[0].forward_int8(x[None], x[None], None)
+    ref = quant.enc_ffn[0].forward_int8(ref)[0]
+    assert np.array_equal(result.output, ref), "image diverged!"
+    print("deployed image output is bit-identical to the quantized model\n")
+
+    print(render_gantt(hw.run_mha(x).schedule, width=90))
+    os.remove(image_path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Design-space exploration across the paper's Table I architectures.
+
+Run:  python examples/design_space_exploration.py
+
+For every architecture the paper's partitioning supports (Transformer
+base/big, BERT base/large), reports per-ResBlock cycles, full-model
+latency, resource footprint and power — then sweeps the sequence length
+to show how the s x 64 SA scales.  This is the study a deployment engineer
+would run before committing to the design.
+"""
+
+from repro.analysis import render_table
+from repro.config import TABLE1_PRESETS, paper_accelerator
+from repro.core import (
+    estimate_power,
+    estimate_top,
+    schedule_ffn,
+    schedule_mha,
+    schedule_model,
+)
+
+
+def architecture_table() -> None:
+    acc = paper_accelerator()
+    rows = []
+    for config in TABLE1_PRESETS.values():
+        totals = schedule_model(config, acc)
+        resources = estimate_top(config, acc)["top"]
+        power = estimate_power(config, acc)
+        full_ms = totals["total_cycles"] / acc.clock_mhz / 1000.0
+        rows.append([
+            config.name,
+            totals["mha_cycles"], totals["ffn_cycles"],
+            f"{full_ms:.2f}",
+            f"{resources.lut / 1e3:.0f}k", f"{resources.bram:.0f}",
+            f"{power.total_w:.1f}",
+        ])
+    print(render_table(
+        "Table I architectures on the 64x64 SA @ 200 MHz",
+        ["model", "MHA cycles", "FFN cycles", "full model ms",
+         "LUT", "BRAM", "power W"],
+        rows,
+    ))
+
+
+def sequence_length_sweep() -> None:
+    base = TABLE1_PRESETS["transformer-base"]
+    rows = []
+    for s in (16, 32, 64, 128):
+        acc = paper_accelerator().with_updates(seq_len=s)
+        mha = schedule_mha(base, acc)
+        ffn = schedule_ffn(base, acc)
+        rows.append([
+            s, mha.total_cycles, ffn.total_cycles,
+            f"{mha.sa_utilization:.1%}", f"{ffn.sa_utilization:.1%}",
+            f"{estimate_top(base, acc)['sa'].lut / 1e3:.0f}k",
+        ])
+    print()
+    print(render_table(
+        "Sequence-length sweep (SA has s rows; s = 64 is the paper)",
+        ["s", "MHA cycles", "FFN cycles", "MHA util", "FFN util",
+         "SA LUT"],
+        rows,
+    ))
+
+
+def pareto_study() -> None:
+    from repro.analysis import enumerate_designs, pareto_frontier, summarize
+
+    base = TABLE1_PRESETS["transformer-base"]
+    points = enumerate_designs(
+        base,
+        seq_lens=(16, 32, 64, 128),
+        clocks_mhz=(150.0, 200.0, 250.0),
+        layernorm_modes=("step_two", "straightforward"),
+    )
+    frontier = pareto_frontier(points)
+    rows = [
+        [r["s"], r["clock_mhz"], r["ln_mode"], r["latency_us"],
+         r["lut_k"], r["power_w"]]
+        for r in summarize(frontier)
+    ]
+    print()
+    print(render_table(
+        f"Pareto frontier ({len(frontier)} of {len(points)} design points; "
+        "latency/LUT/power minimized)",
+        ["s", "MHz", "LN mode", "layer us", "LUT k", "W"],
+        rows,
+    ))
+
+
+def main() -> None:
+    architecture_table()
+    sequence_length_sweep()
+    pareto_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: size up the accelerator for Transformer-base in ~20 lines.
+
+Run:  python examples/quickstart.py
+
+Builds the paper's operating point (64x64 systolic array, 200 MHz, INT8),
+schedules both ResBlocks with Algorithm 1, and prints latency, utilization
+and the GPU speedup — the headline numbers of Tables II/III.
+"""
+
+from repro.analysis import render_table
+from repro.config import paper_accelerator, transformer_base
+from repro.core import (
+    estimate_power,
+    estimate_top,
+    schedule_ffn,
+    schedule_mha,
+)
+from repro.gpu_model import ffn_latency_us, mha_latency_us, v100_batch1
+
+
+def main() -> None:
+    model = transformer_base()
+    acc = paper_accelerator()
+    gpu = v100_batch1()
+
+    rows = []
+    for name, schedule, gpu_us in (
+        ("MHA ResBlock", schedule_mha(model, acc),
+         mha_latency_us(model, acc.seq_len, gpu)),
+        ("FFN ResBlock", schedule_ffn(model, acc),
+         ffn_latency_us(model, acc.seq_len, gpu)),
+    ):
+        fpga_us = schedule.latency_us(acc.clock_mhz)
+        rows.append([
+            name, schedule.total_cycles, f"{fpga_us:.1f}",
+            f"{schedule.sa_utilization:.1%}", f"{gpu_us:.1f}",
+            f"{gpu_us / fpga_us:.1f}x",
+        ])
+    print(render_table(
+        f"{model.name} on the {acc.seq_len}x{acc.sa_cols} SA @ "
+        f"{acc.clock_mhz:.0f} MHz",
+        ["block", "cycles", "FPGA us", "SA util", "GPU us", "speed-up"],
+        rows,
+    ))
+
+    top = estimate_top(model, acc)["top"]
+    power = estimate_power(model, acc)
+    print(f"\nresources: {top.lut:,} LUT, {top.registers:,} registers, "
+          f"{top.bram:.0f} BRAM, {top.dsp} DSP")
+    print(f"power: {power.total_w:.1f} W total "
+          f"({power.dynamic_w:.1f} dynamic + {power.static_w:.1f} static)")
+
+
+if __name__ == "__main__":
+    main()

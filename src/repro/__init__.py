@@ -1,0 +1,60 @@
+"""repro — reproduction of Lu et al., "Hardware Accelerator for Multi-Head
+Attention and Position-Wise Feed-Forward in the Transformer" (SOCC 2020).
+
+Subpackages:
+
+* :mod:`repro.core` — the accelerator: systolic array, softmax/LayerNorm
+  modules, scheduler, partitioning, resource/power/cycle models.
+* :mod:`repro.transformer` — from-scratch numpy Transformer with autograd
+  (the golden model).
+* :mod:`repro.quant` — INT8 post-training quantization (Section V-A).
+* :mod:`repro.nmt` — synthetic translation task + BLEU (IWSLT stand-in).
+* :mod:`repro.gpu_model` — V100 kernel-level latency baseline (Table III).
+* :mod:`repro.analysis` — Eq. (3) sweeps and report rendering.
+
+Quick start::
+
+    from repro import config, core
+
+    model_cfg = config.transformer_base()
+    acc_cfg = config.paper_accelerator()
+    print(core.schedule_mha(model_cfg, acc_cfg).total_cycles)
+"""
+
+from . import analysis, config, core, errors, fixedpoint, gpu_model, io
+from . import nmt, quant, transformer
+from .config import (
+    AcceleratorConfig,
+    ModelConfig,
+    bert_base,
+    bert_large,
+    paper_accelerator,
+    preset,
+    transformer_base,
+    transformer_big,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorConfig",
+    "ModelConfig",
+    "ReproError",
+    "analysis",
+    "bert_base",
+    "bert_large",
+    "config",
+    "core",
+    "errors",
+    "fixedpoint",
+    "gpu_model",
+    "io",
+    "nmt",
+    "paper_accelerator",
+    "preset",
+    "quant",
+    "transformer",
+    "transformer_base",
+    "transformer_big",
+]

@@ -1,0 +1,50 @@
+"""Analysis: Eq. (3) sweeps, report tables, DSE, and roofline models."""
+
+from .dse import (
+    DesignPoint,
+    enumerate_designs,
+    evaluate_design,
+    pareto_frontier,
+    summarize,
+)
+from .model_stats import (
+    FlopSplit,
+    ParameterSplit,
+    flop_split,
+    parameter_split,
+    section2a_claim_holds,
+)
+from .ratio import RatioPoint, max_ratio_in_scope, ratio_sweep
+from .report import deviation_row, render_table
+from .roofline import (
+    Roofline,
+    RooflinePoint,
+    accelerator_roofline,
+    ffn_point,
+    mha_point,
+    offchip_weights_point,
+)
+
+__all__ = [
+    "DesignPoint",
+    "FlopSplit",
+    "ParameterSplit",
+    "RatioPoint",
+    "Roofline",
+    "RooflinePoint",
+    "accelerator_roofline",
+    "deviation_row",
+    "enumerate_designs",
+    "evaluate_design",
+    "ffn_point",
+    "flop_split",
+    "max_ratio_in_scope",
+    "mha_point",
+    "parameter_split",
+    "section2a_claim_holds",
+    "offchip_weights_point",
+    "pareto_frontier",
+    "ratio_sweep",
+    "render_table",
+    "summarize",
+]

@@ -1,0 +1,156 @@
+"""Design-space exploration over accelerator configurations.
+
+Enumerates candidate design points (SA rows, clock, LayerNorm schedule,
+buffer porting, pass overlap), evaluates each with the cycle, resource and
+power models, and extracts the Pareto frontier over (latency, LUTs,
+power).  This is the study an architect would run before taping out a
+variant of the paper's design for a different operating point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..config import AcceleratorConfig, ModelConfig
+from ..core.power_model import estimate_power
+from ..core.resource_model import XCVU13P, estimate_top
+from ..core.scheduler import schedule_ffn, schedule_mha
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated accelerator configuration.
+
+    Attributes:
+        config: The accelerator parameters.
+        mha_cycles / ffn_cycles: Per-ResBlock latency *for the workload*
+            (a design with fewer SA rows than the workload's sequence
+            length processes it in row chunks, multiplying its cycles).
+        layer_latency_us: One encoder layer (MHA + FFN) in microseconds.
+        lut / bram / dsp: Top-level resource estimate.
+        power_w: Total on-chip power estimate.
+        workload_seq_len: The fixed sequence length being served.
+    """
+
+    config: AcceleratorConfig
+    mha_cycles: int
+    ffn_cycles: int
+    layer_latency_us: float
+    lut: int
+    bram: float
+    dsp: int
+    power_w: float
+    workload_seq_len: int = 64
+
+    @property
+    def fits_device(self) -> bool:
+        return (self.lut <= XCVU13P["lut"]
+                and self.bram <= XCVU13P["bram"]
+                and self.dsp <= XCVU13P["dsp"])
+
+    def objectives(self) -> Tuple[float, float, float]:
+        """(latency, LUT, power) — all minimized."""
+        return (self.layer_latency_us, float(self.lut), self.power_w)
+
+
+def evaluate_design(
+    model: ModelConfig,
+    config: AcceleratorConfig,
+    workload_seq_len: int = 64,
+) -> DesignPoint:
+    """Run all three models on one design point for a fixed workload.
+
+    A design whose SA has fewer rows than ``workload_seq_len`` serves the
+    sequence in ``ceil(workload / s)`` row chunks, each a full pass
+    schedule — the fair comparison basis across array sizes (otherwise
+    small arrays would win every objective simply by computing less).
+    """
+    if workload_seq_len <= 0:
+        raise ConfigError("workload_seq_len must be positive")
+    chunks = -(-workload_seq_len // config.seq_len)
+    mha = schedule_mha(model, config)
+    ffn = schedule_ffn(model, config)
+    mha_cycles = mha.total_cycles * chunks
+    ffn_cycles = ffn.total_cycles * chunks
+    latency = (mha_cycles + ffn_cycles) / config.clock_mhz
+    top = estimate_top(model, config)["top"]
+    power = estimate_power(model, config)
+    return DesignPoint(
+        config=config,
+        mha_cycles=mha_cycles,
+        ffn_cycles=ffn_cycles,
+        layer_latency_us=latency,
+        lut=top.lut,
+        bram=top.bram,
+        dsp=top.dsp,
+        power_w=power.total_w,
+        workload_seq_len=workload_seq_len,
+    )
+
+
+def enumerate_designs(
+    model: ModelConfig,
+    seq_lens: Sequence[int] = (16, 32, 64, 128),
+    clocks_mhz: Sequence[float] = (150.0, 200.0, 250.0),
+    layernorm_modes: Sequence[str] = ("step_two",),
+    overlap_options: Sequence[bool] = (True,),
+    base: AcceleratorConfig = None,
+    workload_seq_len: int = 64,
+) -> List[DesignPoint]:
+    """Evaluate the cross product of the given parameter ranges."""
+    if not seq_lens or not clocks_mhz:
+        raise ConfigError("empty design-space axes")
+    base = AcceleratorConfig() if base is None else base
+    points = []
+    for s in seq_lens:
+        for clock in clocks_mhz:
+            for mode in layernorm_modes:
+                for overlap in overlap_options:
+                    config = dataclasses.replace(
+                        base, seq_len=s, clock_mhz=clock,
+                        layernorm_mode=mode, pass_overlap=overlap,
+                    )
+                    points.append(evaluate_design(
+                        model, config, workload_seq_len
+                    ))
+    return points
+
+
+def pareto_frontier(points: Iterable[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated points under (latency, LUT, power) minimization."""
+    points = [p for p in points]
+    if not points:
+        raise ConfigError("no design points")
+    frontier = []
+    for candidate in points:
+        dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            co, oo = candidate.objectives(), other.objectives()
+            if all(o <= c for o, c in zip(oo, co)) and oo != co:
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(candidate)
+    frontier.sort(key=lambda p: p.layer_latency_us)
+    return frontier
+
+
+def summarize(points: Sequence[DesignPoint]) -> List[Dict]:
+    """Rows for report tables (one dict per point)."""
+    rows = []
+    for p in points:
+        rows.append({
+            "s": p.config.seq_len,
+            "clock_mhz": p.config.clock_mhz,
+            "ln_mode": p.config.layernorm_mode,
+            "latency_us": round(p.layer_latency_us, 1),
+            "lut_k": round(p.lut / 1000),
+            "power_w": round(p.power_w, 1),
+            "fits": p.fits_device,
+        })
+    return rows

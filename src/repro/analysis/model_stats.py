@@ -1,0 +1,141 @@
+"""Parameter and FLOP accounting across a Transformer's components.
+
+Section II-A claims "most of the trainable parameters and the
+computations are in these two stacks" (encoder + decoder, i.e. the
+MHA/FFN ResBlocks), which justifies accelerating only those.  This module
+computes the exact split analytically so the claim can be checked for any
+configuration, and a bench reports it for Transformer-base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ModelConfig
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ParameterSplit:
+    """Trainable-parameter counts by component."""
+
+    embeddings: int
+    resblocks: int
+    generator: int
+
+    @property
+    def total(self) -> int:
+        return self.embeddings + self.resblocks + self.generator
+
+    @property
+    def resblock_fraction(self) -> float:
+        return self.resblocks / self.total
+
+
+@dataclass(frozen=True)
+class FlopSplit:
+    """Forward multiply-accumulate counts by component (one sequence)."""
+
+    embeddings: int
+    resblocks: int
+    generator: int
+
+    @property
+    def total(self) -> int:
+        return self.embeddings + self.resblocks + self.generator
+
+    @property
+    def resblock_fraction(self) -> float:
+        return self.resblocks / self.total
+
+
+def _per_mha_params(d_model: int) -> int:
+    # Four projections with bias + LayerNorm gamma/beta.
+    return 4 * (d_model * d_model + d_model) + 2 * d_model
+
+
+def _per_ffn_params(d_model: int, d_ff: int) -> int:
+    return (d_model * d_ff + d_ff) + (d_ff * d_model + d_model) + 2 * d_model
+
+
+def parameter_split(
+    config: ModelConfig,
+    src_vocab: int,
+    tgt_vocab: int,
+    tied_embeddings: bool = False,
+    tied_generator: bool = False,
+) -> ParameterSplit:
+    """Exact trainable-parameter split for an encoder-decoder model.
+
+    Args:
+        tied_embeddings: Source and target share one embedding table.
+        tied_generator: The output projection reuses the target embedding
+            (only its bias is new).  The original Transformer shares all
+            three matrices ("Attention Is All You Need" §3.4), which is
+            the setting under which Section II-A's claim is evaluated.
+    """
+    if src_vocab <= 0 or tgt_vocab <= 0:
+        raise ConfigError("vocabulary sizes must be positive")
+    if (tied_embeddings or tied_generator) and src_vocab != tgt_vocab:
+        if tied_embeddings:
+            raise ConfigError("tied embeddings require equal vocabularies")
+    d, dff = config.d_model, config.d_ff
+    embeddings = src_vocab * d
+    if not tied_embeddings:
+        embeddings += tgt_vocab * d
+    mha_blocks = (config.num_encoder_layers
+                  + 2 * config.num_decoder_layers)
+    ffn_blocks = config.num_encoder_layers + config.num_decoder_layers
+    resblocks = (mha_blocks * _per_mha_params(d)
+                 + ffn_blocks * _per_ffn_params(d, dff))
+    generator = tgt_vocab if tied_generator else d * tgt_vocab + tgt_vocab
+    return ParameterSplit(
+        embeddings=embeddings, resblocks=resblocks, generator=generator
+    )
+
+
+def flop_split(
+    config: ModelConfig,
+    tgt_vocab: int,
+    src_len: int,
+    tgt_len: int,
+) -> FlopSplit:
+    """Forward MAC split for one (src_len, tgt_len) sequence pair.
+
+    Embedding lookups are gathers (0 MACs); the generator projects every
+    decoder position to the vocabulary.
+    """
+    if src_len <= 0 or tgt_len <= 0:
+        raise ConfigError("sequence lengths must be positive")
+    enc = config.num_encoder_layers * (
+        config.mha_macs(src_len) + config.ffn_macs(src_len)
+    )
+    dec = config.num_decoder_layers * (
+        2 * config.mha_macs(tgt_len) + config.ffn_macs(tgt_len)
+    )
+    generator = tgt_len * config.d_model * tgt_vocab
+    return FlopSplit(
+        embeddings=0, resblocks=enc + dec, generator=generator
+    )
+
+
+def section2a_claim_holds(
+    config: ModelConfig,
+    src_vocab: int = 37_000,     # the paper's IWSLT-scale BPE vocabulary
+    tgt_vocab: int = 37_000,
+    src_len: int = 64,
+    tgt_len: int = 64,
+    threshold: float = 0.5,
+) -> bool:
+    """Whether the ResBlocks hold the majority of parameters AND MACs.
+
+    Evaluated under the original Transformer's three-way weight sharing
+    (source/target/generator), its published configuration.
+    """
+    params = parameter_split(
+        config, src_vocab, tgt_vocab,
+        tied_embeddings=True, tied_generator=True,
+    )
+    flops = flop_split(config, tgt_vocab, src_len, tgt_len)
+    return (params.resblock_fraction > threshold
+            and flops.resblock_fraction > threshold)

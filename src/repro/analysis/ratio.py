@@ -1,0 +1,49 @@
+"""Eq. (3) analysis: the ``Q K^T`` multiply-share sweep."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.partition import qkt_multiply_ratio, qkt_multiply_ratio_exact
+from ..errors import ShapeError
+
+
+@dataclass(frozen=True)
+class RatioPoint:
+    """One (s, h) evaluation of Eq. (3)."""
+
+    s: int
+    h: int
+    paper_form: float
+    exact_form: float
+
+    @property
+    def divergence(self) -> float:
+        """Relative difference of the paper's printed simplification."""
+        return abs(self.paper_form - self.exact_form) / self.exact_form
+
+
+def ratio_sweep(
+    seq_lens: Sequence[int] = (16, 32, 64, 128),
+    heads: Sequence[int] = (8, 12, 16),
+) -> List[RatioPoint]:
+    """Evaluate Eq. (3) over the paper's relevant (s, h) grid."""
+    if not seq_lens or not heads:
+        raise ShapeError("sweep needs at least one s and one h")
+    points = []
+    for h in heads:
+        for s in seq_lens:
+            points.append(RatioPoint(
+                s=s, h=h,
+                paper_form=qkt_multiply_ratio(s, h),
+                exact_form=qkt_multiply_ratio_exact(s, h),
+            ))
+    return points
+
+
+def max_ratio_in_scope(points: List[RatioPoint]) -> float:
+    """The largest QK^T share across the sweep (paper: 'very small')."""
+    if not points:
+        raise ShapeError("no points")
+    return max(p.exact_form for p in points)

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints the rows/series the corresponding paper table or figure
+reports, via these helpers, so the console output of
+``pytest benchmarks/`` reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ShapeError
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width text table with a title rule."""
+    if not headers:
+        raise ShapeError("table needs headers")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ShapeError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def deviation_row(
+    label: str, measured: float, published: float
+) -> List[object]:
+    """A (label, measured, published, deviation%) row."""
+    if published == 0:
+        raise ShapeError("published value must be nonzero")
+    pct = 100.0 * (measured / published - 1.0)
+    return [label, measured, published, f"{pct:+.1f}%"]

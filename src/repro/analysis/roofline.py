@@ -1,0 +1,139 @@
+"""Roofline analysis of the accelerator and its workloads.
+
+Places the MHA and FFN ResBlocks on a roofline for the paper's design:
+peak throughput = ``num_PEs * clock`` MACs/s; memory ceiling from the
+weight-stream port (64 bytes/cycle).  Shows *why* the two ResBlocks run
+near the compute roof (their weights are resident on-chip and every
+operand byte feeds 64 MACs), and what happens to a design whose weights
+must stream from off-chip instead — the analysis behind the paper's
+"huge memory requirements" motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import AcceleratorConfig, ModelConfig
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload placed on the accelerator's roofline.
+
+    Attributes:
+        name: Workload label.
+        macs: Total multiply-accumulates.
+        operand_bytes: Activation + weight bytes touched once each.
+        intensity: MACs per operand byte.
+        attainable_macs_per_s: min(compute roof, intensity * bandwidth).
+        bound: "compute" or "memory".
+    """
+
+    name: str
+    macs: int
+    operand_bytes: int
+    intensity: float
+    attainable_macs_per_s: float
+    bound: str
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """The machine's two ceilings.
+
+    Attributes:
+        peak_macs_per_s: ``num_PEs * clock``.
+        bandwidth_bytes_per_s: Operand stream bandwidth.
+    """
+
+    peak_macs_per_s: float
+    bandwidth_bytes_per_s: float
+
+    @property
+    def ridge_intensity(self) -> float:
+        """MACs/byte where the two ceilings intersect."""
+        return self.peak_macs_per_s / self.bandwidth_bytes_per_s
+
+    def place(self, name: str, macs: int, operand_bytes: int) -> RooflinePoint:
+        if macs <= 0 or operand_bytes <= 0:
+            raise ConfigError("macs and operand_bytes must be positive")
+        intensity = macs / operand_bytes
+        attainable = min(
+            self.peak_macs_per_s,
+            intensity * self.bandwidth_bytes_per_s,
+        )
+        bound = "compute" if intensity >= self.ridge_intensity else "memory"
+        return RooflinePoint(
+            name=name, macs=macs, operand_bytes=operand_bytes,
+            intensity=intensity, attainable_macs_per_s=attainable,
+            bound=bound,
+        )
+
+
+def accelerator_roofline(
+    acc: AcceleratorConfig, stream_bytes_per_cycle: int = None
+) -> Roofline:
+    """Roofline of the paper's design (on-chip weights).
+
+    Operand bandwidth aggregates the independent on-chip ports feeding the
+    SA each cycle: the 64-byte weight stream plus one activation byte per
+    row (``seq_len`` bytes) — the Fig. 5 Data/Weight Memory ports.
+    """
+    if stream_bytes_per_cycle is None:
+        stream_bytes_per_cycle = 64 + acc.seq_len
+    if stream_bytes_per_cycle <= 0:
+        raise ConfigError("stream width must be positive")
+    clock_hz = acc.clock_mhz * 1e6
+    return Roofline(
+        peak_macs_per_s=acc.num_pes * clock_hz,
+        bandwidth_bytes_per_s=stream_bytes_per_cycle * clock_hz,
+    )
+
+
+def mha_point(model: ModelConfig, acc: AcceleratorConfig,
+              roofline: Roofline) -> RooflinePoint:
+    """The MHA ResBlock on the roofline (INT8 operands, counted once)."""
+    s = acc.seq_len
+    macs = model.mha_macs(s)
+    d = model.d_model
+    operand_bytes = (
+        2 * s * d                       # Q and K=V inputs
+        + 4 * d * d                     # the four projection matrices
+        + 2 * s * s * model.num_heads   # logits + probabilities
+        + s * d                         # output
+    )
+    return roofline.place("MHA ResBlock", macs, operand_bytes)
+
+
+def ffn_point(model: ModelConfig, acc: AcceleratorConfig,
+              roofline: Roofline) -> RooflinePoint:
+    """The FFN ResBlock on the roofline."""
+    s = acc.seq_len
+    macs = model.ffn_macs(s)
+    d, dff = model.d_model, model.d_ff
+    operand_bytes = s * d + 2 * d * dff + s * dff + s * d
+    return roofline.place("FFN ResBlock", macs, operand_bytes)
+
+
+def offchip_weights_point(
+    model: ModelConfig, acc: AcceleratorConfig,
+    dram_bytes_per_s: float = 8.5e9,    # one 32-bit LPDDR4-2133 channel
+) -> RooflinePoint:
+    """The FFN ResBlock if weights streamed from off-chip every pass.
+
+    Quantifies the value of the paper's on-chip weight memory for its
+    stated mobile/embedded target: at batch 1 every weight byte feeds
+    exactly ``s`` MACs, so intensity collapses to ~s MACs/byte and the
+    workload turns memory-bound on an embedded LPDDR interface (and
+    break-even at best on a single DDR4 channel).
+    """
+    clock_hz = acc.clock_mhz * 1e6
+    roofline = Roofline(
+        peak_macs_per_s=acc.num_pes * clock_hz,
+        bandwidth_bytes_per_s=dram_bytes_per_s,
+    )
+    s = acc.seq_len
+    macs = model.ffn_macs(s)
+    weight_bytes = 2 * model.d_model * model.d_ff
+    return roofline.place("FFN (off-chip weights)", macs, weight_bytes)

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``schedule`` — Algorithm 1 cycle counts / latency for a model preset.
+* ``resources`` — the Table II analytic estimate.
+* ``power`` — the Section V-B power split.
+* ``tables`` — every paper comparison at once (the EXPERIMENTS.md view).
+* ``trace`` — write a Chrome trace JSON of a ResBlock schedule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import deviation_row, render_table
+from .config import AcceleratorConfig, preset
+from .core import (
+    PAPER_FFN_CYCLES,
+    PAPER_FFN_SPEEDUP,
+    PAPER_GPU_FFN_LATENCY_US,
+    PAPER_GPU_MHA_LATENCY_US,
+    PAPER_MHA_CYCLES,
+    PAPER_MHA_SPEEDUP,
+    PAPER_TABLE2,
+    estimate_power,
+    estimate_top,
+    schedule_ffn,
+    schedule_mha,
+)
+from .core.trace import write_trace
+from .gpu_model import ffn_latency_us, mha_latency_us, v100_batch1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SOCC 2020 Transformer-accelerator reproduction tools",
+    )
+    parser.add_argument(
+        "--model", default="transformer-base",
+        help="Table I preset (default: transformer-base)",
+    )
+    parser.add_argument(
+        "--seq-len", type=int, default=64,
+        help="systolic-array rows / max sequence length (default: 64)",
+    )
+    parser.add_argument(
+        "--clock-mhz", type=float, default=200.0,
+        help="target clock (default: 200)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    schedule = sub.add_parser("schedule", help="cycle counts and latency")
+    schedule.add_argument(
+        "--gantt", action="store_true",
+        help="also draw ASCII Gantt charts of both ResBlock timelines",
+    )
+    sub.add_parser("resources", help="Table II resource estimate")
+    sub.add_parser("power", help="power split")
+    sub.add_parser("tables", help="all paper comparisons")
+    sub.add_parser("selftest", help="run the numerical-contract checks")
+    trace = sub.add_parser("trace", help="write a Chrome trace JSON")
+    trace.add_argument("--block", choices=("mha", "ffn"), default="mha")
+    trace.add_argument("--out", required=True, help="output .json path")
+    return parser
+
+
+def _configs(args):
+    model = preset(args.model)
+    acc = AcceleratorConfig(seq_len=args.seq_len, clock_mhz=args.clock_mhz)
+    return model, acc
+
+
+def _cmd_schedule(args) -> None:
+    model, acc = _configs(args)
+    results = (("MHA", schedule_mha(model, acc)),
+               ("FFN", schedule_ffn(model, acc)))
+    rows = []
+    for name, result in results:
+        rows.append([
+            name, result.total_cycles,
+            f"{result.latency_us(acc.clock_mhz):.1f}",
+            f"{result.sa_utilization:.1%}",
+        ])
+    print(render_table(
+        f"{model.name} @ s={acc.seq_len}, {acc.clock_mhz:.0f} MHz",
+        ["block", "cycles", "latency us", "SA util"], rows,
+    ))
+    if getattr(args, "gantt", False):
+        from .core.gantt import render_gantt
+
+        for _, result in results:
+            print()
+            print(render_gantt(result))
+
+
+def _cmd_resources(args) -> None:
+    model, acc = _configs(args)
+    estimates = estimate_top(model, acc)
+    rows = []
+    for key in ("top", "sa", "softmax", "layernorm", "weight_memory"):
+        e = estimates[key].as_dict()
+        rows.append([key, int(e["lut"]), int(e["registers"]),
+                     round(e["bram"], 1), int(e["dsp"])])
+    print(render_table(
+        f"resource estimate — {model.name}, s={acc.seq_len}",
+        ["module", "LUT", "registers", "BRAM", "DSP"], rows,
+    ))
+
+
+def _cmd_power(args) -> None:
+    model, acc = _configs(args)
+    p = estimate_power(model, acc).as_dict()
+    print(render_table(
+        f"power estimate — {model.name} @ {acc.clock_mhz:.0f} MHz (W)",
+        ["total", "dynamic", "static", "SA", "memory", "clock"],
+        [[f"{p['total_w']:.1f}", f"{p['dynamic_w']:.1f}",
+          f"{p['static_w']:.1f}", f"{p['sa_w']:.1f}",
+          f"{p['memory_w']:.1f}", f"{p['clock_w']:.1f}"]],
+    ))
+
+
+def _cmd_tables(args) -> None:
+    model, acc = _configs(args)
+    mha = schedule_mha(model, acc)
+    ffn = schedule_ffn(model, acc)
+    is_paper_point = (
+        model.name == "Transformer-base" and acc.seq_len == 64
+    )
+    if is_paper_point:
+        print(render_table(
+            "cycle counts vs paper",
+            ["block", "measured", "paper", "deviation"],
+            [deviation_row("MHA", mha.total_cycles, PAPER_MHA_CYCLES),
+             deviation_row("FFN", ffn.total_cycles, PAPER_FFN_CYCLES)],
+        ))
+        print()
+        spec = v100_batch1()
+        gpu_mha = mha_latency_us(model, acc.seq_len, spec)
+        gpu_ffn = ffn_latency_us(model, acc.seq_len, spec)
+        fpga_mha = mha.latency_us(acc.clock_mhz)
+        fpga_ffn = ffn.latency_us(acc.clock_mhz)
+        print(render_table(
+            "Table III vs paper",
+            ["block", "speed-up", "paper"],
+            [["MHA", f"{gpu_mha / fpga_mha:.1f}x", f"{PAPER_MHA_SPEEDUP}x"],
+             ["FFN", f"{gpu_ffn / fpga_ffn:.1f}x", f"{PAPER_FFN_SPEEDUP}x"]],
+        ))
+        print()
+        estimates = estimate_top(model, acc)
+        rows = []
+        for key in ("top", "sa", "softmax", "layernorm", "weight_memory"):
+            ours = estimates[key].as_dict()
+            paper = PAPER_TABLE2[key]
+            rows.append([
+                key, f"{int(ours['lut']):,} / {paper['lut']:,}",
+                f"{ours['bram']:.1f} / {paper['bram']}",
+                f"{int(ours['dsp'])} / {paper['dsp']}",
+            ])
+        print(render_table(
+            "Table II vs paper (ours / paper)",
+            ["module", "LUT", "BRAM", "DSP"], rows,
+        ))
+    else:
+        _cmd_schedule(args)
+        _cmd_resources(args)
+        _cmd_power(args)
+
+
+def _cmd_selftest(args) -> None:
+    from .core.verification import run_selftest, selftest_passed
+
+    results = run_selftest()
+    rows = [[r.name, "PASS" if r.passed else "FAIL", r.detail]
+            for r in results]
+    print(render_table("numerical-contract self-test",
+                       ["check", "status", "detail"], rows))
+    if not selftest_passed(results):
+        raise RuntimeError("self-test failed")
+
+
+def _cmd_trace(args) -> None:
+    model, acc = _configs(args)
+    result = (schedule_mha if args.block == "mha" else schedule_ffn)(
+        model, acc
+    )
+    count = write_trace(result, args.out, acc.clock_mhz)
+    print(f"wrote {count} events ({result.total_cycles:,} cycles) to "
+          f"{args.out}")
+
+
+_COMMANDS = {
+    "schedule": _cmd_schedule,
+    "resources": _cmd_resources,
+    "power": _cmd_power,
+    "selftest": _cmd_selftest,
+    "tables": _cmd_tables,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        _COMMANDS[args.command](args)
+    except Exception as exc:  # surfaced as a clean CLI error
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

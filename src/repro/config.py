@@ -1,0 +1,296 @@
+"""Model and accelerator configurations.
+
+This module defines:
+
+* :class:`ModelConfig` — the hyper-parameters of a Transformer-family model,
+  with presets for every row of the paper's Table I (Transformer-base/big,
+  BERT-base/large).
+* :class:`AcceleratorConfig` — the parameters of the proposed hardware
+  accelerator (systolic-array geometry, clock, pipeline overheads) used by
+  the cycle-level simulator, the analytic cycle model, and the resource and
+  power models.
+
+The paper's central structural observation (Section III) is that all the
+listed architectures satisfy ``d_model = 64 * h`` and
+``d_ff = 4 * d_model = 256 * h``; :meth:`ModelConfig.validate` enforces the
+first relation and records whether the second holds (the partitioner only
+needs divisibility by 64).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict
+
+from .errors import ConfigError
+
+#: Head dimension d_k used by every architecture in Table I.
+HEAD_DIM = 64
+
+#: Number of systolic-array columns; equal to the head dimension.
+SA_COLS = 64
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters of a Transformer-family model (paper Table I).
+
+    Attributes:
+        name: Human-readable preset name.
+        d_model: Model (embedding) width.
+        d_ff: Inner width of the position-wise feed-forward network.
+        num_heads: Number of attention heads ``h``.
+        num_encoder_layers: Encoder stack depth (6 for Transformer-base).
+        num_decoder_layers: Decoder stack depth (0 for encoder-only BERT).
+        max_seq_len: Maximum sequence length ``s`` the hardware is sized for.
+        dropout: Training-time dropout rate (ignored by the accelerator).
+    """
+
+    name: str
+    d_model: int
+    d_ff: int
+    num_heads: int
+    num_encoder_layers: int = 6
+    num_decoder_layers: int = 6
+    max_seq_len: int = 64
+    dropout: float = 0.1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` if the configuration is inconsistent."""
+        if self.d_model <= 0 or self.d_ff <= 0 or self.num_heads <= 0:
+            raise ConfigError(
+                f"{self.name}: dimensions must be positive, got "
+                f"d_model={self.d_model}, d_ff={self.d_ff}, h={self.num_heads}"
+            )
+        if self.d_model % self.num_heads != 0:
+            raise ConfigError(
+                f"{self.name}: d_model={self.d_model} is not divisible by "
+                f"h={self.num_heads}"
+            )
+        if self.head_dim != HEAD_DIM:
+            raise ConfigError(
+                f"{self.name}: head dimension d_model/h={self.head_dim} must "
+                f"equal {HEAD_DIM} (paper Table I pattern d_model = 64h)"
+            )
+        if self.d_ff % SA_COLS != 0:
+            raise ConfigError(
+                f"{self.name}: d_ff={self.d_ff} is not divisible by "
+                f"{SA_COLS}; the SA partitioning of W1/W2 requires it"
+            )
+        if self.max_seq_len <= 0:
+            raise ConfigError(f"{self.name}: max_seq_len must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ConfigError(f"{self.name}: dropout must lie in [0, 1)")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension ``d_k = d_model / h`` (64 for all presets)."""
+        return self.d_model // self.num_heads
+
+    @property
+    def follows_dff_pattern(self) -> bool:
+        """Whether ``d_ff == 4 * d_model`` (true for every Table I row)."""
+        return self.d_ff == 4 * self.d_model
+
+    @property
+    def num_w1_blocks(self) -> int:
+        """Number of 64-column blocks of W1 (``4h`` when the pattern holds)."""
+        return self.d_ff // SA_COLS
+
+    @property
+    def num_w2_blocks(self) -> int:
+        """Number of 64-column blocks of W2 / WG (``h`` under the pattern)."""
+        return self.d_model // SA_COLS
+
+    def mha_macs(self, s: int) -> int:
+        """Multiply-accumulate count of one MHA ResBlock at sequence length s.
+
+        Counts the four projection GEMM groups plus the two attention
+        matmuls, matching the numerator structure of the paper's Eq. (3).
+        """
+        h, dm, dk = self.num_heads, self.d_model, self.head_dim
+        proj = 3 * h * s * dm * dk        # Q/K/V projections, all heads
+        attn = h * (s * s * dk + s * s * dk)  # QK^T and (softmax)V
+        out = s * dm * dm                 # P x W_G
+        return proj + attn + out
+
+    def ffn_macs(self, s: int) -> int:
+        """Multiply-accumulate count of one FFN ResBlock at length s."""
+        return s * self.d_model * self.d_ff * 2
+
+    def with_updates(self, **changes: object) -> "ModelConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+def transformer_base() -> ModelConfig:
+    """Transformer-base (Vaswani et al. 2017): d_model=512, d_ff=2048, h=8."""
+    return ModelConfig("Transformer-base", d_model=512, d_ff=2048, num_heads=8)
+
+
+def transformer_big() -> ModelConfig:
+    """Transformer-big: d_model=1024, d_ff=4096, h=16."""
+    return ModelConfig("Transformer-big", d_model=1024, d_ff=4096, num_heads=16)
+
+
+def bert_base() -> ModelConfig:
+    """BERT-base: d_model=768, d_ff=3072, h=12 (encoder-only)."""
+    return ModelConfig(
+        "BERT-base", d_model=768, d_ff=3072, num_heads=12,
+        num_encoder_layers=12, num_decoder_layers=0,
+    )
+
+
+def bert_large() -> ModelConfig:
+    """BERT-large: d_model=1024, d_ff=4096, h=16 (encoder-only)."""
+    return ModelConfig(
+        "BERT-large", d_model=1024, d_ff=4096, num_heads=16,
+        num_encoder_layers=24, num_decoder_layers=0,
+    )
+
+
+def tiny_for_tests() -> ModelConfig:
+    """A minimal config (h=1, d_model=64) for fast unit tests."""
+    return ModelConfig(
+        "tiny", d_model=64, d_ff=256, num_heads=1,
+        num_encoder_layers=1, num_decoder_layers=1, max_seq_len=16,
+    )
+
+
+#: All Table I presets keyed by canonical name.
+TABLE1_PRESETS: Dict[str, ModelConfig] = {
+    "transformer-base": transformer_base(),
+    "transformer-big": transformer_big(),
+    "bert-base": bert_base(),
+    "bert-large": bert_large(),
+}
+
+
+def preset(name: str) -> ModelConfig:
+    """Look up a Table I preset by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in TABLE1_PRESETS:
+        raise ConfigError(
+            f"unknown preset {name!r}; available: {sorted(TABLE1_PRESETS)}"
+        )
+    return TABLE1_PRESETS[key]
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Parameters of the proposed accelerator and its latency model.
+
+    The systolic array has ``seq_len`` rows and :data:`SA_COLS` columns
+    (the paper's ``s x 64`` SA with s = 64 in the evaluation).  The pipeline
+    overhead parameters are the knobs the paper does not publish; the
+    defaults are calibrated so the simulated cycle counts land in the same
+    utilization band as the paper's reported 21,344 / 42,099 cycles (81.6% /
+    77.8% SA utilization at Transformer-base, s = 64).
+
+    Attributes:
+        seq_len: SA row count ``s`` (and max sequence length processed).
+        sa_cols: SA column count (64, equal to the head dimension).
+        clock_mhz: Target clock frequency (paper: 200 MHz).
+        sa_fill_cycles: Cycles to fill the SA input skew at the start of a
+            pass before the first column of products appears.
+        sa_drain_cycles: Cycles to drain outputs after the last input column.
+        weight_load_cycles: Non-overlapped cycles to load a 64-column weight
+            tile into the SA between passes (0 = fully double buffered).
+        pass_issue_cycles: Fixed control overhead per SA pass (address
+            generation, bias fetch).
+        softmax_pipeline_depth: Latency in cycles of the 4-stage softmax
+            pipeline for one column (Fig. 6).
+        layernorm_pipeline_depth: Latency in cycles from the last element of
+            a row of G to that row's first normalized output (Fig. 8).
+        layernorm_mode: Which Fig. 7 schedule the LayerNorm module uses:
+            ``"straightforward"``, ``"step_one"`` or ``"step_two"``.
+        pass_overlap: Whether consecutive independent SA passes overlap
+            their fill/drain skew (pipelined control).  When True, a pass
+            chained behind another costs only its ``k`` active cycles, and
+            the skew/drain penalty is paid only at dependency breaks —
+            matching the paper's claim that the SA "will hardly stop
+            running".  When False every pass pays the full
+            ``k + s + n - 2 + drain`` latency (simple control logic).
+        single_ported_buffers: Whether the activation buffers (Fig. 5's
+            Data Memory blocks) have a single read port.  If so, two
+            consecutive passes that stream the *same* buffer cannot
+            overlap their skew (the fill of pass i+1 would contend with
+            the tail of pass i) and serialize like a dependency break.
+            This is what separates the FFN's utilization from the MHA's:
+            all 4h W1 passes re-read X and all h W2 passes re-read P.
+        act_bits: Activation word width (INT8 in the paper).
+        weight_bits: Weight word width (INT8).
+        acc_bits: Accumulator width inside a PE.
+    """
+
+    seq_len: int = 64
+    sa_cols: int = SA_COLS
+    clock_mhz: float = 200.0
+    sa_fill_cycles: int = 64
+    sa_drain_cycles: int = 16
+    weight_load_cycles: int = 0
+    pass_issue_cycles: int = 2
+    softmax_pipeline_depth: int = 20
+    layernorm_pipeline_depth: int = 12
+    layernorm_mode: str = "step_two"
+    pass_overlap: bool = True
+    single_ported_buffers: bool = True
+    act_bits: int = 8
+    weight_bits: int = 8
+    acc_bits: int = 32
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on invalid accelerator parameters."""
+        if self.seq_len <= 0 or self.sa_cols <= 0:
+            raise ConfigError("SA dimensions must be positive")
+        if self.clock_mhz <= 0:
+            raise ConfigError("clock_mhz must be positive")
+        names = (
+            "sa_fill_cycles", "sa_drain_cycles", "weight_load_cycles",
+            "pass_issue_cycles", "softmax_pipeline_depth",
+            "layernorm_pipeline_depth",
+        )
+        for field_name in names:
+            if getattr(self, field_name) < 0:
+                raise ConfigError(f"{field_name} must be non-negative")
+        if self.layernorm_mode not in ("straightforward", "step_one", "step_two"):
+            raise ConfigError(
+                f"layernorm_mode {self.layernorm_mode!r} is not one of "
+                "'straightforward', 'step_one', 'step_two'"
+            )
+        if self.act_bits <= 1 or self.weight_bits <= 1:
+            raise ConfigError("datapath widths must exceed 1 bit")
+        if self.acc_bits < self.act_bits + self.weight_bits:
+            raise ConfigError(
+                "accumulator must be at least act_bits + weight_bits wide"
+            )
+
+    @property
+    def num_pes(self) -> int:
+        """Total processing elements in the SA (``s * 64``)."""
+        return self.seq_len * self.sa_cols
+
+    @property
+    def clock_period_us(self) -> float:
+        """Clock period in microseconds."""
+        return 1.0 / self.clock_mhz
+
+    def cycles_to_us(self, cycles: int) -> float:
+        """Convert a cycle count to microseconds at the configured clock."""
+        return cycles * self.clock_period_us
+
+    def with_updates(self, **changes: object) -> "AcceleratorConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+def paper_accelerator() -> AcceleratorConfig:
+    """The configuration evaluated in the paper: 64x64 SA at 200 MHz."""
+    return AcceleratorConfig()

@@ -1,0 +1,323 @@
+"""Top-level accelerator model (paper Fig. 5).
+
+:class:`TransformerAccelerator` executes Algorithm 1 functionally — every
+GEMM through the (optionally cycle-accurate) systolic array on real INT8
+codes, the softmax through the Fig. 6 module, bias/residual through the
+adder banks, and the final normalization through the Fig. 8 LayerNorm
+module — while the scheduler provides the cycle timeline for the same
+work.  Its integer arithmetic is bit-identical to
+:class:`~repro.quant.qmodel.QuantMHAResBlock` /
+:class:`~repro.quant.qmodel.QuantFFNResBlock`, which the integration tests
+verify, so accelerator outputs can be dropped back into the quantized
+Transformer unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import AcceleratorConfig, ModelConfig
+from ..errors import ScheduleError, ShapeError
+from ..quant.qmodel import QuantFFNResBlock, QuantMHAResBlock
+from ..transformer.functional import LAYERNORM_EPS
+from .layernorm_module import LayerNormModule
+from .memory import BiasMemory, WeightMemory
+from .partition import partition_columns
+from .postprocess import AdderBank, ReLUUnit
+from .scheduler import ScheduleResult, schedule_ffn, schedule_mha
+from .softmax_module import SoftmaxModule
+from .systolic_array import SystolicArray
+
+
+@dataclass(frozen=True)
+class AcceleratorOutput:
+    """Result of one ResBlock execution on the accelerator.
+
+    Attributes:
+        output: ``(s, d_model)`` FP output of the ResBlock.
+        schedule: The cycle-level timeline for this execution.
+        latency_us: End-to-end latency at the configured clock.
+    """
+
+    output: np.ndarray
+    schedule: ScheduleResult
+
+    @property
+    def cycles(self) -> int:
+        return self.schedule.total_cycles
+
+
+class TransformerAccelerator:
+    """Reconfigurable MHA/FFN ResBlock accelerator (the paper's design).
+
+    Usage::
+
+        acc = TransformerAccelerator(model_cfg, acc_cfg)
+        acc.load_mha(quant_mha_block)      # INT8 tiles -> weight memory
+        result = acc.run_mha(q_in, kv_in, mask)
+
+    Args:
+        model: Transformer hyper-parameters (must have 64-wide heads).
+        config: Accelerator geometry/timing parameters.
+        cycle_accurate_sa: Route every GEMM through the per-cycle SA
+            simulator instead of a direct integer matmul.  Bit-identical
+            results, ~50x slower; used by the validation tests.
+        exact_nonlinear: Use exact FP softmax/layernorm instead of the
+            hardware EXP/LN/LUT approximations (for isolating quantization
+            effects; the RTL corresponds to ``False``).
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        config: AcceleratorConfig,
+        cycle_accurate_sa: bool = False,
+        exact_nonlinear: bool = False,
+    ) -> None:
+        if model.head_dim != config.sa_cols:
+            raise ScheduleError(
+                f"model head dim {model.head_dim} != SA width {config.sa_cols}"
+            )
+        self.model = model
+        self.config = config
+        self.cycle_accurate_sa = cycle_accurate_sa
+        self.exact_nonlinear = exact_nonlinear
+        self.sa = SystolicArray(
+            config.seq_len, config.sa_cols, acc_bits=config.acc_bits
+        )
+        self.softmax = SoftmaxModule(config, approximate=not exact_nonlinear)
+        self.layernorm = LayerNormModule(
+            config, model.d_model, approximate=not exact_nonlinear,
+            eps=LAYERNORM_EPS,
+        )
+        self.bias_adders = AdderBank(config.seq_len)
+        self.residual_adders = AdderBank(config.seq_len)
+        self.relu = ReLUUnit(config.seq_len)
+        self.weight_memory = WeightMemory(word_bits=config.weight_bits)
+        self.bias_memory = BiasMemory()
+        self._mha_block: Optional[QuantMHAResBlock] = None
+        self._ffn_block: Optional[QuantFFNResBlock] = None
+
+    # ------------------------------------------------------------------
+    # Weight loading (Fig. 4 partitioning into weight memory)
+    # ------------------------------------------------------------------
+    def load_mha(self, block: QuantMHAResBlock) -> None:
+        """Partition and store one quantized MHA ResBlock's weights."""
+        if block.d_model != self.model.d_model:
+            raise ShapeError(
+                f"block d_model {block.d_model} != model {self.model.d_model}"
+            )
+        for kind in ("q", "k", "v", "g"):
+            tiles = partition_columns(
+                block.weights[kind].codes, f"W{kind.upper()}",
+                self.config.sa_cols,
+            )
+            for tile in tiles:
+                self.weight_memory.store_tile(tile.name, tile.index, tile.data)
+                self.bias_memory.store(
+                    f"B{kind.upper()}", tile.index,
+                    block.biases[kind][tile.columns],
+                )
+        self._mha_block = block
+
+    def load_ffn(self, block: QuantFFNResBlock) -> None:
+        """Partition and store one quantized FFN ResBlock's weights."""
+        for name, qt, bias in (
+            ("W1", block.w1, block.b1), ("W2", block.w2, block.b2)
+        ):
+            tiles = partition_columns(qt.codes, name, self.config.sa_cols)
+            for tile in tiles:
+                self.weight_memory.store_tile(tile.name, tile.index, tile.data)
+                self.bias_memory.store(
+                    f"B{name[1]}", tile.index, bias[tile.columns]
+                )
+        self._ffn_block = block
+
+    # ------------------------------------------------------------------
+    # GEMM execution
+    # ------------------------------------------------------------------
+    def _gemm(self, a_codes: np.ndarray, b_codes: np.ndarray) -> np.ndarray:
+        """Integer GEMM on the SA (padding rows up to the array height)."""
+        a_codes = np.asarray(a_codes, dtype=np.int64)
+        b_codes = np.asarray(b_codes, dtype=np.int64)
+        if not self.cycle_accurate_sa:
+            return a_codes @ b_codes
+        rows = a_codes.shape[0]
+        if rows < self.sa.rows:
+            a_codes = np.pad(a_codes, ((0, self.sa.rows - rows), (0, 0)))
+        out = np.zeros((self.sa.rows, b_codes.shape[1]), dtype=np.int64)
+        for c0 in range(0, b_codes.shape[1], self.sa.cols):
+            c1 = min(c0 + self.sa.cols, b_codes.shape[1])
+            out[:, c0:c1] = self.sa.run_pass(a_codes, b_codes[:, c0:c1]).product
+        return out[:rows]
+
+    def _add_bias_columns(
+        self, acc_matrix: np.ndarray, scale: float, bias: np.ndarray
+    ) -> np.ndarray:
+        """Dequantize SA accumulators and add bias, column by column.
+
+        The RTL adds a requantized bias in the integer domain; the model
+        dequantizes first (mathematically identical placement of the same
+        values) to stay bit-aligned with :mod:`repro.quant`.
+        """
+        return acc_matrix.astype(np.float64) * scale + bias
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, lines 1-13: the MHA ResBlock
+    # ------------------------------------------------------------------
+    def run_mha(
+        self,
+        q_in: np.ndarray,
+        kv_in: Optional[np.ndarray] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> AcceleratorOutput:
+        """Execute one MHA ResBlock: output = LayerNorm(Q + MHA(Q, K, V)).
+
+        Args:
+            q_in: ``(s, d_model)`` FP query-side input (also the residual).
+            kv_in: ``(s_kv, d_model)`` key/value input; defaults to
+                ``q_in`` (self-attention; the paper's Fig. 3 K = V case).
+            mask: Optional ``(s, s_kv)`` illegal-connection mask.
+        """
+        block = self._mha_block
+        if block is None:
+            raise ScheduleError("call load_mha() before run_mha()")
+        q_in = self._check_input(q_in, "q_in")
+        kv_in = q_in if kv_in is None else self._check_input(kv_in, "kv_in")
+        cal = block._cal
+        pq = cal.params(block._tap("in_q"))
+        pkv = cal.params(block._tap("in_kv"))
+        p_qa = cal.params(block._tap("q_act"))
+        p_ka = cal.params(block._tap("k_act"))
+        p_va = cal.params(block._tap("v_act"))
+        p_ctx = cal.params(block._tap("context"))
+        q_codes = pq.quantize(q_in)
+        kv_codes = pkv.quantize(kv_in)
+
+        h = self.model.num_heads
+        d_k = self.config.sa_cols
+        s = q_in.shape[0]
+        context = np.zeros((s, self.model.d_model))
+        for i in range(h):
+            # Lines 3-4: Temp1 = Q W_Qi + bias, Temp2 = K W_Ki + bias.
+            q_head = self._projection("WQ", "BQ", q_codes, pq.scale, i)
+            k_head = self._projection("WK", "BK", kv_codes, pkv.scale, i)
+            # Requantize the projected activations (the hardware writes
+            # them to Temp1/Temp2 as INT8).
+            qh_codes = p_qa.quantize(q_head)
+            kh_codes = p_ka.quantize(k_head)
+            # Line 5: Softmax_Input = Temp1 x Temp2^T (zero-padded pass).
+            logits = (
+                self._gemm(qh_codes, kh_codes.T).astype(np.float64)
+                * (p_qa.scale * p_ka.scale)
+            )
+            # Line 6: softmax runs while the SA computes V W_Vi + bias.
+            probs = self.softmax(logits, mask)
+            v_head = self._projection("WV", "BV", kv_codes, pkv.scale, i)
+            vh_codes = p_va.quantize(v_head)
+            prob_codes = block._prob_params.quantize(probs)
+            # Line 7: P_i = softmax_output x Temp2.
+            head_ctx = (
+                self._gemm(prob_codes, vh_codes).astype(np.float64)
+                * (block._prob_params.scale * p_va.scale)
+            )
+            context[:, i * d_k:(i + 1) * d_k] = head_ctx
+        # Lines 9-11: G_i = P W_Gi + bias_Gi + Q_i (residual adder bank).
+        ctx_codes = p_ctx.quantize(context)
+        g = np.zeros((s, self.model.d_model))
+        for i in range(h):
+            tile = self.weight_memory.load_tile("WG", i)
+            acc = self._gemm(ctx_codes, tile)
+            cols = slice(i * d_k, (i + 1) * d_k)
+            partial = self._add_bias_columns(
+                acc, p_ctx.scale * block.weights["g"].params.scale,
+                self.bias_memory.load("BG", i),
+            )
+            g[:, cols] = partial + q_in[:, cols]
+        # Line 12: LayerNorm.
+        fp_norm = block._fp.norm
+        output = self.layernorm(g, fp_norm.gamma.data, fp_norm.beta.data)
+        schedule = schedule_mha(self.model, self.config)
+        return AcceleratorOutput(output=output, schedule=schedule)
+
+    def _projection(
+        self,
+        weight_name: str,
+        bias_name: str,
+        in_codes: np.ndarray,
+        in_scale: float,
+        head: int,
+    ) -> np.ndarray:
+        """One per-head projection pass: ``X W + bias`` (FP result)."""
+        block = self._mha_block
+        tile = self.weight_memory.load_tile(weight_name, head)
+        acc = self._gemm(in_codes, tile)
+        kind = weight_name[1].lower()
+        w_scale = block.weights[kind].params.scale
+        return self._add_bias_columns(
+            acc, in_scale * w_scale, self.bias_memory.load(bias_name, head)
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, lines 14-22: the FFN ResBlock
+    # ------------------------------------------------------------------
+    def run_ffn(self, x_in: np.ndarray) -> AcceleratorOutput:
+        """Execute one FFN ResBlock: output = LayerNorm(X + FFN(X))."""
+        block = self._ffn_block
+        if block is None:
+            raise ScheduleError("call load_ffn() before run_ffn()")
+        x_in = self._check_input(x_in, "x_in")
+        cal = block._cal
+        p_in = cal.params(block._tap("in"))
+        p_hidden = cal.params(block._tap("hidden"))
+        x_codes = p_in.quantize(x_in)
+        s = x_in.shape[0]
+        d_ff = self.model.d_ff
+        d_k = self.config.sa_cols
+
+        # Lines 15-17: P_i = ReLU(X W_1i + b_1i), written to the P buffer.
+        hidden = np.zeros((s, d_ff))
+        w1_scale = block.w1.params.scale
+        for i in range(d_ff // d_k):
+            tile = self.weight_memory.load_tile("W1", i)
+            acc = self._gemm(x_codes, tile)
+            pre = self._add_bias_columns(
+                acc, p_in.scale * w1_scale, self.bias_memory.load("B1", i)
+            )
+            hidden[:, i * d_k:(i + 1) * d_k] = np.maximum(pre, 0.0)
+        hidden_codes = p_hidden.quantize(hidden)
+
+        # Lines 18-20: G_i = P W_2i + b_2i + X_i.
+        g = np.zeros((s, self.model.d_model))
+        w2_scale = block.w2.params.scale
+        for i in range(self.model.d_model // d_k):
+            tile = self.weight_memory.load_tile("W2", i)
+            acc = self._gemm(hidden_codes, tile)
+            cols = slice(i * d_k, (i + 1) * d_k)
+            partial = self._add_bias_columns(
+                acc, p_hidden.scale * w2_scale,
+                self.bias_memory.load("B2", i),
+            )
+            g[:, cols] = partial + x_in[:, cols]
+        # Line 21: LayerNorm.
+        fp_norm = block._fp.norm
+        output = self.layernorm(g, fp_norm.gamma.data, fp_norm.beta.data)
+        schedule = schedule_ffn(self.model, self.config)
+        return AcceleratorOutput(output=output, schedule=schedule)
+
+    # ------------------------------------------------------------------
+    def _check_input(self, x: np.ndarray, name: str) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.model.d_model:
+            raise ShapeError(
+                f"{name} must be (s, {self.model.d_model}), got {x.shape}"
+            )
+        if x.shape[0] > self.config.seq_len:
+            raise ShapeError(
+                f"{name} has {x.shape[0]} rows; the SA supports at most "
+                f"{self.config.seq_len}"
+            )
+        return x

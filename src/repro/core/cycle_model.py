@@ -1,0 +1,156 @@
+"""Closed-form analytic cycle model (validates the event scheduler).
+
+Derives the same totals as :mod:`repro.core.scheduler` algebraically, so
+tests can check the two agree exactly, and exposes the paper's published
+reference numbers for comparison in benches and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import AcceleratorConfig, ModelConfig
+from ..errors import ScheduleError
+
+#: Published Section V-B results for Transformer-base, s = 64, batch 1.
+PAPER_MHA_CYCLES = 21_344
+PAPER_FFN_CYCLES = 42_099
+PAPER_CLOCK_MHZ = 200.0
+PAPER_MHA_LATENCY_US = 106.7
+PAPER_FFN_LATENCY_US = 210.5
+PAPER_GPU_MHA_LATENCY_US = 1_557.8
+PAPER_GPU_FFN_LATENCY_US = 713.4
+PAPER_MHA_SPEEDUP = 14.6
+PAPER_FFN_SPEEDUP = 3.4
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Analytic latency decomposition of one ResBlock.
+
+    Attributes:
+        active_cycles: Sum of GEMM inner dimensions (pure MAC streaming).
+        issue_cycles: Control overhead over all passes.
+        skew_cycles: Fill/drain skew paid at breaks/conflicts (or every
+            pass without overlap).
+        layernorm_cycles: Exposed LayerNorm tail + output stream.
+        total_cycles: Sum of the above.
+        ideal_cycles: MACs / PE count (the 100%-utilization bound).
+    """
+
+    active_cycles: int
+    issue_cycles: int
+    skew_cycles: int
+    layernorm_cycles: int
+    total_cycles: int
+    ideal_cycles: int
+
+    @property
+    def utilization(self) -> float:
+        return self.ideal_cycles / self.total_cycles
+
+
+def _skew_and_drain(acc: AcceleratorConfig, n: int) -> int:
+    return (acc.seq_len + n - 2) + acc.sa_drain_cycles
+
+
+def _layernorm_tail(acc: AcceleratorConfig, d_model: int) -> int:
+    if acc.layernorm_mode == "straightforward":
+        added = 2 * d_model + acc.layernorm_pipeline_depth
+    elif acc.layernorm_mode == "step_one":
+        added = d_model + acc.layernorm_pipeline_depth
+    else:
+        added = acc.layernorm_pipeline_depth
+    return added + d_model
+
+
+def mha_cycle_breakdown(
+    model: ModelConfig, acc: AcceleratorConfig
+) -> CycleBreakdown:
+    """Analytic cycle count of one MHA ResBlock.
+
+    Pass inventory per head: three d_model-deep projections,
+    ``ceil(s/64)`` 64-deep ``Q K^T`` chunk passes (Section III's Q
+    partitioning; one zero-padded pass when s <= 64) and one s-deep
+    ``P V``; then ``h`` d_model-deep output passes.  Skew is paid by the
+    per-head dependency breaks (first ``Q K^T`` chunk, ``P V``), the
+    first pass overall, the first G pass, and — with single-ported
+    buffers — every pass that re-streams its predecessor's buffer
+    (extra ``Q K^T`` chunks and the remaining G passes).
+    """
+    if model.head_dim != acc.sa_cols:
+        raise ScheduleError("model head dim must match SA columns")
+    s = acc.seq_len
+    h = model.num_heads
+    d_model = model.d_model
+    qkt_passes = -(-s // acc.sa_cols)
+    active = h * (3 * d_model + qkt_passes * acc.sa_cols + s) + h * d_model
+    passes = h * (4 + qkt_passes) + h
+    issue = passes * (acc.pass_issue_cycles + acc.weight_load_cycles)
+    skew_full = _skew_and_drain(acc, acc.sa_cols)
+    if acc.pass_overlap:
+        # Breaks: first QKt chunk and PV per head, the first pass overall,
+        # and the first G pass (operands from the drained P buffer).
+        skew = (2 * h + 2) * skew_full
+        if acc.single_ported_buffers:
+            # Extra QKt chunks contend on Temp1; G passes contend on P.
+            skew += h * (qkt_passes - 1) * skew_full
+            skew += (h - 1) * skew_full
+    else:
+        skew = passes * skew_full
+    layernorm = _layernorm_tail(acc, d_model)
+    total = active + issue + skew + layernorm
+    return CycleBreakdown(
+        active_cycles=active,
+        issue_cycles=issue,
+        skew_cycles=skew,
+        layernorm_cycles=layernorm,
+        total_cycles=total,
+        ideal_cycles=model.mha_macs(s) // acc.num_pes,
+    )
+
+
+def ffn_cycle_breakdown(
+    model: ModelConfig, acc: AcceleratorConfig
+) -> CycleBreakdown:
+    """Analytic cycle count of one FFN ResBlock.
+
+    ``4h`` d_model-deep W1 passes then ``h`` d_ff-deep W2 passes; with
+    single-ported buffers every pass pays skew (W1 passes all stream X,
+    W2 passes all stream P).
+    """
+    if model.head_dim != acc.sa_cols:
+        raise ScheduleError("model head dim must match SA columns")
+    s = acc.seq_len
+    d_model = model.d_model
+    d_ff = model.d_ff
+    num_w1 = d_ff // acc.sa_cols
+    num_w2 = d_model // acc.sa_cols
+    active = num_w1 * d_model + num_w2 * d_ff
+    passes = num_w1 + num_w2
+    issue = passes * (acc.pass_issue_cycles + acc.weight_load_cycles)
+    skew_full = _skew_and_drain(acc, acc.sa_cols)
+    if acc.pass_overlap:
+        if acc.single_ported_buffers:
+            skew = passes * skew_full
+        else:
+            skew = 2 * skew_full          # first pass + the W1->W2 break
+    else:
+        skew = passes * skew_full
+    layernorm = _layernorm_tail(acc, d_model)
+    total = active + issue + skew + layernorm
+    return CycleBreakdown(
+        active_cycles=active,
+        issue_cycles=issue,
+        skew_cycles=skew,
+        layernorm_cycles=layernorm,
+        total_cycles=total,
+        ideal_cycles=model.ffn_macs(s) // acc.num_pes,
+    )
+
+
+def paper_deviation(measured: int, published: int) -> float:
+    """Signed relative deviation of a measured count from the paper's."""
+    if published <= 0:
+        raise ScheduleError("published count must be positive")
+    return measured / published - 1.0

@@ -1,0 +1,117 @@
+"""Energy accounting over a schedule timeline.
+
+Integrates the power model over the scheduler's events: each unit burns
+its modelled dynamic power only while one of its events is active, plus
+device static power for the whole latency.  This turns the flat
+Section V-B power figure into a per-ResBlock energy breakdown and lets
+ablations (e.g. the Fig. 7 LayerNorm schedules) be compared in
+microjoules rather than cycles alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import AcceleratorConfig, ModelConfig
+from ..errors import ScheduleError
+from .power_model import (
+    CLOCK_OVERHEAD_FRACTION,
+    DEVICE_STATIC_W,
+    PJ_PER_BRAM_ACCESS,
+    PJ_PER_LAYERNORM_LANE,
+    PJ_PER_MAC,
+    PJ_PER_SOFTMAX_LANE,
+)
+from .scheduler import ScheduleResult
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-unit energy of one ResBlock execution, in microjoules.
+
+    Attributes:
+        sa_uj / softmax_uj / layernorm_uj / memory_uj: Active energy of
+            each unit over its busy cycles.
+        clock_uj: Clock-tree overhead over the whole latency.
+        static_uj: Leakage over the whole latency.
+        total_uj: Everything.
+    """
+
+    sa_uj: float
+    softmax_uj: float
+    layernorm_uj: float
+    memory_uj: float
+    clock_uj: float
+    static_uj: float
+
+    @property
+    def dynamic_uj(self) -> float:
+        return (self.sa_uj + self.softmax_uj + self.layernorm_uj
+                + self.memory_uj + self.clock_uj)
+
+    @property
+    def total_uj(self) -> float:
+        return self.dynamic_uj + self.static_uj
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "sa_uj": self.sa_uj,
+            "softmax_uj": self.softmax_uj,
+            "layernorm_uj": self.layernorm_uj,
+            "memory_uj": self.memory_uj,
+            "clock_uj": self.clock_uj,
+            "static_uj": self.static_uj,
+            "dynamic_uj": self.dynamic_uj,
+            "total_uj": self.total_uj,
+        }
+
+
+def schedule_energy(
+    result: ScheduleResult,
+    model: ModelConfig,
+    acc: AcceleratorConfig,
+) -> EnergyBreakdown:
+    """Integrate unit energies over a schedule's events."""
+    if not result.events:
+        raise ScheduleError("schedule has no events")
+    num_pes = acc.num_pes
+    lanes = acc.seq_len
+    weight_banks = 456 if model.d_ff >= 2048 else 128
+
+    # Active cycles per unit (the SA also streams weight memory).
+    sa_cycles = sum(
+        e.active_cycles for e in result.events if e.unit == "sa"
+    )
+    softmax_cycles = result.unit_busy_cycles("softmax")
+    layernorm_cycles = result.unit_busy_cycles("layernorm")
+
+    sa_uj = num_pes * PJ_PER_MAC * sa_cycles * 1e-6
+    softmax_uj = lanes * PJ_PER_SOFTMAX_LANE * softmax_cycles * 1e-6
+    layernorm_uj = lanes * PJ_PER_LAYERNORM_LANE * layernorm_cycles * 1e-6
+    memory_uj = weight_banks * PJ_PER_BRAM_ACCESS * sa_cycles * 1e-6
+    clock_uj = (
+        (sa_uj + softmax_uj + layernorm_uj + memory_uj)
+        * CLOCK_OVERHEAD_FRACTION
+    )
+    latency_s = result.total_cycles / (acc.clock_mhz * 1e6)
+    static_uj = DEVICE_STATIC_W * latency_s * 1e6
+    return EnergyBreakdown(
+        sa_uj=sa_uj,
+        softmax_uj=softmax_uj,
+        layernorm_uj=layernorm_uj,
+        memory_uj=memory_uj,
+        clock_uj=clock_uj,
+        static_uj=static_uj,
+    )
+
+
+def energy_per_token_uj(
+    model: ModelConfig, acc: AcceleratorConfig
+) -> float:
+    """Energy to push one sequence through one encoder layer, per token."""
+    from .scheduler import schedule_ffn, schedule_mha
+
+    mha = schedule_energy(schedule_mha(model, acc), model, acc)
+    ffn = schedule_energy(schedule_ffn(model, acc), model, acc)
+    return (mha.total_uj + ffn.total_uj) / acc.seq_len

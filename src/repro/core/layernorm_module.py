@@ -1,0 +1,156 @@
+"""The LayerNorm module (paper Fig. 7-8): function + latency schedules.
+
+LayerNorm sits on the critical path of both ResBlocks: nothing can leave
+the accelerator before it runs.  The paper minimizes its latency in two
+steps (Fig. 7):
+
+* **straightforward** — wait for the full ``G`` matrix, then one pass
+  (``64h`` cycles) for the row means, a second pass for the variances,
+  then the output pass: ``2 * 64h`` added cycles before output starts.
+* **step_one** — ``s`` row accumulators are wired directly to the module
+  input and run *while* G is produced, so ``E(G, i)`` is ready when a row
+  completes; only the variance pass (``64h`` cycles) remains.
+* **step_two** — a second accumulator bank sums ``G(i,k)^2`` concurrently
+  and the variance comes from ``var = E[G^2] - E[G]^2`` (Eq. 9), so "very
+  few cycles" separate the last element of G from the first output.
+
+The ``x^(-0.5)`` stage is the
+:class:`~repro.fixedpoint.isqrt.InverseSqrtLUT`; the final
+``(G - E) * r * gamma + beta`` per-element scaling is where the design's
+DSP multipliers live (Table II shows LayerNorm owning all 129 DSPs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import AcceleratorConfig
+from ..errors import ShapeError
+from ..fixedpoint import InverseSqrtLUT
+from ..transformer.functional import LAYERNORM_EPS, layer_norm
+
+#: The three Fig. 7 schedules.
+MODES = ("straightforward", "step_one", "step_two")
+
+
+@dataclass(frozen=True)
+class LayerNormTiming:
+    """Latency accounting for one LayerNorm over ``G (s x d_model)``.
+
+    Attributes:
+        mode: Which Fig. 7 schedule.
+        added_latency: Cycles between the last element of G arriving and
+            the first output element (the module's exposed latency).
+        output_cycles: Cycles of the output stream itself (one 64-wide
+            column bundle per cycle -> d_model cycles per row group, rows
+            pipelined).
+        total_exposed: ``added_latency + output_cycles``.
+    """
+
+    mode: str
+    added_latency: int
+    output_cycles: int
+    total_exposed: int
+
+
+class LayerNormModule:
+    """Functional + timing model of the LayerNorm block (Fig. 8)."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        d_model: int,
+        approximate: bool = True,
+        eps: float = LAYERNORM_EPS,
+        integer_datapath: bool = False,
+    ) -> None:
+        """
+        Args:
+            approximate: Use the isqrt LUT instead of an exact reciprocal
+                square root (float statistics either way).
+            integer_datapath: Route the whole computation through the
+                bit-level fixed-point datapath
+                (:class:`~repro.fixedpoint.layernorm_datapath.FixedPointLayerNorm`)
+                — integer accumulators, shift-based means, requantized
+                scaling chain.  Implies ``approximate``.
+        """
+        if d_model <= 0:
+            raise ShapeError("d_model must be positive")
+        self.config = config
+        self.d_model = d_model
+        self.approximate = approximate
+        self.eps = eps
+        self.integer_datapath = integer_datapath
+        self._isqrt = InverseSqrtLUT()
+        self._fxp = None
+        if integer_datapath:
+            from ..fixedpoint.layernorm_datapath import FixedPointLayerNorm
+
+            self._fxp = FixedPointLayerNorm(d_model=d_model, eps_value=eps)
+
+    # ------------------------------------------------------------------
+    # Timing (Fig. 7)
+    # ------------------------------------------------------------------
+    def timing(self, mode: str = None) -> LayerNormTiming:
+        """Exposed latency of the selected schedule.
+
+        The mean/variance passes stream one element per row-accumulator
+        per cycle, i.e. ``d_model = 64h`` cycles per pass, matching the
+        paper's "at least 128h cycles are added" for the straightforward
+        schedule.
+        """
+        mode = self.config.layernorm_mode if mode is None else mode
+        if mode not in MODES:
+            raise ShapeError(f"mode {mode!r} not in {MODES}")
+        depth = self.config.layernorm_pipeline_depth
+        if mode == "straightforward":
+            added = 2 * self.d_model + depth
+        elif mode == "step_one":
+            added = self.d_model + depth
+        else:  # step_two
+            added = depth
+        output_cycles = self.d_model
+        return LayerNormTiming(
+            mode=mode,
+            added_latency=added,
+            output_cycles=output_cycles,
+            total_exposed=added + output_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # Function (Fig. 8)
+    # ------------------------------------------------------------------
+    def __call__(
+        self, g: np.ndarray, gamma: np.ndarray, beta: np.ndarray
+    ) -> np.ndarray:
+        """Normalize ``G`` row-wise: Eq. (6) with Eq. (9)'s variance.
+
+        In approximate mode the reciprocal square root goes through the
+        LUT unit; everything else is exact arithmetic (the RTL uses wide
+        fixed point here, whose rounding is negligible next to the LUT).
+        """
+        g = np.asarray(g, dtype=np.float64)
+        if g.shape[-1] != self.d_model:
+            raise ShapeError(
+                f"G has width {g.shape[-1]}, module built for {self.d_model}"
+            )
+        if self._fxp is not None:
+            return self._fxp(g, np.asarray(gamma), np.asarray(beta))
+        if not self.approximate:
+            return layer_norm(g, gamma, beta, eps=self.eps)
+        mean = g.mean(axis=-1, keepdims=True)
+        mean_sq = (g * g).mean(axis=-1, keepdims=True)
+        var = np.maximum(mean_sq - mean * mean, 0.0)   # Eq. (9)
+        r = self._isqrt.evaluate(np.maximum(var + self.eps, 1e-12))
+        return (g - mean) * r * gamma + beta
+
+    def streaming_stats(self, g: np.ndarray) -> tuple:
+        """The two accumulator banks' results: ``(sum G, sum G^2)`` per row.
+
+        This is what the step-two hardware has latched by the time the
+        last element of each row arrives.
+        """
+        g = np.asarray(g, dtype=np.float64)
+        return g.sum(axis=-1), (g * g).sum(axis=-1)

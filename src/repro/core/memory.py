@@ -1,0 +1,194 @@
+"""On-chip memory models (paper Fig. 5).
+
+The top-level architecture has four storage structures:
+
+* **Weight Memory** — all INT8 weight tiles of the current layer.
+* **Bias Memory** — the bias vectors.
+* **Data Memory** — the activation buffers: the ResBlock inputs
+  (``Q or X``, ``K = V``), ``Temp1 (s x max(s, 64))``,
+  ``Temp2 (s x 64)``, and the large ``P`` buffer (``s x 256h``) holding
+  the concatenated heads or the FFN hidden layer.
+
+These models are functional (they hold real integer arrays and bounds-check
+every access) and structural (they report capacity and BRAM-bank counts for
+the Table II resource model).  A Xilinx BRAM36 stores 36 Kib; banks are
+counted from capacity and port width the way Vivado would map a simple
+dual-port memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import AcceleratorConfig, ModelConfig
+from ..errors import MemoryModelError
+
+#: Usable bits of one BRAM36 block (Xilinx UltraScale+).
+BRAM36_BITS = 36 * 1024
+
+
+def bram36_banks(total_bits: int, port_width_bits: int) -> int:
+    """BRAM36 count for a memory of ``total_bits`` with one port of
+    ``port_width_bits``.
+
+    Width-first mapping: enough banks in parallel to serve the port, each
+    bank then deep enough for its share of the capacity (BRAM36 natively
+    supports up to 72-bit ports per block in SDP mode; we use 64).
+    """
+    if total_bits <= 0 or port_width_bits <= 0:
+        raise MemoryModelError("bits and port width must be positive")
+    width_banks = -(-port_width_bits // 64)          # 64-bit SDP ports
+    depth_per_bank = BRAM36_BITS * width_banks
+    depth_banks = -(-total_bits // depth_per_bank)
+    return width_banks * max(depth_banks, 1)
+
+
+@dataclass
+class MemoryBank:
+    """A named integer storage array with bounds-checked access.
+
+    Attributes:
+        name: Human-readable identifier.
+        shape: Logical array shape.
+        word_bits: Bits per stored element.
+        port_width_words: Words deliverable per cycle through the read port.
+    """
+
+    name: str
+    shape: tuple
+    word_bits: int
+    port_width_words: int
+
+    def __post_init__(self) -> None:
+        if any(dim <= 0 for dim in self.shape):
+            raise MemoryModelError(f"{self.name}: bad shape {self.shape}")
+        if self.word_bits <= 0 or self.port_width_words <= 0:
+            raise MemoryModelError(f"{self.name}: bad widths")
+        self._data = np.zeros(self.shape, dtype=np.int64)
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def capacity_bits(self) -> int:
+        return int(np.prod(self.shape)) * self.word_bits
+
+    @property
+    def bram_banks(self) -> int:
+        return bram36_banks(
+            self.capacity_bits, self.port_width_words * self.word_bits
+        )
+
+    def write(self, index, values: np.ndarray) -> None:
+        """Store ``values`` at ``index`` (saturating to word width)."""
+        values = np.asarray(values, dtype=np.int64)
+        limit = 1 << (self.word_bits - 1)
+        if np.any(values >= limit) or np.any(values < -limit):
+            raise MemoryModelError(
+                f"{self.name}: value outside {self.word_bits}-bit range"
+            )
+        self._data[index] = values
+        self.writes += 1
+
+    def read(self, index) -> np.ndarray:
+        """Load the stored words at ``index``."""
+        self.reads += 1
+        return self._data[index].copy()
+
+    def read_cycles(self, num_words: int) -> int:
+        """Cycles to stream ``num_words`` through the read port."""
+        if num_words < 0:
+            raise MemoryModelError("word count must be non-negative")
+        return -(-num_words // self.port_width_words)
+
+
+def data_memory_layout(
+    model: ModelConfig, acc: AcceleratorConfig
+) -> Dict[str, MemoryBank]:
+    """Instantiate the Fig. 5 data buffers for a model/accelerator pair."""
+    s = acc.seq_len
+    h = model.num_heads
+    act = acc.act_bits
+    return {
+        "input_q": MemoryBank("input_q", (s, 64 * h), act, 64),
+        "input_kv": MemoryBank("input_kv", (s, 64 * h), act, 64),
+        "temp1": MemoryBank("temp1", (s, max(s, 64)), act, 64),
+        "temp2": MemoryBank("temp2", (s, 64), act, 64),
+        "p_buffer": MemoryBank("p_buffer", (s, 256 * h), act, 64),
+    }
+
+
+class WeightMemory:
+    """Weight tile store addressed by ``(matrix_name, block_index)``.
+
+    Holds the INT8 codes of every 64-column weight block of the layer
+    currently being executed, in the exact partitioning of Fig. 4.
+    """
+
+    def __init__(self, word_bits: int = 8, port_width_words: int = 64) -> None:
+        self.word_bits = word_bits
+        self.port_width_words = port_width_words
+        self._tiles: Dict[tuple, np.ndarray] = {}
+
+    def store_tile(self, name: str, index: int, codes: np.ndarray) -> None:
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 2:
+            raise MemoryModelError(f"tile {name}[{index}] must be 2-D")
+        limit = 1 << (self.word_bits - 1)
+        if np.any(codes >= limit) or np.any(codes < -limit):
+            raise MemoryModelError(
+                f"tile {name}[{index}] exceeds {self.word_bits}-bit range"
+            )
+        self._tiles[(name, index)] = codes.copy()
+
+    def load_tile(self, name: str, index: int) -> np.ndarray:
+        key = (name, index)
+        if key not in self._tiles:
+            raise MemoryModelError(f"tile {name}[{index}] was never stored")
+        return self._tiles[key].copy()
+
+    def has_tile(self, name: str, index: int) -> bool:
+        return (name, index) in self._tiles
+
+    @property
+    def capacity_bits(self) -> int:
+        return sum(t.size for t in self._tiles.values()) * self.word_bits
+
+    @property
+    def bram_banks(self) -> int:
+        if not self._tiles:
+            return 0
+        return bram36_banks(
+            self.capacity_bits, self.port_width_words * self.word_bits
+        )
+
+    def tile_load_cycles(self, name: str, index: int) -> int:
+        """Cycles to stream one tile into the SA (one 64-wide row/cycle)."""
+        tile = self.load_tile(name, index)
+        return tile.shape[0] * -(-tile.shape[1] // self.port_width_words)
+
+
+class BiasMemory:
+    """Bias vector store addressed by ``(matrix_name, block_index)``."""
+
+    def __init__(self, word_bits: int = 32) -> None:
+        self.word_bits = word_bits
+        self._vectors: Dict[tuple, np.ndarray] = {}
+
+    def store(self, name: str, index: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise MemoryModelError(f"bias {name}[{index}] must be 1-D")
+        self._vectors[(name, index)] = values.copy()
+
+    def load(self, name: str, index: int) -> np.ndarray:
+        key = (name, index)
+        if key not in self._vectors:
+            raise MemoryModelError(f"bias {name}[{index}] was never stored")
+        return self._vectors[key].copy()
+
+    @property
+    def capacity_bits(self) -> int:
+        return sum(v.size for v in self._vectors.values()) * self.word_bits

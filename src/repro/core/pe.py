@@ -1,0 +1,73 @@
+"""A single processing element (PE) of the systolic array.
+
+The SA is an output-stationary 2-D array: operands stream west-to-east
+(activations) and north-to-south (weights); each PE multiplies the pair it
+sees every cycle and accumulates into a local register, which is drained
+column by column at the end of a pass (paper Section IV).
+
+:class:`ProcessingElement` is the scalar reference used by the small-scale
+RTL-level tests; the full-array simulator in
+:mod:`repro.core.systolic_array` vectorizes the same behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FixedPointError
+
+
+@dataclass
+class ProcessingElement:
+    """One INT8xINT8 MAC cell with pass-through operand registers.
+
+    Attributes:
+        acc_bits: Accumulator width; the accumulate saturates at this width
+            exactly like the RTL adder would.
+        a_reg / b_reg: Operand registers forwarded to the east/south
+            neighbours one cycle after being consumed.
+        acc: The stationary partial sum.
+    """
+
+    acc_bits: int = 32
+    a_reg: int = 0
+    b_reg: int = 0
+    acc: int = 0
+    mac_count: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.acc_bits < 2:
+            raise FixedPointError("accumulator must be at least 2 bits")
+        self._acc_max = (1 << (self.acc_bits - 1)) - 1
+        self._acc_min = -(1 << (self.acc_bits - 1))
+
+    def reset(self) -> None:
+        """Clear all registers for a new pass."""
+        self.a_reg = 0
+        self.b_reg = 0
+        self.acc = 0
+        self.mac_count = 0
+
+    def step(self, a_in: int, b_in: int) -> None:
+        """One clock: latch operands, multiply-accumulate (saturating)."""
+        self.a_reg = int(a_in)
+        self.b_reg = int(b_in)
+        product = self.a_reg * self.b_reg
+        acc = self.acc + product
+        if acc > self._acc_max:
+            acc = self._acc_max
+        elif acc < self._acc_min:
+            acc = self._acc_min
+        self.acc = acc
+        if product != 0:
+            self.mac_count += 1
+
+    @property
+    def east(self) -> int:
+        """Operand forwarded to the east neighbour this cycle."""
+        return self.a_reg
+
+    @property
+    def south(self) -> int:
+        """Operand forwarded to the south neighbour this cycle."""
+        return self.b_reg

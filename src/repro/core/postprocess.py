@@ -1,0 +1,83 @@
+"""Post-SA processing units: bias adders, residual adders, ReLU (Fig. 5).
+
+The SA drains one 64-wide product column per cycle; directly behind it sit
+``s`` adders that add the bias element for that column, and another bank of
+``s`` adders that add the residual input right before the LayerNorm module.
+The FFN path routes columns through a ReLU before they are written back to
+the ``P`` buffer.  All units are column-wise and fully pipelined (one
+column per cycle), so they add pipeline depth but no throughput cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+@dataclass(frozen=True)
+class AdderBank:
+    """A bank of ``s`` parallel saturating adders.
+
+    Attributes:
+        lanes: Number of parallel adders (= SA rows).
+        width_bits: Adder word width (the INT32 accumulator domain).
+    """
+
+    lanes: int
+    width_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0:
+            raise ShapeError("adder bank needs at least one lane")
+        if self.width_bits < 2:
+            raise ShapeError("adder width must be >= 2 bits")
+
+    @property
+    def _max(self) -> int:
+        return (1 << (self.width_bits - 1)) - 1
+
+    @property
+    def _min(self) -> int:
+        return -(1 << (self.width_bits - 1))
+
+    def add_column(self, column: np.ndarray, addend: np.ndarray) -> np.ndarray:
+        """Add ``addend`` to one ``s``-element product column (saturating).
+
+        ``addend`` is either a scalar broadcast to the column (bias add:
+        one bias value per output column) or a full ``s``-vector (residual
+        add: one residual element per row).
+        """
+        column = np.asarray(column, dtype=np.int64)
+        addend = np.asarray(addend, dtype=np.int64)
+        if column.shape != (self.lanes,):
+            raise ShapeError(
+                f"column has shape {column.shape}, bank has {self.lanes} lanes"
+            )
+        if addend.shape not in ((), (self.lanes,)):
+            raise ShapeError(
+                f"addend shape {addend.shape} is neither scalar nor "
+                f"({self.lanes},)"
+            )
+        return np.clip(column + addend, self._min, self._max)
+
+
+@dataclass(frozen=True)
+class ReLUUnit:
+    """Column-wise ReLU between the adders and the P buffer (FFN path)."""
+
+    lanes: int
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0:
+            raise ShapeError("ReLU unit needs at least one lane")
+
+    def apply_column(self, column: np.ndarray) -> np.ndarray:
+        column = np.asarray(column, dtype=np.int64)
+        if column.shape != (self.lanes,):
+            raise ShapeError(
+                f"column has shape {column.shape}, unit has {self.lanes} lanes"
+            )
+        return np.maximum(column, 0)

@@ -1,0 +1,129 @@
+"""Activity-based power model (paper Section V-B: 16.7 W total on-chip,
+13.3 W dynamic + 3.4 W static at 200 MHz).
+
+Dynamic power is modeled per module as (units) x (energy/op) x (clock) x
+(activity factor), with energy constants representative of 16 nm
+UltraScale+ fabric logic; static power is taken as the device's published
+leakage at typical conditions.  As with the resource model, the target is
+the reported magnitude and the dynamic/static split, not milliwatt
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import AcceleratorConfig, ModelConfig
+from ..errors import ConfigError
+
+#: Paper figures (W).
+PAPER_TOTAL_W = 16.7
+PAPER_DYNAMIC_W = 13.3
+PAPER_STATIC_W = 3.4
+
+#: Energy per INT8 MAC in fabric logic (pJ), incl. local routing.
+PJ_PER_MAC = 14.5
+#: Energy per softmax-lane cycle (pJ): comparator + EXP/LN shift-adds.
+PJ_PER_SOFTMAX_LANE = 25.0
+#: Energy per LayerNorm-lane cycle (pJ): two accumulators + DSP scaling.
+PJ_PER_LAYERNORM_LANE = 30.0
+#: Energy per BRAM36 access (pJ).
+PJ_PER_BRAM_ACCESS = 15.0
+#: Clock-tree + control overhead as a fraction of module dynamic power.
+CLOCK_OVERHEAD_FRACTION = 0.22
+#: xcvu13p typical static power (W).
+DEVICE_STATIC_W = 3.4
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Power breakdown in watts."""
+
+    sa_w: float
+    softmax_w: float
+    layernorm_w: float
+    memory_w: float
+    clock_w: float
+    static_w: float
+
+    @property
+    def dynamic_w(self) -> float:
+        return (
+            self.sa_w + self.softmax_w + self.layernorm_w
+            + self.memory_w + self.clock_w
+        )
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.static_w
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "sa_w": self.sa_w,
+            "softmax_w": self.softmax_w,
+            "layernorm_w": self.layernorm_w,
+            "memory_w": self.memory_w,
+            "clock_w": self.clock_w,
+            "static_w": self.static_w,
+            "dynamic_w": self.dynamic_w,
+            "total_w": self.total_w,
+        }
+
+
+def estimate_power(
+    model: ModelConfig,
+    acc: AcceleratorConfig,
+    sa_activity: float = 0.82,
+    softmax_activity: float = 0.10,
+    layernorm_activity: float = 0.05,
+) -> PowerEstimate:
+    """Estimate on-chip power at the configured clock.
+
+    Activity factors default to the Transformer-base schedule's measured
+    busy fractions (the SA is active ~82% of MHA cycles; the nonlinear
+    modules only run in short bursts).
+    """
+    for name, value in (
+        ("sa_activity", sa_activity),
+        ("softmax_activity", softmax_activity),
+        ("layernorm_activity", layernorm_activity),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise ConfigError(f"{name} must lie in [0, 1]")
+    clock_hz = acc.clock_mhz * 1e6
+    num_pes = acc.seq_len * acc.sa_cols
+    sa_w = num_pes * PJ_PER_MAC * 1e-12 * clock_hz * sa_activity
+    softmax_w = (
+        acc.seq_len * PJ_PER_SOFTMAX_LANE * 1e-12 * clock_hz
+        * softmax_activity
+    )
+    layernorm_w = (
+        acc.seq_len * PJ_PER_LAYERNORM_LANE * 1e-12 * clock_hz
+        * layernorm_activity
+    )
+    # Memory: weight stream (64 bytes/cycle while the SA runs) + buffers.
+    weight_banks = 456 if model.d_ff >= 2048 else 128
+    memory_w = (
+        weight_banks * PJ_PER_BRAM_ACCESS * 1e-12 * clock_hz * sa_activity
+    )
+    subtotal = sa_w + softmax_w + layernorm_w + memory_w
+    clock_w = subtotal * CLOCK_OVERHEAD_FRACTION
+    return PowerEstimate(
+        sa_w=sa_w,
+        softmax_w=softmax_w,
+        layernorm_w=layernorm_w,
+        memory_w=memory_w,
+        clock_w=clock_w,
+        static_w=DEVICE_STATIC_W,
+    )
+
+
+def energy_per_resblock_uj(
+    total_w: float, cycles: int, clock_mhz: float
+) -> float:
+    """Energy of one ResBlock execution in microjoules."""
+    if cycles <= 0 or clock_mhz <= 0:
+        raise ConfigError("cycles and clock must be positive")
+    latency_s = cycles / (clock_mhz * 1e6)
+    return total_w * latency_s * 1e6

@@ -1,0 +1,347 @@
+"""Cycle-level scheduler for Algorithm 1 (the overall computation flow).
+
+Builds an explicit event timeline for one MHA or FFN ResBlock on the
+accelerator: every SA pass, the softmax module's activity, and the
+LayerNorm module's tail, with the dependency structure the paper describes:
+
+* per head: ``Q W_Qi`` -> ``K W_Ki`` -> ``Q_i K_i^T`` (needs both drained)
+  -> ``V W_Vi`` on the SA **in parallel with the softmax module**
+  -> ``P_i = softmax x Temp2`` (needs the softmax output);
+* then the ``h`` output passes ``G_i = P W_Gi + bias + Q_i``;
+* LayerNorm runs its accumulators during G production and exposes only its
+  schedule-dependent tail (Fig. 7).
+
+Timing rules (documented assumptions — the paper gives end-to-end counts
+only; see DESIGN.md):
+
+* an SA pass over ``(s x k) @ (k x n)`` occupies the array for ``k`` active
+  cycles plus a fill/drain skew of ``s + n - 2`` cycles measured from the
+  cycle-accurate simulator;
+* with ``pass_overlap`` (default) a pass chained behind an *independent*
+  predecessor hides its skew in the predecessor's; a **dependency break**
+  (operands come from the predecessor's drained output) pays the full
+  skew + drain;
+* every pass pays ``pass_issue_cycles`` of control overhead;
+* ``weight_load_cycles`` models a non-double-buffered weight fetch (0 =
+  fully hidden, the default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..config import AcceleratorConfig, ModelConfig
+from ..errors import ScheduleError
+from .layernorm_module import LayerNormModule
+from .partition import plan_qkt
+from .softmax_module import SoftmaxModule
+from .systolic_array import expected_pass_cycles
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One scheduled activity on one hardware unit.
+
+    Attributes:
+        name: Human-readable label (e.g. ``"head3.QKt"``).
+        unit: ``"sa"``, ``"softmax"`` or ``"layernorm"``.
+        start / end: Cycle interval (end exclusive).
+        active_cycles: Useful cycles inside the interval (k for SA passes).
+    """
+
+    name: str
+    unit: str
+    start: int
+    end: int
+    active_cycles: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class ScheduleResult:
+    """Timeline and summary statistics for one ResBlock execution."""
+
+    block: str
+    events: List[TimelineEvent] = field(default_factory=list)
+    total_cycles: int = 0
+    ideal_sa_cycles: int = 0
+
+    @property
+    def sa_events(self) -> List[TimelineEvent]:
+        return [e for e in self.events if e.unit == "sa"]
+
+    @property
+    def sa_active_cycles(self) -> int:
+        return sum(e.active_cycles for e in self.sa_events)
+
+    @property
+    def sa_utilization(self) -> float:
+        """Useful-MAC utilization: ideal SA cycles / total latency."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.ideal_sa_cycles / self.total_cycles
+
+    def latency_us(self, clock_mhz: float) -> float:
+        return self.total_cycles / clock_mhz
+
+    def unit_busy_cycles(self, unit: str) -> int:
+        return sum(e.duration for e in self.events if e.unit == unit)
+
+    def find(self, name: str) -> TimelineEvent:
+        for event in self.events:
+            if event.name == name:
+                return event
+        raise ScheduleError(f"no event named {name!r}")
+
+
+class _Timeline:
+    """Mutable builder tracking per-unit availability."""
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+        self.events: List[TimelineEvent] = []
+        self.sa_free = 0
+        self._last_buffer: Optional[str] = None
+        self._first_pass = True
+
+    def skew(self, n: int) -> int:
+        """Fill/drain skew of a pass with ``n`` output columns."""
+        return expected_pass_cycles(self.config.seq_len, 0, n)
+
+    def sa_pass(
+        self,
+        name: str,
+        k: int,
+        n: Optional[int] = None,
+        input_buffer: Optional[str] = None,
+        dependency_break: bool = False,
+        not_before: int = 0,
+    ) -> TimelineEvent:
+        """Schedule one SA pass and return its event.
+
+        Args:
+            name: Event label.
+            k: GEMM inner dimension (active cycles).
+            n: Output columns (defaults to the SA width).
+            input_buffer: Which Data Memory buffer streams the activation
+                operand; with single-ported buffers, re-using the previous
+                pass's buffer serializes like a dependency break.
+            dependency_break: Pass consumes the *drained* output of the
+                previous pass (pays skew + drain even when overlapping).
+            not_before: External dependency (e.g. softmax completion).
+        """
+        if k <= 0:
+            raise ScheduleError(f"pass {name!r} has non-positive k={k}")
+        cfg = self.config
+        n = cfg.sa_cols if n is None else n
+        start = max(self.sa_free, not_before)
+        overhead = cfg.pass_issue_cycles + cfg.weight_load_cycles
+        port_conflict = (
+            cfg.single_ported_buffers
+            and input_buffer is not None
+            and input_buffer == self._last_buffer
+        )
+        if cfg.pass_overlap:
+            busy = overhead + k
+            if dependency_break or port_conflict or self._first_pass:
+                busy += self.skew(n) + cfg.sa_drain_cycles
+        else:
+            busy = overhead + k + self.skew(n) + cfg.sa_drain_cycles
+        event = TimelineEvent(
+            name=name, unit="sa", start=start, end=start + busy,
+            active_cycles=k,
+        )
+        self.events.append(event)
+        self.sa_free = event.end
+        self._last_buffer = input_buffer
+        self._first_pass = False
+        return event
+
+    def module_event(
+        self, name: str, unit: str, start: int, duration: int
+    ) -> TimelineEvent:
+        event = TimelineEvent(
+            name=name, unit=unit, start=start, end=start + duration,
+            active_cycles=duration,
+        )
+        self.events.append(event)
+        return event
+
+
+def _validate(model: ModelConfig, acc: AcceleratorConfig) -> None:
+    if acc.seq_len > model.max_seq_len and model.max_seq_len < acc.seq_len:
+        # The SA row count is the hardware's max sequence length; a model
+        # with a smaller max_seq_len still runs (rows are zero padded).
+        pass
+    if model.head_dim != acc.sa_cols:
+        raise ScheduleError(
+            f"SA has {acc.sa_cols} columns but the model's head dim is "
+            f"{model.head_dim}"
+        )
+
+
+def schedule_mha(
+    model: ModelConfig, acc: AcceleratorConfig
+) -> ScheduleResult:
+    """Timeline of one MHA ResBlock (Algorithm 1, lines 1-13)."""
+    _validate(model, acc)
+    s = acc.seq_len
+    h = model.num_heads
+    d_model = model.d_model
+    timeline = _Timeline(acc)
+    softmax = SoftmaxModule(acc)
+    layernorm = LayerNormModule(acc, d_model)
+
+    for i in range(h):
+        timeline.sa_pass(f"head{i}.QWq", k=d_model, input_buffer="input_q")
+        k_proj = timeline.sa_pass(
+            f"head{i}.KWk", k=d_model, input_buffer="input_kv"
+        )
+        # Q_i K_i^T consumes the drained Temp1/Temp2 of the projections.
+        # For s > 64, Q_i is partitioned into 64-row chunks (Section III)
+        # and the product takes ceil(s / 64) passes; the chunks all stream
+        # Temp1, so they serialize on its port.
+        qkt_plan = plan_qkt(s, acc.sa_cols)
+        qkt = None
+        for chunk in range(qkt_plan.num_passes):
+            qkt = timeline.sa_pass(
+                f"head{i}.QKt{chunk}" if qkt_plan.num_passes > 1
+                else f"head{i}.QKt",
+                k=acc.sa_cols, n=acc.sa_cols,
+                input_buffer="temp1",
+                dependency_break=(chunk == 0), not_before=k_proj.end,
+            )
+        # The softmax module receives D column by column as QKt drains and
+        # runs concurrently with the V projection (Algorithm 1 line 6).
+        sm_timing = softmax.timing(s)
+        sm_event = timeline.module_event(
+            f"head{i}.softmax", "softmax", qkt.end,
+            sm_timing.exposed_after_input,
+        )
+        v_proj = timeline.sa_pass(
+            f"head{i}.VWv", k=d_model, input_buffer="input_kv"
+        )
+        # P_i = softmax_out x Temp2 reduces over all s softmax columns and
+        # needs both the softmax output and the drained V projection.
+        timeline.sa_pass(
+            f"head{i}.PV", k=s,
+            input_buffer="temp1",
+            dependency_break=True,
+            not_before=max(sm_event.end, v_proj.end),
+        )
+    for i in range(h):
+        timeline.sa_pass(
+            f"out.GW{i}", k=d_model, input_buffer="p_buffer",
+            dependency_break=(i == 0),
+        )
+    last_g = timeline.sa_free
+    ln_timing = layernorm.timing()
+    ln_event = timeline.module_event(
+        "layernorm", "layernorm", last_g, ln_timing.total_exposed
+    )
+
+    result = ScheduleResult(block="mha", events=timeline.events)
+    result.total_cycles = ln_event.end
+    result.ideal_sa_cycles = model.mha_macs(s) // acc.num_pes
+    return result
+
+
+def schedule_ffn(
+    model: ModelConfig, acc: AcceleratorConfig
+) -> ScheduleResult:
+    """Timeline of one FFN ResBlock (Algorithm 1, lines 14-22)."""
+    _validate(model, acc)
+    s = acc.seq_len
+    h = model.num_heads
+    d_model = model.d_model
+    d_ff = model.d_ff
+    timeline = _Timeline(acc)
+    layernorm = LayerNormModule(acc, d_model)
+
+    num_w1 = d_ff // acc.sa_cols
+    for i in range(num_w1):
+        timeline.sa_pass(f"w1.{i}", k=d_model, input_buffer="input_q")
+    # Every W2 pass reduces over the entire P buffer, so the first one must
+    # wait for the last W1 pass to drain.
+    num_w2 = d_model // acc.sa_cols
+    for i in range(num_w2):
+        timeline.sa_pass(
+            f"w2.{i}", k=d_ff, input_buffer="p_buffer",
+            dependency_break=(i == 0),
+        )
+    last_g = timeline.sa_free
+    ln_timing = layernorm.timing()
+    ln_event = timeline.module_event(
+        "layernorm", "layernorm", last_g, ln_timing.total_exposed
+    )
+
+    result = ScheduleResult(block="ffn", events=timeline.events)
+    result.total_cycles = ln_event.end
+    result.ideal_sa_cycles = model.ffn_macs(s) // acc.num_pes
+    return result
+
+
+def schedule_encoder_layer(
+    model: ModelConfig, acc: AcceleratorConfig
+) -> int:
+    """Total cycles of one encoder layer (MHA then FFN, sequential)."""
+    return (
+        schedule_mha(model, acc).total_cycles
+        + schedule_ffn(model, acc).total_cycles
+    )
+
+
+def schedule_autoregressive(
+    model: ModelConfig,
+    acc: AcceleratorConfig,
+    generated_tokens: int,
+) -> dict:
+    """Cycle budget for autoregressive generation on the accelerator.
+
+    The SA always processes its full ``s`` rows (shorter prefixes are
+    zero-padded — the design has no early-exit path), so every generated
+    token re-runs the whole decoder stack at full cost: the encoder runs
+    once, then ``generated_tokens`` decoder-stack passes.  This quantifies
+    the batch-1/fixed-s design's cost for generation workloads, the
+    regime the paper leaves to future work.
+    """
+    if generated_tokens <= 0:
+        raise ScheduleError("generated_tokens must be positive")
+    mha = schedule_mha(model, acc).total_cycles
+    ffn = schedule_ffn(model, acc).total_cycles
+    encoder = model.num_encoder_layers * (mha + ffn)
+    decoder_step = model.num_decoder_layers * (2 * mha + ffn)
+    total = encoder + generated_tokens * decoder_step
+    return {
+        "encoder_cycles": encoder,
+        "decoder_cycles_per_token": decoder_step,
+        "generated_tokens": generated_tokens,
+        "total_cycles": total,
+        "cycles_per_token": total / generated_tokens,
+    }
+
+
+def schedule_model(
+    model: ModelConfig, acc: AcceleratorConfig
+) -> dict:
+    """Cycle totals for the full encoder/decoder stacks.
+
+    The decoder layer holds two MHA ResBlocks (self + cross attention)
+    and one FFN ResBlock; embeddings and the output softmax layer are out
+    of the accelerator's scope (paper Section II-A).
+    """
+    mha = schedule_mha(model, acc).total_cycles
+    ffn = schedule_ffn(model, acc).total_cycles
+    encoder = model.num_encoder_layers * (mha + ffn)
+    decoder = model.num_decoder_layers * (2 * mha + ffn)
+    return {
+        "mha_cycles": mha,
+        "ffn_cycles": ffn,
+        "encoder_cycles": encoder,
+        "decoder_cycles": decoder,
+        "total_cycles": encoder + decoder,
+    }

@@ -1,0 +1,116 @@
+"""The Softmax module (paper Fig. 6): function + pipeline timing.
+
+The module receives the ``s x s`` logit matrix ``D = Q_i K_i^T`` column by
+column as the SA drains it, applies the ``>> 3`` scaling, and computes the
+scaled masked-softmax through four stages:
+
+1. running row-maximum update while columns stream in;
+2. EXP of the (input - max) differences via the multiplier-free EXP unit;
+3. row-sum accumulation;
+4. LN of the sums, then the output EXP producing ``Y`` column by column.
+
+Because stages 1-3 run concurrently with the column stream, the module's
+*exposed* latency is a fixed pipeline tail after the last input column —
+this is what lets Algorithm 1 hide the entire softmax behind the
+``V W_Vi + Bias_Vi`` SA pass (paper Section IV: the SA "will hardly stop
+running until the LayerNorm Module starts").
+
+Functionally the module defers to
+:class:`~repro.quant.qsoftmax.HardwareSoftmax` (bit-approximate EXP/LN
+path) or the exact FP softmax, selected by ``approximate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import AcceleratorConfig
+from ..errors import ShapeError
+from ..quant.qsoftmax import HardwareSoftmax
+from ..transformer.functional import scaled_masked_softmax
+
+
+@dataclass(frozen=True)
+class SoftmaxTiming:
+    """Cycle accounting for one s x s softmax.
+
+    Attributes:
+        input_cycles: Cycles spent receiving D (one column per cycle).
+        second_pass_cycles: Cycles of the output pass re-reading the
+            buffered differences (one column per cycle).
+        pipeline_tail: Fixed depth of stages 2-4 after the last column.
+        total_cycles: End-to-end latency from first input column.
+        exposed_after_input: Latency still remaining once the last input
+            column has arrived (what a perfectly parallel SA pass must
+            cover to hide the module).
+    """
+
+    input_cycles: int
+    second_pass_cycles: int
+    pipeline_tail: int
+    total_cycles: int
+    exposed_after_input: int
+
+
+class SoftmaxModule:
+    """Functional + timing model of the scaled masked-softmax block."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        approximate: bool = True,
+        scale_divisor: float = 8.0,
+    ) -> None:
+        self.config = config
+        self.approximate = approximate
+        self.scale_divisor = scale_divisor
+        self._hw = HardwareSoftmax(scale_divisor=scale_divisor)
+
+    def timing(self, s: Optional[int] = None) -> SoftmaxTiming:
+        """Latency of one ``s x s`` softmax (defaults to the configured s)."""
+        s = self.config.seq_len if s is None else s
+        if s <= 0:
+            raise ShapeError("sequence length must be positive")
+        input_cycles = s
+        second_pass = s
+        tail = self.config.softmax_pipeline_depth
+        total = input_cycles + second_pass + tail
+        return SoftmaxTiming(
+            input_cycles=input_cycles,
+            second_pass_cycles=second_pass,
+            pipeline_tail=tail,
+            total_cycles=total,
+            exposed_after_input=second_pass + tail,
+        )
+
+    def __call__(
+        self,
+        logits: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Compute the scaled masked-softmax of raw (unscaled) logits.
+
+        Args:
+            logits: ``(s, s)`` (or batched) raw ``Q K^T`` values.
+            mask: Optional illegal-connection mask (1 = masked).
+        """
+        logits = np.asarray(logits, dtype=np.float64)
+        if logits.shape[-1] != logits.shape[-2]:
+            raise ShapeError(
+                f"softmax module expects square logit tiles, got {logits.shape}"
+            )
+        if self.approximate:
+            return self._hw(logits, mask)
+        return scaled_masked_softmax(logits, mask, self.scale_divisor)
+
+    def hideable_behind(self, sa_pass_cycles: int, s: Optional[int] = None) -> bool:
+        """Whether a concurrent SA pass of the given length hides the module.
+
+        This is the Algorithm 1 condition: "as long as the Softmax module
+        can give the output no later than the SA module finishing
+        calculating V W_Vi + Bias_Vi".
+        """
+        return self.timing(s).exposed_after_input <= sa_pass_cycles

@@ -1,0 +1,75 @@
+"""Export scheduler timelines as Chrome trace-event JSON.
+
+``chrome://tracing`` / Perfetto can open the emitted file and show the
+Algorithm 1 schedule — SA passes, softmax activity and the LayerNorm tail
+on separate tracks — which is the easiest way to *see* the overlap the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..errors import ScheduleError
+from .scheduler import ScheduleResult
+
+#: Track (tid) assignment per hardware unit.
+_UNIT_TRACKS = {"sa": 0, "softmax": 1, "layernorm": 2}
+
+
+def schedule_to_trace_events(
+    result: ScheduleResult, clock_mhz: float = 200.0
+) -> List[Dict]:
+    """Convert a :class:`ScheduleResult` to trace-event dicts.
+
+    Cycle counts become microsecond timestamps at ``clock_mhz`` so the
+    viewer's time axis reads in real time.
+    """
+    if not result.events:
+        raise ScheduleError("schedule has no events to trace")
+    scale = 1.0 / clock_mhz  # cycles -> us
+    events = []
+    for event in result.events:
+        if event.unit not in _UNIT_TRACKS:
+            raise ScheduleError(f"unknown unit {event.unit!r}")
+        events.append({
+            "name": event.name,
+            "cat": event.unit,
+            "ph": "X",                       # complete event
+            "ts": event.start * scale,
+            "dur": event.duration * scale,
+            "pid": 0,
+            "tid": _UNIT_TRACKS[event.unit],
+            "args": {
+                "cycles": event.duration,
+                "active_cycles": event.active_cycles,
+            },
+        })
+    for unit, tid in _UNIT_TRACKS.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": unit},
+        })
+    return events
+
+
+def write_trace(
+    result: ScheduleResult, path: str, clock_mhz: float = 200.0
+) -> int:
+    """Write the trace JSON to ``path``; returns the event count."""
+    events = schedule_to_trace_events(result, clock_mhz)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "block": result.block,
+            "total_cycles": result.total_cycles,
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+    return len(events)

@@ -1,0 +1,145 @@
+"""Self-verification: the full numerical-contract check as a library call.
+
+Runs the chain of equivalences the repository's correctness rests on
+(see docs/ARCHITECTURE.md §7) on a freshly built random model:
+
+1. quantized model vs FP32 model — close (INT8 error only);
+2. accelerator (fast integer GEMM path) vs quantized model — bit-equal;
+3. accelerator (cycle-accurate SA path) vs fast path — bit-equal;
+4. scheduler vs closed-form cycle model — exactly equal;
+5. streaming softmax/LayerNorm vs their batch modules — bit-equal.
+
+``python -m repro selftest`` exposes it from the command line.  Each
+check returns a :class:`CheckResult`; the suite passes only if all do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..config import AcceleratorConfig, ModelConfig
+from ..quant.qmodel import QuantizedTransformer
+from ..transformer.model import Transformer
+from .accelerator import TransformerAccelerator
+from .cycle_model import ffn_cycle_breakdown, mha_cycle_breakdown
+from .scheduler import schedule_ffn, schedule_mha
+from .streaming import StreamingLayerNorm, StreamingSoftmax
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one verification check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def run_selftest(seed: int = 0, seq_len: int = 12) -> List[CheckResult]:
+    """Run every contract check; returns one result per check."""
+    rng = np.random.default_rng(seed)
+    model_cfg = ModelConfig(
+        "selftest", d_model=128, d_ff=512, num_heads=2,
+        num_encoder_layers=1, num_decoder_layers=1,
+        max_seq_len=seq_len, dropout=0.0,
+    )
+    acc_cfg = AcceleratorConfig(seq_len=seq_len)
+    results: List[CheckResult] = []
+
+    # Build + calibrate.
+    fp = Transformer(model_cfg, 30, 30, rng=rng).eval()
+    quant = QuantizedTransformer(fp)
+    src = rng.integers(1, 30, size=(2, seq_len))
+    tgt = rng.integers(1, 30, size=(2, seq_len))
+    lengths = np.full(2, seq_len)
+    quant.calibrate([(src, tgt, lengths)])
+
+    # 1. quant vs FP32.
+    fp_logits = fp(src, tgt, src_lengths=lengths).numpy()
+    q_logits = quant.forward(src, tgt, lengths).numpy()
+    rel = float(np.abs(fp_logits - q_logits).max()
+                / max(np.abs(fp_logits).max(), 1e-12))
+    results.append(CheckResult(
+        "quantized-vs-fp32", rel < 0.1,
+        f"max relative logit deviation {rel:.4f} (must be < 0.1)",
+    ))
+
+    # 2. accelerator fast path vs quant blocks.
+    hw = TransformerAccelerator(model_cfg, acc_cfg, exact_nonlinear=True)
+    hw.load_mha(quant.enc_mha[0])
+    hw.load_ffn(quant.enc_ffn[0])
+    x = rng.normal(size=(seq_len, model_cfg.d_model))
+    hw_mha = hw.run_mha(x).output
+    ref_mha = quant.enc_mha[0].forward_int8(x[None], x[None], None)[0]
+    hw_ffn = hw.run_ffn(hw_mha).output
+    ref_ffn = quant.enc_ffn[0].forward_int8(ref_mha[None])[0]
+    exact = (np.array_equal(hw_mha, ref_mha)
+             and np.array_equal(hw_ffn, ref_ffn))
+    results.append(CheckResult(
+        "accelerator-vs-quant", exact,
+        "bit-identical" if exact else "MISMATCH",
+    ))
+
+    # 3. cycle-accurate SA path vs fast path.
+    hw_slow = TransformerAccelerator(
+        model_cfg, acc_cfg, exact_nonlinear=True, cycle_accurate_sa=True
+    )
+    hw_slow.load_mha(quant.enc_mha[0])
+    slow_mha = hw_slow.run_mha(x).output
+    sa_equal = np.array_equal(slow_mha, hw_mha)
+    results.append(CheckResult(
+        "cycle-accurate-sa", sa_equal,
+        "bit-identical" if sa_equal else "MISMATCH",
+    ))
+
+    # 4. scheduler vs analytic cycle model.
+    sched_ok = True
+    detail_parts = []
+    for block, sched_fn, model_fn in (
+        ("mha", schedule_mha, mha_cycle_breakdown),
+        ("ffn", schedule_ffn, ffn_cycle_breakdown),
+    ):
+        simulated = sched_fn(model_cfg, acc_cfg).total_cycles
+        analytic = model_fn(model_cfg, acc_cfg).total_cycles
+        sched_ok &= simulated == analytic
+        detail_parts.append(f"{block}: {simulated} vs {analytic}")
+    results.append(CheckResult(
+        "scheduler-vs-analytic", sched_ok, "; ".join(detail_parts),
+    ))
+
+    # 5. streaming units vs batch modules.
+    from ..quant.qsoftmax import HardwareSoftmax
+
+    d = rng.normal(0, 8, size=(seq_len, seq_len))
+    stream_sm = StreamingSoftmax(acc_cfg)
+    for j in range(seq_len):
+        stream_sm.push_column(d[:, j])
+    y_stream, _ = stream_sm.finalize()
+    y_batch = HardwareSoftmax()(d)
+    g = rng.normal(size=(seq_len, model_cfg.d_model))
+    stream_ln = StreamingLayerNorm(acc_cfg, model_cfg.d_model)
+    for i in range(model_cfg.d_model // acc_cfg.sa_cols):
+        stream_ln.push_group(g[:, i * 64:(i + 1) * 64])
+    gamma = np.ones(model_cfg.d_model)
+    beta = np.zeros(model_cfg.d_model)
+    out_stream, _ = stream_ln.finalize(gamma, beta)
+    from .layernorm_module import LayerNormModule
+
+    out_batch = LayerNormModule(
+        acc_cfg, model_cfg.d_model, approximate=True
+    )(g, gamma, beta)
+    stream_ok = (np.array_equal(y_stream, y_batch)
+                 and np.allclose(out_stream, out_batch, atol=1e-12))
+    results.append(CheckResult(
+        "streaming-vs-batch", stream_ok,
+        "bit-identical" if stream_ok else "MISMATCH",
+    ))
+    return results
+
+
+def selftest_passed(results: List[CheckResult]) -> bool:
+    """True when every check passed."""
+    return all(r.passed for r in results)

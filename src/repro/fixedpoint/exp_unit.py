@@ -1,0 +1,106 @@
+"""Multiplier-free exponential unit (Wang et al., APCCAS 2018).
+
+The softmax module never evaluates ``exp`` directly.  Following the paper's
+reference [13], the unit computes ``exp(x)`` for ``x <= 0`` (inputs are
+always shifted by the running maximum, Eq. 5) as::
+
+    exp(x) = 2**(x * log2(e))          # base conversion
+           = 2**I * 2**F               # split integer / fraction, F in [0,1)
+    2**F  ~= 1 + F                     # piecewise-linear, no multiplier
+
+The ``x * log2(e)`` product is realized with the shift-add constant
+``1 + 1/2 - 1/16 = 1.4375`` and ``2**I`` is a plain arithmetic shift, so the
+whole unit consists of adders and shifters only.  The worst-case relative
+error of ``2**F ~= 1 + F`` is ``~6.1%`` (at F ~= 0.53), which Section V-A
+shows costs essentially no BLEU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FixedPointError
+from .ops import LOG2E_TERMS, shift_add_constant, shift_add_multiply
+from .types import SOFTMAX_Q, QFormat
+
+
+@dataclass(frozen=True)
+class ExpUnit:
+    """Hardware model of the piecewise-linear ``exp`` unit.
+
+    Attributes:
+        in_fmt: Fixed-point format of the (non-positive) input codes.
+        out_frac_bits: Fractional bits of the output codes; outputs lie in
+            ``(0, 1]`` so one integer bit suffices.
+    """
+
+    in_fmt: QFormat = SOFTMAX_Q
+    out_frac_bits: int = 15
+
+    @property
+    def out_fmt(self) -> QFormat:
+        """Output format: Q2.out_frac_bits (values in (0, 1])."""
+        return QFormat(int_bits=2, frac_bits=self.out_frac_bits)
+
+    @property
+    def log2e_constant(self) -> float:
+        """The shift-add approximation of log2(e) actually implemented."""
+        return shift_add_constant(LOG2E_TERMS)
+
+    def __call__(self, codes: np.ndarray) -> np.ndarray:
+        """Evaluate ``exp`` on input codes; returns output-format codes.
+
+        Args:
+            codes: Integer codes in ``in_fmt``; every value must be <= 0
+                (the max-subtraction stage guarantees this in hardware).
+
+        Returns:
+            Integer codes in :attr:`out_fmt` approximating
+            ``exp(in_fmt.dequantize(codes))``.
+        """
+        arr = np.asarray(codes, dtype=np.int64)
+        if np.any(arr > 0):
+            raise FixedPointError(
+                "ExpUnit input must be non-positive (x - x_max)"
+            )
+        frac_bits = self.in_fmt.frac_bits
+        # u = x * log2(e), still with `frac_bits` fractional bits.
+        u = shift_add_multiply(arr, LOG2E_TERMS)
+        # Split u = I + F with F in [0, 1): floor division / modulo on the
+        # raw codes (arithmetic shift performs the floor on negatives).
+        int_part = u >> frac_bits                     # I (<= 0)
+        frac_codes = u & ((1 << frac_bits) - 1)       # F codes, in [0, 1)
+        # 2**F ~= 1 + F, rescaled to the output fractional width.
+        one = 1 << self.out_frac_bits
+        if self.out_frac_bits >= frac_bits:
+            mantissa = one + (frac_codes << (self.out_frac_bits - frac_bits))
+        else:
+            mantissa = one + (frac_codes >> (frac_bits - self.out_frac_bits))
+        # 2**I is a right shift (I <= 0).  Shifts beyond the word width
+        # flush to zero exactly like the hardware barrel shifter.
+        shift = np.minimum(-int_part, 63).astype(np.int64)
+        result = mantissa >> shift
+        return self.out_fmt.saturate(result)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Convenience: real-valued in, real-valued out.
+
+        Quantizes ``x`` into :attr:`in_fmt`, runs the unit, and dequantizes.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        codes = self.in_fmt.quantize(np.minimum(x, 0.0))
+        return self.out_fmt.dequantize(self(codes))
+
+    def max_relative_error(self, samples: int = 4096, lo: float = -6.0) -> float:
+        """Measured worst-case relative error over ``[lo, 0]``.
+
+        Below roughly ``-ln(2**out_frac_bits)`` the exact value falls under
+        one output LSB and the unit flushes to zero (as the hardware barrel
+        shifter does), so relative error is only meaningful above that.
+        """
+        xs = np.linspace(lo, 0.0, samples)
+        approx = self.evaluate(xs)
+        exact = np.exp(xs)
+        return float(np.max(np.abs(approx - exact) / exact))

@@ -1,0 +1,103 @@
+"""Lookup-table inverse-square-root unit for the LayerNorm module.
+
+The paper implements the ``x**(-0.5)`` stage of layer normalization "with a
+lookup table" (Section IV-B, Fig. 8).  This model normalizes the input into
+a mantissa/exponent pair, indexes a 256-entry table of ``m**(-0.5)`` for
+``m in [1, 2)``, and folds the exponent back in with shifts; odd exponents
+use a second table bank pre-multiplied by ``1/sqrt(2)`` so no multiplier is
+needed at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FixedPointError
+from .ops import leading_one_position
+from .types import QFormat
+
+
+def _build_tables(entries: int, out_frac_bits: int):
+    """Precompute the even- and odd-exponent mantissa tables."""
+    mantissas = 1.0 + np.arange(entries, dtype=np.float64) / entries
+    even = np.round(mantissas ** -0.5 * (1 << out_frac_bits))
+    odd = np.round(mantissas ** -0.5 / np.sqrt(2.0) * (1 << out_frac_bits))
+    return even.astype(np.int64), odd.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class InverseSqrtLUT:
+    """LUT-based ``x**(-0.5)`` unit.
+
+    Attributes:
+        in_fmt: Format of the positive input codes (variance + epsilon).
+        out_fmt: Format of the reciprocal-sqrt output codes.
+        entries: Table depth per bank (two banks: even / odd exponent).
+    """
+
+    in_fmt: QFormat = QFormat(int_bits=12, frac_bits=12)
+    out_fmt: QFormat = QFormat(int_bits=8, frac_bits=14)
+    entries: int = 256
+    _tables: tuple = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.entries < 2 or self.entries & (self.entries - 1):
+            raise FixedPointError("LUT entries must be a power of two >= 2")
+        object.__setattr__(
+            self, "_tables", _build_tables(self.entries, self.out_fmt.frac_bits)
+        )
+
+    @property
+    def index_bits(self) -> int:
+        """Address width of each table bank."""
+        return int(self.entries).bit_length() - 1
+
+    @property
+    def bram_bits(self) -> int:
+        """Total table storage in bits (two banks)."""
+        return 2 * self.entries * self.out_fmt.total_bits
+
+    def __call__(self, codes: np.ndarray) -> np.ndarray:
+        """Evaluate ``x**(-0.5)`` on strictly positive input codes."""
+        arr = np.asarray(codes, dtype=np.int64)
+        if np.any(arr <= 0):
+            raise FixedPointError("InverseSqrtLUT input must be positive")
+        k = leading_one_position(arr)
+        # Mantissa index: the `index_bits` bits right below the leading one.
+        shift = k - self.index_bits
+        idx = np.where(
+            shift >= 0,
+            (arr >> np.maximum(shift, 0)),
+            (arr << np.maximum(-shift, 0)),
+        ) - self.entries
+        idx = np.clip(idx, 0, self.entries - 1)
+        # True exponent e of x = m * 2**e: e = k - frac_bits.
+        exponent = k - self.in_fmt.frac_bits
+        even_bank, odd_bank = self._tables
+        base = np.where(exponent % 2 == 0, even_bank[idx], odd_bank[idx])
+        # x**-0.5 = m**-0.5 * 2**(-e/2); for odd e the extra 1/sqrt(2) is
+        # already folded into the odd bank, so shift by floor(e/2).
+        half_exp = np.floor_divide(exponent, 2)
+        result = np.where(
+            half_exp >= 0,
+            base >> np.minimum(np.maximum(half_exp, 0), 62),
+            base << np.minimum(np.maximum(-half_exp, 0), 62),
+        )
+        return self.out_fmt.saturate(result)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Convenience: real-valued in, real-valued out."""
+        x = np.asarray(x, dtype=np.float64)
+        if np.any(x <= 0):
+            raise FixedPointError("InverseSqrtLUT input must be positive")
+        codes = np.maximum(self.in_fmt.quantize(x), 1)
+        return self.out_fmt.dequantize(self(codes))
+
+    def max_relative_error(self, samples: int = 4096) -> float:
+        """Measured worst-case relative error over the representable range."""
+        xs = np.linspace(self.in_fmt.scale * 8, self.in_fmt.max_value, samples)
+        approx = self.evaluate(xs)
+        exact = xs ** -0.5
+        return float(np.max(np.abs(approx - exact) / exact))

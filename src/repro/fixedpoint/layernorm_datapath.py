@@ -1,0 +1,172 @@
+"""Bit-level fixed-point LayerNorm datapath (Fig. 8, integer domain).
+
+The :class:`~repro.core.layernorm_module.LayerNormModule` models the
+module's schedule and uses the isqrt LUT but keeps statistics in float.
+This class is the fully integer version — what the RTL registers actually
+hold:
+
+* inputs quantize to :data:`~repro.fixedpoint.types.LAYERNORM_Q` codes;
+* ``sum G`` and ``sum G^2`` accumulate as integers (the two register
+  banks of the step-two schedule);
+* the ``1/d_model`` means are arithmetic shifts when ``d_model`` is a
+  power of two (always true for Transformer-base/big; BERT-base's 768
+  falls back to integer division, which the RTL would implement as a
+  constant multiply);
+* the variance is Eq. (9) evaluated on integer codes;
+* ``x^(-0.5)`` is the LUT unit; the final scaling
+  ``(G - E) * r * gamma + beta`` is the DSP multiply chain with explicit
+  requantization between stages.
+
+Worst-case deviation from the exact FP LayerNorm stays within ~1% of the
+output range (tested), dominated by the isqrt LUT and the Q-format grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FixedPointError, ShapeError
+from .isqrt import InverseSqrtLUT
+from .ops import rounding_shift_right
+from .types import LAYERNORM_Q, QFormat
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass
+class FixedPointLayerNorm:
+    """Integer-domain LayerNorm over the last axis.
+
+    Attributes:
+        d_model: Feature width (row length of G).
+        in_fmt: Q-format of the input codes.
+        affine_fmt: Q-format of the quantized gamma/beta parameters.
+        out_fmt: Q-format of the output codes.
+    """
+
+    d_model: int
+    in_fmt: QFormat = LAYERNORM_Q
+    affine_fmt: QFormat = QFormat(int_bits=3, frac_bits=13)
+    out_fmt: QFormat = QFormat(int_bits=6, frac_bits=10)
+    eps_value: float = 1e-8
+    _isqrt: InverseSqrtLUT = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.d_model <= 0:
+            raise FixedPointError("d_model must be positive")
+        # The isqrt unit consumes variance codes in the input format.
+        self._isqrt = InverseSqrtLUT(
+            in_fmt=QFormat(
+                int_bits=self.in_fmt.int_bits * 2 - 12
+                if self.in_fmt.int_bits * 2 > 13 else 2,
+                frac_bits=self.in_fmt.frac_bits,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _mean_codes(self, sums: np.ndarray) -> np.ndarray:
+        """``sum / d_model`` on integer codes."""
+        if _is_power_of_two(self.d_model):
+            shift = int(np.log2(self.d_model))
+            return rounding_shift_right(sums, shift)
+        # Constant-divide (the RTL would use a reciprocal multiply).
+        return np.floor_divide(
+            sums + self.d_model // 2, self.d_model
+        )
+
+    def statistics(self, codes: np.ndarray):
+        """The register banks' final values: ``(mean, variance)`` codes.
+
+        Mean codes are in ``in_fmt``; variance codes carry
+        ``in_fmt.frac_bits`` fractional bits (one requantization after the
+        squaring stage).
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        sums = codes.sum(axis=-1)
+        # Squares carry 2*frac bits; requantize back to frac bits before
+        # accumulating the E[G^2] mean (matching a width-limited adder).
+        sq = rounding_shift_right(codes * codes, self.in_fmt.frac_bits)
+        sq_sums = sq.sum(axis=-1)
+        mean = self._mean_codes(sums)
+        mean_sq_stat = self._mean_codes(sq_sums)     # E[G^2]
+        mean_squared = rounding_shift_right(
+            mean * mean, self.in_fmt.frac_bits
+        )                                            # E[G]^2
+        var = np.maximum(mean_sq_stat - mean_squared, 0)   # Eq. (9)
+        return mean, var
+
+    # ------------------------------------------------------------------
+    def __call__(
+        self,
+        g: np.ndarray,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+    ) -> np.ndarray:
+        """Normalize real-valued ``g`` through the integer datapath.
+
+        Args:
+            g: ``(..., d_model)`` input (quantized internally).
+            gamma / beta: FP affine parameters (quantized internally).
+
+        Returns:
+            Real-valued output (dequantized ``out_fmt`` codes).
+        """
+        g = np.asarray(g, dtype=np.float64)
+        if g.shape[-1] != self.d_model:
+            raise ShapeError(
+                f"expected width {self.d_model}, got {g.shape[-1]}"
+            )
+        gamma = np.asarray(gamma, dtype=np.float64)
+        beta = np.asarray(beta, dtype=np.float64)
+        if gamma.shape != (self.d_model,) or beta.shape != (self.d_model,):
+            raise ShapeError("gamma/beta must be (d_model,)")
+
+        codes = self.in_fmt.quantize(g)
+        mean, var = self.statistics(codes)
+        # eps in variance-code units; at least one LSB so the LUT input
+        # stays strictly positive.
+        eps_codes = max(
+            1, int(round(self.eps_value / self.in_fmt.scale))
+        )
+        r_codes = self._isqrt(
+            np.maximum(var + eps_codes, 1)
+        )
+        # centered: in_fmt codes; r: out-of-LUT codes.
+        centered = codes - mean[..., None]
+        # (centered * r): frac = in + lut; requantize to in_fmt frac.
+        scaled = rounding_shift_right(
+            centered * r_codes[..., None],
+            self._isqrt.out_fmt.frac_bits,
+        )
+        gamma_codes = self.affine_fmt.quantize(gamma)
+        beta_codes = self.affine_fmt.quantize(beta)
+        # (scaled * gamma): frac = in + affine; requantize to out_fmt.
+        shift = (self.in_fmt.frac_bits + self.affine_fmt.frac_bits
+                 - self.out_fmt.frac_bits)
+        if shift < 0:
+            raise FixedPointError("out_fmt has too many fractional bits")
+        affine = rounding_shift_right(scaled * gamma_codes, shift)
+        beta_aligned = rounding_shift_right(
+            np.asarray(beta_codes, dtype=np.int64)
+            << self.in_fmt.frac_bits, shift,
+        )
+        out_codes = self.out_fmt.saturate(affine + beta_aligned)
+        return self.out_fmt.dequantize(out_codes)
+
+    # ------------------------------------------------------------------
+    def max_error_vs_float(self, rows: int = 64, scale: float = 2.0,
+                           seed: int = 0) -> float:
+        """Worst absolute deviation from exact FP LayerNorm on random G."""
+        from ..transformer.functional import layer_norm
+
+        rng = np.random.default_rng(seed)
+        g = rng.normal(0.0, scale, size=(rows, self.d_model))
+        gamma = rng.uniform(0.5, 1.5, size=self.d_model)
+        beta = rng.uniform(-0.5, 0.5, size=self.d_model)
+        exact = layer_norm(g, gamma, beta, eps=self.eps_value)
+        approx = self(g, gamma, beta)
+        return float(np.abs(exact - approx).max())

@@ -1,0 +1,93 @@
+"""Multiplier-free natural-logarithm unit (Wang et al., APCCAS 2018).
+
+The log-sum-exp softmax (Eq. 5) needs ``ln(sum_j exp(x_j - x_max))`` once
+per row.  The LN unit computes it with a leading-one detector and shift-add
+constant multiplication::
+
+    v         = m * 2**k,  m in [1, 2)     # k from the leading-one detector
+    log2(v)  ~= k + (m - 1)                # log2(1+f) ~= f, no multiplier
+    ln(v)     = log2(v) * ln(2)            # shift-add: 1/2 + 1/8 + 1/16
+
+Worst-case absolute error of ``log2(1+f) ~= f`` is ``~0.086`` bits, i.e.
+``~0.06`` nats, on top of the ``0.8%`` error of the 0.6875 ln(2) constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FixedPointError
+from .ops import (
+    LN2_TERMS,
+    leading_one_position,
+    shift_add_constant,
+    shift_add_multiply,
+)
+from .types import QFormat
+
+
+@dataclass(frozen=True)
+class LnUnit:
+    """Hardware model of the leading-one-detector ``ln`` unit.
+
+    Attributes:
+        in_fmt: Format of the positive input codes (the softmax row sum).
+        out_fmt: Format of the output codes (signed; ln can be negative
+            when the input is < 1).
+    """
+
+    in_fmt: QFormat = QFormat(int_bits=10, frac_bits=15)
+    out_fmt: QFormat = QFormat(int_bits=6, frac_bits=10)
+
+    @property
+    def ln2_constant(self) -> float:
+        """The shift-add approximation of ln(2) actually implemented."""
+        return shift_add_constant(LN2_TERMS)
+
+    def __call__(self, codes: np.ndarray) -> np.ndarray:
+        """Evaluate ``ln`` on positive input codes.
+
+        Args:
+            codes: Integer codes in ``in_fmt``; must be strictly positive
+                (a softmax row sum always contains at least ``exp(0) = 1``).
+
+        Returns:
+            Integer codes in :attr:`out_fmt` approximating
+            ``ln(in_fmt.dequantize(codes))``.
+        """
+        arr = np.asarray(codes, dtype=np.int64)
+        if np.any(arr <= 0):
+            raise FixedPointError("LnUnit input must be strictly positive")
+        k = leading_one_position(arr)                 # MSB position of code
+        # Mantissa fraction f = v / 2**k - 1, expressed with out frac bits.
+        out_frac = self.out_fmt.frac_bits
+        # f_codes = (arr - 2**k) scaled by 2**(out_frac - k).
+        residual = arr - (np.int64(1) << k)
+        shift = k - out_frac
+        f_codes = np.where(
+            shift >= 0,
+            residual >> np.maximum(shift, 0),
+            residual << np.maximum(-shift, 0),
+        )
+        # log2(v) ~= (k - in_frac_bits) + f, as out-format codes.
+        log2_codes = ((k - self.in_fmt.frac_bits) << out_frac) + f_codes
+        ln_codes = shift_add_multiply(log2_codes, LN2_TERMS)
+        return self.out_fmt.saturate(ln_codes)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Convenience: real-valued in, real-valued out."""
+        x = np.asarray(x, dtype=np.float64)
+        if np.any(x <= 0):
+            raise FixedPointError("LnUnit input must be strictly positive")
+        codes = self.in_fmt.quantize(x)
+        codes = np.maximum(codes, 1)  # quantization may floor tiny x to 0
+        return self.out_fmt.dequantize(self(codes))
+
+    def max_absolute_error(self, samples: int = 4096) -> float:
+        """Measured worst-case absolute error over a representative range."""
+        xs = np.linspace(self.in_fmt.scale * 4, self.in_fmt.max_value, samples)
+        approx = self.evaluate(xs)
+        exact = np.log(xs)
+        return float(np.max(np.abs(approx - exact)))

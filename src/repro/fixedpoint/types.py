@@ -1,0 +1,133 @@
+"""Fixed-point number formats.
+
+The accelerator's datapath is integer/fixed-point throughout: INT8 weights
+and activations, wider accumulators, and a handful of internal Q-formats in
+the softmax and LayerNorm modules.  :class:`QFormat` describes a two's
+complement fixed-point format ``Q(int_bits, frac_bits)`` and converts between
+real values and their integer codes with explicit rounding and saturation —
+the same behaviour the RTL would exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..errors import FixedPointError
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed two's complement fixed-point format.
+
+    A ``QFormat(i, f)`` value has ``i`` integer bits (including sign) and
+    ``f`` fractional bits, for a total word width of ``i + f`` bits.  Codes
+    are stored as numpy int64 and represent ``code * 2**-f``.
+
+    Attributes:
+        int_bits: Integer bits including the sign bit (>= 1).
+        frac_bits: Fractional bits (>= 0).
+    """
+
+    int_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 1:
+            raise FixedPointError("int_bits must include a sign bit (>= 1)")
+        if self.frac_bits < 0:
+            raise FixedPointError("frac_bits must be non-negative")
+        if self.total_bits > 62:
+            raise FixedPointError("formats wider than 62 bits are unsupported")
+
+    @property
+    def total_bits(self) -> int:
+        """Word width in bits."""
+        return self.int_bits + self.frac_bits
+
+    @property
+    def scale(self) -> float:
+        """Real value of one LSB (``2**-frac_bits``)."""
+        return float(2.0 ** -self.frac_bits)
+
+    @property
+    def max_code(self) -> int:
+        """Largest representable integer code."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_code(self) -> int:
+        """Smallest (most negative) representable integer code."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_code * self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_code * self.scale
+
+    def quantize(self, value: ArrayLike) -> np.ndarray:
+        """Convert real values to integer codes (round-to-nearest, saturate).
+
+        Ties round away from zero, matching the behaviour of a hardware
+        round-half-up stage on the magnitude.
+        """
+        arr = np.asarray(value, dtype=np.float64)
+        codes = np.where(
+            arr >= 0,
+            np.floor(arr / self.scale + 0.5),
+            np.ceil(arr / self.scale - 0.5),
+        )
+        codes = np.clip(codes, self.min_code, self.max_code)
+        return codes.astype(np.int64)
+
+    def dequantize(self, codes: ArrayLike) -> np.ndarray:
+        """Convert integer codes back to real values."""
+        return np.asarray(codes, dtype=np.float64) * self.scale
+
+    def saturate(self, codes: ArrayLike) -> np.ndarray:
+        """Clamp integer codes into this format's representable range."""
+        arr = np.asarray(codes, dtype=np.int64)
+        return np.clip(arr, self.min_code, self.max_code)
+
+    def wraps(self, codes: ArrayLike) -> np.ndarray:
+        """Two's complement wrap-around of codes into this format's range.
+
+        Provided for modelling non-saturating hardware adders; the
+        accelerator itself saturates everywhere.
+        """
+        arr = np.asarray(codes, dtype=np.int64)
+        modulus = 1 << self.total_bits
+        wrapped = np.mod(arr - self.min_code, modulus) + self.min_code
+        return wrapped
+
+    def representable(self, value: ArrayLike) -> np.ndarray:
+        """Boolean mask of which real values fit without saturating."""
+        arr = np.asarray(value, dtype=np.float64)
+        return (arr <= self.max_value) & (arr >= self.min_value)
+
+    def __str__(self) -> str:
+        return f"Q{self.int_bits}.{self.frac_bits}"
+
+
+#: INT8 storage format for weights and activations (pure integer grid).
+INT8 = QFormat(int_bits=8, frac_bits=0)
+
+#: 32-bit accumulator format used inside the systolic-array PEs.
+ACC32 = QFormat(int_bits=32, frac_bits=0)
+
+#: Internal format of the softmax module datapath (Q6.10): enough integer
+#: range for shifted logits after the >>3 scaling, 10 fractional bits for
+#: the piecewise-linear EXP/LN approximations.
+SOFTMAX_Q = QFormat(int_bits=6, frac_bits=10)
+
+#: Internal format of the LayerNorm statistics datapath (Q12.12).
+LAYERNORM_Q = QFormat(int_bits=12, frac_bits=12)

@@ -1,0 +1,33 @@
+"""GPU latency baseline (the paper's Table III comparison point)."""
+
+from .comparison import SpeedupCell, best_and_worst, speedup_landscape
+from .kernels import (
+    Kernel,
+    ffn_resblock_kernels,
+    mha_resblock_kernels,
+    total_bytes,
+    total_flops,
+)
+from .v100 import (
+    GpuSpec,
+    ffn_latency_us,
+    mha_latency_us,
+    v100_batch1,
+    v100_batched,
+)
+
+__all__ = [
+    "GpuSpec",
+    "Kernel",
+    "SpeedupCell",
+    "best_and_worst",
+    "speedup_landscape",
+    "ffn_latency_us",
+    "ffn_resblock_kernels",
+    "mha_latency_us",
+    "mha_resblock_kernels",
+    "total_bytes",
+    "total_flops",
+    "v100_batch1",
+    "v100_batched",
+]

@@ -1,0 +1,79 @@
+"""Systematic FPGA-vs-GPU speedup landscape.
+
+Table III gives two cells (Transformer-base, s = 64).  This module builds
+the whole landscape: speedups for every Table I architecture across
+sequence lengths, under the paper's eager measurement protocol — showing
+where the accelerator's advantage concentrates (small s, many-kernel MHA)
+and how it erodes as tensors grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..config import AcceleratorConfig, ModelConfig
+from ..core.scheduler import schedule_ffn, schedule_mha
+from ..errors import ConfigError
+from .v100 import GpuSpec, ffn_latency_us, mha_latency_us, v100_batch1
+
+
+@dataclass(frozen=True)
+class SpeedupCell:
+    """One (model, s) point of the landscape."""
+
+    model_name: str
+    seq_len: int
+    fpga_mha_us: float
+    fpga_ffn_us: float
+    gpu_mha_us: float
+    gpu_ffn_us: float
+
+    @property
+    def mha_speedup(self) -> float:
+        return self.gpu_mha_us / self.fpga_mha_us
+
+    @property
+    def ffn_speedup(self) -> float:
+        return self.gpu_ffn_us / self.fpga_ffn_us
+
+    @property
+    def layer_speedup(self) -> float:
+        return ((self.gpu_mha_us + self.gpu_ffn_us)
+                / (self.fpga_mha_us + self.fpga_ffn_us))
+
+
+def speedup_landscape(
+    models: Sequence[ModelConfig],
+    seq_lens: Sequence[int] = (16, 32, 64, 128),
+    spec: GpuSpec = None,
+    base: AcceleratorConfig = None,
+) -> List[SpeedupCell]:
+    """Evaluate the speedup grid; SA rows track the sequence length."""
+    if not models or not seq_lens:
+        raise ConfigError("need at least one model and one seq_len")
+    spec = v100_batch1() if spec is None else spec
+    base = AcceleratorConfig() if base is None else base
+    cells = []
+    for model in models:
+        for s in seq_lens:
+            acc = base.with_updates(seq_len=s)
+            fpga_mha = schedule_mha(model, acc).latency_us(acc.clock_mhz)
+            fpga_ffn = schedule_ffn(model, acc).latency_us(acc.clock_mhz)
+            cells.append(SpeedupCell(
+                model_name=model.name,
+                seq_len=s,
+                fpga_mha_us=fpga_mha,
+                fpga_ffn_us=fpga_ffn,
+                gpu_mha_us=mha_latency_us(model, s, spec),
+                gpu_ffn_us=ffn_latency_us(model, s, spec),
+            ))
+    return cells
+
+
+def best_and_worst(cells: Sequence[SpeedupCell]) -> Dict[str, SpeedupCell]:
+    """The landscape's extremes by whole-layer speedup."""
+    if not cells:
+        raise ConfigError("no cells")
+    ordered = sorted(cells, key=lambda c: c.layer_speedup)
+    return {"worst": ordered[0], "best": ordered[-1]}

@@ -1,0 +1,112 @@
+"""V100 latency model: per-kernel overhead + roofline.
+
+Each kernel costs ``overhead + max(flops/peak, bytes/bandwidth)``.  Peak
+throughput and memory bandwidth are the V100's public specifications; the
+per-kernel overhead (CUDA launch + PyTorch eager dispatch + Python, with
+the synchronization the measurement protocol forces at batch 1) is the one
+fitted constant, chosen once so the modelled FFN ResBlock matches the
+paper's 713.4 us, then *held fixed* for every other prediction — making
+the MHA latency, the speedup split, and all batch/length sweeps genuine
+predictions of the model rather than fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..config import ModelConfig
+from ..errors import ConfigError
+from .kernels import Kernel, ffn_resblock_kernels, mha_resblock_kernels
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """GPU hardware + framework parameters.
+
+    Attributes:
+        name: Device name.
+        peak_flops: Sustained FP32 FLOP/s for large GEMMs.
+        memory_bandwidth: HBM bandwidth in bytes/s.
+        kernel_overhead_s: Fixed per-kernel cost (launch + dispatch +
+            measurement synchronization), seconds.
+        gemm_efficiency: Fraction of peak a small GEMM actually reaches.
+    """
+
+    name: str
+    peak_flops: float
+    memory_bandwidth: float
+    kernel_overhead_s: float
+    gemm_efficiency: float = 0.7
+
+    def __post_init__(self) -> None:
+        if min(self.peak_flops, self.memory_bandwidth,
+               self.kernel_overhead_s) <= 0:
+            raise ConfigError("GPU spec values must be positive")
+        if not 0 < self.gemm_efficiency <= 1:
+            raise ConfigError("gemm_efficiency must lie in (0, 1]")
+
+    def kernel_latency_s(self, kernel: Kernel) -> float:
+        """Latency of one kernel: overhead + roofline."""
+        compute = kernel.flops / (self.peak_flops * self.gemm_efficiency)
+        memory = kernel.bytes_moved / self.memory_bandwidth
+        return self.kernel_overhead_s + max(compute, memory)
+
+    def sequence_latency_us(self, kernels: List[Kernel]) -> float:
+        """Latency of a serial kernel sequence in microseconds."""
+        return sum(self.kernel_latency_s(k) for k in kernels) * 1e6
+
+
+def v100_batch1() -> GpuSpec:
+    """The Table III measurement setup: V100, PyTorch eager, batch 1.
+
+    15.7 TFLOP/s FP32 peak, 900 GB/s HBM2.  The 96.5 us per-kernel
+    overhead is fitted to the paper's FFN latency (see module docstring);
+    it is dominated by the framework/synchronization cost of the
+    measurement loop, not the bare CUDA launch (~5 us).
+    """
+    return GpuSpec(
+        name="V100-PyTorch-batch1",
+        peak_flops=15.7e12,
+        memory_bandwidth=900e9,
+        kernel_overhead_s=96.5e-6,
+    )
+
+
+def v100_batched() -> GpuSpec:
+    """A steady-state server setup (CUDA graphs / large batch amortization).
+
+    Used by the batch-sweep ablation to show where the GPU overtakes the
+    accelerator: per-kernel overhead drops to the bare launch cost.
+    """
+    return GpuSpec(
+        name="V100-batched",
+        peak_flops=15.7e12,
+        memory_bandwidth=900e9,
+        kernel_overhead_s=5e-6,
+        gemm_efficiency=0.85,
+    )
+
+
+def mha_latency_us(model: ModelConfig, s: int, spec: GpuSpec,
+                   batch: int = 1) -> float:
+    """GPU latency of one MHA ResBlock (batch rows share each kernel)."""
+    kernels = mha_resblock_kernels(model, s)
+    if batch > 1:
+        kernels = [
+            Kernel(k.name, k.flops * batch, k.bytes_moved * batch)
+            for k in kernels
+        ]
+    return spec.sequence_latency_us(kernels)
+
+
+def ffn_latency_us(model: ModelConfig, s: int, spec: GpuSpec,
+                   batch: int = 1) -> float:
+    """GPU latency of one FFN ResBlock."""
+    kernels = ffn_resblock_kernels(model, s)
+    if batch > 1:
+        kernels = [
+            Kernel(k.name, k.flops * batch, k.bytes_moved * batch)
+            for k in kernels
+        ]
+    return spec.sequence_latency_us(kernels)

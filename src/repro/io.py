@@ -1,0 +1,84 @@
+"""Serialization: configs to/from JSON, model checkpoints to .npz.
+
+Lets a trained synthetic-NMT or classifier model (the expensive artifact)
+be saved once and reloaded by examples/benches, and lets accelerator
+design points be stored as plain JSON files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .config import AcceleratorConfig, ModelConfig
+from .errors import ConfigError, ShapeError
+from .transformer.module import Module
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Configs <-> JSON
+# ----------------------------------------------------------------------
+def config_to_dict(config) -> dict:
+    """Serialize a ModelConfig or AcceleratorConfig to a plain dict."""
+    if isinstance(config, ModelConfig):
+        kind = "model"
+    elif isinstance(config, AcceleratorConfig):
+        kind = "accelerator"
+    else:
+        raise ConfigError(f"cannot serialize {type(config).__name__}")
+    return {"kind": kind, "fields": dataclasses.asdict(config)}
+
+
+def config_from_dict(payload: dict):
+    """Inverse of :func:`config_to_dict` (validates on construction)."""
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ConfigError("payload is not a serialized config")
+    fields = payload.get("fields")
+    if not isinstance(fields, dict):
+        raise ConfigError("payload has no 'fields' mapping")
+    if payload["kind"] == "model":
+        return ModelConfig(**fields)
+    if payload["kind"] == "accelerator":
+        return AcceleratorConfig(**fields)
+    raise ConfigError(f"unknown config kind {payload['kind']!r}")
+
+
+def save_config(config, path: PathLike) -> None:
+    """Write a config as JSON."""
+    Path(path).write_text(
+        json.dumps(config_to_dict(config), indent=2, sort_keys=True)
+    )
+
+
+def load_config(path: PathLike):
+    """Read a config written by :func:`save_config`."""
+    return config_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Model checkpoints <-> .npz
+# ----------------------------------------------------------------------
+def save_checkpoint(model: Module, path: PathLike) -> int:
+    """Write every parameter to a compressed .npz; returns param count."""
+    state = model.state_dict()
+    if not state:
+        raise ShapeError("model has no parameters to save")
+    np.savez_compressed(str(path), **state)
+    return len(state)
+
+
+def load_checkpoint(model: Module, path: PathLike) -> None:
+    """Load a checkpoint written by :func:`save_checkpoint` in place.
+
+    The model must already have the right architecture; shape/name
+    mismatches raise through ``load_state_dict``.
+    """
+    with np.load(str(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)

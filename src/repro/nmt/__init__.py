@@ -1,0 +1,57 @@
+"""Synthetic NMT task: the offline stand-in for the paper's IWSLT'16 study."""
+
+from .bleu import corpus_bleu, sentence_bleu, sentence_stats
+from .classification import (
+    CLS_WORD,
+    FLIP_WORD,
+    LabeledSentence,
+    SyntheticClassificationTask,
+    accuracy,
+    train_classifier,
+)
+from .corpus import MARKER_WORD, SentencePair, SyntheticTranslationTask
+from .dataset import Batch, encode_pairs, iter_batches
+from .trainer import (
+    TrainingLog,
+    default_nmt_config,
+    evaluate_bleu,
+    exact_match_rate,
+    train_model,
+)
+from .vocab import (
+    BOS_TOKEN,
+    EOS_TOKEN,
+    PAD_TOKEN,
+    SPECIAL_TOKENS,
+    UNK_TOKEN,
+    Vocab,
+)
+
+__all__ = [
+    "BOS_TOKEN",
+    "Batch",
+    "CLS_WORD",
+    "EOS_TOKEN",
+    "FLIP_WORD",
+    "LabeledSentence",
+    "MARKER_WORD",
+    "PAD_TOKEN",
+    "SPECIAL_TOKENS",
+    "SentencePair",
+    "SyntheticClassificationTask",
+    "SyntheticTranslationTask",
+    "TrainingLog",
+    "UNK_TOKEN",
+    "Vocab",
+    "accuracy",
+    "corpus_bleu",
+    "default_nmt_config",
+    "encode_pairs",
+    "evaluate_bleu",
+    "exact_match_rate",
+    "iter_batches",
+    "sentence_bleu",
+    "sentence_stats",
+    "train_classifier",
+    "train_model",
+]

@@ -1,0 +1,95 @@
+"""Corpus BLEU (Papineni et al., 2002).
+
+Standard BLEU-4 with modified n-gram precision, geometric mean, and the
+brevity penalty — the metric the paper's Section V-A reports (23.88 FP32,
+23.48 INT8, 23.57 INT8 + approximate softmax on IWSLT tst2014).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def _ngrams(tokens: Sequence, order: int) -> Counter:
+    return Counter(
+        tuple(tokens[i:i + order]) for i in range(len(tokens) - order + 1)
+    )
+
+
+def sentence_stats(
+    hypothesis: Sequence, reference: Sequence, max_order: int = 4
+) -> Tuple[List[int], List[int], int, int]:
+    """Clipped match / total counts per order, plus lengths."""
+    matches = []
+    totals = []
+    for order in range(1, max_order + 1):
+        hyp_ngrams = _ngrams(hypothesis, order)
+        ref_ngrams = _ngrams(reference, order)
+        overlap = sum(
+            min(count, ref_ngrams[gram]) for gram, count in hyp_ngrams.items()
+        )
+        matches.append(overlap)
+        totals.append(max(len(hypothesis) - order + 1, 0))
+    return matches, totals, len(hypothesis), len(reference)
+
+
+def corpus_bleu(
+    hypotheses: Sequence[Sequence],
+    references: Sequence[Sequence],
+    max_order: int = 4,
+    smooth: bool = False,
+) -> float:
+    """Corpus-level BLEU score in [0, 100].
+
+    Args:
+        hypotheses: Decoded token sequences.
+        references: One reference per hypothesis.
+        max_order: Highest n-gram order (4 = BLEU-4).
+        smooth: Add-one smoothing on higher-order precisions (useful for
+            very short synthetic corpora; off by default to match
+            conventional BLEU).
+    """
+    if len(hypotheses) != len(references):
+        raise ShapeError(
+            f"{len(hypotheses)} hypotheses vs {len(references)} references"
+        )
+    if not hypotheses:
+        raise ShapeError("BLEU of an empty corpus is undefined")
+    matches = np.zeros(max_order)
+    totals = np.zeros(max_order)
+    hyp_len = 0
+    ref_len = 0
+    for hyp, ref in zip(hypotheses, references):
+        m, t, hl, rl = sentence_stats(hyp, ref, max_order)
+        matches += m
+        totals += t
+        hyp_len += hl
+        ref_len += rl
+    if hyp_len == 0:
+        return 0.0
+
+    precisions = np.zeros(max_order)
+    for i in range(max_order):
+        if smooth and i > 0:
+            precisions[i] = (matches[i] + 1.0) / (totals[i] + 1.0)
+        elif totals[i] > 0:
+            precisions[i] = matches[i] / totals[i]
+        else:
+            precisions[i] = 0.0
+    if np.any(precisions == 0.0):
+        return 0.0
+    log_mean = np.mean(np.log(precisions))
+    brevity = 1.0 if hyp_len > ref_len else np.exp(1.0 - ref_len / hyp_len)
+    return float(100.0 * brevity * np.exp(log_mean))
+
+
+def sentence_bleu(
+    hypothesis: Sequence, reference: Sequence, max_order: int = 4
+) -> float:
+    """Single-sentence BLEU with add-one smoothing (diagnostic use)."""
+    return corpus_bleu([hypothesis], [reference], max_order, smooth=True)

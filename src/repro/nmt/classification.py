@@ -1,0 +1,199 @@
+"""Synthetic sequence-classification task (GLUE stand-in).
+
+Section II-B motivates the accelerator with BERT-family models and the
+GLUE benchmark, neither of which is available offline.  This module
+provides the classification analogue of the synthetic translation task:
+sequences over a small lexicon whose label depends on *global* sequence
+structure, so an encoder-only model must actually attend:
+
+* the lexicon is split into three groups (A/B/C);
+* the base label is the majority group in the sentence;
+* an override rule: if the marker word ``"flip"`` appears anywhere, the
+  majority and minority groups swap — making a purely local/bag-of-words
+  shortcut insufficient whenever the marker is present.
+
+Position 0 of every encoded example carries a [CLS] token, matching
+:class:`~repro.transformer.bert.EncoderOnlyClassifier`'s convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from .vocab import Vocab
+
+#: The label-flipping marker word.
+FLIP_WORD = "flip"
+
+#: The [CLS] token prepended to every example.
+CLS_WORD = "[cls]"
+
+NUM_GROUPS = 3
+
+
+@dataclass(frozen=True)
+class LabeledSentence:
+    """One classification example."""
+
+    tokens: Tuple[str, ...]
+    label: int
+
+
+class SyntheticClassificationTask:
+    """Majority-group classification with a global flip rule.
+
+    Attributes:
+        vocab: Shared vocabulary (content words + marker + [CLS]).
+        num_classes: Always 3 (one per token group).
+    """
+
+    def __init__(self, words_per_group: int = 6, min_len: int = 5,
+                 max_len: int = 12, flip_prob: float = 0.3) -> None:
+        if words_per_group < 2:
+            raise ShapeError("need at least two words per group")
+        if not 2 <= min_len <= max_len:
+            raise ShapeError("require 2 <= min_len <= max_len")
+        self.words_per_group = words_per_group
+        self.min_len = min_len
+        self.max_len = max_len
+        self.flip_prob = flip_prob
+        words = [CLS_WORD, FLIP_WORD]
+        for group in range(NUM_GROUPS):
+            words.extend(
+                f"g{group}w{i}" for i in range(words_per_group)
+            )
+        self.vocab = Vocab(words)
+
+    @property
+    def num_classes(self) -> int:
+        return NUM_GROUPS
+
+    # ------------------------------------------------------------------
+    def label_of(self, tokens: Sequence[str]) -> int:
+        """Ground-truth label of a token sequence (excluding [CLS])."""
+        counts = np.zeros(NUM_GROUPS, dtype=np.int64)
+        flipped = False
+        for word in tokens:
+            if word == FLIP_WORD:
+                flipped = True
+            elif word.startswith("g") and "w" in word:
+                counts[int(word[1])] += 1
+            elif word == CLS_WORD:
+                continue
+            else:
+                raise ShapeError(f"unknown word {word!r}")
+        if counts.sum() == 0:
+            raise ShapeError("sentence has no content words")
+        majority = int(counts.argmax())
+        if flipped:
+            return int(counts.argmin())
+        return majority
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> LabeledSentence:
+        """Draw one example with an unambiguous majority."""
+        while True:
+            length = int(rng.integers(self.min_len, self.max_len + 1))
+            tokens: List[str] = []
+            for _ in range(length):
+                if rng.random() < self.flip_prob / length:
+                    tokens.append(FLIP_WORD)
+                else:
+                    group = int(rng.integers(NUM_GROUPS))
+                    word = int(rng.integers(self.words_per_group))
+                    tokens.append(f"g{group}w{word}")
+            content = [t for t in tokens if t != FLIP_WORD]
+            if not content:
+                continue
+            counts = np.bincount(
+                [int(t[1]) for t in content], minlength=NUM_GROUPS
+            )
+            ranked = np.sort(counts)
+            if ranked[-1] == ranked[-2] or ranked[0] == ranked[1]:
+                continue  # ambiguous majority or minority; resample
+            return LabeledSentence(
+                tokens=tuple(tokens), label=self.label_of(tokens)
+            )
+
+    def make_dataset(self, size: int, seed: int = 0) -> List[LabeledSentence]:
+        if size <= 0:
+            raise ShapeError("dataset size must be positive")
+        rng = np.random.default_rng(seed)
+        return [self.sample(rng) for _ in range(size)]
+
+    # ------------------------------------------------------------------
+    def encode_batch(
+        self, examples: Sequence[LabeledSentence]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(token_ids, lengths, labels)`` with [CLS] at position 0."""
+        if not examples:
+            raise ShapeError("cannot encode an empty batch")
+        rows = [
+            self.vocab.encode([CLS_WORD] + list(ex.tokens))
+            for ex in examples
+        ]
+        width = max(len(r) for r in rows)
+        ids = np.full((len(rows), width), self.vocab.pad_id, dtype=np.int64)
+        for i, row in enumerate(rows):
+            ids[i, :len(row)] = row
+        lengths = np.array([len(r) for r in rows], dtype=np.int64)
+        labels = np.array([ex.label for ex in examples], dtype=np.int64)
+        return ids, lengths, labels
+
+
+def train_classifier(
+    model,
+    task: SyntheticClassificationTask,
+    examples: Sequence[LabeledSentence],
+    epochs: int = 8,
+    batch_size: int = 32,
+    lr: float = 3e-3,
+    seed: int = 0,
+) -> List[float]:
+    """Train an :class:`EncoderOnlyClassifier`; returns the loss trace."""
+    from ..transformer.optim import Adam, cross_entropy
+    from ..transformer.tensor import Tensor
+
+    if epochs <= 0:
+        raise ShapeError("epochs must be positive")
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model.parameters(), lr=lr, grad_clip=5.0)
+    losses: List[float] = []
+    model.train()
+    order = np.arange(len(examples))
+    for _ in range(epochs):
+        rng.shuffle(order)
+        for start in range(0, len(examples), batch_size):
+            chunk = [examples[i] for i in order[start:start + batch_size]]
+            ids, lengths, labels = task.encode_batch(chunk)
+            logits = model(ids, lengths)
+            loss = cross_entropy(
+                logits.reshape(len(chunk), 1, task.num_classes),
+                labels[:, None],
+            )
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+    model.eval()
+    return losses
+
+
+def accuracy(
+    model, task: SyntheticClassificationTask,
+    examples: Sequence[LabeledSentence], batch_size: int = 64,
+) -> float:
+    """Classification accuracy of ``model`` on ``examples``."""
+    if not examples:
+        raise ShapeError("accuracy over an empty set is undefined")
+    correct = 0
+    for start in range(0, len(examples), batch_size):
+        chunk = list(examples[start:start + batch_size])
+        ids, lengths, labels = task.encode_batch(chunk)
+        predictions = model.predict(ids, lengths)
+        correct += int((predictions == labels).sum())
+    return correct / len(examples)

@@ -1,0 +1,135 @@
+"""Synthetic deterministic translation corpus.
+
+**Substitution note (DESIGN.md).**  The paper's quantization study uses a
+Transformer trained on the IWSLT'16 German-English corpus, which is not
+available offline.  We substitute a synthetic "language pair" whose
+translation function is deterministic but requires genuinely transformer-ish
+skills to learn:
+
+* a token-level cipher (lexical translation),
+* whole-sentence reversal (long-range reordering, exercising attention),
+* a context-sensitive mutation: any word immediately *following* the marker
+  word ``"doppel"`` in the source translates to its alternate form
+  (local-context disambiguation).
+
+The substitution preserves what matters for Section V-A: BLEU is measured
+on real model outputs, and the INT8 / approximate-softmax error paths flow
+through exactly the matrices the accelerator computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from .vocab import Vocab
+
+#: The context marker that mutates the following word's translation.
+MARKER_WORD = "doppel"
+
+
+def _source_words(num_words: int) -> List[str]:
+    return [f"s{i:02d}" for i in range(num_words)] + [MARKER_WORD]
+
+
+def _target_words(num_words: int) -> List[str]:
+    base = [f"t{i:02d}" for i in range(num_words)]
+    alt = [f"t{i:02d}x" for i in range(num_words)]
+    return base + alt + ["dop"]
+
+
+@dataclass(frozen=True)
+class SentencePair:
+    """One parallel sentence (token strings, no specials)."""
+
+    source: Tuple[str, ...]
+    target: Tuple[str, ...]
+
+
+class SyntheticTranslationTask:
+    """Deterministic cipher+reverse "language pair" with its vocabularies.
+
+    Attributes:
+        src_vocab / tgt_vocab: :class:`Vocab` instances for each side.
+        num_words: Size of the content lexicon (excluding the marker).
+    """
+
+    def __init__(self, num_words: int = 32, min_len: int = 4,
+                 max_len: int = 12, marker_prob: float = 0.15) -> None:
+        if num_words < 4:
+            raise ShapeError("need at least 4 content words")
+        if not 2 <= min_len <= max_len:
+            raise ShapeError("require 2 <= min_len <= max_len")
+        self.num_words = num_words
+        self.min_len = min_len
+        self.max_len = max_len
+        self.marker_prob = marker_prob
+        self.src_vocab = Vocab(_source_words(num_words))
+        self.tgt_vocab = Vocab(_target_words(num_words))
+
+    # ------------------------------------------------------------------
+    # The ground-truth translation function
+    # ------------------------------------------------------------------
+    def translate(self, source: Sequence[str]) -> List[str]:
+        """Apply the deterministic translation rules to a source sentence."""
+        out: List[str] = []
+        previous_was_marker = False
+        for word in source:
+            if word == MARKER_WORD:
+                out.append("dop")
+                previous_was_marker = True
+                continue
+            if not word.startswith("s"):
+                raise ShapeError(f"unknown source word {word!r}")
+            index = int(word[1:])
+            if not 0 <= index < self.num_words:
+                raise ShapeError(f"source word {word!r} out of lexicon")
+            form = f"t{index:02d}x" if previous_was_marker else f"t{index:02d}"
+            out.append(form)
+            previous_was_marker = False
+        out.reverse()
+        return out
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_source(self, rng: np.random.Generator) -> List[str]:
+        """Draw a random source sentence."""
+        length = int(rng.integers(self.min_len, self.max_len + 1))
+        words: List[str] = []
+        for _ in range(length):
+            if words and words[-1] != MARKER_WORD and \
+                    rng.random() < self.marker_prob:
+                words.append(MARKER_WORD)
+            else:
+                words.append(f"s{int(rng.integers(self.num_words)):02d}")
+        # A trailing marker would be vacuous; replace it.
+        if words[-1] == MARKER_WORD:
+            words[-1] = f"s{int(rng.integers(self.num_words)):02d}"
+        return words
+
+    def sample_pair(self, rng: np.random.Generator) -> SentencePair:
+        source = self.sample_source(rng)
+        return SentencePair(tuple(source), tuple(self.translate(source)))
+
+    def make_corpus(self, size: int, seed: int = 0) -> List[SentencePair]:
+        """Generate ``size`` parallel sentences deterministically."""
+        if size <= 0:
+            raise ShapeError("corpus size must be positive")
+        rng = np.random.default_rng(seed)
+        return [self.sample_pair(rng) for _ in range(size)]
+
+    def splits(
+        self, train: int = 2000, valid: int = 200, test: int = 200,
+        seed: int = 0,
+    ) -> Tuple[List[SentencePair], List[SentencePair], List[SentencePair]]:
+        """Disjoint train/valid/test splits from one stream."""
+        full = self.make_corpus(train + valid + test, seed=seed)
+        return (
+            full[:train],
+            full[train:train + valid],
+            full[train + valid:],
+        )

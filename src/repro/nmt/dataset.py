@@ -1,0 +1,80 @@
+"""Batching utilities: id encoding, padding, and epoch iteration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..errors import ShapeError
+from .corpus import SentencePair
+from .vocab import Vocab
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One padded training batch.
+
+    Attributes:
+        src: ``(batch, s_src)`` source ids (padded with PAD).
+        tgt_in: ``(batch, s_tgt)`` decoder input (BOS + target).
+        tgt_out: ``(batch, s_tgt)`` decoder labels (target + EOS).
+        src_lengths: Valid source lengths.
+        tgt_lengths: Valid decoder lengths (target length + 1).
+    """
+
+    src: np.ndarray
+    tgt_in: np.ndarray
+    tgt_out: np.ndarray
+    src_lengths: np.ndarray
+    tgt_lengths: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return self.src.shape[0]
+
+
+def _pad(rows: List[List[int]], pad_id: int) -> np.ndarray:
+    width = max(len(r) for r in rows)
+    out = np.full((len(rows), width), pad_id, dtype=np.int64)
+    for i, row in enumerate(rows):
+        out[i, :len(row)] = row
+    return out
+
+
+def encode_pairs(
+    pairs: Sequence[SentencePair], src_vocab: Vocab, tgt_vocab: Vocab
+) -> Batch:
+    """Encode and pad a list of sentence pairs into one batch."""
+    if not pairs:
+        raise ShapeError("cannot encode an empty pair list")
+    src_rows = [src_vocab.encode(p.source) for p in pairs]
+    tgt_rows = [tgt_vocab.encode(p.target) for p in pairs]
+    tgt_in_rows = [[tgt_vocab.bos_id] + row for row in tgt_rows]
+    tgt_out_rows = [row + [tgt_vocab.eos_id] for row in tgt_rows]
+    return Batch(
+        src=_pad(src_rows, src_vocab.pad_id),
+        tgt_in=_pad(tgt_in_rows, tgt_vocab.pad_id),
+        tgt_out=_pad(tgt_out_rows, tgt_vocab.pad_id),
+        src_lengths=np.array([len(r) for r in src_rows], dtype=np.int64),
+        tgt_lengths=np.array([len(r) + 1 for r in tgt_rows], dtype=np.int64),
+    )
+
+
+def iter_batches(
+    pairs: Sequence[SentencePair],
+    src_vocab: Vocab,
+    tgt_vocab: Vocab,
+    batch_size: int,
+    rng: np.random.Generator = None,
+) -> Iterator[Batch]:
+    """Yield shuffled (if ``rng``) fixed-size batches over one epoch."""
+    if batch_size <= 0:
+        raise ShapeError("batch_size must be positive")
+    order = np.arange(len(pairs))
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, len(pairs), batch_size):
+        chunk = [pairs[i] for i in order[start:start + batch_size]]
+        yield encode_pairs(chunk, src_vocab, tgt_vocab)

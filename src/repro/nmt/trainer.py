@@ -1,0 +1,161 @@
+"""Training and evaluation loops for the synthetic translation task.
+
+Produces the trained FP32 checkpoint the quantization study (paper
+Section V-A) starts from; :func:`evaluate_bleu` scores any model that
+implements the ``encode/decode/generator/build_masks`` protocol (the FP
+model and the quantized model alike), mirroring the paper's BLEU protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import TrainingError
+from ..transformer import Adam, NoamSchedule, Transformer, cross_entropy
+from ..transformer.decoding import greedy_decode
+from .bleu import corpus_bleu
+from .corpus import SentencePair, SyntheticTranslationTask
+from .dataset import encode_pairs, iter_batches
+
+
+@dataclass
+class TrainingLog:
+    """Loss / learning-rate trace of a training run."""
+
+    losses: List[float] = field(default_factory=list)
+    rates: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise TrainingError("no training steps were recorded")
+        return self.losses[-1]
+
+
+def train_model(
+    model: Transformer,
+    task: SyntheticTranslationTask,
+    train_pairs: Sequence[SentencePair],
+    epochs: int = 10,
+    batch_size: int = 32,
+    warmup: int = 200,
+    lr_factor: float = 1.0,
+    grad_clip: float = 5.0,
+    seed: int = 0,
+    label_smoothing: float = 0.0,
+    log_every: int = 0,
+) -> TrainingLog:
+    """Teacher-forced training with Adam + Noam warmup.
+
+    Returns the loss trace; the model is updated in place.
+    """
+    if epochs <= 0:
+        raise TrainingError("epochs must be positive")
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model.parameters(), grad_clip=grad_clip)
+    schedule = NoamSchedule(model.config.d_model, warmup=warmup,
+                            factor=lr_factor)
+    log = TrainingLog()
+    model.train()
+    step = 0
+    for _ in range(epochs):
+        batches = iter_batches(
+            train_pairs, task.src_vocab, task.tgt_vocab, batch_size, rng
+        )
+        for batch in batches:
+            rate = schedule.step(optimizer)
+            logits = model(
+                batch.src, batch.tgt_in,
+                src_lengths=batch.src_lengths,
+                tgt_lengths=batch.tgt_lengths,
+            )
+            loss = cross_entropy(
+                logits, batch.tgt_out,
+                ignore_index=task.tgt_vocab.pad_id,
+                label_smoothing=label_smoothing,
+            )
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            log.losses.append(loss.item())
+            log.rates.append(rate)
+            step += 1
+            if log_every and step % log_every == 0:
+                print(f"step {step}: loss {loss.item():.4f} lr {rate:.5f}")
+    model.eval()
+    if not np.isfinite(log.final_loss):
+        raise TrainingError("training diverged (non-finite loss)")
+    return log
+
+
+def evaluate_bleu(
+    model,
+    task: SyntheticTranslationTask,
+    pairs: Sequence[SentencePair],
+    max_len: Optional[int] = None,
+    batch_size: int = 32,
+) -> float:
+    """Greedy-decode ``pairs`` and return corpus BLEU against references.
+
+    ``model`` may be the FP32 Transformer or a QuantizedTransformer.
+    """
+    if not pairs:
+        raise TrainingError("evaluate_bleu needs at least one pair")
+    if max_len is None:
+        max_len = task.max_len + 4
+    hypotheses: List[List[str]] = []
+    references: List[List[str]] = []
+    for start in range(0, len(pairs), batch_size):
+        chunk = list(pairs[start:start + batch_size])
+        batch = encode_pairs(chunk, task.src_vocab, task.tgt_vocab)
+        results = greedy_decode(
+            model, batch.src, batch.src_lengths,
+            bos_id=task.tgt_vocab.bos_id, eos_id=task.tgt_vocab.eos_id,
+            max_len=max_len,
+        )
+        for pair, result in zip(chunk, results):
+            hypotheses.append(task.tgt_vocab.decode(result.tokens))
+            references.append(list(pair.target))
+    return corpus_bleu(hypotheses, references)
+
+
+def exact_match_rate(
+    model,
+    task: SyntheticTranslationTask,
+    pairs: Sequence[SentencePair],
+    batch_size: int = 32,
+) -> float:
+    """Fraction of sentences decoded exactly right (a stricter metric)."""
+    if not pairs:
+        raise TrainingError("exact_match_rate needs at least one pair")
+    correct = 0
+    for start in range(0, len(pairs), batch_size):
+        chunk = list(pairs[start:start + batch_size])
+        batch = encode_pairs(chunk, task.src_vocab, task.tgt_vocab)
+        results = greedy_decode(
+            model, batch.src, batch.src_lengths,
+            bos_id=task.tgt_vocab.bos_id, eos_id=task.tgt_vocab.eos_id,
+            max_len=task.max_len + 4,
+        )
+        for pair, result in zip(chunk, results):
+            if task.tgt_vocab.decode(result.tokens) == list(pair.target):
+                correct += 1
+    return correct / len(pairs)
+
+
+def default_nmt_config(max_seq_len: int = 24) -> ModelConfig:
+    """The small config used for the quantization study's trained model.
+
+    d_model = 64 (one 64-wide head, matching the accelerator's head size),
+    two encoder and two decoder layers — small enough to train in numpy in
+    about a minute, large enough to master the synthetic task.
+    """
+    return ModelConfig(
+        "nmt-small", d_model=64, d_ff=256, num_heads=1,
+        num_encoder_layers=2, num_decoder_layers=2,
+        max_seq_len=max_seq_len, dropout=0.0,
+    )

@@ -1,0 +1,80 @@
+"""Vocabulary with the four standard special tokens.
+
+The synthetic corpus uses word-level tokens; :class:`Vocab` maps between
+surface strings and integer ids, reserving PAD=0, BOS=1, EOS=2, UNK=3 as
+most NMT toolchains do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from ..errors import ShapeError
+
+PAD_TOKEN = "<pad>"
+BOS_TOKEN = "<bos>"
+EOS_TOKEN = "<eos>"
+UNK_TOKEN = "<unk>"
+SPECIAL_TOKENS = (PAD_TOKEN, BOS_TOKEN, EOS_TOKEN, UNK_TOKEN)
+
+
+class Vocab:
+    """Bidirectional token/string mapping with reserved specials."""
+
+    def __init__(self, words: Iterable[str]) -> None:
+        self._itos: List[str] = list(SPECIAL_TOKENS)
+        seen = set(self._itos)
+        for word in words:
+            if word in seen:
+                raise ShapeError(f"duplicate vocabulary word {word!r}")
+            seen.add(word)
+            self._itos.append(word)
+        self._stoi: Dict[str, int] = {w: i for i, w in enumerate(self._itos)}
+
+    def __len__(self) -> int:
+        return len(self._itos)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._stoi
+
+    @property
+    def pad_id(self) -> int:
+        return self._stoi[PAD_TOKEN]
+
+    @property
+    def bos_id(self) -> int:
+        return self._stoi[BOS_TOKEN]
+
+    @property
+    def eos_id(self) -> int:
+        return self._stoi[EOS_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._stoi[UNK_TOKEN]
+
+    def encode(self, words: Sequence[str]) -> List[int]:
+        """Word sequence -> id sequence (unknowns map to UNK)."""
+        return [self._stoi.get(w, self.unk_id) for w in words]
+
+    def decode(self, ids: Sequence[int], strip_special: bool = True) -> List[str]:
+        """Id sequence -> word sequence."""
+        words = []
+        for token_id in ids:
+            if not 0 <= token_id < len(self._itos):
+                raise ShapeError(f"token id {token_id} out of range")
+            word = self._itos[token_id]
+            if strip_special and word in SPECIAL_TOKENS:
+                continue
+            words.append(word)
+        return words
+
+    def word(self, token_id: int) -> str:
+        if not 0 <= token_id < len(self._itos):
+            raise ShapeError(f"token id {token_id} out of range")
+        return self._itos[token_id]
+
+    def id(self, word: str) -> int:
+        if word not in self._stoi:
+            raise ShapeError(f"unknown word {word!r}")
+        return self._stoi[word]

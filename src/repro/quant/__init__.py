@@ -1,0 +1,50 @@
+"""INT8 post-training quantization (paper Section V-A).
+
+Two-step pipeline matching the paper: (1) quantize all ResBlock weight and
+activation matrices to INT8 with FP32 softmax; (2) additionally replace the
+softmax by the hardware EXP/LN-unit approximation.
+"""
+
+from .calibration import Calibrator
+from .qbert import QuantizedEncoderOnly
+from .qmodel import (
+    QuantFFNResBlock,
+    QuantMHAResBlock,
+    QuantizedTransformer,
+    SOFTMAX_FP32,
+    SOFTMAX_HARDWARE,
+)
+from .qsoftmax import HardwareSoftmax
+from .quantizer import (
+    QuantParams,
+    QuantizedTensor,
+    int_gemm,
+    quantization_error,
+    symmetric_scale,
+)
+from .sensitivity import (
+    SensitivityResult,
+    full_vs_sum_of_parts,
+    rank_by_sensitivity,
+    tap_sensitivity,
+)
+
+__all__ = [
+    "Calibrator",
+    "HardwareSoftmax",
+    "QuantFFNResBlock",
+    "QuantMHAResBlock",
+    "QuantParams",
+    "QuantizedEncoderOnly",
+    "QuantizedTensor",
+    "QuantizedTransformer",
+    "SOFTMAX_FP32",
+    "SOFTMAX_HARDWARE",
+    "SensitivityResult",
+    "full_vs_sum_of_parts",
+    "int_gemm",
+    "quantization_error",
+    "rank_by_sensitivity",
+    "symmetric_scale",
+    "tap_sensitivity",
+]

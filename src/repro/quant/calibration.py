@@ -1,0 +1,75 @@
+"""Activation-range calibration for post-training quantization.
+
+Static symmetric quantization needs one ``amax`` per activation tap.  The
+:class:`Calibrator` is a tiny observer registry: quantized blocks call
+:meth:`observe` while the model runs calibration batches in FP mode, and
+:meth:`params` afterwards freezes each tap's :class:`QuantParams`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import QuantizationError
+from .quantizer import QuantParams
+
+
+class Calibrator:
+    """Records per-tap absolute maxima over calibration batches.
+
+    Taps are addressed by dotted string names (e.g.
+    ``"encoder.layer0.self_attn.q_act"``); the same calibrator instance is
+    shared by every quantized block of a model.
+    """
+
+    def __init__(self, bits: int = 8) -> None:
+        self.bits = bits
+        self._amax: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._frozen = False
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def observe(self, tap: str, tensor: np.ndarray) -> None:
+        """Record the absolute maximum of ``tensor`` for ``tap``."""
+        if self._frozen:
+            raise QuantizationError(
+                f"calibrator is frozen; cannot observe tap {tap!r}"
+            )
+        amax = float(np.abs(np.asarray(tensor)).max(initial=0.0))
+        self._amax[tap] = max(self._amax.get(tap, 0.0), amax)
+        self._counts[tap] = self._counts.get(tap, 0) + 1
+
+    def freeze(self) -> None:
+        """Stop collection; :meth:`params` becomes available."""
+        if not self._amax:
+            raise QuantizationError("cannot freeze an empty calibrator")
+        self._frozen = True
+
+    def params(self, tap: str) -> QuantParams:
+        """Quantization parameters for a calibrated tap."""
+        if not self._frozen:
+            raise QuantizationError("freeze() the calibrator before params()")
+        if tap not in self._amax:
+            raise QuantizationError(f"tap {tap!r} was never observed")
+        return QuantParams.from_amax(self._amax[tap], self.bits)
+
+    def amax(self, tap: str) -> float:
+        if tap not in self._amax:
+            raise QuantizationError(f"tap {tap!r} was never observed")
+        return self._amax[tap]
+
+    def taps(self) -> List[str]:
+        """All observed tap names, sorted."""
+        return sorted(self._amax)
+
+    def observation_count(self, tap: str) -> int:
+        return self._counts.get(tap, 0)
+
+    def summary(self) -> Dict[str, float]:
+        """Copy of the tap -> amax table (for reports/tests)."""
+        return dict(self._amax)

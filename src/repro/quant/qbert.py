@@ -1,0 +1,128 @@
+"""INT8 quantization of encoder-only (BERT-style) models.
+
+Reuses the same :class:`~repro.quant.qmodel.QuantMHAResBlock` /
+:class:`~repro.quant.qmodel.QuantFFNResBlock` integer datapath as the
+seq2seq pipeline — by Section II-B's own argument, BERT's layers *are*
+those two ResBlocks — and exposes ``enc_mha`` / ``enc_ffn`` with the same
+interface, so :class:`~repro.core.model_runner.AcceleratedStack`'s
+encoder path accepts a quantized BERT unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..errors import QuantizationError
+from ..transformer.bert import EncoderOnlyClassifier
+from ..transformer.masks import padding_mask
+from .calibration import Calibrator
+from .qmodel import QuantFFNResBlock, QuantMHAResBlock, SOFTMAX_FP32
+
+
+class QuantizedEncoderOnly:
+    """INT8 inference wrapper for an :class:`EncoderOnlyClassifier`.
+
+    The pooler and classification head stay FP (they are outside the
+    accelerator's scope, like the seq2seq generator).
+    """
+
+    def __init__(
+        self,
+        model: EncoderOnlyClassifier,
+        softmax_mode: str = SOFTMAX_FP32,
+    ) -> None:
+        model.eval()
+        self._model = model
+        self.config = model.config
+        self.calibrator = Calibrator()
+        self._calibrating = False
+        self.enc_mha = []
+        self.enc_ffn = []
+        for i, layer in enumerate(model.encoder.layers):
+            self.enc_mha.append(QuantMHAResBlock(
+                layer.self_attn, self.calibrator, f"enc{i}.self",
+                softmax_mode,
+            ))
+            self.enc_ffn.append(QuantFFNResBlock(
+                layer.ffn, self.calibrator, f"enc{i}.ffn",
+            ))
+
+    # ------------------------------------------------------------------
+    @property
+    def softmax_mode(self) -> str:
+        return self.enc_mha[0].softmax_mode
+
+    @softmax_mode.setter
+    def softmax_mode(self, mode: str) -> None:
+        for block in self.enc_mha:
+            if mode not in ("fp32", "hardware"):
+                raise QuantizationError(f"unknown softmax mode {mode!r}")
+            block.softmax_mode = mode
+
+    # ------------------------------------------------------------------
+    def _embed(self, token_ids: np.ndarray) -> np.ndarray:
+        model = self._model
+        return model.positional(model.embed(np.asarray(token_ids))).numpy()
+
+    # AcceleratedStack compatibility: it calls quant._embed_src.
+    _embed_src = _embed
+
+    def encode(
+        self,
+        token_ids: np.ndarray,
+        lengths: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Integer-datapath encoder; returns ``(batch, s, d_model)``."""
+        token_ids = np.asarray(token_ids)
+        mask = None
+        if lengths is not None:
+            mask = padding_mask(np.asarray(lengths), token_ids.shape[1])
+        x = self._embed(token_ids)
+        for mha, ffn in zip(self.enc_mha, self.enc_ffn):
+            if self._calibrating:
+                x = mha.forward_calibrate(x, x, mask)
+                x = ffn.forward_calibrate(x)
+            else:
+                x = mha.forward_int8(x, x, mask)
+                x = ffn.forward_int8(x)
+        return x
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        lengths: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Class logits ``(batch, num_classes)``."""
+        from ..transformer.tensor import Tensor
+
+        states = self.encode(token_ids, lengths)
+        cls_state = Tensor(states[:, 0, :])
+        pooled = self._model.pooler(cls_state).tanh()
+        return self._model.classifier(pooled).numpy()
+
+    def predict(
+        self,
+        token_ids: np.ndarray,
+        lengths: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return self.forward(token_ids, lengths).argmax(axis=-1)
+
+    # ------------------------------------------------------------------
+    def calibrate(
+        self,
+        batches: Iterable[Tuple[np.ndarray, Optional[np.ndarray]]],
+    ) -> None:
+        """FP passes over ``(token_ids, lengths)`` batches, then freeze."""
+        self._calibrating = True
+        try:
+            count = 0
+            for token_ids, lengths in batches:
+                self.forward(token_ids, lengths)
+                count += 1
+            if count == 0:
+                raise QuantizationError("calibrate() received no batches")
+        finally:
+            self._calibrating = False
+        self.calibrator.freeze()

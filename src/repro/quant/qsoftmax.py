@@ -1,0 +1,121 @@
+"""Quantized scaled masked-softmax using the hardware EXP/LN units.
+
+This is the paper's *second* quantization step (Section V-A): after the
+INT8 model is built, the softmax itself is replaced by the log-sum-exp
+formulation evaluated with the piecewise-linear EXP and LN units of
+Wang et al. [13] — the exact arithmetic of the accelerator's Softmax
+module (Fig. 6), including the ``>> 3`` scaling for ``sqrt(d_k) = 8``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import QuantizationError
+from ..fixedpoint import ExpUnit, LnUnit, QFormat, SOFTMAX_Q
+
+
+@dataclass
+class HardwareSoftmax:
+    """Bit-approximate model of the accelerator's softmax function.
+
+    Evaluates Eq. (4)/(5): ``y = exp(x - x_max - ln(sum exp(x - x_max)))``
+    on the scaled logits ``x = D / scale_divisor`` with the multiplier-free
+    EXP/LN units; masked entries produce exactly 0.
+
+    Attributes:
+        scale_divisor: ``sqrt(d_k)``; must be a power of two so the
+            hardware can realize it as a right shift (8 -> ``>> 3``).
+        in_fmt: Fixed-point format of the shifted logits.
+    """
+
+    scale_divisor: float = 8.0
+    in_fmt: QFormat = SOFTMAX_Q
+    exp_unit: ExpUnit = field(default=None)  # type: ignore[assignment]
+    ln_unit: LnUnit = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        log2 = np.log2(self.scale_divisor)
+        if log2 != int(log2):
+            raise QuantizationError(
+                f"scale_divisor {self.scale_divisor} is not a power of two; "
+                "the hardware implements it as a right shift"
+            )
+        if self.exp_unit is None:
+            self.exp_unit = ExpUnit(in_fmt=self.in_fmt)
+        if self.ln_unit is None:
+            sum_fmt = QFormat(
+                int_bits=self.ln_unit_sum_int_bits(),
+                frac_bits=self.exp_unit.out_frac_bits,
+            )
+            self.ln_unit = LnUnit(in_fmt=sum_fmt)
+
+    def ln_unit_sum_int_bits(self, max_row: int = 512) -> int:
+        """Integer bits needed by the row-sum register (sum <= row length)."""
+        return int(np.ceil(np.log2(max_row))) + 2
+
+    @property
+    def shift_bits(self) -> int:
+        """The right-shift amount implementing ``/ scale_divisor``."""
+        return int(np.log2(self.scale_divisor))
+
+    def __call__(
+        self, logits: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Approximate scaled masked-softmax over the last axis.
+
+        Args:
+            logits: Raw ``Q K^T`` values (pre-scaling), any leading shape.
+            mask: Optional boolean array broadcastable to ``logits``;
+                True marks an illegal connection (output forced to 0).
+
+        Returns:
+            Row-stochastic array (approximately; the PWL approximation
+            perturbs each row sum by a few percent, exactly as the RTL
+            does).
+        """
+        x = np.asarray(logits, dtype=np.float64) / self.scale_divisor
+        if mask is not None:
+            mask = np.broadcast_to(np.asarray(mask, dtype=bool), x.shape)
+        # Stage 1 (Fig. 6): running row maximum over legal entries.
+        if mask is not None:
+            legal = np.where(mask, -np.inf, x)
+        else:
+            legal = x
+        row_max = legal.max(axis=-1, keepdims=True)
+        row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+
+        # Stage 2: EXP of the (non-positive) differences, in fixed point.
+        diff = np.minimum(legal - row_max, 0.0)
+        diff = np.where(np.isfinite(diff), diff, self.in_fmt.min_value)
+        diff_codes = self.in_fmt.quantize(diff)
+        exp_codes = self.exp_unit(diff_codes)
+        if mask is not None:
+            exp_codes = np.where(mask, 0, exp_codes)
+
+        # Stage 3: row sum (integer accumulate, as the SUM stage does).
+        sums = exp_codes.sum(axis=-1, keepdims=True)
+        sums = np.maximum(sums, 1)
+
+        # Stage 4: LN of the sum, then one more EXP of (diff - ln_sum).
+        ln_codes = self.ln_unit(sums)
+        ln_fp = self.ln_unit.out_fmt.dequantize(ln_codes)
+        final_in = self.in_fmt.quantize(
+            np.minimum(diff - ln_fp, 0.0)
+        )
+        y_codes = self.exp_unit(final_in)
+        y = self.exp_unit.out_fmt.dequantize(y_codes)
+        if mask is not None:
+            y = np.where(mask, 0.0, y)
+        return y
+
+    def max_row_sum_error(self, rows: int = 64, cols: int = 64,
+                          seed: int = 0) -> float:
+        """Worst |row_sum - 1| over random logits (a fidelity metric)."""
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(0.0, 8.0, size=(rows, cols))
+        y = self(logits)
+        return float(np.abs(y.sum(axis=-1) - 1.0).max())

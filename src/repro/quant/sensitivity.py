@@ -1,0 +1,140 @@
+"""Per-tap quantization sensitivity analysis.
+
+Section V-A quantizes *everything* at once.  A natural follow-up question
+for anyone deploying the accelerator: which activation tap actually costs
+accuracy?  :func:`tap_sensitivity` answers it by quantizing one tap group
+at a time (weights stay INT8 throughout, as the datapath requires) and
+measuring the output perturbation against the FP32 model — identifying
+the taps that would deserve wider formats if the INT8 budget ever proved
+insufficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import QuantizationError
+from ..transformer.model import Transformer
+from .qmodel import QuantizedTransformer
+
+#: Tap groups, by suffix, in the order the datapath touches them.
+TAP_GROUPS = (
+    "in_q", "in_kv", "q_act", "k_act", "v_act", "context", "in", "hidden",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Output perturbation caused by one tap group's quantization.
+
+    Attributes:
+        tap_group: The suffix identifying the group (e.g. ``"hidden"``).
+        rms_error: RMS logit error vs FP32 over the probe batch.
+        max_error: Worst absolute logit error.
+        relative_rms: ``rms_error`` normalized by the FP32 logit RMS.
+    """
+
+    tap_group: str
+    rms_error: float
+    max_error: float
+    relative_rms: float
+
+
+def _forward_with_selected_taps(
+    quant: QuantizedTransformer,
+    enabled_groups: Sequence[str],
+    src: np.ndarray,
+    tgt: np.ndarray,
+    lengths: np.ndarray,
+) -> np.ndarray:
+    """Run INT8 inference with only some activation taps quantized.
+
+    Implemented by monkey-patching each block's calibrated params lookup:
+    taps outside ``enabled_groups`` get an effectively-infinite-resolution
+    QuantParams (scale small enough that quantization is a no-op at the
+    probe's dynamic range).
+    """
+    from .quantizer import QuantParams
+
+    cal = quant.calibrator
+    original = cal.params
+
+    def patched(tap: str) -> QuantParams:
+        params = original(tap)
+        group = tap.rsplit(".", 1)[-1]
+        if group in enabled_groups:
+            return params
+        # 24-bit grid at the same range: quantization error negligible.
+        return QuantParams(scale=params.scale / 65536.0, bits=24)
+
+    cal.params = patched
+    try:
+        return quant.forward(src, tgt, lengths).numpy()
+    finally:
+        cal.params = original
+
+
+def tap_sensitivity(
+    model: Transformer,
+    quant: QuantizedTransformer,
+    src: np.ndarray,
+    tgt: np.ndarray,
+    lengths: np.ndarray,
+    groups: Sequence[str] = TAP_GROUPS,
+) -> List[SensitivityResult]:
+    """Quantize one tap group at a time; measure logit perturbation."""
+    if not quant.calibrator.frozen:
+        raise QuantizationError("calibrate the quantized model first")
+    model.eval()
+    fp_logits = model(src, tgt, src_lengths=lengths).numpy()
+    fp_rms = float(np.sqrt(np.mean(fp_logits ** 2)))
+    results = []
+    for group in groups:
+        got = _forward_with_selected_taps(quant, [group], src, tgt, lengths)
+        err = got - fp_logits
+        rms = float(np.sqrt(np.mean(err ** 2)))
+        results.append(SensitivityResult(
+            tap_group=group,
+            rms_error=rms,
+            max_error=float(np.abs(err).max()),
+            relative_rms=rms / fp_rms if fp_rms else 0.0,
+        ))
+    return results
+
+
+def rank_by_sensitivity(
+    results: Sequence[SensitivityResult],
+) -> List[Tuple[str, float]]:
+    """``(tap_group, relative_rms)`` pairs, most sensitive first."""
+    if not results:
+        raise QuantizationError("no sensitivity results")
+    ranked = sorted(results, key=lambda r: r.relative_rms, reverse=True)
+    return [(r.tap_group, r.relative_rms) for r in ranked]
+
+
+def full_vs_sum_of_parts(
+    model: Transformer,
+    quant: QuantizedTransformer,
+    src: np.ndarray,
+    tgt: np.ndarray,
+    lengths: np.ndarray,
+) -> Dict[str, float]:
+    """Compare all-taps-quantized error to the per-tap errors' RSS.
+
+    If tap errors were independent, the full error would be close to the
+    root-sum-square of the individual ones; a large excess indicates
+    error interaction between stages.
+    """
+    results = tap_sensitivity(model, quant, src, tgt, lengths)
+    fp_logits = model(src, tgt, src_lengths=lengths).numpy()
+    full = quant.forward(src, tgt, lengths).numpy() - fp_logits
+    full_rms = float(np.sqrt(np.mean(full ** 2)))
+    rss = float(np.sqrt(sum(r.rms_error ** 2 for r in results)))
+    return {
+        "full_rms": full_rms,
+        "per_tap_rss": rss,
+        "interaction_ratio": full_rms / rss if rss else float("inf"),
+    }

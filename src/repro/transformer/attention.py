@@ -1,0 +1,162 @@
+"""Multi-head attention ResBlock (paper Fig. 2, Eq. 1).
+
+The projections are stored as full ``(d_model, d_model)`` matrices; the
+per-head ``W_Qi / W_Ki / W_Vi`` of the paper's Fig. 3 are their contiguous
+64-column blocks, exposed via :meth:`MultiHeadAttention.head_weight` so the
+accelerator's weight loader and the partitioner address exactly the blocks
+the paper draws.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from .layers import Dropout, LayerNorm, Linear
+from .module import Module
+from .tensor import Tensor
+
+
+def split_heads(x: Tensor, num_heads: int) -> Tensor:
+    """``(batch, s, d_model) -> (batch, heads, s, d_k)``."""
+    batch, seq_len, d_model = x.shape
+    if d_model % num_heads:
+        raise ShapeError(f"d_model {d_model} not divisible by {num_heads} heads")
+    d_k = d_model // num_heads
+    return x.reshape(batch, seq_len, num_heads, d_k).transpose(0, 2, 1, 3)
+
+
+def merge_heads(x: Tensor) -> Tensor:
+    """``(batch, heads, s, d_k) -> (batch, s, d_model)`` (the Concat box)."""
+    batch, heads, seq_len, d_k = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(batch, seq_len, heads * d_k)
+
+
+class ScaledDotProductAttention(Module):
+    """Eq. (1): ``softmax(mask(Q K^T / sqrt(d_k))) V`` with autograd."""
+
+    def __init__(self, dropout: float = 0.0) -> None:
+        super().__init__()
+        self.dropout = Dropout(dropout)
+
+    def forward(
+        self,
+        q: Tensor,
+        k: Tensor,
+        v: Tensor,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        """Returns ``(context, attention_weights)``."""
+        d_k = q.shape[-1]
+        logits = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(d_k))
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.ndim == logits.ndim - 1:
+                # Per-batch (s_q, s_v) masks broadcast over heads.
+                mask = mask[:, None, :, :]
+            logits = logits.masked_fill(mask, -1e9)
+        weights = logits.softmax(axis=-1)
+        weights = self.dropout(weights)
+        return weights @ v, weights
+
+
+class MultiHeadAttention(Module):
+    """The MHA sublayer: h parallel heads, concatenated, linearly mixed."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if d_model % num_heads:
+            raise ShapeError(
+                f"d_model {d_model} must be divisible by num_heads {num_heads}"
+            )
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_k = d_model // num_heads
+        self.q_proj = Linear(d_model, d_model, rng=rng)
+        self.k_proj = Linear(d_model, d_model, rng=rng)
+        self.v_proj = Linear(d_model, d_model, rng=rng)
+        self.out_proj = Linear(d_model, d_model, rng=rng)  # W_G in Fig. 3
+        self.attention = ScaledDotProductAttention(dropout)
+
+    def head_weight(self, kind: str, head: int) -> np.ndarray:
+        """The 64-column weight block ``W_{kind,head}`` of the paper's Fig. 3.
+
+        Args:
+            kind: One of ``"q"``, ``"k"``, ``"v"`` (projection blocks,
+                columns of the respective matrix) or ``"g"`` (the output
+                projection W_G block).
+            head: Head index in ``[0, num_heads)``.
+        """
+        if not 0 <= head < self.num_heads:
+            raise ShapeError(f"head {head} out of range [0, {self.num_heads})")
+        layers = {
+            "q": self.q_proj, "k": self.k_proj,
+            "v": self.v_proj, "g": self.out_proj,
+        }
+        if kind not in layers:
+            raise ShapeError(f"kind must be one of {sorted(layers)}")
+        start = head * self.d_k
+        return layers[kind].weight.data[:, start:start + self.d_k]
+
+    def head_bias(self, kind: str, head: int) -> np.ndarray:
+        """The 64-wide bias slice matching :meth:`head_weight`."""
+        layers = {
+            "q": self.q_proj, "k": self.k_proj,
+            "v": self.v_proj, "g": self.out_proj,
+        }
+        if kind not in layers:
+            raise ShapeError(f"kind must be one of {sorted(layers)}")
+        if not 0 <= head < self.num_heads:
+            raise ShapeError(f"head {head} out of range [0, {self.num_heads})")
+        start = head * self.d_k
+        return layers[kind].bias.data[start:start + self.d_k]
+
+    def forward(
+        self,
+        q: Tensor,
+        k: Tensor,
+        v: Tensor,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        heads_q = split_heads(self.q_proj(q), self.num_heads)
+        heads_k = split_heads(self.k_proj(k), self.num_heads)
+        heads_v = split_heads(self.v_proj(v), self.num_heads)
+        context, _ = self.attention(heads_q, heads_k, heads_v, mask)
+        return self.out_proj(merge_heads(context))
+
+
+class MHAResBlock(Module):
+    """``LayerNorm(q + MHA(q, k, v))`` — the full MHA ResBlock of Fig. 2.
+
+    The residual connection adds the *query* input, matching line 10 of the
+    paper's Algorithm 1 (``G_i = P W_Gi + Bias_Gi + Q_i``).
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.mha = MultiHeadAttention(d_model, num_heads, dropout, rng=rng)
+        self.norm = LayerNorm(d_model)
+        self.dropout = Dropout(dropout)
+
+    def forward(
+        self,
+        q: Tensor,
+        k: Tensor,
+        v: Tensor,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        return self.norm(q + self.dropout(self.mha(q, k, v, mask)))

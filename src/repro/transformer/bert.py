@@ -1,0 +1,95 @@
+"""Encoder-only (BERT-style) models.
+
+Section II-B of the paper argues the accelerator matters *because* the
+BERT family — BERT, T5, ERNIE, StructBERT — is built from the same two
+ResBlocks and dominates the GLUE leaderboard.  This module provides the
+encoder-only substrate those claims refer to: a BERT-style classifier
+(embeddings -> encoder stack -> [CLS] pooler -> classification head) whose
+every ResBlock is exactly the structure the accelerator executes.
+
+Works with the encoder-only Table I presets (``bert_base``,
+``bert_large``) and any custom :class:`ModelConfig` with
+``num_decoder_layers == 0`` (decoder layers, if present, are ignored).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import ShapeError
+from .embedding import Embedding, PositionalEncoding
+from .encoder import Encoder
+from .layers import Dropout, Linear
+from .masks import padding_mask
+from .module import Module
+from .tensor import Tensor
+
+
+class EncoderOnlyClassifier(Module):
+    """BERT-style sequence classifier.
+
+    The input convention mirrors BERT: position 0 carries a [CLS] token
+    whose final hidden state feeds the pooler + classification head.
+
+    Attributes:
+        config: Model hyper-parameters (decoder depth ignored).
+        num_classes: Output label count.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        vocab_size: int,
+        num_classes: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_classes < 2:
+            raise ShapeError("need at least two classes")
+        rng = rng or np.random.default_rng()
+        self.config = config
+        self.num_classes = num_classes
+        self.embed = Embedding(vocab_size, config.d_model, rng=rng)
+        self.positional = PositionalEncoding(config.max_seq_len,
+                                             config.d_model)
+        self.embed_dropout = Dropout(config.dropout, rng=rng)
+        self.encoder = Encoder(config, rng=rng)
+        self.pooler = Linear(config.d_model, config.d_model, rng=rng)
+        self.classifier = Linear(config.d_model, num_classes, rng=rng)
+
+    def encode(
+        self,
+        token_ids: np.ndarray,
+        lengths: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Run the encoder stack; returns ``(batch, s, d_model)`` states."""
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 2:
+            raise ShapeError("token_ids must be (batch, seq_len)")
+        mask = None
+        if lengths is not None:
+            mask = padding_mask(np.asarray(lengths), token_ids.shape[1])
+        x = self.embed_dropout(self.positional(self.embed(token_ids)))
+        return self.encoder(x, mask)
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        lengths: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Class logits ``(batch, num_classes)`` from the [CLS] state."""
+        states = self.encode(token_ids, lengths)
+        cls_state = states[:, 0, :]
+        pooled = self.pooler(cls_state).tanh()
+        return self.classifier(pooled)
+
+    def predict(
+        self,
+        token_ids: np.ndarray,
+        lengths: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Hard label predictions ``(batch,)``."""
+        return self.forward(token_ids, lengths).numpy().argmax(axis=-1)

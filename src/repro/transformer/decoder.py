@@ -1,0 +1,73 @@
+"""Transformer decoder stack (paper Fig. 1, right).
+
+Each decoder layer holds two MHA ResBlocks — masked self-attention and
+encoder-decoder cross-attention — followed by an FFN ResBlock, exactly the
+three-ResBlock layout the paper's Fig. 1 draws.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from .attention import MHAResBlock
+from .ffn import FFNResBlock
+from .module import Module
+from .tensor import Tensor
+
+
+class DecoderLayer(Module):
+    """Masked self-attention, cross-attention, then the FFN ResBlock."""
+
+    def __init__(
+        self, config: ModelConfig, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        super().__init__()
+        self.self_attn = MHAResBlock(
+            config.d_model, config.num_heads, config.dropout, rng=rng
+        )
+        self.cross_attn = MHAResBlock(
+            config.d_model, config.num_heads, config.dropout, rng=rng
+        )
+        self.ffn = FFNResBlock(
+            config.d_model, config.d_ff, config.dropout, rng=rng
+        )
+
+    def forward(
+        self,
+        x: Tensor,
+        memory: Tensor,
+        self_mask: Optional[np.ndarray] = None,
+        cross_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        x = self.self_attn(x, x, x, self_mask)
+        x = self.cross_attn(x, memory, memory, cross_mask)
+        return self.ffn(x)
+
+
+class Decoder(Module):
+    """``N`` identical decoder layers applied in sequence."""
+
+    def __init__(
+        self, config: ModelConfig, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.layers: List[DecoderLayer] = []
+        for i in range(config.num_decoder_layers):
+            layer = DecoderLayer(config, rng=rng)
+            setattr(self, f"layer{i}", layer)
+            self.layers.append(layer)
+
+    def forward(
+        self,
+        x: Tensor,
+        memory: Tensor,
+        self_mask: Optional[np.ndarray] = None,
+        cross_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, memory, self_mask, cross_mask)
+        return x

@@ -1,0 +1,79 @@
+"""Token embeddings and sinusoidal positional encoding (Vaswani et al.)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ShapeError
+from .module import Module, Parameter
+from .tensor import Tensor, embedding_lookup
+
+
+class Embedding(Module):
+    """Token-id to vector lookup table, scaled by ``sqrt(d_model)``.
+
+    Attributes:
+        table: ``(vocab_size, d_model)`` parameter.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        d_model: int,
+        scale: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if vocab_size <= 0 or d_model <= 0:
+            raise ShapeError("Embedding dimensions must be positive")
+        rng = rng or np.random.default_rng()
+        self.vocab_size = vocab_size
+        self.d_model = d_model
+        self.scale = np.sqrt(d_model) if scale else 1.0
+        self.table = Parameter(
+            rng.normal(0.0, d_model ** -0.5, size=(vocab_size, d_model)),
+            name="table",
+        )
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids)
+        if np.any(token_ids < 0) or np.any(token_ids >= self.vocab_size):
+            raise ShapeError(
+                f"token ids must lie in [0, {self.vocab_size}), got range "
+                f"[{token_ids.min()}, {token_ids.max()}]"
+            )
+        return embedding_lookup(self.table, token_ids) * self.scale
+
+
+def sinusoidal_encoding(max_len: int, d_model: int) -> np.ndarray:
+    """The fixed sin/cos positional table PE(pos, 2i) = sin(pos/10000^(2i/d))."""
+    if max_len <= 0 or d_model <= 0 or d_model % 2:
+        raise ShapeError("max_len > 0 and even d_model required")
+    positions = np.arange(max_len, dtype=np.float64)[:, None]
+    dims = np.arange(0, d_model, 2, dtype=np.float64)[None, :]
+    angles = positions / np.power(10000.0, dims / d_model)
+    table = np.zeros((max_len, d_model))
+    table[:, 0::2] = np.sin(angles)
+    table[:, 1::2] = np.cos(angles)
+    return table
+
+
+class PositionalEncoding(Module):
+    """Adds the (non-trainable) sinusoidal position table to embeddings."""
+
+    def __init__(self, max_len: int, d_model: int) -> None:
+        super().__init__()
+        self.max_len = max_len
+        self.d_model = d_model
+        self._table = sinusoidal_encoding(max_len, d_model)
+
+    def forward(self, x: Tensor) -> Tensor:
+        seq_len = x.shape[-2]
+        if seq_len > self.max_len:
+            raise ShapeError(
+                f"sequence length {seq_len} exceeds positional table "
+                f"capacity {self.max_len}"
+            )
+        return x + Tensor(self._table[:seq_len])

@@ -1,0 +1,52 @@
+"""Transformer encoder stack (paper Fig. 1, left)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from .attention import MHAResBlock
+from .ffn import FFNResBlock
+from .module import Module
+from .tensor import Tensor
+
+
+class EncoderLayer(Module):
+    """One encoder layer: a self-attention ResBlock then an FFN ResBlock."""
+
+    def __init__(
+        self, config: ModelConfig, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        super().__init__()
+        self.self_attn = MHAResBlock(
+            config.d_model, config.num_heads, config.dropout, rng=rng
+        )
+        self.ffn = FFNResBlock(
+            config.d_model, config.d_ff, config.dropout, rng=rng
+        )
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        x = self.self_attn(x, x, x, mask)
+        return self.ffn(x)
+
+
+class Encoder(Module):
+    """``N`` identical encoder layers applied in sequence."""
+
+    def __init__(
+        self, config: ModelConfig, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.layers: List[EncoderLayer] = []
+        for i in range(config.num_encoder_layers):
+            layer = EncoderLayer(config, rng=rng)
+            setattr(self, f"layer{i}", layer)
+            self.layers.append(layer)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, mask)
+        return x

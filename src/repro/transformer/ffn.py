@@ -1,0 +1,89 @@
+"""Position-wise feed-forward ResBlock (paper Eq. 2).
+
+``FFN(x) = ReLU(x W1 + b1) W2 + b2`` followed by the residual LayerNorm.
+The 64-column blocks of ``W1`` (4h of them) and ``W2`` (h of them) from the
+paper's Fig. 4 are exposed for the accelerator's weight loader.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ShapeError
+from .layers import Dropout, LayerNorm, Linear
+from .module import Module
+from .tensor import Tensor
+
+
+class PositionwiseFFN(Module):
+    """Two linear sublayers with a ReLU between them."""
+
+    def __init__(
+        self,
+        d_model: int,
+        d_ff: int,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.d_model = d_model
+        self.d_ff = d_ff
+        self.linear1 = Linear(d_model, d_ff, rng=rng)
+        self.linear2 = Linear(d_ff, d_model, rng=rng)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.linear2(self.dropout(self.linear1(x).relu()))
+
+    def w1_block(self, index: int, block_cols: int = 64) -> np.ndarray:
+        """The 64-column block ``W1_index`` of Fig. 4 (index in [0, 4h))."""
+        blocks = self.d_ff // block_cols
+        if not 0 <= index < blocks:
+            raise ShapeError(f"W1 block {index} out of range [0, {blocks})")
+        start = index * block_cols
+        return self.linear1.weight.data[:, start:start + block_cols]
+
+    def b1_block(self, index: int, block_cols: int = 64) -> np.ndarray:
+        """Bias slice matching :meth:`w1_block`."""
+        blocks = self.d_ff // block_cols
+        if not 0 <= index < blocks:
+            raise ShapeError(f"b1 block {index} out of range [0, {blocks})")
+        start = index * block_cols
+        return self.linear1.bias.data[start:start + block_cols]
+
+    def w2_block(self, index: int, block_cols: int = 64) -> np.ndarray:
+        """The 64-column block ``W2_index`` of Fig. 4 (index in [0, h))."""
+        blocks = self.d_model // block_cols
+        if not 0 <= index < blocks:
+            raise ShapeError(f"W2 block {index} out of range [0, {blocks})")
+        start = index * block_cols
+        return self.linear2.weight.data[:, start:start + block_cols]
+
+    def b2_block(self, index: int, block_cols: int = 64) -> np.ndarray:
+        """Bias slice matching :meth:`w2_block`."""
+        blocks = self.d_model // block_cols
+        if not 0 <= index < blocks:
+            raise ShapeError(f"b2 block {index} out of range [0, {blocks})")
+        start = index * block_cols
+        return self.linear2.bias.data[start:start + block_cols]
+
+
+class FFNResBlock(Module):
+    """``LayerNorm(x + FFN(x))`` — the FFN ResBlock of Eq. (2)."""
+
+    def __init__(
+        self,
+        d_model: int,
+        d_ff: int,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.ffn = PositionwiseFFN(d_model, d_ff, dropout, rng=rng)
+        self.norm = LayerNorm(d_model)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.norm(x + self.dropout(self.ffn(x)))

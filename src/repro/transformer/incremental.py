@@ -1,0 +1,221 @@
+"""Incremental (KV-cached) autoregressive decoding.
+
+The batch decoder in :mod:`repro.transformer.decoding` re-runs the whole
+target prefix every step — simple and correct, but O(t^2) per sentence.
+:class:`IncrementalDecoder` caches each decoder layer's self-attention
+keys/values and the (fixed) cross-attention projections of the encoder
+memory, so each step costs one token's worth of compute.
+
+This is a pure-numpy inference path over the trained model's weights (no
+autograd), and the tests verify it is numerically identical to the full
+re-run decoder.  It also documents, via :meth:`cache_bytes`, the memory
+the accelerator would need to serve autoregressive decoding — a
+consideration the paper's batch-1/fixed-s design leaves to future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import DecodingError, ShapeError
+from .functional import layer_norm, relu, softmax
+from .model import Transformer
+
+
+def _attention(q, k, v, mask_len: Optional[int] = None):
+    """Single-query multi-head attention over cached keys/values.
+
+    Args:
+        q: ``(h, 1, d_k)`` query for the new position.
+        k: ``(h, t, d_k)`` cached keys.
+        v: ``(h, t, d_k)`` cached values.
+        mask_len: Only the first ``mask_len`` key positions are legal.
+    """
+    d_k = q.shape[-1]
+    logits = q @ np.swapaxes(k, -1, -2) / np.sqrt(d_k)   # (h, 1, t)
+    if mask_len is not None:
+        logits[..., mask_len:] = -1e9
+    weights = softmax(logits, axis=-1)
+    return weights @ v                                    # (h, 1, d_k)
+
+
+@dataclass
+class _LayerCache:
+    """Self-attention K/V cache plus precomputed cross-attention K/V."""
+
+    self_k: np.ndarray     # (h, t, d_k), grows along t
+    self_v: np.ndarray
+    cross_k: np.ndarray    # (h, s, d_k), fixed
+    cross_v: np.ndarray
+
+
+class IncrementalDecoder:
+    """Step-by-step decoding with per-layer KV caches.
+
+    Usage::
+
+        dec = IncrementalDecoder(model)
+        dec.start(src_ids, src_length)
+        logits = dec.step(bos_id)          # logits over the vocabulary
+        logits = dec.step(next_token)      # ...
+
+    Only batch size 1 is supported (the paper's operating point).
+    """
+
+    def __init__(self, model: Transformer) -> None:
+        model.eval()
+        self.model = model
+        self.config = model.config
+        self._caches: List[_LayerCache] = []
+        self._memory: Optional[np.ndarray] = None
+        self._src_length: Optional[int] = None
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        """``(t, d_model) -> (h, t, d_k)``."""
+        t = x.shape[0]
+        h = self.config.num_heads
+        d_k = self.config.head_dim
+        return x.reshape(t, h, d_k).transpose(1, 0, 2)
+
+    def _merge(self, x: np.ndarray) -> np.ndarray:
+        """``(h, t, d_k) -> (t, d_model)``."""
+        h, t, d_k = x.shape
+        return x.transpose(1, 0, 2).reshape(t, h * d_k)
+
+    # ------------------------------------------------------------------
+    def start(self, src_ids: np.ndarray, src_length: Optional[int] = None):
+        """Encode the source and precompute cross-attention K/V caches."""
+        src_ids = np.asarray(src_ids)
+        if src_ids.ndim != 1:
+            raise ShapeError("start() takes a single unbatched id sequence")
+        s = src_ids.shape[0]
+        self._src_length = s if src_length is None else int(src_length)
+        if not 0 < self._src_length <= s:
+            raise DecodingError(
+                f"src_length {self._src_length} out of range (1, {s}]"
+            )
+        from .masks import padding_mask
+
+        enc_mask = padding_mask([self._src_length], s)
+        memory = self.model.encode(src_ids[None], enc_mask).numpy()[0]
+        self._memory = memory
+        self._caches = []
+        h = self.config.num_heads
+        d_k = self.config.head_dim
+        for layer in self.model.decoder.layers:
+            cross = layer.cross_attn.mha
+            cross_k = memory @ cross.k_proj.weight.data + cross.k_proj.bias.data
+            cross_v = memory @ cross.v_proj.weight.data + cross.v_proj.bias.data
+            self._caches.append(_LayerCache(
+                self_k=np.zeros((h, 0, d_k)),
+                self_v=np.zeros((h, 0, d_k)),
+                cross_k=self._split(cross_k),
+                cross_v=self._split(cross_v),
+            ))
+        self._position = 0
+        return memory
+
+    # ------------------------------------------------------------------
+    def step(self, token_id: int) -> np.ndarray:
+        """Feed one target token; returns next-token logits ``(vocab,)``."""
+        if self._memory is None:
+            raise DecodingError("call start() before step()")
+        if self._position >= self.config.max_seq_len:
+            raise DecodingError("exceeded the model's max_seq_len")
+        model = self.model
+        # Embed the single token at its position.
+        emb = model.tgt_embed(np.array([[token_id]])).numpy()[0, 0]
+        emb = emb + model.positional._table[self._position]
+        x = emb[None, :]                                  # (1, d_model)
+
+        for layer, cache in zip(model.decoder.layers, self._caches):
+            x = self._self_attention_block(layer.self_attn, cache, x)
+            x = self._cross_attention_block(layer.cross_attn, cache, x)
+            x = self._ffn_block(layer.ffn, x)
+
+        logits = x @ model.generator.weight.data + model.generator.bias.data
+        self._position += 1
+        return logits[0]
+
+    # ------------------------------------------------------------------
+    def _self_attention_block(self, block, cache: _LayerCache,
+                              x: np.ndarray) -> np.ndarray:
+        mha = block.mha
+        q = x @ mha.q_proj.weight.data + mha.q_proj.bias.data
+        k = x @ mha.k_proj.weight.data + mha.k_proj.bias.data
+        v = x @ mha.v_proj.weight.data + mha.v_proj.bias.data
+        cache.self_k = np.concatenate(
+            [cache.self_k, self._split(k)], axis=1
+        )
+        cache.self_v = np.concatenate(
+            [cache.self_v, self._split(v)], axis=1
+        )
+        context = _attention(
+            self._split(q), cache.self_k, cache.self_v
+        )
+        out = (self._merge(context) @ mha.out_proj.weight.data
+               + mha.out_proj.bias.data)
+        return layer_norm(
+            x + out, block.norm.gamma.data, block.norm.beta.data,
+            eps=block.norm.eps,
+        )
+
+    def _cross_attention_block(self, block, cache: _LayerCache,
+                               x: np.ndarray) -> np.ndarray:
+        mha = block.mha
+        q = x @ mha.q_proj.weight.data + mha.q_proj.bias.data
+        context = _attention(
+            self._split(q), cache.cross_k, cache.cross_v,
+            mask_len=self._src_length,
+        )
+        out = (self._merge(context) @ mha.out_proj.weight.data
+               + mha.out_proj.bias.data)
+        return layer_norm(
+            x + out, block.norm.gamma.data, block.norm.beta.data,
+            eps=block.norm.eps,
+        )
+
+    def _ffn_block(self, block, x: np.ndarray) -> np.ndarray:
+        ffn = block.ffn
+        hidden = relu(x @ ffn.linear1.weight.data + ffn.linear1.bias.data)
+        out = hidden @ ffn.linear2.weight.data + ffn.linear2.bias.data
+        return layer_norm(
+            x + out, block.norm.gamma.data, block.norm.beta.data,
+            eps=block.norm.eps,
+        )
+
+    # ------------------------------------------------------------------
+    def cache_bytes(self, dtype_bytes: int = 1) -> int:
+        """Current KV-cache footprint (``dtype_bytes`` = 1 for INT8)."""
+        total = 0
+        for cache in self._caches:
+            total += cache.self_k.size + cache.self_v.size
+            total += cache.cross_k.size + cache.cross_v.size
+        return total * dtype_bytes
+
+
+def greedy_decode_incremental(
+    model: Transformer,
+    src_ids: np.ndarray,
+    src_length: int,
+    bos_id: int,
+    eos_id: int,
+    max_len: int = 64,
+) -> List[int]:
+    """Greedy decoding through the KV-cached path (single sentence)."""
+    decoder = IncrementalDecoder(model)
+    decoder.start(np.asarray(src_ids), src_length)
+    tokens: List[int] = []
+    current = bos_id
+    for _ in range(max_len):
+        logits = decoder.step(current)
+        current = int(logits.argmax())
+        if current == eos_id:
+            break
+        tokens.append(current)
+    return tokens

@@ -1,0 +1,103 @@
+"""Basic layers: Linear, Dropout, LayerNorm (autograd versions).
+
+Weight layout convention matches the paper's figures: a Linear layer stores
+``weight`` with shape ``(in_features, out_features)`` so the forward pass is
+``x @ W + b`` — the same orientation the systolic array consumes after
+column partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ShapeError
+from .functional import LAYERNORM_EPS
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b``.
+
+    Attributes:
+        weight: ``(in_features, out_features)`` parameter.
+        bias: ``(out_features,)`` parameter, or None.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ShapeError("Linear features must be positive")
+        rng = rng or np.random.default_rng()
+        # Xavier/Glorot uniform initialization.
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            rng.uniform(-limit, limit, size=(in_features, out_features)),
+            name="weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"Linear expected last dim {self.in_features}, got {x.shape}"
+            )
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ShapeError("dropout rate must lie in [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis (paper Eq. 6-8).
+
+    Uses the population variance and the paper's epsilon of 1e-8.
+    """
+
+    def __init__(self, width: int, eps: float = LAYERNORM_EPS) -> None:
+        super().__init__()
+        if width <= 0:
+            raise ShapeError("LayerNorm width must be positive")
+        self.width = width
+        self.eps = eps
+        self.gamma = Parameter(np.ones(width), name="gamma")
+        self.beta = Parameter(np.zeros(width), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.width:
+            raise ShapeError(
+                f"LayerNorm expected width {self.width}, got {x.shape}"
+            )
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        inv_std = (var + self.eps) ** -0.5
+        return centered * inv_std * self.gamma + self.beta

@@ -1,0 +1,133 @@
+"""The full encoder-decoder Transformer (paper Fig. 1).
+
+:class:`Transformer` wires the embedding layers, positional encoding, the
+encoder and decoder stacks, and the output projection into one module.
+It is the *golden model*: the quantizer reads its weights, the accelerator
+simulator is checked against its ResBlock outputs, and the NMT trainer
+optimizes it end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import ShapeError
+from .decoder import Decoder
+from .embedding import Embedding, PositionalEncoding
+from .encoder import Encoder
+from .layers import Dropout, Linear
+from .masks import causal_mask, combine_masks, padding_mask
+from .module import Module
+from .tensor import Tensor
+
+
+class Transformer(Module):
+    """Encoder-decoder Transformer for sequence-to-sequence tasks.
+
+    Attributes:
+        config: The :class:`ModelConfig` hyper-parameters.
+        src_embed / tgt_embed: Token embeddings (optionally tied).
+        generator: The final Linear projecting to vocabulary logits.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        src_vocab_size: int,
+        tgt_vocab_size: int,
+        tie_embeddings: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if config.num_decoder_layers <= 0:
+            raise ShapeError(
+                "Transformer needs a decoder stack; use Encoder directly "
+                "for encoder-only configurations"
+            )
+        rng = rng or np.random.default_rng()
+        self.config = config
+        self.src_embed = Embedding(src_vocab_size, config.d_model, rng=rng)
+        if tie_embeddings:
+            if src_vocab_size != tgt_vocab_size:
+                raise ShapeError("tied embeddings require equal vocab sizes")
+            self.tgt_embed = self.src_embed
+        else:
+            self.tgt_embed = Embedding(tgt_vocab_size, config.d_model, rng=rng)
+        self.positional = PositionalEncoding(config.max_seq_len, config.d_model)
+        self.embed_dropout = Dropout(config.dropout, rng=rng)
+        self.encoder = Encoder(config, rng=rng)
+        self.decoder = Decoder(config, rng=rng)
+        self.generator = Linear(config.d_model, tgt_vocab_size, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Mask construction
+    # ------------------------------------------------------------------
+    def build_masks(
+        self,
+        src_lengths: np.ndarray,
+        tgt_len: int,
+        src_len: int,
+        tgt_lengths: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Build (encoder self, decoder self, cross) masks.
+
+        Masks use the paper's convention: 1 marks an illegal connection.
+        """
+        enc_mask = padding_mask(src_lengths, src_len)
+        dec_self = causal_mask(tgt_len)[None, :, :]
+        if tgt_lengths is not None:
+            dec_self = combine_masks(
+                dec_self, padding_mask(tgt_lengths, tgt_len)
+            )
+        else:
+            batch = len(np.asarray(src_lengths))
+            dec_self = np.broadcast_to(
+                dec_self, (batch, tgt_len, tgt_len)
+            ).copy()
+        cross = padding_mask(src_lengths, src_len, num_queries=tgt_len)
+        return enc_mask, dec_self, cross
+
+    # ------------------------------------------------------------------
+    # Forward passes
+    # ------------------------------------------------------------------
+    def encode(
+        self, src_ids: np.ndarray, src_mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        """Run the encoder stack on source token ids ``(batch, s)``."""
+        x = self.embed_dropout(self.positional(self.src_embed(src_ids)))
+        return self.encoder(x, src_mask)
+
+    def decode(
+        self,
+        tgt_ids: np.ndarray,
+        memory: Tensor,
+        self_mask: Optional[np.ndarray] = None,
+        cross_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Run the decoder stack; returns ``(batch, t, d_model)`` states."""
+        y = self.embed_dropout(self.positional(self.tgt_embed(tgt_ids)))
+        return self.decoder(y, memory, self_mask, cross_mask)
+
+    def forward(
+        self,
+        src_ids: np.ndarray,
+        tgt_ids: np.ndarray,
+        src_lengths: Optional[np.ndarray] = None,
+        tgt_lengths: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Full forward pass; returns vocabulary logits ``(batch, t, V)``."""
+        src_ids = np.asarray(src_ids)
+        tgt_ids = np.asarray(tgt_ids)
+        if src_ids.ndim != 2 or tgt_ids.ndim != 2:
+            raise ShapeError("src_ids/tgt_ids must be (batch, seq_len)")
+        if src_lengths is None:
+            src_lengths = np.full(src_ids.shape[0], src_ids.shape[1])
+        enc_mask, dec_self, cross = self.build_masks(
+            src_lengths, tgt_ids.shape[1], src_ids.shape[1], tgt_lengths
+        )
+        memory = self.encode(src_ids, enc_mask)
+        states = self.decode(tgt_ids, memory, dec_self, cross)
+        return self.generator(states)

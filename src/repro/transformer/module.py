@@ -1,0 +1,114 @@
+"""Minimal Module/Parameter system on top of the autograd :class:`Tensor`.
+
+Mirrors the familiar container pattern: attributes that are
+:class:`Parameter` or :class:`Module` instances are auto-registered, and
+``state_dict`` round-trips weights by dotted path — which is also how the
+quantizer and the accelerator's weight loader address individual matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (``requires_grad=True`` by construction)."""
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        super().__init__(np.asarray(data, dtype=np.float64),
+                         requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers; tracks sub-modules and parameters."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[key] = value
+        elif isinstance(value, Module):
+            self._modules[key] = value
+        object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------------
+    # Parameter traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth first."""
+        for key, param in self._parameters.items():
+            yield (f"{prefix}{key}", param)
+        for key, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{key}.")
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its children."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear all accumulated gradients."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Mode switches
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        """Enable training mode (dropout active) recursively."""
+        object.__setattr__(self, "training", True)
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Enable inference mode (dropout off) recursively."""
+        object.__setattr__(self, "training", False)
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter keyed by dotted path."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters in place; shapes must match exactly."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise ShapeError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, value in state.items():
+            param = params[name]
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ShapeError(
+                    f"parameter {name}: expected shape {param.data.shape}, "
+                    f"got {value.shape}"
+                )
+            param.data[...] = value
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError

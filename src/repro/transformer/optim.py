@@ -1,0 +1,145 @@
+"""Optimization utilities: cross-entropy loss, Adam, and the Noam schedule.
+
+Only what the synthetic-NMT trainer needs — enough to take the golden
+Transformer from random initialization to a high-BLEU checkpoint that the
+quantization study (paper Section V-A) can start from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import TrainingError
+from .module import Parameter
+from .tensor import Tensor
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    ignore_index: Optional[int] = None,
+    label_smoothing: float = 0.0,
+) -> Tensor:
+    """Mean token-level cross entropy with optional label smoothing.
+
+    Args:
+        logits: ``(batch, seq, vocab)`` unnormalized scores.
+        targets: ``(batch, seq)`` integer class ids.
+        ignore_index: Target id excluded from the loss (PAD).
+        label_smoothing: Mass spread uniformly over non-target classes.
+    """
+    targets = np.asarray(targets)
+    batch, seq_len, vocab = logits.shape
+    if targets.shape != (batch, seq_len):
+        raise TrainingError(
+            f"targets shape {targets.shape} does not match logits "
+            f"{(batch, seq_len)}"
+        )
+    log_probs = logits.log_softmax(axis=-1)
+    mask = np.ones((batch, seq_len), dtype=np.float64)
+    if ignore_index is not None:
+        mask = (targets != ignore_index).astype(np.float64)
+    count = mask.sum()
+    if count == 0:
+        raise TrainingError("all target tokens are ignored")
+    # Build the (smoothed) target distribution as a constant array.
+    one_hot = np.zeros((batch, seq_len, vocab))
+    np.put_along_axis(one_hot, targets[..., None], 1.0, axis=-1)
+    if label_smoothing > 0.0:
+        smooth = label_smoothing / (vocab - 1)
+        target_dist = one_hot * (1.0 - label_smoothing - smooth) + smooth
+    else:
+        target_dist = one_hot
+    weighted = log_probs * Tensor(target_dist * mask[..., None])
+    return -weighted.sum() * (1.0 / count)
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) over a parameter list."""
+
+    def __init__(
+        self,
+        params: List[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.98),
+        eps: float = 1e-9,
+        grad_clip: Optional[float] = None,
+    ) -> None:
+        if not params:
+            raise TrainingError("Adam received no parameters")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.grad_clip = grad_clip
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def global_grad_norm(self) -> float:
+        """L2 norm over all gradients (0 for missing gradients)."""
+        total = 0.0
+        for param in self.params:
+            if param.grad is not None:
+                total += float((param.grad ** 2).sum())
+        return float(np.sqrt(total))
+
+    def step(self) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self._t += 1
+        scale = 1.0
+        if self.grad_clip is not None:
+            norm = self.global_grad_norm()
+            if norm > self.grad_clip:
+                scale = self.grad_clip / (norm + 1e-12)
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad * scale
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class NoamSchedule:
+    """The inverse-sqrt warmup schedule from "Attention Is All You Need".
+
+    ``lr = factor * d_model**-0.5 * min(step**-0.5, step * warmup**-1.5)``.
+    """
+
+    def __init__(self, d_model: int, warmup: int = 400, factor: float = 1.0):
+        if warmup <= 0:
+            raise TrainingError("warmup must be positive")
+        self.d_model = d_model
+        self.warmup = warmup
+        self.factor = factor
+        self._step = 0
+
+    def rate(self, step: Optional[int] = None) -> float:
+        """Learning rate at ``step`` (defaults to the internal counter)."""
+        step = self._step if step is None else step
+        if step <= 0:
+            step = 1
+        return (
+            self.factor
+            * self.d_model ** -0.5
+            * min(step ** -0.5, step * self.warmup ** -1.5)
+        )
+
+    def step(self, optimizer: Adam) -> float:
+        """Advance one step and write the new rate into ``optimizer``."""
+        self._step += 1
+        optimizer.lr = self.rate()
+        return optimizer.lr

@@ -1,0 +1,437 @@
+"""A small reverse-mode automatic-differentiation engine on numpy arrays.
+
+The paper's quantization study (Section V-A) starts from a *trained*
+Transformer.  No deep-learning framework is available offline, so this
+module provides the minimal autograd needed to train one: a :class:`Tensor`
+wrapping a numpy array, a tape of operations, and gradients via reverse
+topological traversal.
+
+Only the operations the Transformer needs are implemented, each with an
+exact closed-form backward.  Broadcasting is supported by summing gradients
+over broadcast dimensions (:func:`_unbroadcast`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ShapeError
+
+ArrayLike = Union[float, int, np.ndarray, "Tensor"]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast axes."""
+    if grad.shape == shape:
+        return grad
+    # Sum leading axes added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum axes that were 1 in the original shape.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    if grad.shape != shape:
+        raise ShapeError(
+            f"cannot unbroadcast gradient {grad.shape} to {shape}"
+        )
+    return grad
+
+
+class Tensor:
+    """A numpy array with an optional gradient and a backward closure.
+
+    Attributes:
+        data: The underlying float64 numpy array.
+        requires_grad: Whether gradients flow into this tensor.
+        grad: Accumulated gradient (same shape as ``data``) after
+            :meth:`backward`, else ``None``.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._parents: Tuple["Tensor", ...] = tuple(_parents)
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:
+        tag = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, grad={self.requires_grad}{tag})"
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lift(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-Tensor._lift(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor._lift(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * other.data)
+            other._accumulate(grad * self.data)
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / other.data)
+            other._accumulate(-grad * self.data / (other.data ** 2))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor._lift(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise ShapeError("Tensor.__pow__ supports scalar exponents only")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Batched matrix multiplication (numpy ``@`` semantics)."""
+        other = Tensor._lift(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            a, b = self.data, other.data
+            self._accumulate(grad @ np.swapaxes(b, -1, -2))
+            other._accumulate(np.swapaxes(a, -1, -2) @ grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------
+    # Nonlinearities
+    # ------------------------------------------------------------------
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return self._make(out_data, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable softmax along ``axis``."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exps = np.exp(shifted)
+        out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            self._accumulate(out_data * (grad - dot))
+
+        return self._make(out_data, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_z
+
+        def backward(grad: np.ndarray) -> None:
+            softmax = np.exp(out_data)
+            self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad, dtype=np.float64)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=-1, keepdims: bool = False) -> "Tensor":
+        """Population variance along ``axis`` (matches LayerNorm's Eq. 8)."""
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = self.data.transpose(axes)
+        inverse = tuple(np.argsort(axes))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return self._make(out_data, (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Replace entries where ``mask`` is truthy with ``value``.
+
+        The gradient through filled positions is zero — exactly the
+        behaviour of the paper's Mask operation (Eq. 1/4) where masked
+        logits become -inf before the softmax.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        out_data = np.where(mask, value, self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.where(mask, 0.0, grad))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Args:
+            grad: Seed gradient; defaults to ones (must be provided
+                explicitly only when the output is non-scalar and a custom
+                seed is wanted).
+        """
+        if not self.requires_grad:
+            raise ShapeError("backward() on a tensor that requires no grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+
+        # Iterative postorder DFS to avoid recursion limits on deep graphs.
+        order: List[Tensor] = []
+        expanded = set()
+        finished = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                if id(node) not in finished:
+                    finished.add(id(node))
+                    order.append(node)
+                continue
+            if id(node) in expanded or not node.requires_grad:
+                continue
+            expanded.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in expanded and parent.requires_grad:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support.
+
+    This is how the MHA ResBlock joins the per-head attention outputs
+    before the final linear layer (Fig. 2).
+    """
+    tensors = [Tensor._lift(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(index)])
+
+    requires = any(t.requires_grad for t in tensors)
+    if not requires:
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, _parents=tuple(tensors),
+                  _backward=backward)
+
+
+def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``table`` by integer ``indices`` (with gradients)."""
+    indices = np.asarray(indices)
+    if not np.issubdtype(indices.dtype, np.integer):
+        raise ShapeError("embedding indices must be integers")
+    out_data = table.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(table.data)
+        np.add.at(full, indices, grad)
+        table._accumulate(full)
+
+    if not table.requires_grad:
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, _parents=(table,),
+                  _backward=backward)

@@ -1,0 +1,68 @@
+"""Analysis helpers: Eq. (3) sweep and report rendering."""
+
+import pytest
+
+from repro.analysis import (
+    deviation_row,
+    max_ratio_in_scope,
+    ratio_sweep,
+    render_table,
+)
+from repro.errors import ShapeError
+
+
+class TestRatioSweep:
+    def test_grid_size(self):
+        points = ratio_sweep(seq_lens=(16, 64), heads=(8, 16))
+        assert len(points) == 4
+
+    def test_paper_and_exact_agree_at_64(self):
+        points = [p for p in ratio_sweep() if p.s == 64]
+        assert all(p.divergence < 1e-12 for p in points)
+
+    def test_divergence_away_from_64(self):
+        points = [p for p in ratio_sweep(seq_lens=(128,), heads=(8,))]
+        assert points[0].divergence > 0
+
+    def test_max_ratio_small(self):
+        assert max_ratio_in_scope(ratio_sweep()) < 0.01
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ShapeError):
+            ratio_sweep(seq_lens=(), heads=(8,))
+        with pytest.raises(ShapeError):
+            max_ratio_in_scope([])
+
+
+class TestRenderTable:
+    def test_contains_all_cells(self):
+        text = render_table("T", ["a", "b"], [[1, 2.5], ["x", 10000.0]])
+        assert "T" in text
+        assert "x" in text and "10,000" in text and "2.500" in text
+
+    def test_alignment_consistent(self):
+        text = render_table("T", ["col"], [[1], [22], [333]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[2:]}) >= 1
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            render_table("T", ["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ShapeError):
+            render_table("T", [], [])
+
+
+class TestDeviationRow:
+    def test_format(self):
+        row = deviation_row("mha", 110.0, 100.0)
+        assert row[0] == "mha"
+        assert row[3] == "+10.0%"
+
+    def test_negative(self):
+        assert deviation_row("x", 90.0, 100.0)[3] == "-10.0%"
+
+    def test_zero_published_rejected(self):
+        with pytest.raises(ShapeError):
+            deviation_row("x", 1.0, 0.0)

@@ -1,0 +1,75 @@
+"""Roofline analysis tests."""
+
+import pytest
+
+from repro.analysis import (
+    accelerator_roofline,
+    ffn_point,
+    mha_point,
+    offchip_weights_point,
+)
+from repro.config import paper_accelerator, transformer_base
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def acc():
+    return paper_accelerator()
+
+
+@pytest.fixture
+def model():
+    return transformer_base()
+
+
+class TestRoofline:
+    def test_peak_is_pe_times_clock(self, acc):
+        roofline = accelerator_roofline(acc)
+        assert roofline.peak_macs_per_s == 4096 * 200e6
+
+    def test_ridge_intensity(self, acc):
+        roofline = accelerator_roofline(acc)
+        # (64 weight bytes + 64 activation bytes) per cycle.
+        assert roofline.ridge_intensity == pytest.approx(4096 / 128)
+
+    def test_custom_stream_width(self, acc):
+        roofline = accelerator_roofline(acc, stream_bytes_per_cycle=64)
+        assert roofline.ridge_intensity == pytest.approx(64.0)
+
+    def test_invalid_stream_width(self, acc):
+        with pytest.raises(ConfigError):
+            accelerator_roofline(acc, stream_bytes_per_cycle=0)
+
+    def test_place_validates(self, acc):
+        roofline = accelerator_roofline(acc)
+        with pytest.raises(ConfigError):
+            roofline.place("x", 0, 10)
+
+
+class TestWorkloadPlacement:
+    def test_both_resblocks_compute_bound_onchip(self, model, acc):
+        # The design premise: with resident weights the SA is the limit.
+        roofline = accelerator_roofline(acc)
+        assert mha_point(model, acc, roofline).bound == "compute"
+        assert ffn_point(model, acc, roofline).bound == "compute"
+
+    def test_attainable_capped_at_peak(self, model, acc):
+        roofline = accelerator_roofline(acc)
+        point = ffn_point(model, acc, roofline)
+        assert point.attainable_macs_per_s <= roofline.peak_macs_per_s
+
+    def test_offchip_weights_memory_bound(self, model, acc):
+        # The motivation for the 456-BRAM weight memory.
+        point = offchip_weights_point(model, acc)
+        assert point.bound == "memory"
+        assert point.attainable_macs_per_s < 4096 * 200e6
+
+    def test_offchip_intensity_is_s(self, model, acc):
+        # Every weight byte feeds exactly s MACs at batch 1.
+        point = offchip_weights_point(model, acc)
+        assert point.intensity == pytest.approx(acc.seq_len)
+
+    def test_macs_match_config_counters(self, model, acc):
+        roofline = accelerator_roofline(acc)
+        assert mha_point(model, acc, roofline).macs == model.mha_macs(64)
+        assert ffn_point(model, acc, roofline).macs == model.ffn_macs(64)

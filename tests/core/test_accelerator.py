@@ -1,0 +1,164 @@
+"""Top-level accelerator tests: bit-exactness against the quantized model."""
+
+import numpy as np
+import pytest
+
+from repro.config import AcceleratorConfig, ModelConfig
+from repro.core import TransformerAccelerator
+from repro.errors import ScheduleError, ShapeError
+from repro.quant import QuantizedTransformer, SOFTMAX_HARDWARE
+from repro.transformer import Transformer, causal_mask
+
+RNG = np.random.default_rng(55)
+S = 12
+
+
+@pytest.fixture
+def setup(small_model_config, calibrated_quant):
+    acc_cfg = AcceleratorConfig(seq_len=S)
+    hw = TransformerAccelerator(small_model_config, acc_cfg,
+                                exact_nonlinear=True)
+    hw.load_mha(calibrated_quant.enc_mha[0])
+    hw.load_ffn(calibrated_quant.enc_ffn[0])
+    return hw, calibrated_quant
+
+
+class TestBitExactness:
+    def test_mha_matches_quant_block(self, setup):
+        hw, qt = setup
+        x = RNG.normal(size=(S, 128))
+        ref = qt.enc_mha[0].forward_int8(x[None], x[None], None)[0]
+        out = hw.run_mha(x).output
+        assert np.array_equal(out, ref)
+
+    def test_mha_with_mask(self, setup):
+        hw, qt = setup
+        x = RNG.normal(size=(S, 128))
+        mask = causal_mask(S)
+        ref = qt.enc_mha[0].forward_int8(
+            x[None], x[None], mask[None]
+        )[0]
+        out = hw.run_mha(x, mask=mask).output
+        assert np.allclose(out, ref, atol=1e-12)
+
+    def test_cross_attention_inputs(self, setup):
+        hw, qt = setup
+        q = RNG.normal(size=(S, 128))
+        kv = RNG.normal(size=(S, 128))
+        ref = qt.enc_mha[0].forward_int8(q[None], kv[None], None)[0]
+        out = hw.run_mha(q, kv).output
+        assert np.array_equal(out, ref)
+
+    def test_ffn_matches_quant_block(self, setup):
+        hw, qt = setup
+        x = RNG.normal(size=(S, 128))
+        ref = qt.enc_ffn[0].forward_int8(x[None])[0]
+        out = hw.run_ffn(x).output
+        assert np.array_equal(out, ref)
+
+    def test_cycle_accurate_sa_identical(
+        self, small_model_config, calibrated_quant
+    ):
+        acc_cfg = AcceleratorConfig(seq_len=S)
+        fast = TransformerAccelerator(small_model_config, acc_cfg,
+                                      exact_nonlinear=True)
+        slow = TransformerAccelerator(small_model_config, acc_cfg,
+                                      exact_nonlinear=True,
+                                      cycle_accurate_sa=True)
+        for hw in (fast, slow):
+            hw.load_mha(calibrated_quant.enc_mha[0])
+            hw.load_ffn(calibrated_quant.enc_ffn[0])
+        x = RNG.normal(size=(S, 128))
+        assert np.array_equal(fast.run_mha(x).output,
+                              slow.run_mha(x).output)
+        assert np.array_equal(fast.run_ffn(x).output,
+                              slow.run_ffn(x).output)
+
+    def test_hardware_nonlinear_close_to_quant_hw_mode(
+        self, small_model_config, calibrated_quant
+    ):
+        calibrated_quant.softmax_mode = SOFTMAX_HARDWARE
+        acc_cfg = AcceleratorConfig(seq_len=S)
+        hw = TransformerAccelerator(small_model_config, acc_cfg,
+                                    exact_nonlinear=False)
+        hw.load_mha(calibrated_quant.enc_mha[0])
+        x = RNG.normal(size=(S, 128))
+        ref = calibrated_quant.enc_mha[0].forward_int8(x[None], x[None],
+                                                       None)[0]
+        out = hw.run_mha(x).output
+        calibrated_quant.softmax_mode = "fp32"
+        # Same softmax path; only the LayerNorm isqrt LUT differs.
+        assert np.abs(out - ref).max() < 0.05
+
+
+class TestScheduleAttached:
+    def test_mha_cycles_match_scheduler(self, setup, small_model_config):
+        from repro.core import schedule_mha
+
+        hw, _ = setup
+        result = hw.run_mha(RNG.normal(size=(S, 128)))
+        expected = schedule_mha(
+            small_model_config, AcceleratorConfig(seq_len=S)
+        ).total_cycles
+        assert result.cycles == expected
+
+    def test_output_shape(self, setup):
+        hw, _ = setup
+        assert hw.run_ffn(RNG.normal(size=(S, 128))).output.shape == (S, 128)
+
+
+class TestErrors:
+    def test_run_before_load(self, small_model_config):
+        hw = TransformerAccelerator(
+            small_model_config, AcceleratorConfig(seq_len=S)
+        )
+        with pytest.raises(ScheduleError):
+            hw.run_mha(np.zeros((S, 128)))
+        with pytest.raises(ScheduleError):
+            hw.run_ffn(np.zeros((S, 128)))
+
+    def test_wrong_width_rejected(self, setup):
+        hw, _ = setup
+        with pytest.raises(ShapeError):
+            hw.run_mha(np.zeros((S, 64)))
+
+    def test_too_long_sequence_rejected(self, setup):
+        hw, _ = setup
+        with pytest.raises(ShapeError):
+            hw.run_mha(np.zeros((S + 1, 128)))
+
+    def test_head_dim_mismatch_rejected(self):
+        bad = ModelConfig("bad", d_model=512, d_ff=2048, num_heads=8)
+        with pytest.raises(ScheduleError):
+            TransformerAccelerator(
+                bad, AcceleratorConfig(seq_len=8, sa_cols=32)
+            )
+
+    def test_mismatched_block_rejected(
+        self, tiny_model_config, calibrated_quant
+    ):
+        hw = TransformerAccelerator(
+            tiny_model_config, AcceleratorConfig(seq_len=S)
+        )
+        with pytest.raises(ShapeError):
+            hw.load_mha(calibrated_quant.enc_mha[0])  # d_model 128 vs 64
+
+
+class TestWeightLoading:
+    def test_tiles_stored_per_head(self, setup, small_model_config):
+        hw, _ = setup
+        h = small_model_config.num_heads
+        for kind in ("WQ", "WK", "WV", "WG"):
+            for i in range(h):
+                assert hw.weight_memory.has_tile(kind, i)
+
+    def test_ffn_tiles_stored(self, setup, small_model_config):
+        hw, _ = setup
+        assert hw.weight_memory.has_tile("W1", small_model_config.num_w1_blocks - 1)
+        assert hw.weight_memory.has_tile("W2", small_model_config.num_w2_blocks - 1)
+
+    def test_weight_capacity_counts(self, setup, small_model_config):
+        hw, _ = setup
+        d, dff = small_model_config.d_model, small_model_config.d_ff
+        expected_bits = (4 * d * d + 2 * d * dff) * 8
+        assert hw.weight_memory.capacity_bits == expected_bits

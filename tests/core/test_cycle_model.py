@@ -1,0 +1,121 @@
+"""Analytic cycle model tests: exact agreement with the event scheduler."""
+
+import pytest
+
+from repro.config import (
+    paper_accelerator,
+    transformer_base,
+    transformer_big,
+)
+from repro.core import (
+    PAPER_FFN_CYCLES,
+    PAPER_MHA_CYCLES,
+    ffn_cycle_breakdown,
+    mha_cycle_breakdown,
+    paper_deviation,
+    schedule_ffn,
+    schedule_mha,
+)
+from repro.errors import ScheduleError
+
+
+@pytest.fixture
+def acc():
+    return paper_accelerator()
+
+
+VARIANTS = [
+    {},
+    {"pass_overlap": False},
+    {"single_ported_buffers": False},
+    {"layernorm_mode": "straightforward"},
+    {"layernorm_mode": "step_one"},
+    {"weight_load_cycles": 8},
+    {"pass_issue_cycles": 0, "sa_drain_cycles": 0},
+]
+
+
+class TestAgreementWithScheduler:
+    @pytest.mark.parametrize("overrides", VARIANTS)
+    def test_mha_exact_match(self, acc, overrides):
+        cfg = acc.with_updates(**overrides)
+        model = transformer_base()
+        assert (mha_cycle_breakdown(model, cfg).total_cycles
+                == schedule_mha(model, cfg).total_cycles)
+
+    @pytest.mark.parametrize("overrides", VARIANTS)
+    def test_ffn_exact_match(self, acc, overrides):
+        cfg = acc.with_updates(**overrides)
+        model = transformer_base()
+        assert (ffn_cycle_breakdown(model, cfg).total_cycles
+                == schedule_ffn(model, cfg).total_cycles)
+
+    def test_big_model_match(self, acc):
+        model = transformer_big()
+        assert (mha_cycle_breakdown(model, acc).total_cycles
+                == schedule_mha(model, acc).total_cycles)
+        assert (ffn_cycle_breakdown(model, acc).total_cycles
+                == schedule_ffn(model, acc).total_cycles)
+
+
+class TestBreakdownStructure:
+    def test_active_cycles_are_ideal_gemm_stream(self, acc):
+        model = transformer_base()
+        b = mha_cycle_breakdown(model, acc)
+        # 24 projections * 512 + 16 attention passes * 64 + 8 output * 512.
+        assert b.active_cycles == 24 * 512 + 16 * 64 + 8 * 512
+
+    def test_ideal_cycles_are_macs_over_pes(self, acc):
+        model = transformer_base()
+        b = ffn_cycle_breakdown(model, acc)
+        assert b.ideal_cycles == model.ffn_macs(64) // (64 * 64)
+        assert b.ideal_cycles == 32_768
+
+    def test_mha_ideal_17408(self, acc):
+        # The 100%-utilization bound the paper's 21,344 implies 81.6%.
+        b = mha_cycle_breakdown(transformer_base(), acc)
+        assert b.ideal_cycles == 17_408
+
+    def test_total_is_sum_of_parts(self, acc):
+        for breakdown in (
+            mha_cycle_breakdown(transformer_base(), acc),
+            ffn_cycle_breakdown(transformer_base(), acc),
+        ):
+            assert breakdown.total_cycles == (
+                breakdown.active_cycles + breakdown.issue_cycles
+                + breakdown.skew_cycles + breakdown.layernorm_cycles
+            )
+
+    def test_utilization_property(self, acc):
+        b = mha_cycle_breakdown(transformer_base(), acc)
+        assert b.utilization == pytest.approx(
+            b.ideal_cycles / b.total_cycles
+        )
+
+
+class TestPaperConstants:
+    def test_published_counts(self):
+        assert PAPER_MHA_CYCLES == 21_344
+        assert PAPER_FFN_CYCLES == 42_099
+
+    def test_published_latency_consistency(self):
+        # 21,344 cycles / 200 MHz = 106.72 us ~ the published 106.7.
+        assert PAPER_MHA_CYCLES / 200.0 == pytest.approx(106.7, abs=0.1)
+        assert PAPER_FFN_CYCLES / 200.0 == pytest.approx(210.5, abs=0.1)
+
+    def test_deviation_helper(self):
+        assert paper_deviation(110, 100) == pytest.approx(0.10)
+        assert paper_deviation(90, 100) == pytest.approx(-0.10)
+        with pytest.raises(ScheduleError):
+            paper_deviation(1, 0)
+
+    def test_model_deviation_bands(self, acc):
+        model = transformer_base()
+        mha_dev = paper_deviation(
+            mha_cycle_breakdown(model, acc).total_cycles, PAPER_MHA_CYCLES
+        )
+        ffn_dev = paper_deviation(
+            ffn_cycle_breakdown(model, acc).total_cycles, PAPER_FFN_CYCLES
+        )
+        assert abs(mha_dev) < 0.05
+        assert abs(ffn_dev) < 0.15

@@ -1,0 +1,82 @@
+"""Energy-accounting tests."""
+
+import pytest
+
+from repro.config import paper_accelerator, transformer_base
+from repro.core import (
+    energy_per_resblock_uj,
+    energy_per_token_uj,
+    schedule_energy,
+    schedule_ffn,
+    schedule_mha,
+)
+from repro.core.scheduler import ScheduleResult
+from repro.errors import ScheduleError
+
+
+@pytest.fixture
+def model():
+    return transformer_base()
+
+
+@pytest.fixture
+def acc():
+    return paper_accelerator()
+
+
+class TestScheduleEnergy:
+    def test_breakdown_sums(self, model, acc):
+        e = schedule_energy(schedule_mha(model, acc), model, acc)
+        d = e.as_dict()
+        assert d["total_uj"] == pytest.approx(
+            d["dynamic_uj"] + d["static_uj"]
+        )
+        assert d["dynamic_uj"] == pytest.approx(
+            d["sa_uj"] + d["softmax_uj"] + d["layernorm_uj"]
+            + d["memory_uj"] + d["clock_uj"]
+        )
+
+    def test_sa_dominates(self, model, acc):
+        e = schedule_energy(schedule_mha(model, acc), model, acc)
+        assert e.sa_uj > 0.5 * e.dynamic_uj
+
+    def test_ffn_costs_more_than_mha(self, model, acc):
+        mha = schedule_energy(schedule_mha(model, acc), model, acc)
+        ffn = schedule_energy(schedule_ffn(model, acc), model, acc)
+        assert ffn.total_uj > mha.total_uj
+
+    def test_consistent_with_flat_power_model(self, model, acc):
+        # Integrating events should land in the same ballpark as the flat
+        # (power x latency) product using the paper's 16.7 W.
+        schedule = schedule_mha(model, acc)
+        integrated = schedule_energy(schedule, model, acc).total_uj
+        flat = energy_per_resblock_uj(16.7, schedule.total_cycles, 200.0)
+        assert 0.5 < integrated / flat < 1.5
+
+    def test_faster_layernorm_saves_energy(self, model, acc):
+        slow = acc.with_updates(layernorm_mode="straightforward")
+        e_slow = schedule_energy(schedule_mha(model, slow), model, slow)
+        e_fast = schedule_energy(schedule_mha(model, acc), model, acc)
+        # Same active work; the longer tail burns more static energy.
+        assert e_fast.total_uj < e_slow.total_uj
+        assert e_fast.sa_uj == pytest.approx(e_slow.sa_uj)
+
+    def test_empty_schedule_rejected(self, model, acc):
+        with pytest.raises(ScheduleError):
+            schedule_energy(ScheduleResult(block="mha"), model, acc)
+
+
+class TestPerToken:
+    def test_positive_and_reasonable(self, model, acc):
+        uj = energy_per_token_uj(model, acc)
+        # One encoder layer, 64 tokens, ~5 mJ total -> tens of uJ/token.
+        assert 10.0 < uj < 200.0
+
+    def test_smaller_model_cheaper(self, acc):
+        from repro.config import ModelConfig
+
+        small = ModelConfig(
+            "small", d_model=128, d_ff=512, num_heads=2, max_seq_len=64
+        )
+        assert (energy_per_token_uj(small, acc)
+                < energy_per_token_uj(transformer_base(), acc))

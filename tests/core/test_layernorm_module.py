@@ -1,0 +1,115 @@
+"""LayerNorm module tests: Fig. 7 schedules + Fig. 8 function."""
+
+import numpy as np
+import pytest
+
+from repro.config import AcceleratorConfig
+from repro.core import LayerNormModule
+from repro.errors import ShapeError
+from repro.transformer.functional import layer_norm
+
+RNG = np.random.default_rng(6)
+
+
+@pytest.fixture
+def config():
+    return AcceleratorConfig(seq_len=16)
+
+
+class TestFunction:
+    def test_exact_mode_matches_reference(self, config):
+        module = LayerNormModule(config, d_model=32, approximate=False)
+        g = RNG.normal(2, 3, size=(8, 32))
+        gamma, beta = RNG.normal(size=32), RNG.normal(size=32)
+        assert np.allclose(module(g, gamma, beta),
+                           layer_norm(g, gamma, beta))
+
+    def test_approximate_mode_close(self, config):
+        module = LayerNormModule(config, d_model=64, approximate=True)
+        g = RNG.normal(0, 2, size=(8, 64))
+        gamma, beta = np.ones(64), np.zeros(64)
+        exact = layer_norm(g, gamma, beta)
+        approx = module(g, gamma, beta)
+        # The isqrt LUT is within 0.5%, so rows stay near-normalized.
+        assert np.abs(approx - exact).max() < 0.05
+
+    def test_uses_eq9_variance(self, config):
+        # Constant rows: E[G^2] - E[G]^2 == 0 exactly; output = beta.
+        module = LayerNormModule(config, d_model=16, approximate=True)
+        g = np.full((4, 16), 3.0)
+        out = module(g, np.ones(16), np.full(16, 0.5))
+        assert np.allclose(out, 0.5)
+
+    def test_wrong_width_rejected(self, config):
+        module = LayerNormModule(config, d_model=16)
+        with pytest.raises(ShapeError):
+            module(np.zeros((2, 8)), np.ones(8), np.zeros(8))
+
+    def test_integer_datapath_close_to_exact(self, config):
+        module = LayerNormModule(config, d_model=64, integer_datapath=True)
+        g = RNG.normal(0, 2, size=(8, 64))
+        gamma = RNG.uniform(0.5, 1.5, size=64)
+        beta = RNG.uniform(-0.5, 0.5, size=64)
+        exact = layer_norm(g, gamma, beta)
+        assert np.abs(module(g, gamma, beta) - exact).max() < 0.02
+
+    def test_streaming_stats(self, config):
+        module = LayerNormModule(config, d_model=8)
+        g = RNG.normal(size=(3, 8))
+        sums, sq_sums = module.streaming_stats(g)
+        assert np.allclose(sums, g.sum(-1))
+        assert np.allclose(sq_sums, (g * g).sum(-1))
+
+
+class TestTiming:
+    def test_straightforward_adds_two_passes(self, config):
+        module = LayerNormModule(config, d_model=512)
+        t = module.timing("straightforward")
+        assert t.added_latency == 2 * 512 + config.layernorm_pipeline_depth
+
+    def test_step_one_adds_one_pass(self, config):
+        module = LayerNormModule(config, d_model=512)
+        t = module.timing("step_one")
+        assert t.added_latency == 512 + config.layernorm_pipeline_depth
+
+    def test_step_two_adds_only_pipeline(self, config):
+        # "Very few cycles are required" (Section IV-B).
+        module = LayerNormModule(config, d_model=512)
+        t = module.timing("step_two")
+        assert t.added_latency == config.layernorm_pipeline_depth
+
+    def test_fig7_ordering(self, config):
+        module = LayerNormModule(config, d_model=512)
+        straightforward = module.timing("straightforward").added_latency
+        one = module.timing("step_one").added_latency
+        two = module.timing("step_two").added_latency
+        assert straightforward > one > two
+
+    def test_paper_128h_claim(self):
+        # "At least 128h cycles are added" for the straightforward way:
+        # 2 * d_model = 2 * 64h = 128h.
+        config = AcceleratorConfig(seq_len=64,
+                                   layernorm_pipeline_depth=0)
+        module = LayerNormModule(config, d_model=512)
+        h = 8
+        assert module.timing("straightforward").added_latency == 128 * h
+
+    def test_default_mode_from_config(self):
+        config = AcceleratorConfig(seq_len=16, layernorm_mode="step_one")
+        module = LayerNormModule(config, d_model=64)
+        assert module.timing().mode == "step_one"
+
+    def test_invalid_mode_rejected(self, config):
+        module = LayerNormModule(config, d_model=64)
+        with pytest.raises(ShapeError):
+            module.timing("step_three")
+
+    def test_output_cycles_equal_d_model(self, config):
+        module = LayerNormModule(config, d_model=256)
+        t = module.timing("step_two")
+        assert t.output_cycles == 256
+        assert t.total_exposed == t.added_latency + 256
+
+    def test_invalid_d_model(self, config):
+        with pytest.raises(ShapeError):
+            LayerNormModule(config, d_model=0)

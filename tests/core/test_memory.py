@@ -1,0 +1,147 @@
+"""On-chip memory model tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import paper_accelerator, transformer_base
+from repro.core import (
+    BiasMemory,
+    MemoryBank,
+    WeightMemory,
+    bram36_banks,
+    data_memory_layout,
+)
+from repro.errors import MemoryModelError
+
+
+class TestBramBanks:
+    def test_single_bank_small_memory(self):
+        assert bram36_banks(1024, 8) == 1
+
+    def test_width_drives_parallel_banks(self):
+        # 512-bit port needs 8 parallel 64-bit banks.
+        assert bram36_banks(10_000, 512) == 8
+
+    def test_depth_drives_serial_banks(self):
+        # 1 Mib behind a 64-bit port: ceil(1Mib / 36Kib) banks.
+        assert bram36_banks(1 << 20, 64) == 29
+
+    def test_paper_weight_memory_bank_count(self):
+        # FFN weights (2 MiB INT8) behind a 64-byte port -> 456 BRAM36,
+        # exactly the paper's Table II weight-memory row.
+        ffn_bits = 2 * 512 * 2048 * 8
+        assert bram36_banks(ffn_bits, 64 * 8) == 456
+
+    def test_invalid_args(self):
+        with pytest.raises(MemoryModelError):
+            bram36_banks(0, 64)
+        with pytest.raises(MemoryModelError):
+            bram36_banks(100, 0)
+
+
+class TestMemoryBank:
+    def test_write_read_roundtrip(self):
+        bank = MemoryBank("t", (4, 8), word_bits=8, port_width_words=8)
+        values = np.arange(8)
+        bank.write((0, slice(None)), values)
+        assert np.array_equal(bank.read((0, slice(None))), values)
+
+    def test_word_width_enforced(self):
+        bank = MemoryBank("t", (4, 4), word_bits=8, port_width_words=4)
+        with pytest.raises(MemoryModelError):
+            bank.write((0, 0), np.array([128]))
+        with pytest.raises(MemoryModelError):
+            bank.write((0, 0), np.array([-129]))
+
+    def test_access_counters(self):
+        bank = MemoryBank("t", (2, 2), word_bits=8, port_width_words=2)
+        bank.write((0, 0), np.array(1))
+        bank.read((0, 0))
+        bank.read((0, 1))
+        assert bank.writes == 1 and bank.reads == 2
+
+    def test_read_cycles_port_limited(self):
+        bank = MemoryBank("t", (8, 64), word_bits=8, port_width_words=64)
+        assert bank.read_cycles(64) == 1
+        assert bank.read_cycles(65) == 2
+        assert bank.read_cycles(0) == 0
+
+    def test_capacity_and_banks(self):
+        bank = MemoryBank("t", (64, 64), word_bits=8, port_width_words=64)
+        assert bank.capacity_bits == 64 * 64 * 8
+        assert bank.bram_banks == bram36_banks(64 * 64 * 8, 64 * 8)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(MemoryModelError):
+            MemoryBank("t", (0, 4), 8, 4)
+
+
+class TestDataMemoryLayout:
+    def test_fig5_buffers_present(self):
+        banks = data_memory_layout(transformer_base(), paper_accelerator())
+        assert set(banks) == {
+            "input_q", "input_kv", "temp1", "temp2", "p_buffer",
+        }
+
+    def test_fig5_shapes(self):
+        banks = data_memory_layout(transformer_base(), paper_accelerator())
+        assert banks["input_q"].shape == (64, 512)      # s x 64h
+        assert banks["temp1"].shape == (64, 64)         # s x max(s, 64)
+        assert banks["temp2"].shape == (64, 64)
+        assert banks["p_buffer"].shape == (64, 2048)    # s x 256h
+
+
+class TestWeightMemory:
+    def test_tile_roundtrip(self):
+        mem = WeightMemory()
+        tile = np.arange(32, dtype=np.int64).reshape(8, 4) - 16
+        mem.store_tile("WQ", 3, tile)
+        assert np.array_equal(mem.load_tile("WQ", 3), tile)
+        assert mem.has_tile("WQ", 3)
+        assert not mem.has_tile("WQ", 4)
+
+    def test_load_returns_copy(self):
+        mem = WeightMemory()
+        mem.store_tile("W", 0, np.zeros((2, 2), dtype=np.int64))
+        loaded = mem.load_tile("W", 0)
+        loaded[0, 0] = 5
+        assert mem.load_tile("W", 0)[0, 0] == 0
+
+    def test_missing_tile_rejected(self):
+        with pytest.raises(MemoryModelError):
+            WeightMemory().load_tile("W", 0)
+
+    def test_word_width_enforced(self):
+        mem = WeightMemory(word_bits=8)
+        with pytest.raises(MemoryModelError):
+            mem.store_tile("W", 0, np.array([[200]]))
+
+    def test_capacity_accumulates(self):
+        mem = WeightMemory()
+        mem.store_tile("A", 0, np.zeros((8, 8), dtype=np.int64))
+        mem.store_tile("B", 0, np.zeros((4, 4), dtype=np.int64))
+        assert mem.capacity_bits == (64 + 16) * 8
+
+    def test_tile_load_cycles(self):
+        mem = WeightMemory(port_width_words=64)
+        mem.store_tile("W", 0, np.zeros((512, 64), dtype=np.int64))
+        assert mem.tile_load_cycles("W", 0) == 512
+
+    def test_non_2d_tile_rejected(self):
+        with pytest.raises(MemoryModelError):
+            WeightMemory().store_tile("W", 0, np.zeros(4, dtype=np.int64))
+
+
+class TestBiasMemory:
+    def test_roundtrip(self):
+        mem = BiasMemory()
+        mem.store("BQ", 1, np.array([1.5, -2.5]))
+        assert np.array_equal(mem.load("BQ", 1), np.array([1.5, -2.5]))
+
+    def test_missing_rejected(self):
+        with pytest.raises(MemoryModelError):
+            BiasMemory().load("B", 0)
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(MemoryModelError):
+            BiasMemory().store("B", 0, np.zeros((2, 2)))

@@ -1,0 +1,143 @@
+"""Full-stack accelerated inference tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import AcceleratorConfig
+from repro.core import AcceleratedStack, StackReport
+from repro.errors import ScheduleError, ShapeError
+from repro.quant import QuantizedTransformer
+
+S = 12
+
+
+@pytest.fixture
+def stack(small_model_config, calibrated_quant):
+    return AcceleratedStack(
+        calibrated_quant, AcceleratorConfig(seq_len=S),
+        exact_nonlinear=True,
+    )
+
+
+class TestEncoder:
+    def test_matches_quant_encode(self, stack, calibrated_quant):
+        rng = np.random.default_rng(0)
+        src = rng.integers(1, 30, size=(1, S))
+        x = calibrated_quant._embed_src(src)[0]
+        hw_memory = stack.run_encoder(x)
+        ref = calibrated_quant.encode(src).numpy()[0]
+        assert np.array_equal(hw_memory, ref)
+
+    def test_masked_encoder_matches(self, stack, calibrated_quant):
+        rng = np.random.default_rng(1)
+        src = rng.integers(1, 30, size=(1, S))
+        from repro.transformer.masks import padding_mask
+
+        x = calibrated_quant._embed_src(src)[0]
+        hw_memory = stack.run_encoder(x, src_length=8)
+        ref = calibrated_quant.encode(
+            src, padding_mask([8], S)
+        ).numpy()[0]
+        assert np.array_equal(hw_memory, ref)
+
+    def test_report_accumulates(self, stack, calibrated_quant):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(S, 128))
+        report = StackReport()
+        stack.run_encoder(x, report=report)
+        # 1 encoder layer -> 1 MHA + 1 FFN block.
+        assert [name for name, _ in report.blocks] == [
+            "enc0.mha", "enc0.ffn",
+        ]
+        assert report.compute_cycles == sum(c for _, c in report.blocks)
+        assert report.reload_cycles > 0
+        assert report.total_cycles == (
+            report.compute_cycles + report.reload_cycles
+        )
+
+    def test_reload_cycles_from_weight_sizes(self, stack,
+                                             small_model_config):
+        d, dff = small_model_config.d_model, small_model_config.d_ff
+        report = StackReport()
+        stack.run_encoder(np.zeros((S, d)), report=report)
+        expected = -(-4 * d * d // 64) + -(-2 * d * dff // 64)
+        assert report.reload_cycles == expected
+
+
+class TestDecoder:
+    def test_matches_quant_decode(self, stack, calibrated_quant):
+        rng = np.random.default_rng(3)
+        src = rng.integers(1, 30, size=(1, S))
+        tgt = rng.integers(1, 30, size=(1, S))
+        logits_hw, report = stack.run_model(src[0], tgt[0])
+        ref = calibrated_quant.forward(src, tgt, np.array([S])).numpy()[0]
+        assert np.allclose(logits_hw, ref, atol=1e-12)
+        # 1 enc layer (2 blocks) + 1 dec layer (3 blocks).
+        assert len(report.blocks) == 5
+
+    def test_run_model_rejects_batched_ids(self, stack):
+        with pytest.raises(ShapeError):
+            stack.run_model(np.zeros((2, S), dtype=int),
+                            np.zeros(S, dtype=int))
+
+    def test_decoder_report_names(self, stack, calibrated_quant):
+        rng = np.random.default_rng(4)
+        memory = rng.normal(size=(S, 128))
+        y = rng.normal(size=(S, 128))
+        report = StackReport()
+        stack.run_decoder(y, memory, report=report)
+        assert [name for name, _ in report.blocks] == [
+            "dec0.self", "dec0.cross", "dec0.ffn",
+        ]
+
+
+class TestDoubleBuffering:
+    def test_reduces_exposed_reload(self, small_model_config,
+                                    calibrated_quant):
+        rng = np.random.default_rng(5)
+        src = rng.integers(1, 30, size=S)
+        tgt = rng.integers(1, 30, size=S)
+        plain = AcceleratedStack(
+            calibrated_quant, AcceleratorConfig(seq_len=S))
+        buffered = AcceleratedStack(
+            calibrated_quant, AcceleratorConfig(seq_len=S),
+            double_buffered_weights=True)
+        _, rep_plain = plain.run_model(src, tgt)
+        _, rep_buf = buffered.run_model(src, tgt)
+        assert rep_buf.reload_cycles < rep_plain.reload_cycles
+        assert rep_buf.compute_cycles == rep_plain.compute_cycles
+
+    def test_first_reload_never_hidden(self, small_model_config,
+                                       calibrated_quant):
+        buffered = AcceleratedStack(
+            calibrated_quant, AcceleratorConfig(seq_len=S),
+            double_buffered_weights=True)
+        report = StackReport()
+        buffered.run_encoder(np.zeros((S, 128)), report=report)
+        # No compute precedes the first reload, so it is fully exposed.
+        d = small_model_config.d_model
+        assert report.reload_cycles >= -(-4 * d * d // 64)
+
+    def test_add_reload_hides_behind_previous_compute(self):
+        report = StackReport()
+        report.add("blk", 1000)
+        report.add_reload(600, double_buffered=True)
+        assert report.reload_cycles == 0
+        report.add("blk2", 100)
+        report.add_reload(600, double_buffered=True)
+        assert report.reload_cycles == 500
+
+
+class TestValidation:
+    def test_uncalibrated_model_rejected(self, small_transformer):
+        qt = QuantizedTransformer(small_transformer)
+        with pytest.raises(ScheduleError):
+            AcceleratedStack(qt, AcceleratorConfig(seq_len=S))
+
+    def test_sequence_too_long_rejected(self, stack):
+        with pytest.raises(ShapeError):
+            stack.run_encoder(np.zeros((S + 1, 128)))
+
+    def test_latency_us(self):
+        report = StackReport(compute_cycles=2000, reload_cycles=400)
+        assert report.latency_us(200.0) == pytest.approx(12.0)

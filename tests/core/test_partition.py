@@ -1,0 +1,161 @@
+"""Matrix-partitioning tests (paper Section III)."""
+
+import numpy as np
+import pytest
+
+from repro.config import transformer_base, transformer_big
+from repro.core import (
+    partition_columns,
+    partition_model_weights,
+    plan_qkt,
+    qkt_multiply_ratio,
+    qkt_multiply_ratio_exact,
+    reassemble_columns,
+)
+from repro.errors import PartitionError
+
+RNG = np.random.default_rng(2)
+
+
+class TestPartitionColumns:
+    def test_block_count_and_shape(self):
+        w = RNG.normal(size=(512, 512))
+        blocks = partition_columns(w, "WG")
+        assert len(blocks) == 8
+        assert all(b.data.shape == (512, 64) for b in blocks)
+
+    def test_blocks_are_contiguous_slices(self):
+        w = RNG.normal(size=(128, 256))
+        blocks = partition_columns(w, "W1")
+        for block in blocks:
+            assert np.array_equal(block.data, w[:, block.columns])
+
+    def test_roundtrip(self):
+        w = RNG.normal(size=(64, 256))
+        assert np.array_equal(
+            reassemble_columns(partition_columns(w, "W")), w
+        )
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_columns(RNG.normal(size=(8, 100)), "W")
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_columns(RNG.normal(size=(4, 4, 4)), "W")
+
+    def test_missing_block_detected(self):
+        blocks = partition_columns(RNG.normal(size=(8, 128)), "W")
+        with pytest.raises(PartitionError):
+            reassemble_columns(blocks[1:])
+
+    def test_empty_reassembly_rejected(self):
+        with pytest.raises(PartitionError):
+            reassemble_columns([])
+
+    def test_custom_block_width(self):
+        blocks = partition_columns(RNG.normal(size=(8, 96)), "W",
+                                   block_cols=32)
+        assert len(blocks) == 3
+
+
+class TestModelWeightPartition:
+    def test_table1_pattern_base(self):
+        cfg = transformer_base()
+        blocks = partition_model_weights(
+            cfg,
+            RNG.normal(size=(512, 512)),
+            RNG.normal(size=(512, 2048)),
+            RNG.normal(size=(2048, 512)),
+        )
+        assert len(blocks["WG"]) == cfg.num_heads          # h
+        assert len(blocks["W1"]) == 4 * cfg.num_heads      # 4h
+        assert len(blocks["W2"]) == cfg.num_heads          # h
+
+    def test_table1_pattern_big(self):
+        cfg = transformer_big()
+        blocks = partition_model_weights(
+            cfg,
+            RNG.normal(size=(1024, 1024)),
+            RNG.normal(size=(1024, 4096)),
+            RNG.normal(size=(4096, 1024)),
+        )
+        assert len(blocks["W1"]) == 64
+
+    def test_wrong_shape_rejected(self):
+        cfg = transformer_base()
+        with pytest.raises(PartitionError):
+            partition_model_weights(
+                cfg,
+                RNG.normal(size=(512, 512)),
+                RNG.normal(size=(512, 1024)),  # not d_ff wide
+                RNG.normal(size=(2048, 512)),
+            )
+
+
+class TestQKTPlan:
+    def test_zero_pad_when_small(self):
+        plan = plan_qkt(48)
+        assert plan.strategy == "zero_pad"
+        assert plan.num_passes == 1
+        assert plan.padded_cols == 64
+
+    def test_exact_fit(self):
+        plan = plan_qkt(64)
+        assert plan.strategy == "zero_pad"
+        assert plan.num_passes == 1
+
+    def test_partition_when_large(self):
+        plan = plan_qkt(128)
+        assert plan.strategy == "partition_q"
+        assert plan.num_passes == 2
+
+    def test_partition_rounds_up(self):
+        assert plan_qkt(100).num_passes == 2
+        assert plan_qkt(129).num_passes == 3
+
+    def test_invalid_length(self):
+        with pytest.raises(PartitionError):
+            plan_qkt(0)
+
+
+class TestEq3Ratio:
+    def test_paper_form_matches_exact_at_s64(self):
+        # The paper's printed simplification is exact at its evaluation
+        # point s = 64 (the +64 term is s^2/64 there).
+        for h in (8, 12, 16):
+            assert qkt_multiply_ratio(64, h) == pytest.approx(
+                qkt_multiply_ratio_exact(64, h), rel=1e-12
+            )
+
+    def test_paper_magnitude_claim(self):
+        # Section III: with 256h^2 >= 16384 and s <= 128 the ratio is
+        # "very small".
+        for h in (8, 16):
+            for s in (16, 64, 128):
+                assert qkt_multiply_ratio_exact(s, h) < 0.01
+
+    def test_ratio_increases_with_s(self):
+        values = [qkt_multiply_ratio_exact(s, 8) for s in (16, 32, 64, 128)]
+        assert values == sorted(values)
+
+    def test_ratio_decreases_with_h(self):
+        values = [qkt_multiply_ratio_exact(64, h) for h in (8, 12, 16)]
+        assert values == sorted(values, reverse=True)
+
+    def test_exact_form_from_raw_counts(self):
+        # Re-derive from raw multiply counts for one configuration.
+        s, h = 64, 8
+        d_model = 64 * h
+        qkt = s * s * 64 * 64 * h
+        total = (
+            qkt + 3 * (64 * s * d_model ** 2) * h
+            + s * d_model ** 3 + 64 * s ** 3 * h
+        )
+        assert qkt_multiply_ratio_exact(s, h) == pytest.approx(qkt / total)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PartitionError):
+            qkt_multiply_ratio(0, 8)
+        with pytest.raises(PartitionError):
+            qkt_multiply_ratio_exact(64, 0)

@@ -1,0 +1,58 @@
+"""Adder-bank and ReLU unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdderBank, ReLUUnit
+from repro.errors import ShapeError
+
+
+class TestAdderBank:
+    def test_bias_add_scalar_broadcast(self):
+        bank = AdderBank(lanes=4)
+        col = np.array([1, 2, 3, 4])
+        assert np.array_equal(bank.add_column(col, np.int64(10)),
+                              [11, 12, 13, 14])
+
+    def test_residual_add_vector(self):
+        bank = AdderBank(lanes=3)
+        out = bank.add_column(np.array([1, 2, 3]), np.array([10, 20, 30]))
+        assert np.array_equal(out, [11, 22, 33])
+
+    def test_saturation(self):
+        bank = AdderBank(lanes=1, width_bits=8)
+        assert bank.add_column(np.array([120]), np.array([100]))[0] == 127
+        assert bank.add_column(np.array([-120]), np.array([-100]))[0] == -128
+
+    def test_lane_mismatch_rejected(self):
+        bank = AdderBank(lanes=4)
+        with pytest.raises(ShapeError):
+            bank.add_column(np.zeros(3, dtype=np.int64), np.int64(0))
+
+    def test_addend_shape_rejected(self):
+        bank = AdderBank(lanes=4)
+        with pytest.raises(ShapeError):
+            bank.add_column(np.zeros(4, dtype=np.int64),
+                            np.zeros(2, dtype=np.int64))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ShapeError):
+            AdderBank(lanes=0)
+        with pytest.raises(ShapeError):
+            AdderBank(lanes=4, width_bits=1)
+
+
+class TestReLUUnit:
+    def test_clamps_negatives(self):
+        unit = ReLUUnit(lanes=4)
+        out = unit.apply_column(np.array([-5, 0, 3, -1]))
+        assert np.array_equal(out, [0, 0, 3, 0])
+
+    def test_lane_mismatch_rejected(self):
+        unit = ReLUUnit(lanes=4)
+        with pytest.raises(ShapeError):
+            unit.apply_column(np.zeros(5, dtype=np.int64))
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ShapeError):
+            ReLUUnit(lanes=0)

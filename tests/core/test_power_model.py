@@ -1,0 +1,78 @@
+"""Power model tests against the paper's 16.7 W (13.3 dynamic / 3.4 static)."""
+
+import pytest
+
+from repro.config import paper_accelerator, transformer_base
+from repro.core import (
+    PAPER_DYNAMIC_W,
+    PAPER_STATIC_W,
+    PAPER_TOTAL_W,
+    energy_per_resblock_uj,
+    estimate_power,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def power():
+    return estimate_power(transformer_base(), paper_accelerator())
+
+
+class TestMagnitude:
+    def test_total_near_paper(self, power):
+        assert abs(power.total_w - PAPER_TOTAL_W) / PAPER_TOTAL_W < 0.15
+
+    def test_dynamic_near_paper(self, power):
+        assert abs(power.dynamic_w - PAPER_DYNAMIC_W) / PAPER_DYNAMIC_W < 0.15
+
+    def test_static_matches_device(self, power):
+        assert power.static_w == PAPER_STATIC_W
+
+    def test_dynamic_exceeds_static(self, power):
+        # The paper's split: 13.3 W dynamic vs 3.4 W static.
+        assert power.dynamic_w > 2 * power.static_w
+
+
+class TestStructure:
+    def test_sa_dominates_dynamic(self, power):
+        assert power.sa_w > 0.5 * power.dynamic_w
+
+    def test_breakdown_sums(self, power):
+        d = power.as_dict()
+        assert d["dynamic_w"] == pytest.approx(
+            d["sa_w"] + d["softmax_w"] + d["layernorm_w"]
+            + d["memory_w"] + d["clock_w"]
+        )
+        assert d["total_w"] == pytest.approx(d["dynamic_w"] + d["static_w"])
+
+    def test_activity_scales_dynamic(self):
+        model, acc = transformer_base(), paper_accelerator()
+        idle = estimate_power(model, acc, sa_activity=0.1)
+        busy = estimate_power(model, acc, sa_activity=0.9)
+        assert busy.dynamic_w > 2 * idle.dynamic_w
+        assert busy.static_w == idle.static_w
+
+    def test_clock_scales_power(self):
+        model = transformer_base()
+        slow = estimate_power(model, paper_accelerator().with_updates(
+            clock_mhz=100.0))
+        fast = estimate_power(model, paper_accelerator())
+        assert fast.sa_w == pytest.approx(2 * slow.sa_w)
+
+    def test_invalid_activity_rejected(self):
+        with pytest.raises(ConfigError):
+            estimate_power(transformer_base(), paper_accelerator(),
+                           sa_activity=1.5)
+
+
+class TestEnergy:
+    def test_energy_per_resblock(self):
+        # 16.7 W * 106.7 us ~ 1.78 mJ... in uJ: ~1782.
+        uj = energy_per_resblock_uj(16.7, 21_344, 200.0)
+        assert uj == pytest.approx(16.7 * 21_344 / 200.0, rel=1e-9)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            energy_per_resblock_uj(10.0, 0, 200.0)
+        with pytest.raises(ConfigError):
+            energy_per_resblock_uj(10.0, 100, 0.0)

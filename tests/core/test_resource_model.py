@@ -1,0 +1,132 @@
+"""Resource model tests against the paper's Table II shape."""
+
+import pytest
+
+from repro.config import paper_accelerator, transformer_base, transformer_big
+from repro.core import (
+    PAPER_TABLE2,
+    XCVU13P,
+    accumulator_bits,
+    estimate_layernorm,
+    estimate_softmax,
+    estimate_systolic_array,
+    estimate_top,
+    estimate_weight_memory,
+    utilization_fractions,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def model():
+    return transformer_base()
+
+
+@pytest.fixture
+def acc():
+    return paper_accelerator()
+
+
+@pytest.fixture
+def estimates(model, acc):
+    return estimate_top(model, acc)
+
+
+class TestAccumulatorSizing:
+    def test_k2048_needs_25_bits(self):
+        assert accumulator_bits(2048) == 26
+
+    def test_k512_needs_fewer(self):
+        assert accumulator_bits(512) < accumulator_bits(4096)
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigError):
+            accumulator_bits(0)
+
+
+class TestMagnitudes:
+    """Each module within a loose band of the published figures."""
+
+    @pytest.mark.parametrize("module,resource,tolerance", [
+        ("sa", "lut", 0.10), ("sa", "registers", 0.10),
+        ("softmax", "lut", 0.15), ("softmax", "registers", 0.15),
+        ("layernorm", "lut", 0.15), ("layernorm", "dsp", 0.0),
+        ("weight_memory", "bram", 0.0),
+        ("top", "lut", 0.10), ("top", "registers", 0.10),
+        ("top", "bram", 0.10),
+    ])
+    def test_within_band(self, estimates, module, resource, tolerance):
+        ours = estimates[module].as_dict()[resource]
+        paper = PAPER_TABLE2[module][resource]
+        assert abs(ours - paper) <= tolerance * paper + 1e-9
+
+    def test_layernorm_dsp_exactly_129(self, estimates):
+        # 2 DSP multipliers per row lane + 1 shared: 2 * 64 + 1.
+        assert estimates["layernorm"].dsp == 129
+
+    def test_sa_uses_no_dsp_or_bram(self, estimates):
+        assert estimates["sa"].dsp == 0
+        assert estimates["sa"].bram == 0
+
+    def test_softmax_multiplier_free(self, estimates):
+        assert estimates["softmax"].dsp == 0
+
+
+class TestShape:
+    """The Table II *shape*: rankings and dominance relations."""
+
+    def test_sa_dominates_lut(self, estimates):
+        top_lut = estimates["top"].lut
+        assert estimates["sa"].lut / top_lut > 0.8
+
+    def test_softmax_bigger_than_layernorm_logic(self, estimates):
+        assert estimates["softmax"].lut > estimates["layernorm"].lut
+        assert estimates["softmax"].registers > estimates["layernorm"].registers
+
+    def test_weight_memory_dominates_bram(self, estimates):
+        assert estimates["weight_memory"].bram > estimates["top"].bram / 2
+
+    def test_layernorm_owns_all_dsps(self, estimates):
+        assert estimates["top"].dsp == estimates["layernorm"].dsp
+
+    def test_top_fits_device(self, estimates):
+        top = estimates["top"]
+        assert top.lut < XCVU13P["lut"]
+        assert top.registers < XCVU13P["registers"]
+        assert top.bram < XCVU13P["bram"]
+        assert top.dsp < XCVU13P["dsp"]
+
+    def test_utilization_fractions(self, estimates):
+        fractions = utilization_fractions(estimates)
+        # Paper: 471,563 / 1,728,000 ~ 27% LUT.
+        assert 0.2 < fractions["top"]["lut"] < 0.35
+        assert fractions["sa"]["dsp"] == 0.0
+
+
+class TestScaling:
+    def test_bigger_model_needs_more_weight_bram(self, acc):
+        base = estimate_weight_memory(transformer_base(), acc)
+        big = estimate_weight_memory(transformer_big(), acc)
+        assert big.bram > 2 * base.bram
+
+    def test_sa_scales_with_rows(self, model):
+        small = estimate_systolic_array(
+            model, paper_accelerator().with_updates(seq_len=32)
+        )
+        large = estimate_systolic_array(model, paper_accelerator())
+        assert large.lut == 2 * small.lut
+
+    def test_softmax_scales_with_lanes(self):
+        small = estimate_softmax(paper_accelerator().with_updates(seq_len=32))
+        large = estimate_softmax(paper_accelerator())
+        assert large.lut == 2 * small.lut
+
+    def test_layernorm_dsp_scales_with_lanes(self, model):
+        small = estimate_layernorm(
+            model, paper_accelerator().with_updates(seq_len=32)
+        )
+        assert small.dsp == 65
+
+    def test_estimate_addition(self, estimates):
+        total = estimates["sa"] + estimates["softmax"]
+        assert total.lut == estimates["sa"].lut + estimates["softmax"].lut

@@ -1,0 +1,191 @@
+"""Scheduler tests: Algorithm 1 timelines and their invariants."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    AcceleratorConfig,
+    ModelConfig,
+    paper_accelerator,
+    transformer_base,
+    transformer_big,
+)
+from repro.core import (
+    PAPER_FFN_CYCLES,
+    PAPER_MHA_CYCLES,
+    schedule_autoregressive,
+    schedule_encoder_layer,
+    schedule_ffn,
+    schedule_mha,
+    schedule_model,
+)
+from repro.errors import ScheduleError
+
+
+@pytest.fixture
+def base():
+    return transformer_base()
+
+
+@pytest.fixture
+def acc():
+    return paper_accelerator()
+
+
+class TestTimelineInvariants:
+    def test_sa_events_never_overlap(self, base, acc):
+        for result in (schedule_mha(base, acc), schedule_ffn(base, acc)):
+            events = sorted(result.sa_events, key=lambda e: e.start)
+            for prev, cur in zip(events, events[1:]):
+                assert cur.start >= prev.end
+
+    def test_events_ordered_by_dependency(self, base, acc):
+        result = schedule_mha(base, acc)
+        for i in range(base.num_heads):
+            qkt = result.find(f"head{i}.QKt")
+            kwk = result.find(f"head{i}.KWk")
+            softmax = result.find(f"head{i}.softmax")
+            pv = result.find(f"head{i}.PV")
+            assert qkt.start >= kwk.end
+            assert softmax.start >= qkt.end
+            assert pv.start >= softmax.end
+
+    def test_layernorm_is_last(self, base, acc):
+        for result in (schedule_mha(base, acc), schedule_ffn(base, acc)):
+            ln = result.find("layernorm")
+            assert ln.end == result.total_cycles
+            assert all(e.end <= ln.start or e is ln for e in result.events
+                       if e.unit == "sa")
+
+    def test_softmax_hidden_behind_v_projection(self, base, acc):
+        # Algorithm 1 line 6: softmax ends before PV needs it, without
+        # stalling the SA (V W_Vi covers the softmax tail).
+        result = schedule_mha(base, acc)
+        for i in range(base.num_heads):
+            softmax = result.find(f"head{i}.softmax")
+            v_proj = result.find(f"head{i}.VWv")
+            assert softmax.end <= v_proj.end
+
+    def test_pass_counts(self, base, acc):
+        mha = schedule_mha(base, acc)
+        assert len(mha.sa_events) == 5 * base.num_heads + base.num_heads
+        ffn = schedule_ffn(base, acc)
+        assert len(ffn.sa_events) == (
+            base.d_ff // 64 + base.d_model // 64
+        )
+
+    def test_active_cycles_equal_inner_dims(self, base, acc):
+        mha = schedule_mha(base, acc)
+        expected = base.num_heads * (3 * 512 + 64 + 64) + 8 * 512
+        assert mha.sa_active_cycles == expected
+
+
+class TestPaperNumbers:
+    def test_mha_within_five_percent(self, base, acc):
+        measured = schedule_mha(base, acc).total_cycles
+        assert abs(measured / PAPER_MHA_CYCLES - 1) < 0.05
+
+    def test_ffn_within_fifteen_percent(self, base, acc):
+        measured = schedule_ffn(base, acc).total_cycles
+        assert abs(measured / PAPER_FFN_CYCLES - 1) < 0.15
+
+    def test_ffn_roughly_double_mha(self, base, acc):
+        # The paper's 42,099 / 21,344 = 1.97; our model must land near 2.
+        ratio = (schedule_ffn(base, acc).total_cycles
+                 / schedule_mha(base, acc).total_cycles)
+        assert 1.6 < ratio < 2.2
+
+    def test_utilization_in_paper_band(self, base, acc):
+        # Paper's implied SA utilizations: 81.6% (MHA), 77.8% (FFN).
+        assert 0.7 < schedule_mha(base, acc).sa_utilization < 0.9
+        assert 0.7 < schedule_ffn(base, acc).sa_utilization < 0.95
+
+    def test_latency_us_at_200mhz(self, base, acc):
+        result = schedule_mha(base, acc)
+        assert result.latency_us(200.0) == result.total_cycles / 200.0
+
+
+class TestConfigKnobs:
+    def test_no_overlap_is_slower(self, base, acc):
+        slow = acc.with_updates(pass_overlap=False)
+        assert (schedule_mha(base, slow).total_cycles
+                > schedule_mha(base, acc).total_cycles)
+
+    def test_dual_ported_buffers_speed_up_ffn(self, base, acc):
+        fast = acc.with_updates(single_ported_buffers=False)
+        assert (schedule_ffn(base, fast).total_cycles
+                < schedule_ffn(base, acc).total_cycles)
+
+    def test_layernorm_mode_ordering(self, base, acc):
+        totals = [
+            schedule_mha(base, acc.with_updates(layernorm_mode=m)).total_cycles
+            for m in ("straightforward", "step_one", "step_two")
+        ]
+        assert totals[0] > totals[1] > totals[2]
+
+    def test_weight_load_overhead_adds_per_pass(self, base, acc):
+        loaded = acc.with_updates(weight_load_cycles=10)
+        base_cycles = schedule_ffn(base, acc).total_cycles
+        extra = schedule_ffn(base, loaded).total_cycles - base_cycles
+        assert extra == 10 * len(schedule_ffn(base, acc).sa_events)
+
+    def test_head_dim_mismatch_rejected(self, acc):
+        bad = ModelConfig("bad", d_model=512, d_ff=2048, num_heads=8,
+                          max_seq_len=64)
+        wrong_sa = acc.with_updates(sa_cols=32)
+        with pytest.raises(ScheduleError):
+            schedule_mha(bad, wrong_sa)
+
+
+class TestLargerModels:
+    def test_big_model_scales_up(self, acc):
+        big = transformer_big()
+        base = transformer_base()
+        assert (schedule_mha(big, acc).total_cycles
+                > 2 * schedule_mha(base, acc).total_cycles)
+
+    def test_encoder_layer_is_sum(self, base, acc):
+        assert schedule_encoder_layer(base, acc) == (
+            schedule_mha(base, acc).total_cycles
+            + schedule_ffn(base, acc).total_cycles
+        )
+
+    def test_model_totals(self, base, acc):
+        totals = schedule_model(base, acc)
+        mha, ffn = totals["mha_cycles"], totals["ffn_cycles"]
+        assert totals["encoder_cycles"] == 6 * (mha + ffn)
+        assert totals["decoder_cycles"] == 6 * (2 * mha + ffn)
+        assert totals["total_cycles"] == (
+            totals["encoder_cycles"] + totals["decoder_cycles"]
+        )
+
+    def test_result_find_missing(self, base, acc):
+        with pytest.raises(ScheduleError):
+            schedule_mha(base, acc).find("nonexistent")
+
+
+class TestAutoregressive:
+    def test_encoder_once_decoder_per_token(self, base, acc):
+        r = schedule_autoregressive(base, acc, generated_tokens=10)
+        totals = schedule_model(base, acc)
+        assert r["encoder_cycles"] == totals["encoder_cycles"]
+        # One token = one full decoder-stack pass (all 6 layers).
+        assert r["decoder_cycles_per_token"] == totals["decoder_cycles"]
+        assert r["total_cycles"] == (
+            r["encoder_cycles"] + 10 * r["decoder_cycles_per_token"]
+        )
+
+    def test_decoder_step_is_one_stack_pass(self, base, acc):
+        r = schedule_autoregressive(base, acc, generated_tokens=1)
+        mha = schedule_mha(base, acc).total_cycles
+        ffn = schedule_ffn(base, acc).total_cycles
+        assert r["decoder_cycles_per_token"] == 6 * (2 * mha + ffn)
+
+    def test_cycles_per_token_amortizes_encoder(self, base, acc):
+        short = schedule_autoregressive(base, acc, 2)
+        long = schedule_autoregressive(base, acc, 64)
+        assert long["cycles_per_token"] < short["cycles_per_token"]
+
+    def test_invalid_token_count(self, base, acc):
+        with pytest.raises(ScheduleError):
+            schedule_autoregressive(base, acc, 0)

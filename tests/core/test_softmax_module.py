@@ -1,0 +1,74 @@
+"""Softmax module tests: function (Fig. 6) + timing."""
+
+import numpy as np
+import pytest
+
+from repro.config import AcceleratorConfig
+from repro.core import SoftmaxModule
+from repro.errors import ShapeError
+from repro.transformer.functional import scaled_masked_softmax
+
+RNG = np.random.default_rng(14)
+
+
+@pytest.fixture
+def config():
+    return AcceleratorConfig(seq_len=16)
+
+
+class TestFunction:
+    def test_exact_mode_matches_reference(self, config):
+        module = SoftmaxModule(config, approximate=False)
+        logits = RNG.normal(0, 8, size=(16, 16))
+        assert np.allclose(
+            module(logits), scaled_masked_softmax(logits, None, 8.0)
+        )
+
+    def test_approximate_mode_close_to_reference(self, config):
+        module = SoftmaxModule(config, approximate=True)
+        logits = RNG.normal(0, 8, size=(16, 16))
+        exact = scaled_masked_softmax(logits, None, 8.0)
+        assert np.abs(module(logits) - exact).max() < 0.05
+
+    def test_mask_zeroes_output(self, config):
+        module = SoftmaxModule(config, approximate=True)
+        logits = RNG.normal(size=(4, 4))
+        mask = np.eye(4, dtype=bool)
+        out = module(logits, mask)
+        assert np.all(out[np.eye(4, dtype=bool)] == 0.0)
+
+    def test_non_square_rejected(self, config):
+        module = SoftmaxModule(config)
+        with pytest.raises(ShapeError):
+            module(RNG.normal(size=(4, 6)))
+
+
+class TestTiming:
+    def test_timing_structure(self, config):
+        module = SoftmaxModule(config)
+        t = module.timing()
+        assert t.input_cycles == 16
+        assert t.second_pass_cycles == 16
+        assert t.pipeline_tail == config.softmax_pipeline_depth
+        assert t.total_cycles == 32 + config.softmax_pipeline_depth
+        assert t.exposed_after_input == 16 + config.softmax_pipeline_depth
+
+    def test_timing_custom_s(self, config):
+        module = SoftmaxModule(config)
+        assert module.timing(64).input_cycles == 64
+
+    def test_invalid_s(self, config):
+        with pytest.raises(ShapeError):
+            SoftmaxModule(config).timing(0)
+
+    def test_hidden_behind_projection_pass(self):
+        # The paper's Algorithm 1 overlap condition: at Transformer-base
+        # the V W_Vi pass (512 cycles) fully hides the softmax tail.
+        config = AcceleratorConfig(seq_len=64)
+        module = SoftmaxModule(config)
+        assert module.hideable_behind(512)
+
+    def test_not_hidden_behind_tiny_pass(self):
+        config = AcceleratorConfig(seq_len=64)
+        module = SoftmaxModule(config)
+        assert not module.hideable_behind(10)

@@ -1,0 +1,170 @@
+"""Streaming softmax / LayerNorm module tests (column granularity)."""
+
+import numpy as np
+import pytest
+
+from repro.config import AcceleratorConfig
+from repro.core import StreamingLayerNorm, StreamingSoftmax
+from repro.errors import ScheduleError, ShapeError
+from repro.quant import HardwareSoftmax
+
+RNG = np.random.default_rng(91)
+
+
+@pytest.fixture
+def config():
+    return AcceleratorConfig(seq_len=8)
+
+
+class TestStreamingSoftmax:
+    def test_matches_batch_hardware_softmax(self, config):
+        unit = StreamingSoftmax(config)
+        d = RNG.normal(0, 8, size=(8, 8))
+        for j in range(8):
+            unit.push_column(d[:, j], cycle=100 + j)
+        y, _ = unit.finalize()
+        expected = HardwareSoftmax()(d)
+        assert np.array_equal(y, expected)
+
+    def test_matches_with_mask(self, config):
+        unit = StreamingSoftmax(config)
+        d = RNG.normal(size=(8, 8))
+        mask = np.triu(np.ones((8, 8), dtype=bool), k=1)
+        for j in range(8):
+            unit.push_column(d[:, j], mask[:, j])
+        y, _ = unit.finalize()
+        expected = HardwareSoftmax()(d, mask)
+        assert np.array_equal(y, expected)
+
+    def test_running_max_updates_stage_one(self, config):
+        unit = StreamingSoftmax(config, scale_divisor=1.0)
+        unit.push_column(np.array([1.0] * 8))
+        unit.push_column(np.array([3.0] * 8))
+        unit.push_column(np.array([2.0] * 8))
+        assert np.allclose(unit.running_max, 3.0)
+
+    def test_masked_columns_excluded_from_max(self, config):
+        unit = StreamingSoftmax(config, scale_divisor=1.0)
+        unit.push_column(np.array([1.0] * 8))
+        unit.push_column(np.array([100.0] * 8), np.ones(8, dtype=bool))
+        assert np.allclose(unit.running_max, 1.0)
+
+    def test_output_events_timing(self, config):
+        unit = StreamingSoftmax(config)
+        d = RNG.normal(size=(8, 8))
+        last_input = 0
+        for j in range(8):
+            last_input = 50 + j
+            unit.push_column(d[:, j], cycle=last_input)
+        _, events = unit.finalize()
+        assert len(events) == 8
+        # First output: pipeline tail into the replay pass.
+        expected_first = last_input + 1 + config.softmax_pipeline_depth
+        assert events[0].cycle == expected_first
+        # One column per cycle after that.
+        assert [e.cycle for e in events] == list(
+            range(expected_first, expected_first + 8)
+        )
+
+    def test_timing_consistent_with_module_model(self, config):
+        from repro.core import SoftmaxModule
+
+        unit = StreamingSoftmax(config)
+        d = RNG.normal(size=(8, 8))
+        for j in range(8):
+            unit.push_column(d[:, j], cycle=j)
+        _, events = unit.finalize()
+        timing = SoftmaxModule(config).timing(8)
+        # Last output lands exactly total_cycles after the first input.
+        assert events[-1].cycle - 0 + 1 == timing.total_cycles
+
+    def test_errors(self, config):
+        unit = StreamingSoftmax(config)
+        with pytest.raises(ScheduleError):
+            unit.finalize()
+        unit2 = StreamingSoftmax(config)
+        unit2.push_column(np.zeros(8), cycle=5)
+        with pytest.raises(ScheduleError):
+            unit2.push_column(np.zeros(8), cycle=5)  # non-increasing
+        with pytest.raises(ShapeError):
+            unit2.push_column(np.zeros(4))
+        with pytest.raises(ShapeError):
+            unit2.push_column(np.zeros(8), np.zeros(4, dtype=bool))
+        y, _ = unit2.finalize()
+        with pytest.raises(ScheduleError):
+            unit2.finalize()
+        with pytest.raises(ScheduleError):
+            unit2.push_column(np.zeros(8))
+
+
+class TestStreamingLayerNorm:
+    def test_matches_batch_module(self, config):
+        from repro.core import LayerNormModule
+
+        d_model = 192
+        unit = StreamingLayerNorm(config, d_model)
+        g = RNG.normal(1, 2, size=(8, d_model))
+        for i in range(3):
+            unit.push_group(g[:, i * 64:(i + 1) * 64])
+        gamma = RNG.normal(size=d_model)
+        beta = RNG.normal(size=d_model)
+        out, _ = unit.finalize(gamma, beta)
+        module = LayerNormModule(config, d_model, approximate=True)
+        assert np.allclose(out, module(g, gamma, beta), atol=1e-12)
+
+    def test_accumulators_track_partial_sums(self, config):
+        unit = StreamingLayerNorm(config, 128)
+        g = RNG.normal(size=(8, 128))
+        unit.push_group(g[:, :64])
+        sums, sq = unit.accumulators()
+        assert np.allclose(sums, g[:, :64].sum(1))
+        assert np.allclose(sq, (g[:, :64] ** 2).sum(1))
+
+    def test_no_second_statistics_pass_needed(self, config):
+        # The step-two claim: statistics are final the moment the last
+        # group arrives (before finalize touches G again).
+        unit = StreamingLayerNorm(config, 128)
+        g = RNG.normal(size=(8, 128))
+        unit.push_group(g[:, :64])
+        unit.push_group(g[:, 64:])
+        sums, sq = unit.accumulators()
+        mean = sums / 128
+        var = sq / 128 - mean ** 2
+        assert np.allclose(mean, g.mean(1))
+        assert np.allclose(var, g.var(1), atol=1e-10)
+
+    def test_output_event_timing_is_step_two(self, config):
+        unit = StreamingLayerNorm(config, 128)
+        g = RNG.normal(size=(8, 128))
+        unit.push_group(g[:, :64], cycle=500)
+        unit.push_group(g[:, 64:], cycle=700)
+        out, events = unit.finalize(np.ones(128), np.zeros(128))
+        assert events[0].cycle == 700 + config.layernorm_pipeline_depth
+        assert len(events) == 128
+        assert events[-1].cycle == events[0].cycle + 127
+
+    def test_group_count_enforced(self, config):
+        unit = StreamingLayerNorm(config, 128)
+        unit.push_group(np.zeros((8, 64)))
+        with pytest.raises(ScheduleError):
+            unit.finalize(np.ones(128), np.zeros(128))
+        unit.push_group(np.zeros((8, 64)))
+        with pytest.raises(ScheduleError):
+            unit.push_group(np.zeros((8, 64)))  # too many
+
+    def test_shape_validation(self, config):
+        with pytest.raises(ShapeError):
+            StreamingLayerNorm(config, 100)  # not a multiple of 64
+        unit = StreamingLayerNorm(config, 128)
+        with pytest.raises(ShapeError):
+            unit.push_group(np.zeros((8, 32)))
+        unit.push_group(np.zeros((8, 64)))
+        with pytest.raises(ShapeError):
+            unit.push_group(np.zeros((4, 64)))  # row count changed
+
+    def test_gamma_beta_validation(self, config):
+        unit = StreamingLayerNorm(config, 128)
+        unit.push_group(np.zeros((8, 64)))
+        unit.push_group(np.zeros((8, 64)))
+        with pytest.raises(ShapeError):
+            unit.finalize(np.ones(64), np.zeros(128))

@@ -1,0 +1,57 @@
+"""Chrome trace export tests."""
+
+import json
+
+import pytest
+
+from repro.config import paper_accelerator, transformer_base
+from repro.core import (
+    ScheduleResult,
+    schedule_mha,
+    schedule_to_trace_events,
+    write_trace,
+)
+from repro.errors import ScheduleError
+
+
+@pytest.fixture
+def schedule():
+    return schedule_mha(transformer_base(), paper_accelerator())
+
+
+class TestTraceEvents:
+    def test_one_complete_event_per_schedule_event(self, schedule):
+        events = schedule_to_trace_events(schedule)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(schedule.events)
+
+    def test_timestamps_in_us(self, schedule):
+        events = schedule_to_trace_events(schedule, clock_mhz=200.0)
+        first_sa = next(e for e in events if e["ph"] == "X")
+        match = schedule.events[0]
+        assert first_sa["ts"] == pytest.approx(match.start / 200.0)
+        assert first_sa["dur"] == pytest.approx(match.duration / 200.0)
+
+    def test_units_mapped_to_tracks(self, schedule):
+        events = schedule_to_trace_events(schedule)
+        tids = {e["cat"]: e["tid"] for e in events if e["ph"] == "X"}
+        assert tids["sa"] != tids["softmax"] != tids["layernorm"]
+
+    def test_thread_names_present(self, schedule):
+        events = schedule_to_trace_events(schedule)
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert names == {"sa", "softmax", "layernorm"}
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ScheduleError):
+            schedule_to_trace_events(ScheduleResult(block="mha"))
+
+
+class TestWriteTrace:
+    def test_valid_json_file(self, schedule, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_trace(schedule, str(path))
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == count
+        assert payload["otherData"]["total_cycles"] == schedule.total_cycles
+        assert payload["otherData"]["block"] == "mha"

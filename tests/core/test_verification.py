@@ -1,0 +1,43 @@
+"""Self-verification harness tests."""
+
+import pytest
+
+from repro.core.verification import (
+    CheckResult,
+    run_selftest,
+    selftest_passed,
+)
+
+
+class TestSelfTest:
+    def test_all_checks_pass(self):
+        results = run_selftest(seed=0)
+        assert selftest_passed(results), [
+            (r.name, r.detail) for r in results if not r.passed
+        ]
+
+    def test_five_checks_present(self):
+        names = [r.name for r in run_selftest(seed=1)]
+        assert names == [
+            "quantized-vs-fp32",
+            "accelerator-vs-quant",
+            "cycle-accurate-sa",
+            "scheduler-vs-analytic",
+            "streaming-vs-batch",
+        ]
+
+    def test_different_seed_still_passes(self):
+        assert selftest_passed(run_selftest(seed=99))
+
+    def test_passed_helper(self):
+        good = [CheckResult("a", True, "")]
+        bad = good + [CheckResult("b", False, "")]
+        assert selftest_passed(good)
+        assert not selftest_passed(bad)
+
+    def test_cli_selftest(self, capsys):
+        from repro.cli import main
+
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out

@@ -1,0 +1,86 @@
+"""Fixed-point LayerNorm datapath tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FixedPointError, ShapeError
+from repro.fixedpoint import FixedPointLayerNorm
+from repro.transformer.functional import layer_norm
+
+RNG = np.random.default_rng(73)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("d_model", [64, 512])
+    def test_close_to_float_power_of_two(self, d_model):
+        unit = FixedPointLayerNorm(d_model=d_model)
+        assert unit.max_error_vs_float() < 0.02
+
+    def test_close_to_float_non_power_of_two(self):
+        # BERT-base's d_model = 768 exercises the constant-divide path.
+        unit = FixedPointLayerNorm(d_model=768)
+        assert unit.max_error_vs_float() < 0.02
+
+    def test_rows_approximately_normalized(self):
+        unit = FixedPointLayerNorm(d_model=128)
+        g = RNG.normal(1.0, 3.0, size=(16, 128))
+        out = unit(g, np.ones(128), np.zeros(128))
+        assert np.abs(out.mean(-1)).max() < 0.02
+        assert np.abs(out.std(-1) - 1.0).max() < 0.05
+
+    def test_affine_applied(self):
+        unit = FixedPointLayerNorm(d_model=64)
+        g = RNG.normal(size=(4, 64))
+        gamma = np.full(64, 2.0)
+        beta = np.full(64, 0.5)
+        base = unit(g, np.ones(64), np.zeros(64))
+        scaled = unit(g, gamma, beta)
+        assert np.allclose(scaled, base * 2.0 + 0.5, atol=0.05)
+
+    def test_matches_float_reference_distribution(self):
+        unit = FixedPointLayerNorm(d_model=256)
+        g = RNG.normal(0, 2, size=(8, 256))
+        gamma = RNG.uniform(0.5, 1.5, size=256)
+        beta = RNG.uniform(-0.5, 0.5, size=256)
+        exact = layer_norm(g, gamma, beta)
+        approx = unit(g, gamma, beta)
+        assert np.abs(exact - approx).max() < 0.02
+
+
+class TestIntegerStatistics:
+    def test_statistics_on_constant_rows(self):
+        unit = FixedPointLayerNorm(d_model=64)
+        codes = unit.in_fmt.quantize(np.full((2, 64), 1.5))
+        mean, var = unit.statistics(codes)
+        assert np.allclose(unit.in_fmt.dequantize(mean), 1.5)
+        assert np.all(var <= 1)   # at most rounding residue
+
+    def test_variance_never_negative(self):
+        unit = FixedPointLayerNorm(d_model=64)
+        for seed in range(5):
+            g = np.random.default_rng(seed).normal(size=(4, 64)) * 3
+            _, var = unit.statistics(unit.in_fmt.quantize(g))
+            assert np.all(var >= 0)
+
+    def test_mean_shift_matches_division(self):
+        unit = FixedPointLayerNorm(d_model=512)
+        sums = np.array([512_000, -511_999, 7])
+        assert np.allclose(
+            unit._mean_codes(sums), np.round(sums / 512), atol=1
+        )
+
+
+class TestValidation:
+    def test_width_mismatch(self):
+        unit = FixedPointLayerNorm(d_model=64)
+        with pytest.raises(ShapeError):
+            unit(np.zeros((2, 32)), np.ones(64), np.zeros(64))
+
+    def test_bad_affine_shape(self):
+        unit = FixedPointLayerNorm(d_model=64)
+        with pytest.raises(ShapeError):
+            unit(np.zeros((2, 64)), np.ones(32), np.zeros(64))
+
+    def test_invalid_d_model(self):
+        with pytest.raises(FixedPointError):
+            FixedPointLayerNorm(d_model=0)

@@ -1,0 +1,101 @@
+"""Unit tests for fixed-point formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import ACC32, INT8, QFormat
+
+
+class TestQFormatConstruction:
+    def test_total_bits(self):
+        assert QFormat(6, 10).total_bits == 16
+
+    def test_scale(self):
+        assert QFormat(2, 4).scale == 1.0 / 16
+
+    def test_code_range(self):
+        fmt = QFormat(8, 0)
+        assert fmt.max_code == 127
+        assert fmt.min_code == -128
+
+    def test_value_range(self):
+        fmt = QFormat(2, 6)
+        assert fmt.max_value == pytest.approx(127 / 64)
+        assert fmt.min_value == pytest.approx(-2.0)
+
+    def test_int8_alias(self):
+        assert INT8.max_code == 127
+        assert INT8.scale == 1.0
+
+    def test_acc32_width(self):
+        assert ACC32.total_bits == 32
+
+    def test_rejects_zero_int_bits(self):
+        with pytest.raises(FixedPointError):
+            QFormat(0, 4)
+
+    def test_rejects_negative_frac_bits(self):
+        with pytest.raises(FixedPointError):
+            QFormat(4, -1)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(FixedPointError):
+            QFormat(40, 30)
+
+    def test_str(self):
+        assert str(QFormat(6, 10)) == "Q6.10"
+
+
+class TestQuantizeDequantize:
+    def test_roundtrip_exact_grid(self):
+        fmt = QFormat(4, 4)
+        values = np.array([0.0, 0.5, -1.25, 3.0])
+        assert np.allclose(fmt.dequantize(fmt.quantize(values)), values)
+
+    def test_rounding_half_away_from_zero(self):
+        fmt = QFormat(8, 0)
+        assert fmt.quantize(0.5) == 1
+        assert fmt.quantize(-0.5) == -1
+        assert fmt.quantize(1.4) == 1
+
+    def test_saturation_positive(self):
+        fmt = QFormat(4, 0)
+        assert fmt.quantize(100.0) == 7
+
+    def test_saturation_negative(self):
+        fmt = QFormat(4, 0)
+        assert fmt.quantize(-100.0) == -8
+
+    def test_quantization_error_bounded_by_half_lsb(self):
+        fmt = QFormat(4, 8)
+        values = np.linspace(-7.9, 7.9, 1001)
+        err = np.abs(fmt.dequantize(fmt.quantize(values)) - values)
+        assert err.max() <= fmt.scale / 2 + 1e-12
+
+    def test_saturate_codes(self):
+        fmt = QFormat(4, 0)
+        assert fmt.saturate(np.array([100, -100, 3])).tolist() == [7, -8, 3]
+
+    def test_wraps_two_complement(self):
+        fmt = QFormat(4, 0)
+        # 8 wraps to -8 in 4-bit two's complement.
+        assert fmt.wraps(np.array([8])).tolist() == [-8]
+        assert fmt.wraps(np.array([-9])).tolist() == [7]
+        assert fmt.wraps(np.array([5])).tolist() == [5]
+
+    def test_representable_mask(self):
+        fmt = QFormat(4, 0)
+        mask = fmt.representable(np.array([7.0, 8.0, -8.0, -9.0]))
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_quantize_preserves_shape(self):
+        fmt = QFormat(8, 8)
+        arr = np.zeros((3, 4, 5))
+        assert fmt.quantize(arr).shape == (3, 4, 5)
+
+    def test_dequantize_dtype(self):
+        fmt = QFormat(8, 2)
+        out = fmt.dequantize(np.array([4], dtype=np.int64))
+        assert out.dtype == np.float64
+        assert out[0] == 1.0

@@ -1,0 +1,123 @@
+"""Unit tests for the hardware EXP, LN and inverse-sqrt units."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import ExpUnit, InverseSqrtLUT, LnUnit, QFormat
+
+
+class TestExpUnit:
+    def setup_method(self):
+        self.unit = ExpUnit()
+
+    def test_exp_of_zero_is_one(self):
+        assert self.unit.evaluate(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_exact_at_negative_powers_of_two_exponent(self):
+        # x such that x*log2(e) is integral: the PWL mantissa error is zero
+        # there (2**F with F=0), only the constant error remains.
+        out = self.unit.evaluate(np.array([-np.log(2.0)]))
+        assert out[0] == pytest.approx(0.5, rel=0.03)
+
+    def test_relative_error_bound(self):
+        # PWL 2**F ~= 1+F worst error ~6.1%; constant error adds ~2%.
+        assert self.unit.max_relative_error() < 0.09
+
+    def test_monotone_nonincreasing_as_x_decreases(self):
+        xs = np.linspace(-6, 0, 200)
+        ys = self.unit.evaluate(xs)
+        assert np.all(np.diff(ys) >= 0)
+
+    def test_flush_to_zero_for_very_negative(self):
+        assert self.unit.evaluate(np.array([-30.0]))[0] == 0.0
+
+    def test_rejects_positive_codes(self):
+        with pytest.raises(FixedPointError):
+            self.unit(np.array([1]))
+
+    def test_output_in_unit_interval(self):
+        xs = np.linspace(-16, 0, 500)
+        ys = self.unit.evaluate(xs)
+        assert np.all(ys >= 0) and np.all(ys <= 1.0)
+
+    def test_log2e_shiftadd_constant(self):
+        assert self.unit.log2e_constant == pytest.approx(1.4375)
+
+    def test_custom_format(self):
+        unit = ExpUnit(in_fmt=QFormat(5, 8), out_frac_bits=12)
+        assert unit.out_fmt.frac_bits == 12
+        assert unit.evaluate(np.array([0.0]))[0] == pytest.approx(1.0)
+
+
+class TestLnUnit:
+    def setup_method(self):
+        self.unit = LnUnit()
+
+    def test_ln_of_one_is_zero(self):
+        assert self.unit.evaluate(np.array([1.0]))[0] == pytest.approx(0.0)
+
+    def test_ln_powers_of_two(self):
+        # At powers of two the mantissa term is exactly zero; only the
+        # 0.6875-vs-ln2 constant error remains (~0.8%).
+        out = self.unit.evaluate(np.array([2.0, 4.0, 32.0]))
+        expected = np.array([1, 2, 5]) * 0.6875
+        assert np.allclose(out, expected, atol=1e-3)
+
+    def test_absolute_error_bound(self):
+        assert self.unit.max_absolute_error() < 0.15
+
+    def test_monotone(self):
+        xs = np.linspace(0.5, 500, 400)
+        ys = self.unit.evaluate(xs)
+        assert np.all(np.diff(ys) >= -1e-9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(FixedPointError):
+            self.unit.evaluate(np.array([0.0]))
+        with pytest.raises(FixedPointError):
+            self.unit(np.array([0]))
+
+    def test_ln2_shiftadd_constant(self):
+        assert self.unit.ln2_constant == pytest.approx(0.6875)
+
+    def test_fractional_inputs(self):
+        out = self.unit.evaluate(np.array([0.5]))
+        assert out[0] == pytest.approx(-0.6875, abs=0.01)
+
+
+class TestInverseSqrtLUT:
+    def setup_method(self):
+        self.unit = InverseSqrtLUT()
+
+    def test_exact_at_powers_of_four(self):
+        out = self.unit.evaluate(np.array([1.0, 4.0, 16.0, 64.0]))
+        assert np.allclose(out, [1.0, 0.5, 0.25, 0.125], rtol=1e-3)
+
+    def test_odd_exponent_bank(self):
+        out = self.unit.evaluate(np.array([2.0, 8.0]))
+        assert np.allclose(out, [2 ** -0.5, 8 ** -0.5], rtol=2e-3)
+
+    def test_relative_error_small(self):
+        assert self.unit.max_relative_error() < 0.005
+
+    def test_monotone_decreasing(self):
+        xs = np.linspace(0.1, 100, 500)
+        ys = self.unit.evaluate(xs)
+        assert np.all(np.diff(ys) <= 1e-9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(FixedPointError):
+            self.unit.evaluate(np.array([0.0]))
+
+    def test_lut_storage_reported(self):
+        assert self.unit.bram_bits == 2 * 256 * self.unit.out_fmt.total_bits
+
+    def test_entries_must_be_power_of_two(self):
+        with pytest.raises(FixedPointError):
+            InverseSqrtLUT(entries=300)
+
+    def test_larger_table_is_more_accurate(self):
+        small = InverseSqrtLUT(entries=32).max_relative_error()
+        large = InverseSqrtLUT(entries=1024).max_relative_error()
+        assert large < small

@@ -1,0 +1,54 @@
+"""Speedup-landscape tests."""
+
+import pytest
+
+from repro.config import transformer_base, transformer_big
+from repro.errors import ConfigError
+from repro.gpu_model import best_and_worst, speedup_landscape
+
+
+@pytest.fixture
+def cells():
+    return speedup_landscape(
+        [transformer_base(), transformer_big()], seq_lens=(32, 64)
+    )
+
+
+class TestLandscape:
+    def test_grid_size(self, cells):
+        assert len(cells) == 4
+
+    def test_paper_cell_reproduced(self):
+        cells = speedup_landscape([transformer_base()], seq_lens=(64,))
+        cell = cells[0]
+        assert cell.mha_speedup == pytest.approx(14.6, rel=0.05)
+        assert cell.ffn_speedup == pytest.approx(3.4, rel=0.10)
+
+    def test_mha_speedup_exceeds_ffn_everywhere(self, cells):
+        # The launch-bound MHA advantage holds across the landscape.
+        assert all(c.mha_speedup > c.ffn_speedup for c in cells)
+
+    def test_speedup_decreases_with_seq_len(self):
+        cells = speedup_landscape([transformer_base()],
+                                  seq_lens=(16, 64, 128))
+        speedups = [c.layer_speedup for c in cells]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_layer_speedup_between_parts(self, cells):
+        for c in cells:
+            lo = min(c.mha_speedup, c.ffn_speedup)
+            hi = max(c.mha_speedup, c.ffn_speedup)
+            assert lo <= c.layer_speedup <= hi
+
+    def test_best_and_worst(self, cells):
+        extremes = best_and_worst(cells)
+        assert (extremes["best"].layer_speedup
+                >= extremes["worst"].layer_speedup)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            speedup_landscape([], seq_lens=(64,))
+        with pytest.raises(ConfigError):
+            speedup_landscape([transformer_base()], seq_lens=())
+        with pytest.raises(ConfigError):
+            best_and_worst([])

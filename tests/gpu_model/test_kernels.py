@@ -1,0 +1,61 @@
+"""GPU kernel-decomposition tests."""
+
+import pytest
+
+from repro.config import transformer_base
+from repro.errors import ShapeError
+from repro.gpu_model import (
+    ffn_resblock_kernels,
+    mha_resblock_kernels,
+    total_bytes,
+    total_flops,
+)
+
+
+@pytest.fixture
+def model():
+    return transformer_base()
+
+
+class TestKernelCounts:
+    def test_mha_has_more_kernels_than_ffn(self, model):
+        # The structural fact behind the paper's GPU latency inversion.
+        mha = mha_resblock_kernels(model, 64)
+        ffn = ffn_resblock_kernels(model, 64)
+        assert len(mha) > 2 * len(ffn)
+
+    def test_mha_kernel_count(self, model):
+        assert len(mha_resblock_kernels(model, 64)) == 16
+
+    def test_ffn_kernel_count(self, model):
+        assert len(ffn_resblock_kernels(model, 64)) == 7
+
+
+class TestFlopAccounting:
+    def test_ffn_has_twice_mha_flops(self, model):
+        # 2 * s * d * d_ff * 2 vs ~4 * s * d^2 * 2 + attention terms.
+        mha = total_flops(mha_resblock_kernels(model, 64))
+        ffn = total_flops(ffn_resblock_kernels(model, 64))
+        assert 1.5 < ffn / mha < 2.2
+
+    def test_gemm_flops_formula(self, model):
+        kernels = {k.name: k for k in ffn_resblock_kernels(model, 64)}
+        assert kernels["linear1"].flops == 2 * 64 * 512 * 2048
+
+    def test_projection_flops(self, model):
+        kernels = {k.name: k for k in mha_resblock_kernels(model, 64)}
+        assert kernels["q_proj"].flops == 2 * 64 * 512 * 512
+
+    def test_flops_scale_with_s(self, model):
+        small = total_flops(mha_resblock_kernels(model, 32))
+        large = total_flops(mha_resblock_kernels(model, 64))
+        assert large > 1.8 * small
+
+    def test_bytes_positive(self, model):
+        assert total_bytes(mha_resblock_kernels(model, 64)) > 0
+
+    def test_invalid_s(self, model):
+        with pytest.raises(ShapeError):
+            mha_resblock_kernels(model, 0)
+        with pytest.raises(ShapeError):
+            ffn_resblock_kernels(model, -1)

@@ -1,0 +1,117 @@
+"""V100 latency model tests: Table III shape and sweeps."""
+
+import pytest
+
+from repro.config import paper_accelerator, transformer_base
+from repro.core import (
+    PAPER_FFN_SPEEDUP,
+    PAPER_GPU_FFN_LATENCY_US,
+    PAPER_GPU_MHA_LATENCY_US,
+    PAPER_MHA_SPEEDUP,
+    schedule_ffn,
+    schedule_mha,
+)
+from repro.errors import ConfigError
+from repro.gpu_model import (
+    GpuSpec,
+    ffn_latency_us,
+    mha_latency_us,
+    v100_batch1,
+    v100_batched,
+)
+
+
+@pytest.fixture
+def model():
+    return transformer_base()
+
+
+@pytest.fixture
+def spec():
+    return v100_batch1()
+
+
+class TestTable3:
+    def test_mha_latency_near_paper(self, model, spec):
+        measured = mha_latency_us(model, 64, spec)
+        assert abs(measured / PAPER_GPU_MHA_LATENCY_US - 1) < 0.05
+
+    def test_ffn_latency_near_paper(self, model, spec):
+        measured = ffn_latency_us(model, 64, spec)
+        assert abs(measured / PAPER_GPU_FFN_LATENCY_US - 1) < 0.05
+
+    def test_gpu_inversion(self, model, spec):
+        # GPU is *slower* on MHA than FFN despite half the FLOPs —
+        # the launch-overhead-bound regime the paper exploits.
+        assert mha_latency_us(model, 64, spec) > ffn_latency_us(model, 64, spec)
+
+    def test_speedups_near_paper(self, model, spec):
+        acc = paper_accelerator()
+        fpga_mha = schedule_mha(model, acc).latency_us(acc.clock_mhz)
+        fpga_ffn = schedule_ffn(model, acc).latency_us(acc.clock_mhz)
+        mha_speedup = mha_latency_us(model, 64, spec) / fpga_mha
+        ffn_speedup = ffn_latency_us(model, 64, spec) / fpga_ffn
+        assert abs(mha_speedup / PAPER_MHA_SPEEDUP - 1) < 0.15
+        assert abs(ffn_speedup / PAPER_FFN_SPEEDUP - 1) < 0.20
+
+    def test_mha_speedup_much_larger_than_ffn(self, model, spec):
+        acc = paper_accelerator()
+        fpga_mha = schedule_mha(model, acc).latency_us(acc.clock_mhz)
+        fpga_ffn = schedule_ffn(model, acc).latency_us(acc.clock_mhz)
+        mha_speedup = mha_latency_us(model, 64, spec) / fpga_mha
+        ffn_speedup = ffn_latency_us(model, 64, spec) / fpga_ffn
+        assert mha_speedup > 3 * ffn_speedup
+
+
+class TestSpec:
+    def test_kernel_latency_floor_is_overhead(self, spec):
+        from repro.gpu_model import Kernel
+
+        tiny = Kernel("tiny", flops=10, bytes_moved=10)
+        assert spec.kernel_latency_s(tiny) >= spec.kernel_overhead_s
+
+    def test_compute_bound_kernel(self, spec):
+        from repro.gpu_model import Kernel
+
+        huge = Kernel("huge", flops=10**13, bytes_moved=100)
+        latency = spec.kernel_latency_s(huge)
+        assert latency > 10**13 / spec.peak_flops
+
+    def test_memory_bound_kernel(self, spec):
+        from repro.gpu_model import Kernel
+
+        streamy = Kernel("stream", flops=10, bytes_moved=9 * 10**11)
+        assert spec.kernel_latency_s(streamy) >= 1.0
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigError):
+            GpuSpec("bad", peak_flops=0, memory_bandwidth=1,
+                    kernel_overhead_s=1)
+        with pytest.raises(ConfigError):
+            GpuSpec("bad", peak_flops=1, memory_bandwidth=1,
+                    kernel_overhead_s=1, gemm_efficiency=2.0)
+
+
+class TestSweeps:
+    def test_batch_amortizes_overhead(self, model, spec):
+        # Per-sentence latency falls with batch (kernels shared).
+        b1 = mha_latency_us(model, 64, spec, batch=1)
+        b32 = mha_latency_us(model, 64, spec, batch=32) / 32
+        assert b32 < b1 / 4
+
+    def test_gpu_catches_up_at_batch(self, model):
+        # With a batched/graph-launch setup, the GPU eventually beats the
+        # accelerator on throughput — the crossover ablation's premise.
+        acc = paper_accelerator()
+        fpga_ffn = schedule_ffn(model, acc).latency_us(acc.clock_mhz)
+        spec = v100_batched()
+        per_sentence = ffn_latency_us(model, 64, spec, batch=256) / 256
+        assert per_sentence < fpga_ffn
+
+    def test_latency_grows_with_s(self, model, spec):
+        assert (mha_latency_us(model, 128, spec)
+                > mha_latency_us(model, 32, spec))
+
+    def test_batched_spec_faster_than_batch1(self, model):
+        assert (mha_latency_us(model, 64, v100_batched())
+                < mha_latency_us(model, 64, v100_batch1()))

@@ -1,0 +1,92 @@
+"""BLEU implementation tests against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nmt import corpus_bleu, sentence_bleu, sentence_stats
+
+
+class TestSentenceStats:
+    def test_perfect_match(self):
+        m, t, hl, rl = sentence_stats("abcd", "abcd")
+        assert m == [4, 3, 2, 1]
+        assert t == [4, 3, 2, 1]
+        assert hl == rl == 4
+
+    def test_clipping(self):
+        # hypothesis repeats a unigram beyond reference count.
+        m, t, _, _ = sentence_stats(["the"] * 5, ["the", "cat"])
+        assert m[0] == 1  # clipped to reference count
+        assert t[0] == 5
+
+    def test_no_overlap(self):
+        m, _, _, _ = sentence_stats("abc", "xyz")
+        assert m == [0, 0, 0, 0]
+
+
+class TestCorpusBleu:
+    def test_perfect_translation_scores_100(self):
+        refs = [["a", "b", "c", "d", "e"], ["x", "y", "z", "w", "v"]]
+        assert corpus_bleu(refs, refs) == pytest.approx(100.0)
+
+    def test_known_value(self):
+        # 1 sentence: hyp "the cat sat" vs ref "the cat sat down".
+        # p1=3/3, p2=2/2, p3=1/1, p4 -> 0 totals; with max_order=3:
+        # geometric mean 1, brevity = exp(1 - 4/3).
+        score = corpus_bleu([["the", "cat", "sat"]],
+                            [["the", "cat", "sat", "down"]], max_order=3)
+        assert score == pytest.approx(100 * np.exp(1 - 4 / 3), rel=1e-6)
+
+    def test_zero_when_no_match(self):
+        assert corpus_bleu([["a"]], [["b"]]) == 0.0
+
+    def test_brevity_penalty_applied(self):
+        ref = [list("abcdefgh")]
+        short = [list("abcd")]
+        full = [list("abcdefgh")]
+        assert corpus_bleu(short, ref) < corpus_bleu(full, ref)
+
+    def test_no_penalty_for_long_hypothesis_beyond_bp(self):
+        # Longer-than-reference hypotheses get BP = 1 (only precision
+        # suffers).
+        ref = [list("abcd")]
+        hyp = [list("abcdx")]
+        score = corpus_bleu(hyp, ref, max_order=2)
+        p1, p2 = 4 / 5, 3 / 4
+        assert score == pytest.approx(100 * np.sqrt(p1 * p2), rel=1e-6)
+
+    def test_corpus_level_pooling(self):
+        # BLEU pools counts across sentences, not averaged per sentence.
+        hyps = [["a", "b"], ["c", "d"]]
+        refs = [["a", "b"], ["x", "y"]]
+        score = corpus_bleu(hyps, refs, max_order=1)
+        assert score == pytest.approx(100 * (2 / 4), rel=1e-6)
+
+    def test_smoothing_avoids_zero(self):
+        score = corpus_bleu([["a", "b"]], [["a", "c"]], smooth=True)
+        assert score > 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ShapeError):
+            corpus_bleu([["a"]], [])
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ShapeError):
+            corpus_bleu([], [])
+
+    def test_empty_hypothesis_scores_zero(self):
+        assert corpus_bleu([[]], [["a", "b"]]) == 0.0
+
+    def test_works_on_id_sequences(self):
+        # Token type is irrelevant (strings or ints).
+        assert corpus_bleu([[1, 2, 3, 4]], [[1, 2, 3, 4]]) == 100.0
+
+
+class TestSentenceBleu:
+    def test_smoothed_by_default(self):
+        assert sentence_bleu(["a", "b"], ["a", "c"]) > 0.0
+
+    def test_perfect(self):
+        assert sentence_bleu(list("abcde"), list("abcde")) == \
+            pytest.approx(100.0)

@@ -1,0 +1,114 @@
+"""Synthetic classification task tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nmt import (
+    CLS_WORD,
+    FLIP_WORD,
+    SyntheticClassificationTask,
+)
+
+
+@pytest.fixture
+def task():
+    return SyntheticClassificationTask(words_per_group=4, min_len=4,
+                                       max_len=8)
+
+
+class TestLabelRule:
+    def test_majority_label(self, task):
+        assert task.label_of(["g0w0", "g0w1", "g1w0"]) == 0
+        assert task.label_of(["g2w0", "g2w1", "g2w2", "g1w0"]) == 2
+
+    def test_flip_selects_minority(self, task):
+        tokens = ["g0w0", "g0w1", "g0w2", "g1w0", "g1w1", "g2w0", FLIP_WORD]
+        # counts: g0=3, g1=2, g2=1 -> majority 0, flipped -> minority 2.
+        assert task.label_of(tokens) == 2
+
+    def test_cls_ignored(self, task):
+        assert task.label_of([CLS_WORD, "g1w0", "g1w1", "g0w0"]) == 1
+
+    def test_unknown_word_rejected(self, task):
+        with pytest.raises(ShapeError):
+            task.label_of(["zzz"])
+
+    def test_empty_content_rejected(self, task):
+        with pytest.raises(ShapeError):
+            task.label_of([FLIP_WORD])
+
+
+class TestSampling:
+    def test_deterministic(self, task):
+        assert task.make_dataset(20, seed=3) == task.make_dataset(20, seed=3)
+
+    def test_labels_consistent_with_rule(self, task):
+        for example in task.make_dataset(100, seed=4):
+            assert task.label_of(list(example.tokens)) == example.label
+
+    def test_all_classes_appear(self, task):
+        labels = {e.label for e in task.make_dataset(200, seed=5)}
+        assert labels == {0, 1, 2}
+
+    def test_flip_examples_appear(self, task):
+        data = task.make_dataset(300, seed=6)
+        assert any(FLIP_WORD in e.tokens for e in data)
+
+    def test_invalid_size(self, task):
+        with pytest.raises(ShapeError):
+            task.make_dataset(0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ShapeError):
+            SyntheticClassificationTask(words_per_group=1)
+        with pytest.raises(ShapeError):
+            SyntheticClassificationTask(min_len=9, max_len=4)
+
+
+class TestEncoding:
+    def test_cls_at_position_zero(self, task):
+        data = task.make_dataset(5, seed=7)
+        ids, lengths, labels = task.encode_batch(data)
+        assert np.all(ids[:, 0] == task.vocab.id(CLS_WORD))
+        assert lengths.min() >= 2
+        assert labels.shape == (5,)
+
+    def test_padding(self, task):
+        data = task.make_dataset(10, seed=8)
+        ids, lengths, _ = task.encode_batch(data)
+        for i, length in enumerate(lengths):
+            assert np.all(ids[i, length:] == task.vocab.pad_id)
+
+    def test_empty_batch_rejected(self, task):
+        with pytest.raises(ShapeError):
+            task.encode_batch([])
+
+
+class TestTraining:
+    def test_classifier_learns_above_chance(self, task):
+        from repro.config import ModelConfig
+        from repro.nmt import accuracy, train_classifier
+        from repro.transformer import EncoderOnlyClassifier
+
+        config = ModelConfig(
+            "enc", d_model=64, d_ff=256, num_heads=1,
+            num_encoder_layers=1, num_decoder_layers=0,
+            max_seq_len=16, dropout=0.0,
+        )
+        model = EncoderOnlyClassifier(
+            config, len(task.vocab), task.num_classes,
+            rng=np.random.default_rng(0),
+        )
+        train = task.make_dataset(400, seed=1)
+        test = task.make_dataset(100, seed=2)
+        losses = train_classifier(model, task, train, epochs=5,
+                                  batch_size=32, lr=2e-3, seed=0)
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+        assert accuracy(model, task, test) > 0.5   # chance = 1/3
+
+    def test_accuracy_empty_rejected(self, task):
+        from repro.nmt import accuracy
+
+        with pytest.raises(ShapeError):
+            accuracy(None, task, [])

@@ -1,0 +1,92 @@
+"""Synthetic translation task tests: the ground-truth rules themselves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nmt import MARKER_WORD, SyntheticTranslationTask
+
+
+class TestTranslationRules:
+    def setup_method(self):
+        self.task = SyntheticTranslationTask(num_words=8)
+
+    def test_cipher_and_reversal(self):
+        out = self.task.translate(["s01", "s02", "s03"])
+        assert out == ["t03", "t02", "t01"]
+
+    def test_marker_mutates_following_word(self):
+        out = self.task.translate(["s01", MARKER_WORD, "s02"])
+        # s02 follows the marker -> alternate form t02x; order reversed.
+        assert out == ["t02x", "dop", "t01"]
+
+    def test_marker_affects_only_next_word(self):
+        out = self.task.translate([MARKER_WORD, "s02", "s03"])
+        assert out == ["t03", "t02x", "dop"]
+
+    def test_double_marker(self):
+        out = self.task.translate(["s00", MARKER_WORD, "s01", MARKER_WORD, "s02"])
+        assert out == ["t02x", "dop", "t01x", "dop", "t00"]
+
+    def test_unknown_word_rejected(self):
+        with pytest.raises(ShapeError):
+            self.task.translate(["zzz"])
+
+    def test_out_of_lexicon_rejected(self):
+        with pytest.raises(ShapeError):
+            self.task.translate(["s99"])
+
+    def test_translation_preserves_length(self):
+        src = ["s01", MARKER_WORD, "s02", "s03"]
+        assert len(self.task.translate(src)) == len(src)
+
+
+class TestSampling:
+    def setup_method(self):
+        self.task = SyntheticTranslationTask(num_words=8, min_len=3, max_len=6)
+
+    def test_deterministic_given_seed(self):
+        a = self.task.make_corpus(20, seed=5)
+        b = self.task.make_corpus(20, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = self.task.make_corpus(20, seed=1)
+        b = self.task.make_corpus(20, seed=2)
+        assert a != b
+
+    def test_lengths_in_range(self):
+        for pair in self.task.make_corpus(50, seed=0):
+            assert 3 <= len(pair.source) <= 6 + 2  # markers may extend
+
+    def test_pairs_consistent_with_rules(self):
+        for pair in self.task.make_corpus(50, seed=3):
+            assert tuple(self.task.translate(list(pair.source))) == pair.target
+
+    def test_no_trailing_marker(self):
+        for pair in self.task.make_corpus(100, seed=4):
+            assert pair.source[-1] != MARKER_WORD
+
+    def test_markers_do_appear(self):
+        corpus = self.task.make_corpus(200, seed=6)
+        assert any(MARKER_WORD in p.source for p in corpus)
+
+    def test_splits_disjoint_and_sized(self):
+        train, valid, test = self.task.splits(train=30, valid=10, test=5,
+                                              seed=0)
+        assert len(train) == 30 and len(valid) == 10 and len(test) == 5
+
+    def test_all_source_words_in_vocab(self):
+        for pair in self.task.make_corpus(50, seed=7):
+            for word in pair.source:
+                assert word in self.task.src_vocab
+            for word in pair.target:
+                assert word in self.task.tgt_vocab
+
+    def test_invalid_construction(self):
+        with pytest.raises(ShapeError):
+            SyntheticTranslationTask(num_words=2)
+        with pytest.raises(ShapeError):
+            SyntheticTranslationTask(min_len=8, max_len=4)
+        with pytest.raises(ShapeError):
+            self.task.make_corpus(0)

@@ -1,0 +1,88 @@
+"""Batching / padding tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nmt import SyntheticTranslationTask, encode_pairs, iter_batches
+from repro.nmt.corpus import SentencePair
+
+
+@pytest.fixture
+def task():
+    return SyntheticTranslationTask(num_words=8, min_len=3, max_len=6)
+
+
+@pytest.fixture
+def pairs(task):
+    return task.make_corpus(10, seed=0)
+
+
+class TestEncodePairs:
+    def test_padding_to_longest(self, task):
+        pairs = [
+            SentencePair(("s01", "s02"), ("t02", "t01")),
+            SentencePair(("s01", "s02", "s03"), ("t03", "t02", "t01")),
+        ]
+        batch = encode_pairs(pairs, task.src_vocab, task.tgt_vocab)
+        assert batch.src.shape == (2, 3)
+        assert batch.src[0, 2] == task.src_vocab.pad_id
+
+    def test_bos_eos_placement(self, task):
+        pairs = [SentencePair(("s01",), ("t01",))]
+        batch = encode_pairs(pairs, task.src_vocab, task.tgt_vocab)
+        assert batch.tgt_in[0, 0] == task.tgt_vocab.bos_id
+        assert batch.tgt_out[0, -1] == task.tgt_vocab.eos_id
+
+    def test_teacher_forcing_alignment(self, task, pairs):
+        batch = encode_pairs(pairs, task.src_vocab, task.tgt_vocab)
+        # tgt_in shifted right by one equals tgt_out shifted left, on the
+        # overlap (classic teacher forcing).
+        for i in range(batch.size):
+            n = batch.tgt_lengths[i] - 1
+            assert np.array_equal(
+                batch.tgt_in[i, 1:n + 1], batch.tgt_out[i, :n]
+            )
+
+    def test_lengths_recorded(self, task):
+        pairs = [
+            SentencePair(("s01", "s02"), ("t02", "t01")),
+            SentencePair(("s03",), ("t03",)),
+        ]
+        batch = encode_pairs(pairs, task.src_vocab, task.tgt_vocab)
+        assert batch.src_lengths.tolist() == [2, 1]
+        assert batch.tgt_lengths.tolist() == [3, 2]  # +1 for EOS
+
+    def test_empty_rejected(self, task):
+        with pytest.raises(ShapeError):
+            encode_pairs([], task.src_vocab, task.tgt_vocab)
+
+
+class TestIterBatches:
+    def test_covers_all_pairs(self, task, pairs):
+        total = sum(
+            b.size for b in iter_batches(
+                pairs, task.src_vocab, task.tgt_vocab, batch_size=3
+            )
+        )
+        assert total == len(pairs)
+
+    def test_batch_size_respected(self, task, pairs):
+        sizes = [
+            b.size for b in iter_batches(
+                pairs, task.src_vocab, task.tgt_vocab, batch_size=4
+            )
+        ]
+        assert sizes == [4, 4, 2]
+
+    def test_shuffle_changes_order(self, task, pairs):
+        fixed = list(iter_batches(pairs, task.src_vocab, task.tgt_vocab, 10))
+        shuffled = list(iter_batches(
+            pairs, task.src_vocab, task.tgt_vocab, 10,
+            rng=np.random.default_rng(0),
+        ))
+        assert not np.array_equal(fixed[0].src, shuffled[0].src)
+
+    def test_invalid_batch_size(self, task, pairs):
+        with pytest.raises(ShapeError):
+            list(iter_batches(pairs, task.src_vocab, task.tgt_vocab, 0))

@@ -1,0 +1,93 @@
+"""Trainer / evaluation tests, including the session-trained model."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.errors import TrainingError
+from repro.nmt import (
+    SyntheticTranslationTask,
+    default_nmt_config,
+    evaluate_bleu,
+    exact_match_rate,
+    train_model,
+)
+from repro.transformer import Transformer
+
+
+class TestTrainingLoop:
+    def test_loss_decreases(self, nmt_task):
+        rng = np.random.default_rng(1)
+        config = ModelConfig(
+            "t", d_model=64, d_ff=128, num_heads=1,
+            num_encoder_layers=1, num_decoder_layers=1,
+            max_seq_len=16, dropout=0.0,
+        )
+        model = Transformer(
+            config, len(nmt_task.src_vocab), len(nmt_task.tgt_vocab), rng=rng
+        )
+        pairs = nmt_task.make_corpus(96, seed=2)
+        log = train_model(model, nmt_task, pairs, epochs=3, batch_size=32,
+                          warmup=20, seed=0)
+        first = np.mean(log.losses[:3])
+        last = np.mean(log.losses[-3:])
+        assert last < first
+
+    def test_model_left_in_eval_mode(self, trained_nmt):
+        model, _, _ = trained_nmt
+        assert not model.training
+
+    def test_invalid_epochs(self, nmt_task):
+        model = Transformer(
+            default_nmt_config(), len(nmt_task.src_vocab),
+            len(nmt_task.tgt_vocab), rng=np.random.default_rng(0),
+        )
+        with pytest.raises(TrainingError):
+            train_model(model, nmt_task, nmt_task.make_corpus(4), epochs=0)
+
+    def test_log_records_rates(self, nmt_task):
+        model = Transformer(
+            default_nmt_config(), len(nmt_task.src_vocab),
+            len(nmt_task.tgt_vocab), rng=np.random.default_rng(0),
+        )
+        log = train_model(model, nmt_task, nmt_task.make_corpus(32, seed=1),
+                          epochs=1, batch_size=16, warmup=10)
+        assert len(log.rates) == len(log.losses) == 2
+        assert log.rates[1] > log.rates[0]  # still warming up
+
+
+class TestEvaluation:
+    def test_trained_model_beats_untrained(self, trained_nmt, nmt_task):
+        model, task, test = trained_nmt
+        trained_bleu = evaluate_bleu(model, task, test[:30])
+        fresh = Transformer(
+            default_nmt_config(), len(task.src_vocab), len(task.tgt_vocab),
+            rng=np.random.default_rng(99),
+        ).eval()
+        fresh_bleu = evaluate_bleu(fresh, task, test[:30])
+        assert trained_bleu > fresh_bleu + 10.0
+
+    def test_trained_model_reaches_usable_bleu(self, trained_nmt):
+        model, task, test = trained_nmt
+        assert evaluate_bleu(model, task, test[:30]) > 20.0
+
+    def test_exact_match_rate_bounds(self, trained_nmt):
+        model, task, test = trained_nmt
+        rate = exact_match_rate(model, task, test[:20])
+        assert 0.0 <= rate <= 1.0
+
+    def test_empty_pairs_rejected(self, trained_nmt):
+        model, task, _ = trained_nmt
+        with pytest.raises(TrainingError):
+            evaluate_bleu(model, task, [])
+        with pytest.raises(TrainingError):
+            exact_match_rate(model, task, [])
+
+
+class TestDefaultConfig:
+    def test_head_width_matches_sa(self):
+        config = default_nmt_config()
+        assert config.head_dim == 64
+
+    def test_follows_dff_pattern(self):
+        assert default_nmt_config().follows_dff_pattern

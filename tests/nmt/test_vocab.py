@@ -1,0 +1,54 @@
+"""Vocabulary tests."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.nmt import Vocab
+
+
+class TestVocab:
+    def setup_method(self):
+        self.vocab = Vocab(["alpha", "beta", "gamma"])
+
+    def test_special_ids_reserved(self):
+        assert self.vocab.pad_id == 0
+        assert self.vocab.bos_id == 1
+        assert self.vocab.eos_id == 2
+        assert self.vocab.unk_id == 3
+
+    def test_len_includes_specials(self):
+        assert len(self.vocab) == 7
+
+    def test_encode_decode_roundtrip(self):
+        words = ["beta", "alpha", "gamma"]
+        assert self.vocab.decode(self.vocab.encode(words)) == words
+
+    def test_unknown_maps_to_unk(self):
+        assert self.vocab.encode(["nope"]) == [self.vocab.unk_id]
+
+    def test_decode_strips_specials_by_default(self):
+        ids = [self.vocab.bos_id, 4, self.vocab.eos_id, self.vocab.pad_id]
+        assert self.vocab.decode(ids) == ["alpha"]
+
+    def test_decode_keeps_specials_on_request(self):
+        ids = [self.vocab.bos_id, 4]
+        assert self.vocab.decode(ids, strip_special=False) == ["<bos>", "alpha"]
+
+    def test_contains(self):
+        assert "alpha" in self.vocab
+        assert "nope" not in self.vocab
+
+    def test_duplicate_word_rejected(self):
+        with pytest.raises(ShapeError):
+            Vocab(["a", "a"])
+
+    def test_out_of_range_id_rejected(self):
+        with pytest.raises(ShapeError):
+            self.vocab.decode([99])
+        with pytest.raises(ShapeError):
+            self.vocab.word(99)
+
+    def test_id_lookup(self):
+        assert self.vocab.id("alpha") == 4
+        with pytest.raises(ShapeError):
+            self.vocab.id("nope")

@@ -1,0 +1,79 @@
+"""Calibrator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant import Calibrator
+
+
+class TestObservation:
+    def test_records_max_over_batches(self):
+        cal = Calibrator()
+        cal.observe("x", np.array([1.0, -3.0]))
+        cal.observe("x", np.array([2.0]))
+        assert cal.amax("x") == 3.0
+
+    def test_multiple_taps_independent(self):
+        cal = Calibrator()
+        cal.observe("a", np.array([1.0]))
+        cal.observe("b", np.array([10.0]))
+        assert cal.amax("a") == 1.0
+        assert cal.amax("b") == 10.0
+
+    def test_observation_counts(self):
+        cal = Calibrator()
+        cal.observe("x", np.zeros(3))
+        cal.observe("x", np.zeros(3))
+        assert cal.observation_count("x") == 2
+        assert cal.observation_count("never") == 0
+
+    def test_taps_sorted(self):
+        cal = Calibrator()
+        cal.observe("z", np.zeros(1))
+        cal.observe("a", np.zeros(1))
+        assert cal.taps() == ["a", "z"]
+
+
+class TestFreezeAndParams:
+    def test_params_require_freeze(self):
+        cal = Calibrator()
+        cal.observe("x", np.array([4.0]))
+        with pytest.raises(QuantizationError):
+            cal.params("x")
+        cal.freeze()
+        assert cal.params("x").scale == pytest.approx(4.0 / 127)
+
+    def test_frozen_rejects_observe(self):
+        cal = Calibrator()
+        cal.observe("x", np.array([1.0]))
+        cal.freeze()
+        with pytest.raises(QuantizationError):
+            cal.observe("x", np.array([2.0]))
+
+    def test_empty_freeze_rejected(self):
+        with pytest.raises(QuantizationError):
+            Calibrator().freeze()
+
+    def test_unknown_tap_rejected(self):
+        cal = Calibrator()
+        cal.observe("x", np.array([1.0]))
+        cal.freeze()
+        with pytest.raises(QuantizationError):
+            cal.params("y")
+        with pytest.raises(QuantizationError):
+            cal.amax("y")
+
+    def test_bits_propagate(self):
+        cal = Calibrator(bits=4)
+        cal.observe("x", np.array([7.0]))
+        cal.freeze()
+        assert cal.params("x").bits == 4
+        assert cal.params("x").scale == pytest.approx(1.0)
+
+    def test_summary_copy(self):
+        cal = Calibrator()
+        cal.observe("x", np.array([1.0]))
+        summary = cal.summary()
+        summary["x"] = 99.0
+        assert cal.amax("x") == 1.0

@@ -1,0 +1,78 @@
+"""Hypothesis fuzzing of the quantized-model pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ModelConfig
+from repro.quant import QuantizedTransformer
+from repro.transformer import Transformer
+
+
+def _build(seed: int, heads: int, layers: int):
+    config = ModelConfig(
+        "fuzz", d_model=64 * heads, d_ff=256 * heads, num_heads=heads,
+        num_encoder_layers=layers, num_decoder_layers=1,
+        max_seq_len=12, dropout=0.0,
+    )
+    model = Transformer(config, 20, 20,
+                        rng=np.random.default_rng(seed)).eval()
+    qt = QuantizedTransformer(model)
+    rng = np.random.default_rng(seed + 1)
+    src = rng.integers(1, 20, size=(2, 10))
+    tgt = rng.integers(1, 20, size=(2, 10))
+    lengths = np.array([10, 7])
+    qt.calibrate([(src, tgt, lengths)])
+    return model, qt, src, tgt, lengths
+
+
+class TestQuantizedModelProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), heads=st.sampled_from([1, 2]),
+           layers=st.integers(1, 2))
+    def test_int8_outputs_finite_and_close(self, seed, heads, layers):
+        model, qt, src, tgt, lengths = _build(seed, heads, layers)
+        fp = model(src, tgt, src_lengths=lengths).numpy()
+        q8 = qt.forward(src, tgt, lengths).numpy()
+        assert np.isfinite(q8).all()
+        rel = np.abs(fp - q8).max() / max(np.abs(fp).max(), 1e-9)
+        assert rel < 0.15
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_deterministic(self, seed):
+        _, qt, src, tgt, lengths = _build(seed, 1, 1)
+        a = qt.forward(src, tgt, lengths).numpy()
+        b = qt.forward(src, tgt, lengths).numpy()
+        assert np.array_equal(a, b)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_hardware_softmax_stays_finite(self, seed):
+        from repro.quant import SOFTMAX_HARDWARE
+
+        _, qt, src, tgt, lengths = _build(seed, 1, 1)
+        qt.softmax_mode = SOFTMAX_HARDWARE
+        out = qt.forward(src, tgt, lengths).numpy()
+        assert np.isfinite(out).all()
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_accelerator_always_bit_matches(self, seed):
+        from repro.config import AcceleratorConfig
+        from repro.core import TransformerAccelerator
+
+        model, qt, src, tgt, lengths = _build(seed, 2, 1)
+        hw = TransformerAccelerator(
+            model.config, AcceleratorConfig(seq_len=12),
+            exact_nonlinear=True,
+        )
+        hw.load_mha(qt.enc_mha[0])
+        hw.load_ffn(qt.enc_ffn[0])
+        rng = np.random.default_rng(seed + 2)
+        x = rng.normal(size=(12, model.config.d_model))
+        ref = qt.enc_mha[0].forward_int8(x[None], x[None], None)
+        ref = qt.enc_ffn[0].forward_int8(ref)[0]
+        got = hw.run_ffn(hw.run_mha(x).output).output
+        assert np.array_equal(got, ref)

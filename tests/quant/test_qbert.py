@@ -1,0 +1,99 @@
+"""Quantized encoder-only model tests, incl. accelerator compatibility."""
+
+import numpy as np
+import pytest
+
+from repro.config import AcceleratorConfig, ModelConfig
+from repro.errors import QuantizationError, ScheduleError
+from repro.quant import QuantizedEncoderOnly
+from repro.transformer import EncoderOnlyClassifier
+
+RNG = np.random.default_rng(67)
+
+
+@pytest.fixture
+def model():
+    config = ModelConfig(
+        "enc", d_model=128, d_ff=512, num_heads=2,
+        num_encoder_layers=2, num_decoder_layers=0,
+        max_seq_len=16, dropout=0.0,
+    )
+    return EncoderOnlyClassifier(
+        config, vocab_size=25, num_classes=3,
+        rng=np.random.default_rng(0),
+    ).eval()
+
+
+@pytest.fixture
+def quantized(model):
+    q = QuantizedEncoderOnly(model)
+    ids = RNG.integers(1, 25, size=(4, 12))
+    q.calibrate([(ids, np.full(4, 12))])
+    return q
+
+
+class TestQuantizedEncoderOnly:
+    def test_close_to_fp(self, model, quantized):
+        ids = RNG.integers(1, 25, size=(3, 12))
+        fp = model(ids).numpy()
+        q8 = quantized.forward(ids)
+        assert np.abs(fp - q8).max() / np.abs(fp).max() < 0.1
+
+    def test_predictions_mostly_agree(self, model, quantized):
+        ids = RNG.integers(1, 25, size=(32, 12))
+        fp = model.predict(ids)
+        q8 = quantized.predict(ids)
+        assert (fp == q8).mean() > 0.8
+
+    def test_inference_before_calibration_fails(self, model):
+        q = QuantizedEncoderOnly(model)
+        with pytest.raises(QuantizationError):
+            q.forward(RNG.integers(1, 25, size=(1, 8)))
+
+    def test_empty_calibration_rejected(self, model):
+        with pytest.raises(QuantizationError):
+            QuantizedEncoderOnly(model).calibrate([])
+
+    def test_softmax_mode_switch(self, quantized):
+        ids = RNG.integers(1, 25, size=(2, 12))
+        a = quantized.forward(ids)
+        quantized.softmax_mode = "hardware"
+        b = quantized.forward(ids)
+        quantized.softmax_mode = "fp32"
+        assert quantized.softmax_mode == "fp32"
+        assert not np.array_equal(a, b)
+        with pytest.raises(QuantizationError):
+            quantized.softmax_mode = "bogus"
+
+    def test_padding_respected(self, quantized):
+        ids1 = RNG.integers(1, 25, size=(1, 12))
+        ids2 = ids1.copy()
+        ids2[0, 7:] = 5
+        lengths = np.array([7])
+        assert np.allclose(
+            quantized.forward(ids1, lengths),
+            quantized.forward(ids2, lengths), atol=1e-10,
+        )
+
+
+class TestAcceleratorCompatibility:
+    def test_accelerated_stack_accepts_quant_bert(self, quantized):
+        from repro.core import AcceleratedStack, StackReport
+
+        stack = AcceleratedStack(quantized, AcceleratorConfig(seq_len=12))
+        ids = RNG.integers(1, 25, size=(1, 12))
+        x = quantized._embed_src(ids)[0]
+        report = StackReport()
+        hw_states = stack.run_encoder(x, report=report)
+        ref = quantized.encode(ids)[0]
+        assert np.array_equal(hw_states, ref)
+        # 2 encoder layers -> 4 ResBlocks.
+        assert len(report.blocks) == 4
+
+    def test_uncalibrated_rejected_by_stack(self, model):
+        from repro.core import AcceleratedStack
+
+        with pytest.raises(ScheduleError):
+            AcceleratedStack(
+                QuantizedEncoderOnly(model), AcceleratorConfig(seq_len=12)
+            )

@@ -1,0 +1,147 @@
+"""Quantized Transformer tests (the Section V-A pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant import (
+    QuantizedTransformer,
+    SOFTMAX_FP32,
+    SOFTMAX_HARDWARE,
+)
+
+RNG = np.random.default_rng(31)
+
+
+def _batch(rng, vocab=30, batch=2, length=12):
+    src = rng.integers(1, vocab, size=(batch, length))
+    tgt = rng.integers(1, vocab, size=(batch, length))
+    lengths = np.full(batch, length)
+    return src, tgt, lengths
+
+
+class TestCalibration:
+    def test_calibrate_freezes(self, small_transformer):
+        qt = QuantizedTransformer(small_transformer)
+        qt.calibrate([_batch(np.random.default_rng(0))])
+        assert qt.calibrator.frozen
+
+    def test_calibrate_requires_batches(self, small_transformer):
+        qt = QuantizedTransformer(small_transformer)
+        with pytest.raises(QuantizationError):
+            qt.calibrate([])
+
+    def test_all_expected_taps_observed(self, calibrated_quant):
+        taps = calibrated_quant.calibrator.taps()
+        # 1 enc layer: self MHA (6 taps) + FFN (2); 1 dec layer:
+        # self (6) + cross (6) + FFN (2) = 22 taps.
+        assert len(taps) == 22
+        assert "enc0.self.q_act" in taps
+        assert "dec0.cross.in_kv" in taps
+        assert "dec0.ffn.hidden" in taps
+
+
+class TestInt8Inference:
+    def test_close_to_fp32(self, small_transformer, calibrated_quant):
+        src, tgt, lengths = _batch(np.random.default_rng(1))
+        fp = small_transformer(src, tgt, src_lengths=lengths).numpy()
+        q8 = calibrated_quant.forward(src, tgt, lengths).numpy()
+        rel = np.abs(fp - q8).max() / np.abs(fp).max()
+        assert rel < 0.05
+
+    def test_argmax_mostly_agrees(self, small_transformer, calibrated_quant):
+        src, tgt, lengths = _batch(np.random.default_rng(2))
+        fp = small_transformer(src, tgt, src_lengths=lengths).numpy()
+        q8 = calibrated_quant.forward(src, tgt, lengths).numpy()
+        assert (fp.argmax(-1) == q8.argmax(-1)).mean() > 0.9
+
+    def test_deterministic(self, calibrated_quant):
+        src, tgt, lengths = _batch(np.random.default_rng(3))
+        a = calibrated_quant.forward(src, tgt, lengths).numpy()
+        b = calibrated_quant.forward(src, tgt, lengths).numpy()
+        assert np.array_equal(a, b)
+
+    def test_inference_before_calibration_fails(self, small_transformer):
+        qt = QuantizedTransformer(small_transformer)
+        src, tgt, lengths = _batch(np.random.default_rng(4))
+        with pytest.raises(QuantizationError):
+            qt.forward(src, tgt, lengths)
+
+
+class TestBitWidths:
+    def test_wider_words_reduce_error(self, small_transformer):
+        rng = np.random.default_rng(8)
+        src, tgt, lengths = _batch(rng)
+        fp = small_transformer(src, tgt, src_lengths=lengths).numpy()
+        errors = {}
+        for bits in (4, 8, 12):
+            qt = QuantizedTransformer(small_transformer, bits=bits)
+            qt.calibrate([(src, tgt, lengths)])
+            q = qt.forward(src, tgt, lengths).numpy()
+            errors[bits] = np.abs(fp - q).max()
+        assert errors[4] > errors[8] > errors[12]
+
+    def test_bits_recorded(self, small_transformer):
+        qt = QuantizedTransformer(small_transformer, bits=6)
+        assert qt.bits == 6
+        assert qt.calibrator.bits == 6
+        assert qt.enc_mha[0].weights["q"].params.bits == 6
+
+
+class TestSoftmaxModes:
+    def test_mode_switch_propagates(self, calibrated_quant):
+        calibrated_quant.softmax_mode = SOFTMAX_HARDWARE
+        blocks = (
+            calibrated_quant.enc_mha + calibrated_quant.dec_self
+            + calibrated_quant.dec_cross
+        )
+        assert all(b.softmax_mode == SOFTMAX_HARDWARE for b in blocks)
+        calibrated_quant.softmax_mode = SOFTMAX_FP32
+        assert all(b.softmax_mode == SOFTMAX_FP32 for b in blocks)
+
+    def test_invalid_mode_rejected(self, calibrated_quant):
+        with pytest.raises(QuantizationError):
+            calibrated_quant.softmax_mode = "approximate-ish"
+
+    def test_hardware_softmax_changes_output_slightly(self, calibrated_quant):
+        src, tgt, lengths = _batch(np.random.default_rng(5))
+        calibrated_quant.softmax_mode = SOFTMAX_FP32
+        a = calibrated_quant.forward(src, tgt, lengths).numpy()
+        calibrated_quant.softmax_mode = SOFTMAX_HARDWARE
+        b = calibrated_quant.forward(src, tgt, lengths).numpy()
+        calibrated_quant.softmax_mode = SOFTMAX_FP32
+        diff = np.abs(a - b).max()
+        assert 0 < diff < np.abs(a).max() * 0.5
+
+
+class TestProtocolAndStorage:
+    def test_decoding_protocol(self, calibrated_quant):
+        from repro.transformer.decoding import greedy_decode
+
+        src = np.random.default_rng(6).integers(1, 30, size=(1, 8))
+        res = greedy_decode(calibrated_quant, src, [8], bos_id=1, eos_id=2,
+                            max_len=4)
+        assert len(res) == 1
+        assert all(isinstance(t, int) for t in res[0].tokens)
+
+    def test_weight_memory_bytes(self, calibrated_quant, small_model_config):
+        d = small_model_config.d_model
+        dff = small_model_config.d_ff
+        per_mha = 4 * d * d
+        per_ffn = 2 * d * dff
+        expected = 3 * per_mha + 2 * per_ffn  # 1 enc + 2 dec MHA, 2 FFN
+        assert calibrated_quant.weight_memory_bytes() == expected
+
+    def test_masked_inference_matches_fp_behaviour(
+        self, small_transformer, calibrated_quant
+    ):
+        # Padded source positions must not affect quantized outputs either.
+        rng = np.random.default_rng(7)
+        src1 = rng.integers(1, 30, size=(1, 10))
+        src2 = src1.copy()
+        src2[0, 6:] = 3
+        tgt = rng.integers(1, 30, size=(1, 5))
+        lengths = np.array([6])
+        a = calibrated_quant.forward(src1, tgt, lengths).numpy()
+        b = calibrated_quant.forward(src2, tgt, lengths).numpy()
+        assert np.allclose(a, b, atol=1e-10)

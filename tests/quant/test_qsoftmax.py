@@ -1,0 +1,75 @@
+"""Hardware (EXP/LN unit) softmax tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant import HardwareSoftmax
+from repro.transformer.functional import scaled_masked_softmax
+
+RNG = np.random.default_rng(23)
+
+
+class TestHardwareSoftmax:
+    def setup_method(self):
+        self.hw = HardwareSoftmax()
+
+    def test_rows_approximately_stochastic(self):
+        logits = RNG.normal(0, 8, size=(16, 16))
+        y = self.hw(logits)
+        assert np.all(y >= 0)
+        assert np.abs(y.sum(-1) - 1.0).max() < 0.15
+
+    def test_close_to_exact_softmax(self):
+        logits = RNG.normal(0, 8, size=(8, 8))
+        approx = self.hw(logits)
+        exact = scaled_masked_softmax(logits, None, 8.0)
+        assert np.abs(approx - exact).max() < 0.05
+
+    def test_argmax_preserved(self):
+        # The PWL approximation must not change which key wins.
+        logits = RNG.normal(0, 16, size=(64, 64))
+        approx = self.hw(logits)
+        exact = scaled_masked_softmax(logits, None, 8.0)
+        assert (approx.argmax(-1) == exact.argmax(-1)).mean() > 0.95
+
+    def test_masked_entries_exactly_zero(self):
+        logits = RNG.normal(size=(4, 4))
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[:, 1] = True
+        y = self.hw(logits, mask)
+        assert np.all(y[:, 1] == 0.0)
+
+    def test_scale_divisor_shift_bits(self):
+        assert self.hw.shift_bits == 3  # /8 = >>3 (Fig. 6)
+
+    def test_non_power_of_two_divisor_rejected(self):
+        with pytest.raises(QuantizationError):
+            HardwareSoftmax(scale_divisor=7.0)
+
+    def test_batched_input(self):
+        logits = RNG.normal(size=(2, 3, 5, 5))
+        y = self.hw(logits)
+        assert y.shape == (2, 3, 5, 5)
+
+    def test_row_sum_error_metric(self):
+        assert 0 < self.hw.max_row_sum_error() < 0.2
+
+    def test_monotone_in_logit(self):
+        # Raising one logit must not lower its probability.
+        base = np.zeros((1, 8))
+        lo = self.hw(base.copy())[0, 0]
+        base[0, 0] = 16.0
+        hi = self.hw(base)[0, 0]
+        assert hi > lo
+
+    def test_uniform_logits_near_uniform_output(self):
+        y = self.hw(np.zeros((1, 16)))
+        assert np.abs(y - 1.0 / 16).max() < 0.01
+
+    def test_extreme_negative_logits_flush_to_zero(self):
+        logits = np.zeros((1, 4))
+        logits[0, 1:] = -500.0
+        y = self.hw(logits)
+        assert y[0, 0] == pytest.approx(1.0, abs=0.01)
+        assert np.all(y[0, 1:] == 0.0)

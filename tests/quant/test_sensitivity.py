@@ -1,0 +1,88 @@
+"""Quantization sensitivity analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant import (
+    QuantizedTransformer,
+    full_vs_sum_of_parts,
+    rank_by_sensitivity,
+    tap_sensitivity,
+)
+from repro.quant.sensitivity import TAP_GROUPS
+
+
+@pytest.fixture
+def probe(rng):
+    src = rng.integers(1, 30, size=(2, 12))
+    tgt = rng.integers(1, 30, size=(2, 12))
+    return src, tgt, np.full(2, 12)
+
+
+class TestTapSensitivity:
+    def test_all_groups_measured(self, small_transformer, calibrated_quant,
+                                 probe):
+        src, tgt, lengths = probe
+        results = tap_sensitivity(
+            small_transformer, calibrated_quant, src, tgt, lengths
+        )
+        assert [r.tap_group for r in results] == list(TAP_GROUPS)
+        assert all(r.rms_error >= 0 for r in results)
+
+    def test_single_tap_error_below_full(self, small_transformer,
+                                         calibrated_quant, probe):
+        src, tgt, lengths = probe
+        results = tap_sensitivity(
+            small_transformer, calibrated_quant, src, tgt, lengths
+        )
+        fp = small_transformer(src, tgt, src_lengths=lengths).numpy()
+        full = calibrated_quant.forward(src, tgt, lengths).numpy()
+        full_rms = np.sqrt(np.mean((full - fp) ** 2))
+        # No single tap should exceed ~the full-pipeline error by much.
+        assert max(r.rms_error for r in results) < full_rms * 3 + 1e-6
+
+    def test_requires_calibration(self, small_transformer, probe):
+        src, tgt, lengths = probe
+        qt = QuantizedTransformer(small_transformer)
+        with pytest.raises(QuantizationError):
+            tap_sensitivity(small_transformer, qt, src, tgt, lengths)
+
+    def test_patching_is_restored(self, small_transformer,
+                                  calibrated_quant, probe):
+        src, tgt, lengths = probe
+        before = calibrated_quant.forward(src, tgt, lengths).numpy()
+        tap_sensitivity(small_transformer, calibrated_quant, src, tgt,
+                        lengths)
+        after = calibrated_quant.forward(src, tgt, lengths).numpy()
+        assert np.array_equal(before, after)
+
+
+class TestRanking:
+    def test_sorted_descending(self, small_transformer, calibrated_quant,
+                               probe):
+        src, tgt, lengths = probe
+        results = tap_sensitivity(
+            small_transformer, calibrated_quant, src, tgt, lengths
+        )
+        ranked = rank_by_sensitivity(results)
+        values = [v for _, v in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuantizationError):
+            rank_by_sensitivity([])
+
+
+class TestInteraction:
+    def test_full_vs_parts_structure(self, small_transformer,
+                                     calibrated_quant, probe):
+        src, tgt, lengths = probe
+        out = full_vs_sum_of_parts(
+            small_transformer, calibrated_quant, src, tgt, lengths
+        )
+        assert set(out) == {"full_rms", "per_tap_rss", "interaction_ratio"}
+        assert out["full_rms"] > 0
+        assert out["per_tap_rss"] > 0
+        # Errors neither vanish nor explode relative to independence.
+        assert 0.1 < out["interaction_ratio"] < 10.0

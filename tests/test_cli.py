@@ -1,0 +1,71 @@
+"""CLI tests (python -m repro ...)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestScheduleCommand:
+    def test_default_model(self, capsys):
+        assert main(["schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "Transformer-base" in out
+        assert "21,578" in out
+
+    def test_preset_and_seq_len(self, capsys):
+        assert main(["--model", "bert-base", "--seq-len", "32",
+                     "schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "BERT-base" in out
+        assert "s=32" in out
+
+    def test_unknown_model_is_clean_error(self, capsys):
+        assert main(["--model", "gpt-4", "schedule"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_resources(self, capsys):
+        assert main(["resources"]) == 0
+        out = capsys.readouterr().out
+        assert "weight_memory" in out
+        assert "456" in out
+
+    def test_power(self, capsys):
+        assert main(["power"]) == 0
+        assert "16.7" in capsys.readouterr().out
+
+    def test_tables_at_paper_point(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "21,344" in out          # paper MHA cycles
+        assert "14.6x" in out           # paper speedup
+        assert "471,563" in out         # paper top LUT
+
+    def test_tables_off_paper_point_falls_back(self, capsys):
+        assert main(["--seq-len", "32", "tables"]) == 0
+        out = capsys.readouterr().out
+        assert "21,344" not in out
+
+    def test_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "t.json"
+        assert main(["trace", "--block", "ffn", "--out",
+                     str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["otherData"]["block"] == "ffn"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_schedule_gantt(self, capsys):
+        assert main(["schedule", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "MHA schedule" in out
+        assert "FFN schedule" in out
+        assert "#" in out  # SA track bars
+
+    def test_selftest_exit_code_zero(self, capsys):
+        assert main(["selftest"]) == 0

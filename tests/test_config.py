@@ -1,0 +1,125 @@
+"""Configuration tests: Table I presets and accelerator parameters."""
+
+import pytest
+
+from repro.config import (
+    AcceleratorConfig,
+    ModelConfig,
+    TABLE1_PRESETS,
+    bert_base,
+    bert_large,
+    paper_accelerator,
+    preset,
+    transformer_base,
+    transformer_big,
+)
+from repro.errors import ConfigError
+
+
+class TestTable1Presets:
+    @pytest.mark.parametrize("config,d_model,d_ff,h", [
+        (transformer_base(), 512, 2048, 8),
+        (transformer_big(), 1024, 4096, 16),
+        (bert_base(), 768, 3072, 12),
+        (bert_large(), 1024, 4096, 16),
+    ])
+    def test_table1_rows(self, config, d_model, d_ff, h):
+        assert config.d_model == d_model
+        assert config.d_ff == d_ff
+        assert config.num_heads == h
+
+    def test_all_presets_follow_64h_pattern(self):
+        # Section III's key structural observation.
+        for config in TABLE1_PRESETS.values():
+            assert config.d_model == 64 * config.num_heads
+            assert config.head_dim == 64
+
+    def test_all_presets_follow_dff_pattern(self):
+        for config in TABLE1_PRESETS.values():
+            assert config.follows_dff_pattern
+            assert config.d_ff == 256 * config.num_heads
+
+    def test_block_counts(self):
+        base = transformer_base()
+        assert base.num_w1_blocks == 4 * base.num_heads
+        assert base.num_w2_blocks == base.num_heads
+
+    def test_bert_is_encoder_only(self):
+        assert bert_base().num_decoder_layers == 0
+        assert bert_base().num_encoder_layers == 12
+
+    def test_preset_lookup(self):
+        assert preset("Transformer-Base").d_model == 512
+        with pytest.raises(ConfigError):
+            preset("gpt-5")
+
+
+class TestModelConfigValidation:
+    def test_rejects_non_64_head_dim(self):
+        with pytest.raises(ConfigError):
+            ModelConfig("bad", d_model=512, d_ff=2048, num_heads=16)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ConfigError):
+            ModelConfig("bad", d_model=100, d_ff=400, num_heads=3)
+
+    def test_rejects_indivisible_dff(self):
+        with pytest.raises(ConfigError):
+            ModelConfig("bad", d_model=64, d_ff=100, num_heads=1)
+
+    def test_rejects_bad_dropout(self):
+        with pytest.raises(ConfigError):
+            ModelConfig("bad", d_model=64, d_ff=256, num_heads=1,
+                        dropout=1.0)
+
+    def test_with_updates(self):
+        updated = transformer_base().with_updates(max_seq_len=128)
+        assert updated.max_seq_len == 128
+        assert updated.d_model == 512
+
+    def test_mac_counts(self):
+        base = transformer_base()
+        # FFN: 2 GEMMs of s*d_model*d_ff MACs.
+        assert base.ffn_macs(64) == 2 * 64 * 512 * 2048
+        # MHA: 4 projection groups + 2 attention matmuls.
+        expected = (
+            3 * 8 * 64 * 512 * 64 + 2 * 8 * 64 * 64 * 64 + 64 * 512 * 512
+        )
+        assert base.mha_macs(64) == expected
+
+
+class TestAcceleratorConfig:
+    def test_paper_defaults(self):
+        acc = paper_accelerator()
+        assert acc.seq_len == 64
+        assert acc.sa_cols == 64
+        assert acc.clock_mhz == 200.0
+        assert acc.num_pes == 4096
+
+    def test_cycles_to_us(self):
+        acc = paper_accelerator()
+        assert acc.cycles_to_us(21_344) == pytest.approx(106.72)
+
+    def test_clock_period(self):
+        assert paper_accelerator().clock_period_us == pytest.approx(0.005)
+
+    def test_invalid_layernorm_mode(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(layernorm_mode="magic")
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(sa_fill_cycles=-1)
+
+    def test_accumulator_width_check(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(act_bits=8, weight_bits=8, acc_bits=15)
+
+    def test_invalid_clock(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(clock_mhz=0)
+
+    def test_with_updates_revalidates(self):
+        acc = paper_accelerator()
+        with pytest.raises(ConfigError):
+            acc.with_updates(layernorm_mode="nope")

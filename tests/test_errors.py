@@ -1,0 +1,51 @@
+"""Exception-hierarchy tests: one catchable base for the whole library."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigError,
+    errors.DecodingError,
+    errors.FixedPointError,
+    errors.MemoryModelError,
+    errors.PartitionError,
+    errors.QuantizationError,
+    errors.ScheduleError,
+    errors.ShapeError,
+    errors.TrainingError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_catchable_as_base(self, exc):
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+    def test_base_derives_from_exception(self):
+        assert issubclass(errors.ReproError, Exception)
+
+    def test_library_raises_catchable_errors(self):
+        # A representative cross-section of raisers.
+        from repro.config import ModelConfig
+        from repro.core import plan_qkt
+        from repro.fixedpoint import QFormat
+
+        with pytest.raises(errors.ReproError):
+            ModelConfig("bad", d_model=100, d_ff=400, num_heads=2)
+        with pytest.raises(errors.ReproError):
+            plan_qkt(0)
+        with pytest.raises(errors.ReproError):
+            QFormat(0, 0)
+
+    def test_cli_converts_to_exit_code(self, capsys):
+        from repro.cli import main
+
+        assert main(["--model", "nope", "schedule"]) == 1
+        assert "error:" in capsys.readouterr().err

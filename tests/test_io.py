@@ -1,0 +1,94 @@
+"""Serialization tests: configs and checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.config import AcceleratorConfig, transformer_base
+from repro.errors import ConfigError, ShapeError
+from repro.io import (
+    config_from_dict,
+    config_to_dict,
+    load_checkpoint,
+    load_config,
+    save_checkpoint,
+    save_config,
+)
+from repro.transformer import Linear, Transformer
+
+
+class TestConfigRoundtrip:
+    def test_model_config(self, tmp_path):
+        path = tmp_path / "model.json"
+        save_config(transformer_base(), path)
+        loaded = load_config(path)
+        assert loaded == transformer_base()
+
+    def test_accelerator_config(self, tmp_path):
+        original = AcceleratorConfig(seq_len=32, clock_mhz=250.0,
+                                     layernorm_mode="step_one")
+        path = tmp_path / "acc.json"
+        save_config(original, path)
+        assert load_config(path) == original
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            config_from_dict({"kind": "gpu", "fields": {}})
+        with pytest.raises(ConfigError):
+            config_from_dict({"fields": {}})
+        with pytest.raises(ConfigError):
+            config_from_dict({"kind": "model", "fields": None})
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(ConfigError):
+            config_to_dict({"not": "a config"})
+
+    def test_validation_runs_on_load(self, tmp_path):
+        payload = config_to_dict(transformer_base())
+        payload["fields"]["num_heads"] = 5  # breaks the 64h pattern
+        with pytest.raises(ConfigError):
+            config_from_dict(payload)
+
+
+class TestCheckpointRoundtrip:
+    def test_transformer_roundtrip(self, tmp_path, tiny_model_config):
+        rng = np.random.default_rng(0)
+        m1 = Transformer(tiny_model_config, 10, 10, rng=rng)
+        path = tmp_path / "ckpt.npz"
+        count = save_checkpoint(m1, path)
+        assert count == len(m1.state_dict())
+
+        m2 = Transformer(tiny_model_config, 10, 10,
+                         rng=np.random.default_rng(99))
+        load_checkpoint(m2, path)
+        for (_, p1), (_, p2) in zip(m1.named_parameters(),
+                                    m2.named_parameters()):
+            assert np.array_equal(p1.data, p2.data)
+
+    def test_checkpoint_preserves_behaviour(self, tmp_path,
+                                            tiny_model_config):
+        rng = np.random.default_rng(1)
+        m1 = Transformer(tiny_model_config, 10, 10, rng=rng).eval()
+        src = rng.integers(1, 10, size=(1, 6))
+        tgt = rng.integers(1, 10, size=(1, 6))
+        expected = m1(src, tgt).numpy()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(m1, path)
+        m2 = Transformer(tiny_model_config, 10, 10,
+                         rng=np.random.default_rng(2)).eval()
+        load_checkpoint(m2, path)
+        assert np.allclose(m2(src, tgt).numpy(), expected)
+
+    def test_architecture_mismatch_rejected(self, tmp_path,
+                                            tiny_model_config):
+        m1 = Linear(4, 4, rng=np.random.default_rng(0))
+        path = tmp_path / "lin.npz"
+        save_checkpoint(m1, path)
+        wrong = Linear(4, 8, rng=np.random.default_rng(0))
+        with pytest.raises(ShapeError):
+            load_checkpoint(wrong, path)
+
+    def test_empty_model_rejected(self, tmp_path):
+        from repro.transformer import PositionalEncoding
+
+        with pytest.raises(ShapeError):
+            save_checkpoint(PositionalEncoding(4, 8), tmp_path / "x.npz")

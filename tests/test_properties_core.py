@@ -1,0 +1,123 @@
+"""Hypothesis property tests spanning the core accelerator invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SystolicArray,
+    expected_pass_cycles,
+    partition_columns,
+    plan_qkt,
+    qkt_multiply_ratio_exact,
+    reassemble_columns,
+)
+from repro.nmt import SyntheticTranslationTask, corpus_bleu
+from repro.quant import QuantParams
+
+
+class TestSystolicArrayProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        s=st.integers(1, 12),
+        k=st.integers(1, 24),
+        n=st.integers(1, 12),
+        seed=st.integers(0, 2**31),
+    )
+    def test_sa_equals_numpy_for_any_shape(self, s, k, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-128, 128, size=(s, k))
+        b = rng.integers(-128, 128, size=(k, n))
+        sa = SystolicArray(s, max(n, 1))
+        result = sa.run_pass(a, b)
+        assert np.array_equal(result.product, a @ b)
+        assert result.compute_cycles == expected_pass_cycles(s, k, n)
+
+    @settings(max_examples=30, deadline=None)
+    @given(s=st.integers(1, 64), k=st.integers(1, 512), n=st.integers(1, 64))
+    def test_utilization_never_exceeds_one(self, s, k, n):
+        useful = s * n * k
+        cycles = expected_pass_cycles(s, k, n)
+        assert useful <= cycles * s * n
+
+
+class TestPartitionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.integers(1, 32),
+        blocks=st.integers(1, 8),
+        block_cols=st.sampled_from([16, 32, 64]),
+        seed=st.integers(0, 2**31),
+    )
+    def test_partition_roundtrip(self, rows, blocks, block_cols, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(rows, blocks * block_cols))
+        parts = partition_columns(w, "W", block_cols)
+        assert len(parts) == blocks
+        assert np.array_equal(reassemble_columns(parts), w)
+
+    @settings(max_examples=50)
+    @given(s=st.integers(1, 1024))
+    def test_qkt_plan_covers_all_rows(self, s):
+        plan = plan_qkt(s)
+        assert plan.num_passes * 64 >= min(s, plan.num_passes * 64)
+        if s <= 64:
+            assert plan.num_passes == 1
+        else:
+            assert plan.num_passes == -(-s // 64)
+
+    @settings(max_examples=50)
+    @given(s=st.integers(1, 256), h=st.sampled_from([8, 12, 16]))
+    def test_eq3_ratio_in_unit_interval(self, s, h):
+        ratio = qkt_multiply_ratio_exact(s, h)
+        assert 0.0 < ratio < 1.0
+
+
+class TestQuantProperties:
+    @settings(max_examples=50)
+    @given(
+        seed=st.integers(0, 2**31),
+        scale_exp=st.floats(-3, 3),
+    )
+    def test_int_gemm_matches_fake_quant(self, seed, scale_exp):
+        from repro.quant import int_gemm
+
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(3, 4)) * 10 ** scale_exp
+        w = rng.normal(size=(4, 2))
+        px = QuantParams.from_tensor(x)
+        pw = QuantParams.from_tensor(w)
+        got = int_gemm(px.quantize(x), pw.quantize(w), px, pw)
+        expected = px.fake_quantize(x) @ pw.fake_quantize(w)
+        assert np.allclose(got, expected, atol=1e-9)
+
+    @settings(max_examples=50)
+    @given(seed=st.integers(0, 2**31))
+    def test_quantize_error_bound(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=64) * rng.uniform(0.01, 100)
+        params = QuantParams.from_tensor(x)
+        err = np.abs(params.fake_quantize(x) - x).max()
+        assert err <= params.scale / 2 + 1e-12
+
+
+class TestTaskProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_translation_is_deterministic_function(self, seed):
+        task = SyntheticTranslationTask(num_words=8)
+        rng = np.random.default_rng(seed)
+        src = task.sample_source(rng)
+        assert task.translate(src) == task.translate(src)
+        assert len(task.translate(src)) == len(src)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_bleu_bounds_and_identity(self, seed):
+        task = SyntheticTranslationTask(num_words=8)
+        rng = np.random.default_rng(seed)
+        refs = [task.translate(task.sample_source(rng)) for _ in range(4)]
+        assert corpus_bleu(refs, refs) == 100.0
+        shuffled = [list(reversed(r)) for r in refs]
+        score = corpus_bleu(shuffled, refs)
+        assert 0.0 <= score < 100.0

@@ -1,0 +1,79 @@
+"""Regression lock on the README/EXPERIMENTS headline numbers.
+
+If a model change moves any headline reproduction figure, this file fails
+and the documentation must be updated alongside — keeping the published
+claims and the code permanently in sync.
+"""
+
+import pytest
+
+from repro.config import paper_accelerator, transformer_base
+from repro.core import (
+    estimate_power,
+    estimate_top,
+    schedule_ffn,
+    schedule_mha,
+)
+from repro.gpu_model import ffn_latency_us, mha_latency_us, v100_batch1
+
+
+@pytest.fixture(scope="module")
+def model():
+    return transformer_base()
+
+
+@pytest.fixture(scope="module")
+def acc():
+    return paper_accelerator()
+
+
+class TestHeadlineCycles:
+    def test_mha_cycles_exact(self, model, acc):
+        assert schedule_mha(model, acc).total_cycles == 21_578
+
+    def test_ffn_cycles_exact(self, model, acc):
+        assert schedule_ffn(model, acc).total_cycles == 39_052
+
+    def test_mha_deviation_from_paper(self, model, acc):
+        assert schedule_mha(model, acc).total_cycles / 21_344 == \
+            pytest.approx(1.011, abs=0.001)
+
+    def test_ffn_deviation_from_paper(self, model, acc):
+        assert schedule_ffn(model, acc).total_cycles / 42_099 == \
+            pytest.approx(0.928, abs=0.001)
+
+
+class TestHeadlineSpeedups:
+    def test_table3_speedups(self, model, acc):
+        spec = v100_batch1()
+        mha_speedup = (mha_latency_us(model, 64, spec)
+                       / schedule_mha(model, acc).latency_us(200.0))
+        ffn_speedup = (ffn_latency_us(model, 64, spec)
+                       / schedule_ffn(model, acc).latency_us(200.0))
+        assert mha_speedup == pytest.approx(14.5, abs=0.2)
+        assert ffn_speedup == pytest.approx(3.6, abs=0.2)
+
+
+class TestHeadlineResources:
+    def test_top_row(self, model, acc):
+        top = estimate_top(model, acc)["top"]
+        assert top.lut == 460_776
+        assert top.registers == 216_352
+        assert top.bram == pytest.approx(527.5)
+        assert top.dsp == 129
+
+    def test_sa_row(self, model, acc):
+        sa = estimate_top(model, acc)["sa"]
+        assert sa.lut == 417_792
+        assert sa.registers == 172_032
+
+    def test_weight_memory_456_brams(self, model, acc):
+        assert estimate_top(model, acc)["weight_memory"].bram == 456
+
+
+class TestHeadlinePower:
+    def test_total_and_split(self, model, acc):
+        power = estimate_power(model, acc)
+        assert power.total_w == pytest.approx(16.7, abs=0.3)
+        assert power.dynamic_w == pytest.approx(13.3, abs=0.3)
+        assert power.static_w == pytest.approx(3.4)

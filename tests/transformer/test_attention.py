@@ -1,0 +1,145 @@
+"""Multi-head attention tests against independent references."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.transformer import (
+    MHAResBlock,
+    MultiHeadAttention,
+    ScaledDotProductAttention,
+    Tensor,
+    causal_mask,
+    merge_heads,
+    split_heads,
+)
+from repro.transformer.functional import (
+    layer_norm,
+    scaled_masked_softmax,
+)
+
+RNG = np.random.default_rng(11)
+
+
+def reference_mha(mha: MultiHeadAttention, q, k, v, mask=None):
+    """Independent numpy implementation of Fig. 2 with per-head slices."""
+    h, d_k = mha.num_heads, mha.d_k
+    outs = []
+    for i in range(h):
+        qi = q @ mha.head_weight("q", i) + mha.head_bias("q", i)
+        ki = k @ mha.head_weight("k", i) + mha.head_bias("k", i)
+        vi = v @ mha.head_weight("v", i) + mha.head_bias("v", i)
+        probs = scaled_masked_softmax(
+            qi @ ki.T, mask, scale_divisor=np.sqrt(d_k)
+        )
+        outs.append(probs @ vi)
+    concat = np.concatenate(outs, axis=-1)
+    return concat @ mha.out_proj.weight.data + mha.out_proj.bias.data
+
+
+class TestSplitMergeHeads:
+    def test_roundtrip(self):
+        x = Tensor(RNG.normal(size=(2, 5, 8)))
+        assert np.array_equal(merge_heads(split_heads(x, 4)).data, x.data)
+
+    def test_split_shape(self):
+        x = Tensor(RNG.normal(size=(2, 5, 8)))
+        assert split_heads(x, 2).shape == (2, 2, 5, 4)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ShapeError):
+            split_heads(Tensor(np.zeros((1, 4, 6))), 4)
+
+
+class TestScaledDotProductAttention:
+    def test_weights_are_stochastic(self):
+        attn = ScaledDotProductAttention()
+        q = Tensor(RNG.normal(size=(1, 2, 4, 8)))
+        out, weights = attn(q, q, q)
+        assert np.allclose(weights.data.sum(-1), 1.0)
+        assert out.shape == (1, 2, 4, 8)
+
+    def test_mask_broadcast_over_heads(self):
+        attn = ScaledDotProductAttention()
+        q = Tensor(RNG.normal(size=(1, 2, 4, 8)))
+        mask = causal_mask(4)[None, :, :]
+        _, weights = attn(q, q, q, mask)
+        for head in range(2):
+            w = weights.data[0, head]
+            assert np.allclose(w[np.triu_indices(4, 1)], 0.0, atol=1e-9)
+
+
+class TestMultiHeadAttention:
+    def test_matches_per_head_reference(self):
+        # The fused implementation equals the paper's per-head Fig. 3 math.
+        mha = MultiHeadAttention(d_model=32, num_heads=4, rng=RNG)
+        q = RNG.normal(size=(6, 32))
+        kv = RNG.normal(size=(6, 32))
+        out = mha(Tensor(q[None]), Tensor(kv[None]), Tensor(kv[None]))
+        ref = reference_mha(mha, q, kv, kv)
+        assert np.allclose(out.data[0], ref, atol=1e-10)
+
+    def test_matches_reference_with_mask(self):
+        mha = MultiHeadAttention(d_model=16, num_heads=2, rng=RNG)
+        q = RNG.normal(size=(5, 16))
+        mask = causal_mask(5)
+        out = mha(
+            Tensor(q[None]), Tensor(q[None]), Tensor(q[None]),
+            mask[None, :, :],
+        )
+        ref = reference_mha(mha, q, q, q, mask)
+        assert np.allclose(out.data[0], ref, atol=1e-8)
+
+    def test_head_weight_blocks_cover_matrix(self):
+        mha = MultiHeadAttention(d_model=32, num_heads=4, rng=RNG)
+        blocks = [mha.head_weight("q", i) for i in range(4)]
+        assert np.array_equal(
+            np.concatenate(blocks, axis=1), mha.q_proj.weight.data
+        )
+
+    def test_head_weight_validation(self):
+        mha = MultiHeadAttention(d_model=32, num_heads=4, rng=RNG)
+        with pytest.raises(ShapeError):
+            mha.head_weight("q", 4)
+        with pytest.raises(ShapeError):
+            mha.head_weight("x", 0)
+        with pytest.raises(ShapeError):
+            mha.head_bias("z", 0)
+
+    def test_invalid_d_model_heads(self):
+        with pytest.raises(ShapeError):
+            MultiHeadAttention(d_model=30, num_heads=4)
+
+    def test_cross_attention_shapes(self):
+        mha = MultiHeadAttention(d_model=16, num_heads=2, rng=RNG)
+        q = Tensor(RNG.normal(size=(1, 3, 16)))
+        kv = Tensor(RNG.normal(size=(1, 7, 16)))
+        assert mha(q, kv, kv).shape == (1, 3, 16)
+
+
+class TestMHAResBlock:
+    def test_residual_and_norm(self):
+        # Output = LayerNorm(q + MHA(q,k,v)) per Algorithm 1 line 10-12.
+        block = MHAResBlock(d_model=16, num_heads=2, rng=RNG)
+        block.eval()
+        q = RNG.normal(size=(4, 16))
+        out = block(Tensor(q[None]), Tensor(q[None]), Tensor(q[None]))
+        mha_out = block.mha(Tensor(q[None]), Tensor(q[None]), Tensor(q[None]))
+        expected = layer_norm(
+            q + mha_out.data[0], block.norm.gamma.data, block.norm.beta.data
+        )
+        assert np.allclose(out.data[0], expected)
+
+    def test_output_rows_normalized(self):
+        block = MHAResBlock(d_model=64, num_heads=1, rng=RNG)
+        block.eval()
+        x = Tensor(RNG.normal(size=(1, 8, 64)))
+        out = block(x, x, x).data[0]
+        assert np.allclose(out.mean(-1), 0.0, atol=1e-7)
+
+    def test_gradients_reach_all_params(self):
+        block = MHAResBlock(d_model=16, num_heads=2, rng=RNG)
+        block.eval()
+        x = Tensor(RNG.normal(size=(1, 4, 16)))
+        block(x, x, x).sum().backward()
+        assert all(p.grad is not None for p in block.parameters())

@@ -1,0 +1,89 @@
+"""Embedding and positional-encoding tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.transformer import (
+    Embedding,
+    PositionalEncoding,
+    Tensor,
+    sinusoidal_encoding,
+)
+
+RNG = np.random.default_rng(4)
+
+
+class TestEmbedding:
+    def test_lookup_and_scale(self):
+        emb = Embedding(10, 16, rng=RNG)
+        ids = np.array([[1, 3], [0, 9]])
+        out = emb(ids)
+        expected = emb.table.data[ids] * np.sqrt(16)
+        assert np.allclose(out.data, expected)
+
+    def test_no_scale_option(self):
+        emb = Embedding(10, 16, scale=False, rng=RNG)
+        ids = np.array([2])
+        assert np.allclose(emb(ids).data, emb.table.data[2])
+
+    def test_out_of_range_rejected(self):
+        emb = Embedding(10, 16, rng=RNG)
+        with pytest.raises(ShapeError):
+            emb(np.array([10]))
+        with pytest.raises(ShapeError):
+            emb(np.array([-1]))
+
+    def test_gradient_scatter(self):
+        emb = Embedding(5, 4, rng=RNG)
+        out = emb(np.array([2, 2, 3]))
+        out.sum().backward()
+        scale = np.sqrt(4)
+        assert np.allclose(emb.table.grad[2], 2 * scale)
+        assert np.allclose(emb.table.grad[3], scale)
+        assert np.allclose(emb.table.grad[0], 0.0)
+
+
+class TestSinusoidalEncoding:
+    def test_first_position_is_sin0_cos0(self):
+        table = sinusoidal_encoding(8, 6)
+        assert np.allclose(table[0, 0::2], 0.0)   # sin(0)
+        assert np.allclose(table[0, 1::2], 1.0)   # cos(0)
+
+    def test_known_value(self):
+        table = sinusoidal_encoding(4, 4)
+        assert table[1, 0] == pytest.approx(np.sin(1.0))
+        assert table[1, 1] == pytest.approx(np.cos(1.0))
+        assert table[2, 2] == pytest.approx(np.sin(2.0 / 100.0))
+
+    def test_values_bounded(self):
+        table = sinusoidal_encoding(100, 32)
+        assert np.abs(table).max() <= 1.0
+
+    def test_odd_d_model_rejected(self):
+        with pytest.raises(ShapeError):
+            sinusoidal_encoding(10, 7)
+
+    def test_positions_distinguishable(self):
+        table = sinusoidal_encoding(64, 32)
+        # No two positions share an encoding.
+        for i in range(0, 63, 7):
+            diffs = np.abs(table - table[i]).sum(axis=1)
+            assert (diffs < 1e-9).sum() == 1
+
+
+class TestPositionalEncodingModule:
+    def test_adds_table(self):
+        pe = PositionalEncoding(10, 8)
+        x = RNG.normal(size=(2, 5, 8))
+        out = pe(Tensor(x))
+        assert np.allclose(out.data, x + sinusoidal_encoding(10, 8)[:5])
+
+    def test_too_long_rejected(self):
+        pe = PositionalEncoding(4, 8)
+        with pytest.raises(ShapeError):
+            pe(Tensor(np.zeros((1, 5, 8))))
+
+    def test_not_trainable(self):
+        pe = PositionalEncoding(4, 8)
+        assert pe.num_parameters() == 0

@@ -1,0 +1,83 @@
+"""FFN ResBlock tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.transformer import FFNResBlock, PositionwiseFFN, Tensor
+from repro.transformer.functional import ffn as ffn_ref
+from repro.transformer.functional import layer_norm
+
+RNG = np.random.default_rng(21)
+
+
+class TestPositionwiseFFN:
+    def test_matches_eq2(self):
+        net = PositionwiseFFN(d_model=8, d_ff=32, rng=RNG)
+        net.eval()
+        x = RNG.normal(size=(5, 8))
+        expected = ffn_ref(
+            x, net.linear1.weight.data, net.linear1.bias.data,
+            net.linear2.weight.data, net.linear2.bias.data,
+        )
+        assert np.allclose(net(Tensor(x)).data, expected)
+
+    def test_w1_blocks_cover_matrix(self):
+        net = PositionwiseFFN(d_model=64, d_ff=256, rng=RNG)
+        blocks = [net.w1_block(i) for i in range(4)]
+        assert np.array_equal(
+            np.concatenate(blocks, axis=1), net.linear1.weight.data
+        )
+
+    def test_w2_blocks_cover_matrix(self):
+        net = PositionwiseFFN(d_model=64, d_ff=256, rng=RNG)
+        assert np.array_equal(net.w2_block(0), net.linear2.weight.data)
+
+    def test_bias_blocks(self):
+        net = PositionwiseFFN(d_model=64, d_ff=256, rng=RNG)
+        net.linear1.bias.data[:] = np.arange(256)
+        assert np.array_equal(net.b1_block(1), np.arange(64, 128))
+        assert np.array_equal(net.b2_block(0), net.linear2.bias.data)
+
+    def test_block_index_validation(self):
+        net = PositionwiseFFN(d_model=64, d_ff=256, rng=RNG)
+        with pytest.raises(ShapeError):
+            net.w1_block(4)
+        with pytest.raises(ShapeError):
+            net.w2_block(1)
+        with pytest.raises(ShapeError):
+            net.b1_block(-1)
+        with pytest.raises(ShapeError):
+            net.b2_block(5)
+
+
+class TestFFNResBlock:
+    def test_residual_and_norm(self):
+        block = FFNResBlock(d_model=8, d_ff=16, rng=RNG)
+        block.eval()
+        x = RNG.normal(size=(3, 8))
+        out = block(Tensor(x[None]))
+        inner = block.ffn(Tensor(x[None])).data[0]
+        expected = layer_norm(
+            x + inner, block.norm.gamma.data, block.norm.beta.data
+        )
+        assert np.allclose(out.data[0], expected)
+
+    def test_gradients_reach_all_params(self):
+        block = FFNResBlock(d_model=8, d_ff=16, rng=RNG)
+        block.eval()
+        block(Tensor(RNG.normal(size=(1, 3, 8)))).sum().backward()
+        assert all(p.grad is not None for p in block.parameters())
+
+    def test_position_wise_independence(self):
+        # Changing one position must not change any other position's
+        # FFN() output (before the row-local LayerNorm).
+        net = PositionwiseFFN(d_model=8, d_ff=16, rng=RNG)
+        net.eval()
+        x1 = RNG.normal(size=(4, 8))
+        x2 = x1.copy()
+        x2[2] += 10.0
+        y1 = net(Tensor(x1)).data
+        y2 = net(Tensor(x2)).data
+        assert np.allclose(y1[[0, 1, 3]], y2[[0, 1, 3]])
+        assert not np.allclose(y1[2], y2[2])

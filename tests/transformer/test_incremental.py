@@ -1,0 +1,103 @@
+"""KV-cached incremental decoding tests: equality with full re-runs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodingError, ShapeError
+from repro.transformer.decoding import greedy_decode
+from repro.transformer.incremental import (
+    IncrementalDecoder,
+    greedy_decode_incremental,
+)
+
+
+@pytest.fixture
+def model(small_transformer):
+    return small_transformer
+
+
+class TestStepEquivalence:
+    def test_logits_match_full_forward(self, model, rng):
+        src = rng.integers(1, 30, size=10)
+        tgt = rng.integers(1, 30, size=6)
+        dec = IncrementalDecoder(model)
+        dec.start(src, src_length=8)
+
+        incremental = [dec.step(int(t)) for t in tgt]
+
+        # Full re-run reference for every prefix.
+        lengths = np.array([8])
+        enc_mask, _, _ = model.build_masks(lengths, 1, 10)
+        memory = model.encode(src[None], enc_mask)
+        for t in range(1, len(tgt) + 1):
+            _, dec_self, cross = model.build_masks(lengths, t, 10)
+            states = model.decode(tgt[None, :t], memory, dec_self, cross)
+            full = model.generator(states).numpy()[0, -1]
+            assert np.allclose(incremental[t - 1], full, atol=1e-9), (
+                f"mismatch at step {t}"
+            )
+
+    def test_greedy_equivalence(self, model, rng):
+        src = rng.integers(1, 30, size=9)
+        fast = greedy_decode_incremental(
+            model, src, src_length=9, bos_id=1, eos_id=2, max_len=8
+        )
+        slow = greedy_decode(
+            model, src[None], [9], bos_id=1, eos_id=2, max_len=8
+        )[0].tokens
+        assert fast == slow
+
+    def test_source_padding_respected(self, model, rng):
+        src1 = rng.integers(1, 30, size=8)
+        src2 = src1.copy()
+        src2[5:] = 7
+        d1 = IncrementalDecoder(model)
+        d1.start(src1, src_length=5)
+        d2 = IncrementalDecoder(model)
+        d2.start(src2, src_length=5)
+        assert np.allclose(d1.step(1), d2.step(1), atol=1e-12)
+
+
+class TestMechanics:
+    def test_cache_grows_per_step(self, model, rng):
+        dec = IncrementalDecoder(model)
+        dec.start(rng.integers(1, 30, size=8))
+        before = dec.cache_bytes()
+        dec.step(1)
+        mid = dec.cache_bytes()
+        dec.step(3)
+        after = dec.cache_bytes()
+        assert before < mid < after
+        # Each step adds 2 (K+V) * d_model per decoder layer.
+        assert mid - before == after - mid == 2 * 128 * 1
+
+    def test_step_before_start_rejected(self, model):
+        with pytest.raises(DecodingError):
+            IncrementalDecoder(model).step(1)
+
+    def test_batched_src_rejected(self, model):
+        with pytest.raises(ShapeError):
+            IncrementalDecoder(model).start(np.zeros((2, 8), dtype=int))
+
+    def test_bad_src_length_rejected(self, model, rng):
+        dec = IncrementalDecoder(model)
+        with pytest.raises(DecodingError):
+            dec.start(rng.integers(1, 30, size=8), src_length=9)
+
+    def test_max_len_guard(self, model, rng):
+        dec = IncrementalDecoder(model)
+        dec.start(rng.integers(1, 30, size=8))
+        for _ in range(model.config.max_seq_len):
+            dec.step(1)
+        with pytest.raises(DecodingError):
+            dec.step(1)
+
+    def test_restart_resets_cache(self, model, rng):
+        dec = IncrementalDecoder(model)
+        dec.start(rng.integers(1, 30, size=8))
+        dec.step(1)
+        dec.start(rng.integers(1, 30, size=8))
+        assert dec._position == 0
+        first = dec.cache_bytes()
+        dec.step(1)
+        assert dec.cache_bytes() > first

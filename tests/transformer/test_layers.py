@@ -1,0 +1,118 @@
+"""Tests for Linear, Dropout, LayerNorm layers (autograd versions)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.transformer import Dropout, LayerNorm, Linear, Tensor
+from repro.transformer.functional import layer_norm
+
+RNG = np.random.default_rng(3)
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self):
+        lin = Linear(4, 3, rng=RNG)
+        x = RNG.normal(size=(5, 4))
+        out = lin(Tensor(x))
+        assert np.allclose(out.data, x @ lin.weight.data + lin.bias.data)
+
+    def test_weight_orientation_matches_paper(self):
+        # weight is (in, out): the SA consumes columns of W directly.
+        lin = Linear(8, 2, rng=RNG)
+        assert lin.weight.data.shape == (8, 2)
+
+    def test_no_bias(self):
+        lin = Linear(4, 3, bias=False, rng=RNG)
+        assert lin.bias is None
+        x = RNG.normal(size=(2, 4))
+        assert np.allclose(lin(Tensor(x)).data, x @ lin.weight.data)
+
+    def test_batched_input(self):
+        lin = Linear(4, 3, rng=RNG)
+        x = RNG.normal(size=(2, 5, 4))
+        assert lin(Tensor(x)).shape == (2, 5, 3)
+
+    def test_wrong_width_rejected(self):
+        lin = Linear(4, 3, rng=RNG)
+        with pytest.raises(ShapeError):
+            lin(Tensor(np.zeros((2, 5))))
+
+    def test_xavier_scale(self):
+        lin = Linear(100, 100, rng=np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 200)
+        assert lin.weight.data.max() <= limit
+        assert lin.weight.data.min() >= -limit
+
+    def test_gradients_flow(self):
+        lin = Linear(3, 2, rng=RNG)
+        out = lin(Tensor(RNG.normal(size=(4, 3)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        assert lin.bias.grad is not None
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ShapeError):
+            Linear(0, 3)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        drop = Dropout(0.5, rng=RNG)
+        drop.eval()
+        x = RNG.normal(size=(10, 10))
+        assert np.array_equal(drop(Tensor(x)).data, x)
+
+    def test_zero_rate_identity_in_train(self):
+        drop = Dropout(0.0)
+        x = RNG.normal(size=(5, 5))
+        assert np.array_equal(drop(Tensor(x)).data, x)
+
+    def test_train_mode_masks_and_scales(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((100, 100))
+        out = drop(Tensor(x)).data
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)          # inverted scaling
+        assert 0.4 < (out != 0).mean() < 0.6   # ~keep probability
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ShapeError):
+            Dropout(1.0)
+
+
+class TestLayerNormLayer:
+    def test_matches_functional(self):
+        norm = LayerNorm(16)
+        x = RNG.normal(2.0, 3.0, size=(4, 16))
+        expected = layer_norm(x, norm.gamma.data, norm.beta.data)
+        assert np.allclose(norm(Tensor(x)).data, expected)
+
+    def test_gradcheck(self):
+        norm = LayerNorm(6)
+        x = Tensor(RNG.normal(size=(2, 6)), requires_grad=True)
+        norm(x).sum().backward()
+        eps = 1e-6
+        num = np.zeros_like(x.data)
+        for i in range(2):
+            for j in range(6):
+                xp = x.data.copy()
+                xp[i, j] += eps
+                xm = x.data.copy()
+                xm[i, j] -= eps
+                fp = layer_norm(xp, norm.gamma.data, norm.beta.data).sum()
+                fm = layer_norm(xm, norm.gamma.data, norm.beta.data).sum()
+                num[i, j] = (fp - fm) / (2 * eps)
+        assert np.allclose(x.grad, num, atol=1e-5)
+
+    def test_gamma_beta_trainable(self):
+        norm = LayerNorm(4)
+        out = norm(Tensor(RNG.normal(size=(3, 4)))).sum()
+        out.backward()
+        assert norm.gamma.grad is not None
+        assert norm.beta.grad is not None
+
+    def test_width_mismatch_rejected(self):
+        norm = LayerNorm(8)
+        with pytest.raises(ShapeError):
+            norm(Tensor(np.zeros((2, 4))))

@@ -1,0 +1,124 @@
+"""Full Transformer model tests: shapes, masking semantics, causality."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.errors import ShapeError
+from repro.transformer import Transformer
+
+RNG = np.random.default_rng(9)
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        name="t", d_model=64, d_ff=256, num_heads=1,
+        num_encoder_layers=1, num_decoder_layers=1,
+        max_seq_len=16, dropout=0.0,
+    )
+    defaults.update(overrides)
+    return ModelConfig(**defaults)
+
+
+@pytest.fixture
+def model():
+    return Transformer(tiny_config(), 20, 25,
+                       rng=np.random.default_rng(0)).eval()
+
+
+class TestForward:
+    def test_logit_shape(self, model):
+        src = RNG.integers(1, 20, size=(3, 8))
+        tgt = RNG.integers(1, 25, size=(3, 6))
+        assert model(src, tgt).shape == (3, 6, 25)
+
+    def test_rejects_1d_input(self, model):
+        with pytest.raises(ShapeError):
+            model(np.array([1, 2]), np.array([[1]]))
+
+    def test_deterministic_in_eval(self, model):
+        src = RNG.integers(1, 20, size=(1, 5))
+        tgt = RNG.integers(1, 25, size=(1, 5))
+        a = model(src, tgt).numpy()
+        b = model(src, tgt).numpy()
+        assert np.array_equal(a, b)
+
+    def test_decoder_causality(self, model):
+        # Changing target token t must not change logits before t.
+        src = RNG.integers(1, 20, size=(1, 5))
+        tgt1 = RNG.integers(1, 25, size=(1, 6))
+        tgt2 = tgt1.copy()
+        tgt2[0, 4] = (tgt2[0, 4] + 1) % 24 + 1
+        l1 = model(src, tgt1).numpy()
+        l2 = model(src, tgt2).numpy()
+        assert np.allclose(l1[0, :4], l2[0, :4], atol=1e-10)
+        assert not np.allclose(l1[0, 4:], l2[0, 4:])
+
+    def test_source_padding_invariance(self, model):
+        # Tokens beyond src_length must not affect the output.
+        src1 = RNG.integers(1, 20, size=(1, 6))
+        src2 = src1.copy()
+        src2[0, 4:] = 7  # junk in padded region
+        tgt = RNG.integers(1, 25, size=(1, 4))
+        lengths = np.array([4])
+        l1 = model(src1, tgt, src_lengths=lengths).numpy()
+        l2 = model(src2, tgt, src_lengths=lengths).numpy()
+        assert np.allclose(l1, l2, atol=1e-10)
+
+    def test_batch_row_independence(self, model):
+        src = RNG.integers(1, 20, size=(2, 5))
+        tgt = RNG.integers(1, 25, size=(2, 5))
+        joint = model(src, tgt).numpy()
+        solo = model(src[:1], tgt[:1]).numpy()
+        assert np.allclose(joint[0], solo[0], atol=1e-10)
+
+
+class TestMaskBuilding:
+    def test_shapes(self, model):
+        enc, dec, cross = model.build_masks(
+            np.array([3, 5]), tgt_len=4, src_len=5
+        )
+        assert enc.shape == (2, 5, 5)
+        assert dec.shape == (2, 4, 4)
+        assert cross.shape == (2, 4, 5)
+
+    def test_decoder_mask_is_causal(self, model):
+        _, dec, _ = model.build_masks(np.array([5]), 4, 5)
+        assert dec[0, 0, 1] and not dec[0, 1, 1]
+
+    def test_target_lengths_add_padding(self, model):
+        _, dec, _ = model.build_masks(
+            np.array([5]), 4, 5, tgt_lengths=np.array([2])
+        )
+        assert dec[0, 3, 2]  # padded target position masked even in past
+
+
+class TestConfiguration:
+    def test_tied_embeddings_share_table(self):
+        m = Transformer(tiny_config(), 20, 20, tie_embeddings=True,
+                        rng=np.random.default_rng(0))
+        assert m.src_embed is m.tgt_embed
+
+    def test_tied_embeddings_require_equal_vocab(self):
+        with pytest.raises(ShapeError):
+            Transformer(tiny_config(), 20, 25, tie_embeddings=True)
+
+    def test_encoder_only_config_rejected(self):
+        with pytest.raises(ShapeError):
+            Transformer(tiny_config(num_decoder_layers=0), 20, 20)
+
+    def test_multi_layer_stacks(self):
+        m = Transformer(
+            tiny_config(num_encoder_layers=2, num_decoder_layers=3), 10, 10,
+            rng=np.random.default_rng(0),
+        )
+        assert len(m.encoder.layers) == 2
+        assert len(m.decoder.layers) == 3
+
+    def test_parameter_count_scales_with_layers(self):
+        m1 = Transformer(tiny_config(), 10, 10, rng=np.random.default_rng(0))
+        m2 = Transformer(
+            tiny_config(num_encoder_layers=2), 10, 10,
+            rng=np.random.default_rng(0),
+        )
+        assert m2.num_parameters() > m1.num_parameters()

@@ -1,0 +1,96 @@
+"""Module/Parameter system tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.transformer import LayerNorm, Linear, Module, Parameter
+
+
+class Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.lin = Linear(4, 3, rng=np.random.default_rng(0))
+        self.norm = LayerNorm(3)
+        self.scale = Parameter(np.ones(1), name="scale")
+
+    def forward(self, x):
+        return self.norm(self.lin(x)) * self.scale
+
+
+class TestRegistration:
+    def test_named_parameters_paths(self):
+        m = Nested()
+        names = {n for n, _ in m.named_parameters()}
+        assert names == {
+            "lin.weight", "lin.bias", "norm.gamma", "norm.beta", "scale",
+        }
+
+    def test_num_parameters(self):
+        m = Nested()
+        assert m.num_parameters() == 4 * 3 + 3 + 3 + 3 + 1
+
+    def test_parameters_are_parameters(self):
+        m = Nested()
+        assert all(isinstance(p, Parameter) for p in m.parameters())
+        assert all(p.requires_grad for p in m.parameters())
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        m = Nested()
+        m.eval()
+        assert not m.training and not m.lin.training and not m.norm.training
+        m.train()
+        assert m.training and m.lin.training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        m1 = Nested()
+        m2 = Nested()
+        m2.load_state_dict(m1.state_dict())
+        for (n1, p1), (n2, p2) in zip(
+            m1.named_parameters(), m2.named_parameters()
+        ):
+            assert n1 == n2
+            assert np.array_equal(p1.data, p2.data)
+
+    def test_state_dict_is_a_copy(self):
+        m = Nested()
+        state = m.state_dict()
+        state["scale"][0] = 99.0
+        assert m.scale.data[0] == 1.0
+
+    def test_missing_key_rejected(self):
+        m = Nested()
+        state = m.state_dict()
+        del state["scale"]
+        with pytest.raises(ShapeError):
+            m.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        m = Nested()
+        state = m.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(ShapeError):
+            m.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        m = Nested()
+        state = m.state_dict()
+        state["scale"] = np.zeros(2)
+        with pytest.raises(ShapeError):
+            m.load_state_dict(state)
+
+
+class TestZeroGrad:
+    def test_zero_grad_clears_all(self):
+        from repro.transformer import Tensor
+
+        m = Nested()
+        out = m(Tensor(np.random.default_rng(1).normal(size=(2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())

@@ -1,0 +1,139 @@
+"""Optimizer / loss / schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.transformer import Adam, NoamSchedule, Tensor, cross_entropy
+from repro.transformer.module import Parameter
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(2, 3, 5))
+        targets = rng.integers(0, 5, size=(2, 3))
+        loss = cross_entropy(Tensor(logits, requires_grad=True), targets)
+        shifted = logits - logits.max(-1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(-1, keepdims=True))
+        manual = -np.take_along_axis(
+            log_probs, targets[..., None], axis=-1
+        ).mean()
+        assert loss.item() == pytest.approx(manual)
+
+    def test_ignore_index_excluded(self):
+        logits = np.zeros((1, 3, 4))
+        logits[0, 0, 1] = 10.0  # confident & correct at position 0
+        targets = np.array([[1, 0, 0]])  # positions 1,2 are PAD(0)
+        with_pad = cross_entropy(
+            Tensor(logits, requires_grad=True), targets, ignore_index=0
+        )
+        only = cross_entropy(
+            Tensor(logits[:, :1], requires_grad=True), targets[:, :1]
+        )
+        assert with_pad.item() == pytest.approx(only.item())
+
+    def test_all_ignored_raises(self):
+        with pytest.raises(TrainingError):
+            cross_entropy(
+                Tensor(np.zeros((1, 2, 3)), requires_grad=True),
+                np.zeros((1, 2), dtype=int), ignore_index=0,
+            )
+
+    def test_label_smoothing_increases_loss_on_confident_model(self):
+        logits = np.zeros((1, 1, 4))
+        logits[0, 0, 2] = 20.0
+        targets = np.array([[2]])
+        plain = cross_entropy(Tensor(logits, requires_grad=True), targets)
+        smooth = cross_entropy(
+            Tensor(logits, requires_grad=True), targets, label_smoothing=0.1
+        )
+        assert smooth.item() > plain.item()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            cross_entropy(
+                Tensor(np.zeros((1, 2, 3)), requires_grad=True),
+                np.zeros((1, 3), dtype=int),
+            )
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(np.random.default_rng(1).normal(size=(1, 1, 4)),
+                        requires_grad=True)
+        targets = np.array([[2]])
+        cross_entropy(logits, targets).backward()
+        probs = np.exp(logits.data) / np.exp(logits.data).sum()
+        expected = probs.copy()
+        expected[0, 0, 2] -= 1.0
+        assert np.allclose(logits.grad, expected, atol=1e-10)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = ((p - Tensor(np.array([1.0, 2.0]))) ** 2.0).sum()
+            loss.backward()
+            opt.step()
+        assert np.allclose(p.data, [1.0, 2.0], atol=1e-3)
+
+    def test_skips_missing_gradients(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([1.0]))
+        opt = Adam([p1, p2], lr=0.1)
+        (p1 * 2.0).sum().backward()
+        opt.step()
+        assert p1.data[0] != 1.0
+        assert p2.data[0] == 1.0
+
+    def test_grad_clip_bounds_update(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=1.0, grad_clip=1.0)
+        p.grad = np.array([1e6])
+        norm_before = opt.global_grad_norm()
+        opt.step()
+        assert norm_before == pytest.approx(1e6)
+        # First Adam step magnitude is ~lr regardless, but must be finite.
+        assert np.isfinite(p.data).all()
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(TrainingError):
+            Adam([])
+
+    def test_global_grad_norm(self):
+        p1 = Parameter(np.array([3.0]))
+        p2 = Parameter(np.array([4.0]))
+        opt = Adam([p1, p2])
+        p1.grad = np.array([3.0])
+        p2.grad = np.array([4.0])
+        assert opt.global_grad_norm() == pytest.approx(5.0)
+
+
+class TestNoamSchedule:
+    def test_warmup_then_decay(self):
+        sched = NoamSchedule(d_model=512, warmup=100)
+        rates = [sched.rate(step) for step in range(1, 400)]
+        peak = int(np.argmax(rates)) + 1
+        assert 95 <= peak <= 105       # peak at the warmup step
+        assert rates[-1] < rates[peak - 1]
+
+    def test_linear_during_warmup(self):
+        sched = NoamSchedule(d_model=512, warmup=100)
+        assert sched.rate(50) == pytest.approx(2 * sched.rate(25))
+
+    def test_inverse_sqrt_after_warmup(self):
+        sched = NoamSchedule(d_model=512, warmup=10)
+        assert sched.rate(400) == pytest.approx(sched.rate(100) / 2)
+
+    def test_step_updates_optimizer(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=999.0)
+        sched = NoamSchedule(d_model=64, warmup=10)
+        rate = sched.step(opt)
+        assert opt.lr == rate
+
+    def test_invalid_warmup(self):
+        with pytest.raises(TrainingError):
+            NoamSchedule(64, warmup=0)

@@ -1,0 +1,239 @@
+"""Autograd engine tests: every op's backward is checked numerically."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.transformer import Tensor, concatenate, embedding_lookup
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``fn``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = fn(x)
+        flat[i] = orig - eps
+        fm = fn(x)
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return grad
+
+
+def check_grad(build, x: np.ndarray, atol: float = 1e-6):
+    """Compare autograd gradient of ``build(Tensor)`` with numeric."""
+    t = Tensor(x.copy(), requires_grad=True)
+    out = build(t)
+    out.backward()
+    num = numeric_grad(lambda arr: build(Tensor(arr)).item(), x.copy())
+    assert np.allclose(t.grad, num, atol=atol), (
+        f"max err {np.abs(t.grad - num).max()}"
+    )
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestArithmeticGrads:
+    def test_add(self):
+        check_grad(lambda t: (t + t * 2.0).sum(), RNG.normal(size=(3, 4)))
+
+    def test_add_broadcast(self):
+        bias = Tensor(RNG.normal(size=(4,)))
+        check_grad(lambda t: (t + bias).sum(), RNG.normal(size=(3, 4)))
+
+    def test_broadcast_grad_accumulates_on_small_side(self):
+        b = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+        x = Tensor(RNG.normal(size=(5, 4)))
+        (x + b).sum().backward()
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 5.0)
+
+    def test_mul(self):
+        check_grad(lambda t: (t * t).sum(), RNG.normal(size=(3, 3)))
+
+    def test_div(self):
+        check_grad(lambda t: (t / 3.0).sum(), RNG.normal(size=(4,)))
+
+    def test_rdiv(self):
+        x = RNG.uniform(1.0, 2.0, size=(4,))
+        check_grad(lambda t: (1.0 / t).sum(), x, atol=1e-5)
+
+    def test_neg_sub(self):
+        check_grad(lambda t: (2.0 - t).sum(), RNG.normal(size=(3,)))
+
+    def test_pow(self):
+        x = RNG.uniform(0.5, 2.0, size=(5,))
+        check_grad(lambda t: (t ** 3.0).sum(), x, atol=1e-4)
+
+    def test_pow_negative_exponent(self):
+        x = RNG.uniform(1.0, 2.0, size=(5,))
+        check_grad(lambda t: (t ** -0.5).sum(), x, atol=1e-5)
+
+    def test_matmul(self):
+        w = Tensor(RNG.normal(size=(4, 2)))
+        check_grad(lambda t: (t @ w).sum(), RNG.normal(size=(3, 4)), 1e-5)
+
+    def test_matmul_batched(self):
+        w = Tensor(RNG.normal(size=(2, 4, 5)))
+        check_grad(lambda t: (t @ w).sum(), RNG.normal(size=(2, 3, 4)), 1e-5)
+
+    def test_matmul_weight_grad(self):
+        w = Tensor(RNG.normal(size=(4, 2)), requires_grad=True)
+        x = Tensor(RNG.normal(size=(3, 4)))
+        (x @ w).sum().backward()
+        assert np.allclose(w.grad, x.data.T @ np.ones((3, 2)))
+
+
+class TestNonlinearGrads:
+    def test_relu(self):
+        x = RNG.normal(size=(10,))
+        x[np.abs(x) < 0.1] = 0.5  # keep away from the kink
+        check_grad(lambda t: t.relu().sum(), x)
+
+    def test_exp(self):
+        check_grad(lambda t: t.exp().sum(), RNG.normal(size=(5,)), 1e-5)
+
+    def test_log(self):
+        x = RNG.uniform(0.5, 3.0, size=(5,))
+        check_grad(lambda t: t.log().sum(), x, atol=1e-5)
+
+    def test_tanh(self):
+        check_grad(lambda t: t.tanh().sum(), RNG.normal(size=(5,)))
+
+    def test_softmax_forward_rows_sum_to_one(self):
+        t = Tensor(RNG.normal(size=(4, 6)))
+        out = t.softmax(axis=-1)
+        assert np.allclose(out.data.sum(-1), 1.0)
+
+    def test_softmax_grad(self):
+        w = Tensor(RNG.normal(size=(6,)))
+        check_grad(
+            lambda t: (t.softmax(axis=-1) * w).sum(),
+            RNG.normal(size=(3, 6)), 1e-5,
+        )
+
+    def test_log_softmax_grad(self):
+        w = Tensor(RNG.normal(size=(6,)))
+        check_grad(
+            lambda t: (t.log_softmax(axis=-1) * w).sum(),
+            RNG.normal(size=(2, 6)), 1e-5,
+        )
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self):
+        check_grad(lambda t: (t.sum(axis=0) ** 2.0).sum(),
+                   RNG.normal(size=(3, 4)), 1e-5)
+
+    def test_mean(self):
+        check_grad(lambda t: (t.mean(axis=-1) ** 2.0).sum(),
+                   RNG.normal(size=(3, 4)), 1e-5)
+
+    def test_var_matches_numpy(self):
+        x = RNG.normal(size=(3, 8))
+        t = Tensor(x)
+        assert np.allclose(t.var(axis=-1).data, x.var(axis=-1))
+
+    def test_var_grad(self):
+        check_grad(lambda t: t.var(axis=-1).sum(),
+                   RNG.normal(size=(2, 5)), 1e-5)
+
+    def test_reshape_grad(self):
+        check_grad(lambda t: (t.reshape(6) * Tensor(np.arange(6.0))).sum(),
+                   RNG.normal(size=(2, 3)))
+
+    def test_transpose_grad(self):
+        w = Tensor(RNG.normal(size=(4, 3)))
+        check_grad(lambda t: (t.transpose(1, 0) * w).sum(),
+                   RNG.normal(size=(3, 4)))
+
+    def test_swapaxes(self):
+        t = Tensor(RNG.normal(size=(2, 3, 4)))
+        assert t.swapaxes(-1, -2).shape == (2, 4, 3)
+
+    def test_getitem_grad(self):
+        check_grad(lambda t: (t[1:] ** 2.0).sum(), RNG.normal(size=(4, 3)), 1e-5)
+
+    def test_masked_fill_grad_zero_in_masked(self):
+        x = Tensor(RNG.normal(size=(3, 3)), requires_grad=True)
+        mask = np.eye(3, dtype=bool)
+        x.masked_fill(mask, -1e9).sum().backward()
+        assert np.allclose(x.grad[mask], 0.0)
+        assert np.allclose(x.grad[~mask], 1.0)
+
+    def test_concatenate_grad(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 2)), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        (out * Tensor(np.arange(10.0).reshape(2, 5))).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (2, 2)
+        assert np.allclose(a.grad, [[0, 1, 2], [5, 6, 7]])
+        assert np.allclose(b.grad, [[3, 4], [8, 9]])
+
+    def test_embedding_lookup_grad_scatter(self):
+        table = Tensor(RNG.normal(size=(5, 3)), requires_grad=True)
+        out = embedding_lookup(table, np.array([1, 1, 4]))
+        out.sum().backward()
+        assert np.allclose(table.grad[1], 2.0)
+        assert np.allclose(table.grad[4], 1.0)
+        assert np.allclose(table.grad[0], 0.0)
+
+    def test_embedding_rejects_float_indices(self):
+        table = Tensor(np.zeros((5, 3)))
+        with pytest.raises(ShapeError):
+            embedding_lookup(table, np.array([1.5]))
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        assert x.grad[0] == 7.0
+
+    def test_diamond_graph_counted_once(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        a = x * 2.0
+        y = a + a
+        y.backward()
+        assert x.grad[0] == 4.0
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 1.0
+        y.backward()
+        assert x.grad[0] == 1.0
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+
+    def test_backward_on_no_grad_tensor_raises(self):
+        with pytest.raises(ShapeError):
+            Tensor(np.array([1.0])).backward()
+
+    def test_no_grad_path_builds_no_graph(self):
+        x = Tensor(np.ones(3))
+        y = x * 2.0 + 1.0
+        assert not y.requires_grad
+        assert y._parents == ()
+
+    def test_custom_seed_gradient(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        y.backward(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(x.grad, [2.0, 4.0, 6.0])
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
