@@ -1,0 +1,69 @@
+"""[A3] Serving: delivered throughput and tail latency under load.
+
+Simulates the serving tier (Poisson traffic, dynamic batching, one
+device) at three arrival rates and records throughput and p99 latency
+for the dynamic policy against the batch-1 baseline — the trajectory
+future scaling/caching/sharding PRs are measured against.  The timed
+region is one full mid-load simulation.
+"""
+
+from repro.analysis import render_table
+from repro.config import ServingConfig
+from repro.serving import simulate_serving
+
+RATES_RPS = (400.0, 1200.0, 2400.0)
+SEED = 11
+
+
+def _serving(rate, **overrides):
+    return ServingConfig(
+        arrival_rate_rps=rate, num_requests=160,
+        min_len=8, max_len=32, seed=SEED, **overrides,
+    )
+
+
+def sweep(model, acc):
+    rows = []
+    stats = []
+    for rate in RATES_RPS:
+        dyn = simulate_serving(
+            model, acc, _serving(rate, max_batch_requests=8,
+                                 max_wait_us=1000.0)
+        ).metrics
+        base = simulate_serving(
+            model, acc, _serving(rate, max_batch_requests=1)
+        ).metrics
+        rows.append([
+            f"{rate:.0f}",
+            f"{dyn.throughput_rps:.0f} / {base.throughput_rps:.0f}",
+            f"{dyn.latency_p99_us / 1e3:.1f} / "
+            f"{base.latency_p99_us / 1e3:.1f}",
+            f"{dyn.rejection_rate:.0%} / {base.rejection_rate:.0%}",
+            f"{dyn.occupancy:.0%}",
+        ])
+        stats.append((rate, dyn, base))
+    return rows, stats
+
+
+def test_bench_serving_throughput(benchmark, base_model, paper_acc):
+    rows, stats = sweep(base_model, paper_acc)
+    print()
+    print(render_table(
+        "serving under Poisson load (dynamic x8 / batch-1, 1 device)",
+        ["offered req/s", "throughput req/s", "p99 ms", "rejection",
+         "occupancy"],
+        rows,
+    ))
+    for rate, dyn, base in stats:
+        # Dynamic batching never loses, and wins clearly once the
+        # batch-1 design saturates (its capacity is ~185 req/s here).
+        assert dyn.throughput_rps >= base.throughput_rps
+        if rate >= RATES_RPS[1]:
+            assert dyn.throughput_rps > 1.5 * base.throughput_rps
+            assert dyn.latency_p99_us < base.latency_p99_us
+
+    result = benchmark(
+        simulate_serving, base_model, paper_acc,
+        _serving(RATES_RPS[1], max_batch_requests=8, max_wait_us=1000.0),
+    )
+    assert result.metrics.completed > 0

@@ -11,6 +11,8 @@ Subpackages:
 * :mod:`repro.nmt` — synthetic translation task + BLEU (IWSLT stand-in).
 * :mod:`repro.gpu_model` — V100 kernel-level latency baseline (Table III).
 * :mod:`repro.analysis` — Eq. (3) sweeps and report rendering.
+* :mod:`repro.serving` — discrete-event inference-serving simulator with
+  dynamic batching over the cycle-accurate accelerator models.
 
 Quick start::
 
@@ -22,10 +24,11 @@ Quick start::
 """
 
 from . import analysis, config, core, errors, fixedpoint, gpu_model, io
-from . import nmt, quant, transformer
+from . import nmt, quant, serving, transformer
 from .config import (
     AcceleratorConfig,
     ModelConfig,
+    ServingConfig,
     bert_base,
     bert_large,
     paper_accelerator,
@@ -41,6 +44,7 @@ __all__ = [
     "AcceleratorConfig",
     "ModelConfig",
     "ReproError",
+    "ServingConfig",
     "analysis",
     "bert_base",
     "bert_large",
@@ -54,6 +58,7 @@ __all__ = [
     "paper_accelerator",
     "preset",
     "quant",
+    "serving",
     "transformer",
     "transformer_base",
     "transformer_big",

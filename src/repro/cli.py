@@ -7,6 +7,8 @@ Commands:
 * ``power`` — the Section V-B power split.
 * ``tables`` — every paper comparison at once (the EXPERIMENTS.md view).
 * ``trace`` — write a Chrome trace JSON of a ResBlock schedule.
+* ``serve-sim`` — discrete-event serving simulation with dynamic
+  batching over the accelerator's cycle models.
 """
 
 from __future__ import annotations
@@ -64,6 +66,61 @@ def _build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser("trace", help="write a Chrome trace JSON")
     trace.add_argument("--block", choices=("mha", "ffn"), default="mha")
     trace.add_argument("--out", required=True, help="output .json path")
+    serve = sub.add_parser(
+        "serve-sim", help="simulate inference serving with dynamic batching"
+    )
+    serve.add_argument(
+        "--rate", type=float, default=2000.0,
+        help="mean Poisson arrival rate, requests/s (default: 2000)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=200,
+        help="number of requests to simulate (default: 200)",
+    )
+    serve.add_argument(
+        "--min-len", type=int, default=8,
+        help="minimum request length in tokens (default: 8)",
+    )
+    serve.add_argument(
+        "--max-len", type=int, default=None,
+        help="maximum request length (default: the SA's seq-len)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="dynamic-batching request cap; 1 = batch-1 (default: 8)",
+    )
+    serve.add_argument(
+        "--max-wait-us", type=float, default=500.0,
+        help="batch cut-off wait in microseconds (default: 500)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="admission-queue bound (default: 64)",
+    )
+    serve.add_argument(
+        "--timeout-us", type=float, default=None,
+        help="queue timeout in microseconds (default: none)",
+    )
+    serve.add_argument(
+        "--devices", type=int, default=1,
+        help="simulated accelerator count (default: 1)",
+    )
+    serve.add_argument(
+        "--placement", choices=("replicate", "layer_shard"),
+        default="replicate",
+        help="model placement across devices (default: replicate)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="workload RNG seed (default: 0)",
+    )
+    serve.add_argument(
+        "--compare-batch1", action="store_true",
+        help="also run the batch-1 baseline on the same workload",
+    )
+    serve.add_argument(
+        "--trace-out", help="optional Chrome trace JSON output path"
+    )
     return parser
 
 
@@ -181,6 +238,59 @@ def _cmd_selftest(args) -> None:
         raise RuntimeError("self-test failed")
 
 
+def _cmd_serve_sim(args) -> None:
+    from .config import ServingConfig
+    from .serving import simulate_serving
+
+    model, acc = _configs(args)
+    serving = ServingConfig(
+        arrival_rate_rps=args.rate,
+        num_requests=args.requests,
+        min_len=args.min_len,
+        max_len=acc.seq_len if args.max_len is None else args.max_len,
+        queue_capacity=args.queue_capacity,
+        queue_timeout_us=(
+            float("inf") if args.timeout_us is None else args.timeout_us
+        ),
+        max_batch_requests=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        num_devices=args.devices,
+        placement=args.placement,
+        seed=args.seed,
+    )
+    result = simulate_serving(model, acc, serving)
+    print(render_table(
+        f"serving — {model.name}, {args.devices} device(s), "
+        f"{args.rate:.0f} req/s, max batch {args.max_batch}",
+        ["metric", "value"], result.metrics.as_rows(),
+    ))
+    if args.compare_batch1:
+        base = simulate_serving(
+            model, acc, serving.with_updates(max_batch_requests=1)
+        )
+        speedup = (result.metrics.throughput_rps
+                   / base.metrics.throughput_rps
+                   if base.metrics.throughput_rps else float("inf"))
+        print()
+        print(render_table(
+            "dynamic batching vs batch-1 (same workload)",
+            ["metric", "dynamic", "batch-1"],
+            [["throughput",
+              f"{result.metrics.throughput_rps:.1f} req/s",
+              f"{base.metrics.throughput_rps:.1f} req/s"],
+             ["p99 latency",
+              f"{result.metrics.latency_p99_us:.0f} us",
+              f"{base.metrics.latency_p99_us:.0f} us"],
+             ["rejection rate",
+              f"{result.metrics.rejection_rate:.1%}",
+              f"{base.metrics.rejection_rate:.1%}"],
+             ["speed-up", f"{speedup:.2f}x", "1.00x"]],
+        ))
+    if args.trace_out:
+        count = result.write_trace(args.trace_out)
+        print(f"\nwrote {count} trace events to {args.trace_out}")
+
+
 def _cmd_trace(args) -> None:
     model, acc = _configs(args)
     result = (schedule_mha if args.block == "mha" else schedule_ffn)(
@@ -196,6 +306,7 @@ _COMMANDS = {
     "resources": _cmd_resources,
     "power": _cmd_power,
     "selftest": _cmd_selftest,
+    "serve-sim": _cmd_serve_sim,
     "tables": _cmd_tables,
     "trace": _cmd_trace,
 }

@@ -294,3 +294,88 @@ class AcceleratorConfig:
 def paper_accelerator() -> AcceleratorConfig:
     """The configuration evaluated in the paper: 64x64 SA at 200 MHz."""
     return AcceleratorConfig()
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Parameters of one simulated serving run (:mod:`repro.serving`).
+
+    Attributes:
+        arrival_rate_rps: Mean Poisson request arrival rate (requests/s).
+        num_requests: Number of requests to generate for the run.
+        length_dist: Sequence-length distribution of arriving requests:
+            ``"fixed"`` (always ``max_len``) or ``"uniform"`` (integers
+            in ``[min_len, max_len]``).
+        min_len / max_len: Sequence-length bounds in tokens; ``max_len``
+            may not exceed the accelerator's SA row count.
+        queue_capacity: Admission-queue bound; arrivals beyond it are
+            rejected immediately.
+        queue_timeout_us: Maximum queueing time before a waiting request
+            is dropped (``inf`` disables timeouts).
+        max_batch_requests: Dynamic-batching cap on requests per batch
+            (1 reproduces the paper's batch-1 operating point).
+        max_wait_us: Batch cut-off: dispatch a partial batch once its
+            oldest request has waited this long (0 = never hold back).
+        num_devices: Simulated accelerator count in the worker pool.
+        placement: ``"replicate"`` (every device holds the full model,
+            paying per-block weight reloads) or ``"layer_shard"`` (layers
+            pipelined across devices with resident weights).
+        double_buffered_weights: Hide reloads behind the previous
+            block's compute (second weight-memory bank), as in
+            :class:`~repro.core.model_runner.AcceleratedStack`.
+        seed: Workload RNG seed; fixing it makes the whole simulation
+            deterministic.
+    """
+
+    arrival_rate_rps: float = 2000.0
+    num_requests: int = 200
+    length_dist: str = "uniform"
+    min_len: int = 8
+    max_len: int = 64
+    queue_capacity: int = 64
+    queue_timeout_us: float = float("inf")
+    max_batch_requests: int = 8
+    max_wait_us: float = 500.0
+    num_devices: int = 1
+    placement: str = "replicate"
+    double_buffered_weights: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on invalid serving parameters."""
+        if self.arrival_rate_rps <= 0:
+            raise ConfigError("arrival_rate_rps must be positive")
+        if self.num_requests <= 0:
+            raise ConfigError("num_requests must be positive")
+        if self.length_dist not in ("fixed", "uniform"):
+            raise ConfigError(
+                f"length_dist {self.length_dist!r} is not 'fixed' or "
+                "'uniform'"
+            )
+        if not 0 < self.min_len <= self.max_len:
+            raise ConfigError(
+                f"need 0 < min_len <= max_len, got [{self.min_len}, "
+                f"{self.max_len}]"
+            )
+        if self.queue_capacity <= 0:
+            raise ConfigError("queue_capacity must be positive")
+        if self.queue_timeout_us <= 0:
+            raise ConfigError("queue_timeout_us must be positive")
+        if self.max_batch_requests <= 0:
+            raise ConfigError("max_batch_requests must be positive")
+        if self.max_wait_us < 0:
+            raise ConfigError("max_wait_us must be non-negative")
+        if self.num_devices <= 0:
+            raise ConfigError("num_devices must be positive")
+        if self.placement not in ("replicate", "layer_shard"):
+            raise ConfigError(
+                f"placement {self.placement!r} is not 'replicate' or "
+                "'layer_shard'"
+            )
+
+    def with_updates(self, **changes: object) -> "ServingConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)

@@ -84,10 +84,23 @@ from .scheduler import (
     schedule_mha,
     schedule_model,
 )
-from .model_runner import AcceleratedStack, StackReport
+from .model_runner import (
+    AcceleratedStack,
+    StackReport,
+    ffn_reload_cycles,
+    mha_reload_cycles,
+    model_reload_cycles,
+)
 from .softmax_module import SoftmaxModule, SoftmaxTiming
 from .streaming import StreamEvent, StreamingLayerNorm, StreamingSoftmax
-from .trace import schedule_to_trace_events, write_trace
+from .trace import (
+    TraceSpan,
+    counter_events,
+    schedule_to_trace_events,
+    spans_to_trace_events,
+    write_span_trace,
+    write_trace,
+)
 from .systolic_array import (
     PassResult,
     ScalarSystolicArray,
@@ -138,12 +151,14 @@ __all__ = [
     "StreamingSoftmax",
     "SystolicArray",
     "TimelineEvent",
+    "TraceSpan",
     "TransformerAccelerator",
     "WeightBlock",
     "WeightMemory",
     "XCVU13P",
     "accumulator_bits",
     "bram36_banks",
+    "counter_events",
     "data_memory_layout",
     "energy_per_resblock_uj",
     "energy_per_token_uj",
@@ -158,7 +173,10 @@ __all__ = [
     "image_bytes",
     "load_image",
     "ffn_cycle_breakdown",
+    "ffn_reload_cycles",
     "mha_cycle_breakdown",
+    "mha_reload_cycles",
+    "model_reload_cycles",
     "paper_deviation",
     "partition_columns",
     "partition_model_weights",
@@ -174,7 +192,9 @@ __all__ = [
     "schedule_mha",
     "schedule_model",
     "schedule_to_trace_events",
+    "spans_to_trace_events",
     "tiled_matmul",
     "utilization_fractions",
+    "write_span_trace",
     "write_trace",
 ]

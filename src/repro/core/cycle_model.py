@@ -33,6 +33,10 @@ class CycleBreakdown:
         issue_cycles: Control overhead over all passes.
         skew_cycles: Fill/drain skew paid at breaks/conflicts (or every
             pass without overlap).
+        softmax_stall_cycles: SA idle time waiting for the softmax
+            module's exposed tail when the concurrent ``V W_Vi`` pass is
+            too short to hide it (zero at the paper's operating point;
+            MHA only).
         layernorm_cycles: Exposed LayerNorm tail + output stream.
         total_cycles: Sum of the above.
         ideal_cycles: MACs / PE count (the 100%-utilization bound).
@@ -44,6 +48,7 @@ class CycleBreakdown:
     layernorm_cycles: int
     total_cycles: int
     ideal_cycles: int
+    softmax_stall_cycles: int = 0
 
     @property
     def utilization(self) -> float:
@@ -77,6 +82,14 @@ def mha_cycle_breakdown(
     first pass overall, the first G pass, and — with single-ported
     buffers — every pass that re-streams its predecessor's buffer
     (extra ``Q K^T`` chunks and the remaining G passes).
+
+    The softmax module's exposed tail (``s`` output columns plus its
+    pipeline depth) runs concurrently with the ``V W_Vi`` pass; when the
+    tail outlasts that pass — small ``d_model`` or ``s > 64`` — the
+    ``P V`` pass stalls for the difference on every head
+    (``softmax_stall_cycles``).  At the paper's operating point the
+    stall is zero, which is exactly its claim that the softmax "hardly
+    stops" the array.
     """
     if model.head_dim != acc.sa_cols:
         raise ScheduleError("model head dim must match SA columns")
@@ -98,12 +111,21 @@ def mha_cycle_breakdown(
             skew += (h - 1) * skew_full
     else:
         skew = passes * skew_full
+    # The PV pass waits for the softmax output (s second-pass columns +
+    # pipeline tail after the last QKt drain column); the V projection
+    # is the only SA work hiding that wait.
+    softmax_exposed = s + acc.softmax_pipeline_depth
+    v_busy = acc.pass_issue_cycles + acc.weight_load_cycles + d_model
+    if not acc.pass_overlap:
+        v_busy += skew_full
+    stall = h * max(0, softmax_exposed - v_busy)
     layernorm = _layernorm_tail(acc, d_model)
-    total = active + issue + skew + layernorm
+    total = active + issue + skew + stall + layernorm
     return CycleBreakdown(
         active_cycles=active,
         issue_cycles=issue,
         skew_cycles=skew,
+        softmax_stall_cycles=stall,
         layernorm_cycles=layernorm,
         total_cycles=total,
         ideal_cycles=model.mha_macs(s) // acc.num_pes,

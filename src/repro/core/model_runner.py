@@ -19,11 +19,66 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..config import AcceleratorConfig
+from ..config import AcceleratorConfig, ModelConfig
 from ..errors import ScheduleError, ShapeError
 from ..quant.qmodel import QuantizedTransformer
 from ..transformer.masks import causal_mask, combine_masks, padding_mask
 from .accelerator import TransformerAccelerator
+
+
+def mha_reload_cycles(
+    model: ModelConfig, port_width_words: int = 64
+) -> int:
+    """Cycles to stream one MHA ResBlock's weight tiles into memory.
+
+    Counts the same words :meth:`AcceleratedStack._reload_cycles_mha`
+    does — ``W_Q/W_K/W_V`` for every head plus ``W_G`` — but from the
+    :class:`ModelConfig` alone, so cycle-only consumers (the serving
+    simulator) can account reloads without building a quantized model.
+    """
+    words = 3 * model.d_model * model.d_model + model.d_model ** 2
+    return -(-words // port_width_words)
+
+
+def ffn_reload_cycles(
+    model: ModelConfig, port_width_words: int = 64
+) -> int:
+    """Cycles to stream one FFN ResBlock's ``W_1``/``W_2`` tiles."""
+    words = 2 * model.d_model * model.d_ff
+    return -(-words // port_width_words)
+
+
+def model_reload_cycles(
+    model: ModelConfig,
+    port_width_words: int = 64,
+    double_buffered: bool = False,
+    mha_compute_cycles: int = 0,
+    ffn_compute_cycles: int = 0,
+) -> int:
+    """Total exposed reload cycles for one full model execution.
+
+    Encoder layers hold one MHA + one FFN ResBlock; decoder layers two
+    MHA (self + cross) + one FFN.  With ``double_buffered`` each block's
+    reload hides behind the *previous* block's compute and only the
+    remainder is exposed, mirroring :class:`StackReport.add_reload`.
+    """
+    reloads = {
+        "mha": mha_reload_cycles(model, port_width_words),
+        "ffn": ffn_reload_cycles(model, port_width_words),
+    }
+    compute = {"mha": mha_compute_cycles, "ffn": ffn_compute_cycles}
+    blocks = (
+        ["mha", "ffn"] * model.num_encoder_layers
+        + ["mha", "mha", "ffn"] * model.num_decoder_layers
+    )
+    if not double_buffered:
+        return sum(reloads[kind] for kind in blocks)
+    exposed = 0
+    prev_compute = 0
+    for kind in blocks:
+        exposed += max(0, reloads[kind] - prev_compute)
+        prev_compute = compute[kind]
+    return exposed
 
 
 @dataclass

@@ -4,18 +4,137 @@
 Algorithm 1 schedule — SA passes, softmax activity and the LayerNorm tail
 on separate tracks — which is the easiest way to *see* the overlap the
 paper describes.
+
+Two pathways share the format:
+
+* :func:`schedule_to_trace_events` / :func:`write_trace` — one ResBlock's
+  :class:`~repro.core.scheduler.ScheduleResult` on the three hardware
+  unit tracks;
+* :func:`spans_to_trace_events` / :func:`write_span_trace` — arbitrary
+  :class:`TraceSpan` lists on named tracks, used by the serving
+  simulator to show requests queueing, batches forming and devices
+  executing across a whole simulated run.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import ScheduleError
 from .scheduler import ScheduleResult
 
 #: Track (tid) assignment per hardware unit.
 _UNIT_TRACKS = {"sa": 0, "softmax": 1, "layernorm": 2}
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One complete ("X") event on a named track.
+
+    Attributes:
+        name: Event label (e.g. ``"batch3"``, ``"req17.queued"``).
+        track: Track name; each distinct track becomes one ``tid`` row.
+        start_us / duration_us: Interval in microseconds.
+        category: Trace-event ``cat`` (defaults to ``"serving"``).
+        args: Extra key/values shown in the viewer's detail pane.
+    """
+
+    name: str
+    track: str
+    start_us: float
+    duration_us: float
+    category: str = "serving"
+    args: Dict = field(default_factory=dict)
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+
+def spans_to_trace_events(spans: Sequence[TraceSpan]) -> List[Dict]:
+    """Convert spans to trace-event dicts with stable track numbering.
+
+    Tracks get ``tid`` values in first-appearance order and a matching
+    ``thread_name`` metadata record, so the viewer shows the rows in the
+    order the caller emitted them (queue first, then devices, ...).
+    """
+    if not spans:
+        raise ScheduleError("no spans to trace")
+    tracks: Dict[str, int] = {}
+    events = []
+    for span in spans:
+        if span.duration_us < 0:
+            raise ScheduleError(
+                f"span {span.name!r} has negative duration"
+            )
+        tid = tracks.setdefault(span.track, len(tracks))
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start_us,
+            "dur": span.duration_us,
+            "pid": 0,
+            "tid": tid,
+            "args": dict(span.args),
+        })
+    for track, tid in tracks.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": track},
+        })
+    return events
+
+
+def counter_events(
+    name: str,
+    samples: Sequence[tuple],
+    category: str = "serving",
+) -> List[Dict]:
+    """Build Chrome counter ("C") events from ``(ts_us, value)`` samples.
+
+    Counters render as a stacked area chart in the viewer — the natural
+    way to show queue depth over a serving run.
+    """
+    events = []
+    for ts_us, value in samples:
+        events.append({
+            "name": name,
+            "cat": category,
+            "ph": "C",
+            "ts": float(ts_us),
+            "pid": 0,
+            "args": {name: value},
+        })
+    return events
+
+
+def write_span_trace(
+    spans: Sequence[TraceSpan],
+    path: str,
+    counters: Optional[List[Dict]] = None,
+    other_data: Optional[Dict] = None,
+) -> int:
+    """Write spans (plus optional counter events) to ``path``.
+
+    Returns the total event count, mirroring :func:`write_trace`.
+    """
+    events = spans_to_trace_events(spans)
+    if counters:
+        events.extend(counters)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(other_data or {}),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+    return len(events)
 
 
 def schedule_to_trace_events(

@@ -36,6 +36,10 @@ class ScheduleError(ReproError):
     """The accelerator scheduler was driven into an invalid state."""
 
 
+class ServingError(ReproError):
+    """The serving simulator was misconfigured or driven inconsistently."""
+
+
 class MemoryModelError(ReproError):
     """An on-chip memory model was accessed out of range or misconfigured."""
 

@@ -1,0 +1,98 @@
+"""Bounded admission queue with timeouts and rejection accounting.
+
+The queue is strictly FIFO, so with one shared timeout the oldest
+request always expires first and both admission and expiry are O(1)
+deque operations.  Every mutation records a ``(time, depth)`` sample,
+which the metrics layer turns into mean/max depth and the trace exporter
+into a Chrome counter track.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from ..errors import ServingError
+from .workload import Request
+
+
+class AdmissionQueue:
+    """FIFO queue bounding how much traffic may wait for a device.
+
+    Args:
+        capacity: Maximum simultaneous waiters; offers beyond it are
+            rejected (counted in ``rejected_full``).
+        timeout_us: Maximum wait before a queued request is dropped
+            (counted in ``expired``); ``inf`` disables expiry.
+    """
+
+    def __init__(self, capacity: int, timeout_us: float = float("inf")):
+        if capacity <= 0:
+            raise ServingError("queue capacity must be positive")
+        if timeout_us <= 0:
+            raise ServingError("queue timeout must be positive")
+        self.capacity = capacity
+        self.timeout_us = timeout_us
+        self._items: Deque[Request] = deque()
+        self.offered = 0
+        self.rejected_full = 0
+        self.expired = 0
+        self.depth_samples: List[Tuple[float, int]] = [(0.0, 0)]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def _sample(self, now_us: float) -> None:
+        self.depth_samples.append((now_us, len(self._items)))
+
+    def offer(self, request: Request, now_us: float) -> bool:
+        """Admit ``request`` if there is room; returns acceptance."""
+        self.offered += 1
+        if len(self._items) >= self.capacity:
+            self.rejected_full += 1
+            return False
+        self._items.append(request)
+        self._sample(now_us)
+        return True
+
+    def expire(self, now_us: float) -> List[Request]:
+        """Drop (and return) every request that has waited too long.
+
+        The comparison uses ``arrival + timeout`` — the same float the
+        simulator schedules expiry wakeups at — so a wakeup landing
+        exactly on the deadline always expires its request.
+        """
+        dropped = []
+        while (self._items
+               and now_us >= self._items[0].arrival_us + self.timeout_us):
+            dropped.append(self._items.popleft())
+        if dropped:
+            self.expired += len(dropped)
+            self._sample(now_us)
+        return dropped
+
+    def peek(self, index: int) -> Request:
+        """The ``index``-th oldest waiter (0 = head)."""
+        return self._items[index]
+
+    def pop_front(self, count: int, now_us: float) -> List[Request]:
+        """Remove and return the ``count`` oldest waiters."""
+        if count > len(self._items):
+            raise ServingError(
+                f"cannot pop {count} of {len(self._items)} waiters"
+            )
+        popped = [self._items.popleft() for _ in range(count)]
+        self._sample(now_us)
+        return popped
+
+    def oldest_wait_us(self, now_us: float) -> float:
+        """How long the head request has waited (0 when empty)."""
+        if not self._items:
+            return 0.0
+        return now_us - self._items[0].arrival_us
+
+    def next_expiry_us(self) -> float:
+        """Absolute time the head request would time out (inf if none)."""
+        if not self._items or self.timeout_us == float("inf"):
+            return float("inf")
+        return self._items[0].arrival_us + self.timeout_us

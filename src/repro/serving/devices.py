@@ -1,0 +1,147 @@
+"""Multi-accelerator worker pool (replicated or layer-sharded).
+
+Two placements over ``N`` simulated devices:
+
+* ``"replicate"`` — every device holds the full model and serves whole
+  batches independently; each run pays the per-block weight-reload
+  cycles of :func:`~repro.core.model_runner.model_reload_cycles`
+  (the on-chip weight memory only holds one layer, exactly as in
+  :class:`~repro.core.model_runner.AcceleratedStack`);
+* ``"layer_shard"`` — the layer stack is split into ``N`` contiguous
+  pipeline stages, one per device, with weights resident (no reloads);
+  a batch flows through the stages and a new batch may enter stage 0
+  as soon as it drains, so throughput is set by the slowest stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..config import AcceleratorConfig
+from ..errors import ServingError
+from ..core.trace import TraceSpan
+from .batching import Batch, BatchCostModel
+
+
+@dataclass
+class Device:
+    """One simulated accelerator's availability and usage counters."""
+
+    device_id: int
+    free_at_us: float = 0.0
+    busy_us: float = 0.0
+    batches_run: int = 0
+    tokens_served: int = 0
+
+    def occupy(self, start_us: float, duration_us: float) -> None:
+        if start_us < self.free_at_us:
+            raise ServingError(
+                f"device {self.device_id} double-booked at {start_us}"
+            )
+        self.free_at_us = start_us + duration_us
+        self.busy_us += duration_us
+
+
+@dataclass
+class DispatchOutcome:
+    """Completion time and trace spans of one dispatched batch."""
+
+    batch: Batch
+    start_us: float
+    completion_us: float
+    spans: List[TraceSpan] = field(default_factory=list)
+
+
+class WorkerPool:
+    """Schedules batches onto the simulated devices."""
+
+    def __init__(
+        self,
+        num_devices: int,
+        placement: str,
+        cost_model: BatchCostModel,
+        acc: AcceleratorConfig,
+    ) -> None:
+        if num_devices <= 0:
+            raise ServingError("num_devices must be positive")
+        if placement not in ("replicate", "layer_shard"):
+            raise ServingError(f"unknown placement {placement!r}")
+        if (placement == "layer_shard"
+                and num_devices > len(cost_model.layer_units)):
+            raise ServingError(
+                f"cannot shard {len(cost_model.layer_units)} layers "
+                f"across {num_devices} devices"
+            )
+        self.placement = placement
+        self.cost = cost_model
+        self.acc = acc
+        self.devices = [Device(i) for i in range(num_devices)]
+        if placement == "layer_shard":
+            self._stage_us = [
+                acc.cycles_to_us(c)
+                for c in cost_model.stage_cycles(num_devices)
+            ]
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def next_free_us(self) -> float:
+        """Earliest time the pool can accept another batch."""
+        if self.placement == "replicate":
+            return min(d.free_at_us for d in self.devices)
+        return self.devices[0].free_at_us
+
+    def can_accept(self, now_us: float) -> bool:
+        return self.next_free_us() <= now_us
+
+    def dispatch(self, batch: Batch, now_us: float) -> DispatchOutcome:
+        """Run ``batch`` starting no earlier than ``now_us``."""
+        args = {
+            "batch": batch.batch_id,
+            "requests": batch.num_requests,
+            "tokens": batch.total_tokens,
+            "occupancy": round(batch.occupancy(self.acc.seq_len), 4),
+        }
+        if self.placement == "replicate":
+            device = min(self.devices, key=lambda d: (d.free_at_us, d.device_id))
+            start = max(now_us, device.free_at_us)
+            duration = self.acc.cycles_to_us(self.cost.run_cycles)
+            device.occupy(start, duration)
+            device.batches_run += 1
+            device.tokens_served += batch.total_tokens
+            span = TraceSpan(
+                name=f"batch{batch.batch_id}",
+                track=f"device{device.device_id}",
+                start_us=start, duration_us=duration,
+                args={**args, "cycles": self.cost.run_cycles,
+                      "reload_cycles": self.cost.reload_cycles},
+            )
+            return DispatchOutcome(batch, start, start + duration, [span])
+        # layer_shard: stage i runs on device i after stage i-1 drains.
+        spans = []
+        ready = now_us
+        start0 = None
+        for device, stage_us in zip(self.devices, self._stage_us):
+            start = max(ready, device.free_at_us)
+            device.occupy(start, stage_us)
+            device.batches_run += 1
+            device.tokens_served += batch.total_tokens
+            spans.append(TraceSpan(
+                name=f"batch{batch.batch_id}.stage{device.device_id}",
+                track=f"device{device.device_id}",
+                start_us=start, duration_us=stage_us,
+                args=args,
+            ))
+            if start0 is None:
+                start0 = start
+            ready = start + stage_us
+        return DispatchOutcome(batch, start0, ready, spans)
+
+    def busy_fraction(self, makespan_us: float) -> float:
+        """Pool-wide fraction of device-time spent running batches."""
+        if makespan_us <= 0:
+            return 0.0
+        busy = sum(d.busy_us for d in self.devices)
+        return busy / (self.num_devices * makespan_us)

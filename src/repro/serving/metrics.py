@@ -1,0 +1,159 @@
+"""Serving metrics: latency percentiles, throughput, utilization.
+
+Percentiles use the deterministic nearest-rank definition (the smallest
+value with at least ``p%`` of the sample at or below it), so the
+reported p50/p95/p99 are always actual observed latencies and runs are
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ServingError
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of ``values`` (``pct`` in (0, 100])."""
+    if not values:
+        raise ServingError("percentile of an empty sample")
+    if not 0 < pct <= 100:
+        raise ServingError(f"percentile {pct} outside (0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def mean_queue_depth(samples: Sequence[Tuple[float, int]]) -> float:
+    """Time-weighted mean depth from ``(time, depth)`` change samples."""
+    if len(samples) < 2:
+        return float(samples[0][1]) if samples else 0.0
+    area = 0.0
+    for (t0, d0), (t1, _) in zip(samples, samples[1:]):
+        area += d0 * (t1 - t0)
+    horizon = samples[-1][0] - samples[0][0]
+    return area / horizon if horizon > 0 else float(samples[0][1])
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """Summary of one simulated serving run.
+
+    Attributes:
+        offered / completed / rejected / expired: Request counts.
+        rejection_rate: ``(rejected + expired) / offered``.
+        latency percentiles / mean: Arrival-to-completion, us (only
+            completed requests; NaN when nothing completed).
+        throughput_rps: Completed requests per second of makespan.
+        tokens_per_s: Valid tokens served per second of makespan.
+        makespan_us: First arrival to last completion.
+        num_batches / mean_batch_size: Dispatch accounting.
+        occupancy: Valid tokens / (batches x SA rows) — 1 minus the
+            padding waste the ``s x 64`` geometry forces.
+        device_busy_fraction: Busy device-time / total device-time.
+        sa_utilization: Useful-MAC utilization of the whole pool:
+            ideal MAC cycles, scaled by row occupancy, over all
+            PE-cycles in the makespan.
+        mean_queue_depth / max_queue_depth: Admission-queue pressure.
+    """
+
+    offered: int
+    completed: int
+    rejected: int
+    expired: int
+    rejection_rate: float
+    latency_p50_us: float
+    latency_p95_us: float
+    latency_p99_us: float
+    latency_mean_us: float
+    throughput_rps: float
+    tokens_per_s: float
+    makespan_us: float
+    num_batches: int
+    mean_batch_size: float
+    occupancy: float
+    device_busy_fraction: float
+    sa_utilization: float
+    mean_queue_depth: float
+    max_queue_depth: int
+    extra: Dict = field(default_factory=dict)
+
+    def as_rows(self) -> List[List[str]]:
+        """Two-column rows for :func:`repro.analysis.render_table`."""
+        return [
+            ["offered", str(self.offered)],
+            ["completed", str(self.completed)],
+            ["rejected (full)", str(self.rejected)],
+            ["expired (timeout)", str(self.expired)],
+            ["rejection rate", f"{self.rejection_rate:.1%}"],
+            ["p50 latency", f"{self.latency_p50_us:.1f} us"],
+            ["p95 latency", f"{self.latency_p95_us:.1f} us"],
+            ["p99 latency", f"{self.latency_p99_us:.1f} us"],
+            ["throughput", f"{self.throughput_rps:.1f} req/s"],
+            ["token throughput", f"{self.tokens_per_s:,.0f} tok/s"],
+            ["batches", str(self.num_batches)],
+            ["mean batch size", f"{self.mean_batch_size:.2f}"],
+            ["SA row occupancy", f"{self.occupancy:.1%}"],
+            ["device busy", f"{self.device_busy_fraction:.1%}"],
+            ["SA utilization", f"{self.sa_utilization:.1%}"],
+            ["mean queue depth", f"{self.mean_queue_depth:.2f}"],
+            ["max queue depth", str(self.max_queue_depth)],
+        ]
+
+
+def compute_metrics(
+    latencies_us: Sequence[float],
+    batch_sizes: Sequence[int],
+    batch_tokens: Sequence[int],
+    seq_len: int,
+    offered: int,
+    rejected: int,
+    expired: int,
+    makespan_us: float,
+    device_busy_fraction: float,
+    ideal_cycles_per_run: int,
+    run_cycles: int,
+    num_devices: int,
+    depth_samples: Sequence[Tuple[float, int]],
+) -> ServingMetrics:
+    """Fold raw simulation records into a :class:`ServingMetrics`."""
+    completed = len(latencies_us)
+    nan = float("nan")
+    have = completed > 0
+    seconds = makespan_us / 1e6
+    total_tokens = sum(batch_tokens)
+    num_batches = len(batch_sizes)
+    occupancy = (
+        total_tokens / (num_batches * seq_len) if num_batches else 0.0
+    )
+    # Useful-MAC share: each run streams ideal_cycles_per_run MACs at
+    # full s; occupancy discounts the rows that were padding.
+    sa_util = 0.0
+    if makespan_us > 0 and run_cycles > 0:
+        busy_share = device_busy_fraction
+        sa_util = busy_share * (ideal_cycles_per_run / run_cycles) * occupancy
+    return ServingMetrics(
+        offered=offered,
+        completed=completed,
+        rejected=rejected,
+        expired=expired,
+        rejection_rate=(rejected + expired) / offered if offered else 0.0,
+        latency_p50_us=percentile(latencies_us, 50) if have else nan,
+        latency_p95_us=percentile(latencies_us, 95) if have else nan,
+        latency_p99_us=percentile(latencies_us, 99) if have else nan,
+        latency_mean_us=(sum(latencies_us) / completed) if have else nan,
+        throughput_rps=completed / seconds if seconds > 0 else 0.0,
+        tokens_per_s=total_tokens / seconds if seconds > 0 else 0.0,
+        makespan_us=makespan_us,
+        num_batches=num_batches,
+        mean_batch_size=(
+            sum(batch_sizes) / num_batches if num_batches else 0.0
+        ),
+        occupancy=occupancy,
+        device_busy_fraction=device_busy_fraction,
+        sa_utilization=sa_util,
+        mean_queue_depth=mean_queue_depth(depth_samples),
+        max_queue_depth=max((d for _, d in depth_samples), default=0),
+    )

@@ -1,0 +1,226 @@
+"""Discrete-event serving simulation over the cycle-accurate models.
+
+:func:`simulate_serving` drives a seeded request workload through the
+admission queue, the dynamic batcher and the worker pool, advancing a
+single event heap (arrivals, device-free times, batching deadlines) and
+charging every batch the cycle costs of the Algorithm 1 schedules plus
+weight-reload accounting.  The run is exactly reproducible from its
+:class:`~repro.config.ServingConfig` and emits:
+
+* a :class:`~repro.serving.metrics.ServingMetrics` summary
+  (p50/p95/p99 latency, throughput, SA utilization, rejection rate);
+* per-request :class:`RequestRecord` outcomes;
+* Chrome trace spans/counters through the :mod:`repro.core.trace`
+  pathway (queue waits, per-device batch runs, queue-depth counter).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import AcceleratorConfig, ModelConfig, ServingConfig
+from ..errors import ServingError
+from ..core.trace import TraceSpan, counter_events, write_span_trace
+from .admission import AdmissionQueue
+from .batching import Batch, BatchCostModel, DynamicBatcher
+from .devices import WorkerPool
+from .metrics import ServingMetrics, compute_metrics
+from .workload import Request, poisson_workload, validate_workload
+
+_ARRIVAL, _DEVICE_FREE, _WAKEUP = 0, 1, 2
+
+
+@dataclass
+class RequestRecord:
+    """Final outcome of one request.
+
+    ``status`` is ``"completed"``, ``"rejected"`` (queue full on
+    arrival) or ``"expired"`` (timed out while queued).
+    """
+
+    request: Request
+    status: str
+    batch_id: Optional[int] = None
+    dispatched_us: Optional[float] = None
+    completed_us: Optional[float] = None
+
+    @property
+    def latency_us(self) -> Optional[float]:
+        if self.completed_us is None:
+            return None
+        return self.completed_us - self.request.arrival_us
+
+
+@dataclass
+class ServingResult:
+    """Everything one simulated run produced."""
+
+    serving: ServingConfig
+    metrics: ServingMetrics
+    records: List[RequestRecord]
+    batches: List[Batch]
+    spans: List[TraceSpan] = field(default_factory=list)
+    depth_samples: List[tuple] = field(default_factory=list)
+
+    def write_trace(self, path: str) -> int:
+        """Write the run's spans + queue-depth counter as Chrome JSON."""
+        counters = counter_events("queue_depth", self.depth_samples)
+        return write_span_trace(
+            self.spans, path, counters=counters,
+            other_data={
+                "completed": self.metrics.completed,
+                "throughput_rps": self.metrics.throughput_rps,
+                "makespan_us": self.metrics.makespan_us,
+            },
+        )
+
+
+def simulate_serving(
+    model: ModelConfig,
+    acc: AcceleratorConfig,
+    serving: Optional[ServingConfig] = None,
+    workload: Optional[Sequence[Request]] = None,
+) -> ServingResult:
+    """Simulate serving ``workload`` (default: seeded Poisson traffic).
+
+    Args:
+        model / acc: The model and accelerator under test; every batch
+            costs one full-model run of the cycle-level schedules.
+        serving: Queue/batching/pool parameters (default
+            :class:`ServingConfig`).
+        workload: Explicit request list; overrides the generated one.
+    """
+    serving = ServingConfig() if serving is None else serving
+    if serving.max_len > acc.seq_len and workload is None:
+        raise ServingError(
+            f"serving max_len {serving.max_len} exceeds the SA's "
+            f"{acc.seq_len} rows"
+        )
+    requests = (
+        list(workload) if workload is not None
+        else poisson_workload(serving)
+    )
+    validate_workload(requests, acc.seq_len)
+
+    cost = BatchCostModel(
+        model, acc, double_buffered_weights=serving.double_buffered_weights
+    )
+    queue = AdmissionQueue(serving.queue_capacity, serving.queue_timeout_us)
+    batcher = DynamicBatcher(
+        acc.seq_len, serving.max_batch_requests, serving.max_wait_us
+    )
+    pool = WorkerPool(serving.num_devices, serving.placement, cost, acc)
+
+    records: Dict[int, RequestRecord] = {}
+    batches: List[Batch] = []
+    spans: List[TraceSpan] = []
+    latencies: List[float] = []
+
+    seq = itertools.count()
+    heap = []
+    for request in requests:
+        heapq.heappush(
+            heap, (request.arrival_us, _ARRIVAL, next(seq), request)
+        )
+    remaining_arrivals = len(requests)
+
+    def attempt_dispatch(now_us: float) -> None:
+        while len(queue):
+            if not pool.can_accept(now_us):
+                free_at = pool.next_free_us()
+                heapq.heappush(
+                    heap, (free_at, _DEVICE_FREE, next(seq), None)
+                )
+                return
+            batch = batcher.try_form(
+                queue, now_us, force=(remaining_arrivals == 0)
+            )
+            if batch is None:
+                deadline = min(
+                    batcher.next_deadline_us(queue), queue.next_expiry_us()
+                )
+                if deadline != float("inf"):
+                    heapq.heappush(
+                        heap,
+                        (max(deadline, now_us), _WAKEUP, next(seq), None),
+                    )
+                return
+            outcome = pool.dispatch(batch, now_us)
+            batches.append(batch)
+            spans.extend(outcome.spans)
+            for request in batch.requests:
+                record = records[request.req_id]
+                record.status = "completed"
+                record.batch_id = batch.batch_id
+                record.dispatched_us = now_us
+                record.completed_us = outcome.completion_us
+                latencies.append(record.latency_us)
+                wait = now_us - request.arrival_us
+                if wait > 0:
+                    spans.append(TraceSpan(
+                        name=f"req{request.req_id}.wait",
+                        track="queue",
+                        start_us=request.arrival_us, duration_us=wait,
+                        args={"seq_len": request.seq_len,
+                              "batch": batch.batch_id},
+                    ))
+
+    while heap:
+        now_us, kind, _, payload = heapq.heappop(heap)
+        if kind == _ARRIVAL:
+            remaining_arrivals -= 1
+            record = RequestRecord(payload, "rejected")
+            records[payload.req_id] = record
+            if queue.offer(payload, now_us):
+                record.status = "queued"
+                if serving.queue_timeout_us != float("inf"):
+                    heapq.heappush(
+                        heap,
+                        (payload.arrival_us + serving.queue_timeout_us,
+                         _WAKEUP, next(seq), None),
+                    )
+        for request in queue.expire(now_us):
+            records[request.req_id].status = "expired"
+        attempt_dispatch(now_us)
+
+    if any(r.status == "queued" for r in records.values()):
+        raise ServingError("simulation ended with requests still queued")
+
+    first_arrival = requests[0].arrival_us if requests else 0.0
+    last_completion = max(
+        (r.completed_us for r in records.values()
+         if r.completed_us is not None),
+        default=first_arrival,
+    )
+    makespan_us = last_completion - first_arrival
+    run_cycles = (
+        cost.run_cycles if serving.placement == "replicate"
+        else cost.compute_cycles
+    )
+    metrics = compute_metrics(
+        latencies_us=latencies,
+        batch_sizes=[b.num_requests for b in batches],
+        batch_tokens=[b.total_tokens for b in batches],
+        seq_len=acc.seq_len,
+        offered=queue.offered,
+        rejected=queue.rejected_full,
+        expired=queue.expired,
+        makespan_us=makespan_us,
+        device_busy_fraction=pool.busy_fraction(makespan_us),
+        ideal_cycles_per_run=cost.ideal_cycles,
+        run_cycles=run_cycles,
+        num_devices=pool.num_devices,
+        depth_samples=queue.depth_samples,
+    )
+    ordered = [records[r.req_id] for r in requests]
+    return ServingResult(
+        serving=serving,
+        metrics=metrics,
+        records=ordered,
+        batches=batches,
+        spans=spans,
+        depth_samples=list(queue.depth_samples),
+    )

@@ -1,0 +1,105 @@
+"""Request-arrival workload generators for the serving simulator.
+
+Two sources of traffic:
+
+* :func:`poisson_workload` — memoryless arrivals at a configured mean
+  rate with sequence lengths drawn from the configured distribution,
+  fully determined by ``ServingConfig.seed``;
+* :func:`trace_workload` — replay of an explicit ``(arrival_us,
+  seq_len)`` trace, for feeding measured traffic or hand-built
+  adversarial patterns through the exact same pipeline.
+
+Times are microseconds from run start (matching the Chrome-trace axis);
+lengths are valid tokens per request, bounded by the SA's row count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..config import ServingConfig
+from ..errors import ServingError
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request.
+
+    Attributes:
+        req_id: Dense id in arrival order.
+        arrival_us: Arrival time in microseconds from run start.
+        seq_len: Valid tokens; the accelerator zero-pads the rest of its
+            ``s`` SA rows.
+    """
+
+    req_id: int
+    arrival_us: float
+    seq_len: int
+
+
+def sample_lengths(
+    rng: np.random.Generator, n: int, serving: ServingConfig
+) -> np.ndarray:
+    """Draw ``n`` sequence lengths from the configured distribution."""
+    if serving.length_dist == "fixed":
+        return np.full(n, serving.max_len, dtype=np.int64)
+    return rng.integers(serving.min_len, serving.max_len + 1, size=n)
+
+
+def poisson_workload(serving: ServingConfig) -> List[Request]:
+    """Generate a seeded Poisson arrival process.
+
+    Interarrival gaps are exponential with mean ``1e6 /
+    arrival_rate_rps`` microseconds; the same generator then draws the
+    lengths, so one seed pins the entire workload.
+    """
+    rng = np.random.default_rng(serving.seed)
+    n = serving.num_requests
+    gaps = rng.exponential(1e6 / serving.arrival_rate_rps, size=n)
+    arrivals = np.cumsum(gaps)
+    lengths = sample_lengths(rng, n, serving)
+    return [
+        Request(req_id=i, arrival_us=float(arrivals[i]),
+                seq_len=int(lengths[i]))
+        for i in range(n)
+    ]
+
+
+def trace_workload(entries: Sequence[Tuple[float, int]]) -> List[Request]:
+    """Build a workload from explicit ``(arrival_us, seq_len)`` pairs.
+
+    Entries must be time-sorted with non-negative times and positive
+    lengths; ids are assigned in order.
+    """
+    if not entries:
+        raise ServingError("trace workload needs at least one entry")
+    requests = []
+    prev = 0.0
+    for i, (arrival_us, seq_len) in enumerate(entries):
+        arrival_us = float(arrival_us)
+        seq_len = int(seq_len)
+        if arrival_us < prev:
+            raise ServingError(
+                f"trace entry {i} arrives at {arrival_us} before its "
+                f"predecessor at {prev}"
+            )
+        if seq_len <= 0:
+            raise ServingError(f"trace entry {i} has seq_len {seq_len}")
+        requests.append(Request(i, arrival_us, seq_len))
+        prev = arrival_us
+    return requests
+
+
+def validate_workload(
+    requests: Sequence[Request], max_seq_len: int
+) -> None:
+    """Check every request fits the accelerator's SA rows."""
+    for request in requests:
+        if request.seq_len > max_seq_len:
+            raise ServingError(
+                f"request {request.req_id} has seq_len {request.seq_len} "
+                f"> SA rows {max_seq_len}"
+            )

@@ -83,8 +83,15 @@ class TestBreakdownStructure:
         ):
             assert breakdown.total_cycles == (
                 breakdown.active_cycles + breakdown.issue_cycles
-                + breakdown.skew_cycles + breakdown.layernorm_cycles
+                + breakdown.skew_cycles + breakdown.softmax_stall_cycles
+                + breakdown.layernorm_cycles
             )
+
+    def test_softmax_stall_zero_at_paper_point(self, acc):
+        # d_model = 512 cycles of VWv easily cover the ~84-cycle tail.
+        assert mha_cycle_breakdown(
+            transformer_base(), acc
+        ).softmax_stall_cycles == 0
 
     def test_utilization_property(self, acc):
         b = mha_cycle_breakdown(transformer_base(), acc)

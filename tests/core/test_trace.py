@@ -7,8 +7,12 @@ import pytest
 from repro.config import paper_accelerator, transformer_base
 from repro.core import (
     ScheduleResult,
+    TraceSpan,
+    counter_events,
     schedule_mha,
     schedule_to_trace_events,
+    spans_to_trace_events,
+    write_span_trace,
     write_trace,
 )
 from repro.errors import ScheduleError
@@ -55,3 +59,59 @@ class TestWriteTrace:
         assert len(payload["traceEvents"]) == count
         assert payload["otherData"]["total_cycles"] == schedule.total_cycles
         assert payload["otherData"]["block"] == "mha"
+
+
+class TestSpanPathway:
+    def _spans(self):
+        return [
+            TraceSpan("req0.queued", "queue", 0.0, 5.0),
+            TraceSpan("batch0", "device0", 5.0, 50.0,
+                      args={"requests": 2}),
+            TraceSpan("req1.queued", "queue", 2.0, 3.0),
+            TraceSpan("batch1", "device1", 9.0, 50.0),
+        ]
+
+    def test_tracks_numbered_in_first_appearance_order(self):
+        events = spans_to_trace_events(self._spans())
+        names = {e["tid"]: e["args"]["name"]
+                 for e in events if e["ph"] == "M"}
+        assert names == {0: "queue", 1: "device0", 2: "device1"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert [e["tid"] for e in complete] == [0, 1, 0, 2]
+
+    def test_span_fields_carried_through(self):
+        events = spans_to_trace_events(self._spans())
+        batch = next(e for e in events if e["name"] == "batch0")
+        assert batch["ts"] == 5.0
+        assert batch["dur"] == 50.0
+        assert batch["cat"] == "serving"
+        assert batch["args"] == {"requests": 2}
+
+    def test_end_us(self):
+        assert TraceSpan("x", "t", 3.0, 4.0).end_us == 7.0
+
+    def test_empty_spans_rejected(self):
+        with pytest.raises(ScheduleError):
+            spans_to_trace_events([])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ScheduleError):
+            spans_to_trace_events([TraceSpan("x", "t", 0.0, -1.0)])
+
+    def test_counter_events(self):
+        events = counter_events("queue_depth", [(0.0, 0), (1.5, 3)])
+        assert all(e["ph"] == "C" for e in events)
+        assert events[1]["ts"] == 1.5
+        assert events[1]["args"] == {"queue_depth": 3}
+
+    def test_write_span_trace_round_trip(self, tmp_path):
+        path = tmp_path / "spans.json"
+        counters = counter_events("queue_depth", [(0.0, 1)])
+        count = write_span_trace(
+            self._spans(), str(path), counters=counters,
+            other_data={"completed": 2},
+        )
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == count
+        assert count == 4 + 3 + 1   # spans + thread names + counter
+        assert payload["otherData"] == {"completed": 2}

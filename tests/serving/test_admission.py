@@ -1,0 +1,83 @@
+"""Admission-queue tests: capacity, timeouts, rejection accounting."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import AdmissionQueue, Request
+
+
+def _req(i, arrival=0.0, length=16):
+    return Request(req_id=i, arrival_us=arrival, seq_len=length)
+
+
+class TestCapacity:
+    def test_rejects_beyond_capacity(self):
+        queue = AdmissionQueue(capacity=2)
+        assert queue.offer(_req(0), 0.0)
+        assert queue.offer(_req(1), 0.0)
+        assert not queue.offer(_req(2), 0.0)
+        assert queue.offered == 3
+        assert queue.rejected_full == 1
+        assert len(queue) == 2
+
+    def test_room_frees_after_pop(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.offer(_req(0), 0.0)
+        queue.pop_front(1, 1.0)
+        assert queue.offer(_req(1), 1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ServingError):
+            AdmissionQueue(capacity=0)
+        with pytest.raises(ServingError):
+            AdmissionQueue(capacity=1, timeout_us=0)
+
+
+class TestTimeout:
+    def test_expires_oldest_first(self):
+        queue = AdmissionQueue(capacity=8, timeout_us=100.0)
+        queue.offer(_req(0, arrival=0.0), 0.0)
+        queue.offer(_req(1, arrival=50.0), 50.0)
+        dropped = queue.expire(120.0)
+        assert [r.req_id for r in dropped] == [0]
+        assert queue.expired == 1
+        assert len(queue) == 1
+
+    def test_expiry_exactly_at_deadline(self):
+        queue = AdmissionQueue(capacity=8, timeout_us=100.0)
+        queue.offer(_req(0, arrival=0.0), 0.0)
+        assert [r.req_id for r in queue.expire(100.0)] == [0]
+
+    def test_infinite_timeout_never_expires(self):
+        queue = AdmissionQueue(capacity=8)
+        queue.offer(_req(0), 0.0)
+        assert queue.expire(1e12) == []
+        assert queue.next_expiry_us() == float("inf")
+
+    def test_next_expiry(self):
+        queue = AdmissionQueue(capacity=8, timeout_us=100.0)
+        queue.offer(_req(0, arrival=7.0), 7.0)
+        assert queue.next_expiry_us() == 107.0
+
+
+class TestAccounting:
+    def test_depth_samples_track_mutations(self):
+        queue = AdmissionQueue(capacity=8)
+        queue.offer(_req(0), 1.0)
+        queue.offer(_req(1), 2.0)
+        queue.pop_front(2, 3.0)
+        assert queue.depth_samples == [
+            (0.0, 0), (1.0, 1), (2.0, 2), (3.0, 0)
+        ]
+
+    def test_pop_too_many(self):
+        queue = AdmissionQueue(capacity=8)
+        queue.offer(_req(0), 0.0)
+        with pytest.raises(ServingError):
+            queue.pop_front(2, 0.0)
+
+    def test_oldest_wait(self):
+        queue = AdmissionQueue(capacity=8)
+        assert queue.oldest_wait_us(5.0) == 0.0
+        queue.offer(_req(0, arrival=2.0), 2.0)
+        assert queue.oldest_wait_us(5.0) == 3.0

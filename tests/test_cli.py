@@ -69,3 +69,34 @@ class TestOtherCommands:
 
     def test_selftest_exit_code_zero(self, capsys):
         assert main(["selftest"]) == 0
+
+
+class TestServeSimCommand:
+    def test_metrics_table(self, capsys):
+        assert main(["serve-sim", "--requests", "40", "--rate", "1000",
+                     "--max-len", "32", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "serving — Transformer-base" in out
+        assert "p99 latency" in out
+        assert "SA utilization" in out
+        assert "rejection rate" in out
+
+    def test_compare_batch1(self, capsys):
+        assert main(["serve-sim", "--requests", "40", "--rate", "2000",
+                     "--max-len", "32", "--compare-batch1"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic batching vs batch-1" in out
+        assert "speed-up" in out
+
+    def test_trace_out(self, tmp_path, capsys):
+        out_file = tmp_path / "serve.json"
+        assert main(["serve-sim", "--requests", "20", "--max-len", "32",
+                     "--trace-out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["traceEvents"]
+
+    def test_bad_placement_is_clean_error(self, capsys):
+        # layer_shard across more devices than there are layer units
+        assert main(["serve-sim", "--requests", "10", "--devices", "99",
+                     "--placement", "layer_shard"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -53,6 +53,24 @@ class TestSchedulerAnalyticAgreement:
         assert (schedule_mha(model, acc).total_cycles
                 == mha_cycle_breakdown(model, acc).total_cycles)
 
+    def test_mha_matches_on_q_partitioned_softmax_stall(self):
+        # Regression: at seq_len > sa_cols the softmax tail (s + depth)
+        # outlasts the VWv pass for small d_model and the PV pass stalls;
+        # the analytic model used to omit that term entirely.
+        model = ModelConfig(
+            "fuzz", d_model=64, d_ff=64, num_heads=1,
+            num_encoder_layers=1, num_decoder_layers=0, max_seq_len=64,
+        )
+        acc = AcceleratorConfig(
+            seq_len=128, sa_cols=64, sa_drain_cycles=0,
+            weight_load_cycles=0, pass_issue_cycles=0,
+            softmax_pipeline_depth=0, layernorm_pipeline_depth=0,
+        )
+        sched = schedule_mha(model, acc)
+        breakdown = mha_cycle_breakdown(model, acc)
+        assert breakdown.softmax_stall_cycles == 64
+        assert sched.total_cycles == breakdown.total_cycles
+
     @settings(max_examples=60, deadline=None)
     @given(model=model_configs, acc=acc_configs)
     def test_ffn_always_matches(self, model, acc):
