@@ -1,0 +1,69 @@
+"""[A4] Reliability: ABFT detection coverage and cycle overhead.
+
+Runs a seeded single-bit fault campaign over the SA datapath (the
+accumulator registers the output-stationary dataflow keeps resident for
+the whole pass) and asserts the checksum scheme's headline property:
+**at least 99% of injected single-bit SA-datapath faults are
+detected** — on this integer datapath the syndrome test is exact, so
+the measured rate is 100%.  Alongside, prices the protection: the
+guard row/column plus drain-time comparator cost a pinned 1,072 cycles
+(~1.8%) on the Transformer-base ResBlock pair.  The timed region is
+one full campaign sweep.
+"""
+
+from repro.analysis import render_table
+from repro.reliability import (
+    CampaignSpec,
+    abft_cycle_overhead,
+    run_campaign,
+)
+
+SPEC = CampaignSpec(
+    seq_len=64, depth=64, cols=64, trials=64,
+    sites=("sa_accumulator", "sa_multiplier"), abft=True, seed=11,
+)
+
+
+def test_bench_abft_coverage_and_overhead(benchmark, base_model, paper_acc):
+    result = run_campaign(SPEC)
+    overhead = abft_cycle_overhead(base_model, paper_acc)
+
+    single_bit = result.detection_rate(
+        site="sa_accumulator", mode="bit_flip"
+    )
+    rows = [
+        [site, mode,
+         f"{result.detection_rate(site=site, mode=mode):.1%}",
+         f"{result.correction_rate(site=site, mode=mode):.1%}",
+         f"{result.silent_rate(site=site, mode=mode):.1%}"]
+        for site in SPEC.sites
+        for mode in {"sa_accumulator": ("bit_flip", "multi_bit_flip"),
+                     "sa_multiplier": ("stuck_at",)}[site]
+    ]
+    rows.append([
+        "ABFT overhead", "",
+        f"{overhead.overhead_cycles:,} cyc",
+        f"{overhead.overhead_fraction:.2%}", "",
+    ])
+    print()
+    print(render_table(
+        f"ABFT coverage — 64 x 64 x 64 tiles, {SPEC.trials} trials/cell",
+        ["site", "mode", "detect", "correct", "silent"],
+        rows,
+    ))
+
+    # The acceptance bar: >= 99% detection on single-bit SA faults.
+    assert single_bit >= 0.99
+    # Nothing in the protected datapath slips through silently.
+    assert result.silent_rate(site="sa_accumulator") == 0.0
+    assert result.silent_rate(site="sa_multiplier") == 0.0
+    # Single-bit upsets are not just detected but repaired in place.
+    assert result.correction_rate(
+        site="sa_accumulator", mode="bit_flip"
+    ) == 1.0
+    # Protection cost, pinned at the paper point.
+    assert overhead.overhead_cycles == 1072
+    assert overhead.overhead_fraction < 0.02
+
+    timed = benchmark(run_campaign, SPEC)
+    assert timed.outcomes == result.outcomes

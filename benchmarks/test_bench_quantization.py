@@ -9,7 +9,6 @@ step one costs little BLEU; step two costs essentially nothing more
 batch through the quantized model.
 """
 
-import numpy as np
 
 from repro.analysis import render_table
 from repro.nmt import encode_pairs, evaluate_bleu

@@ -9,6 +9,9 @@ Commands:
 * ``trace`` — write a Chrome trace JSON of a ResBlock schedule.
 * ``serve-sim`` — discrete-event serving simulation with dynamic
   batching over the accelerator's cycle models.
+* ``fault-campaign`` — sweep fault site x mode over seeded injection
+  trials, report ABFT detection/correction/silent-corruption rates and
+  the protection's cycle overhead.
 """
 
 from __future__ import annotations
@@ -22,8 +25,6 @@ from .config import AcceleratorConfig, preset
 from .core import (
     PAPER_FFN_CYCLES,
     PAPER_FFN_SPEEDUP,
-    PAPER_GPU_FFN_LATENCY_US,
-    PAPER_GPU_MHA_LATENCY_US,
     PAPER_MHA_CYCLES,
     PAPER_MHA_SPEEDUP,
     PAPER_TABLE2,
@@ -120,6 +121,56 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--trace-out", help="optional Chrome trace JSON output path"
+    )
+    serve.add_argument(
+        "--batch-fault-rate", type=float, default=0.0,
+        help="per-batch-run fault probability (default: 0)",
+    )
+    serve.add_argument(
+        "--device-failure-rate", type=float, default=0.0,
+        help="per-batch-run device fail-stop probability (default: 0)",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=1,
+        help="re-runs per batch after an ABFT-detected fault (default: 1)",
+    )
+    serve.add_argument(
+        "--abft", action="store_true",
+        help="protect the accelerator with ABFT checksums (faults are "
+             "detected and retried instead of corrupting silently)",
+    )
+    campaign = sub.add_parser(
+        "fault-campaign",
+        help="seeded fault-injection sweep with ABFT coverage report",
+    )
+    campaign.add_argument(
+        "--trials", type=int, default=32,
+        help="trials per (site, mode, rate) cell (default: 32)",
+    )
+    campaign.add_argument(
+        "--sites", nargs="+", default=None, metavar="SITE",
+        help="fault sites to sweep (default: all)",
+    )
+    campaign.add_argument(
+        "--rates", nargs="+", type=float, default=[1.0], metavar="RATE",
+        help="per-pass fault probabilities to sweep (default: 1.0)",
+    )
+    campaign.add_argument(
+        "--depth", type=int, default=64,
+        help="GEMM inner dimension k of each trial (default: 64)",
+    )
+    campaign.add_argument(
+        "--no-abft", action="store_true",
+        help="run the GEMM trials unprotected (baseline sweep)",
+    )
+    campaign.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign master seed (default: 0)",
+    )
+    campaign.add_argument(
+        "--end-to-end", action="store_true",
+        help="also measure one stuck-PE fault through a full quantized "
+             "MHA ResBlock vs the golden model (slower)",
     )
     return parser
 
@@ -243,6 +294,8 @@ def _cmd_serve_sim(args) -> None:
     from .serving import simulate_serving
 
     model, acc = _configs(args)
+    if args.abft:
+        acc = acc.with_updates(abft_protected=True)
     serving = ServingConfig(
         arrival_rate_rps=args.rate,
         num_requests=args.requests,
@@ -256,6 +309,9 @@ def _cmd_serve_sim(args) -> None:
         max_wait_us=args.max_wait_us,
         num_devices=args.devices,
         placement=args.placement,
+        batch_fault_rate=args.batch_fault_rate,
+        device_failure_rate=args.device_failure_rate,
+        max_retries=args.max_retries,
         seed=args.seed,
     )
     result = simulate_serving(model, acc, serving)
@@ -291,6 +347,63 @@ def _cmd_serve_sim(args) -> None:
         print(f"\nwrote {count} trace events to {args.trace_out}")
 
 
+def _cmd_fault_campaign(args) -> None:
+    from .reliability import (
+        CampaignSpec,
+        abft_cycle_overhead,
+        resblock_fault_impact,
+        run_campaign,
+    )
+
+    model, acc = _configs(args)
+    spec = CampaignSpec(
+        seq_len=acc.seq_len,
+        depth=args.depth,
+        trials=args.trials,
+        rates=tuple(args.rates),
+        sites=(tuple(args.sites) if args.sites
+               else CampaignSpec().sites),
+        abft=not args.no_abft,
+        seed=args.seed,
+    )
+    result = run_campaign(spec)
+    rows = [
+        [site, mode, f"{rate:g}", str(injected),
+         f"{detect:.1%}", f"{correct:.1%}", f"{silent:.1%}",
+         f"{err:g}"]
+        for site, mode, rate, injected, detect, correct, silent, err
+        in result.summary_rows()
+    ]
+    protection = "ABFT on" if spec.abft else "unprotected"
+    print(render_table(
+        f"fault campaign — s={spec.seq_len}, k={spec.depth}, "
+        f"{spec.trials} trials/cell, {protection}, seed {spec.seed}",
+        ["site", "mode", "rate", "inj", "detect", "correct",
+         "silent", "max err"],
+        rows,
+    ))
+    overhead = abft_cycle_overhead(model, acc)
+    print()
+    print(render_table(
+        "ABFT schedule overhead (MHA + FFN ResBlock pair)",
+        ["metric", "value"],
+        [["baseline cycles", f"{overhead.baseline_cycles:,}"],
+         ["protected cycles", f"{overhead.protected_cycles:,}"],
+         ["overhead", f"{overhead.overhead_cycles:,} cycles "
+                      f"({overhead.overhead_fraction:.2%})"]],
+    ))
+    if args.end_to_end:
+        impact = resblock_fault_impact(seed=args.seed)
+        print()
+        print(render_table(
+            "stuck-PE impact on one quantized MHA ResBlock",
+            ["metric", "value"],
+            [["max |error|", f"{impact.max_abs_error:.4f}"],
+             ["mean |error|", f"{impact.mean_abs_error:.6f}"],
+             ["rows affected", str(impact.rows_affected)]],
+        ))
+
+
 def _cmd_trace(args) -> None:
     model, acc = _configs(args)
     result = (schedule_mha if args.block == "mha" else schedule_ffn)(
@@ -302,6 +415,7 @@ def _cmd_trace(args) -> None:
 
 
 _COMMANDS = {
+    "fault-campaign": _cmd_fault_campaign,
     "schedule": _cmd_schedule,
     "resources": _cmd_resources,
     "power": _cmd_power,

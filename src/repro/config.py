@@ -208,6 +208,18 @@ class AcceleratorConfig:
             a row of G to that row's first normalized output (Fig. 8).
         layernorm_mode: Which Fig. 7 schedule the LayerNorm module uses:
             ``"straightforward"``, ``"step_one"`` or ``"step_two"``.
+        abft_protected: Whether every SA pass carries ABFT checksums
+            (:mod:`repro.reliability.abft`).  Dedicated checksum MAC
+            unit columns/rows compute the expected row/column sums
+            alongside the array, and the verification comparators
+            pipeline with the column-by-column drain; the priced cost
+            is ``abft_check_cycles`` of comparator tail per pass, plus
+            the drain exposure of passes that would otherwise hide
+            their drain behind the next pass's fill (a consumer may
+            not read an unverified tile).
+        abft_check_cycles: Comparator-tree depth of the ABFT verify
+            stage (cycles exposed after the drain of every protected
+            pass).
         pass_overlap: Whether consecutive independent SA passes overlap
             their fill/drain skew (pipelined control).  When True, a pass
             chained behind another costs only its ``k`` active cycles, and
@@ -237,6 +249,8 @@ class AcceleratorConfig:
     softmax_pipeline_depth: int = 20
     layernorm_pipeline_depth: int = 12
     layernorm_mode: str = "step_two"
+    abft_protected: bool = False
+    abft_check_cycles: int = 8
     pass_overlap: bool = True
     single_ported_buffers: bool = True
     act_bits: int = 8
@@ -255,7 +269,7 @@ class AcceleratorConfig:
         names = (
             "sa_fill_cycles", "sa_drain_cycles", "weight_load_cycles",
             "pass_issue_cycles", "softmax_pipeline_depth",
-            "layernorm_pipeline_depth",
+            "layernorm_pipeline_depth", "abft_check_cycles",
         )
         for field_name in names:
             if getattr(self, field_name) < 0:
@@ -323,8 +337,23 @@ class ServingConfig:
         double_buffered_weights: Hide reloads behind the previous
             block's compute (second weight-memory bank), as in
             :class:`~repro.core.model_runner.AcceleratedStack`.
+        batch_fault_rate: Per-batch probability that a soft error
+            strikes the datapath during the run.  With ABFT on the
+            accelerator (``AcceleratorConfig.abft_protected``) the
+            fault is *detected* and the batch retried (up to
+            ``max_retries`` times, then its requests fail); without
+            ABFT it is *silent* and the batch's responses are counted
+            as corrupted.
+        device_failure_rate: Per-batch probability that the executing
+            device dies (hard failure) at the end of the run.  The
+            batch itself still completes; a ``"replicate"`` pool then
+            keeps serving degraded on the survivors, while losing any
+            stage of a ``"layer_shard"`` pipeline kills the pool and
+            fails all still-queued requests.
+        max_retries: Detected-fault retry budget per batch.
         seed: Workload RNG seed; fixing it makes the whole simulation
-            deterministic.
+            deterministic (fault events draw from an independent
+            stream spawned from the same seed).
     """
 
     arrival_rate_rps: float = 2000.0
@@ -339,6 +368,9 @@ class ServingConfig:
     num_devices: int = 1
     placement: str = "replicate"
     double_buffered_weights: bool = False
+    batch_fault_rate: float = 0.0
+    device_failure_rate: float = 0.0
+    max_retries: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -375,6 +407,12 @@ class ServingConfig:
                 f"placement {self.placement!r} is not 'replicate' or "
                 "'layer_shard'"
             )
+        for name in ("batch_fault_rate", "device_failure_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must lie in [0, 1], got {rate}")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
 
     def with_updates(self, **changes: object) -> "ServingConfig":
         """Return a copy of this config with the given fields replaced."""

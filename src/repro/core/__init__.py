@@ -53,7 +53,7 @@ from .partition import (
     qkt_multiply_ratio_exact,
     reassemble_columns,
 )
-from .pe import ProcessingElement
+from .pe import ProcessingElement, flip_bit
 from .postprocess import AdderBank, ReLUUnit
 from .power_model import (
     PAPER_DYNAMIC_W,
@@ -103,6 +103,7 @@ from .trace import (
 )
 from .systolic_array import (
     PassResult,
+    PEFault,
     ScalarSystolicArray,
     SystolicArray,
     expected_pass_cycles,
@@ -135,6 +136,7 @@ __all__ = [
     "PAPER_STATIC_W",
     "PAPER_TABLE2",
     "PAPER_TOTAL_W",
+    "PEFault",
     "PassResult",
     "PowerEstimate",
     "ProcessingElement",
@@ -174,6 +176,7 @@ __all__ = [
     "load_image",
     "ffn_cycle_breakdown",
     "ffn_reload_cycles",
+    "flip_bit",
     "mha_cycle_breakdown",
     "mha_reload_cycles",
     "model_reload_cycles",

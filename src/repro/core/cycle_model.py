@@ -38,6 +38,9 @@ class CycleBreakdown:
             too short to hide it (zero at the paper's operating point;
             MHA only).
         layernorm_cycles: Exposed LayerNorm tail + output stream.
+        abft_cycles: ABFT verification exposure over all passes (zero
+            unless ``abft_protected``): the comparator tail of every
+            pass plus the drains that overlap would otherwise hide.
         total_cycles: Sum of the above.
         ideal_cycles: MACs / PE count (the 100%-utilization bound).
     """
@@ -49,6 +52,7 @@ class CycleBreakdown:
     total_cycles: int
     ideal_cycles: int
     softmax_stall_cycles: int = 0
+    abft_cycles: int = 0
 
     @property
     def utilization(self) -> float:
@@ -57,6 +61,25 @@ class CycleBreakdown:
 
 def _skew_and_drain(acc: AcceleratorConfig, n: int) -> int:
     return (acc.seq_len + n - 2) + acc.sa_drain_cycles
+
+
+def _abft_exposure(
+    acc: AcceleratorConfig, passes: int, break_passes: int
+) -> int:
+    """ABFT verify cycles over ``passes`` SA passes.
+
+    Every protected pass pays the ``abft_check_cycles`` comparator tail;
+    with ``pass_overlap`` the passes that are *not* dependency breaks
+    (``passes - break_passes``) must additionally expose the drain they
+    would otherwise hide behind the next pass's fill.  Without overlap
+    every pass already pays its drain.
+    """
+    if not acc.abft_protected:
+        return 0
+    exposure = passes * acc.abft_check_cycles
+    if acc.pass_overlap:
+        exposure += (passes - break_passes) * acc.sa_drain_cycles
+    return exposure
 
 
 def _layernorm_tail(acc: AcceleratorConfig, d_model: int) -> int:
@@ -99,33 +122,47 @@ def mha_cycle_breakdown(
     qkt_passes = -(-s // acc.sa_cols)
     active = h * (3 * d_model + qkt_passes * acc.sa_cols + s) + h * d_model
     passes = h * (4 + qkt_passes) + h
-    issue = passes * (acc.pass_issue_cycles + acc.weight_load_cycles)
+    # Only weight-streaming passes pay the weight fetch: the three
+    # projections and the G pass per head.  Q K^T and the softmax x Temp2
+    # product read both operands from Data Memory.
+    weight_passes = 4 * h
+    issue = (passes * acc.pass_issue_cycles
+             + weight_passes * acc.weight_load_cycles)
     skew_full = _skew_and_drain(acc, acc.sa_cols)
     if acc.pass_overlap:
         # Breaks: first QKt chunk and PV per head, the first pass overall,
         # and the first G pass (operands from the drained P buffer).
-        skew = (2 * h + 2) * skew_full
+        break_passes = 2 * h + 2
         if acc.single_ported_buffers:
             # Extra QKt chunks contend on Temp1; G passes contend on P.
-            skew += h * (qkt_passes - 1) * skew_full
-            skew += (h - 1) * skew_full
+            break_passes += h * (qkt_passes - 1) + (h - 1)
     else:
-        skew = passes * skew_full
+        break_passes = passes
+    skew = break_passes * skew_full
+    abft = _abft_exposure(acc, passes, break_passes)
     # The PV pass waits for the softmax output (s second-pass columns +
     # pipeline tail after the last QKt drain column); the V projection
     # is the only SA work hiding that wait.
     softmax_exposed = s + acc.softmax_pipeline_depth
     v_busy = acc.pass_issue_cycles + acc.weight_load_cycles + d_model
-    if not acc.pass_overlap:
+    if acc.pass_overlap:
+        if acc.abft_protected:
+            # V W_Vi is a chained (non-break) pass: with ABFT it exposes
+            # its drain and comparator tail, covering more of the wait.
+            v_busy += acc.sa_drain_cycles + acc.abft_check_cycles
+    else:
         v_busy += skew_full
+        if acc.abft_protected:
+            v_busy += acc.abft_check_cycles
     stall = h * max(0, softmax_exposed - v_busy)
     layernorm = _layernorm_tail(acc, d_model)
-    total = active + issue + skew + stall + layernorm
+    total = active + issue + skew + stall + layernorm + abft
     return CycleBreakdown(
         active_cycles=active,
         issue_cycles=issue,
         skew_cycles=skew,
         softmax_stall_cycles=stall,
+        abft_cycles=abft,
         layernorm_cycles=layernorm,
         total_cycles=total,
         ideal_cycles=model.mha_macs(s) // acc.num_pes,
@@ -154,17 +191,20 @@ def ffn_cycle_breakdown(
     skew_full = _skew_and_drain(acc, acc.sa_cols)
     if acc.pass_overlap:
         if acc.single_ported_buffers:
-            skew = passes * skew_full
+            break_passes = passes
         else:
-            skew = 2 * skew_full          # first pass + the W1->W2 break
+            break_passes = 2              # first pass + the W1->W2 break
     else:
-        skew = passes * skew_full
+        break_passes = passes
+    skew = break_passes * skew_full
+    abft = _abft_exposure(acc, passes, break_passes)
     layernorm = _layernorm_tail(acc, d_model)
-    total = active + issue + skew + layernorm
+    total = active + issue + skew + layernorm + abft
     return CycleBreakdown(
         active_cycles=active,
         issue_cycles=issue,
         skew_cycles=skew,
+        abft_cycles=abft,
         layernorm_cycles=layernorm,
         total_cycles=total,
         ideal_cycles=model.ffn_macs(s) // acc.num_pes,

@@ -19,12 +19,13 @@ dual-port memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
 from ..config import AcceleratorConfig, ModelConfig
 from ..errors import MemoryModelError
+from .pe import flip_bit
 
 #: Usable bits of one BRAM36 block (Xilinx UltraScale+).
 BRAM36_BITS = 36 * 1024
@@ -103,6 +104,24 @@ class MemoryBank:
             raise MemoryModelError("word count must be non-negative")
         return -(-num_words // self.port_width_words)
 
+    def flip_stored_bit(self, index, bit: int) -> None:
+        """Invert ``bit`` of the single stored word at ``index``.
+
+        The BRAM-cell model of a single-event upset; the corrupted word
+        persists until overwritten (BRAMs have no scrubbing here).
+        """
+        if not 0 <= bit < self.word_bits:
+            raise MemoryModelError(
+                f"{self.name}: bit {bit} outside a "
+                f"{self.word_bits}-bit word"
+            )
+        word = self._data[index]
+        if np.ndim(word) != 0:
+            raise MemoryModelError(
+                f"{self.name}: flip_stored_bit needs a scalar index"
+            )
+        self._data[index] = flip_bit(int(word), bit, self.word_bits)
+
 
 def data_memory_layout(
     model: ModelConfig, acc: AcceleratorConfig
@@ -164,6 +183,25 @@ class WeightMemory:
             self.capacity_bits, self.port_width_words * self.word_bits
         )
 
+    def flip_tile_bit(
+        self, name: str, index: int, row: int, col: int, bit: int
+    ) -> None:
+        """Invert ``bit`` of one stored weight code (a BRAM upset)."""
+        key = (name, index)
+        if key not in self._tiles:
+            raise MemoryModelError(f"tile {name}[{index}] was never stored")
+        tile = self._tiles[key]
+        if not (0 <= row < tile.shape[0] and 0 <= col < tile.shape[1]):
+            raise MemoryModelError(
+                f"({row}, {col}) outside tile {name}[{index}] "
+                f"of shape {tile.shape}"
+            )
+        if not 0 <= bit < self.word_bits:
+            raise MemoryModelError(
+                f"bit {bit} outside a {self.word_bits}-bit weight word"
+            )
+        tile[row, col] = flip_bit(int(tile[row, col]), bit, self.word_bits)
+
     def tile_load_cycles(self, name: str, index: int) -> int:
         """Cycles to stream one tile into the SA (one 64-wide row/cycle)."""
         tile = self.load_tile(name, index)
@@ -188,6 +226,21 @@ class BiasMemory:
         if key not in self._vectors:
             raise MemoryModelError(f"bias {name}[{index}] was never stored")
         return self._vectors[key].copy()
+
+    def corrupt(self, name: str, index: int, pos: int, value: float) -> None:
+        """Overwrite one stored bias element (an upset in the bias BRAM;
+        biases are kept dequantized here, so the fault model pokes the
+        value directly rather than a bit pattern)."""
+        key = (name, index)
+        if key not in self._vectors:
+            raise MemoryModelError(f"bias {name}[{index}] was never stored")
+        vector = self._vectors[key]
+        if not 0 <= pos < vector.size:
+            raise MemoryModelError(
+                f"position {pos} outside bias {name}[{index}] "
+                f"of length {vector.size}"
+            )
+        vector[pos] = float(value)
 
     @property
     def capacity_bits(self) -> int:

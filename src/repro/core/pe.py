@@ -13,8 +13,24 @@ RTL-level tests; the full-array simulator in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..errors import FixedPointError
+
+
+def flip_bit(value: int, bit: int, width: int) -> int:
+    """Flip ``bit`` of a two's-complement ``width``-bit ``value``.
+
+    The register-level model of a single-event upset: the stored word is
+    reinterpreted as its unsigned bit pattern, one bit is inverted, and
+    the result is read back as a signed word of the same width.
+    """
+    if not 0 <= bit < width:
+        raise FixedPointError(f"bit {bit} outside a {width}-bit word")
+    pattern = (int(value) & ((1 << width) - 1)) ^ (1 << bit)
+    if pattern >= 1 << (width - 1):
+        pattern -= 1 << width
+    return pattern
 
 
 @dataclass
@@ -34,6 +50,8 @@ class ProcessingElement:
     b_reg: int = 0
     acc: int = 0
     mac_count: int = field(default=0, repr=False)
+    fault_mode: Optional[str] = field(default=None, repr=False)
+    fault_bit: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.acc_bits < 2:
@@ -48,11 +66,38 @@ class ProcessingElement:
         self.acc = 0
         self.mac_count = 0
 
+    def inject_fault(self, mode: str, bit: int = 0) -> None:
+        """Make this PE faulty: ``stuck_zero`` / ``stuck_max`` force the
+        multiplier output, ``bit_flip`` upsets accumulator bit ``bit`` at
+        drain time (see :meth:`drain`)."""
+        if mode not in ("stuck_zero", "stuck_max", "bit_flip"):
+            raise FixedPointError(f"unknown fault mode {mode!r}")
+        if not 0 <= bit < self.acc_bits:
+            raise FixedPointError(
+                f"bit {bit} outside a {self.acc_bits}-bit accumulator"
+            )
+        self.fault_mode = mode
+        self.fault_bit = bit
+
+    def clear_fault(self) -> None:
+        self.fault_mode = None
+        self.fault_bit = 0
+
+    def drain(self) -> int:
+        """Read the accumulator out (where a ``bit_flip`` fault lands)."""
+        if self.fault_mode == "bit_flip":
+            return flip_bit(self.acc, self.fault_bit, self.acc_bits)
+        return self.acc
+
     def step(self, a_in: int, b_in: int) -> None:
         """One clock: latch operands, multiply-accumulate (saturating)."""
         self.a_reg = int(a_in)
         self.b_reg = int(b_in)
         product = self.a_reg * self.b_reg
+        if self.fault_mode == "stuck_zero":
+            product = 0
+        elif self.fault_mode == "stuck_max":
+            product = 127 * 127 if product != 0 else 0
         acc = self.acc + product
         if acc > self._acc_max:
             acc = self._acc_max

@@ -23,7 +23,15 @@ only; see DESIGN.md):
   skew + drain;
 * every pass pays ``pass_issue_cycles`` of control overhead;
 * ``weight_load_cycles`` models a non-double-buffered weight fetch (0 =
-  fully hidden, the default).
+  fully hidden, the default) — charged only to passes that stream a
+  weight tile from Weight Memory; the activation-only passes
+  (``Q_i K_i^T`` and ``softmax x Temp2``) read both operands from the
+  Data Memory buffers and fetch no weights;
+* with ``abft_protected`` every pass additionally pays the ABFT verify
+  exposure: ``abft_check_cycles`` of comparator tail, plus its drain
+  when the pass would otherwise have hidden the drain behind the next
+  pass's fill (an unverified tile may not be consumed; see
+  :mod:`repro.reliability.abft`).
 """
 
 from __future__ import annotations
@@ -120,6 +128,7 @@ class _Timeline:
         input_buffer: Optional[str] = None,
         dependency_break: bool = False,
         not_before: int = 0,
+        loads_weights: bool = True,
     ) -> TimelineEvent:
         """Schedule one SA pass and return its event.
 
@@ -133,13 +142,19 @@ class _Timeline:
             dependency_break: Pass consumes the *drained* output of the
                 previous pass (pays skew + drain even when overlapping).
             not_before: External dependency (e.g. softmax completion).
+            loads_weights: Whether the pass streams a weight tile from
+                Weight Memory (pays ``weight_load_cycles``).  Activation
+                x activation passes (``Q_i K_i^T``, ``softmax x Temp2``)
+                read both operands from Data Memory and set this False.
         """
         if k <= 0:
             raise ScheduleError(f"pass {name!r} has non-positive k={k}")
         cfg = self.config
         n = cfg.sa_cols if n is None else n
         start = max(self.sa_free, not_before)
-        overhead = cfg.pass_issue_cycles + cfg.weight_load_cycles
+        overhead = cfg.pass_issue_cycles
+        if loads_weights:
+            overhead += cfg.weight_load_cycles
         port_conflict = (
             cfg.single_ported_buffers
             and input_buffer is not None
@@ -149,8 +164,15 @@ class _Timeline:
             busy = overhead + k
             if dependency_break or port_conflict or self._first_pass:
                 busy += self.skew(n) + cfg.sa_drain_cycles
+            elif cfg.abft_protected:
+                # The checksum verdict lands at the end of the drain, so
+                # a pass that would have hidden its drain behind the next
+                # fill must expose it before the tile may be consumed.
+                busy += cfg.sa_drain_cycles
         else:
             busy = overhead + k + self.skew(n) + cfg.sa_drain_cycles
+        if cfg.abft_protected:
+            busy += cfg.abft_check_cycles
         event = TimelineEvent(
             name=name, unit="sa", start=start, end=start + busy,
             active_cycles=k,
@@ -214,6 +236,7 @@ def schedule_mha(
                 k=acc.sa_cols, n=acc.sa_cols,
                 input_buffer="temp1",
                 dependency_break=(chunk == 0), not_before=k_proj.end,
+                loads_weights=False,
             )
         # The softmax module receives D column by column as QKt drains and
         # runs concurrently with the V projection (Algorithm 1 line 6).
@@ -232,6 +255,7 @@ def schedule_mha(
             input_buffer="temp1",
             dependency_break=True,
             not_before=max(sm_event.end, v_proj.end),
+            loads_weights=False,
         )
     for i in range(h):
         timeline.sa_pass(

@@ -21,14 +21,14 @@ arithmetic must agree.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
 from ..config import AcceleratorConfig
 from ..errors import ScheduleError, ShapeError
-from ..fixedpoint import ExpUnit, InverseSqrtLUT, QFormat, SOFTMAX_Q
+from ..fixedpoint import InverseSqrtLUT, QFormat, SOFTMAX_Q
 from ..quant.qsoftmax import HardwareSoftmax
 
 

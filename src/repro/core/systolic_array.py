@@ -27,7 +27,26 @@ from typing import List, Tuple
 import numpy as np
 
 from ..errors import ShapeError
-from .pe import ProcessingElement
+from .pe import ProcessingElement, flip_bit
+
+
+@dataclass(frozen=True)
+class PEFault:
+    """One injected PE fault.
+
+    Attributes:
+        mode: ``"stuck_zero"`` / ``"stuck_max"`` force the multiplier
+            output on every active cycle; ``"bit_flip"`` upsets one
+            accumulator bit as the result drains.
+        bit: Accumulator bit index (``bit_flip`` only).
+        transient: Transient faults clear themselves after one pass
+            (a single-event upset); persistent faults stay until
+            :meth:`SystolicArray.clear_faults` (a hard defect).
+    """
+
+    mode: str = "stuck_zero"
+    bit: int = 0
+    transient: bool = False
 
 
 @dataclass(frozen=True)
@@ -79,19 +98,33 @@ class SystolicArray:
     # ------------------------------------------------------------------
     # Fault injection (dependability analysis)
     # ------------------------------------------------------------------
-    def inject_fault(self, row: int, col: int, mode: str = "stuck_zero") -> None:
+    def inject_fault(
+        self,
+        row: int,
+        col: int,
+        mode: str = "stuck_zero",
+        *,
+        bit: int = 0,
+        transient: bool = False,
+    ) -> None:
         """Mark ``PE(row, col)`` faulty for subsequent passes.
 
-        Modes: ``"stuck_zero"`` (the PE's multiplier output is always 0)
-        or ``"stuck_max"`` (always the maximum product).  With the
-        output-stationary dataflow a faulty PE corrupts exactly one
+        Modes: ``"stuck_zero"`` (the PE's multiplier output is always 0),
+        ``"stuck_max"`` (the maximum product on every non-idle cycle), or
+        ``"bit_flip"`` (accumulator bit ``bit`` inverts at drain).  With
+        the output-stationary dataflow a faulty PE corrupts exactly one
         output element per pass — the property the fault tests verify.
+        ``transient`` faults self-clear after the next pass.
         """
         if not (0 <= row < self.rows and 0 <= col < self.cols):
             raise ShapeError(f"PE ({row}, {col}) outside the array")
-        if mode not in ("stuck_zero", "stuck_max"):
+        if mode not in ("stuck_zero", "stuck_max", "bit_flip"):
             raise ShapeError(f"unknown fault mode {mode!r}")
-        self._faults[(row, col)] = mode
+        if not 0 <= bit < self.acc_bits:
+            raise ShapeError(
+                f"bit {bit} outside a {self.acc_bits}-bit accumulator"
+            )
+        self._faults[(row, col)] = PEFault(mode, bit, transient)
 
     def clear_faults(self) -> None:
         """Remove all injected faults."""
@@ -145,14 +178,25 @@ class SystolicArray:
                 * b[m_safe, col_idx],
                 0,
             )
-            for (fi, fj), mode in self._faults.items():
+            for (fi, fj), fault in self._faults.items():
                 if fj >= n:
                     continue
-                if mode == "stuck_zero":
+                if fault.mode == "stuck_zero":
                     products[fi, fj] = 0
-                else:  # stuck_max
-                    products[fi, fj] = np.where(valid[fi, fj], 127 * 127, 0)
+                elif fault.mode == "stuck_max":
+                    products[fi, fj] = np.where(
+                        products[fi, fj] != 0, 127 * 127, 0
+                    )
             acc = np.clip(acc + products, self._acc_min, self._acc_max)
+        for (fi, fj), fault in self._faults.items():
+            if fault.mode == "bit_flip" and fj < n:
+                acc[fi, fj] = flip_bit(
+                    int(acc[fi, fj]), fault.bit, self.acc_bits
+                )
+        self._faults = {
+            key: fault for key, fault in self._faults.items()
+            if not fault.transient
+        }
         useful = s * n * k
         return PassResult(
             product=acc,
@@ -195,6 +239,19 @@ class ScalarSystolicArray:
             for pe in row:
                 pe.reset()
 
+    def inject_fault(
+        self, row: int, col: int, mode: str = "stuck_zero", *, bit: int = 0
+    ) -> None:
+        """Make ``PE(row, col)`` faulty (same modes as the vectorized SA)."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ShapeError(f"PE ({row}, {col}) outside the array")
+        self.grid[row][col].inject_fault(mode, bit)
+
+    def clear_faults(self) -> None:
+        for row in self.grid:
+            for pe in row:
+                pe.clear_fault()
+
     def run_pass(self, a: np.ndarray, b: np.ndarray) -> PassResult:
         """Execute one GEMM pass by stepping every PE each clock."""
         a = np.asarray(a)
@@ -229,7 +286,7 @@ class ScalarSystolicArray:
                         b_in = south[i - 1][j]
                     self.grid[i][j].step(a_in, b_in)
         product = np.array(
-            [[self.grid[i][j].acc for j in range(n)] for i in range(s)],
+            [[self.grid[i][j].drain() for j in range(n)] for i in range(s)],
             dtype=np.int64,
         )
         useful = s * n * k

@@ -44,6 +44,10 @@ class MemoryModelError(ReproError):
     """An on-chip memory model was accessed out of range or misconfigured."""
 
 
+class ReliabilityError(ReproError):
+    """A fault model, ABFT check, or injection campaign was misused."""
+
+
 class DecodingError(ReproError):
     """Sequence decoding (greedy/beam) could not proceed."""
 

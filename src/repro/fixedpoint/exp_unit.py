@@ -17,7 +17,8 @@ shows costs essentially no BLEU.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -34,10 +35,16 @@ class ExpUnit:
         in_fmt: Fixed-point format of the (non-positive) input codes.
         out_frac_bits: Fractional bits of the output codes; outputs lie in
             ``(0, 1]`` so one integer bit suffices.
+        fault_hook: Optional fault-injection hook applied to the output
+            codes before saturation (``repro.reliability`` installs bit
+            upsets here); ``None`` models a healthy unit.
     """
 
     in_fmt: QFormat = SOFTMAX_Q
     out_frac_bits: int = 15
+    fault_hook: Optional[Callable[[np.ndarray], np.ndarray]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def out_fmt(self) -> QFormat:
@@ -82,6 +89,8 @@ class ExpUnit:
         # flush to zero exactly like the hardware barrel shifter.
         shift = np.minimum(-int_part, 63).astype(np.int64)
         result = mantissa >> shift
+        if self.fault_hook is not None:
+            result = np.asarray(self.fault_hook(result), dtype=np.int64)
         return self.out_fmt.saturate(result)
 
     def evaluate(self, x: np.ndarray) -> np.ndarray:

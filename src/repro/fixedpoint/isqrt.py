@@ -11,6 +11,7 @@ needed at runtime.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -35,11 +36,18 @@ class InverseSqrtLUT:
         in_fmt: Format of the positive input codes (variance + epsilon).
         out_fmt: Format of the reciprocal-sqrt output codes.
         entries: Table depth per bank (two banks: even / odd exponent).
+        fault_hook: Optional fault-injection hook applied to the raw
+            table output codes before saturation (``repro.reliability``
+            installs LUT-bit upsets here); ``None`` models a healthy
+            unit.
     """
 
     in_fmt: QFormat = QFormat(int_bits=12, frac_bits=12)
     out_fmt: QFormat = QFormat(int_bits=8, frac_bits=14)
     entries: int = 256
+    fault_hook: Optional[Callable[[np.ndarray], np.ndarray]] = field(
+        default=None, compare=False, repr=False
+    )
     _tables: tuple = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -85,6 +93,8 @@ class InverseSqrtLUT:
             base >> np.minimum(np.maximum(half_exp, 0), 62),
             base << np.minimum(np.maximum(-half_exp, 0), 62),
         )
+        if self.fault_hook is not None:
+            result = np.asarray(self.fault_hook(result), dtype=np.int64)
         return self.out_fmt.saturate(result)
 
     def evaluate(self, x: np.ndarray) -> np.ndarray:

@@ -156,7 +156,6 @@ def train_classifier(
 ) -> List[float]:
     """Train an :class:`EncoderOnlyClassifier`; returns the loss trace."""
     from ..transformer.optim import Adam, cross_entropy
-    from ..transformer.tensor import Tensor
 
     if epochs <= 0:
         raise ShapeError("epochs must be positive")

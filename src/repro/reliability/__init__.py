@@ -1,0 +1,56 @@
+"""Fault injection, ABFT checksum protection, and campaign tooling.
+
+The dependability layer over the accelerator model: seeded fault
+models for every hardware site (:mod:`~repro.reliability.faults`),
+checksum-augmented GEMM with locate-and-correct semantics for the
+s x 64 tile geometry (:mod:`~repro.reliability.abft`), and a campaign
+runner sweeping site x mode x rate
+(:mod:`~repro.reliability.campaign`).  The schedule-level cost of
+protection is priced by ``AcceleratorConfig.abft_protected`` through
+the scheduler and analytic cycle model; the serving simulator consumes
+the same knobs for retry-on-detected-fault behavior.
+"""
+
+from .abft import (
+    ABFTOverhead,
+    ABFTPassResult,
+    ChecksumGemm,
+    abft_cycle_overhead,
+)
+from .campaign import (
+    DEFAULT_SITES,
+    SITE_MODES,
+    CampaignResult,
+    CampaignSpec,
+    ResBlockImpact,
+    TrialOutcome,
+    resblock_fault_impact,
+    run_campaign,
+)
+from .faults import (
+    FAULT_MODES,
+    FAULT_SITES,
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
+)
+
+__all__ = [
+    "ABFTOverhead",
+    "ABFTPassResult",
+    "CampaignResult",
+    "CampaignSpec",
+    "ChecksumGemm",
+    "DEFAULT_SITES",
+    "FAULT_MODES",
+    "FAULT_SITES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
+    "ResBlockImpact",
+    "SITE_MODES",
+    "TrialOutcome",
+    "abft_cycle_overhead",
+    "resblock_fault_impact",
+    "run_campaign",
+]

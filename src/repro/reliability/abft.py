@@ -1,0 +1,213 @@
+"""Algorithm-based fault tolerance (ABFT) for the s x 64 tile geometry.
+
+Huang & Abraham's checksum scheme specialized to the paper's
+output-stationary pass: the activation tile ``A (s x k)`` gains a
+checksum row (its column sums) and each 64-wide weight block
+``B (k x n)`` gains a checksum column (its row sums), so one augmented
+pass computes::
+
+    [ A ]           [           |      ]      [  C     | C r_B ]
+    [---] @ [ B | B 1 ]   =    [  A B  | A B 1 ]  =  [--------+-------]
+    [1^T A]                     [1^T AB | ...  ]      [ 1^T C  |  ...  ]
+
+On drain, every body column must sum to its checksum-row entry and
+every body row to its checksum-column entry.  Integer arithmetic makes
+the check exact: any single corrupted body element fires one row and
+one column syndrome, which *locate* the element, and the syndrome value
+*corrects* it.  The guard structures are one extra PE row and column
+(the paper's array becomes ``(s+1) x 65``); the comparator tail and the
+drain the check exposes are priced into the schedule by
+``AcceleratorConfig.abft_protected`` / ``abft_check_cycles``
+(see :mod:`repro.core.scheduler` and :mod:`repro.core.cycle_model`).
+
+Coverage caveat (asserted by the tests): detection is guaranteed only
+while no accumulator saturates — at the paper's operating point
+(INT8 operands, k <= 4096, 32-bit accumulators) the checksum row's
+worst case ``s * 127 * 127 * k`` can exceed 2^31 for s = 64, k > 4096,
+so :meth:`ChecksumGemm.run` refuses shapes where the guard could clip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import AcceleratorConfig, ModelConfig
+from ..core.cycle_model import ffn_cycle_breakdown, mha_cycle_breakdown
+from ..core.systolic_array import SystolicArray
+from ..errors import ReliabilityError
+
+
+@dataclass(frozen=True)
+class ABFTPassResult:
+    """Outcome of one checksum-protected pass.
+
+    Attributes:
+        product: The body product, corrected if a single-element error
+            was located (else as drained).
+        detected: Any syndrome fired.
+        corrected: A single body element was located and repaired (or
+            the error lay in a guard structure, leaving the body clean).
+        row_syndromes: Per-column mismatch of the checksum row (n,).
+        col_syndromes: Per-row mismatch of the checksum column (s,).
+        fault_location: ``(row, col)`` of the corrected body element,
+            ``None`` if nothing fired or the error was in a guard cell.
+        compute_cycles: SA compute cycles of the augmented pass.
+    """
+
+    product: np.ndarray
+    detected: bool
+    corrected: bool
+    row_syndromes: np.ndarray
+    col_syndromes: np.ndarray
+    fault_location: Optional[Tuple[int, int]]
+    compute_cycles: int
+
+
+class ChecksumGemm:
+    """Checksum-augmented GEMM over an ``(s+1) x (cols+1)`` guard array.
+
+    Attributes:
+        rows / cols: Body geometry (the unprotected pass shape).
+        sa: The underlying :class:`~repro.core.SystolicArray`, one row
+            and one column larger than the body.  Faults are injected
+            here — guard cells are legal fault sites too.
+    """
+
+    def __init__(self, rows: int, cols: int = 64, acc_bits: int = 32) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ReliabilityError("ABFT geometry must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.acc_bits = acc_bits
+        self.sa = SystolicArray(rows + 1, cols + 1, acc_bits=acc_bits)
+
+    def _check_headroom(self, a: np.ndarray, b: np.ndarray) -> None:
+        """Refuse shapes where a healthy checksum could saturate."""
+        k = a.shape[1]
+        bound = (
+            int(np.abs(a).max(initial=0)) * int(np.abs(b).max(initial=0))
+            * k * (max(a.shape[0], b.shape[1]) + 1)
+        )
+        if bound >= 1 << (self.acc_bits - 1):
+            raise ReliabilityError(
+                "checksum accumulators could saturate for this shape; "
+                "ABFT detection would not be guaranteed"
+            )
+
+    def run(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        stream_a: Optional[np.ndarray] = None,
+        stream_b: Optional[np.ndarray] = None,
+    ) -> ABFTPassResult:
+        """One protected pass ``A (rows x k) @ B (k x n)``, ``n <= cols``.
+
+        ``a`` / ``b`` are the operands *at checksum-generation time*
+        (tile load); ``stream_a`` / ``stream_b``, when given, are the
+        possibly-corrupted words actually streamed into the array —
+        modelling a BRAM upset during residence, after the checksums
+        were computed.  Defaults stream the clean operands.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ReliabilityError(
+                f"bad GEMM shapes {a.shape} @ {b.shape}"
+            )
+        if a.shape[0] != self.rows or b.shape[1] > self.cols:
+            raise ReliabilityError(
+                f"GEMM {a.shape} @ {b.shape} does not fit the "
+                f"{self.rows} x {self.cols} ABFT body"
+            )
+        self._check_headroom(a, b)
+        body_a = a if stream_a is None else np.asarray(stream_a, np.int64)
+        body_b = b if stream_b is None else np.asarray(stream_b, np.int64)
+        if body_a.shape != a.shape or body_b.shape != b.shape:
+            raise ReliabilityError("streamed operand shape mismatch")
+        a_aug = np.vstack([body_a, a.sum(axis=0, keepdims=True)])
+        b_aug = np.hstack([body_b, b.sum(axis=1, keepdims=True)])
+        result = self.sa.run_pass(a_aug, b_aug)
+        n = b.shape[1]
+        body = result.product[: self.rows, :n].copy()
+        checksum_row = result.product[self.rows, :n]
+        checksum_col = result.product[: self.rows, n]
+        row_syndromes = checksum_row - body.sum(axis=0)
+        col_syndromes = checksum_col - body.sum(axis=1)
+        row_hits = np.flatnonzero(row_syndromes)
+        col_hits = np.flatnonzero(col_syndromes)
+        detected = bool(row_hits.size or col_hits.size)
+        corrected = False
+        location: Optional[Tuple[int, int]] = None
+        if detected:
+            if row_hits.size == 1 and col_hits.size == 1:
+                # One row and one column syndrome: a single body element
+                # at their intersection, off by the (equal) syndromes.
+                i, j = int(col_hits[0]), int(row_hits[0])
+                if row_syndromes[j] == col_syndromes[i]:
+                    body[i, j] += row_syndromes[j]
+                    corrected = True
+                    location = (i, j)
+            elif (row_hits.size + col_hits.size) == 1:
+                # Exactly one syndrome in one family: the error sits in
+                # that guard cell itself; the body is intact.  Multiple
+                # hits in a single family (e.g. a corrupted operand word
+                # fanning out along a row or column) are detected but
+                # not correctable.
+                corrected = True
+        return ABFTPassResult(
+            product=body,
+            detected=detected,
+            corrected=corrected,
+            row_syndromes=row_syndromes,
+            col_syndromes=col_syndromes,
+            fault_location=location,
+            compute_cycles=result.compute_cycles,
+        )
+
+
+@dataclass(frozen=True)
+class ABFTOverhead:
+    """Schedule-level cost of turning ABFT on at one operating point.
+
+    Attributes:
+        baseline_cycles / protected_cycles: MHA+FFN ResBlock totals
+            without / with protection.
+        overhead_cycles: Their difference.
+        overhead_fraction: ``overhead_cycles / baseline_cycles``.
+    """
+
+    baseline_cycles: int
+    protected_cycles: int
+
+    @property
+    def overhead_cycles(self) -> int:
+        return self.protected_cycles - self.baseline_cycles
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.overhead_cycles / self.baseline_cycles
+
+
+def abft_cycle_overhead(
+    model: ModelConfig, acc: AcceleratorConfig
+) -> ABFTOverhead:
+    """Price ABFT at an operating point via the analytic cycle model.
+
+    Compares one full ResBlock pair (MHA + FFN) with
+    ``abft_protected`` off and on; the scheduler property tests
+    guarantee the event timeline matches these totals exactly.
+    """
+    off = acc.with_updates(abft_protected=False)
+    on = acc.with_updates(abft_protected=True)
+    baseline = (mha_cycle_breakdown(model, off).total_cycles
+                + ffn_cycle_breakdown(model, off).total_cycles)
+    protected = (mha_cycle_breakdown(model, on).total_cycles
+                 + ffn_cycle_breakdown(model, on).total_cycles)
+    return ABFTOverhead(
+        baseline_cycles=baseline, protected_cycles=protected
+    )

@@ -1,0 +1,339 @@
+"""Fault-injection campaign runner.
+
+Sweeps fault site x mode x rate over many seeded trials and reports,
+per cell of the sweep, how often faults were **detected**, **corrected**
+and how often they caused **silent corruption**, along with the output
+error magnitude against the golden (fault-free) result.  SA-datapath
+and memory trials run through :class:`~repro.reliability.ChecksumGemm`
+when ABFT is on; EXP/iSQRT trials run through the fixed-point units'
+``fault_hook`` and are *outside* ABFT's GEMM scope — the campaign
+reports them as uncovered rather than pretending otherwise.
+
+Determinism: one :class:`~repro.reliability.FaultInjector` generator
+drives operands, rate draws, and fault placement, so a fixed
+``CampaignSpec.seed`` replays an identical campaign (pinned by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.systolic_array import SystolicArray
+from ..errors import ReliabilityError
+from ..fixedpoint import ExpUnit, InverseSqrtLUT
+from .abft import ChecksumGemm
+from .faults import FaultInjector, FaultSpec
+
+#: Modes each site can physically exhibit.
+SITE_MODES: Dict[str, Tuple[str, ...]] = {
+    "sa_accumulator": ("bit_flip", "multi_bit_flip"),
+    "sa_multiplier": ("stuck_at",),
+    "weight_memory": ("bit_flip", "multi_bit_flip", "stuck_at"),
+    "data_memory": ("bit_flip", "multi_bit_flip", "stuck_at"),
+    "bias_memory": ("bit_flip",),
+    "exp_unit": ("bit_flip", "multi_bit_flip"),
+    "isqrt_lut": ("bit_flip", "multi_bit_flip"),
+}
+
+DEFAULT_SITES = tuple(SITE_MODES)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign = sites x modes x rates x trials.
+
+    Attributes:
+        seq_len: Body rows of the GEMM tile (the SA's ``s``).
+        depth: GEMM inner dimension ``k``.
+        cols: Body columns (64 in the paper's geometry).
+        trials: Trials per (site, mode, rate) cell.
+        rates: Per-pass fault probabilities to sweep.
+        sites: Fault sites to sweep (subset of :data:`SITE_MODES`).
+        abft: Protect GEMM trials with checksums.
+        seed: Master seed; fixes the whole campaign.
+    """
+
+    seq_len: int = 64
+    depth: int = 64
+    cols: int = 64
+    trials: int = 32
+    rates: Tuple[float, ...] = (1.0,)
+    sites: Tuple[str, ...] = DEFAULT_SITES
+    abft: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.seq_len <= 0 or self.depth <= 0 or self.cols <= 0:
+            raise ReliabilityError("campaign geometry must be positive")
+        if self.trials <= 0:
+            raise ReliabilityError("trials must be positive")
+        for site in self.sites:
+            if site not in SITE_MODES:
+                raise ReliabilityError(f"unknown fault site {site!r}")
+        for rate in self.rates:
+            if not 0.0 <= rate <= 1.0:
+                raise ReliabilityError(f"rate {rate} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One injection trial.
+
+    Attributes:
+        site / mode / rate: The sweep cell.
+        injected: The rate draw actually fired a fault this trial.
+        detected: A checker (ABFT syndrome) flagged the fault.
+        corrected: The output was repaired to the golden value.
+        silent: The output differs from golden and nothing flagged it.
+        max_abs_error: Output error magnitude vs. the golden result
+            (integer LSBs for GEMM sites, dequantized units for
+            EXP/iSQRT, bias units for the bias site).
+    """
+
+    site: str
+    mode: str
+    rate: float
+    injected: bool
+    detected: bool
+    corrected: bool
+    silent: bool
+    max_abs_error: float
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All trial outcomes plus aggregate views."""
+
+    spec: CampaignSpec
+    outcomes: Tuple[TrialOutcome, ...] = field(default_factory=tuple)
+
+    def _cell(self, **match) -> List[TrialOutcome]:
+        return [
+            o for o in self.outcomes
+            if all(getattr(o, k) == v for k, v in match.items())
+        ]
+
+    def detection_rate(self, **match) -> float:
+        """Detected fraction of *injected* trials matching ``match``."""
+        hit = [o for o in self._cell(**match) if o.injected]
+        if not hit:
+            return 0.0
+        return sum(o.detected for o in hit) / len(hit)
+
+    def correction_rate(self, **match) -> float:
+        hit = [o for o in self._cell(**match) if o.injected]
+        if not hit:
+            return 0.0
+        return sum(o.corrected for o in hit) / len(hit)
+
+    def silent_rate(self, **match) -> float:
+        hit = [o for o in self._cell(**match) if o.injected]
+        if not hit:
+            return 0.0
+        return sum(o.silent for o in hit) / len(hit)
+
+    def summary_rows(self) -> List[tuple]:
+        """(site, mode, rate, injected, detect%, correct%, silent%,
+        max_err) per sweep cell, for the CLI table."""
+        rows = []
+        seen = []
+        for o in self.outcomes:
+            key = (o.site, o.mode, o.rate)
+            if key not in seen:
+                seen.append(key)
+        for site, mode, rate in seen:
+            cell = self._cell(site=site, mode=mode, rate=rate)
+            injected = [o for o in cell if o.injected]
+            rows.append((
+                site, mode, rate, len(injected),
+                self.detection_rate(site=site, mode=mode, rate=rate),
+                self.correction_rate(site=site, mode=mode, rate=rate),
+                self.silent_rate(site=site, mode=mode, rate=rate),
+                max((o.max_abs_error for o in cell), default=0.0),
+            ))
+        return rows
+
+
+def _gemm_trial(
+    spec: CampaignSpec,
+    site: str,
+    mode: str,
+    injector: FaultInjector,
+    inject: bool,
+) -> Tuple[bool, bool, bool, float]:
+    """One SA / memory trial; returns (detected, corrected, silent, err)."""
+    rng = injector.rng
+    a = rng.integers(-127, 128, size=(spec.seq_len, spec.depth))
+    b = rng.integers(-127, 128, size=(spec.depth, spec.cols))
+    golden = a @ b
+    fault_spec = FaultSpec(site=site, mode=mode)
+    stream_a = stream_b = None
+    if spec.abft:
+        gemm = ChecksumGemm(spec.seq_len, spec.cols)
+        if site in ("sa_accumulator", "sa_multiplier"):
+            if inject:
+                injector.inject_sa(gemm.sa, fault_spec)
+        elif inject:
+            if site == "weight_memory":
+                stream_b, _ = injector.corrupt_operand(b, fault_spec)
+            else:
+                stream_a, _ = injector.corrupt_operand(a, fault_spec)
+        result = gemm.run(a, b, stream_a=stream_a, stream_b=stream_b)
+        error = float(np.max(np.abs(result.product - golden)))
+        detected = result.detected
+        corrected = result.corrected and error == 0.0
+        silent = error > 0.0 and not detected
+        return detected, corrected, silent, error
+    sa = SystolicArray(spec.seq_len, spec.cols)
+    if inject:
+        if site in ("sa_accumulator", "sa_multiplier"):
+            injector.inject_sa(sa, fault_spec)
+        elif site == "weight_memory":
+            b, _ = injector.corrupt_operand(b, fault_spec)
+        else:
+            a, _ = injector.corrupt_operand(a, fault_spec)
+    product = sa.run_pass(a, b).product
+    error = float(np.max(np.abs(product - golden)))
+    return False, False, error > 0.0, error
+
+
+def _unit_trial(
+    spec: CampaignSpec,
+    site: str,
+    mode: str,
+    injector: FaultInjector,
+    inject: bool,
+) -> Tuple[bool, bool, bool, float]:
+    """One EXP / iSQRT trial (outside ABFT's GEMM scope)."""
+    rng = injector.rng
+    fault_spec = FaultSpec(site=site, mode=mode)
+    if site == "exp_unit":
+        healthy = ExpUnit()
+        x = rng.uniform(-6.0, 0.0, size=spec.cols)
+        golden = healthy.evaluate(x)
+        if inject:
+            hook, _ = injector.unit_hook(
+                fault_spec, healthy.out_fmt.total_bits
+            )
+            unit = ExpUnit(fault_hook=hook)
+        else:
+            unit = healthy
+        faulty = unit.evaluate(x)
+    else:
+        healthy = InverseSqrtLUT()
+        x = rng.uniform(0.05, 100.0, size=spec.cols)
+        golden = healthy.evaluate(x)
+        if inject:
+            hook, _ = injector.unit_hook(
+                fault_spec, healthy.out_fmt.total_bits
+            )
+            unit = InverseSqrtLUT(fault_hook=hook)
+        else:
+            unit = healthy
+        faulty = unit.evaluate(x)
+    error = float(np.max(np.abs(faulty - golden)))
+    return False, False, error > 0.0, error
+
+
+def _bias_trial(
+    spec: CampaignSpec, injector: FaultInjector, inject: bool
+) -> Tuple[bool, bool, bool, float]:
+    bias = injector.rng.normal(size=spec.cols)
+    if not inject:
+        return False, False, False, 0.0
+    corrupted, _ = injector.corrupt_bias(
+        bias, FaultSpec(site="bias_memory")
+    )
+    error = float(np.max(np.abs(corrupted - bias)))
+    return False, False, error > 0.0, error
+
+
+def run_campaign(spec: CampaignSpec) -> CampaignResult:
+    """Execute the full site x mode x rate sweep."""
+    injector = FaultInjector(spec.seed)
+    outcomes: List[TrialOutcome] = []
+    for site in spec.sites:
+        for mode in SITE_MODES[site]:
+            for rate in spec.rates:
+                for _ in range(spec.trials):
+                    inject = bool(injector.rng.random() < rate)
+                    if site in ("exp_unit", "isqrt_lut"):
+                        out = _unit_trial(spec, site, mode, injector, inject)
+                    elif site == "bias_memory":
+                        out = _bias_trial(spec, injector, inject)
+                    else:
+                        out = _gemm_trial(spec, site, mode, injector, inject)
+                    detected, corrected, silent, error = out
+                    outcomes.append(TrialOutcome(
+                        site=site, mode=mode, rate=rate, injected=inject,
+                        detected=detected, corrected=corrected,
+                        silent=silent, max_abs_error=error,
+                    ))
+    return CampaignResult(spec=spec, outcomes=tuple(outcomes))
+
+
+@dataclass(frozen=True)
+class ResBlockImpact:
+    """End-to-end fault impact on one quantized MHA ResBlock.
+
+    Attributes:
+        max_abs_error / mean_abs_error: Output error of the faulty run
+            against the golden quantized accelerator output.
+        rows_affected: Output rows that moved (LayerNorm mixes within a
+            row, so pre-norm corruption stays row-local).
+    """
+
+    max_abs_error: float
+    mean_abs_error: float
+    rows_affected: int
+
+
+def resblock_fault_impact(
+    seed: int = 0, fault_mode: str = "stuck_zero", seq_len: int = 12
+) -> ResBlockImpact:
+    """Golden-vs-faulty comparison through a full quantized MHA ResBlock.
+
+    Builds a small random Transformer, calibrates its quantized twin,
+    runs one MHA ResBlock on the cycle-accurate array healthy and with
+    a single faulty PE, and measures the output divergence — the
+    "output-error magnitude against the golden quantized model" view of
+    a fault, complementing the GEMM-tile campaign statistics.
+    """
+    from ..config import AcceleratorConfig, ModelConfig
+    from ..core import TransformerAccelerator
+    from ..quant import QuantizedTransformer
+    from ..transformer import Transformer
+
+    rng = np.random.default_rng(seed)
+    model_cfg = ModelConfig(
+        "fault-impact", d_model=128, d_ff=512, num_heads=2,
+        num_encoder_layers=1, num_decoder_layers=1,
+        max_seq_len=max(16, seq_len), dropout=0.0,
+    )
+    model = Transformer(
+        model_cfg, src_vocab_size=30, tgt_vocab_size=30, rng=rng
+    ).eval()
+    quant = QuantizedTransformer(model)
+    src = rng.integers(1, 30, size=(2, seq_len))
+    tgt = rng.integers(1, 30, size=(2, seq_len))
+    quant.calibrate([(src, tgt, np.array([seq_len, seq_len]))])
+    hw = TransformerAccelerator(
+        model_cfg, AcceleratorConfig(seq_len=seq_len),
+        exact_nonlinear=True, cycle_accurate_sa=True,
+    )
+    hw.load_mha(quant.enc_mha[0])
+    x = rng.normal(size=(seq_len, model_cfg.d_model))
+    golden = hw.run_mha(x).output
+    row = int(rng.integers(0, min(seq_len, hw.sa.rows)))
+    col = int(rng.integers(0, hw.sa.cols))
+    hw.sa.inject_fault(row, col, fault_mode)
+    faulty = hw.run_mha(x).output
+    diff = np.abs(faulty - golden)
+    return ResBlockImpact(
+        max_abs_error=float(diff.max()),
+        mean_abs_error=float(diff.mean()),
+        rows_affected=int(np.sum(diff.max(axis=1) > 0)),
+    )

@@ -1,0 +1,249 @@
+"""Seeded, deterministic fault models for the accelerator.
+
+A fault is described by a :class:`FaultSpec` (*where* it can strike and
+*how*) and realized as a :class:`FaultEvent` (the concrete coordinates,
+bits, and stuck polarity drawn from a seeded generator).  The
+:class:`FaultInjector` owns the generator, so a campaign replayed with
+the same seed injects byte-for-byte identical faults — the property the
+campaign determinism tests pin down.
+
+Fault sites (ISSUE terminology → hardware structure):
+
+* ``sa_accumulator`` — a PE accumulator register in the systolic array
+  (:meth:`~repro.core.SystolicArray.inject_fault`).
+* ``sa_multiplier`` — a PE multiplier output stuck at zero / max.
+* ``exp_unit`` — the piecewise-linear EXP unit's output register
+  (:attr:`~repro.fixedpoint.ExpUnit.fault_hook`).
+* ``isqrt_lut`` — the LayerNorm inverse-sqrt LUT output
+  (:attr:`~repro.fixedpoint.InverseSqrtLUT.fault_hook`).
+* ``weight_memory`` / ``data_memory`` — a BRAM word upset
+  (:meth:`~repro.core.WeightMemory.flip_tile_bit` /
+  :meth:`~repro.core.MemoryBank.flip_stored_bit`).
+* ``bias_memory`` — a bias-word upset (value poke, biases are stored
+  dequantized).
+
+Fault modes:
+
+* ``bit_flip`` — one inverted bit (single-event upset).
+* ``multi_bit_flip`` — ``num_bits`` upsets from one strike (spatially
+  adjacent cells, as in a multi-cell upset).
+* ``stuck_at`` — a persistent defect; for SA sites the multiplier
+  output sticks at zero or the maximum product (polarity drawn from the
+  seeded generator).
+
+Transient faults self-clear after one pass; persistent faults stay
+until explicitly cleared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..core.pe import flip_bit
+from ..errors import ReliabilityError
+
+FAULT_SITES = (
+    "sa_accumulator",
+    "sa_multiplier",
+    "exp_unit",
+    "isqrt_lut",
+    "weight_memory",
+    "data_memory",
+    "bias_memory",
+)
+
+FAULT_MODES = ("bit_flip", "multi_bit_flip", "stuck_at")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What kind of fault to draw.
+
+    Attributes:
+        site: One of :data:`FAULT_SITES`.
+        mode: One of :data:`FAULT_MODES`.
+        num_bits: Upset count for ``multi_bit_flip`` (ignored otherwise).
+        persistent: Persistent faults survive across passes; transient
+            ones self-clear after a single pass.
+    """
+
+    site: str
+    mode: str = "bit_flip"
+    num_bits: int = 2
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ReliabilityError(f"unknown fault site {self.site!r}")
+        if self.mode not in FAULT_MODES:
+            raise ReliabilityError(f"unknown fault mode {self.mode!r}")
+        if self.num_bits < 1:
+            raise ReliabilityError("num_bits must be at least 1")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A concrete realized fault.
+
+    Attributes:
+        spec: The spec the event was drawn from.
+        coords: Per-upset coordinates — ``(row, col)`` for SA sites,
+            ``(flat_index,)`` for unit/memory sites.
+        bits: Per-upset bit index (parallel to ``coords``).
+        stuck_mode: ``"stuck_zero"`` / ``"stuck_max"`` for ``stuck_at``
+            SA faults, else ``""``.
+    """
+
+    spec: FaultSpec
+    coords: Tuple[tuple, ...]
+    bits: Tuple[int, ...]
+    stuck_mode: str = ""
+
+
+def _draw_distinct_cells(
+    rng: np.random.Generator, rows: int, cols: int, count: int
+) -> Tuple[tuple, ...]:
+    """Draw ``count`` distinct PE coordinates."""
+    count = min(count, rows * cols)
+    flat = rng.choice(rows * cols, size=count, replace=False)
+    return tuple((int(f) // cols, int(f) % cols) for f in np.atleast_1d(flat))
+
+
+class FaultInjector:
+    """Seeded source of fault events with per-site appliers.
+
+    One injector = one deterministic fault stream: every draw consumes
+    entropy from the same :class:`numpy.random.Generator`, so a fixed
+    seed reproduces an entire campaign exactly.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Systolic-array sites
+    # ------------------------------------------------------------------
+    def inject_sa(self, sa, spec: FaultSpec) -> FaultEvent:
+        """Draw a fault for ``sa`` (a :class:`~repro.core.SystolicArray`)
+        and inject it.  Returns the realized event."""
+        if spec.site not in ("sa_accumulator", "sa_multiplier"):
+            raise ReliabilityError(f"{spec.site!r} is not an SA site")
+        upsets = spec.num_bits if spec.mode == "multi_bit_flip" else 1
+        coords = _draw_distinct_cells(self.rng, sa.rows, sa.cols, upsets)
+        transient = not spec.persistent
+        if spec.mode == "stuck_at" or spec.site == "sa_multiplier":
+            stuck = "stuck_zero" if self.rng.random() < 0.5 else "stuck_max"
+            for row, col in coords:
+                sa.inject_fault(row, col, stuck, transient=transient)
+            return FaultEvent(spec, coords, (0,) * len(coords), stuck)
+        bits = tuple(
+            int(b) for b in self.rng.integers(0, sa.acc_bits, size=len(coords))
+        )
+        for (row, col), bit in zip(coords, bits):
+            sa.inject_fault(
+                row, col, "bit_flip", bit=bit, transient=transient
+            )
+        return FaultEvent(spec, coords, bits)
+
+    # ------------------------------------------------------------------
+    # Fixed-point unit sites (EXP / iSQRT fault hooks)
+    # ------------------------------------------------------------------
+    def unit_hook(
+        self, spec: FaultSpec, word_bits: int
+    ) -> Tuple[Callable[[np.ndarray], np.ndarray], list]:
+        """Build a ``fault_hook`` for an EXP/iSQRT unit.
+
+        The hook upsets one (or ``num_bits``) random output element(s)
+        per call; the coordinates are drawn lazily because the hook does
+        not know the output shape until invoked.  Returns
+        ``(hook, events)`` where ``events`` fills with one
+        :class:`FaultEvent` per invocation.
+        """
+        if spec.site not in ("exp_unit", "isqrt_lut"):
+            raise ReliabilityError(f"{spec.site!r} is not a unit site")
+        if spec.mode == "stuck_at":
+            raise ReliabilityError(
+                "stuck_at is modelled for SA/memory sites only"
+            )
+        upsets = spec.num_bits if spec.mode == "multi_bit_flip" else 1
+        events: list = []
+        rng = self.rng
+
+        def hook(codes: np.ndarray) -> np.ndarray:
+            out = np.array(codes, dtype=np.int64)
+            flat = out.reshape(-1)
+            count = min(upsets, flat.size)
+            idx = rng.choice(flat.size, size=count, replace=False)
+            bits = rng.integers(0, word_bits, size=count)
+            for i, bit in zip(np.atleast_1d(idx), np.atleast_1d(bits)):
+                flat[i] = flip_bit(int(flat[i]), int(bit), word_bits)
+            events.append(FaultEvent(
+                spec,
+                tuple((int(i),) for i in np.atleast_1d(idx)),
+                tuple(int(b) for b in np.atleast_1d(bits)),
+            ))
+            return out
+
+        return hook, events
+
+    # ------------------------------------------------------------------
+    # Memory sites
+    # ------------------------------------------------------------------
+    def corrupt_operand(
+        self, operand: np.ndarray, spec: FaultSpec, word_bits: int = 8
+    ) -> Tuple[np.ndarray, FaultEvent]:
+        """Upset bits of an in-memory operand tile (weight or data word).
+
+        Models an SEU striking a BRAM word while the tile is resident —
+        i.e. *after* any load-time checksum was computed, which is the
+        window ABFT covers.  Returns ``(corrupted_copy, event)``.
+        """
+        if spec.site not in ("weight_memory", "data_memory"):
+            raise ReliabilityError(f"{spec.site!r} is not an operand site")
+        out = np.array(operand, dtype=np.int64)
+        flat = out.reshape(-1)
+        upsets = spec.num_bits if spec.mode == "multi_bit_flip" else 1
+        upsets = min(upsets, flat.size)
+        idx = self.rng.choice(flat.size, size=upsets, replace=False)
+        if spec.mode == "stuck_at":
+            stuck = "stuck_zero" if self.rng.random() < 0.5 else "stuck_max"
+            value = 0 if stuck == "stuck_zero" else (1 << (word_bits - 1)) - 1
+            for i in np.atleast_1d(idx):
+                flat[i] = value
+            event = FaultEvent(
+                spec,
+                tuple((int(i),) for i in np.atleast_1d(idx)),
+                (0,) * upsets,
+                stuck,
+            )
+            return out, event
+        bits = self.rng.integers(0, word_bits, size=upsets)
+        for i, bit in zip(np.atleast_1d(idx), np.atleast_1d(bits)):
+            flat[i] = flip_bit(int(flat[i]), int(bit), word_bits)
+        event = FaultEvent(
+            spec,
+            tuple((int(i),) for i in np.atleast_1d(idx)),
+            tuple(int(b) for b in np.atleast_1d(bits)),
+        )
+        return out, event
+
+    def corrupt_bias(
+        self, bias: np.ndarray, spec: FaultSpec
+    ) -> Tuple[np.ndarray, FaultEvent]:
+        """Upset one bias element (biases are stored dequantized, so the
+        upset flips a bit of the element's rounded 32-bit fixed-point
+        image at 16 fractional bits)."""
+        if spec.site != "bias_memory":
+            raise ReliabilityError(f"{spec.site!r} is not the bias site")
+        out = np.array(bias, dtype=np.float64)
+        flat = out.reshape(-1)
+        idx = int(self.rng.integers(0, flat.size))
+        bit = int(self.rng.integers(0, 32))
+        code = int(np.round(flat[idx] * (1 << 16)))
+        code = int(np.clip(code, -(1 << 31), (1 << 31) - 1))
+        flat[idx] = flip_bit(code, bit, 32) / (1 << 16)
+        event = FaultEvent(spec, ((idx,),), (bit,))
+        return out, event

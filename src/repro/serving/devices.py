@@ -16,7 +16,7 @@ Two placements over ``N`` simulated devices:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from ..config import AcceleratorConfig
 from ..errors import ServingError
@@ -33,14 +33,25 @@ class Device:
     busy_us: float = 0.0
     batches_run: int = 0
     tokens_served: int = 0
+    alive: bool = True
+    failed_at_us: Optional[float] = None
 
     def occupy(self, start_us: float, duration_us: float) -> None:
+        if not self.alive:
+            raise ServingError(
+                f"device {self.device_id} dispatched after failing"
+            )
         if start_us < self.free_at_us:
             raise ServingError(
                 f"device {self.device_id} double-booked at {start_us}"
             )
         self.free_at_us = start_us + duration_us
         self.busy_us += duration_us
+
+    def fail(self, at_us: float) -> None:
+        """Fail-stop: the device completes nothing after ``at_us``."""
+        self.alive = False
+        self.failed_at_us = at_us
 
 
 @dataclass
@@ -51,6 +62,7 @@ class DispatchOutcome:
     start_us: float
     completion_us: float
     spans: List[TraceSpan] = field(default_factory=list)
+    device_ids: List[int] = field(default_factory=list)
 
 
 class WorkerPool:
@@ -87,10 +99,40 @@ class WorkerPool:
     def num_devices(self) -> int:
         return len(self.devices)
 
+    @property
+    def alive_devices(self) -> List[Device]:
+        return [d for d in self.devices if d.alive]
+
+    @property
+    def device_failures(self) -> int:
+        return sum(not d.alive for d in self.devices)
+
+    @property
+    def pool_alive(self) -> bool:
+        """Whether the pool can still serve batches at all.
+
+        A replicated pool degrades replica by replica and dies only when
+        every device has failed; a layer-sharded pipeline dies with its
+        first failed stage (that stage's resident weights are gone).
+        """
+        if self.placement == "replicate":
+            return bool(self.alive_devices)
+        return all(d.alive for d in self.devices)
+
+    def fail_device(self, device_id: int, at_us: float) -> None:
+        """Fail-stop ``device_id`` at ``at_us`` (no effect if dead)."""
+        if not 0 <= device_id < self.num_devices:
+            raise ServingError(f"no device {device_id} in the pool")
+        device = self.devices[device_id]
+        if device.alive:
+            device.fail(at_us)
+
     def next_free_us(self) -> float:
         """Earliest time the pool can accept another batch."""
+        if not self.pool_alive:
+            return float("inf")
         if self.placement == "replicate":
-            return min(d.free_at_us for d in self.devices)
+            return min(d.free_at_us for d in self.alive_devices)
         return self.devices[0].free_at_us
 
     def can_accept(self, now_us: float) -> bool:
@@ -104,8 +146,13 @@ class WorkerPool:
             "tokens": batch.total_tokens,
             "occupancy": round(batch.occupancy(self.acc.seq_len), 4),
         }
+        if not self.pool_alive:
+            raise ServingError("dispatch to a dead pool")
         if self.placement == "replicate":
-            device = min(self.devices, key=lambda d: (d.free_at_us, d.device_id))
+            device = min(
+                self.alive_devices,
+                key=lambda d: (d.free_at_us, d.device_id),
+            )
             start = max(now_us, device.free_at_us)
             duration = self.acc.cycles_to_us(self.cost.run_cycles)
             device.occupy(start, duration)
@@ -118,7 +165,10 @@ class WorkerPool:
                 args={**args, "cycles": self.cost.run_cycles,
                       "reload_cycles": self.cost.reload_cycles},
             )
-            return DispatchOutcome(batch, start, start + duration, [span])
+            return DispatchOutcome(
+                batch, start, start + duration, [span],
+                device_ids=[device.device_id],
+            )
         # layer_shard: stage i runs on device i after stage i-1 drains.
         spans = []
         ready = now_us
@@ -137,7 +187,10 @@ class WorkerPool:
             if start0 is None:
                 start0 = start
             ready = start + stage_us
-        return DispatchOutcome(batch, start0, ready, spans)
+        return DispatchOutcome(
+            batch, start0, ready, spans,
+            device_ids=[d.device_id for d in self.devices],
+        )
 
     def busy_fraction(self, makespan_us: float) -> float:
         """Pool-wide fraction of device-time spent running batches."""

@@ -43,6 +43,12 @@ class ServingMetrics:
 
     Attributes:
         offered / completed / rejected / expired: Request counts.
+        failed: Requests whose batch kept faulting past the retry
+            budget, or that were stranded when the pool died.
+        retried: Batch re-runs triggered by ABFT-detected faults.
+        corrupted: Completed requests whose batch took an undetected
+            fault (silent corruption; only possible without ABFT).
+        device_failures: Devices that fail-stopped during the run.
         rejection_rate: ``(rejected + expired) / offered``.
         latency percentiles / mean: Arrival-to-completion, us (only
             completed requests; NaN when nothing completed).
@@ -78,6 +84,10 @@ class ServingMetrics:
     sa_utilization: float
     mean_queue_depth: float
     max_queue_depth: int
+    failed: int = 0
+    retried: int = 0
+    corrupted: int = 0
+    device_failures: int = 0
     extra: Dict = field(default_factory=dict)
 
     def as_rows(self) -> List[List[str]]:
@@ -87,6 +97,10 @@ class ServingMetrics:
             ["completed", str(self.completed)],
             ["rejected (full)", str(self.rejected)],
             ["expired (timeout)", str(self.expired)],
+            ["failed (fault)", str(self.failed)],
+            ["retried (fault)", str(self.retried)],
+            ["corrupted (silent)", str(self.corrupted)],
+            ["device failures", str(self.device_failures)],
             ["rejection rate", f"{self.rejection_rate:.1%}"],
             ["p50 latency", f"{self.latency_p50_us:.1f} us"],
             ["p95 latency", f"{self.latency_p95_us:.1f} us"],
@@ -117,6 +131,10 @@ def compute_metrics(
     run_cycles: int,
     num_devices: int,
     depth_samples: Sequence[Tuple[float, int]],
+    failed: int = 0,
+    retried: int = 0,
+    corrupted: int = 0,
+    device_failures: int = 0,
 ) -> ServingMetrics:
     """Fold raw simulation records into a :class:`ServingMetrics`."""
     completed = len(latencies_us)
@@ -156,4 +174,8 @@ def compute_metrics(
         sa_utilization=sa_util,
         mean_queue_depth=mean_queue_depth(depth_samples),
         max_queue_depth=max((d for _, d in depth_samples), default=0),
+        failed=failed,
+        retried=retried,
+        corrupted=corrupted,
+        device_failures=device_failures,
     )

@@ -8,10 +8,21 @@ weight-reload accounting.  The run is exactly reproducible from its
 :class:`~repro.config.ServingConfig` and emits:
 
 * a :class:`~repro.serving.metrics.ServingMetrics` summary
-  (p50/p95/p99 latency, throughput, SA utilization, rejection rate);
+  (p50/p95/p99 latency, throughput, SA utilization, rejection rate,
+  fault/failure counters);
 * per-request :class:`RequestRecord` outcomes;
 * Chrome trace spans/counters through the :mod:`repro.core.trace`
-  pathway (queue waits, per-device batch runs, queue-depth counter).
+  pathway (queue waits, per-device batch runs, queue-depth counter,
+  fault retries and device failures on a ``faults`` track).
+
+Fault-aware serving (``ServingConfig.batch_fault_rate`` /
+``device_failure_rate``): every batch run draws from an independent
+seeded fault stream.  With ``abft_protected`` accelerators a faulted
+batch is detected at drain and re-dispatched up to ``max_retries``
+times (then *failed*); without ABFT the fault completes silently and
+the requests are marked *corrupted*.  Devices fail-stop; a replicated
+pool degrades replica by replica, a layer-sharded pipeline dies with
+its first lost stage, and requests stranded on a dead pool fail.
 """
 
 from __future__ import annotations
@@ -20,6 +31,8 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..config import AcceleratorConfig, ModelConfig, ServingConfig
 from ..errors import ServingError
@@ -38,7 +51,12 @@ class RequestRecord:
     """Final outcome of one request.
 
     ``status`` is ``"completed"``, ``"rejected"`` (queue full on
-    arrival) or ``"expired"`` (timed out while queued).
+    arrival), ``"expired"`` (timed out while queued) or ``"failed"``
+    (the batch kept faulting past the retry budget, or the request was
+    stranded when the worker pool died).  A completed request whose
+    batch took an *undetected* fault additionally carries
+    ``corrupted=True`` — the silent-corruption outcome ABFT exists to
+    prevent.
     """
 
     request: Request
@@ -46,6 +64,7 @@ class RequestRecord:
     batch_id: Optional[int] = None
     dispatched_us: Optional[float] = None
     completed_us: Optional[float] = None
+    corrupted: bool = False
 
     @property
     def latency_us(self) -> Optional[float]:
@@ -118,6 +137,27 @@ def simulate_serving(
     batches: List[Batch] = []
     spans: List[TraceSpan] = []
     latencies: List[float] = []
+    # Independent deterministic fault stream: re-running with the same
+    # ServingConfig injects the same batch faults and device failures.
+    fault_rng = np.random.default_rng([serving.seed, 0x5EED])
+    retried = 0
+
+    def maybe_fail_device(outcome) -> None:
+        """Draw a fail-stop for the run that just finished."""
+        if serving.device_failure_rate <= 0.0:
+            return
+        if fault_rng.random() < serving.device_failure_rate:
+            victims = outcome.device_ids
+            victim = victims[
+                int(fault_rng.integers(0, len(victims)))
+            ]
+            pool.fail_device(victim, outcome.completion_us)
+            spans.append(TraceSpan(
+                name=f"device{victim}.failure",
+                track="faults",
+                start_us=outcome.completion_us, duration_us=0.0,
+                args={"event": "device_failure", "device": victim},
+            ))
 
     seq = itertools.count()
     heap = []
@@ -128,7 +168,13 @@ def simulate_serving(
     remaining_arrivals = len(requests)
 
     def attempt_dispatch(now_us: float) -> None:
+        nonlocal retried
         while len(queue):
+            if not pool.pool_alive:
+                # Degraded to dead: strand everything still queued.
+                for request in queue.pop_front(len(queue), now_us):
+                    records[request.req_id].status = "failed"
+                return
             if not pool.can_accept(now_us):
                 free_at = pool.next_free_us()
                 heapq.heappush(
@@ -151,12 +197,42 @@ def simulate_serving(
             outcome = pool.dispatch(batch, now_us)
             batches.append(batch)
             spans.extend(outcome.spans)
+            maybe_fail_device(outcome)
+            # Per-batch fault events: with ABFT the checksum syndrome
+            # flags the run at drain and the batch is re-dispatched
+            # (paying full cycles again) up to max_retries times;
+            # without ABFT the fault sails through silently.
+            faulted = (
+                serving.batch_fault_rate > 0.0
+                and fault_rng.random() < serving.batch_fault_rate
+            )
+            attempts = 0
+            while (faulted and acc.abft_protected
+                   and attempts < serving.max_retries
+                   and pool.pool_alive):
+                attempts += 1
+                retried += 1
+                spans.append(TraceSpan(
+                    name=f"batch{batch.batch_id}.retry{attempts}",
+                    track="faults",
+                    start_us=outcome.completion_us, duration_us=0.0,
+                    args={"event": "abft_retry", "attempt": attempts},
+                ))
+                outcome = pool.dispatch(batch, outcome.completion_us)
+                spans.extend(outcome.spans)
+                maybe_fail_device(outcome)
+                faulted = fault_rng.random() < serving.batch_fault_rate
+            detected_unrecovered = faulted and acc.abft_protected
             for request in batch.requests:
                 record = records[request.req_id]
-                record.status = "completed"
                 record.batch_id = batch.batch_id
                 record.dispatched_us = now_us
+                if detected_unrecovered:
+                    record.status = "failed"
+                    continue
+                record.status = "completed"
                 record.completed_us = outcome.completion_us
+                record.corrupted = faulted
                 latencies.append(record.latency_us)
                 wait = now_us - request.arrival_us
                 if wait > 0:
@@ -188,6 +264,10 @@ def simulate_serving(
 
     if any(r.status == "queued" for r in records.values()):
         raise ServingError("simulation ended with requests still queued")
+    failed = sum(r.status == "failed" for r in records.values())
+    corrupted = sum(
+        r.corrupted for r in records.values() if r.status == "completed"
+    )
 
     first_arrival = requests[0].arrival_us if requests else 0.0
     last_completion = max(
@@ -214,6 +294,10 @@ def simulate_serving(
         run_cycles=run_cycles,
         num_devices=pool.num_devices,
         depth_samples=queue.depth_samples,
+        failed=failed,
+        retried=retried,
+        corrupted=corrupted,
+        device_failures=pool.device_failures,
     )
     ordered = [records[r.req_id] for r in requests]
     return ServingResult(

@@ -6,8 +6,8 @@ import pytest
 from repro.config import AcceleratorConfig, ModelConfig
 from repro.core import TransformerAccelerator
 from repro.errors import ScheduleError, ShapeError
-from repro.quant import QuantizedTransformer, SOFTMAX_HARDWARE
-from repro.transformer import Transformer, causal_mask
+from repro.quant import SOFTMAX_HARDWARE
+from repro.transformer import causal_mask
 
 RNG = np.random.default_rng(55)
 S = 12

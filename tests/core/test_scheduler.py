@@ -1,10 +1,8 @@
 """Scheduler tests: Algorithm 1 timelines and their invariants."""
 
-import numpy as np
 import pytest
 
 from repro.config import (
-    AcceleratorConfig,
     ModelConfig,
     paper_accelerator,
     transformer_base,
@@ -189,3 +187,48 @@ class TestAutoregressive:
     def test_invalid_token_count(self, base, acc):
         with pytest.raises(ScheduleError):
             schedule_autoregressive(base, acc, 0)
+
+
+class TestWeightLoadAudit:
+    """Activation-only passes (QKt, softmax x Temp2) pay no weight fetch.
+
+    MHA runs 6h SA passes but only 4h of them load weights (Q/K/V
+    projections and the per-head output block G); the QKt and PV passes
+    stream two activation tiles.  FFN loads weights on every pass.
+    """
+
+    def test_paper_point_totals_pinned(self, base, acc):
+        assert schedule_mha(base, acc).total_cycles == 21578
+        assert schedule_ffn(base, acc).total_cycles == 39052
+        wl8 = acc.with_updates(weight_load_cycles=8)
+        assert schedule_mha(base, wl8).total_cycles == 21834
+        assert schedule_ffn(base, wl8).total_cycles == 39372
+        wl64 = acc.with_updates(weight_load_cycles=64)
+        assert schedule_mha(base, wl64).total_cycles == 23626
+        assert schedule_ffn(base, wl64).total_cycles == 41612
+
+    def test_mha_charges_only_weight_passes(self, base, acc):
+        # 4h weight passes, not 6h total passes: the delta per cycle of
+        # weight_load_cycles is exactly 4 * num_heads.
+        h = base.num_heads
+        base_cycles = schedule_mha(base, acc).total_cycles
+        for wl in (1, 8, 64):
+            loaded = acc.with_updates(weight_load_cycles=wl)
+            extra = schedule_mha(base, loaded).total_cycles - base_cycles
+            assert extra == wl * 4 * h, wl
+
+    def test_ffn_charges_every_pass(self, base, acc):
+        base_result = schedule_ffn(base, acc)
+        loaded = acc.with_updates(weight_load_cycles=8)
+        extra = schedule_ffn(base, loaded).total_cycles
+        assert extra - base_result.total_cycles == 8 * len(
+            base_result.sa_events
+        )
+
+    def test_mha_audit_holds_off_paper_point(self, acc):
+        small = ModelConfig("audit", d_model=256, d_ff=1024, num_heads=4,
+                            max_seq_len=64)
+        base_cycles = schedule_mha(small, acc).total_cycles
+        loaded = acc.with_updates(weight_load_cycles=16)
+        extra = schedule_mha(small, loaded).total_cycles - base_cycles
+        assert extra == 16 * 4 * small.num_heads

@@ -1,6 +1,5 @@
 """Self-verification harness tests."""
 
-import pytest
 
 from repro.core.verification import (
     CheckResult,

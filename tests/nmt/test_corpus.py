@@ -1,6 +1,5 @@
 """Synthetic translation task tests: the ground-truth rules themselves."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ShapeError

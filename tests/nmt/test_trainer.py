@@ -6,7 +6,6 @@ import pytest
 from repro.config import ModelConfig
 from repro.errors import TrainingError
 from repro.nmt import (
-    SyntheticTranslationTask,
     default_nmt_config,
     evaluate_bleu,
     exact_match_rate,

@@ -1,7 +1,6 @@
 """Hypothesis fuzzing of the quantized-model pipeline."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,170 @@
+"""ABFT checksum-GEMM tests: detect, locate, correct, refuse."""
+
+import numpy as np
+import pytest
+
+from repro.config import paper_accelerator, transformer_base
+from repro.core.cycle_model import ffn_cycle_breakdown, mha_cycle_breakdown
+from repro.errors import ReliabilityError
+from repro.reliability import ABFTPassResult, ChecksumGemm, abft_cycle_overhead
+
+RNG = np.random.default_rng(23)
+
+
+def _operands(rows=8, k=16, n=8, lo=-50, hi=50):
+    a = RNG.integers(lo, hi, size=(rows, k))
+    b = RNG.integers(lo, hi, size=(k, n))
+    return a, b
+
+
+class TestCleanPass:
+    def test_clean_pass_matches_gemm(self):
+        a, b = _operands()
+        result = ChecksumGemm(8, 8).run(a, b)
+        assert isinstance(result, ABFTPassResult)
+        assert not result.detected
+        assert not result.corrected
+        assert result.fault_location is None
+        assert np.array_equal(result.product, a @ b)
+        assert np.all(result.row_syndromes == 0)
+        assert np.all(result.col_syndromes == 0)
+
+    def test_guard_array_is_one_larger(self):
+        gemm = ChecksumGemm(8, 8)
+        assert gemm.sa.rows == 9
+        assert gemm.sa.cols == 9
+
+    def test_augmented_pass_costs_more_cycles(self):
+        a, b = _operands()
+        plain = ChecksumGemm(8, 8)
+        protected_cycles = plain.run(a, b).compute_cycles
+        # (s+1) + k + (n+1) - 2 vs s + k + n - 2
+        assert protected_cycles == 8 + 1 + 16 + 8 + 1 - 2
+
+    def test_narrow_tile_fits(self):
+        a = RNG.integers(-50, 50, size=(8, 16))
+        b = RNG.integers(-50, 50, size=(16, 5))
+        result = ChecksumGemm(8, 8).run(a, b)
+        assert np.array_equal(result.product, a @ b)
+
+
+class TestSingleFaultCorrection:
+    def test_accumulator_bit_flip_located_and_corrected(self):
+        a, b = _operands()
+        gemm = ChecksumGemm(8, 8)
+        gemm.sa.inject_fault(3, 5, "bit_flip", bit=7)
+        result = gemm.run(a, b)
+        assert result.detected
+        assert result.corrected
+        assert result.fault_location == (3, 5)
+        assert np.array_equal(result.product, a @ b)
+
+    def test_every_body_cell_correctable(self):
+        a, b = _operands(rows=4, k=8, n=4)
+        for i in range(4):
+            for j in range(4):
+                gemm = ChecksumGemm(4, 4)
+                gemm.sa.inject_fault(i, j, "bit_flip", bit=11)
+                result = gemm.run(a, b)
+                assert result.corrected, (i, j)
+                assert result.fault_location == (i, j)
+                assert np.array_equal(result.product, a @ b)
+
+    def test_guard_row_fault_detected_body_clean(self):
+        a, b = _operands(rows=4, k=8, n=4)
+        gemm = ChecksumGemm(4, 4)
+        gemm.sa.inject_fault(4, 2, "bit_flip", bit=3)  # checksum row
+        result = gemm.run(a, b)
+        assert result.detected
+        assert result.corrected          # body needs no repair
+        assert result.fault_location is None
+        assert np.array_equal(result.product, a @ b)
+
+    def test_guard_col_fault_detected_body_clean(self):
+        a, b = _operands(rows=4, k=8, n=4)
+        gemm = ChecksumGemm(4, 4)
+        gemm.sa.inject_fault(1, 4, "bit_flip", bit=3)  # checksum column
+        result = gemm.run(a, b)
+        assert result.detected and result.corrected
+        assert np.array_equal(result.product, a @ b)
+
+
+class TestMemoryUpsets:
+    def test_post_checksum_weight_upset_detected(self):
+        # A corrupted streamed word fans its error down a whole output
+        # row/column: multiple syndromes in one family - detected,
+        # uncorrectable, never silent.
+        a, b = _operands(rows=4, k=8, n=4)
+        stream_b = b.copy()
+        stream_b[3, 2] ^= 1 << 4
+        result = ChecksumGemm(4, 4).run(a, b, stream_b=stream_b)
+        assert result.detected
+        assert not result.corrected
+
+    def test_post_checksum_activation_upset_detected(self):
+        a, b = _operands(rows=4, k=8, n=4)
+        stream_a = a.copy()
+        stream_a[2, 5] ^= 1 << 3
+        result = ChecksumGemm(4, 4).run(a, b, stream_a=stream_a)
+        assert result.detected
+        assert not result.corrected
+
+    def test_stream_shape_mismatch_rejected(self):
+        a, b = _operands(rows=4, k=8, n=4)
+        with pytest.raises(ReliabilityError):
+            ChecksumGemm(4, 4).run(a, b, stream_a=a[:2])
+
+
+class TestMultiFault:
+    def test_two_body_faults_detected_not_corrected(self):
+        a, b = _operands(rows=4, k=8, n=4)
+        gemm = ChecksumGemm(4, 4)
+        gemm.sa.inject_fault(0, 0, "bit_flip", bit=9)
+        gemm.sa.inject_fault(2, 3, "bit_flip", bit=9)
+        result = gemm.run(a, b)
+        assert result.detected
+        assert not result.corrected
+
+
+class TestRefusals:
+    def test_headroom_refusal(self):
+        # s=64, k=4096 at full INT8 range: 127*127*4096*65 > 2^31.
+        a = np.full((64, 4096), 127)
+        b = np.full((4096, 64), 127)
+        with pytest.raises(ReliabilityError):
+            ChecksumGemm(64, 64).run(a, b)
+
+    def test_shape_refusals(self):
+        gemm = ChecksumGemm(4, 4)
+        with pytest.raises(ReliabilityError):
+            gemm.run(np.zeros((3, 8)), np.zeros((8, 4)))   # wrong rows
+        with pytest.raises(ReliabilityError):
+            gemm.run(np.zeros((4, 8)), np.zeros((8, 5)))   # too wide
+        with pytest.raises(ReliabilityError):
+            gemm.run(np.zeros((4, 8)), np.zeros((7, 4)))   # k mismatch
+        with pytest.raises(ReliabilityError):
+            ChecksumGemm(0, 4)
+
+
+class TestCycleOverhead:
+    def test_overhead_matches_cycle_model(self):
+        model = transformer_base()
+        acc = paper_accelerator()
+        overhead = abft_cycle_overhead(model, acc)
+        on = acc.with_updates(abft_protected=True)
+        assert overhead.baseline_cycles == (
+            mha_cycle_breakdown(model, acc).total_cycles
+            + ffn_cycle_breakdown(model, acc).total_cycles
+        )
+        assert overhead.protected_cycles == (
+            mha_cycle_breakdown(model, on).total_cycles
+            + ffn_cycle_breakdown(model, on).total_cycles
+        )
+        assert overhead.overhead_cycles > 0
+        assert overhead.overhead_fraction < 0.05
+
+    def test_paper_point_overhead_pinned(self):
+        overhead = abft_cycle_overhead(transformer_base(), paper_accelerator())
+        assert overhead.baseline_cycles == 21578 + 39052
+        assert overhead.protected_cycles == 22330 + 39372
+        assert overhead.overhead_cycles == 1072

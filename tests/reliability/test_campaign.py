@@ -1,0 +1,124 @@
+"""Campaign tests: determinism, coverage statistics, end-to-end impact."""
+
+import pytest
+
+from repro.errors import ReliabilityError
+from repro.reliability import (
+    DEFAULT_SITES,
+    SITE_MODES,
+    CampaignSpec,
+    resblock_fault_impact,
+    run_campaign,
+)
+
+SA_SPEC = CampaignSpec(
+    seq_len=16, depth=16, cols=16, trials=12,
+    sites=("sa_accumulator", "sa_multiplier"), seed=7,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_replays_identically(self):
+        assert run_campaign(SA_SPEC).outcomes == run_campaign(SA_SPEC).outcomes
+
+    def test_different_seed_differs(self):
+        other = CampaignSpec(
+            seq_len=16, depth=16, cols=16, trials=12,
+            sites=("sa_accumulator",), seed=8,
+        )
+        base = CampaignSpec(
+            seq_len=16, depth=16, cols=16, trials=12,
+            sites=("sa_accumulator",), seed=7,
+        )
+        assert run_campaign(base).outcomes != run_campaign(other).outcomes
+
+
+class TestCoverage:
+    def test_abft_covers_sa_datapath(self):
+        result = run_campaign(SA_SPEC)
+        assert result.detection_rate(site="sa_accumulator") == 1.0
+        assert result.detection_rate(site="sa_multiplier") == 1.0
+        assert result.silent_rate(site="sa_accumulator") == 0.0
+
+    def test_single_bit_flips_also_corrected(self):
+        result = run_campaign(SA_SPEC)
+        assert result.correction_rate(
+            site="sa_accumulator", mode="bit_flip"
+        ) == 1.0
+
+    def test_memory_upsets_detected_never_silent(self):
+        spec = CampaignSpec(
+            seq_len=16, depth=16, cols=16, trials=12,
+            sites=("weight_memory", "data_memory"), seed=7,
+        )
+        result = run_campaign(spec)
+        for site in spec.sites:
+            assert result.detection_rate(site=site) == 1.0
+            assert result.silent_rate(site=site) == 0.0
+
+    def test_units_outside_abft_scope_are_silent(self):
+        spec = CampaignSpec(
+            seq_len=16, depth=16, cols=16, trials=8,
+            sites=("exp_unit", "isqrt_lut", "bias_memory"), seed=7,
+        )
+        result = run_campaign(spec)
+        for site in spec.sites:
+            assert result.detection_rate(site=site) == 0.0
+
+    def test_without_abft_everything_is_silent(self):
+        spec = CampaignSpec(
+            seq_len=16, depth=16, cols=16, trials=12,
+            sites=("sa_accumulator",), abft=False, seed=7,
+        )
+        result = run_campaign(spec)
+        assert result.detection_rate(site="sa_accumulator") == 0.0
+        assert result.silent_rate(site="sa_accumulator") > 0.9
+
+
+class TestSweepShape:
+    def test_rate_zero_injects_nothing(self):
+        spec = CampaignSpec(
+            seq_len=8, depth=8, cols=8, trials=6,
+            sites=("sa_accumulator",), rates=(0.0,), seed=0,
+        )
+        result = run_campaign(spec)
+        assert not any(o.injected for o in result.outcomes)
+        assert all(o.max_abs_error == 0.0 for o in result.outcomes)
+
+    def test_outcome_count(self):
+        spec = CampaignSpec(
+            seq_len=8, depth=8, cols=8, trials=5, rates=(0.5, 1.0),
+            sites=("sa_accumulator", "exp_unit"), seed=0,
+        )
+        result = run_campaign(spec)
+        expected = sum(
+            len(SITE_MODES[s]) * len(spec.rates) * spec.trials
+            for s in spec.sites
+        )
+        assert len(result.outcomes) == expected
+        rows = result.summary_rows()
+        assert len(rows) == sum(
+            len(SITE_MODES[s]) * len(spec.rates) for s in spec.sites
+        )
+
+    def test_default_sites_cover_all(self):
+        assert set(DEFAULT_SITES) == set(SITE_MODES)
+
+    def test_spec_validation(self):
+        with pytest.raises(ReliabilityError):
+            CampaignSpec(trials=0)
+        with pytest.raises(ReliabilityError):
+            CampaignSpec(sites=("warp_core",))
+        with pytest.raises(ReliabilityError):
+            CampaignSpec(rates=(1.5,))
+        with pytest.raises(ReliabilityError):
+            CampaignSpec(seq_len=0)
+
+
+class TestEndToEnd:
+    def test_resblock_impact_is_deterministic_and_nonzero(self):
+        first = resblock_fault_impact(seed=1, seq_len=8)
+        again = resblock_fault_impact(seed=1, seq_len=8)
+        assert first == again
+        assert first.max_abs_error > 0.0
+        assert 0 < first.rows_affected <= 8

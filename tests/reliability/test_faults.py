@@ -1,0 +1,229 @@
+"""Fault-model tests: bit flips, stuck-at, transient vs persistent."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MemoryBank,
+    ProcessingElement,
+    ScalarSystolicArray,
+    SystolicArray,
+    WeightMemory,
+    flip_bit,
+)
+from repro.core.memory import BiasMemory
+from repro.errors import (
+    FixedPointError,
+    MemoryModelError,
+    ReliabilityError,
+    ShapeError,
+)
+from repro.fixedpoint import ExpUnit, InverseSqrtLUT
+from repro.reliability import FaultEvent, FaultInjector, FaultSpec
+
+RNG = np.random.default_rng(17)
+
+
+class TestFlipBit:
+    def test_flips_and_restores(self):
+        for value in (0, 1, -1, 37, -128, 127, 2**30):
+            for bit in (0, 3, 31):
+                flipped = flip_bit(value, bit, 32)
+                assert flipped != value
+                assert flip_bit(flipped, bit, 32) == value
+
+    def test_sign_bit_flip(self):
+        assert flip_bit(0, 7, 8) == -128
+        assert flip_bit(-128, 7, 8) == 0
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(FixedPointError):
+            flip_bit(0, 8, 8)
+        with pytest.raises(FixedPointError):
+            flip_bit(0, -1, 8)
+
+
+class TestPEFaults:
+    def test_bit_flip_lands_at_drain(self):
+        pe = ProcessingElement()
+        pe.step(3, 4)
+        pe.inject_fault("bit_flip", bit=1)
+        assert pe.acc == 12            # register itself intact
+        assert pe.drain() == 12 ^ 2    # upset on the read path
+
+    def test_stuck_zero_stops_accumulation(self):
+        pe = ProcessingElement()
+        pe.inject_fault("stuck_zero")
+        pe.step(5, 5)
+        assert pe.drain() == 0
+
+    def test_clear_fault(self):
+        pe = ProcessingElement()
+        pe.inject_fault("stuck_max")
+        pe.clear_fault()
+        pe.step(2, 3)
+        assert pe.drain() == 6
+
+    def test_invalid_fault_rejected(self):
+        pe = ProcessingElement()
+        with pytest.raises(FixedPointError):
+            pe.inject_fault("gamma_ray")
+        with pytest.raises(FixedPointError):
+            pe.inject_fault("bit_flip", bit=99)
+
+
+class TestArrayBitFlip:
+    def test_single_bit_flip_is_one_lsb_power(self):
+        a = RNG.integers(1, 50, size=(6, 10))
+        b = RNG.integers(1, 50, size=(10, 6))
+        sa = SystolicArray(6, 6)
+        sa.inject_fault(2, 4, "bit_flip", bit=5)
+        product = sa.run_pass(a, b).product
+        diff = product - a @ b
+        assert np.count_nonzero(diff) == 1
+        assert abs(diff[2, 4]) == 32
+
+    def test_transient_clears_after_one_pass(self):
+        a = RNG.integers(1, 50, size=(4, 8))
+        b = RNG.integers(1, 50, size=(8, 4))
+        sa = SystolicArray(4, 4)
+        sa.inject_fault(1, 1, "bit_flip", bit=3, transient=True)
+        assert not np.array_equal(sa.run_pass(a, b).product, a @ b)
+        assert sa.fault_count == 0
+        assert np.array_equal(sa.run_pass(a, b).product, a @ b)
+
+    def test_persistent_fault_survives_passes(self):
+        a = RNG.integers(1, 50, size=(4, 8))
+        b = RNG.integers(1, 50, size=(8, 4))
+        sa = SystolicArray(4, 4)
+        sa.inject_fault(0, 0, "bit_flip", bit=2)
+        for _ in range(3):
+            assert not np.array_equal(sa.run_pass(a, b).product, a @ b)
+        assert sa.fault_count == 1
+
+    def test_scalar_array_matches_vectorized(self):
+        # The register-level grid and the vectorized model must corrupt
+        # identically for every mode.
+        a = RNG.integers(1, 20, size=(4, 6))
+        b = RNG.integers(1, 20, size=(6, 4))
+        for mode, bit in (("stuck_zero", 0), ("stuck_max", 0),
+                          ("bit_flip", 9)):
+            vec = SystolicArray(4, 4)
+            scalar = ScalarSystolicArray(4, 4)
+            vec.inject_fault(2, 1, mode, bit=bit)
+            scalar.inject_fault(2, 1, mode, bit=bit)
+            assert np.array_equal(
+                vec.run_pass(a, b).product,
+                scalar.run_pass(a, b).product,
+            ), mode
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ShapeError):
+            SystolicArray(4, 4).inject_fault(0, 0, "bit_flip", bit=32)
+
+
+class TestMemoryFaults:
+    def test_bank_bit_flip_persists_until_overwrite(self):
+        bank = MemoryBank("test", (4, 4), 8, 4)
+        bank.write((1, 2), np.array(7))
+        bank.flip_stored_bit((1, 2), 3)
+        assert bank.read((1, 2)) == 7 ^ 8
+        bank.write((1, 2), np.array(7))
+        assert bank.read((1, 2)) == 7
+
+    def test_bank_validation(self):
+        bank = MemoryBank("test", (4, 4), 8, 4)
+        with pytest.raises(MemoryModelError):
+            bank.flip_stored_bit((0, 0), 8)
+        with pytest.raises(MemoryModelError):
+            bank.flip_stored_bit((slice(None), 0), 0)
+
+    def test_weight_tile_bit_flip(self):
+        wm = WeightMemory()
+        wm.store_tile("w", 0, np.full((4, 4), 5))
+        wm.flip_tile_bit("w", 0, 1, 1, 1)
+        tile = wm.load_tile("w", 0)
+        assert tile[1, 1] == 5 ^ 2
+        assert np.count_nonzero(tile != 5) == 1
+
+    def test_weight_tile_validation(self):
+        wm = WeightMemory()
+        wm.store_tile("w", 0, np.zeros((2, 2)))
+        with pytest.raises(MemoryModelError):
+            wm.flip_tile_bit("w", 1, 0, 0, 0)
+        with pytest.raises(MemoryModelError):
+            wm.flip_tile_bit("w", 0, 2, 0, 0)
+        with pytest.raises(MemoryModelError):
+            wm.flip_tile_bit("w", 0, 0, 0, 8)
+
+    def test_bias_corrupt(self):
+        bm = BiasMemory()
+        bm.store("b", 0, np.arange(4.0))
+        bm.corrupt("b", 0, 2, 99.5)
+        assert bm.load("b", 0)[2] == 99.5
+        with pytest.raises(MemoryModelError):
+            bm.corrupt("b", 0, 4, 0.0)
+
+
+class TestUnitHooks:
+    def test_exp_hook_changes_output(self):
+        injector = FaultInjector(3)
+        hook, events = injector.unit_hook(
+            FaultSpec("exp_unit"), ExpUnit().out_fmt.total_bits
+        )
+        x = np.linspace(-4.0, 0.0, 32)
+        healthy = ExpUnit().evaluate(x)
+        faulty = ExpUnit(fault_hook=hook).evaluate(x)
+        assert len(events) == 1
+        assert not np.array_equal(healthy, faulty)
+
+    def test_isqrt_hook_changes_output(self):
+        injector = FaultInjector(3)
+        unit = InverseSqrtLUT()
+        hook, events = injector.unit_hook(
+            FaultSpec("isqrt_lut"), unit.out_fmt.total_bits
+        )
+        x = np.linspace(0.5, 50.0, 32)
+        faulty = InverseSqrtLUT(fault_hook=hook).evaluate(x)
+        assert not np.array_equal(unit.evaluate(x), faulty)
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_events(self):
+        specs = [FaultSpec("sa_accumulator"),
+                 FaultSpec("sa_accumulator", mode="multi_bit_flip"),
+                 FaultSpec("sa_multiplier", mode="stuck_at")]
+        events = []
+        for _ in range(2):
+            injector = FaultInjector(99)
+            batch = []
+            for spec in specs:
+                sa = SystolicArray(8, 8)
+                batch.append(injector.inject_sa(sa, spec))
+            events.append(batch)
+        assert events[0] == events[1]
+
+    def test_event_is_concrete(self):
+        injector = FaultInjector(0)
+        sa = SystolicArray(8, 8)
+        event = injector.inject_sa(
+            sa, FaultSpec("sa_accumulator", mode="multi_bit_flip",
+                          num_bits=3)
+        )
+        assert isinstance(event, FaultEvent)
+        assert len(event.coords) == 3
+        assert len(set(event.coords)) == 3
+        assert sa.fault_count == 3
+
+    def test_spec_validation(self):
+        with pytest.raises(ReliabilityError):
+            FaultSpec("cosmic_ray")
+        with pytest.raises(ReliabilityError):
+            FaultSpec("sa_accumulator", mode="meltdown")
+        with pytest.raises(ReliabilityError):
+            FaultSpec("sa_accumulator", num_bits=0)
+        injector = FaultInjector(0)
+        with pytest.raises(ReliabilityError):
+            injector.inject_sa(SystolicArray(4, 4), FaultSpec("exp_unit"))
+        with pytest.raises(ReliabilityError):
+            injector.unit_hook(FaultSpec("isqrt_lut", mode="stuck_at"), 8)

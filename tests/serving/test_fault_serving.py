@@ -1,0 +1,154 @@
+"""Fault-aware serving tests: retries, silent corruption, dying pools."""
+
+import pytest
+
+from repro.config import ServingConfig, paper_accelerator, transformer_base
+from repro.errors import ServingError
+from repro.serving import BatchCostModel, WorkerPool, simulate_serving
+
+
+@pytest.fixture(scope="module")
+def model():
+    return transformer_base()
+
+
+@pytest.fixture(scope="module")
+def acc():
+    return paper_accelerator()
+
+
+@pytest.fixture(scope="module")
+def abft_acc():
+    return paper_accelerator().with_updates(abft_protected=True)
+
+
+def _serving(**overrides):
+    base = dict(
+        arrival_rate_rps=1200.0, num_requests=60,
+        min_len=8, max_len=32, seed=13,
+        max_batch_requests=8, max_wait_us=1000.0,
+    )
+    base.update(overrides)
+    return ServingConfig(**base)
+
+
+class TestBatchFaults:
+    def test_abft_retries_instead_of_corrupting(self, model, abft_acc):
+        result = simulate_serving(
+            model, abft_acc, _serving(batch_fault_rate=0.3, max_retries=3)
+        )
+        m = result.metrics
+        assert m.retried > 0
+        assert m.corrupted == 0
+        assert m.completed + m.rejected + m.expired + m.failed == m.offered
+
+    def test_no_abft_corrupts_silently(self, model, acc):
+        result = simulate_serving(
+            model, acc, _serving(batch_fault_rate=0.3)
+        )
+        m = result.metrics
+        assert m.corrupted > 0
+        assert m.retried == 0
+        assert m.failed == 0
+        corrupted_records = [r for r in result.records if r.corrupted]
+        assert len(corrupted_records) == m.corrupted
+        assert all(r.status == "completed" for r in corrupted_records)
+
+    def test_retry_budget_exhaustion_fails_requests(self, model, abft_acc):
+        # Certain fault + zero retries: every dispatched batch fails.
+        result = simulate_serving(
+            model, abft_acc,
+            _serving(batch_fault_rate=1.0, max_retries=0),
+        )
+        m = result.metrics
+        assert m.completed == 0
+        assert m.failed > 0
+        failed = [r for r in result.records if r.status == "failed"]
+        assert all(r.completed_us is None for r in failed)
+
+    def test_retry_spans_on_fault_track(self, model, abft_acc):
+        result = simulate_serving(
+            model, abft_acc, _serving(batch_fault_rate=0.3, max_retries=3)
+        )
+        retries = [s for s in result.spans if s.track == "faults"]
+        assert len(retries) == result.metrics.retried
+        assert all(s.args["event"] == "abft_retry" for s in retries)
+
+    def test_fault_free_run_unchanged_by_fault_fields(self, model, acc):
+        base = simulate_serving(model, acc, _serving())
+        wired = simulate_serving(
+            model, acc, _serving(batch_fault_rate=0.0, max_retries=5)
+        )
+        assert base.metrics == wired.metrics
+
+    def test_determinism_under_faults(self, model, abft_acc):
+        cfg = _serving(batch_fault_rate=0.25, device_failure_rate=0.05,
+                       num_devices=3, max_retries=2)
+        a = simulate_serving(model, abft_acc, cfg)
+        b = simulate_serving(model, abft_acc, cfg)
+        assert a.metrics == b.metrics
+        assert a.spans == b.spans
+
+
+class TestDeviceFailures:
+    def test_replicate_pool_degrades(self, model, acc):
+        result = simulate_serving(
+            model, acc,
+            _serving(num_devices=3, device_failure_rate=0.2,
+                     num_requests=80, queue_capacity=256),
+        )
+        m = result.metrics
+        assert m.device_failures > 0
+        assert m.completed > 0
+        assert m.completed + m.rejected + m.expired + m.failed == m.offered
+        failure_spans = [
+            s for s in result.spans
+            if s.track == "faults" and s.args.get("event") == "device_failure"
+        ]
+        assert len(failure_spans) == m.device_failures
+
+    def test_all_devices_dead_strands_requests(self, model, acc):
+        result = simulate_serving(
+            model, acc,
+            _serving(num_devices=1, device_failure_rate=1.0,
+                     queue_capacity=256),
+        )
+        m = result.metrics
+        assert m.device_failures == 1
+        assert m.failed > 0
+
+    def test_layer_shard_dies_with_first_stage(self, model, acc):
+        result = simulate_serving(
+            model, acc,
+            _serving(num_devices=2, placement="layer_shard",
+                     device_failure_rate=1.0, queue_capacity=256),
+        )
+        m = result.metrics
+        # Fail-stop after the first batch: exactly one draw kills the
+        # pipeline even though only one of its two stages died.
+        assert m.device_failures == 1
+        assert m.failed > 0
+        assert m.num_batches == 1
+
+
+class TestPoolFaultAPI:
+    def test_dead_device_rejects_dispatch(self, model, acc):
+        cost = BatchCostModel(model, acc)
+        pool = WorkerPool(1, "replicate", cost, acc)
+        pool.fail_device(0, 5.0)
+        assert not pool.pool_alive
+        assert pool.next_free_us() == float("inf")
+        assert pool.device_failures == 1
+        assert pool.devices[0].failed_at_us == 5.0
+        with pytest.raises(ServingError):
+            pool.devices[0].occupy(10.0, 1.0)
+
+    def test_fail_device_validation_and_idempotence(self, model, acc):
+        cost = BatchCostModel(model, acc)
+        pool = WorkerPool(2, "replicate", cost, acc)
+        pool.fail_device(1, 5.0)
+        pool.fail_device(1, 9.0)          # no-op: already dead
+        assert pool.devices[1].failed_at_us == 5.0
+        assert pool.pool_alive            # replica 0 still serving
+        with pytest.raises(ServingError):
+            pool.fail_device(7, 0.0)

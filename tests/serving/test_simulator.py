@@ -68,7 +68,8 @@ class TestMetricsSurface:
     def test_reports_everything(self, model, acc):
         m = simulate_serving(model, acc, _serving()).metrics
         assert m.offered == 80
-        assert m.completed + m.rejected + m.expired == m.offered
+        assert (m.completed + m.rejected + m.expired + m.failed
+                == m.offered)
         assert 0.0 <= m.rejection_rate <= 1.0
         assert (m.latency_p50_us <= m.latency_p95_us
                 <= m.latency_p99_us)
@@ -77,12 +78,12 @@ class TestMetricsSurface:
         assert 0.0 < m.device_busy_fraction <= 1.0
         assert 0.0 < m.sa_utilization < 1.0
         assert m.max_queue_depth >= 1
-        assert len(m.as_rows()) == 17
+        assert len(m.as_rows()) == 21
 
     def test_every_request_accounted(self, model, acc):
         result = simulate_serving(model, acc, _serving())
         statuses = {r.status for r in result.records}
-        assert statuses <= {"completed", "rejected", "expired"}
+        assert statuses <= {"completed", "rejected", "expired", "failed"}
         completed = [r for r in result.records if r.status == "completed"]
         for record in completed:
             assert record.completed_us > record.request.arrival_us

@@ -1,6 +1,5 @@
 """Workload generator tests: determinism, statistics, trace replay."""
 
-import numpy as np
 import pytest
 
 from repro.config import ServingConfig

@@ -1,7 +1,6 @@
 """Cross-module integration tests: the full paper pipeline end to end."""
 
 import numpy as np
-import pytest
 
 from repro.config import AcceleratorConfig
 from repro.core import TransformerAccelerator, schedule_model

@@ -5,7 +5,6 @@ The closed-form cycle model must equal the event-timeline scheduler for
 equivalence across randomized models and accelerator knobs.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -43,6 +42,8 @@ acc_configs = st.builds(
     ),
     pass_overlap=st.booleans(),
     single_ported_buffers=st.booleans(),
+    abft_protected=st.booleans(),
+    abft_check_cycles=st.integers(0, 32),
 )
 
 

@@ -1,0 +1,82 @@
+"""Property tests: streaming units == batch modules past the 64-row tile.
+
+The Q-partitioning path (``s > 64``) splits the score matrix into
+64-column chunks streamed through :class:`StreamingSoftmax`, and the
+post-GEMM LayerNorm consumes ``(s, 64)`` groups through
+:class:`StreamingLayerNorm`.  These properties pin that the streaming
+implementations are bit-identical (softmax) / numerically identical
+(LayerNorm) to the batch reference modules for every seed, row count
+and mask — especially beyond the single-tile ``s = 64`` geometry.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AcceleratorConfig
+from repro.core import LayerNormModule, StreamingLayerNorm, StreamingSoftmax
+from repro.quant import HardwareSoftmax
+
+SEQ_LENS = st.sampled_from([8, 64, 96, 128, 192])
+
+
+class TestStreamingSoftmaxProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), s=SEQ_LENS,
+           masked=st.booleans())
+    def test_matches_batch_softmax(self, seed, s, masked):
+        rng = np.random.default_rng(seed)
+        config = AcceleratorConfig(seq_len=s)
+        d = rng.normal(0, 8, size=(s, s))
+        mask = (
+            np.triu(np.ones((s, s), dtype=bool), k=1) if masked else None
+        )
+        unit = StreamingSoftmax(config)
+        for j in range(s):
+            unit.push_column(
+                d[:, j], None if mask is None else mask[:, j], cycle=j
+            )
+        y, events = unit.finalize()
+        expected = HardwareSoftmax()(d) if mask is None else (
+            HardwareSoftmax()(d, mask)
+        )
+        assert np.array_equal(y, expected)
+        assert len(events) == s
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_column_order_of_q_chunks_is_irrelevant(self, seed):
+        # s = 128: the two 64-wide Q chunks arrive sequentially; the
+        # streamed result must not depend on the chunk boundary.
+        rng = np.random.default_rng(seed)
+        s = 128
+        config = AcceleratorConfig(seq_len=s)
+        d = rng.normal(0, 8, size=(s, s))
+        unit = StreamingSoftmax(config)
+        cycle = 0
+        for chunk in range(2):
+            for j in range(chunk * 64, chunk * 64 + 64):
+                unit.push_column(d[:, j], cycle=cycle)
+                cycle += 1
+        y, _ = unit.finalize()
+        assert np.array_equal(y, HardwareSoftmax()(d))
+
+
+class TestStreamingLayerNormProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), s=SEQ_LENS,
+           groups=st.integers(1, 8))
+    def test_matches_batch_layernorm(self, seed, s, groups):
+        rng = np.random.default_rng(seed)
+        config = AcceleratorConfig(seq_len=s)
+        d_model = groups * 64
+        g = rng.normal(1, 2, size=(s, d_model))
+        unit = StreamingLayerNorm(config, d_model)
+        for i in range(groups):
+            unit.push_group(g[:, i * 64:(i + 1) * 64], cycle=i)
+        gamma = rng.normal(size=d_model)
+        beta = rng.normal(size=d_model)
+        out, events = unit.finalize(gamma, beta)
+        module = LayerNormModule(config, d_model, approximate=True)
+        assert np.allclose(out, module(g, gamma, beta), atol=1e-12)
+        assert len(events) == d_model

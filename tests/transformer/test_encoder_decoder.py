@@ -1,7 +1,6 @@
 """Encoder / decoder stack tests (direct, not through the full model)."""
 
 import numpy as np
-import pytest
 
 from repro.config import ModelConfig
 from repro.transformer import Decoder, DecoderLayer, Encoder, EncoderLayer
