@@ -1,10 +1,23 @@
-"""Shared benchmark fixtures.
+"""Shared benchmark fixtures and the ``BENCH_<suite>.json`` artifact.
 
 The quantization bench needs a trained model; training happens once per
 session here (outside any timed region).
+
+Every benchmark session additionally writes a machine-readable artifact
+``BENCH_<suite>.json`` (suite from the ``BENCH_SUITE`` env var, default
+``smoke``) at the repo root: per-test outcome and wall time, the
+pytest-benchmark timing stats when timing ran, and any headline numbers
+the benches recorded through the :func:`bench_headline` fixture.  CI's
+benchmark-smoke job uploads the file, so runs leave a comparable trail.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+from collections import OrderedDict
+from typing import Dict
 
 import numpy as np
 import pytest
@@ -12,6 +25,70 @@ import pytest
 from repro.config import ModelConfig, paper_accelerator, transformer_base
 from repro.nmt import SyntheticTranslationTask, train_model
 from repro.transformer import Transformer
+
+_TEST_RESULTS: "OrderedDict[str, Dict]" = OrderedDict()
+_HEADLINES: Dict[str, object] = {}
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call":
+        return
+    _TEST_RESULTS[item.nodeid] = {
+        "outcome": report.outcome,
+        "duration_s": round(report.duration, 6),
+    }
+
+
+def _benchmark_stats(session):
+    """Timing stats from pytest-benchmark (empty under --benchmark-disable)."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return []
+    stats = []
+    for bench in getattr(bench_session, "benchmarks", []):
+        benched = getattr(bench, "stats", None)
+        if benched is None:
+            continue
+        stats.append({
+            "name": bench.fullname,
+            "mean_s": benched.mean,
+            "stddev_s": benched.stddev,
+            "rounds": benched.rounds,
+        })
+    return stats
+
+
+def pytest_sessionfinish(session, exitstatus):
+    suite = os.environ.get("BENCH_SUITE", "smoke")
+    artifact = {
+        "suite": suite,
+        "exit_status": int(exitstatus),
+        "generated_unix": int(time.time()),
+        "tests": dict(_TEST_RESULTS),
+        "benchmarks": _benchmark_stats(session),
+        "headlines": dict(_HEADLINES),
+    }
+    path = os.path.join(str(session.config.rootpath), f"BENCH_{suite}.json")
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@pytest.fixture(scope="session")
+def bench_headline():
+    """Recorder for headline numbers: ``bench_headline(name, value)``.
+
+    Recorded values land in the ``headlines`` section of the
+    ``BENCH_<suite>.json`` artifact, keyed by name (last write wins).
+    """
+
+    def record(name: str, value) -> None:
+        _HEADLINES[name] = value
+
+    return record
 
 
 @pytest.fixture(scope="session")

@@ -5,8 +5,9 @@ Run:  python examples/design_space_exploration.py
 For every architecture the paper's partitioning supports (Transformer
 base/big, BERT base/large), reports per-ResBlock cycles, full-model
 latency, resource footprint and power — then sweeps the sequence length
-to show how the s x 64 SA scales.  This is the study a deployment engineer
-would run before committing to the design.
+to show how the s x 64 SA scales, and sweeps the off-chip bandwidth to
+find where the design turns memory-bound.  This is the study a
+deployment engineer would run before committing to the design.
 """
 
 from repro.analysis import render_table
@@ -64,6 +65,44 @@ def sequence_length_sweep() -> None:
     ))
 
 
+def bandwidth_sweep() -> None:
+    """Off-chip link axis: stall shares and the bound crossover."""
+    from repro.config import MemoryConfig
+    from repro.memsys import (
+        analyze_memory_system,
+        steady_state_crossover_gbps,
+    )
+
+    base = TABLE1_PRESETS["transformer-base"]
+    acc = paper_accelerator()
+    rows = []
+    for gbps in (4.0, 8.0, 16.0, 19.2, 32.0, 64.0):
+        mem = MemoryConfig(
+            bandwidth_gbps=gbps, burst_efficiency=0.8,
+            transfer_latency_cycles=24,
+        )
+        report = analyze_memory_system(base, acc, mem)
+        rows.append([
+            f"{gbps:g}",
+            f"{report.mha.total_cycles:,}",
+            f"{report.mha.stall_share:.1%}",
+            f"{report.ffn.total_cycles:,}",
+            f"{report.ffn.stall_share:.1%}",
+            report.bound,
+        ])
+    crossover = steady_state_crossover_gbps(
+        base, acc, burst_efficiency=0.8, transfer_latency_cycles=24
+    )
+    print()
+    print(render_table(
+        f"Off-chip bandwidth sweep (crossover {crossover:.1f} GB/s peak; "
+        "double-buffered prefetch on)",
+        ["GB/s", "MHA cycles", "MHA stall", "FFN cycles", "FFN stall",
+         "bound"],
+        rows,
+    ))
+
+
 def pareto_study() -> None:
     from repro.analysis import enumerate_designs, pareto_frontier, summarize
 
@@ -92,6 +131,7 @@ def pareto_study() -> None:
 def main() -> None:
     architecture_table()
     sequence_length_sweep()
+    bandwidth_sweep()
     pareto_study()
 
 

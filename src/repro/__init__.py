@@ -24,9 +24,10 @@ Quick start::
 """
 
 from . import analysis, config, core, errors, fixedpoint, gpu_model, io
-from . import nmt, quant, serving, transformer
+from . import memsys, nmt, quant, serving, transformer
 from .config import (
     AcceleratorConfig,
+    MemoryConfig,
     ModelConfig,
     ServingConfig,
     bert_base,
@@ -42,6 +43,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AcceleratorConfig",
+    "MemoryConfig",
     "ModelConfig",
     "ReproError",
     "ServingConfig",
@@ -54,6 +56,7 @@ __all__ = [
     "fixedpoint",
     "gpu_model",
     "io",
+    "memsys",
     "nmt",
     "paper_accelerator",
     "preset",

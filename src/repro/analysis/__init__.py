@@ -21,6 +21,7 @@ from .roofline import (
     RooflinePoint,
     accelerator_roofline,
     ffn_point,
+    memory_system_roofline,
     mha_point,
     offchip_weights_point,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "ffn_point",
     "flop_split",
     "max_ratio_in_scope",
+    "memory_system_roofline",
     "mha_point",
     "parameter_split",
     "section2a_claim_holds",

@@ -12,8 +12,9 @@ must stream from off-chip instead — the analysis behind the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from ..config import AcceleratorConfig, ModelConfig
+from ..config import AcceleratorConfig, MemoryConfig, ModelConfig
 from ..errors import ConfigError
 
 
@@ -116,9 +117,29 @@ def ffn_point(model: ModelConfig, acc: AcceleratorConfig,
     return roofline.place("FFN ResBlock", macs, operand_bytes)
 
 
+def memory_system_roofline(
+    acc: AcceleratorConfig, mem: MemoryConfig
+) -> Roofline:
+    """Roofline with a configured off-chip link as the operand ceiling.
+
+    The accelerator-side counterpart of the hardcoded V100-HBM numbers:
+    the compute roof stays ``num_PEs * clock`` and the bandwidth ceiling
+    is the link's *sustained* rate (peak x burst efficiency) from
+    :class:`~repro.config.MemoryConfig` — so the same
+    :mod:`repro.memsys` parameters that stall the scheduler also place
+    the workloads on a roofline.
+    """
+    clock_hz = acc.clock_mhz * 1e6
+    return Roofline(
+        peak_macs_per_s=acc.num_pes * clock_hz,
+        bandwidth_bytes_per_s=mem.effective_bytes_per_s,
+    )
+
+
 def offchip_weights_point(
     model: ModelConfig, acc: AcceleratorConfig,
     dram_bytes_per_s: float = 8.5e9,    # one 32-bit LPDDR4-2133 channel
+    mem: Optional[MemoryConfig] = None,
 ) -> RooflinePoint:
     """The FFN ResBlock if weights streamed from off-chip every pass.
 
@@ -126,8 +147,12 @@ def offchip_weights_point(
     stated mobile/embedded target: at batch 1 every weight byte feeds
     exactly ``s`` MACs, so intensity collapses to ~s MACs/byte and the
     workload turns memory-bound on an embedded LPDDR interface (and
-    break-even at best on a single DDR4 channel).
+    break-even at best on a single DDR4 channel).  Pass ``mem`` to use
+    a :class:`~repro.config.MemoryConfig`'s sustained bandwidth instead
+    of the raw ``dram_bytes_per_s`` figure.
     """
+    if mem is not None:
+        dram_bytes_per_s = mem.effective_bytes_per_s
     clock_hz = acc.clock_mhz * 1e6
     roofline = Roofline(
         peak_macs_per_s=acc.num_pes * clock_hz,

@@ -7,8 +7,12 @@ Commands:
 * ``power`` — the Section V-B power split.
 * ``tables`` — every paper comparison at once (the EXPERIMENTS.md view).
 * ``trace`` — write a Chrome trace JSON of a ResBlock schedule.
+* ``memsys`` — off-chip bandwidth sweep: per-link stall shares,
+  utilization and the compute/memory-bound crossover bandwidth.
 * ``serve-sim`` — discrete-event serving simulation with dynamic
-  batching over the accelerator's cycle models.
+  batching over the accelerator's cycle models (optionally with an
+  off-chip memory system: ``--bandwidth-gbps`` / ``--memory-preset``,
+  ``--weight-cache-kib``, ``--no-weight-cache``).
 * ``fault-campaign`` — sweep fault site x mode over seeded injection
   trials, report ABFT detection/correction/silent-corruption rates and
   the protection's cycle overhead.
@@ -67,6 +71,27 @@ def _build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser("trace", help="write a Chrome trace JSON")
     trace.add_argument("--block", choices=("mha", "ffn"), default="mha")
     trace.add_argument("--out", required=True, help="output .json path")
+    memsys = sub.add_parser(
+        "memsys",
+        help="off-chip bandwidth sweep with stall shares and crossover",
+    )
+    memsys.add_argument(
+        "--bandwidths", nargs="+", type=float, default=None,
+        metavar="GBPS",
+        help="peak GB/s values to sweep (default: the named presets)",
+    )
+    memsys.add_argument(
+        "--burst-efficiency", type=float, default=0.8,
+        help="sustained fraction of peak for --bandwidths (default: 0.8)",
+    )
+    memsys.add_argument(
+        "--latency-cycles", type=int, default=24,
+        help="per-transfer latency for --bandwidths (default: 24)",
+    )
+    memsys.add_argument(
+        "--no-double-buffer", action="store_true",
+        help="serialize every weight fetch instead of prefetching",
+    )
     serve = sub.add_parser(
         "serve-sim", help="simulate inference serving with dynamic batching"
     )
@@ -138,6 +163,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--abft", action="store_true",
         help="protect the accelerator with ABFT checksums (faults are "
              "detected and retried instead of corrupting silently)",
+    )
+    serve.add_argument(
+        "--bandwidth-gbps", type=float, default=None,
+        help="model the off-chip link at this peak GB/s (default: "
+             "weights are free to reload, the flat-reload accounting)",
+    )
+    serve.add_argument(
+        "--memory-preset", default=None, metavar="NAME",
+        help="named off-chip link (lpddr4-2133, ddr4-2400, ddr4-3200, "
+             "hbm2-pc, unlimited); --bandwidth-gbps overrides its rate",
+    )
+    serve.add_argument(
+        "--weight-cache-kib", type=float, default=None,
+        help="per-device LRU weight-cache capacity in KiB (default: "
+             "the Table II BRAM weight-memory budget)",
+    )
+    serve.add_argument(
+        "--no-weight-cache", action="store_true",
+        help="refetch every ResBlock's weights on every batch run",
     )
     campaign = sub.add_parser(
         "fault-campaign",
@@ -289,6 +333,88 @@ def _cmd_selftest(args) -> None:
         raise RuntimeError("self-test failed")
 
 
+def _cmd_memsys(args) -> None:
+    from .config import MemoryConfig
+    from .memsys import (
+        MEMORY_PRESETS,
+        analyze_memory_system,
+        steady_state_crossover_gbps,
+    )
+
+    model, acc = _configs(args)
+    if args.bandwidths is not None:
+        links = [
+            (
+                f"{bw:g} GB/s",
+                MemoryConfig(
+                    bandwidth_gbps=bw,
+                    burst_efficiency=args.burst_efficiency,
+                    transfer_latency_cycles=args.latency_cycles,
+                    double_buffered_prefetch=not args.no_double_buffer,
+                ),
+            )
+            for bw in args.bandwidths
+        ]
+    else:
+        links = [
+            (name, mem.with_updates(
+                double_buffered_prefetch=not args.no_double_buffer,
+            ))
+            for name, mem in MEMORY_PRESETS.items()
+            if name != "unlimited"
+        ]
+    rows = []
+    for name, mem in links:
+        report = analyze_memory_system(model, acc, mem)
+        rows.append([
+            name, f"{mem.bandwidth_gbps:g}",
+            f"{report.mha.total_cycles:,}",
+            f"{report.mha.stall_share:.1%}",
+            f"{report.ffn.total_cycles:,}",
+            f"{report.ffn.stall_share:.1%}",
+            f"{report.ffn.utilization:.1%}",
+            report.bound,
+        ])
+    prefetch = "off" if args.no_double_buffer else "on"
+    print(render_table(
+        f"memory system — {model.name}, s={acc.seq_len}, "
+        f"{acc.clock_mhz:.0f} MHz, double-buffered prefetch {prefetch}",
+        ["link", "GB/s", "MHA cycles", "MHA stall",
+         "FFN cycles", "FFN stall", "FFN util", "bound"],
+        rows,
+    ))
+    crossover = steady_state_crossover_gbps(
+        model, acc,
+        burst_efficiency=args.burst_efficiency,
+        transfer_latency_cycles=args.latency_cycles,
+    )
+    print(f"\nsteady-state crossover: {crossover:.2f} GB/s peak "
+          f"(at {args.burst_efficiency:.0%} burst efficiency) — links "
+          f"below it starve the SA on weight fetches even with "
+          f"double buffering")
+
+
+def _serving_memory(args):
+    """Fold the serve-sim memory flags into a MemoryConfig (or None)."""
+    from .config import MemoryConfig
+    from .memsys import memory_preset
+
+    if (args.memory_preset is None and args.bandwidth_gbps is None
+            and args.weight_cache_kib is None
+            and not args.no_weight_cache):
+        return None
+    mem = (memory_preset(args.memory_preset)
+           if args.memory_preset is not None else MemoryConfig())
+    updates = {}
+    if args.bandwidth_gbps is not None:
+        updates["bandwidth_gbps"] = args.bandwidth_gbps
+    if args.weight_cache_kib is not None:
+        updates["weight_cache_kib"] = args.weight_cache_kib
+    if args.no_weight_cache:
+        updates["enable_weight_cache"] = False
+    return mem.with_updates(**updates) if updates else mem
+
+
 def _cmd_serve_sim(args) -> None:
     from .config import ServingConfig
     from .serving import simulate_serving
@@ -313,6 +439,7 @@ def _cmd_serve_sim(args) -> None:
         device_failure_rate=args.device_failure_rate,
         max_retries=args.max_retries,
         seed=args.seed,
+        memory=_serving_memory(args),
     )
     result = simulate_serving(model, acc, serving)
     print(render_table(
@@ -416,6 +543,7 @@ def _cmd_trace(args) -> None:
 
 _COMMANDS = {
     "fault-campaign": _cmd_fault_campaign,
+    "memsys": _cmd_memsys,
     "schedule": _cmd_schedule,
     "resources": _cmd_resources,
     "power": _cmd_power,

@@ -20,8 +20,9 @@ needs divisibility by 64).
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from .errors import ConfigError
 
@@ -311,6 +312,110 @@ def paper_accelerator() -> AcceleratorConfig:
 
 
 @dataclass(frozen=True)
+class MemoryConfig:
+    """Off-chip memory-system parameters (:mod:`repro.memsys`).
+
+    The paper assumes every weight tile is already resident in the
+    on-chip Weight Memory; this config describes the DDR/AXI link that
+    has to put it there.  The default is an *infinite* link (zero-cost
+    transfers), so a plain ``MemoryConfig()`` reproduces the paper's
+    cycle counts bit-for-bit and every memsys term is strictly opt-in.
+
+    Attributes:
+        bandwidth_gbps: Peak link bandwidth in GB/s (``inf`` = free).
+        bus_width_bits: Data-bus width of the link (descriptive; the
+            cycle cost is set by ``bandwidth_gbps * burst_efficiency``).
+        burst_efficiency: Fraction of peak bandwidth a real burst
+            achieves (row activations, refresh, protocol overhead).
+        transfer_latency_cycles: Fixed accelerator-clock cycles per
+            transfer before the first beat lands (request + CAS + AXI
+            pipeline).
+        double_buffered_prefetch: Fetch weight tile ``k+1`` into the
+            second Weight Memory bank while the SA streams tile ``k``
+            (:class:`repro.memsys.TilePrefetcher`).  When False every
+            weight pass waits for its own tile, fully exposed.
+        weight_cache_kib: Capacity of the per-device weight cache in
+            KiB; ``None`` sizes it from the Table II BRAM budget
+            (:func:`repro.memsys.default_weight_cache_bytes`).
+        enable_weight_cache: Whether serving devices keep weights of
+            recently run ResBlocks across batches (LRU); disabling it
+            restreams every block's weights on every run.
+        shared_channels: Number of independent DRAM channels a
+            multi-device pool shares; ``ceil(devices / channels)``
+            requesters contend for each channel's bandwidth.
+    """
+
+    bandwidth_gbps: float = float("inf")
+    bus_width_bits: int = 64
+    burst_efficiency: float = 1.0
+    transfer_latency_cycles: int = 0
+    double_buffered_prefetch: bool = True
+    weight_cache_kib: Optional[float] = None
+    enable_weight_cache: bool = True
+    shared_channels: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on invalid memory parameters."""
+        if self.bandwidth_gbps <= 0:
+            raise ConfigError("bandwidth_gbps must be positive")
+        if self.bus_width_bits <= 0 or self.bus_width_bits % 8:
+            raise ConfigError("bus_width_bits must be a positive multiple of 8")
+        if not 0.0 < self.burst_efficiency <= 1.0:
+            raise ConfigError("burst_efficiency must lie in (0, 1]")
+        if self.transfer_latency_cycles < 0:
+            raise ConfigError("transfer_latency_cycles must be non-negative")
+        if self.weight_cache_kib is not None and self.weight_cache_kib <= 0:
+            raise ConfigError("weight_cache_kib must be positive (or None)")
+        if self.shared_channels <= 0:
+            raise ConfigError("shared_channels must be positive")
+
+    @property
+    def is_unlimited(self) -> bool:
+        """Whether transfers are free (the paper's implicit assumption)."""
+        return (
+            math.isinf(self.bandwidth_gbps)
+            and self.transfer_latency_cycles == 0
+        )
+
+    @property
+    def effective_bytes_per_s(self) -> float:
+        """Sustained link bandwidth after burst efficiency."""
+        return self.bandwidth_gbps * 1e9 * self.burst_efficiency
+
+    def bytes_per_cycle(self, clock_mhz: float) -> float:
+        """Sustained bytes per accelerator clock cycle."""
+        return self.effective_bytes_per_s / (clock_mhz * 1e6)
+
+    def transfer_cycles(
+        self, num_bytes: int, clock_mhz: float, contenders: int = 1
+    ) -> int:
+        """Accelerator cycles to move ``num_bytes`` over the link.
+
+        ``contenders`` requesters sharing the channel each see ``1/n``
+        of the sustained bandwidth (fair interleaving); the fixed
+        per-transfer latency is not divided.
+        """
+        if num_bytes < 0:
+            raise ConfigError("num_bytes must be non-negative")
+        if contenders <= 0:
+            raise ConfigError("contenders must be positive")
+        if num_bytes == 0:
+            return 0
+        if math.isinf(self.bandwidth_gbps):
+            return self.transfer_latency_cycles
+        per_requester = self.bytes_per_cycle(clock_mhz) / contenders
+        stream = math.ceil(num_bytes / per_requester)
+        return self.transfer_latency_cycles + stream
+
+    def with_updates(self, **changes: object) -> "MemoryConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """Parameters of one simulated serving run (:mod:`repro.serving`).
 
@@ -354,6 +459,12 @@ class ServingConfig:
         seed: Workload RNG seed; fixing it makes the whole simulation
             deterministic (fault events draw from an independent
             stream spawned from the same seed).
+        memory: Off-chip memory system (:class:`MemoryConfig`).  When
+            set, ``"replicate"`` devices price weight reloads as
+            miss-driven traffic through a per-device LRU weight cache
+            over a shared DRAM channel, replacing the flat
+            ``model_reload_cycles`` constant; ``None`` keeps the
+            legacy flat-reload accounting.
     """
 
     arrival_rate_rps: float = 2000.0
@@ -372,6 +483,7 @@ class ServingConfig:
     device_failure_rate: float = 0.0
     max_retries: int = 1
     seed: int = 0
+    memory: Optional[MemoryConfig] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -413,6 +525,8 @@ class ServingConfig:
                 raise ConfigError(f"{name} must lie in [0, 1], got {rate}")
         if self.max_retries < 0:
             raise ConfigError("max_retries must be non-negative")
+        if self.memory is not None and not isinstance(self.memory, MemoryConfig):
+            raise ConfigError("memory must be a MemoryConfig (or None)")
 
     def with_updates(self, **changes: object) -> "ServingConfig":
         """Return a copy of this config with the given fields replaced."""

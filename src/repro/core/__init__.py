@@ -31,8 +31,11 @@ from .cycle_model import (
     PAPER_MHA_SPEEDUP,
     CycleBreakdown,
     ffn_cycle_breakdown,
+    ffn_tile_bytes,
     mha_cycle_breakdown,
+    mha_tile_bytes,
     paper_deviation,
+    pass_busy_cycles,
 )
 from .layernorm_module import LayerNormModule, LayerNormTiming
 from .memory import (
@@ -176,11 +179,14 @@ __all__ = [
     "load_image",
     "ffn_cycle_breakdown",
     "ffn_reload_cycles",
+    "ffn_tile_bytes",
     "flip_bit",
     "mha_cycle_breakdown",
     "mha_reload_cycles",
+    "mha_tile_bytes",
     "model_reload_cycles",
     "paper_deviation",
+    "pass_busy_cycles",
     "partition_columns",
     "partition_model_weights",
     "plan_qkt",

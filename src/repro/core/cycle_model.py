@@ -8,8 +8,9 @@ reference numbers for comparison in benches and EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
-from ..config import AcceleratorConfig, ModelConfig
+from ..config import AcceleratorConfig, MemoryConfig, ModelConfig
 from ..errors import ScheduleError
 
 #: Published Section V-B results for Transformer-base, s = 64, batch 1.
@@ -41,6 +42,11 @@ class CycleBreakdown:
         abft_cycles: ABFT verification exposure over all passes (zero
             unless ``abft_protected``): the comparator tail of every
             pass plus the drains that overlap would otherwise hide.
+        memsys_stall_cycles: SA idle time waiting for off-chip weight
+            tiles (zero unless a finite :class:`MemoryConfig` is
+            given): the cold-start fetch plus any steady-state fetch
+            that outlasts the pass it hides behind
+            (:mod:`repro.memsys`).
         total_cycles: Sum of the above.
         ideal_cycles: MACs / PE count (the 100%-utilization bound).
     """
@@ -53,6 +59,7 @@ class CycleBreakdown:
     ideal_cycles: int
     softmax_stall_cycles: int = 0
     abft_cycles: int = 0
+    memsys_stall_cycles: int = 0
 
     @property
     def utilization(self) -> float:
@@ -92,8 +99,143 @@ def _layernorm_tail(acc: AcceleratorConfig, d_model: int) -> int:
     return added + d_model
 
 
-def mha_cycle_breakdown(
+def pass_busy_cycles(
+    acc: AcceleratorConfig,
+    k: int,
+    loads_weights: bool = True,
+    break_pass: bool = False,
+) -> int:
+    """SA-busy cycles of one pass, mirroring the scheduler's rules.
+
+    ``break_pass`` covers every reason the scheduler charges full skew:
+    a dependency break, a single-ported-buffer conflict, or being the
+    first pass.  This is also the *hiding window* the tile prefetcher
+    gets per steady-state weight pass, which is why it is public
+    (:mod:`repro.memsys` sizes the compute/memory-bound crossover from
+    it).
+    """
+    busy = acc.pass_issue_cycles + k
+    if loads_weights:
+        busy += acc.weight_load_cycles
+    if acc.pass_overlap:
+        if break_pass:
+            busy += _skew_and_drain(acc, acc.sa_cols)
+        elif acc.abft_protected:
+            busy += acc.sa_drain_cycles
+    else:
+        busy += _skew_and_drain(acc, acc.sa_cols)
+    if acc.abft_protected:
+        busy += acc.abft_check_cycles
+    return busy
+
+
+def mha_tile_bytes(model: ModelConfig, acc: AcceleratorConfig) -> int:
+    """Bytes of one 64-column MHA weight tile (W_Q/K/V/G are d_model-deep)."""
+    return model.d_model * acc.sa_cols * acc.weight_bits // 8
+
+
+def ffn_tile_bytes(
     model: ModelConfig, acc: AcceleratorConfig
+) -> Tuple[int, int]:
+    """Bytes of one 64-column W1 tile and one W2 tile."""
+    w1 = model.d_model * acc.sa_cols * acc.weight_bits // 8
+    w2 = model.d_ff * acc.sa_cols * acc.weight_bits // 8
+    return w1, w2
+
+
+def _mha_memsys_stalls(
+    model: ModelConfig, acc: AcceleratorConfig, mem: MemoryConfig
+) -> Tuple[int, int]:
+    """(memsys stall, softmax stall) of one MHA ResBlock.
+
+    Mirrors the event timeline's prefetch recursion: the fetch of each
+    weight tile starts when the previous weight pass starts, so a tile
+    stalls its pass by ``max(0, F - gap)`` where ``gap`` is the SA time
+    between consecutive weight-pass starts.  A stall on ``V W_Vi``
+    also absorbs part of the softmax tail the ``P V`` pass would have
+    waited for, so the two terms are coupled per head.
+    """
+    s = acc.seq_len
+    h = model.num_heads
+    d_model = model.d_model
+    qkt_passes = -(-s // acc.sa_cols)
+    exposed = s + acc.softmax_pipeline_depth
+    b_chain = pass_busy_cycles(acc, d_model, True, False)
+    fetch = mem.transfer_cycles(mha_tile_bytes(model, acc), acc.clock_mhz)
+    if not mem.double_buffered_prefetch:
+        # Every weight pass waits for its own tile; the V-projection's
+        # wait doubles as cover for the softmax tail.
+        mem_stall = 4 * h * fetch
+        sm_stall = h * max(0, exposed - b_chain - fetch)
+        return mem_stall, sm_stall
+    b_first = pass_busy_cycles(acc, d_model, True, True)
+    b_qkt0 = pass_busy_cycles(acc, acc.sa_cols, False, True)
+    b_qktx = pass_busy_cycles(
+        acc, acc.sa_cols, False, acc.single_ported_buffers
+    )
+    b_pv = pass_busy_cycles(acc, s, False, True)
+    gap_v = b_chain + b_qkt0 + (qkt_passes - 1) * b_qktx
+    mem_stall = 0
+    sm_stall = 0
+    stall_v = 0
+    for i in range(h):
+        if i == 0:
+            # Cold start: nothing hides the very first tile's fetch.
+            stall_q = fetch
+        else:
+            gap_q = max(b_chain, exposed - stall_v) + b_pv
+            stall_q = max(0, fetch - gap_q)
+        stall_k = max(0, fetch - (b_first if i == 0 else b_chain))
+        stall_v = max(0, fetch - gap_v)
+        mem_stall += stall_q + stall_k + stall_v
+        sm_stall += max(0, exposed - b_chain - stall_v)
+    gap_g0 = max(b_chain, exposed - stall_v) + b_pv
+    mem_stall += max(0, fetch - gap_g0)
+    if h >= 2:
+        b_g0 = pass_busy_cycles(acc, d_model, True, True)
+        b_gx = pass_busy_cycles(
+            acc, d_model, True, acc.single_ported_buffers
+        )
+        mem_stall += max(0, fetch - b_g0)
+        mem_stall += (h - 2) * max(0, fetch - b_gx)
+    return mem_stall, sm_stall
+
+
+def _ffn_memsys_stalls(
+    model: ModelConfig, acc: AcceleratorConfig, mem: MemoryConfig
+) -> int:
+    """Memsys stall of one FFN ResBlock (same recursion, linear chain)."""
+    w1_bytes, w2_bytes = ffn_tile_bytes(model, acc)
+    fetch1 = mem.transfer_cycles(w1_bytes, acc.clock_mhz)
+    fetch2 = mem.transfer_cycles(w2_bytes, acc.clock_mhz)
+    num_w1 = model.d_ff // acc.sa_cols
+    num_w2 = model.d_model // acc.sa_cols
+    if not mem.double_buffered_prefetch:
+        return num_w1 * fetch1 + num_w2 * fetch2
+    b1_first = pass_busy_cycles(acc, model.d_model, True, True)
+    b1_other = pass_busy_cycles(
+        acc, model.d_model, True, acc.single_ported_buffers
+    )
+    b2_first = pass_busy_cycles(acc, model.d_ff, True, True)
+    b2_other = pass_busy_cycles(
+        acc, model.d_ff, True, acc.single_ported_buffers
+    )
+    stall = fetch1                       # cold start on w1.0
+    if num_w1 >= 2:
+        stall += max(0, fetch1 - b1_first)
+        stall += (num_w1 - 2) * max(0, fetch1 - b1_other)
+    last_w1 = b1_first if num_w1 == 1 else b1_other
+    stall += max(0, fetch2 - last_w1)
+    if num_w2 >= 2:
+        stall += max(0, fetch2 - b2_first)
+        stall += (num_w2 - 2) * max(0, fetch2 - b2_other)
+    return stall
+
+
+def mha_cycle_breakdown(
+    model: ModelConfig,
+    acc: AcceleratorConfig,
+    mem: Optional[MemoryConfig] = None,
 ) -> CycleBreakdown:
     """Analytic cycle count of one MHA ResBlock.
 
@@ -154,15 +296,22 @@ def mha_cycle_breakdown(
         v_busy += skew_full
         if acc.abft_protected:
             v_busy += acc.abft_check_cycles
-    stall = h * max(0, softmax_exposed - v_busy)
+    if mem is not None and not mem.is_unlimited:
+        # A weight-tile stall on V W_Vi also covers part of the softmax
+        # tail, so both terms come from the coupled recursion.
+        mem_stall, stall = _mha_memsys_stalls(model, acc, mem)
+    else:
+        mem_stall = 0
+        stall = h * max(0, softmax_exposed - v_busy)
     layernorm = _layernorm_tail(acc, d_model)
-    total = active + issue + skew + stall + layernorm + abft
+    total = active + issue + skew + stall + layernorm + abft + mem_stall
     return CycleBreakdown(
         active_cycles=active,
         issue_cycles=issue,
         skew_cycles=skew,
         softmax_stall_cycles=stall,
         abft_cycles=abft,
+        memsys_stall_cycles=mem_stall,
         layernorm_cycles=layernorm,
         total_cycles=total,
         ideal_cycles=model.mha_macs(s) // acc.num_pes,
@@ -170,7 +319,9 @@ def mha_cycle_breakdown(
 
 
 def ffn_cycle_breakdown(
-    model: ModelConfig, acc: AcceleratorConfig
+    model: ModelConfig,
+    acc: AcceleratorConfig,
+    mem: Optional[MemoryConfig] = None,
 ) -> CycleBreakdown:
     """Analytic cycle count of one FFN ResBlock.
 
@@ -199,12 +350,17 @@ def ffn_cycle_breakdown(
     skew = break_passes * skew_full
     abft = _abft_exposure(acc, passes, break_passes)
     layernorm = _layernorm_tail(acc, d_model)
-    total = active + issue + skew + layernorm + abft
+    mem_stall = (
+        _ffn_memsys_stalls(model, acc, mem)
+        if mem is not None and not mem.is_unlimited else 0
+    )
+    total = active + issue + skew + layernorm + abft + mem_stall
     return CycleBreakdown(
         active_cycles=active,
         issue_cycles=issue,
         skew_cycles=skew,
         abft_cycles=abft,
+        memsys_stall_cycles=mem_stall,
         layernorm_cycles=layernorm,
         total_cycles=total,
         ideal_cycles=model.ffn_macs(s) // acc.num_pes,

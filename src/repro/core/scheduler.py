@@ -39,8 +39,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..config import AcceleratorConfig, ModelConfig
+from ..config import AcceleratorConfig, MemoryConfig, ModelConfig
 from ..errors import ScheduleError
+from ..memsys.prefetch import TilePrefetcher
+from .cycle_model import ffn_tile_bytes, mha_tile_bytes
 from .layernorm_module import LayerNormModule
 from .partition import plan_qkt
 from .softmax_module import SoftmaxModule
@@ -53,7 +55,9 @@ class TimelineEvent:
 
     Attributes:
         name: Human-readable label (e.g. ``"head3.QKt"``).
-        unit: ``"sa"``, ``"softmax"`` or ``"layernorm"``.
+        unit: ``"sa"``, ``"softmax"``, ``"layernorm"`` or ``"dram"``
+            (weight-tile fetches when a finite memory system is
+            modeled).
         start / end: Cycle interval (end exclusive).
         active_cycles: Useful cycles inside the interval (k for SA passes).
     """
@@ -77,10 +81,15 @@ class ScheduleResult:
     events: List[TimelineEvent] = field(default_factory=list)
     total_cycles: int = 0
     ideal_sa_cycles: int = 0
+    memsys_stall_cycles: int = 0
 
     @property
     def sa_events(self) -> List[TimelineEvent]:
         return [e for e in self.events if e.unit == "sa"]
+
+    @property
+    def dram_events(self) -> List[TimelineEvent]:
+        return [e for e in self.events if e.unit == "dram"]
 
     @property
     def sa_active_cycles(self) -> int:
@@ -109,12 +118,21 @@ class ScheduleResult:
 class _Timeline:
     """Mutable builder tracking per-unit availability."""
 
-    def __init__(self, config: AcceleratorConfig) -> None:
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        mem: Optional[MemoryConfig] = None,
+    ) -> None:
         self.config = config
         self.events: List[TimelineEvent] = []
         self.sa_free = 0
+        self.memsys_stall = 0
         self._last_buffer: Optional[str] = None
         self._first_pass = True
+        self._prefetch = (
+            None if mem is None or mem.is_unlimited
+            else TilePrefetcher(mem, config.clock_mhz)
+        )
 
     def skew(self, n: int) -> int:
         """Fill/drain skew of a pass with ``n`` output columns."""
@@ -129,6 +147,7 @@ class _Timeline:
         dependency_break: bool = False,
         not_before: int = 0,
         loads_weights: bool = True,
+        tile_bytes: int = 0,
     ) -> TimelineEvent:
         """Schedule one SA pass and return its event.
 
@@ -146,12 +165,25 @@ class _Timeline:
                 Weight Memory (pays ``weight_load_cycles``).  Activation
                 x activation passes (``Q_i K_i^T``, ``softmax x Temp2``)
                 read both operands from Data Memory and set this False.
+            tile_bytes: Off-chip bytes of the pass's weight tile; with a
+                finite memory system the tile prefetcher prices its
+                fetch (a ``dram`` event) and may stall the pass start.
         """
         if k <= 0:
             raise ScheduleError(f"pass {name!r} has non-positive k={k}")
         cfg = self.config
         n = cfg.sa_cols if n is None else n
         start = max(self.sa_free, not_before)
+        if self._prefetch is not None and loads_weights and tile_bytes > 0:
+            fetch = self._prefetch.issue(start, tile_bytes)
+            if fetch.fetch_cycles > 0:
+                self.events.append(TimelineEvent(
+                    name=f"{name}.fetch", unit="dram",
+                    start=fetch.fetch_start, end=fetch.fetch_end,
+                    active_cycles=fetch.fetch_cycles,
+                ))
+            start = fetch.pass_start
+            self.memsys_stall += fetch.stall_cycles
         overhead = cfg.pass_issue_cycles
         if loads_weights:
             overhead += cfg.weight_load_cycles
@@ -207,21 +239,34 @@ def _validate(model: ModelConfig, acc: AcceleratorConfig) -> None:
 
 
 def schedule_mha(
-    model: ModelConfig, acc: AcceleratorConfig
+    model: ModelConfig,
+    acc: AcceleratorConfig,
+    mem: Optional[MemoryConfig] = None,
 ) -> ScheduleResult:
-    """Timeline of one MHA ResBlock (Algorithm 1, lines 1-13)."""
+    """Timeline of one MHA ResBlock (Algorithm 1, lines 1-13).
+
+    With a finite ``mem``, every weight-streaming pass's 64-column tile
+    is fetched over the off-chip link (``dram`` events); double
+    buffered, the fetch overlaps the previous pass and only its excess
+    stalls the SA (:mod:`repro.memsys`).
+    """
     _validate(model, acc)
     s = acc.seq_len
     h = model.num_heads
     d_model = model.d_model
-    timeline = _Timeline(acc)
+    timeline = _Timeline(acc, mem)
     softmax = SoftmaxModule(acc)
     layernorm = LayerNormModule(acc, d_model)
+    tile = mha_tile_bytes(model, acc)
 
     for i in range(h):
-        timeline.sa_pass(f"head{i}.QWq", k=d_model, input_buffer="input_q")
+        timeline.sa_pass(
+            f"head{i}.QWq", k=d_model, input_buffer="input_q",
+            tile_bytes=tile,
+        )
         k_proj = timeline.sa_pass(
-            f"head{i}.KWk", k=d_model, input_buffer="input_kv"
+            f"head{i}.KWk", k=d_model, input_buffer="input_kv",
+            tile_bytes=tile,
         )
         # Q_i K_i^T consumes the drained Temp1/Temp2 of the projections.
         # For s > 64, Q_i is partitioned into 64-row chunks (Section III)
@@ -246,7 +291,8 @@ def schedule_mha(
             sm_timing.exposed_after_input,
         )
         v_proj = timeline.sa_pass(
-            f"head{i}.VWv", k=d_model, input_buffer="input_kv"
+            f"head{i}.VWv", k=d_model, input_buffer="input_kv",
+            tile_bytes=tile,
         )
         # P_i = softmax_out x Temp2 reduces over all s softmax columns and
         # needs both the softmax output and the drained V projection.
@@ -261,6 +307,7 @@ def schedule_mha(
         timeline.sa_pass(
             f"out.GW{i}", k=d_model, input_buffer="p_buffer",
             dependency_break=(i == 0),
+            tile_bytes=tile,
         )
     last_g = timeline.sa_free
     ln_timing = layernorm.timing()
@@ -271,11 +318,14 @@ def schedule_mha(
     result = ScheduleResult(block="mha", events=timeline.events)
     result.total_cycles = ln_event.end
     result.ideal_sa_cycles = model.mha_macs(s) // acc.num_pes
+    result.memsys_stall_cycles = timeline.memsys_stall
     return result
 
 
 def schedule_ffn(
-    model: ModelConfig, acc: AcceleratorConfig
+    model: ModelConfig,
+    acc: AcceleratorConfig,
+    mem: Optional[MemoryConfig] = None,
 ) -> ScheduleResult:
     """Timeline of one FFN ResBlock (Algorithm 1, lines 14-22)."""
     _validate(model, acc)
@@ -283,12 +333,16 @@ def schedule_ffn(
     h = model.num_heads
     d_model = model.d_model
     d_ff = model.d_ff
-    timeline = _Timeline(acc)
+    timeline = _Timeline(acc, mem)
     layernorm = LayerNormModule(acc, d_model)
+    w1_tile, w2_tile = ffn_tile_bytes(model, acc)
 
     num_w1 = d_ff // acc.sa_cols
     for i in range(num_w1):
-        timeline.sa_pass(f"w1.{i}", k=d_model, input_buffer="input_q")
+        timeline.sa_pass(
+            f"w1.{i}", k=d_model, input_buffer="input_q",
+            tile_bytes=w1_tile,
+        )
     # Every W2 pass reduces over the entire P buffer, so the first one must
     # wait for the last W1 pass to drain.
     num_w2 = d_model // acc.sa_cols
@@ -296,6 +350,7 @@ def schedule_ffn(
         timeline.sa_pass(
             f"w2.{i}", k=d_ff, input_buffer="p_buffer",
             dependency_break=(i == 0),
+            tile_bytes=w2_tile,
         )
     last_g = timeline.sa_free
     ln_timing = layernorm.timing()
@@ -306,16 +361,19 @@ def schedule_ffn(
     result = ScheduleResult(block="ffn", events=timeline.events)
     result.total_cycles = ln_event.end
     result.ideal_sa_cycles = model.ffn_macs(s) // acc.num_pes
+    result.memsys_stall_cycles = timeline.memsys_stall
     return result
 
 
 def schedule_encoder_layer(
-    model: ModelConfig, acc: AcceleratorConfig
+    model: ModelConfig,
+    acc: AcceleratorConfig,
+    mem: Optional[MemoryConfig] = None,
 ) -> int:
     """Total cycles of one encoder layer (MHA then FFN, sequential)."""
     return (
-        schedule_mha(model, acc).total_cycles
-        + schedule_ffn(model, acc).total_cycles
+        schedule_mha(model, acc, mem).total_cycles
+        + schedule_ffn(model, acc, mem).total_cycles
     )
 
 
@@ -323,6 +381,7 @@ def schedule_autoregressive(
     model: ModelConfig,
     acc: AcceleratorConfig,
     generated_tokens: int,
+    mem: Optional[MemoryConfig] = None,
 ) -> dict:
     """Cycle budget for autoregressive generation on the accelerator.
 
@@ -335,8 +394,8 @@ def schedule_autoregressive(
     """
     if generated_tokens <= 0:
         raise ScheduleError("generated_tokens must be positive")
-    mha = schedule_mha(model, acc).total_cycles
-    ffn = schedule_ffn(model, acc).total_cycles
+    mha = schedule_mha(model, acc, mem).total_cycles
+    ffn = schedule_ffn(model, acc, mem).total_cycles
     encoder = model.num_encoder_layers * (mha + ffn)
     decoder_step = model.num_decoder_layers * (2 * mha + ffn)
     total = encoder + generated_tokens * decoder_step
@@ -350,7 +409,9 @@ def schedule_autoregressive(
 
 
 def schedule_model(
-    model: ModelConfig, acc: AcceleratorConfig
+    model: ModelConfig,
+    acc: AcceleratorConfig,
+    mem: Optional[MemoryConfig] = None,
 ) -> dict:
     """Cycle totals for the full encoder/decoder stacks.
 
@@ -358,8 +419,8 @@ def schedule_model(
     and one FFN ResBlock; embeddings and the output softmax layer are out
     of the accelerator's scope (paper Section II-A).
     """
-    mha = schedule_mha(model, acc).total_cycles
-    ffn = schedule_ffn(model, acc).total_cycles
+    mha = schedule_mha(model, acc, mem).total_cycles
+    ffn = schedule_ffn(model, acc, mem).total_cycles
     encoder = model.num_encoder_layers * (mha + ffn)
     decoder = model.num_decoder_layers * (2 * mha + ffn)
     return {

@@ -26,7 +26,7 @@ from ..errors import ScheduleError
 from .scheduler import ScheduleResult
 
 #: Track (tid) assignment per hardware unit.
-_UNIT_TRACKS = {"sa": 0, "softmax": 1, "layernorm": 2}
+_UNIT_TRACKS = {"sa": 0, "softmax": 1, "layernorm": 2, "dram": 3}
 
 
 @dataclass(frozen=True)
@@ -149,9 +149,11 @@ def schedule_to_trace_events(
         raise ScheduleError("schedule has no events to trace")
     scale = 1.0 / clock_mhz  # cycles -> us
     events = []
+    used_units = set()
     for event in result.events:
         if event.unit not in _UNIT_TRACKS:
             raise ScheduleError(f"unknown unit {event.unit!r}")
+        used_units.add(event.unit)
         events.append({
             "name": event.name,
             "cat": event.unit,
@@ -165,7 +167,11 @@ def schedule_to_trace_events(
                 "active_cycles": event.active_cycles,
             },
         })
+    # Name only the tracks that carry events: the dram track exists
+    # solely when a memory system put fetches on the timeline.
     for unit, tid in _UNIT_TRACKS.items():
+        if unit not in used_units:
+            continue
         events.append({
             "name": "thread_name",
             "ph": "M",

@@ -1,0 +1,68 @@
+"""Off-chip memory system: bandwidth, weight prefetch, cross-batch cache.
+
+The paper's accelerator keeps every weight tile on-chip; this package
+models what it costs to get them there over a DDR/AXI link:
+
+* :class:`DramChannel` + :class:`~repro.config.MemoryConfig` presets —
+  the link itself (GB/s, burst efficiency, per-transfer latency,
+  channel sharing);
+* :class:`TilePrefetcher` — double-buffered 64-column weight-tile
+  prefetch used by the core scheduler and the analytic cycle model;
+* :class:`WeightCache` — LRU over ResBlock weight sets, sized from the
+  Table II BRAM budget, hit across serving batches;
+* :func:`analyze_memory_system` / :class:`MemorySystemReport` — stall
+  shares, the accelerator-side roofline ceiling, and the
+  compute/memory-bound crossover bandwidth.
+
+``report`` is loaded lazily: it depends on :mod:`repro.core`, which
+itself imports this package (the scheduler uses the prefetcher), so an
+eager import here would be circular.
+"""
+
+from ..config import MemoryConfig
+from .bandwidth import (
+    MEMORY_PRESETS,
+    DramChannel,
+    contenders_per_channel,
+    ddr4_2400,
+    ddr4_3200,
+    hbm2_pc,
+    lpddr4_2133,
+    memory_preset,
+    unlimited,
+)
+from .cache import WeightCache, default_weight_cache_bytes
+from .prefetch import PrefetchEvent, TilePrefetcher
+
+_REPORT_EXPORTS = (
+    "BlockMemoryStats",
+    "MemorySystemReport",
+    "analyze_memory_system",
+    "steady_state_crossover_gbps",
+)
+
+__all__ = [
+    "MEMORY_PRESETS",
+    "DramChannel",
+    "MemoryConfig",
+    "PrefetchEvent",
+    "TilePrefetcher",
+    "WeightCache",
+    "contenders_per_channel",
+    "ddr4_2400",
+    "ddr4_3200",
+    "default_weight_cache_bytes",
+    "hbm2_pc",
+    "lpddr4_2133",
+    "memory_preset",
+    "unlimited",
+    *_REPORT_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _REPORT_EXPORTS:
+        from . import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,135 @@
+"""Off-chip link models: DRAM channel accounting and named presets.
+
+The cycle arithmetic itself lives on :class:`repro.config.MemoryConfig`
+(``transfer_cycles``) so the core scheduler can price a fetch without
+importing this package; :class:`DramChannel` wraps one configured link
+shared by ``requesters`` contenders and keeps traffic counters, which
+is what the serving pool and the report layer want.
+
+The presets are sustained numbers for common embedded/server parts —
+peak GB/s with a typical burst efficiency and a fixed request latency
+in 200 MHz accelerator cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..config import MemoryConfig
+from ..errors import MemoryModelError
+
+
+class DramChannel:
+    """One DDR/AXI channel shared fairly by ``requesters`` contenders.
+
+    Each requester sees ``1/requesters`` of the sustained bandwidth;
+    the per-transfer latency is not divided (each request pays its own
+    CAS/AXI pipeline).  The channel tallies everything it moves so a
+    run can report achieved bandwidth and link utilization.
+    """
+
+    def __init__(
+        self,
+        mem: MemoryConfig,
+        clock_mhz: float,
+        requesters: int = 1,
+    ) -> None:
+        if clock_mhz <= 0:
+            raise MemoryModelError("clock_mhz must be positive")
+        if requesters <= 0:
+            raise MemoryModelError("requesters must be positive")
+        self.mem = mem
+        self.clock_mhz = clock_mhz
+        self.requesters = requesters
+        self.bytes_transferred = 0
+        self.transfers = 0
+        self.busy_cycles = 0
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Sustained bytes per accelerator cycle seen by one requester."""
+        return self.mem.bytes_per_cycle(self.clock_mhz) / self.requesters
+
+    def transfer_cycles(self, num_bytes: int) -> int:
+        """Price and record one ``num_bytes`` transfer."""
+        cycles = self.mem.transfer_cycles(
+            num_bytes, self.clock_mhz, self.requesters
+        )
+        self.bytes_transferred += num_bytes
+        self.transfers += 1
+        self.busy_cycles += cycles
+        return cycles
+
+    def achieved_gbps(self, elapsed_cycles: int) -> float:
+        """Mean GB/s actually moved over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        seconds = elapsed_cycles / (self.clock_mhz * 1e6)
+        return self.bytes_transferred / seconds / 1e9
+
+
+def contenders_per_channel(num_requesters: int, channels: int) -> int:
+    """Requesters contending on the busiest of ``channels`` links."""
+    if num_requesters <= 0 or channels <= 0:
+        raise MemoryModelError(
+            "num_requesters and channels must be positive"
+        )
+    return -(-num_requesters // channels)
+
+
+def lpddr4_2133() -> MemoryConfig:
+    """One 32-bit LPDDR4-2133 channel (embedded target)."""
+    return MemoryConfig(
+        bandwidth_gbps=8.5, bus_width_bits=32,
+        burst_efficiency=0.75, transfer_latency_cycles=28,
+    )
+
+
+def ddr4_2400() -> MemoryConfig:
+    """One 64-bit DDR4-2400 channel (the FPGA-card baseline)."""
+    return MemoryConfig(
+        bandwidth_gbps=19.2, bus_width_bits=64,
+        burst_efficiency=0.8, transfer_latency_cycles=24,
+    )
+
+
+def ddr4_3200() -> MemoryConfig:
+    """One 64-bit DDR4-3200 channel."""
+    return MemoryConfig(
+        bandwidth_gbps=25.6, bus_width_bits=64,
+        burst_efficiency=0.8, transfer_latency_cycles=24,
+    )
+
+
+def hbm2_pc() -> MemoryConfig:
+    """One HBM2 pseudo-channel (64-bit at 2 Gb/s/pin)."""
+    return MemoryConfig(
+        bandwidth_gbps=16.0, bus_width_bits=64,
+        burst_efficiency=0.9, transfer_latency_cycles=16,
+    )
+
+
+def unlimited() -> MemoryConfig:
+    """Free transfers — the paper's implicit on-chip-only assumption."""
+    return MemoryConfig()
+
+
+#: Named presets for the CLI's ``--memory`` choices.
+MEMORY_PRESETS: Dict[str, MemoryConfig] = {
+    "lpddr4-2133": lpddr4_2133(),
+    "ddr4-2400": ddr4_2400(),
+    "ddr4-3200": ddr4_3200(),
+    "hbm2-pc": hbm2_pc(),
+    "unlimited": unlimited(),
+}
+
+
+def memory_preset(name: str) -> MemoryConfig:
+    """Look up a memory preset by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in MEMORY_PRESETS:
+        raise MemoryModelError(
+            f"unknown memory preset {name!r}; "
+            f"available: {sorted(MEMORY_PRESETS)}"
+        )
+    return MEMORY_PRESETS[key]

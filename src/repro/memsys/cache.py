@@ -1,0 +1,89 @@
+"""Cross-batch weight caching (LRU over ResBlock weight sets).
+
+A serving device that just ran ``enc3.ffn`` still holds that block's
+weights in its on-chip Weight Memory; if the next batch runs the same
+model, those weights need no off-chip traffic.  :class:`WeightCache`
+models that reuse as an LRU over whole ResBlock weight sets, with the
+capacity defaulting to the Table II BRAM budget the paper actually
+synthesizes (:func:`default_weight_cache_bytes`).
+
+A block larger than the whole cache counts as a miss and is *not*
+inserted (it would only evict everything for nothing — the hardware
+streams it through the double-buffered banks instead).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..config import AcceleratorConfig, ModelConfig
+from ..errors import MemoryModelError
+
+# Imported as a submodule path on purpose: this module loads while
+# repro.core's own __init__ may still be executing (the scheduler pulls
+# in repro.memsys), so it must not depend on repro.core's re-exports.
+from ..core.memory import BRAM36_BITS
+from ..core.resource_model import estimate_weight_memory
+
+
+def default_weight_cache_bytes(
+    model: ModelConfig, acc: AcceleratorConfig
+) -> int:
+    """Cache capacity implied by the Table II weight-memory BRAM budget.
+
+    The synthesized Weight Memory holds the largest layer's weights
+    (456 BRAM36 banks for Transformer-base); that same storage is what
+    a device can keep warm across batches.
+    """
+    banks = estimate_weight_memory(model, acc).bram
+    return int(banks * BRAM36_BITS) // 8
+
+
+class WeightCache:
+    """LRU cache of ResBlock weight sets, keyed by block name."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise MemoryModelError("capacity_bytes must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[str, int]" = OrderedDict()
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._entries.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block: str) -> bool:
+        return block in self._entries
+
+    def access(self, block: str, num_bytes: int) -> bool:
+        """Touch ``block``; return True on a hit, else insert (LRU).
+
+        A miss evicts least-recently-used blocks until the new one
+        fits; blocks larger than the whole cache are never inserted.
+        """
+        if num_bytes <= 0:
+            raise MemoryModelError(
+                f"block {block!r} has non-positive size {num_bytes}"
+            )
+        if block in self._entries:
+            self._entries.move_to_end(block)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if num_bytes <= self.capacity_bytes:
+            while self.used_bytes + num_bytes > self.capacity_bytes:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[block] = num_bytes
+        return False

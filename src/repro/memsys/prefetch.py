@@ -1,0 +1,112 @@
+"""Double-buffered weight-tile prefetch timing.
+
+The Weight Memory's second bank lets the accelerator fetch the *next*
+64-column weight tile while the SA streams the current one.  The
+prefetch FSM modeled here issues the fetch for tile ``j+1`` the cycle
+pass ``j`` starts streaming (one outstanding fetch; both the channel
+and the spare bank are provably free from that point), so a weight
+pass stalls only when its tile's transfer outlasts the whole previous
+pass — ``tile_bytes / effective_bandwidth > per-tile busy time``.
+
+With ``double_buffered_prefetch=False`` there is no spare bank: every
+weight pass waits for its own tile, fully exposed, before it may
+start.
+
+This module imports only :mod:`repro.config` so the core scheduler can
+use it without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import MemoryConfig
+from ..errors import MemoryModelError
+
+
+@dataclass(frozen=True)
+class PrefetchEvent:
+    """Timing of one weight-tile fetch and the pass it feeds.
+
+    Attributes:
+        fetch_start / fetch_cycles: DRAM transfer interval (cycles).
+        stall_cycles: SA cycles the pass waited for the tile.
+        pass_start: When the pass actually starts (natural start +
+            stall).
+    """
+
+    fetch_start: int
+    fetch_cycles: int
+    stall_cycles: int
+    pass_start: int
+
+    @property
+    def fetch_end(self) -> int:
+        return self.fetch_start + self.fetch_cycles
+
+
+class TilePrefetcher:
+    """Sequences weight-tile fetches for one SA pass stream.
+
+    Call :meth:`issue` once per weight-streaming pass, in pass order,
+    with the pass's *natural* start (when the SA could begin absent any
+    memory stall); it returns where the fetch sits on the DRAM track
+    and how long the pass must stall.  Activation-only passes do not
+    fetch and never stall.
+    """
+
+    def __init__(
+        self,
+        mem: MemoryConfig,
+        clock_mhz: float,
+        contenders: int = 1,
+    ) -> None:
+        if clock_mhz <= 0:
+            raise MemoryModelError("clock_mhz must be positive")
+        if contenders <= 0:
+            raise MemoryModelError("contenders must be positive")
+        self.mem = mem
+        self.clock_mhz = clock_mhz
+        self.contenders = contenders
+        self.stall_cycles = 0
+        self.tiles_fetched = 0
+        self.bytes_fetched = 0
+        self._prev_pass_start: Optional[int] = None
+
+    def fetch_cycles(self, tile_bytes: int) -> int:
+        """Transfer cycles for one ``tile_bytes`` tile."""
+        return self.mem.transfer_cycles(
+            tile_bytes, self.clock_mhz, self.contenders
+        )
+
+    def issue(self, natural_start: int, tile_bytes: int) -> PrefetchEvent:
+        """Schedule the fetch feeding a pass that could start now.
+
+        Double buffered, the fetch was issued when the previous weight
+        pass started (cycle 0 for the first tile: a cold cache has
+        nothing to overlap with); otherwise it starts at
+        ``natural_start`` and is fully exposed.
+        """
+        if natural_start < 0:
+            raise MemoryModelError("natural_start must be non-negative")
+        cycles = self.fetch_cycles(tile_bytes)
+        if self.mem.double_buffered_prefetch:
+            fetch_start = (
+                0 if self._prev_pass_start is None else self._prev_pass_start
+            )
+            stall = max(0, fetch_start + cycles - natural_start)
+        else:
+            fetch_start = natural_start
+            stall = cycles
+        pass_start = natural_start + stall
+        self._prev_pass_start = pass_start
+        self.stall_cycles += stall
+        self.tiles_fetched += 1
+        self.bytes_fetched += tile_bytes
+        return PrefetchEvent(
+            fetch_start=fetch_start,
+            fetch_cycles=cycles,
+            stall_cycles=stall,
+            pass_start=pass_start,
+        )

@@ -1,0 +1,178 @@
+"""Memory-system analysis: stall shares, ceilings, bound crossover.
+
+:func:`analyze_memory_system` runs the analytic cycle model with and
+without the configured link and reports, per ResBlock, how much of the
+latency the off-chip memory system adds — plus the accelerator-side
+roofline (the link as the operand ceiling, instead of the V100 HBM
+numbers the analysis layer had before) and the steady-state crossover
+bandwidth below which the SA starves on weight fetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.roofline import (
+    Roofline,
+    RooflinePoint,
+    memory_system_roofline,
+    offchip_weights_point,
+)
+from ..config import AcceleratorConfig, MemoryConfig, ModelConfig
+from ..errors import MemoryModelError
+
+# Function-level core imports below: repro.core imports this package
+# (the scheduler uses the prefetcher), so module-level ones would be
+# circular.
+
+
+@dataclass(frozen=True)
+class BlockMemoryStats:
+    """Memory-system impact on one ResBlock.
+
+    Attributes:
+        block: ``"mha"`` or ``"ffn"``.
+        compute_cycles: Infinite-bandwidth total (the paper's number).
+        total_cycles: Total with the configured link.
+        memsys_stall_cycles: SA cycles stalled on weight fetches.
+        stall_share: ``memsys_stall / total``.
+        tile_bytes: Largest weight tile the block streams.
+        tile_fetch_cycles: Link cycles to move that tile.
+        utilization: Useful-MAC utilization with the link priced in.
+    """
+
+    block: str
+    compute_cycles: int
+    total_cycles: int
+    memsys_stall_cycles: int
+    stall_share: float
+    tile_bytes: int
+    tile_fetch_cycles: int
+    utilization: float
+
+
+@dataclass(frozen=True)
+class MemorySystemReport:
+    """Everything :func:`analyze_memory_system` derives for one link."""
+
+    memory: MemoryConfig
+    clock_mhz: float
+    mha: BlockMemoryStats
+    ffn: BlockMemoryStats
+    roofline: Roofline
+    streaming_ffn: RooflinePoint
+    crossover_gbps: float
+
+    @property
+    def bound(self) -> str:
+        """``"memory"`` below the steady-state crossover, else ``"compute"``."""
+        if self.memory.bandwidth_gbps < self.crossover_gbps:
+            return "memory"
+        return "compute"
+
+    @property
+    def total_stall_cycles(self) -> int:
+        return self.mha.memsys_stall_cycles + self.ffn.memsys_stall_cycles
+
+
+def steady_state_crossover_gbps(
+    model: ModelConfig,
+    acc: AcceleratorConfig,
+    burst_efficiency: float = 1.0,
+    transfer_latency_cycles: int = 0,
+) -> float:
+    """Peak GB/s below which steady-state weight fetches stall the SA.
+
+    With double buffering, the fetch of tile ``j+1`` hides behind pass
+    ``j``; the tightest hiding windows are a chained MHA projection
+    pass (``d_model`` deep) for its ``d_model x 64`` tile and a
+    steady-state W2 pass (``d_ff`` deep) for its ``d_ff x 64`` tile.
+    The crossover is the bandwidth where the slowest of those fetches
+    exactly fills its window — above it only the cold-start fetch is
+    exposed, below it every tile stalls.
+    """
+    from ..core.cycle_model import (
+        ffn_tile_bytes,
+        mha_tile_bytes,
+        pass_busy_cycles,
+    )
+
+    if not 0.0 < burst_efficiency <= 1.0:
+        raise MemoryModelError("burst_efficiency must lie in (0, 1]")
+    if transfer_latency_cycles < 0:
+        raise MemoryModelError("transfer_latency_cycles must be >= 0")
+    windows = [
+        (
+            mha_tile_bytes(model, acc),
+            pass_busy_cycles(acc, model.d_model, True, False),
+        ),
+        (
+            ffn_tile_bytes(model, acc)[0],
+            pass_busy_cycles(
+                acc, model.d_model, True, acc.single_ported_buffers
+            ),
+        ),
+        (
+            ffn_tile_bytes(model, acc)[1],
+            pass_busy_cycles(
+                acc, model.d_ff, True, acc.single_ported_buffers
+            ),
+        ),
+    ]
+    required_bpc = max(
+        tile / max(1, window - transfer_latency_cycles)
+        for tile, window in windows
+    )
+    bytes_per_s = required_bpc * acc.clock_mhz * 1e6
+    return bytes_per_s / burst_efficiency / 1e9
+
+
+def analyze_memory_system(
+    model: ModelConfig,
+    acc: AcceleratorConfig,
+    mem: MemoryConfig,
+) -> MemorySystemReport:
+    """Quantify what the configured off-chip link costs the paper point."""
+    from ..core.cycle_model import (
+        ffn_cycle_breakdown,
+        ffn_tile_bytes,
+        mha_cycle_breakdown,
+        mha_tile_bytes,
+    )
+
+    base_mha = mha_cycle_breakdown(model, acc)
+    base_ffn = ffn_cycle_breakdown(model, acc)
+    with_mha = mha_cycle_breakdown(model, acc, mem)
+    with_ffn = ffn_cycle_breakdown(model, acc, mem)
+    mha_tile = mha_tile_bytes(model, acc)
+    ffn_tile = max(ffn_tile_bytes(model, acc))
+    blocks = {}
+    for name, base, with_mem, tile in (
+        ("mha", base_mha, with_mha, mha_tile),
+        ("ffn", base_ffn, with_ffn, ffn_tile),
+    ):
+        blocks[name] = BlockMemoryStats(
+            block=name,
+            compute_cycles=base.total_cycles,
+            total_cycles=with_mem.total_cycles,
+            memsys_stall_cycles=with_mem.memsys_stall_cycles,
+            stall_share=(
+                with_mem.memsys_stall_cycles / with_mem.total_cycles
+            ),
+            tile_bytes=tile,
+            tile_fetch_cycles=mem.transfer_cycles(tile, acc.clock_mhz),
+            utilization=with_mem.utilization,
+        )
+    return MemorySystemReport(
+        memory=mem,
+        clock_mhz=acc.clock_mhz,
+        mha=blocks["mha"],
+        ffn=blocks["ffn"],
+        roofline=memory_system_roofline(acc, mem),
+        streaming_ffn=offchip_weights_point(model, acc, mem=mem),
+        crossover_gbps=steady_state_crossover_gbps(
+            model, acc,
+            burst_efficiency=mem.burst_efficiency,
+            transfer_latency_cycles=mem.transfer_latency_cycles,
+        ),
+    )

@@ -105,6 +105,29 @@ class BatchCostModel:
                 + [dec] * self.model.num_decoder_layers)
 
     @property
+    def block_units(self) -> List[Tuple[str, int, int]]:
+        """Per-ResBlock ``(name, compute_cycles, weight_bytes)`` entries.
+
+        The execution-order unit the memory system works at: each
+        ResBlock's weight set is one cache entry and one off-chip fetch
+        (MHA blocks carry the four ``d_model x d_model`` projections,
+        FFN blocks ``W1`` + ``W2``).
+        """
+        wb = self.acc.weight_bits
+        d = self.model.d_model
+        mha_bytes = 4 * d * d * wb // 8
+        ffn_bytes = 2 * d * self.model.d_ff * wb // 8
+        blocks: List[Tuple[str, int, int]] = []
+        for i in range(self.model.num_encoder_layers):
+            blocks.append((f"enc{i}.mha", self.mha_cycles, mha_bytes))
+            blocks.append((f"enc{i}.ffn", self.ffn_cycles, ffn_bytes))
+        for i in range(self.model.num_decoder_layers):
+            blocks.append((f"dec{i}.self", self.mha_cycles, mha_bytes))
+            blocks.append((f"dec{i}.cross", self.mha_cycles, mha_bytes))
+            blocks.append((f"dec{i}.ffn", self.ffn_cycles, ffn_bytes))
+        return blocks
+
+    @property
     def compute_cycles(self) -> int:
         """Pure compute cycles of one full-model run."""
         return sum(cycles for _, cycles, _ in self.layer_units)

@@ -6,7 +6,13 @@ Two placements over ``N`` simulated devices:
   batches independently; each run pays the per-block weight-reload
   cycles of :func:`~repro.core.model_runner.model_reload_cycles`
   (the on-chip weight memory only holds one layer, exactly as in
-  :class:`~repro.core.model_runner.AcceleratedStack`);
+  :class:`~repro.core.model_runner.AcceleratedStack`).  With a
+  :class:`~repro.config.MemoryConfig` the flat reload constant is
+  replaced by miss-driven traffic: each device keeps an LRU
+  :class:`~repro.memsys.WeightCache` of ResBlock weight sets across
+  batches, misses fetch over the shared DRAM channels (replicas
+  contend), and double-buffered prefetch hides a block's fetch behind
+  the previous block's compute;
 * ``"layer_shard"`` — the layer stack is split into ``N`` contiguous
   pipeline stages, one per device, with weights resident (no reloads);
   a batch flows through the stages and a new batch may enter stage 0
@@ -16,11 +22,13 @@ Two placements over ``N`` simulated devices:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from ..config import AcceleratorConfig
+from ..config import AcceleratorConfig, MemoryConfig
 from ..errors import ServingError
 from ..core.trace import TraceSpan
+from ..memsys.bandwidth import contenders_per_channel
+from ..memsys.cache import WeightCache, default_weight_cache_bytes
 from .batching import Batch, BatchCostModel
 
 
@@ -74,6 +82,7 @@ class WorkerPool:
         placement: str,
         cost_model: BatchCostModel,
         acc: AcceleratorConfig,
+        mem: Optional[MemoryConfig] = None,
     ) -> None:
         if num_devices <= 0:
             raise ServingError("num_devices must be positive")
@@ -94,6 +103,28 @@ class WorkerPool:
                 acc.cycles_to_us(c)
                 for c in cost_model.stage_cycles(num_devices)
             ]
+        # Memory system (replicate only: layer_shard keeps weights
+        # resident).  Replicas contend for the shared DRAM channels and
+        # each keeps its own LRU weight cache across batches.
+        self.mem = mem if placement == "replicate" else None
+        self.weight_cache_hits = 0
+        self.weight_cache_misses = 0
+        self.reload_stall_cycles = 0
+        self._caches: Optional[List[WeightCache]] = None
+        self._contenders = 1
+        if self.mem is not None:
+            self._contenders = contenders_per_channel(
+                num_devices, self.mem.shared_channels
+            )
+            if self.mem.enable_weight_cache:
+                capacity = (
+                    int(self.mem.weight_cache_kib * 1024)
+                    if self.mem.weight_cache_kib is not None
+                    else default_weight_cache_bytes(cost_model.model, acc)
+                )
+                self._caches = [
+                    WeightCache(capacity) for _ in range(num_devices)
+                ]
 
     @property
     def num_devices(self) -> int:
@@ -154,7 +185,17 @@ class WorkerPool:
                 key=lambda d: (d.free_at_us, d.device_id),
             )
             start = max(now_us, device.free_at_us)
-            duration = self.acc.cycles_to_us(self.cost.run_cycles)
+            if self.mem is None:
+                run_cycles = self.cost.run_cycles
+                reload_cycles = self.cost.reload_cycles
+                cache_args = {}
+            else:
+                reload_cycles, hits, misses = self._memsys_reload_cycles(
+                    device.device_id
+                )
+                run_cycles = self.cost.compute_cycles + reload_cycles
+                cache_args = {"cache_hits": hits, "cache_misses": misses}
+            duration = self.acc.cycles_to_us(run_cycles)
             device.occupy(start, duration)
             device.batches_run += 1
             device.tokens_served += batch.total_tokens
@@ -162,8 +203,8 @@ class WorkerPool:
                 name=f"batch{batch.batch_id}",
                 track=f"device{device.device_id}",
                 start_us=start, duration_us=duration,
-                args={**args, "cycles": self.cost.run_cycles,
-                      "reload_cycles": self.cost.reload_cycles},
+                args={**args, "cycles": run_cycles,
+                      "reload_cycles": reload_cycles, **cache_args},
             )
             return DispatchOutcome(
                 batch, start, start + duration, [span],
@@ -191,6 +232,47 @@ class WorkerPool:
             batch, start0, ready, spans,
             device_ids=[d.device_id for d in self.devices],
         )
+
+    def _memsys_reload_cycles(self, device_id: int) -> Tuple[int, int, int]:
+        """Exposed weight-fetch cycles of one run on ``device_id``.
+
+        Walks the ResBlocks in execution order: each block's weights
+        are either warm in the device's cache (hit, no traffic) or
+        fetched over the shared channel (miss).  With double-buffered
+        prefetch a block's fetch overlaps the *previous* block's
+        compute and only the excess is exposed; without it every fetch
+        serializes in full.  Returns ``(exposed_cycles, hits, misses)``
+        and folds them into the pool counters.
+        """
+        mem = self.mem
+        cache = self._caches[device_id] if self._caches is not None else None
+        exposed = 0
+        prev_compute = 0
+        hits = 0
+        misses = 0
+        for name, compute_cycles, weight_bytes in self.cost.block_units:
+            if cache is not None and cache.access(name, weight_bytes):
+                hits += 1
+                fetch = 0
+            else:
+                misses += 1
+                fetch = mem.transfer_cycles(
+                    weight_bytes, self.acc.clock_mhz, self._contenders
+                )
+            if mem.double_buffered_prefetch:
+                exposed += max(0, fetch - prev_compute)
+            else:
+                exposed += fetch
+            prev_compute = compute_cycles
+        self.weight_cache_hits += hits
+        self.weight_cache_misses += misses
+        self.reload_stall_cycles += exposed
+        return exposed, hits, misses
+
+    @property
+    def weight_cache_hit_rate(self) -> float:
+        total = self.weight_cache_hits + self.weight_cache_misses
+        return self.weight_cache_hits / total if total else 0.0
 
     def busy_fraction(self, makespan_us: float) -> float:
         """Pool-wide fraction of device-time spent running batches."""

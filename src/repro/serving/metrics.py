@@ -63,6 +63,12 @@ class ServingMetrics:
             ideal MAC cycles, scaled by row occupancy, over all
             PE-cycles in the makespan.
         mean_queue_depth / max_queue_depth: Admission-queue pressure.
+        weight_cache_hits / weight_cache_misses: ResBlock weight-set
+            lookups across all devices (zero unless a
+            :class:`~repro.config.MemoryConfig` is configured).
+        weight_cache_hit_rate: ``hits / (hits + misses)``.
+        reload_stall_cycles: Total exposed weight-fetch cycles the
+            memory system charged across all batch runs.
     """
 
     offered: int
@@ -88,6 +94,10 @@ class ServingMetrics:
     retried: int = 0
     corrupted: int = 0
     device_failures: int = 0
+    weight_cache_hits: int = 0
+    weight_cache_misses: int = 0
+    weight_cache_hit_rate: float = 0.0
+    reload_stall_cycles: int = 0
     extra: Dict = field(default_factory=dict)
 
     def as_rows(self) -> List[List[str]]:
@@ -114,6 +124,10 @@ class ServingMetrics:
             ["SA utilization", f"{self.sa_utilization:.1%}"],
             ["mean queue depth", f"{self.mean_queue_depth:.2f}"],
             ["max queue depth", str(self.max_queue_depth)],
+            ["weight-cache hits", str(self.weight_cache_hits)],
+            ["weight-cache misses", str(self.weight_cache_misses)],
+            ["weight-cache hit rate", f"{self.weight_cache_hit_rate:.1%}"],
+            ["reload stall cycles", f"{self.reload_stall_cycles:,}"],
         ]
 
 
@@ -135,6 +149,9 @@ def compute_metrics(
     retried: int = 0,
     corrupted: int = 0,
     device_failures: int = 0,
+    weight_cache_hits: int = 0,
+    weight_cache_misses: int = 0,
+    reload_stall_cycles: int = 0,
 ) -> ServingMetrics:
     """Fold raw simulation records into a :class:`ServingMetrics`."""
     completed = len(latencies_us)
@@ -178,4 +195,11 @@ def compute_metrics(
         retried=retried,
         corrupted=corrupted,
         device_failures=device_failures,
+        weight_cache_hits=weight_cache_hits,
+        weight_cache_misses=weight_cache_misses,
+        weight_cache_hit_rate=(
+            weight_cache_hits / (weight_cache_hits + weight_cache_misses)
+            if (weight_cache_hits + weight_cache_misses) else 0.0
+        ),
+        reload_stall_cycles=reload_stall_cycles,
     )

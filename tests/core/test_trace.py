@@ -46,6 +46,19 @@ class TestTraceEvents:
         names = {e["args"]["name"] for e in events if e["ph"] == "M"}
         assert names == {"sa", "softmax", "layernorm"}
 
+    def test_dram_track_appears_with_memory_system(self):
+        from repro.memsys import ddr4_2400
+
+        with_mem = schedule_mha(
+            transformer_base(), paper_accelerator(), mem=ddr4_2400()
+        )
+        events = schedule_to_trace_events(with_mem)
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert names == {"sa", "softmax", "layernorm", "dram"}
+        fetches = [e for e in events
+                   if e["ph"] == "X" and e["cat"] == "dram"]
+        assert fetches and all(".fetch" in e["name"] for e in fetches)
+
     def test_empty_schedule_rejected(self):
         with pytest.raises(ScheduleError):
             schedule_to_trace_events(ScheduleResult(block="mha"))

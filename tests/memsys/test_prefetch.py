@@ -1,0 +1,83 @@
+"""TilePrefetcher timing: cold start, hiding windows, serialization."""
+
+import pytest
+
+from repro.config import MemoryConfig
+from repro.errors import MemoryModelError
+from repro.memsys import TilePrefetcher
+
+# 100 bytes/cycle at 200 MHz; a 1000-byte tile takes 10 cycles.
+LINK = MemoryConfig(bandwidth_gbps=20.0, burst_efficiency=1.0)
+CLOCK = 200.0
+TILE = 1000
+
+
+def _prefetcher(**mem_updates):
+    return TilePrefetcher(LINK.with_updates(**mem_updates), CLOCK)
+
+
+class TestDoubleBuffered:
+    def test_cold_start_is_fully_exposed(self):
+        pf = _prefetcher()
+        event = pf.issue(0, TILE)
+        assert event.fetch_start == 0
+        assert event.fetch_cycles == 10
+        assert event.stall_cycles == 10
+        assert event.pass_start == 10
+
+    def test_first_fetch_hides_behind_early_issue_slack(self):
+        # The pass could not start before cycle 50 anyway; the fetch
+        # issued at 0 finishes long before.
+        pf = _prefetcher()
+        event = pf.issue(50, TILE)
+        assert event.stall_cycles == 0
+        assert event.pass_start == 50
+
+    def test_steady_state_fetch_overlaps_previous_pass(self):
+        pf = _prefetcher()
+        first = pf.issue(0, TILE)
+        assert first.pass_start == 10
+        # Next fetch issues when the previous pass starts (cycle 10).
+        # The next pass would start at 15, but the fetch runs 10..20.
+        second = pf.issue(15, TILE)
+        assert second.fetch_start == 10
+        assert second.stall_cycles == 5
+        assert second.pass_start == 20
+        # A wide-enough window hides the third fetch completely.
+        third = pf.issue(40, TILE)
+        assert third.fetch_start == 20
+        assert third.stall_cycles == 0
+        assert third.pass_start == 40
+
+    def test_counters_accumulate(self):
+        pf = _prefetcher()
+        pf.issue(0, TILE)
+        pf.issue(15, TILE)
+        assert pf.stall_cycles == 15
+        assert pf.tiles_fetched == 2
+        assert pf.bytes_fetched == 2 * TILE
+
+
+class TestSerialized:
+    def test_every_pass_pays_its_own_fetch(self):
+        pf = _prefetcher(double_buffered_prefetch=False)
+        for natural in (0, 100, 1000):
+            event = pf.issue(natural, TILE)
+            assert event.fetch_start == natural
+            assert event.stall_cycles == 10
+            assert event.pass_start == natural + 10
+        assert pf.stall_cycles == 30
+
+
+class TestValidation:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(MemoryModelError):
+            TilePrefetcher(LINK, 0.0)
+        with pytest.raises(MemoryModelError):
+            TilePrefetcher(LINK, CLOCK, contenders=0)
+        with pytest.raises(MemoryModelError):
+            _prefetcher().issue(-1, TILE)
+
+    def test_contenders_slow_the_fetch(self):
+        slow = TilePrefetcher(LINK, CLOCK, contenders=2)
+        assert slow.fetch_cycles(TILE) == 20

@@ -1,0 +1,106 @@
+"""Memory-system report: stall shares, roofline ceiling, crossover."""
+
+import pytest
+
+from repro.config import MemoryConfig, paper_accelerator, transformer_base
+from repro.errors import MemoryModelError
+from repro.memsys import (
+    analyze_memory_system,
+    ddr4_2400,
+    lpddr4_2133,
+    steady_state_crossover_gbps,
+    unlimited,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return transformer_base()
+
+
+@pytest.fixture(scope="module")
+def acc():
+    return paper_accelerator()
+
+
+class TestAnalyzeMemorySystem:
+    def test_unlimited_link_adds_nothing(self, model, acc):
+        report = analyze_memory_system(model, acc, unlimited())
+        for block in (report.mha, report.ffn):
+            assert block.total_cycles == block.compute_cycles
+            assert block.memsys_stall_cycles == 0
+            assert block.stall_share == 0.0
+        assert report.bound == "compute"
+        assert report.total_stall_cycles == 0
+
+    def test_ddr4_paper_point_stays_compute_bound(self, model, acc):
+        report = analyze_memory_system(model, acc, ddr4_2400())
+        assert report.bound == "compute"
+        assert 0 < report.mha.stall_share < 0.05
+        assert 0 < report.ffn.stall_share < 0.05
+        assert report.mha.total_cycles > report.mha.compute_cycles
+        assert (report.total_stall_cycles
+                == report.mha.memsys_stall_cycles
+                + report.ffn.memsys_stall_cycles)
+
+    def test_lpddr4_is_memory_bound(self, model, acc):
+        report = analyze_memory_system(model, acc, lpddr4_2133())
+        assert report.bound == "memory"
+        assert report.ffn.stall_share > 0.25
+        assert report.ffn.utilization < 0.6
+
+    def test_tile_stats_are_consistent(self, model, acc):
+        mem = ddr4_2400()
+        report = analyze_memory_system(model, acc, mem)
+        assert report.mha.tile_bytes == model.d_model * 64
+        assert report.ffn.tile_bytes == model.d_ff * 64
+        assert (report.ffn.tile_fetch_cycles
+                == mem.transfer_cycles(report.ffn.tile_bytes, acc.clock_mhz))
+
+    def test_roofline_uses_the_link_ceiling(self, model, acc):
+        mem = ddr4_2400()
+        report = analyze_memory_system(model, acc, mem)
+        assert (report.roofline.bandwidth_bytes_per_s
+                == pytest.approx(mem.effective_bytes_per_s))
+
+
+class TestCrossover:
+    def test_paper_point_value(self, model, acc):
+        crossover = steady_state_crossover_gbps(
+            model, acc, burst_efficiency=0.8, transfer_latency_cycles=24
+        )
+        # The W2 tile (d_ff x 64) over a d_ff-deep pass dominates.
+        assert 15.0 < crossover < 18.0
+
+    def test_better_burst_efficiency_lowers_the_peak_requirement(
+        self, model, acc
+    ):
+        tight = steady_state_crossover_gbps(model, acc, 0.5)
+        loose = steady_state_crossover_gbps(model, acc, 1.0)
+        assert loose < tight
+
+    def test_latency_raises_the_requirement(self, model, acc):
+        base = steady_state_crossover_gbps(model, acc, 1.0, 0)
+        slow = steady_state_crossover_gbps(model, acc, 1.0, 64)
+        assert slow > base
+
+    def test_bound_flips_exactly_at_crossover(self, model, acc):
+        crossover = steady_state_crossover_gbps(
+            model, acc, burst_efficiency=0.8, transfer_latency_cycles=24
+        )
+        below = MemoryConfig(
+            bandwidth_gbps=crossover * 0.9, burst_efficiency=0.8,
+            transfer_latency_cycles=24,
+        )
+        above = MemoryConfig(
+            bandwidth_gbps=crossover * 1.1, burst_efficiency=0.8,
+            transfer_latency_cycles=24,
+        )
+        assert analyze_memory_system(model, acc, below).bound == "memory"
+        assert analyze_memory_system(model, acc, above).bound == "compute"
+
+    def test_rejects_bad_arguments(self, model, acc):
+        with pytest.raises(MemoryModelError):
+            steady_state_crossover_gbps(model, acc, 0.0)
+        with pytest.raises(MemoryModelError):
+            steady_state_crossover_gbps(model, acc, 1.0, -1)

@@ -1,0 +1,132 @@
+"""Serving with the memory system: caching, contention, metrics."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    ServingConfig,
+    paper_accelerator,
+    transformer_base,
+)
+from repro.memsys import ddr4_2400, unlimited
+from repro.serving import simulate_serving
+from repro.serving.batching import BatchCostModel
+from repro.serving.devices import WorkerPool
+
+WHOLE_MODEL_CACHE_KIB = 44 * 1024
+
+
+@pytest.fixture(scope="module")
+def model():
+    return transformer_base()
+
+
+@pytest.fixture(scope="module")
+def acc():
+    return paper_accelerator()
+
+
+def _serving(**overrides):
+    return ServingConfig(
+        arrival_rate_rps=1000.0, num_requests=60,
+        min_len=8, max_len=32, seed=5, **overrides,
+    )
+
+
+class TestWeightCacheServing:
+    def test_whole_model_cache_serves_hits_and_moves_p95(self, model, acc):
+        flat = simulate_serving(model, acc, _serving()).metrics
+        mem = ddr4_2400().with_updates(
+            weight_cache_kib=WHOLE_MODEL_CACHE_KIB
+        )
+        cached = simulate_serving(model, acc, _serving(memory=mem)).metrics
+        assert cached.weight_cache_hit_rate > 0.5
+        assert cached.weight_cache_hits > 0
+        assert cached.latency_p95_us != flat.latency_p95_us
+        # Warm weights beat the flat per-run reload constant.
+        assert cached.latency_p95_us < flat.latency_p95_us
+
+    def test_default_capacity_cycles_through_the_model(self, model, acc):
+        # Table II holds ~2 MiB; Transformer-base is ~42 MiB, so the
+        # round-robin block sequence evicts everything before reuse.
+        mem = ddr4_2400()
+        result = simulate_serving(model, acc, _serving(memory=mem)).metrics
+        assert result.weight_cache_hit_rate == 0.0
+        assert result.weight_cache_misses > 0
+
+    def test_disabled_cache_refetches_every_block(self, model, acc):
+        mem = ddr4_2400().with_updates(enable_weight_cache=False)
+        result = simulate_serving(model, acc, _serving(memory=mem))
+        metrics = result.metrics
+        assert metrics.weight_cache_hits == 0
+        blocks_per_run = (
+            2 * model.num_encoder_layers + 3 * model.num_decoder_layers
+        )
+        assert metrics.weight_cache_misses == (
+            blocks_per_run * metrics.num_batches
+        )
+        assert metrics.reload_stall_cycles > 0
+
+    def test_unlimited_link_reloads_for_free(self, model, acc):
+        result = simulate_serving(
+            model, acc, _serving(memory=unlimited())
+        ).metrics
+        assert result.reload_stall_cycles == 0
+        assert result.weight_cache_misses > 0  # cold misses, free fetches
+
+    def test_layer_shard_ignores_the_memory_system(self, model, acc):
+        serving = _serving(
+            memory=ddr4_2400(), num_devices=2, placement="layer_shard"
+        )
+        result = simulate_serving(model, acc, serving).metrics
+        assert result.weight_cache_hits == 0
+        assert result.weight_cache_misses == 0
+        assert result.reload_stall_cycles == 0
+
+
+class TestChannelContention:
+    def _pool(self, model, acc, mem, num_devices):
+        cost = BatchCostModel(model, acc)
+        return WorkerPool(num_devices, "replicate", cost, acc, mem=mem)
+
+    def test_fewer_channels_mean_more_stall(self, model, acc):
+        base = ddr4_2400().with_updates(enable_weight_cache=False)
+        shared = self._pool(
+            model, acc, base.with_updates(shared_channels=1), 4
+        )
+        private = self._pool(
+            model, acc, base.with_updates(shared_channels=4), 4
+        )
+        shared_stall, _, _ = shared._memsys_reload_cycles(0)
+        private_stall, _, _ = private._memsys_reload_cycles(0)
+        assert shared_stall > private_stall
+
+    def test_single_device_never_contends(self, model, acc):
+        mem = ddr4_2400().with_updates(shared_channels=1)
+        pool = self._pool(model, acc, mem, 1)
+        assert pool._contenders == 1
+
+
+class TestMetricsSurface:
+    def test_rows_include_memory_counters(self, model, acc):
+        mem = ddr4_2400().with_updates(
+            weight_cache_kib=WHOLE_MODEL_CACHE_KIB
+        )
+        metrics = simulate_serving(model, acc, _serving(memory=mem)).metrics
+        labels = {row[0] for row in metrics.as_rows()}
+        assert {"weight-cache hits", "weight-cache misses",
+                "weight-cache hit rate",
+                "reload stall cycles"} <= labels
+
+    def test_serving_config_validates_memory(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ServingConfig(memory="ddr4")
+
+    def test_memory_config_round_trips_replace(self):
+        serving = _serving(memory=ddr4_2400())
+        replaced = dataclasses.replace(serving, memory=None)
+        assert replaced.memory is None
+        assert serving.memory == ddr4_2400()

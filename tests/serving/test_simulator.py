@@ -78,7 +78,7 @@ class TestMetricsSurface:
         assert 0.0 < m.device_busy_fraction <= 1.0
         assert 0.0 < m.sa_utilization < 1.0
         assert m.max_queue_depth >= 1
-        assert len(m.as_rows()) == 21
+        assert len(m.as_rows()) == 25
 
     def test_every_request_accounted(self, model, acc):
         result = simulate_serving(model, acc, _serving())

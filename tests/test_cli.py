@@ -100,3 +100,58 @@ class TestServeSimCommand:
         assert main(["serve-sim", "--requests", "10", "--devices", "99",
                      "--placement", "layer_shard"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestMemsysCommand:
+    def test_preset_sweep(self, capsys):
+        assert main(["memsys"]) == 0
+        out = capsys.readouterr().out
+        assert "ddr4-2400" in out
+        assert "lpddr4-2133" in out
+        assert "steady-state crossover" in out
+        assert "compute" in out and "memory" in out
+
+    def test_explicit_bandwidths(self, capsys):
+        assert main(["memsys", "--bandwidths", "4", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "4 GB/s" in out
+        assert "64 GB/s" in out
+
+    def test_no_double_buffer_exposes_stalls(self, capsys):
+        assert main(["memsys", "--bandwidths", "19.2"]) == 0
+        db_out = capsys.readouterr().out
+        assert main(["memsys", "--bandwidths", "19.2",
+                     "--no-double-buffer"]) == 0
+        serial_out = capsys.readouterr().out
+        assert "prefetch on" in db_out
+        assert "prefetch off" in serial_out
+        assert db_out != serial_out
+
+
+class TestServeSimMemoryFlags:
+    def test_bandwidth_and_cache_flags(self, capsys):
+        assert main(["serve-sim", "--requests", "30", "--max-len", "32",
+                     "--bandwidth-gbps", "19.2",
+                     "--weight-cache-kib", "45056"]) == 0
+        out = capsys.readouterr().out
+        assert "weight-cache hit rate" in out
+        assert "0.0%" not in out.split("hit rate")[1].splitlines()[0]
+
+    def test_memory_preset_with_no_cache(self, capsys):
+        assert main(["serve-sim", "--requests", "30", "--max-len", "32",
+                     "--memory-preset", "ddr4-2400",
+                     "--no-weight-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "weight-cache misses" in out
+
+    def test_unknown_preset_is_clean_error(self, capsys):
+        assert main(["serve-sim", "--requests", "10",
+                     "--memory-preset", "sram-9000"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_flags_keeps_flat_reload(self, capsys):
+        assert main(["serve-sim", "--requests", "30",
+                     "--max-len", "32"]) == 0
+        out = capsys.readouterr().out
+        # Flat accounting: the memory counters exist but stay zero.
+        assert "reload stall cycles" in out

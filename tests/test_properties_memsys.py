@@ -1,0 +1,124 @@
+"""Hypothesis fuzzing of the memory-system cycle accounting.
+
+Two contracts: (1) with a memory system configured, the closed-form
+cycle model must equal the event-timeline scheduler — totals *and*
+stall counters — for every configuration; (2) an unlimited
+:class:`~repro.config.MemoryConfig` must reproduce the legacy
+``mem=None`` schedules bit-for-bit, so the paper's pinned totals
+survive the subsystem unchanged.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    AcceleratorConfig,
+    MemoryConfig,
+    ModelConfig,
+    paper_accelerator,
+    transformer_base,
+)
+from repro.core import (
+    ffn_cycle_breakdown,
+    mha_cycle_breakdown,
+    schedule_ffn,
+    schedule_mha,
+)
+
+model_configs = st.builds(
+    lambda h, ff_mult: ModelConfig(
+        "fuzz", d_model=64 * h, d_ff=64 * h * ff_mult, num_heads=h,
+        num_encoder_layers=1, num_decoder_layers=0, max_seq_len=64,
+    ),
+    h=st.integers(1, 16),
+    ff_mult=st.integers(1, 8),
+)
+
+acc_configs = st.builds(
+    AcceleratorConfig,
+    seq_len=st.sampled_from([8, 16, 32, 64, 128]),
+    sa_cols=st.just(64),
+    clock_mhz=st.sampled_from([100.0, 200.0, 300.0]),
+    sa_drain_cycles=st.integers(0, 32),
+    weight_load_cycles=st.integers(0, 64),
+    pass_issue_cycles=st.integers(0, 8),
+    softmax_pipeline_depth=st.integers(0, 64),
+    layernorm_pipeline_depth=st.integers(0, 64),
+    pass_overlap=st.booleans(),
+    single_ported_buffers=st.booleans(),
+    abft_protected=st.booleans(),
+    abft_check_cycles=st.integers(0, 32),
+)
+
+mem_configs = st.builds(
+    MemoryConfig,
+    bandwidth_gbps=st.sampled_from(
+        [0.5, 2.0, 8.5, 19.2, 100.0, float("inf")]
+    ),
+    burst_efficiency=st.sampled_from([0.5, 0.8, 1.0]),
+    transfer_latency_cycles=st.integers(0, 64),
+    double_buffered_prefetch=st.booleans(),
+)
+
+
+class TestSchedulerAnalyticAgreementWithMemsys:
+    @settings(max_examples=80, deadline=None)
+    @given(model=model_configs, acc=acc_configs, mem=mem_configs)
+    def test_mha_always_matches(self, model, acc, mem):
+        sched = schedule_mha(model, acc, mem=mem)
+        breakdown = mha_cycle_breakdown(model, acc, mem)
+        assert sched.total_cycles == breakdown.total_cycles
+        assert sched.memsys_stall_cycles == breakdown.memsys_stall_cycles
+
+    @settings(max_examples=80, deadline=None)
+    @given(model=model_configs, acc=acc_configs, mem=mem_configs)
+    def test_ffn_always_matches(self, model, acc, mem):
+        sched = schedule_ffn(model, acc, mem=mem)
+        breakdown = ffn_cycle_breakdown(model, acc, mem)
+        assert sched.total_cycles == breakdown.total_cycles
+        assert sched.memsys_stall_cycles == breakdown.memsys_stall_cycles
+
+    @settings(max_examples=40, deadline=None)
+    @given(model=model_configs, acc=acc_configs, mem=mem_configs)
+    def test_stalls_only_lengthen_the_schedule(self, model, acc, mem):
+        for schedule in (schedule_mha, schedule_ffn):
+            with_mem = schedule(model, acc, mem=mem)
+            without = schedule(model, acc)
+            assert with_mem.memsys_stall_cycles >= 0
+            assert (with_mem.total_cycles
+                    >= without.total_cycles)
+
+    @settings(max_examples=40, deadline=None)
+    @given(model=model_configs, acc=acc_configs, mem=mem_configs)
+    def test_double_buffering_never_loses(self, model, acc, mem):
+        db = mem.with_updates(double_buffered_prefetch=True)
+        serial = mem.with_updates(double_buffered_prefetch=False)
+        for schedule in (schedule_mha, schedule_ffn):
+            assert (schedule(model, acc, mem=db).total_cycles
+                    <= schedule(model, acc, mem=serial).total_cycles)
+
+
+class TestUnlimitedLinkEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(model=model_configs, acc=acc_configs)
+    def test_unlimited_mem_is_bitwise_identical(self, model, acc):
+        free = MemoryConfig()
+        for schedule in (schedule_mha, schedule_ffn):
+            legacy = schedule(model, acc)
+            with_mem = schedule(model, acc, mem=free)
+            assert with_mem.total_cycles == legacy.total_cycles
+            assert with_mem.memsys_stall_cycles == 0
+            assert with_mem.events == legacy.events
+
+    def test_paper_point_totals_survive(self):
+        """The pinned seed totals with an explicit unlimited link."""
+        model, acc = transformer_base(), paper_accelerator()
+        free = MemoryConfig()
+        assert schedule_mha(model, acc, mem=free).total_cycles == 21578
+        assert schedule_ffn(model, acc, mem=free).total_cycles == 39052
+        wl8 = acc.with_updates(weight_load_cycles=8)
+        assert schedule_mha(model, wl8, mem=free).total_cycles == 21834
+        assert schedule_ffn(model, wl8, mem=free).total_cycles == 39372
+        wl64 = acc.with_updates(weight_load_cycles=64)
+        assert schedule_mha(model, wl64, mem=free).total_cycles == 23626
+        assert schedule_ffn(model, wl64, mem=free).total_cycles == 41612
