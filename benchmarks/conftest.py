@@ -17,7 +17,6 @@ import json
 import os
 import time
 from collections import OrderedDict
-from typing import Dict
 
 import numpy as np
 import pytest
@@ -26,8 +25,8 @@ from repro.config import ModelConfig, paper_accelerator, transformer_base
 from repro.nmt import SyntheticTranslationTask, train_model
 from repro.transformer import Transformer
 
-_TEST_RESULTS: "OrderedDict[str, Dict]" = OrderedDict()
-_HEADLINES: Dict[str, object] = {}
+_TEST_RESULTS: "OrderedDict[str, dict]" = OrderedDict()
+_HEADLINES: dict[str, object] = {}
 
 
 @pytest.hookimpl(hookwrapper=True)

@@ -10,8 +10,8 @@ variant of the paper's design for a different operating point.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..config import AcceleratorConfig, ModelConfig
 from ..core.power_model import estimate_power
@@ -51,7 +51,7 @@ class DesignPoint:
                 and self.bram <= XCVU13P["bram"]
                 and self.dsp <= XCVU13P["dsp"])
 
-    def objectives(self) -> Tuple[float, float, float]:
+    def objectives(self) -> tuple[float, float, float]:
         """(latency, LUT, power) — all minimized."""
         return (self.layer_latency_us, float(self.lut), self.power_w)
 
@@ -99,7 +99,7 @@ def enumerate_designs(
     overlap_options: Sequence[bool] = (True,),
     base: AcceleratorConfig = None,
     workload_seq_len: int = 64,
-) -> List[DesignPoint]:
+) -> list[DesignPoint]:
     """Evaluate the cross product of the given parameter ranges."""
     if not seq_lens or not clocks_mhz:
         raise ConfigError("empty design-space axes")
@@ -119,7 +119,7 @@ def enumerate_designs(
     return points
 
 
-def pareto_frontier(points: Iterable[DesignPoint]) -> List[DesignPoint]:
+def pareto_frontier(points: Iterable[DesignPoint]) -> list[DesignPoint]:
     """Non-dominated points under (latency, LUT, power) minimization."""
     points = [p for p in points]
     if not points:
@@ -140,7 +140,7 @@ def pareto_frontier(points: Iterable[DesignPoint]) -> List[DesignPoint]:
     return frontier
 
 
-def summarize(points: Sequence[DesignPoint]) -> List[Dict]:
+def summarize(points: Sequence[DesignPoint]) -> list[dict]:
     """Rows for report tables (one dict per point)."""
     rows = []
     for p in points:

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence
 
 from ..core.partition import qkt_multiply_ratio, qkt_multiply_ratio_exact
 from ..errors import ShapeError
@@ -27,7 +27,7 @@ class RatioPoint:
 def ratio_sweep(
     seq_lens: Sequence[int] = (16, 32, 64, 128),
     heads: Sequence[int] = (8, 12, 16),
-) -> List[RatioPoint]:
+) -> list[RatioPoint]:
     """Evaluate Eq. (3) over the paper's relevant (s, h) grid."""
     if not seq_lens or not heads:
         raise ShapeError("sweep needs at least one s and one h")
@@ -42,7 +42,7 @@ def ratio_sweep(
     return points
 
 
-def max_ratio_in_scope(points: List[RatioPoint]) -> float:
+def max_ratio_in_scope(points: list[RatioPoint]) -> float:
     """The largest QK^T share across the sweep (paper: 'very small')."""
     if not points:
         raise ShapeError("no points")

@@ -7,7 +7,7 @@ reports, via these helpers, so the console output of
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from ..errors import ShapeError
 
@@ -54,7 +54,7 @@ def _fmt(cell: object) -> str:
 
 def deviation_row(
     label: str, measured: float, published: float
-) -> List[object]:
+) -> list[object]:
     """A (label, measured, published, deviation%) row."""
     if published == 0:
         raise ShapeError("published value must be nonzero")

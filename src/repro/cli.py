@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Optional
 
 from .analysis import deviation_row, render_table
 from .config import AcceleratorConfig, preset
@@ -68,6 +68,33 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("power", help="power split")
     sub.add_parser("tables", help="all paper comparisons")
     sub.add_parser("selftest", help="run the numerical-contract checks")
+    check = sub.add_parser(
+        "check",
+        help="static checks: overflow certifier, schedule linter, AST "
+             "lints (non-zero exit on any error finding)",
+    )
+    check.add_argument(
+        "--point", default="paper", metavar="NAME",
+        help="configuration point to certify: 'paper' or a Table I "
+             "preset name (default: paper)",
+    )
+    check.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="also write the findings/certified-bounds JSON artifact",
+    )
+    check.add_argument(
+        "--sa-acc-bits", type=int, default=None,
+        help="override the declared SA accumulator width",
+    )
+    check.add_argument(
+        "--seed-bug", choices=("sa-acc-width", "double-book"),
+        help="deliberately break the run (gate self-test)",
+    )
+    check.add_argument(
+        "--skip", action="append", default=[],
+        choices=("overflow", "schedule", "ast"),
+        help="skip one pass (repeatable)",
+    )
     trace = sub.add_parser("trace", help="write a Chrome trace JSON")
     trace.add_argument("--block", choices=("mha", "ffn"), default="mha")
     trace.add_argument("--out", required=True, help="output .json path")
@@ -333,6 +360,30 @@ def _cmd_selftest(args) -> None:
         raise RuntimeError("self-test failed")
 
 
+def _cmd_check(args) -> int:
+    from .statcheck import OverflowPoint, run_check
+
+    if args.point == "paper":
+        point = OverflowPoint()
+    else:
+        model = preset(args.point)
+        acc = AcceleratorConfig(
+            seq_len=args.seq_len, clock_mhz=args.clock_mhz
+        )
+        point = OverflowPoint.from_configs(model, acc)
+    report = run_check(
+        point=point,
+        sa_acc_bits=args.sa_acc_bits,
+        seed_bug=args.seed_bug,
+        skip=tuple(args.skip),
+        json_path=args.json_path,
+    )
+    print(report.render_text())
+    if args.json_path:
+        print(f"wrote findings artifact to {args.json_path}")
+    return 0 if report.passed else 1
+
+
 def _cmd_memsys(args) -> None:
     from .config import MemoryConfig
     from .memsys import (
@@ -542,6 +593,7 @@ def _cmd_trace(args) -> None:
 
 
 _COMMANDS = {
+    "check": _cmd_check,
     "fault-campaign": _cmd_fault_campaign,
     "memsys": _cmd_memsys,
     "schedule": _cmd_schedule,
@@ -554,15 +606,15 @@ _COMMANDS = {
 }
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     try:
-        _COMMANDS[args.command](args)
+        ret = _COMMANDS[args.command](args)
     except Exception as exc:  # surfaced as a clean CLI error
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    return 0
+    return int(ret or 0)
 
 
 if __name__ == "__main__":

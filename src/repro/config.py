@@ -22,7 +22,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from .errors import ConfigError
 
@@ -123,7 +123,7 @@ class ModelConfig:
         """Multiply-accumulate count of one FFN ResBlock at length s."""
         return s * self.d_model * self.d_ff * 2
 
-    def with_updates(self, **changes: object) -> "ModelConfig":
+    def with_updates(self, **changes: object) -> ModelConfig:
         """Return a copy of this config with the given fields replaced."""
         return dataclasses.replace(self, **changes)
 
@@ -163,7 +163,7 @@ def tiny_for_tests() -> ModelConfig:
 
 
 #: All Table I presets keyed by canonical name.
-TABLE1_PRESETS: Dict[str, ModelConfig] = {
+TABLE1_PRESETS: dict[str, ModelConfig] = {
     "transformer-base": transformer_base(),
     "transformer-big": transformer_big(),
     "bert-base": bert_base(),
@@ -301,7 +301,7 @@ class AcceleratorConfig:
         """Convert a cycle count to microseconds at the configured clock."""
         return cycles * self.clock_period_us
 
-    def with_updates(self, **changes: object) -> "AcceleratorConfig":
+    def with_updates(self, **changes: object) -> AcceleratorConfig:
         """Return a copy of this config with the given fields replaced."""
         return dataclasses.replace(self, **changes)
 
@@ -410,7 +410,7 @@ class MemoryConfig:
         stream = math.ceil(num_bytes / per_requester)
         return self.transfer_latency_cycles + stream
 
-    def with_updates(self, **changes: object) -> "MemoryConfig":
+    def with_updates(self, **changes: object) -> MemoryConfig:
         """Return a copy of this config with the given fields replaced."""
         return dataclasses.replace(self, **changes)
 
@@ -528,6 +528,6 @@ class ServingConfig:
         if self.memory is not None and not isinstance(self.memory, MemoryConfig):
             raise ConfigError("memory must be a MemoryConfig (or None)")
 
-    def with_updates(self, **changes: object) -> "ServingConfig":
+    def with_updates(self, **changes: object) -> ServingConfig:
         """Return a copy of this config with the given fields replaced."""
         return dataclasses.replace(self, **changes)

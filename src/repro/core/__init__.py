@@ -10,15 +10,6 @@ Public surface:
 """
 
 from .accelerator import AcceleratorOutput, TransformerAccelerator
-from .deployment import (
-    ImageFFNBlock,
-    ImageMHABlock,
-    export_image,
-    image_bytes,
-    load_image,
-    save_image,
-)
-from .energy import EnergyBreakdown, energy_per_token_uj, schedule_energy
 from .cycle_model import (
     PAPER_CLOCK_MHZ,
     PAPER_FFN_CYCLES,
@@ -37,6 +28,15 @@ from .cycle_model import (
     paper_deviation,
     pass_busy_cycles,
 )
+from .deployment import (
+    ImageFFNBlock,
+    ImageMHABlock,
+    export_image,
+    image_bytes,
+    load_image,
+    save_image,
+)
+from .energy import EnergyBreakdown, energy_per_token_uj, schedule_energy
 from .layernorm_module import LayerNormModule, LayerNormTiming
 from .memory import (
     BRAM36_BITS,
@@ -45,6 +45,13 @@ from .memory import (
     WeightMemory,
     bram36_banks,
     data_memory_layout,
+)
+from .model_runner import (
+    AcceleratedStack,
+    StackReport,
+    ffn_reload_cycles,
+    mha_reload_cycles,
+    model_reload_cycles,
 )
 from .partition import (
     QKTPlan,
@@ -87,23 +94,8 @@ from .scheduler import (
     schedule_mha,
     schedule_model,
 )
-from .model_runner import (
-    AcceleratedStack,
-    StackReport,
-    ffn_reload_cycles,
-    mha_reload_cycles,
-    model_reload_cycles,
-)
 from .softmax_module import SoftmaxModule, SoftmaxTiming
 from .streaming import StreamEvent, StreamingLayerNorm, StreamingSoftmax
-from .trace import (
-    TraceSpan,
-    counter_events,
-    schedule_to_trace_events,
-    spans_to_trace_events,
-    write_span_trace,
-    write_trace,
-)
 from .systolic_array import (
     PassResult,
     PEFault,
@@ -111,6 +103,14 @@ from .systolic_array import (
     SystolicArray,
     expected_pass_cycles,
     tiled_matmul,
+)
+from .trace import (
+    TraceSpan,
+    counter_events,
+    schedule_to_trace_events,
+    spans_to_trace_events,
+    write_span_trace,
+    write_trace,
 )
 
 __all__ = [

@@ -8,7 +8,7 @@ reference numbers for comparison in benches and EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 from ..config import AcceleratorConfig, MemoryConfig, ModelConfig
 from ..errors import ScheduleError
@@ -136,7 +136,7 @@ def mha_tile_bytes(model: ModelConfig, acc: AcceleratorConfig) -> int:
 
 def ffn_tile_bytes(
     model: ModelConfig, acc: AcceleratorConfig
-) -> Tuple[int, int]:
+) -> tuple[int, int]:
     """Bytes of one 64-column W1 tile and one W2 tile."""
     w1 = model.d_model * acc.sa_cols * acc.weight_bits // 8
     w2 = model.d_ff * acc.sa_cols * acc.weight_bits // 8
@@ -145,7 +145,7 @@ def ffn_tile_bytes(
 
 def _mha_memsys_stalls(
     model: ModelConfig, acc: AcceleratorConfig, mem: MemoryConfig
-) -> Tuple[int, int]:
+) -> tuple[int, int]:
     """(memsys stall, softmax stall) of one MHA ResBlock.
 
     Mirrors the event timeline's prefetch recursion: the fetch of each

@@ -19,13 +19,13 @@ artifact for the simulated accelerator:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Union
 
 import numpy as np
 
 from ..errors import QuantizationError
-from ..quant.quantizer import QuantParams, QuantizedTensor
 from ..quant.qsoftmax import HardwareSoftmax
+from ..quant.quantizer import QuantParams, QuantizedTensor
 
 PathLike = Union[str, Path]
 
@@ -40,7 +40,7 @@ _FFN_TAPS = ("in", "hidden")
 class _ImageCalibrator:
     """Minimal calibrator view over stored scales."""
 
-    def __init__(self, scales: Dict[str, float]) -> None:
+    def __init__(self, scales: dict[str, float]) -> None:
         self._scales = scales
         self.frozen = True
 
@@ -77,7 +77,7 @@ class ImageMHABlock:
     accelerator's ``load_mha``/``run_mha`` are concerned.
     """
 
-    def __init__(self, prefix: str, data: Dict[str, np.ndarray]) -> None:
+    def __init__(self, prefix: str, data: dict[str, np.ndarray]) -> None:
         self._prefix = prefix
         self.d_model = int(data[f"{prefix}.d_model"])
         self.num_heads = int(data[f"{prefix}.num_heads"])
@@ -111,7 +111,7 @@ class ImageMHABlock:
 class ImageFFNBlock:
     """An FFN ResBlock reconstructed from a deployment image."""
 
-    def __init__(self, prefix: str, data: Dict[str, np.ndarray]) -> None:
+    def __init__(self, prefix: str, data: dict[str, np.ndarray]) -> None:
         self._prefix = prefix
         self.w1 = QuantizedTensor(
             codes=data[f"{prefix}.w1"].astype(np.int64),
@@ -135,7 +135,7 @@ class ImageFFNBlock:
         return name
 
 
-def _export_mha(block, prefix: str, out: Dict[str, np.ndarray]) -> None:
+def _export_mha(block, prefix: str, out: dict[str, np.ndarray]) -> None:
     out[f"{prefix}.d_model"] = np.int64(block.d_model)
     out[f"{prefix}.num_heads"] = np.int64(block.num_heads)
     for kind in _MHA_KINDS:
@@ -153,7 +153,7 @@ def _export_mha(block, prefix: str, out: Dict[str, np.ndarray]) -> None:
     out[f"{prefix}.ln_beta"] = norm.beta.data
 
 
-def _export_ffn(block, prefix: str, out: Dict[str, np.ndarray]) -> None:
+def _export_ffn(block, prefix: str, out: dict[str, np.ndarray]) -> None:
     out[f"{prefix}.w1"] = block.w1.codes.astype(np.int8)
     out[f"{prefix}.w1_scale"] = np.float64(block.w1.params.scale)
     out[f"{prefix}.w2"] = block.w2.codes.astype(np.int8)
@@ -169,7 +169,7 @@ def _export_ffn(block, prefix: str, out: Dict[str, np.ndarray]) -> None:
     out[f"{prefix}.ln_beta"] = norm.beta.data
 
 
-def export_image(quant) -> Dict[str, np.ndarray]:
+def export_image(quant) -> dict[str, np.ndarray]:
     """Compile a calibrated quantized model into a flat image dict.
 
     Accepts anything with calibrated ``enc_mha``/``enc_ffn`` lists (and
@@ -177,7 +177,7 @@ def export_image(quant) -> Dict[str, np.ndarray]:
     """
     if not quant.calibrator.frozen:
         raise QuantizationError("calibrate the model before export")
-    out: Dict[str, np.ndarray] = {"image_version": np.int64(IMAGE_VERSION)}
+    out: dict[str, np.ndarray] = {"image_version": np.int64(IMAGE_VERSION)}
     groups = [("enc_mha", "mha"), ("enc_ffn", "ffn")]
     for attr in ("dec_self", "dec_cross", "dec_ffn"):
         if getattr(quant, attr, None):
@@ -205,7 +205,7 @@ def save_image(quant, path: PathLike) -> int:
     return len(image)
 
 
-def load_image(path: PathLike) -> Dict[str, List]:
+def load_image(path: PathLike) -> dict[str, list]:
     """Load a .npz image into block-view lists keyed by stack attribute.
 
     Returns ``{"enc_mha": [ImageMHABlock...], "enc_ffn": [...], ...}``.
@@ -214,7 +214,7 @@ def load_image(path: PathLike) -> Dict[str, List]:
         data = {name: archive[name] for name in archive.files}
     if int(data.get("image_version", -1)) != IMAGE_VERSION:
         raise QuantizationError("unsupported or missing image version")
-    stacks: Dict[str, List] = {}
+    stacks: dict[str, list] = {}
     for attr in ("enc_mha", "enc_ffn", "dec_self", "dec_cross", "dec_ffn"):
         key = f"count.{attr}"
         if key not in data:
@@ -231,6 +231,6 @@ def load_image(path: PathLike) -> Dict[str, List]:
     return stacks
 
 
-def image_bytes(image: Dict[str, np.ndarray]) -> int:
+def image_bytes(image: dict[str, np.ndarray]) -> int:
     """Total payload size of an (uncompressed) image in bytes."""
     return int(sum(np.asarray(v).nbytes for v in image.values()))

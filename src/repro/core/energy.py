@@ -11,7 +11,6 @@ microjoules rather than cycles alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from ..config import AcceleratorConfig, ModelConfig
 from ..errors import ScheduleError
@@ -54,7 +53,7 @@ class EnergyBreakdown:
     def total_uj(self) -> float:
         return self.dynamic_uj + self.static_uj
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         return {
             "sa_uj": self.sa_uj,
             "softmax_uj": self.softmax_uj,

@@ -8,7 +8,6 @@ terminal.
 
 from __future__ import annotations
 
-from typing import List
 
 from ..errors import ScheduleError
 from .scheduler import ScheduleResult
@@ -79,6 +78,6 @@ def render_gantt(
     return "\n".join(lines)
 
 
-def gantt_lines(result: ScheduleResult, width: int = 100) -> List[str]:
+def gantt_lines(result: ScheduleResult, width: int = 100) -> list[str]:
     """The rendering as a list of lines (testing convenience)."""
     return render_gantt(result, width=width).splitlines()

@@ -19,7 +19,6 @@ dual-port memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 import numpy as np
 
@@ -125,7 +124,7 @@ class MemoryBank:
 
 def data_memory_layout(
     model: ModelConfig, acc: AcceleratorConfig
-) -> Dict[str, MemoryBank]:
+) -> dict[str, MemoryBank]:
     """Instantiate the Fig. 5 data buffers for a model/accelerator pair."""
     s = acc.seq_len
     h = model.num_heads
@@ -149,7 +148,7 @@ class WeightMemory:
     def __init__(self, word_bits: int = 8, port_width_words: int = 64) -> None:
         self.word_bits = word_bits
         self.port_width_words = port_width_words
-        self._tiles: Dict[tuple, np.ndarray] = {}
+        self._tiles: dict[tuple, np.ndarray] = {}
 
     def store_tile(self, name: str, index: int, codes: np.ndarray) -> None:
         codes = np.asarray(codes, dtype=np.int64)
@@ -213,7 +212,7 @@ class BiasMemory:
 
     def __init__(self, word_bits: int = 32) -> None:
         self.word_bits = word_bits
-        self._vectors: Dict[tuple, np.ndarray] = {}
+        self._vectors: dict[tuple, np.ndarray] = {}
 
     def store(self, name: str, index: int, values: np.ndarray) -> None:
         values = np.asarray(values, dtype=np.float64)

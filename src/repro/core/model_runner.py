@@ -15,7 +15,7 @@ host, exactly the paper's scope boundary (Section II-A).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -97,7 +97,7 @@ class StackReport:
 
     compute_cycles: int = 0
     reload_cycles: int = 0
-    blocks: List[tuple] = field(default_factory=list)
+    blocks: list[tuple] = field(default_factory=list)
     _prev_compute: int = 0
 
     @property

@@ -19,7 +19,6 @@ utilization much.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
@@ -50,7 +49,7 @@ class WeightBlock:
 
 def partition_columns(
     matrix: np.ndarray, name: str, block_cols: int = SA_COLS
-) -> List[WeightBlock]:
+) -> list[WeightBlock]:
     """Split ``matrix`` into contiguous ``block_cols``-column blocks.
 
     Raises :class:`PartitionError` unless the column count divides evenly —
@@ -75,7 +74,7 @@ def partition_columns(
     return blocks
 
 
-def reassemble_columns(blocks: List[WeightBlock]) -> np.ndarray:
+def reassemble_columns(blocks: list[WeightBlock]) -> np.ndarray:
     """Inverse of :func:`partition_columns` (tests the round trip)."""
     if not blocks:
         raise PartitionError("cannot reassemble zero blocks")

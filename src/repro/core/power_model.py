@@ -12,7 +12,6 @@ accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from ..config import AcceleratorConfig, ModelConfig
 from ..errors import ConfigError
@@ -58,7 +57,7 @@ class PowerEstimate:
     def total_w(self) -> float:
         return self.dynamic_w + self.static_w
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         return {
             "sa_w": self.sa_w,
             "softmax_w": self.softmax_w,

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
 
 from ..config import AcceleratorConfig, ModelConfig
 from ..errors import ConfigError
@@ -73,7 +72,7 @@ class ResourceEstimate:
     bram: float
     dsp: int
 
-    def __add__(self, other: "ResourceEstimate") -> "ResourceEstimate":
+    def __add__(self, other: ResourceEstimate) -> ResourceEstimate:
         return ResourceEstimate(
             lut=self.lut + other.lut,
             registers=self.registers + other.registers,
@@ -81,7 +80,7 @@ class ResourceEstimate:
             dsp=self.dsp + other.dsp,
         )
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         return {
             "lut": self.lut, "registers": self.registers,
             "bram": self.bram, "dsp": self.dsp,
@@ -175,7 +174,7 @@ def estimate_weight_memory(
 
 def estimate_top(
     model: ModelConfig, acc: AcceleratorConfig
-) -> Dict[str, ResourceEstimate]:
+) -> dict[str, ResourceEstimate]:
     """Per-module estimates plus the top-level total.
 
     The top adds the bias/residual adder banks, the ReLU unit, the data
@@ -212,8 +211,8 @@ def estimate_top(
 
 
 def utilization_fractions(
-    estimates: Dict[str, ResourceEstimate], device: Dict[str, int] = None
-) -> Dict[str, Dict[str, float]]:
+    estimates: dict[str, ResourceEstimate], device: dict[str, int] = None
+) -> dict[str, dict[str, float]]:
     """Each module's share of the device, per resource type."""
     device = XCVU13P if device is None else device
     out = {}

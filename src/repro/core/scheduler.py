@@ -37,7 +37,7 @@ only; see DESIGN.md):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 from ..config import AcceleratorConfig, MemoryConfig, ModelConfig
 from ..errors import ScheduleError
@@ -78,17 +78,17 @@ class ScheduleResult:
     """Timeline and summary statistics for one ResBlock execution."""
 
     block: str
-    events: List[TimelineEvent] = field(default_factory=list)
+    events: list[TimelineEvent] = field(default_factory=list)
     total_cycles: int = 0
     ideal_sa_cycles: int = 0
     memsys_stall_cycles: int = 0
 
     @property
-    def sa_events(self) -> List[TimelineEvent]:
+    def sa_events(self) -> list[TimelineEvent]:
         return [e for e in self.events if e.unit == "sa"]
 
     @property
-    def dram_events(self) -> List[TimelineEvent]:
+    def dram_events(self) -> list[TimelineEvent]:
         return [e for e in self.events if e.unit == "dram"]
 
     @property
@@ -124,7 +124,7 @@ class _Timeline:
         mem: Optional[MemoryConfig] = None,
     ) -> None:
         self.config = config
-        self.events: List[TimelineEvent] = []
+        self.events: list[TimelineEvent] = []
         self.sa_free = 0
         self.memsys_stall = 0
         self._last_buffer: Optional[str] = None

@@ -22,7 +22,7 @@ arithmetic must agree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -68,8 +68,8 @@ class StreamingSoftmax:
         self.in_fmt = in_fmt
         self._hw = HardwareSoftmax(scale_divisor=scale_divisor,
                                    in_fmt=in_fmt)
-        self._columns: List[np.ndarray] = []
-        self._masks: List[Optional[np.ndarray]] = []
+        self._columns: list[np.ndarray] = []
+        self._masks: list[Optional[np.ndarray]] = []
         self._running_max: Optional[np.ndarray] = None
         self._first_cycle: Optional[int] = None
         self._last_cycle: Optional[int] = None
@@ -192,7 +192,7 @@ class StreamingLayerNorm:
         self.d_model = d_model
         self.eps = eps
         self._isqrt = InverseSqrtLUT()
-        self._groups: List[np.ndarray] = []
+        self._groups: list[np.ndarray] = []
         self._sum: Optional[np.ndarray] = None
         self._sum_sq: Optional[np.ndarray] = None
         self._rows: Optional[int] = None

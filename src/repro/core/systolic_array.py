@@ -22,7 +22,6 @@ description.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 import numpy as np
 
@@ -205,7 +204,7 @@ class SystolicArray:
             utilization=useful / (compute_cycles * self.num_pes),
         )
 
-    def drain_columns(self, result: PassResult) -> List[np.ndarray]:
+    def drain_columns(self, result: PassResult) -> list[np.ndarray]:
         """Output the product column by column (the paper's drain order)."""
         return [result.product[:, j].copy()
                 for j in range(result.product.shape[1])]
@@ -300,7 +299,7 @@ class ScalarSystolicArray:
 
 def tiled_matmul(
     sa: SystolicArray, a: np.ndarray, b: np.ndarray
-) -> Tuple[np.ndarray, int]:
+) -> tuple[np.ndarray, int]:
     """Multiply arbitrary integer matrices by tiling passes over ``sa``.
 
     Splits ``b`` into 64-column tiles (and ``a`` into row chunks if taller

@@ -19,14 +19,27 @@ Two pathways share the format:
 from __future__ import annotations
 
 import json
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Optional
 
 from ..errors import ScheduleError
 from .scheduler import ScheduleResult
 
 #: Track (tid) assignment per hardware unit.
 _UNIT_TRACKS = {"sa": 0, "softmax": 1, "layernorm": 2, "dram": 3}
+
+#: Registry of every track name a :class:`TraceSpan` may be emitted on,
+#: as fnmatch patterns.  ``repro.statcheck``'s REP003 lint statically
+#: checks each ``TraceSpan(track=...)`` site against this list, so a new
+#: track must be registered here (keeping the viewer's row inventory,
+#: and any tooling keyed on track names, in one place).
+KNOWN_TRACK_PATTERNS = tuple(_UNIT_TRACKS) + (
+    "queue",      # serving: per-request admission-to-dispatch waits
+    "faults",     # serving: ABFT retries and device-failure markers
+    "device*",    # serving: one row per simulated accelerator
+    "batch*",     # serving: optional per-batch breakout rows
+)
 
 
 @dataclass(frozen=True)
@@ -46,14 +59,14 @@ class TraceSpan:
     start_us: float
     duration_us: float
     category: str = "serving"
-    args: Dict = field(default_factory=dict)
+    args: dict = field(default_factory=dict)
 
     @property
     def end_us(self) -> float:
         return self.start_us + self.duration_us
 
 
-def spans_to_trace_events(spans: Sequence[TraceSpan]) -> List[Dict]:
+def spans_to_trace_events(spans: Sequence[TraceSpan]) -> list[dict]:
     """Convert spans to trace-event dicts with stable track numbering.
 
     Tracks get ``tid`` values in first-appearance order and a matching
@@ -62,7 +75,7 @@ def spans_to_trace_events(spans: Sequence[TraceSpan]) -> List[Dict]:
     """
     if not spans:
         raise ScheduleError("no spans to trace")
-    tracks: Dict[str, int] = {}
+    tracks: dict[str, int] = {}
     events = []
     for span in spans:
         if span.duration_us < 0:
@@ -95,7 +108,7 @@ def counter_events(
     name: str,
     samples: Sequence[tuple],
     category: str = "serving",
-) -> List[Dict]:
+) -> list[dict]:
     """Build Chrome counter ("C") events from ``(ts_us, value)`` samples.
 
     Counters render as a stacked area chart in the viewer — the natural
@@ -117,8 +130,8 @@ def counter_events(
 def write_span_trace(
     spans: Sequence[TraceSpan],
     path: str,
-    counters: Optional[List[Dict]] = None,
-    other_data: Optional[Dict] = None,
+    counters: Optional[list[dict]] = None,
+    other_data: Optional[dict] = None,
 ) -> int:
     """Write spans (plus optional counter events) to ``path``.
 
@@ -139,7 +152,7 @@ def write_span_trace(
 
 def schedule_to_trace_events(
     result: ScheduleResult, clock_mhz: float = 200.0
-) -> List[Dict]:
+) -> list[dict]:
     """Convert a :class:`ScheduleResult` to trace-event dicts.
 
     Cycle counts become microsecond timestamps at ``clock_mhz`` so the

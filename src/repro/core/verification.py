@@ -7,7 +7,9 @@ Runs the chain of equivalences the repository's correctness rests on
 2. accelerator (fast integer GEMM path) vs quantized model — bit-equal;
 3. accelerator (cycle-accurate SA path) vs fast path — bit-equal;
 4. scheduler vs closed-form cycle model — exactly equal;
-5. streaming softmax/LayerNorm vs their batch modules — bit-equal.
+5. streaming softmax/LayerNorm vs their batch modules — bit-equal;
+6. statcheck — the static gate certifies the paper point clean *and*
+   detects a seeded undersized-accumulator bug (:mod:`repro.statcheck`).
 
 ``python -m repro selftest`` exposes it from the command line.  Each
 check returns a :class:`CheckResult`; the suite passes only if all do.
@@ -16,7 +18,6 @@ check returns a :class:`CheckResult`; the suite passes only if all do.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
@@ -38,7 +39,7 @@ class CheckResult:
     detail: str
 
 
-def run_selftest(seed: int = 0, seq_len: int = 12) -> List[CheckResult]:
+def run_selftest(seed: int = 0, seq_len: int = 12) -> list[CheckResult]:
     """Run every contract check; returns one result per check."""
     rng = np.random.default_rng(seed)
     model_cfg = ModelConfig(
@@ -47,7 +48,7 @@ def run_selftest(seed: int = 0, seq_len: int = 12) -> List[CheckResult]:
         max_seq_len=seq_len, dropout=0.0,
     )
     acc_cfg = AcceleratorConfig(seq_len=seq_len)
-    results: List[CheckResult] = []
+    results: list[CheckResult] = []
 
     # Build + calibrate.
     fp = Transformer(model_cfg, 30, 30, rng=rng).eval()
@@ -137,9 +138,20 @@ def run_selftest(seed: int = 0, seq_len: int = 12) -> List[CheckResult]:
         "streaming-vs-batch", stream_ok,
         "bit-identical" if stream_ok else "MISMATCH",
     ))
+
+    # 6. static checks: certifier clean at the paper point, and the
+    # gate provably able to fail (seeded undersized accumulator).
+    from ..statcheck import selftest_check
+
+    problems = selftest_check()
+    results.append(CheckResult(
+        "statcheck", not problems,
+        "paper point certified; seeded overflow detected"
+        if not problems else "; ".join(problems),
+    ))
     return results
 
 
-def selftest_passed(results: List[CheckResult]) -> bool:
+def selftest_passed(results: list[CheckResult]) -> bool:
     """True when every check passed."""
     return all(r.passed for r in results)

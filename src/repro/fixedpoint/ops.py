@@ -9,7 +9,8 @@ All functions are vectorized over numpy int64 arrays.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple, Union
+from collections.abc import Sequence
+from typing import Union
 
 import numpy as np
 
@@ -76,7 +77,7 @@ def shift_left(value: IntArray, bits: int) -> np.ndarray:
 
 
 def shift_add_multiply(
-    value: IntArray, terms: Sequence[Tuple[int, int]]
+    value: IntArray, terms: Sequence[tuple[int, int]]
 ) -> np.ndarray:
     """Multiply by a constant expressed as a sum of signed shifted copies.
 
@@ -102,16 +103,16 @@ def shift_add_multiply(
     return result
 
 
-def shift_add_constant(terms: Sequence[Tuple[int, int]]) -> float:
+def shift_add_constant(terms: Sequence[tuple[int, int]]) -> float:
     """Real value of the constant realized by :func:`shift_add_multiply`."""
     return float(sum(sign * 2.0 ** -shift for sign, shift in terms))
 
 
 #: x * log2(e): 1 + 1/2 - 1/16 = 1.4375 (log2(e) = 1.442695...).
-LOG2E_TERMS: Tuple[Tuple[int, int], ...] = ((1, 0), (1, 1), (-1, 4))
+LOG2E_TERMS: tuple[tuple[int, int], ...] = ((1, 0), (1, 1), (-1, 4))
 
 #: x * ln(2): 1/2 + 1/8 + 1/16 = 0.6875 (ln 2 = 0.693147...).
-LN2_TERMS: Tuple[Tuple[int, int], ...] = ((1, 1), (1, 3), (1, 4))
+LN2_TERMS: tuple[tuple[int, int], ...] = ((1, 1), (1, 3), (1, 4))
 
 
 def leading_one_position(value: IntArray) -> np.ndarray:
@@ -120,13 +121,22 @@ def leading_one_position(value: IntArray) -> np.ndarray:
     Equivalent to ``floor(log2(value))``; the LN unit's leading-one
     detector.  Raises for non-positive inputs, which the hardware never
     produces (the softmax sum is always >= 1 in its Q-format).
+
+    Implemented as a binary-search priority encoder on the integer codes
+    (the same adder/shifter structure the RTL would synthesize), so the
+    result is exact for every representable width — a float ``log2``
+    would round wrongly for codes at and above ``2**53``.
     """
     arr = _as_int64(value)
     if np.any(arr <= 0):
         raise FixedPointError("leading_one_position requires positive inputs")
-    # int64 -> bit_length via log2 on float64 is exact for < 2**53; formats
-    # in this package are <= 62 bits but all LN-unit inputs are << 2**53.
-    return np.floor(np.log2(arr.astype(np.float64))).astype(np.int64)
+    pos = np.zeros_like(arr)
+    rem = arr.copy()
+    for step in (32, 16, 8, 4, 2, 1):
+        high = rem >= (np.int64(1) << step)
+        pos = np.where(high, pos + step, pos)
+        rem = np.where(high, rem >> step, rem)
+    return pos
 
 
 def clz_width(value: IntArray, width: int) -> np.ndarray:

@@ -9,8 +9,8 @@ and how it erodes as tensors grow.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
 
 from ..config import AcceleratorConfig, ModelConfig
 from ..core.scheduler import schedule_ffn, schedule_mha
@@ -48,7 +48,7 @@ def speedup_landscape(
     seq_lens: Sequence[int] = (16, 32, 64, 128),
     spec: GpuSpec = None,
     base: AcceleratorConfig = None,
-) -> List[SpeedupCell]:
+) -> list[SpeedupCell]:
     """Evaluate the speedup grid; SA rows track the sequence length."""
     if not models or not seq_lens:
         raise ConfigError("need at least one model and one seq_len")
@@ -71,7 +71,7 @@ def speedup_landscape(
     return cells
 
 
-def best_and_worst(cells: Sequence[SpeedupCell]) -> Dict[str, SpeedupCell]:
+def best_and_worst(cells: Sequence[SpeedupCell]) -> dict[str, SpeedupCell]:
     """The landscape's extremes by whole-layer speedup."""
     if not cells:
         raise ConfigError("no cells")

@@ -17,7 +17,6 @@ reproduce.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from ..config import ModelConfig
 from ..errors import ShapeError
@@ -55,7 +54,7 @@ def _elementwise_kernel(name: str, elements: int, reads: int = 1) -> Kernel:
     return Kernel(name, elements, FP32_BYTES * elements * (reads + 1))
 
 
-def mha_resblock_kernels(model: ModelConfig, s: int) -> List[Kernel]:
+def mha_resblock_kernels(model: ModelConfig, s: int) -> list[Kernel]:
     """Kernel sequence of one MHA ResBlock in the reference PyTorch code.
 
     Projections, head reshapes/transposes, batched ``Q K^T``, scale, mask,
@@ -89,7 +88,7 @@ def mha_resblock_kernels(model: ModelConfig, s: int) -> List[Kernel]:
     ]
 
 
-def ffn_resblock_kernels(model: ModelConfig, s: int) -> List[Kernel]:
+def ffn_resblock_kernels(model: ModelConfig, s: int) -> list[Kernel]:
     """Kernel sequence of one FFN ResBlock: 7 launches."""
     if s <= 0:
         raise ShapeError("sequence length must be positive")
@@ -107,9 +106,9 @@ def ffn_resblock_kernels(model: ModelConfig, s: int) -> List[Kernel]:
     ]
 
 
-def total_flops(kernels: List[Kernel]) -> int:
+def total_flops(kernels: list[Kernel]) -> int:
     return sum(k.flops for k in kernels)
 
 
-def total_bytes(kernels: List[Kernel]) -> int:
+def total_bytes(kernels: list[Kernel]) -> int:
     return sum(k.bytes_moved for k in kernels)

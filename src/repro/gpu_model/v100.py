@@ -13,7 +13,6 @@ predictions of the model rather than fits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from ..config import ModelConfig
 from ..errors import ConfigError
@@ -52,7 +51,7 @@ class GpuSpec:
         memory = kernel.bytes_moved / self.memory_bandwidth
         return self.kernel_overhead_s + max(compute, memory)
 
-    def sequence_latency_us(self, kernels: List[Kernel]) -> float:
+    def sequence_latency_us(self, kernels: list[Kernel]) -> float:
         """Latency of a serial kernel sequence in microseconds."""
         return sum(self.kernel_latency_s(k) for k in kernels) * 1e6
 

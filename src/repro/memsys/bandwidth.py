@@ -13,7 +13,6 @@ in 200 MHz accelerator cycles.
 
 from __future__ import annotations
 
-from typing import Dict
 
 from ..config import MemoryConfig
 from ..errors import MemoryModelError
@@ -115,7 +114,7 @@ def unlimited() -> MemoryConfig:
 
 
 #: Named presets for the CLI's ``--memory`` choices.
-MEMORY_PRESETS: Dict[str, MemoryConfig] = {
+MEMORY_PRESETS: dict[str, MemoryConfig] = {
     "lpddr4-2133": lpddr4_2133(),
     "ddr4-2400": ddr4_2400(),
     "ddr4-3200": ddr4_3200(),

@@ -8,7 +8,7 @@ brevity penalty — the metric the paper's Section V-A reports (23.88 FP32,
 from __future__ import annotations
 
 from collections import Counter
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -23,7 +23,7 @@ def _ngrams(tokens: Sequence, order: int) -> Counter:
 
 def sentence_stats(
     hypothesis: Sequence, reference: Sequence, max_order: int = 4
-) -> Tuple[List[int], List[int], int, int]:
+) -> tuple[list[int], list[int], int, int]:
     """Clipped match / total counts per order, plus lengths."""
     matches = []
     totals = []

@@ -18,8 +18,8 @@ Position 0 of every encoded example carries a [CLS] token, matching
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -39,7 +39,7 @@ NUM_GROUPS = 3
 class LabeledSentence:
     """One classification example."""
 
-    tokens: Tuple[str, ...]
+    tokens: tuple[str, ...]
     label: int
 
 
@@ -98,7 +98,7 @@ class SyntheticClassificationTask:
         """Draw one example with an unambiguous majority."""
         while True:
             length = int(rng.integers(self.min_len, self.max_len + 1))
-            tokens: List[str] = []
+            tokens: list[str] = []
             for _ in range(length):
                 if rng.random() < self.flip_prob / length:
                     tokens.append(FLIP_WORD)
@@ -119,7 +119,7 @@ class SyntheticClassificationTask:
                 tokens=tuple(tokens), label=self.label_of(tokens)
             )
 
-    def make_dataset(self, size: int, seed: int = 0) -> List[LabeledSentence]:
+    def make_dataset(self, size: int, seed: int = 0) -> list[LabeledSentence]:
         if size <= 0:
             raise ShapeError("dataset size must be positive")
         rng = np.random.default_rng(seed)
@@ -128,7 +128,7 @@ class SyntheticClassificationTask:
     # ------------------------------------------------------------------
     def encode_batch(
         self, examples: Sequence[LabeledSentence]
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(token_ids, lengths, labels)`` with [CLS] at position 0."""
         if not examples:
             raise ShapeError("cannot encode an empty batch")
@@ -153,7 +153,7 @@ def train_classifier(
     batch_size: int = 32,
     lr: float = 3e-3,
     seed: int = 0,
-) -> List[float]:
+) -> list[float]:
     """Train an :class:`EncoderOnlyClassifier`; returns the loss trace."""
     from ..transformer.optim import Adam, cross_entropy
 
@@ -161,7 +161,7 @@ def train_classifier(
         raise ShapeError("epochs must be positive")
     rng = np.random.default_rng(seed)
     optimizer = Adam(model.parameters(), lr=lr, grad_clip=5.0)
-    losses: List[float] = []
+    losses: list[float] = []
     model.train()
     order = np.arange(len(examples))
     for _ in range(epochs):

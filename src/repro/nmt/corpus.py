@@ -19,8 +19,8 @@ through exactly the matrices the accelerator computes.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -31,11 +31,11 @@ from .vocab import Vocab
 MARKER_WORD = "doppel"
 
 
-def _source_words(num_words: int) -> List[str]:
+def _source_words(num_words: int) -> list[str]:
     return [f"s{i:02d}" for i in range(num_words)] + [MARKER_WORD]
 
 
-def _target_words(num_words: int) -> List[str]:
+def _target_words(num_words: int) -> list[str]:
     base = [f"t{i:02d}" for i in range(num_words)]
     alt = [f"t{i:02d}x" for i in range(num_words)]
     return base + alt + ["dop"]
@@ -45,8 +45,8 @@ def _target_words(num_words: int) -> List[str]:
 class SentencePair:
     """One parallel sentence (token strings, no specials)."""
 
-    source: Tuple[str, ...]
-    target: Tuple[str, ...]
+    source: tuple[str, ...]
+    target: tuple[str, ...]
 
 
 class SyntheticTranslationTask:
@@ -73,9 +73,9 @@ class SyntheticTranslationTask:
     # ------------------------------------------------------------------
     # The ground-truth translation function
     # ------------------------------------------------------------------
-    def translate(self, source: Sequence[str]) -> List[str]:
+    def translate(self, source: Sequence[str]) -> list[str]:
         """Apply the deterministic translation rules to a source sentence."""
-        out: List[str] = []
+        out: list[str] = []
         previous_was_marker = False
         for word in source:
             if word == MARKER_WORD:
@@ -96,10 +96,10 @@ class SyntheticTranslationTask:
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
-    def sample_source(self, rng: np.random.Generator) -> List[str]:
+    def sample_source(self, rng: np.random.Generator) -> list[str]:
         """Draw a random source sentence."""
         length = int(rng.integers(self.min_len, self.max_len + 1))
-        words: List[str] = []
+        words: list[str] = []
         for _ in range(length):
             if words and words[-1] != MARKER_WORD and \
                     rng.random() < self.marker_prob:
@@ -115,7 +115,7 @@ class SyntheticTranslationTask:
         source = self.sample_source(rng)
         return SentencePair(tuple(source), tuple(self.translate(source)))
 
-    def make_corpus(self, size: int, seed: int = 0) -> List[SentencePair]:
+    def make_corpus(self, size: int, seed: int = 0) -> list[SentencePair]:
         """Generate ``size`` parallel sentences deterministically."""
         if size <= 0:
             raise ShapeError("corpus size must be positive")
@@ -125,7 +125,7 @@ class SyntheticTranslationTask:
     def splits(
         self, train: int = 2000, valid: int = 200, test: int = 200,
         seed: int = 0,
-    ) -> Tuple[List[SentencePair], List[SentencePair], List[SentencePair]]:
+    ) -> tuple[list[SentencePair], list[SentencePair], list[SentencePair]]:
         """Disjoint train/valid/test splits from one stream."""
         full = self.make_corpus(train + valid + test, seed=seed)
         return (

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence
 
 import numpy as np
 
@@ -35,7 +35,7 @@ class Batch:
         return self.src.shape[0]
 
 
-def _pad(rows: List[List[int]], pad_id: int) -> np.ndarray:
+def _pad(rows: list[list[int]], pad_id: int) -> np.ndarray:
     width = max(len(r) for r in rows)
     out = np.full((len(rows), width), pad_id, dtype=np.int64)
     for i, row in enumerate(rows):

@@ -8,8 +8,9 @@ model and the quantized model alike), mirroring the paper's BLEU protocol.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -26,8 +27,8 @@ from .dataset import encode_pairs, iter_batches
 class TrainingLog:
     """Loss / learning-rate trace of a training run."""
 
-    losses: List[float] = field(default_factory=list)
-    rates: List[float] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+    rates: list[float] = field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
@@ -107,8 +108,8 @@ def evaluate_bleu(
         raise TrainingError("evaluate_bleu needs at least one pair")
     if max_len is None:
         max_len = task.max_len + 4
-    hypotheses: List[List[str]] = []
-    references: List[List[str]] = []
+    hypotheses: list[list[str]] = []
+    references: list[list[str]] = []
     for start in range(0, len(pairs), batch_size):
         chunk = list(pairs[start:start + batch_size])
         batch = encode_pairs(chunk, task.src_vocab, task.tgt_vocab)

@@ -7,7 +7,7 @@ most NMT toolchains do.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..errors import ShapeError
 
@@ -22,14 +22,14 @@ class Vocab:
     """Bidirectional token/string mapping with reserved specials."""
 
     def __init__(self, words: Iterable[str]) -> None:
-        self._itos: List[str] = list(SPECIAL_TOKENS)
+        self._itos: list[str] = list(SPECIAL_TOKENS)
         seen = set(self._itos)
         for word in words:
             if word in seen:
                 raise ShapeError(f"duplicate vocabulary word {word!r}")
             seen.add(word)
             self._itos.append(word)
-        self._stoi: Dict[str, int] = {w: i for i, w in enumerate(self._itos)}
+        self._stoi: dict[str, int] = {w: i for i, w in enumerate(self._itos)}
 
     def __len__(self) -> int:
         return len(self._itos)
@@ -53,11 +53,11 @@ class Vocab:
     def unk_id(self) -> int:
         return self._stoi[UNK_TOKEN]
 
-    def encode(self, words: Sequence[str]) -> List[int]:
+    def encode(self, words: Sequence[str]) -> list[int]:
         """Word sequence -> id sequence (unknowns map to UNK)."""
         return [self._stoi.get(w, self.unk_id) for w in words]
 
-    def decode(self, ids: Sequence[int], strip_special: bool = True) -> List[str]:
+    def decode(self, ids: Sequence[int], strip_special: bool = True) -> list[str]:
         """Id sequence -> word sequence."""
         words = []
         for token_id in ids:

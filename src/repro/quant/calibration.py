@@ -8,7 +8,6 @@ Static symmetric quantization needs one ``amax`` per activation tap.  The
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 import numpy as np
 
@@ -26,8 +25,8 @@ class Calibrator:
 
     def __init__(self, bits: int = 8) -> None:
         self.bits = bits
-        self._amax: Dict[str, float] = {}
-        self._counts: Dict[str, int] = {}
+        self._amax: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
         self._frozen = False
 
     @property
@@ -63,13 +62,13 @@ class Calibrator:
             raise QuantizationError(f"tap {tap!r} was never observed")
         return self._amax[tap]
 
-    def taps(self) -> List[str]:
+    def taps(self) -> list[str]:
         """All observed tap names, sorted."""
         return sorted(self._amax)
 
     def observation_count(self, tap: str) -> int:
         return self._counts.get(tap, 0)
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         """Copy of the tap -> amax table (for reports/tests)."""
         return dict(self._amax)

@@ -10,7 +10,8 @@ encoder path accepts a quantized BERT unchanged.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from collections.abc import Iterable
+from typing import Optional
 
 import numpy as np
 
@@ -112,7 +113,7 @@ class QuantizedEncoderOnly:
     # ------------------------------------------------------------------
     def calibrate(
         self,
-        batches: Iterable[Tuple[np.ndarray, Optional[np.ndarray]]],
+        batches: Iterable[tuple[np.ndarray, Optional[np.ndarray]]],
     ) -> None:
         """FP passes over ``(token_ids, lengths)`` batches, then freeze."""
         self._calibrating = True

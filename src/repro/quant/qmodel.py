@@ -23,7 +23,8 @@ LayerNorm module model in :mod:`repro.core`).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from collections.abc import Iterable
+from typing import Optional
 
 import numpy as np
 
@@ -35,8 +36,8 @@ from ..transformer.functional import layer_norm, relu, scaled_masked_softmax
 from ..transformer.model import Transformer
 from ..transformer.tensor import Tensor
 from .calibration import Calibrator
-from .quantizer import QuantParams, QuantizedTensor, int_gemm
 from .qsoftmax import HardwareSoftmax
+from .quantizer import QuantParams, QuantizedTensor, int_gemm
 
 #: Softmax execution modes.
 SOFTMAX_FP32 = "fp32"
@@ -62,7 +63,7 @@ class QuantMHAResBlock:
         self.num_heads = mha.num_heads
         self.d_k = mha.d_k
         self.d_model = mha.d_model
-        self.weights: Dict[str, QuantizedTensor] = {
+        self.weights: dict[str, QuantizedTensor] = {
             "q": QuantizedTensor.quantize(mha.q_proj.weight.data, bits),
             "k": QuantizedTensor.quantize(mha.k_proj.weight.data, bits),
             "v": QuantizedTensor.quantize(mha.v_proj.weight.data, bits),
@@ -220,7 +221,7 @@ class QuantFFNResBlock:
 
 
 def _expand_mask(
-    mask: Optional[np.ndarray], logits_shape: Tuple[int, ...]
+    mask: Optional[np.ndarray], logits_shape: tuple[int, ...]
 ) -> Optional[np.ndarray]:
     """Broadcast a (batch, s_q, s_v) mask over the head axis."""
     if mask is None:
@@ -361,7 +362,7 @@ class QuantizedTransformer:
         return self.generator(states)
 
     # ------------------------------------------------------------------
-    def calibrate(self, batches: Iterable[Tuple[np.ndarray, np.ndarray, np.ndarray]]) -> None:
+    def calibrate(self, batches: Iterable[tuple[np.ndarray, np.ndarray, np.ndarray]]) -> None:
         """Run FP forward passes over ``(src, tgt, src_lengths)`` batches,
         recording every activation range, then freeze the calibrator."""
         self._calibrating = True

@@ -58,12 +58,12 @@ class QuantParams:
         return -(1 << (self.bits - 1))
 
     @classmethod
-    def from_amax(cls, amax: float, bits: int = 8) -> "QuantParams":
+    def from_amax(cls, amax: float, bits: int = 8) -> QuantParams:
         """Build parameters covering ``[-amax, amax]``."""
         return cls(scale=symmetric_scale(amax, bits), bits=bits)
 
     @classmethod
-    def from_tensor(cls, tensor: np.ndarray, bits: int = 8) -> "QuantParams":
+    def from_tensor(cls, tensor: np.ndarray, bits: int = 8) -> QuantParams:
         """Build parameters from a tensor's absolute maximum."""
         return cls.from_amax(float(np.abs(tensor).max(initial=0.0)), bits)
 
@@ -90,7 +90,7 @@ class QuantizedTensor:
     params: QuantParams
 
     @classmethod
-    def quantize(cls, tensor: np.ndarray, bits: int = 8) -> "QuantizedTensor":
+    def quantize(cls, tensor: np.ndarray, bits: int = 8) -> QuantizedTensor:
         params = QuantParams.from_tensor(tensor, bits)
         return cls(codes=params.quantize(tensor), params=params)
 

@@ -11,8 +11,8 @@ insufficient.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -84,7 +84,7 @@ def tap_sensitivity(
     tgt: np.ndarray,
     lengths: np.ndarray,
     groups: Sequence[str] = TAP_GROUPS,
-) -> List[SensitivityResult]:
+) -> list[SensitivityResult]:
     """Quantize one tap group at a time; measure logit perturbation."""
     if not quant.calibrator.frozen:
         raise QuantizationError("calibrate the quantized model first")
@@ -107,7 +107,7 @@ def tap_sensitivity(
 
 def rank_by_sensitivity(
     results: Sequence[SensitivityResult],
-) -> List[Tuple[str, float]]:
+) -> list[tuple[str, float]]:
     """``(tap_group, relative_rms)`` pairs, most sensitive first."""
     if not results:
         raise QuantizationError("no sensitivity results")
@@ -121,7 +121,7 @@ def full_vs_sum_of_parts(
     src: np.ndarray,
     tgt: np.ndarray,
     lengths: np.ndarray,
-) -> Dict[str, float]:
+) -> dict[str, float]:
     """Compare all-taps-quantized error to the per-tap errors' RSS.
 
     If tap errors were independent, the full error would be close to the

@@ -30,7 +30,7 @@ so :meth:`ChecksumGemm.run` refuses shapes where the guard could clip.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -62,7 +62,7 @@ class ABFTPassResult:
     corrected: bool
     row_syndromes: np.ndarray
     col_syndromes: np.ndarray
-    fault_location: Optional[Tuple[int, int]]
+    fault_location: Optional[tuple[int, int]]
     compute_cycles: int
 
 
@@ -142,7 +142,7 @@ class ChecksumGemm:
         col_hits = np.flatnonzero(col_syndromes)
         detected = bool(row_hits.size or col_hits.size)
         corrected = False
-        location: Optional[Tuple[int, int]] = None
+        location: Optional[tuple[int, int]] = None
         if detected:
             if row_hits.size == 1 and col_hits.size == 1:
                 # One row and one column syndrome: a single body element

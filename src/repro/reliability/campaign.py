@@ -17,7 +17,6 @@ drives operands, rate draws, and fault placement, so a fixed
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -28,7 +27,7 @@ from .abft import ChecksumGemm
 from .faults import FaultInjector, FaultSpec
 
 #: Modes each site can physically exhibit.
-SITE_MODES: Dict[str, Tuple[str, ...]] = {
+SITE_MODES: dict[str, tuple[str, ...]] = {
     "sa_accumulator": ("bit_flip", "multi_bit_flip"),
     "sa_multiplier": ("stuck_at",),
     "weight_memory": ("bit_flip", "multi_bit_flip", "stuck_at"),
@@ -60,8 +59,8 @@ class CampaignSpec:
     depth: int = 64
     cols: int = 64
     trials: int = 32
-    rates: Tuple[float, ...] = (1.0,)
-    sites: Tuple[str, ...] = DEFAULT_SITES
+    rates: tuple[float, ...] = (1.0,)
+    sites: tuple[str, ...] = DEFAULT_SITES
     abft: bool = True
     seed: int = 0
 
@@ -108,9 +107,9 @@ class CampaignResult:
     """All trial outcomes plus aggregate views."""
 
     spec: CampaignSpec
-    outcomes: Tuple[TrialOutcome, ...] = field(default_factory=tuple)
+    outcomes: tuple[TrialOutcome, ...] = field(default_factory=tuple)
 
-    def _cell(self, **match) -> List[TrialOutcome]:
+    def _cell(self, **match) -> list[TrialOutcome]:
         return [
             o for o in self.outcomes
             if all(getattr(o, k) == v for k, v in match.items())
@@ -135,7 +134,7 @@ class CampaignResult:
             return 0.0
         return sum(o.silent for o in hit) / len(hit)
 
-    def summary_rows(self) -> List[tuple]:
+    def summary_rows(self) -> list[tuple]:
         """(site, mode, rate, injected, detect%, correct%, silent%,
         max_err) per sweep cell, for the CLI table."""
         rows = []
@@ -163,7 +162,7 @@ def _gemm_trial(
     mode: str,
     injector: FaultInjector,
     inject: bool,
-) -> Tuple[bool, bool, bool, float]:
+) -> tuple[bool, bool, bool, float]:
     """One SA / memory trial; returns (detected, corrected, silent, err)."""
     rng = injector.rng
     a = rng.integers(-127, 128, size=(spec.seq_len, spec.depth))
@@ -206,7 +205,7 @@ def _unit_trial(
     mode: str,
     injector: FaultInjector,
     inject: bool,
-) -> Tuple[bool, bool, bool, float]:
+) -> tuple[bool, bool, bool, float]:
     """One EXP / iSQRT trial (outside ABFT's GEMM scope)."""
     rng = injector.rng
     fault_spec = FaultSpec(site=site, mode=mode)
@@ -240,7 +239,7 @@ def _unit_trial(
 
 def _bias_trial(
     spec: CampaignSpec, injector: FaultInjector, inject: bool
-) -> Tuple[bool, bool, bool, float]:
+) -> tuple[bool, bool, bool, float]:
     bias = injector.rng.normal(size=spec.cols)
     if not inject:
         return False, False, False, 0.0
@@ -254,7 +253,7 @@ def _bias_trial(
 def run_campaign(spec: CampaignSpec) -> CampaignResult:
     """Execute the full site x mode x rate sweep."""
     injector = FaultInjector(spec.seed)
-    outcomes: List[TrialOutcome] = []
+    outcomes: list[TrialOutcome] = []
     for site in spec.sites:
         for mode in SITE_MODES[site]:
             for rate in spec.rates:

@@ -37,8 +37,8 @@ until explicitly cleared.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Tuple
 
 import numpy as np
 
@@ -98,14 +98,14 @@ class FaultEvent:
     """
 
     spec: FaultSpec
-    coords: Tuple[tuple, ...]
-    bits: Tuple[int, ...]
+    coords: tuple[tuple, ...]
+    bits: tuple[int, ...]
     stuck_mode: str = ""
 
 
 def _draw_distinct_cells(
     rng: np.random.Generator, rows: int, cols: int, count: int
-) -> Tuple[tuple, ...]:
+) -> tuple[tuple, ...]:
     """Draw ``count`` distinct PE coordinates."""
     count = min(count, rows * cols)
     flat = rng.choice(rows * cols, size=count, replace=False)
@@ -153,7 +153,7 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def unit_hook(
         self, spec: FaultSpec, word_bits: int
-    ) -> Tuple[Callable[[np.ndarray], np.ndarray], list]:
+    ) -> tuple[Callable[[np.ndarray], np.ndarray], list]:
         """Build a ``fault_hook`` for an EXP/iSQRT unit.
 
         The hook upsets one (or ``num_bits``) random output element(s)
@@ -194,7 +194,7 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def corrupt_operand(
         self, operand: np.ndarray, spec: FaultSpec, word_bits: int = 8
-    ) -> Tuple[np.ndarray, FaultEvent]:
+    ) -> tuple[np.ndarray, FaultEvent]:
         """Upset bits of an in-memory operand tile (weight or data word).
 
         Models an SEU striking a BRAM word while the tile is resident —
@@ -232,7 +232,7 @@ class FaultInjector:
 
     def corrupt_bias(
         self, bias: np.ndarray, spec: FaultSpec
-    ) -> Tuple[np.ndarray, FaultEvent]:
+    ) -> tuple[np.ndarray, FaultEvent]:
         """Upset one bias element (biases are stored dequantized, so the
         upset flips a bit of the element's rounded 32-bit fixed-point
         image at 16 fractional bits)."""

@@ -10,7 +10,6 @@ into a Chrome counter track.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Tuple
 
 from ..errors import ServingError
 from .workload import Request
@@ -33,11 +32,11 @@ class AdmissionQueue:
             raise ServingError("queue timeout must be positive")
         self.capacity = capacity
         self.timeout_us = timeout_us
-        self._items: Deque[Request] = deque()
+        self._items: deque[Request] = deque()
         self.offered = 0
         self.rejected_full = 0
         self.expired = 0
-        self.depth_samples: List[Tuple[float, int]] = [(0.0, 0)]
+        self.depth_samples: list[tuple[float, int]] = [(0.0, 0)]
 
     def __len__(self) -> int:
         return len(self._items)
@@ -55,7 +54,7 @@ class AdmissionQueue:
         self._sample(now_us)
         return True
 
-    def expire(self, now_us: float) -> List[Request]:
+    def expire(self, now_us: float) -> list[Request]:
         """Drop (and return) every request that has waited too long.
 
         The comparison uses ``arrival + timeout`` — the same float the
@@ -75,7 +74,7 @@ class AdmissionQueue:
         """The ``index``-th oldest waiter (0 = head)."""
         return self._items[index]
 
-    def pop_front(self, count: int, now_us: float) -> List[Request]:
+    def pop_front(self, count: int, now_us: float) -> list[Request]:
         """Remove and return the ``count`` oldest waiters."""
         if count > len(self._items):
             raise ServingError(

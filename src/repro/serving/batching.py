@@ -18,12 +18,12 @@ softmax/LayerNorm tails — plus the weight-reload accounting of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from ..config import AcceleratorConfig, ModelConfig
-from ..errors import ServingError
 from ..core.model_runner import model_reload_cycles
 from ..core.scheduler import schedule_ffn, schedule_mha
+from ..errors import ServingError
 from .admission import AdmissionQueue
 from .workload import Request
 
@@ -39,7 +39,7 @@ class Batch:
     """
 
     batch_id: int
-    requests: Tuple[Request, ...]
+    requests: tuple[Request, ...]
     formed_us: float
 
     @property
@@ -95,7 +95,7 @@ class BatchCostModel:
         )
 
     @property
-    def layer_units(self) -> List[Tuple[str, int, int]]:
+    def layer_units(self) -> list[tuple[str, int, int]]:
         """Per-layer ``(name, compute_cycles, ideal_cycles)`` entries."""
         enc = ("enc", self.mha_cycles + self.ffn_cycles,
                self.mha_ideal + self.ffn_ideal)
@@ -105,7 +105,7 @@ class BatchCostModel:
                 + [dec] * self.model.num_decoder_layers)
 
     @property
-    def block_units(self) -> List[Tuple[str, int, int]]:
+    def block_units(self) -> list[tuple[str, int, int]]:
         """Per-ResBlock ``(name, compute_cycles, weight_bytes)`` entries.
 
         The execution-order unit the memory system works at: each
@@ -117,7 +117,7 @@ class BatchCostModel:
         d = self.model.d_model
         mha_bytes = 4 * d * d * wb // 8
         ffn_bytes = 2 * d * self.model.d_ff * wb // 8
-        blocks: List[Tuple[str, int, int]] = []
+        blocks: list[tuple[str, int, int]] = []
         for i in range(self.model.num_encoder_layers):
             blocks.append((f"enc{i}.mha", self.mha_cycles, mha_bytes))
             blocks.append((f"enc{i}.ffn", self.ffn_cycles, ffn_bytes))
@@ -146,7 +146,7 @@ class BatchCostModel:
         cycles = self.run_cycles if include_reload else self.compute_cycles
         return self.acc.cycles_to_us(cycles)
 
-    def stage_cycles(self, num_stages: int) -> List[int]:
+    def stage_cycles(self, num_stages: int) -> list[int]:
         """Split the layer sequence into ``num_stages`` pipeline stages.
 
         Contiguous layers are distributed as evenly as the layer count

@@ -22,11 +22,11 @@ Two placements over ``N`` simulated devices:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from ..config import AcceleratorConfig, MemoryConfig
-from ..errors import ServingError
 from ..core.trace import TraceSpan
+from ..errors import ServingError
 from ..memsys.bandwidth import contenders_per_channel
 from ..memsys.cache import WeightCache, default_weight_cache_bytes
 from .batching import Batch, BatchCostModel
@@ -69,8 +69,8 @@ class DispatchOutcome:
     batch: Batch
     start_us: float
     completion_us: float
-    spans: List[TraceSpan] = field(default_factory=list)
-    device_ids: List[int] = field(default_factory=list)
+    spans: list[TraceSpan] = field(default_factory=list)
+    device_ids: list[int] = field(default_factory=list)
 
 
 class WorkerPool:
@@ -110,7 +110,7 @@ class WorkerPool:
         self.weight_cache_hits = 0
         self.weight_cache_misses = 0
         self.reload_stall_cycles = 0
-        self._caches: Optional[List[WeightCache]] = None
+        self._caches: Optional[list[WeightCache]] = None
         self._contenders = 1
         if self.mem is not None:
             self._contenders = contenders_per_channel(
@@ -131,7 +131,7 @@ class WorkerPool:
         return len(self.devices)
 
     @property
-    def alive_devices(self) -> List[Device]:
+    def alive_devices(self) -> list[Device]:
         return [d for d in self.devices if d.alive]
 
     @property
@@ -233,7 +233,7 @@ class WorkerPool:
             device_ids=[d.device_id for d in self.devices],
         )
 
-    def _memsys_reload_cycles(self, device_id: int) -> Tuple[int, int, int]:
+    def _memsys_reload_cycles(self, device_id: int) -> tuple[int, int, int]:
         """Exposed weight-fetch cycles of one run on ``device_id``.
 
         Walks the ResBlocks in execution order: each block's weights

@@ -9,8 +9,8 @@ exactly reproducible.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
 
 from ..errors import ServingError
 
@@ -26,7 +26,7 @@ def percentile(values: Sequence[float], pct: float) -> float:
     return ordered[rank - 1]
 
 
-def mean_queue_depth(samples: Sequence[Tuple[float, int]]) -> float:
+def mean_queue_depth(samples: Sequence[tuple[float, int]]) -> float:
     """Time-weighted mean depth from ``(time, depth)`` change samples."""
     if len(samples) < 2:
         return float(samples[0][1]) if samples else 0.0
@@ -98,9 +98,9 @@ class ServingMetrics:
     weight_cache_misses: int = 0
     weight_cache_hit_rate: float = 0.0
     reload_stall_cycles: int = 0
-    extra: Dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
 
-    def as_rows(self) -> List[List[str]]:
+    def as_rows(self) -> list[list[str]]:
         """Two-column rows for :func:`repro.analysis.render_table`."""
         return [
             ["offered", str(self.offered)],
@@ -144,7 +144,7 @@ def compute_metrics(
     ideal_cycles_per_run: int,
     run_cycles: int,
     num_devices: int,
-    depth_samples: Sequence[Tuple[float, int]],
+    depth_samples: Sequence[tuple[float, int]],
     failed: int = 0,
     retried: int = 0,
     corrupted: int = 0,

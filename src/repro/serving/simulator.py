@@ -29,14 +29,15 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
 from ..config import AcceleratorConfig, ModelConfig, ServingConfig
-from ..errors import ServingError
 from ..core.trace import TraceSpan, counter_events, write_span_trace
+from ..errors import ServingError
 from .admission import AdmissionQueue
 from .batching import Batch, BatchCostModel, DynamicBatcher
 from .devices import WorkerPool
@@ -79,10 +80,10 @@ class ServingResult:
 
     serving: ServingConfig
     metrics: ServingMetrics
-    records: List[RequestRecord]
-    batches: List[Batch]
-    spans: List[TraceSpan] = field(default_factory=list)
-    depth_samples: List[tuple] = field(default_factory=list)
+    records: list[RequestRecord]
+    batches: list[Batch]
+    spans: list[TraceSpan] = field(default_factory=list)
+    depth_samples: list[tuple] = field(default_factory=list)
 
     def write_trace(self, path: str) -> int:
         """Write the run's spans + queue-depth counter as Chrome JSON."""
@@ -136,10 +137,10 @@ def simulate_serving(
         mem=serving.memory,
     )
 
-    records: Dict[int, RequestRecord] = {}
-    batches: List[Batch] = []
-    spans: List[TraceSpan] = []
-    latencies: List[float] = []
+    records: dict[int, RequestRecord] = {}
+    batches: list[Batch] = []
+    spans: list[TraceSpan] = []
+    latencies: list[float] = []
     # Independent deterministic fault stream: re-running with the same
     # ServingConfig injects the same batch faults and device failures.
     fault_rng = np.random.default_rng([serving.seed, 0x5EED])

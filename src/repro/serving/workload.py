@@ -15,8 +15,8 @@ lengths are valid tokens per request, bounded by the SA's row count.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -49,7 +49,7 @@ def sample_lengths(
     return rng.integers(serving.min_len, serving.max_len + 1, size=n)
 
 
-def poisson_workload(serving: ServingConfig) -> List[Request]:
+def poisson_workload(serving: ServingConfig) -> list[Request]:
     """Generate a seeded Poisson arrival process.
 
     Interarrival gaps are exponential with mean ``1e6 /
@@ -68,7 +68,7 @@ def poisson_workload(serving: ServingConfig) -> List[Request]:
     ]
 
 
-def trace_workload(entries: Sequence[Tuple[float, int]]) -> List[Request]:
+def trace_workload(entries: Sequence[tuple[float, int]]) -> list[Request]:
     """Build a workload from explicit ``(arrival_us, seq_len)`` pairs.
 
     Entries must be time-sorted with non-negative times and positive

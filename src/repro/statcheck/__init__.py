@@ -1,0 +1,64 @@
+"""repro.statcheck — static analysis for the accelerator models.
+
+Three passes, one reporter:
+
+* :mod:`~repro.statcheck.overflow` — interval-arithmetic overflow
+  certifier for the fixed-point datapath;
+* :mod:`~repro.statcheck.schedule_lint` — structural linter for
+  scheduler timelines and trace spans (resource exclusivity, cycle
+  conservation, pinned paper points);
+* :mod:`~repro.statcheck.ast_lints` — repo-specific ``REPxxx`` AST
+  lints.
+
+``repro check`` (see :mod:`repro.cli`) and selftest check 6 drive
+:func:`~repro.statcheck.runner.run_check`.
+"""
+
+from .ast_lints import ALL_CODES, lint_source, run_ast_lints
+from .findings import SEVERITIES, CheckReport, Finding, sort_findings
+from .interval import Interval, envelope
+from .overflow import (
+    OverflowPoint,
+    StageBound,
+    certify_layernorm,
+    certify_overflow,
+    certify_sa_accumulators,
+    certify_softmax,
+    min_sa_acc_bits,
+    paper_point,
+)
+from .runner import PASSES, SEED_BUGS, run_check, selftest_check
+from .schedule_lint import (
+    PINNED_PAPER_POINTS,
+    lint_paper_points,
+    lint_schedule,
+    lint_spans,
+)
+
+__all__ = [
+    "ALL_CODES",
+    "CheckReport",
+    "Finding",
+    "Interval",
+    "OverflowPoint",
+    "PASSES",
+    "PINNED_PAPER_POINTS",
+    "SEED_BUGS",
+    "SEVERITIES",
+    "StageBound",
+    "certify_layernorm",
+    "certify_overflow",
+    "certify_sa_accumulators",
+    "certify_softmax",
+    "envelope",
+    "lint_paper_points",
+    "lint_schedule",
+    "lint_source",
+    "lint_spans",
+    "min_sa_acc_bits",
+    "paper_point",
+    "run_ast_lints",
+    "run_check",
+    "selftest_check",
+    "sort_findings",
+]

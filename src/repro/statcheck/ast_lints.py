@@ -1,0 +1,498 @@
+"""Repo-specific AST lints (stdlib ``ast``, ruff-style ``REPxxx`` codes).
+
+Four rules, each encoding a contract the test suite can only spot-check:
+
+* ``REP001`` — integer-only datapath modules must not contain float
+  literals or true division outside their explicitly real-valued helper
+  functions.  The bit-accurate models in :data:`INTEGER_ONLY_MODULES`
+  mirror RTL adders/shifters; a stray ``0.5`` silently turns a
+  bit-exact path into an approximation.
+* ``REP002`` — every hardware unit the scheduler books has a pricing
+  counterpart in :class:`~repro.core.cycle_model.CycleBreakdown`, and
+  every ``*_cycles`` breakdown field is claimed by some unit, so the
+  event timeline and the closed-form model cannot drift structurally.
+* ``REP003`` — every ``TraceSpan(track=...)`` site uses a track
+  registered in :data:`repro.core.trace.KNOWN_TRACK_PATTERNS`.
+* ``REP004`` — public fields of config dataclasses (``*Config``)
+  appear in the class docstring's ``Attributes:`` section.
+
+Each rule reports :class:`~repro.statcheck.findings.Finding` objects
+with ``file:line`` anchors.  :func:`lint_source` lints a source string
+(used by the seeded-bug tests); :func:`run_ast_lints` walks the
+installed ``repro`` package.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Optional
+
+from .findings import Finding
+
+#: Modules whose non-helper code must stay in the integer domain
+#: (repo-relative posix paths).
+INTEGER_ONLY_MODULES = (
+    "repro/fixedpoint/ops.py",
+    "repro/fixedpoint/exp_unit.py",
+    "repro/fixedpoint/ln_unit.py",
+    "repro/core/pe.py",
+)
+
+#: Functions inside integer-only modules that intentionally touch real
+#: values (quantize/dequantize conveniences and error-measurement
+#: helpers).
+REAL_VALUED_HELPERS = (
+    "evaluate",
+    "max_relative_error",
+    "max_absolute_error",
+    "max_error_vs_float",
+    "shift_add_constant",
+)
+
+#: Which CycleBreakdown fields price each hardware unit's time.
+UNIT_PRICING: dict[str, tuple[str, ...]] = {
+    "sa": ("active_cycles", "issue_cycles", "skew_cycles", "abft_cycles"),
+    "softmax": ("softmax_stall_cycles",),
+    "layernorm": ("layernorm_cycles",),
+    "dram": ("memsys_stall_cycles",),
+}
+
+#: CycleBreakdown ``*_cycles`` fields that are aggregates, not unit time.
+AGGREGATE_FIELDS = ("total_cycles", "ideal_cycles")
+
+ALL_CODES = ("REP001", "REP002", "REP003", "REP004")
+
+
+def _parse(path: Path) -> Optional[ast.Module]:
+    try:
+        return ast.parse(path.read_text(), filename=str(path))
+    except (OSError, SyntaxError):
+        return None
+
+
+def _rel(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+# ----------------------------------------------------------------------
+# REP001 — float purity of the integer datapath
+# ----------------------------------------------------------------------
+def _docstring_nodes(tree: ast.Module) -> set[int]:
+    """ids of Constant nodes that are doc/bare-string statements."""
+    ids: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            for stmt in getattr(node, "body", []):
+                if (isinstance(stmt, ast.Expr)
+                        and isinstance(stmt.value, ast.Constant)
+                        and isinstance(stmt.value.value, str)):
+                    ids.add(id(stmt.value))
+    return ids
+
+
+def _helper_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line spans of the allowlisted real-valued helper functions."""
+    spans = []
+    for node in ast.walk(tree):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in REAL_VALUED_HELPERS):
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+def lint_float_purity(tree: ast.Module, rel_path: str) -> list[Finding]:
+    """REP001: no float literals / true division outside helpers."""
+    findings: list[Finding] = []
+    doc_ids = _docstring_nodes(tree)
+    spans = _helper_spans(tree)
+
+    def in_helper(lineno: int) -> bool:
+        return any(lo <= lineno <= hi for lo, hi in spans)
+
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Constant)
+                and isinstance(node.value, float)
+                and id(node) not in doc_ids
+                and not in_helper(node.lineno)):
+            findings.append(Finding(
+                code="REP001",
+                check="ast",
+                file=rel_path,
+                line=node.lineno,
+                message=(
+                    f"float literal {node.value!r} in integer-only "
+                    "datapath module (move real-valued code into an "
+                    "allowlisted helper)"
+                ),
+            ))
+        if (isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Div)
+                and not in_helper(node.lineno)):
+            findings.append(Finding(
+                code="REP001",
+                check="ast",
+                file=rel_path,
+                line=node.lineno,
+                message=(
+                    "true division in integer-only datapath module "
+                    "(use shifts or floor division)"
+                ),
+            ))
+        # Float-typed round-trips (np.float64 casts, float() calls) are
+        # how the leading_one_position bug slipped in: exact below 2**53,
+        # silently wrong above.
+        if (isinstance(node, ast.Attribute)
+                and node.attr in ("float16", "float32", "float64",
+                                  "floating", "float_")
+                and not in_helper(node.lineno)):
+            findings.append(Finding(
+                code="REP001",
+                check="ast",
+                file=rel_path,
+                line=node.lineno,
+                message=(
+                    f"float dtype .{node.attr} in integer-only datapath "
+                    "module (float round-trips lose precision beyond "
+                    "2**53)"
+                ),
+            ))
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+                and not in_helper(node.lineno)):
+            findings.append(Finding(
+                code="REP001",
+                check="ast",
+                file=rel_path,
+                line=node.lineno,
+                message=(
+                    "float() conversion in integer-only datapath module"
+                ),
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP002 — scheduler units <-> cycle-model pricing parity
+# ----------------------------------------------------------------------
+def _scheduler_units(tree: ast.Module) -> set[str]:
+    """Unit names the scheduler books events on.
+
+    Collects ``unit="..."`` keyword arguments and the unit operand of
+    ``module_event(name, unit, ...)`` calls.
+    """
+    units: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for kw in node.keywords:
+            if (kw.arg == "unit" and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)):
+                units.add(kw.value.value)
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr == "module_event"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)):
+            units.add(node.args[1].value)
+    return units
+
+
+def _breakdown_fields(tree: ast.Module) -> set[str]:
+    """Annotated field names of the CycleBreakdown dataclass."""
+    fields: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "CycleBreakdown":
+            for stmt in node.body:
+                if (isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)):
+                    fields.add(stmt.target.id)
+    return fields
+
+
+def lint_pricing_parity(
+    scheduler_tree: ast.Module,
+    cycle_model_tree: ast.Module,
+    scheduler_path: str,
+    cycle_model_path: str,
+) -> list[Finding]:
+    """REP002: units and pricing fields must cover each other."""
+    findings: list[Finding] = []
+    units = _scheduler_units(scheduler_tree)
+    fields = _breakdown_fields(cycle_model_tree)
+    for unit in sorted(units):
+        pricing = UNIT_PRICING.get(unit)
+        if pricing is None:
+            findings.append(Finding(
+                code="REP002",
+                check="ast",
+                file=scheduler_path,
+                message=(
+                    f"scheduler books unit {unit!r} but UNIT_PRICING has "
+                    "no CycleBreakdown mapping for it"
+                ),
+                details={"unit": unit},
+            ))
+            continue
+        missing = [f for f in pricing if f not in fields]
+        if missing:
+            findings.append(Finding(
+                code="REP002",
+                check="ast",
+                file=cycle_model_path,
+                message=(
+                    f"unit {unit!r} is priced by {missing} which are not "
+                    "CycleBreakdown fields"
+                ),
+                details={"unit": unit, "missing_fields": missing},
+            ))
+    claimed = {f for pricing in UNIT_PRICING.values() for f in pricing}
+    for field_name in sorted(fields):
+        if not field_name.endswith("_cycles"):
+            continue
+        if field_name in AGGREGATE_FIELDS or field_name in claimed:
+            continue
+        findings.append(Finding(
+            code="REP002",
+            check="ast",
+            file=cycle_model_path,
+            message=(
+                f"CycleBreakdown field {field_name!r} prices no scheduler "
+                "unit (add it to UNIT_PRICING or an aggregate)"
+            ),
+            details={"field": field_name},
+        ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP003 — TraceSpan tracks registered in core/trace.py
+# ----------------------------------------------------------------------
+def _track_literal(node: ast.expr) -> Optional[str]:
+    """Static value of a ``track=`` argument as an fnmatch pattern.
+
+    String constants map to themselves; f-strings map their formatted
+    holes to ``*``; anything else is unresolvable (``None``).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            else:
+                parts.append("*")
+        return "".join(parts)
+    return None
+
+
+def lint_trace_tracks(
+    tree: ast.Module,
+    rel_path: str,
+    known_patterns: Sequence[str],
+) -> list[Finding]:
+    """REP003: every TraceSpan emission uses a registered track."""
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None)
+        if name != "TraceSpan":
+            continue
+        track_node = None
+        for kw in node.keywords:
+            if kw.arg == "track":
+                track_node = kw.value
+        if track_node is None and len(node.args) >= 2:
+            track_node = node.args[1]
+        if track_node is None:
+            continue
+        track = _track_literal(track_node)
+        if track is None:
+            continue  # dynamically computed; runtime lint_spans covers it
+        # A literal "device3" matches the "device*" registration; an
+        # f-string pattern "device*" must itself be a registered pattern.
+        registered = any(
+            fnmatch(track, pattern) or track == pattern
+            for pattern in known_patterns
+        )
+        if not registered:
+            findings.append(Finding(
+                code="REP003",
+                check="ast",
+                file=rel_path,
+                line=node.lineno,
+                message=(
+                    f"TraceSpan track {track!r} is not registered in "
+                    "repro.core.trace.KNOWN_TRACK_PATTERNS"
+                ),
+                details={"track": track},
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP004 — config dataclass fields documented
+# ----------------------------------------------------------------------
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = (target.id if isinstance(target, ast.Name)
+                else target.attr if isinstance(target, ast.Attribute)
+                else None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def lint_config_docstrings(tree: ast.Module, rel_path: str) -> list[Finding]:
+    """REP004: public ``*Config`` dataclass fields appear in Attributes."""
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.endswith("Config"):
+            continue
+        if not _is_dataclass_decorated(node):
+            continue
+        doc = ast.get_docstring(node) or ""
+        documented = {
+            line.split(":", 1)[0].strip()
+            for line in doc.splitlines()
+            if ":" in line
+        }
+        for stmt in node.body:
+            if not (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                continue
+            field_name = stmt.target.id
+            if field_name.startswith("_") or field_name.isupper():
+                continue
+            # "x / y" style lines document several fields at once.
+            in_doc = field_name in documented or any(
+                field_name in entry.replace(" ", "").split("/")
+                for entry in documented
+            )
+            if not in_doc:
+                findings.append(Finding(
+                    code="REP004",
+                    check="ast",
+                    file=rel_path,
+                    line=stmt.lineno,
+                    message=(
+                        f"config field {node.name}.{field_name} is not "
+                        "documented in the class docstring's Attributes"
+                    ),
+                    details={"class": node.name, "field": field_name},
+                ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+def lint_source(
+    source: str,
+    rel_path: str,
+    codes: Iterable[str] = ALL_CODES,
+    known_patterns: Optional[Sequence[str]] = None,
+    integer_only: Optional[bool] = None,
+) -> list[Finding]:
+    """Lint one source string (single-file rules only: REP001/003/004).
+
+    Args:
+        source: Python source to lint.
+        rel_path: Repo-relative path reported in findings.
+        codes: Which rules to run.
+        known_patterns: Track registry for REP003 (defaults to the real
+            one from :mod:`repro.core.trace`).
+        integer_only: Force REP001 applicability; by default the path is
+            matched against :data:`INTEGER_ONLY_MODULES`.
+    """
+    tree = ast.parse(source, filename=rel_path)
+    codes = set(codes)
+    findings: list[Finding] = []
+    if "REP001" in codes:
+        applies = (integer_only if integer_only is not None
+                   else any(rel_path.endswith(m)
+                            for m in INTEGER_ONLY_MODULES))
+        if applies:
+            findings.extend(lint_float_purity(tree, rel_path))
+    if "REP003" in codes:
+        if known_patterns is None:
+            from ..core.trace import KNOWN_TRACK_PATTERNS
+            known_patterns = KNOWN_TRACK_PATTERNS
+        findings.extend(lint_trace_tracks(tree, rel_path, known_patterns))
+    if "REP004" in codes:
+        findings.extend(lint_config_docstrings(tree, rel_path))
+    return findings
+
+
+def run_ast_lints(
+    root: Optional[Path] = None,
+    codes: Iterable[str] = ALL_CODES,
+) -> tuple[dict[str, int], list[Finding]]:
+    """Run every AST rule over the ``repro`` package.
+
+    Args:
+        root: Directory containing the ``repro`` package; defaults to
+            the installed package's parent (``src/``).
+        codes: Which rules to run.
+
+    Returns:
+        ``(files_checked_per_rule, findings)``.
+    """
+    from ..core.trace import KNOWN_TRACK_PATTERNS
+
+    if root is None:
+        root = Path(__file__).resolve().parents[2]
+    root = Path(root)
+    package = root / "repro"
+    files = sorted(package.rglob("*.py")) if package.is_dir() else []
+    codes = set(codes)
+    counts: dict[str, int] = {code: 0 for code in sorted(codes)}
+    findings: list[Finding] = []
+
+    trees: dict[Path, ast.Module] = {}
+    for path in files:
+        tree = _parse(path)
+        if tree is not None:
+            trees[path] = tree
+
+    for path, tree in trees.items():
+        rel = _rel(path, root)
+        if "REP001" in codes and any(
+            rel.endswith(m) for m in INTEGER_ONLY_MODULES
+        ):
+            counts["REP001"] += 1
+            findings.extend(lint_float_purity(tree, rel))
+        if "REP003" in codes:
+            counts["REP003"] += 1
+            findings.extend(
+                lint_trace_tracks(tree, rel, KNOWN_TRACK_PATTERNS)
+            )
+        if "REP004" in codes:
+            counts["REP004"] += 1
+            findings.extend(lint_config_docstrings(tree, rel))
+
+    if "REP002" in codes:
+        scheduler = package / "core" / "scheduler.py"
+        cycle_model = package / "core" / "cycle_model.py"
+        if scheduler in trees and cycle_model in trees:
+            counts["REP002"] = 2
+            findings.extend(lint_pricing_parity(
+                trees[scheduler], trees[cycle_model],
+                _rel(scheduler, root), _rel(cycle_model, root),
+            ))
+    return counts, findings

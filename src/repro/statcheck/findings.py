@@ -1,0 +1,177 @@
+"""Typed findings and the shared reporter for every static-analysis pass.
+
+All three ``repro.statcheck`` passes — the overflow certifier, the
+schedule/trace linter and the AST lints — speak the same language: a
+:class:`Finding` names what is wrong, where, and how bad it is, and a
+:class:`CheckReport` aggregates everything one ``repro check`` run saw
+(including the proved-safe stage bounds, so the JSON artifact documents
+*why* the datapath cannot overflow, not just that no check fired).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Severity levels in increasing order of importance.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect reported by a static-analysis pass.
+
+    Attributes:
+        code: Stable identifier (``OVF001``/``SCH00x``/``REP00x``).
+        message: Human-readable one-line description.
+        severity: ``"error"`` findings fail ``repro check``;
+            ``"warning"``/``"info"`` findings are reported only.
+        file: Source file the finding anchors to (AST lints), if any.
+        line: 1-indexed line within ``file``, if any.
+        check: Which pass produced it (``overflow``/``schedule``/``ast``).
+        details: Extra structured context (exact bounds, event names,
+            breaking configurations) for the JSON artifact.
+    """
+
+    code: str
+    message: str
+    severity: str = "error"
+    file: Optional[str] = None
+    line: Optional[int] = None
+    check: str = ""
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def location(self) -> str:
+        """``file:line`` anchor, or an empty string for config findings."""
+        if self.file is None:
+            return ""
+        if self.line is None:
+            return self.file
+        return f"{self.file}:{self.line}"
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "check": self.check,
+            "details": dict(self.details),
+        }
+
+    def render(self) -> str:
+        """One-line text rendering (``CODE severity location message``)."""
+        loc = self.location
+        prefix = f"{self.code} [{self.severity}]"
+        return f"{prefix} {loc + ': ' if loc else ''}{self.message}"
+
+
+def _severity_rank(severity: str) -> int:
+    return SEVERITIES.index(severity)
+
+
+def sort_findings(findings: Sequence[Finding]) -> list[Finding]:
+    """Order findings most severe first, then by code and location."""
+    return sorted(
+        findings,
+        key=lambda f: (
+            -_severity_rank(f.severity),
+            f.code,
+            f.file or "",
+            f.line or 0,
+        ),
+    )
+
+
+@dataclass
+class CheckReport:
+    """Aggregated result of one ``repro check`` run.
+
+    Attributes:
+        findings: Every finding from every executed pass.
+        certified: Proved-safe stage bounds from the overflow certifier
+            (one dict per stage: name, interval, declared/required bits,
+            headroom), recorded even when no finding fired.
+        checks_run: Per-pass count of individual checks executed, so an
+            all-green report still shows the coverage it bought.
+        point: Description of the configuration point that was checked.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    certified: list[dict[str, Any]] = field(default_factory=list)
+    checks_run: dict[str, int] = field(default_factory=dict)
+    point: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def passed(self) -> bool:
+        """True when no error-severity finding fired."""
+        return not self.errors
+
+    def extend(self, findings: Sequence[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def summary(self) -> dict[str, int]:
+        counts = {severity: 0 for severity in SEVERITIES}
+        for finding in self.findings:
+            counts[finding.severity] += 1
+        counts["checks_run"] = sum(self.checks_run.values())
+        return counts
+
+    def render_text(self) -> str:
+        """Multi-line human-readable report."""
+        lines: list[str] = []
+        total_checks = sum(self.checks_run.values())
+        per_pass = ", ".join(
+            f"{name}: {count}" for name, count in sorted(self.checks_run.items())
+        )
+        lines.append(
+            f"statcheck — {total_checks} checks ({per_pass or 'none'})"
+        )
+        if self.point:
+            desc = ", ".join(f"{k}={v}" for k, v in self.point.items())
+            lines.append(f"point: {desc}")
+        ordered = sort_findings(self.findings)
+        if not ordered:
+            lines.append("no findings — all declared widths and schedule "
+                         "invariants hold")
+        for finding in ordered:
+            lines.append(finding.render())
+        summary = self.summary()
+        lines.append(
+            f"{summary['error']} error(s), {summary['warning']} warning(s), "
+            f"{summary['info']} info"
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "point": dict(self.point),
+            "summary": self.summary(),
+            "checks_run": dict(self.checks_run),
+            "findings": [f.as_dict() for f in sort_findings(self.findings)],
+            "certified": [dict(stage) for stage in self.certified],
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write the JSON artifact consumed by the CI job."""
+        with open(path, "w") as handle:
+            json.dump(self.as_dict(), handle, indent=1, default=_jsonable)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, Mapping):
+        return dict(value)
+    return str(value)

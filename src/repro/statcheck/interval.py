@@ -1,0 +1,175 @@
+"""Integer interval arithmetic for the overflow certifier.
+
+An :class:`Interval` is a closed range of integer *codes* ``[lo, hi]``.
+Every operation returns a sound over-approximation of the set of values
+the corresponding hardware stage can produce: if the inputs lie inside
+their intervals, the output provably lies inside the result interval.
+Tightness is sacrificed where operands are correlated (e.g. the
+shift-add constant multipliers sum per-term bounds), which only ever
+*widens* the certified range — the property the hypothesis suite checks.
+
+All endpoints are Python ints, so chains like ``d_ff`` 48-bit products
+never themselves overflow while being analyzed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..errors import FixedPointError
+from ..fixedpoint.types import QFormat
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer range ``[lo, hi]``.
+
+    Attributes:
+        lo: Smallest value the stage can produce.
+        hi: Largest value the stage can produce.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise FixedPointError(
+                f"empty interval [{self.lo}, {self.hi}]"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def point(cls, value: int) -> Interval:
+        return cls(value, value)
+
+    @classmethod
+    def from_qformat(cls, fmt: QFormat) -> Interval:
+        """Full code range of a fixed-point format."""
+        return cls(fmt.min_code, fmt.max_code)
+
+    @classmethod
+    def signed_width(cls, bits: int) -> Interval:
+        """Full range of a signed two's complement ``bits``-wide word."""
+        if bits < 1:
+            raise FixedPointError("width must be at least 1 bit")
+        return cls(-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Interval) -> Interval:
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __sub__(self, other: Interval) -> Interval:
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def __neg__(self) -> Interval:
+        return Interval(-self.hi, -self.lo)
+
+    def __mul__(self, other: Interval) -> Interval:
+        corners = (
+            self.lo * other.lo, self.lo * other.hi,
+            self.hi * other.lo, self.hi * other.hi,
+        )
+        return Interval(min(corners), max(corners))
+
+    def accumulate(self, terms: int) -> Interval:
+        """Sum of ``terms`` independent values from this interval.
+
+        Models an accumulator fed ``terms`` times — the MAC chain of one
+        SA pass, a softmax row sum, a LayerNorm register bank.
+        """
+        if terms < 0:
+            raise FixedPointError("terms must be non-negative")
+        return Interval(self.lo * terms, self.hi * terms)
+
+    def shr(self, bits: int) -> Interval:
+        """Arithmetic (floor) right shift — monotone, so endpoints map."""
+        if bits < 0:
+            raise FixedPointError("shift must be non-negative")
+        return Interval(self.lo >> bits, self.hi >> bits)
+
+    def rounding_shr(self, bits: int) -> Interval:
+        """Round-to-nearest right shift (``(x + half) >> bits``)."""
+        if bits < 0:
+            raise FixedPointError("shift must be non-negative")
+        if bits == 0:
+            return self
+        half = 1 << (bits - 1)
+        return Interval((self.lo + half) >> bits, (self.hi + half) >> bits)
+
+    def shl(self, bits: int) -> Interval:
+        if bits < 0:
+            raise FixedPointError("shift must be non-negative")
+        return Interval(self.lo << bits, self.hi << bits)
+
+    def shift_add(self, terms: Sequence[tuple[int, int]]) -> Interval:
+        """Bound of :func:`repro.fixedpoint.ops.shift_add_multiply`.
+
+        Sums the per-term intervals; conservative because the terms all
+        come from the same operand (correlation is ignored).
+        """
+        if not terms:
+            raise FixedPointError("shift_add needs at least one term")
+        total = Interval.point(0)
+        for sign, shift in terms:
+            if sign not in (1, -1):
+                raise FixedPointError(f"term sign must be +1/-1, got {sign}")
+            term = self.shr(shift)
+            total = total + (term if sign == 1 else -term)
+        return total
+
+    def nonneg(self) -> Interval:
+        """``max(x, 0)`` applied element-wise (the variance clamp)."""
+        return Interval(max(self.lo, 0), max(self.hi, 0))
+
+    def union(self, other: Interval) -> Interval:
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def max_abs(self) -> int:
+        return max(abs(self.lo), abs(self.hi))
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def contains_interval(self, other: Interval) -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def fits_signed(self, bits: int) -> bool:
+        """Whether every value fits a signed ``bits``-wide word."""
+        if bits < 1:
+            return False
+        return (self.lo >= -(1 << (bits - 1))
+                and self.hi <= (1 << (bits - 1)) - 1)
+
+    def fits_qformat(self, fmt: QFormat) -> bool:
+        return fmt.min_code <= self.lo and self.hi <= fmt.max_code
+
+    @property
+    def required_signed_bits(self) -> int:
+        """Smallest signed word width holding every value."""
+        bits = 1
+        while not self.fits_signed(bits):
+            bits += 1
+        return bits
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+def envelope(intervals: Iterable[Interval]) -> Interval:
+    """Union of a non-empty collection of intervals."""
+    result: Interval | None = None
+    for interval in intervals:
+        result = interval if result is None else result.union(interval)
+    if result is None:
+        raise FixedPointError("envelope of no intervals")
+    return result

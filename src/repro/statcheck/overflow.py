@@ -1,0 +1,548 @@
+"""Static overflow certifier for the fixed-point datapath.
+
+Walks the accelerator's integer datapath — the SA MAC chains, the
+log-sum-exp softmax (EXP / row-sum / LN), and the Eq. (9) LayerNorm
+statistics pipeline — propagating worst-case code ranges with
+:class:`~repro.statcheck.interval.Interval` arithmetic for one
+``(s, h, d_model, d_ff, QFormat)`` point.  Every register/bus with a
+declared width becomes a :class:`StageBound`; a stage whose certified
+range does not fit its declared width yields an ``OVF001``
+:class:`~repro.statcheck.findings.Finding` carrying the exact bound and
+the breaking configuration (largest chain depth / sequence length that
+still fits).
+
+The ranges are *sound over-approximations*: if the stage inputs lie in
+their intervals, the hardware value provably lies in the certified
+interval (the hypothesis suite in ``tests/statcheck`` exercises this).
+The unit formats are pulled from the real datapath objects
+(:class:`~repro.fixedpoint.exp_unit.ExpUnit`,
+:class:`~repro.fixedpoint.ln_unit.LnUnit`,
+:class:`~repro.fixedpoint.layernorm_datapath.FixedPointLayerNorm`), so
+the certifier cannot drift from the code it certifies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..config import AcceleratorConfig, ModelConfig
+from ..errors import ConfigError
+from ..fixedpoint.exp_unit import ExpUnit
+from ..fixedpoint.layernorm_datapath import FixedPointLayerNorm
+from ..fixedpoint.ln_unit import LnUnit
+from ..fixedpoint.ops import LN2_TERMS, LOG2E_TERMS
+from ..fixedpoint.types import LAYERNORM_Q, SOFTMAX_Q, QFormat
+from .findings import Finding
+from .interval import Interval
+
+
+@dataclass(frozen=True)
+class StageBound:
+    """Certified worst-case range of one datapath register or bus.
+
+    Attributes:
+        name: Dotted stage path (e.g. ``"sa.acc.ffn_w2"``).
+        interval: Certified closed range of the integer codes.
+        declared_bits: Signed word width the design declares.
+        required_bits: Smallest signed width that holds the interval.
+        description: What the stage physically is.
+    """
+
+    name: str
+    interval: Interval
+    declared_bits: int
+    required_bits: int
+    description: str = ""
+
+    @property
+    def headroom_bits(self) -> int:
+        """Spare bits between declaration and worst case (< 0 = overflow)."""
+        return self.declared_bits - self.required_bits
+
+    @property
+    def ok(self) -> bool:
+        return self.headroom_bits >= 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "lo": self.interval.lo,
+            "hi": self.interval.hi,
+            "declared_bits": self.declared_bits,
+            "required_bits": self.required_bits,
+            "headroom_bits": self.headroom_bits,
+            "ok": self.ok,
+            "description": self.description,
+        }
+
+
+@dataclass(frozen=True)
+class OverflowPoint:
+    """One configuration point the certifier proves (or refutes).
+
+    Attributes:
+        name: Label used in reports (``"paper"`` for the default point).
+        s: Sequence length / SA row count.
+        h: Attention head count.
+        d_model: Model width (MAC depth of the projection passes).
+        d_ff: FFN inner width (MAC depth of the W2 passes).
+        act_bits: Activation word width feeding the SA.
+        weight_bits: Weight word width feeding the SA.
+        sa_acc_bits: Declared PE accumulator width.
+        softmax_fmt: Q-format of the shifted softmax logits.
+        exp_out_frac_bits: Fractional width of the EXP unit output.
+        softmax_max_row: Row length the softmax sum register is sized
+            for (``HardwareSoftmax.ln_unit_sum_int_bits`` default).
+        layernorm_fmt: Q-format of the LayerNorm input codes.
+        layernorm_sq_bits: Declared width of the per-element ``G^2``
+            bus after requantization.
+        layernorm_sum_bits: Declared width of the ``sum G`` register.
+        layernorm_sumsq_bits: Declared width of the ``sum G^2`` register.
+    """
+
+    name: str = "paper"
+    s: int = 64
+    h: int = 8
+    d_model: int = 512
+    d_ff: int = 2048
+    act_bits: int = 8
+    weight_bits: int = 8
+    sa_acc_bits: int = 32
+    softmax_fmt: QFormat = SOFTMAX_Q
+    exp_out_frac_bits: int = 15
+    softmax_max_row: int = 512
+    layernorm_fmt: QFormat = LAYERNORM_Q
+    layernorm_sq_bits: int = 36
+    layernorm_sum_bits: int = 40
+    layernorm_sumsq_bits: int = 48
+
+    def __post_init__(self) -> None:
+        for field_name in ("s", "h", "d_model", "d_ff"):
+            if getattr(self, field_name) <= 0:
+                raise ConfigError(f"{field_name} must be positive")
+        if self.d_model % self.h != 0:
+            raise ConfigError("d_model must be divisible by h")
+        for field_name in ("act_bits", "weight_bits", "sa_acc_bits"):
+            if getattr(self, field_name) < 2:
+                raise ConfigError(f"{field_name} must be at least 2 bits")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension (the QK^T MAC depth)."""
+        return self.d_model // self.h
+
+    @classmethod
+    def from_configs(
+        cls,
+        model: ModelConfig,
+        acc: AcceleratorConfig,
+        name: Optional[str] = None,
+    ) -> OverflowPoint:
+        """Build the point matching a (model, accelerator) pair."""
+        return cls(
+            name=name or model.name,
+            s=acc.seq_len,
+            h=model.num_heads,
+            d_model=model.d_model,
+            d_ff=model.d_ff,
+            act_bits=acc.act_bits,
+            weight_bits=acc.weight_bits,
+            sa_acc_bits=acc.acc_bits,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "s": self.s,
+            "h": self.h,
+            "d_model": self.d_model,
+            "d_ff": self.d_ff,
+            "act_bits": self.act_bits,
+            "weight_bits": self.weight_bits,
+            "sa_acc_bits": self.sa_acc_bits,
+            "softmax_fmt": str(self.softmax_fmt),
+            "layernorm_fmt": str(self.layernorm_fmt),
+        }
+
+
+def paper_point(**overrides: Any) -> OverflowPoint:
+    """The paper's operating point: Transformer-base on the 64x64 SA."""
+    return OverflowPoint(**overrides) if overrides else OverflowPoint()
+
+
+# ----------------------------------------------------------------------
+# Individual certification passes
+# ----------------------------------------------------------------------
+def _max_fitting_depth(per_term: Interval, bits: int) -> int:
+    """Largest MAC-chain depth whose accumulator still fits ``bits``."""
+    limit_hi = (1 << (bits - 1)) - 1
+    limit_lo = -(1 << (bits - 1))
+    depth_hi = limit_hi // per_term.hi if per_term.hi > 0 else None
+    depth_lo = limit_lo // per_term.lo if per_term.lo < 0 else None
+    candidates = [d for d in (depth_hi, depth_lo) if d is not None]
+    return min(candidates) if candidates else 1 << 62
+
+
+def certify_sa_accumulators(
+    point: OverflowPoint,
+) -> tuple[list[StageBound], list[Finding]]:
+    """Certify the PE accumulator across every GEMM pass kind.
+
+    Pass inventory mirrors :mod:`repro.core.scheduler`: the Q/K/V/G
+    projections reduce over ``d_model``, ``Q K^T`` over the head
+    dimension, ``P V`` over ``s``, and the FFN W1/W2 passes over
+    ``d_model`` / ``d_ff``.
+    """
+    act = Interval.signed_width(point.act_bits)
+    wgt = Interval.signed_width(point.weight_bits)
+    product = act * wgt
+    stages = [StageBound(
+        name="sa.mac.product",
+        interval=product,
+        declared_bits=point.act_bits + point.weight_bits,
+        required_bits=product.required_signed_bits,
+        description=(
+            f"single INT{point.act_bits}xINT{point.weight_bits} product"
+        ),
+    )]
+    findings: list[Finding] = []
+    chains = {
+        "proj": point.d_model,    # Q W_Q / K W_K / V W_V / P W_G
+        "qkt": point.head_dim,    # Q_i K_i^T
+        "pv": point.s,            # softmax x Temp2
+        "ffn_w1": point.d_model,  # X W_1
+        "ffn_w2": point.d_ff,     # P W_2 (deepest chain)
+    }
+    for kind, depth in chains.items():
+        acc = product.accumulate(depth)
+        stage = StageBound(
+            name=f"sa.acc.{kind}",
+            interval=acc,
+            declared_bits=point.sa_acc_bits,
+            required_bits=acc.required_signed_bits,
+            description=f"{depth}-deep MAC chain accumulator",
+        )
+        stages.append(stage)
+        if not stage.ok:
+            max_depth = _max_fitting_depth(product, point.sa_acc_bits)
+            findings.append(Finding(
+                code="OVF001",
+                check="overflow",
+                message=(
+                    f"SA accumulator overflows on the {kind} pass: "
+                    f"{depth}-deep chain reaches {acc}, needing "
+                    f"{stage.required_bits} bits but only "
+                    f"{point.sa_acc_bits} are declared "
+                    f"(max depth that fits: {max_depth})"
+                ),
+                details={
+                    "stage": stage.name,
+                    "bound": [acc.lo, acc.hi],
+                    "declared_bits": point.sa_acc_bits,
+                    "required_bits": stage.required_bits,
+                    "breaking_config": {
+                        "chain_depth": depth,
+                        "max_fitting_depth": max_depth,
+                    },
+                },
+            ))
+    return stages, findings
+
+
+def min_sa_acc_bits(point: OverflowPoint) -> int:
+    """Smallest accumulator width the point certifies (27 at paper point)."""
+    stages, _ = certify_sa_accumulators(point)
+    return max(
+        s.required_bits for s in stages if s.name.startswith("sa.acc.")
+    )
+
+
+def _exp_output_interval(exp: ExpUnit) -> Interval:
+    """Certified EXP-unit output range (codes in ``exp.out_fmt``).
+
+    The input is non-positive (post max-subtraction), so the mantissa
+    ``1 + F`` lies in ``[2**f_out, 2**f_out + F_max]`` and the
+    ``2**I`` barrel shift only moves it toward zero.
+    """
+    frac_bits = exp.in_fmt.frac_bits
+    out_frac = exp.out_frac_bits
+    one = 1 << out_frac
+    frac_max = (1 << frac_bits) - 1
+    if out_frac >= frac_bits:
+        mantissa_hi = one + (frac_max << (out_frac - frac_bits))
+    else:
+        mantissa_hi = one + (frac_max >> (frac_bits - out_frac))
+    # shift in [0, 63]: hi at shift 0, lo at full flush (0).
+    return Interval(0, mantissa_hi)
+
+
+def certify_softmax(
+    point: OverflowPoint,
+) -> tuple[list[StageBound], list[Finding]]:
+    """Certify the log-sum-exp softmax datapath (Fig. 6).
+
+    Stages: the ``x * log2(e)`` shift-add product inside the EXP unit,
+    the EXP output against its declared Q-format, the row-sum register
+    against the LN unit's input format (sized for
+    ``softmax_max_row``), and the LN unit's ``log2``/output codes.
+    """
+    exp = ExpUnit(
+        in_fmt=point.softmax_fmt, out_frac_bits=point.exp_out_frac_bits
+    )
+    sum_int_bits = int(math.ceil(math.log2(point.softmax_max_row))) + 2
+    ln = LnUnit(in_fmt=QFormat(
+        int_bits=sum_int_bits, frac_bits=point.exp_out_frac_bits,
+    ))
+    stages: list[StageBound] = []
+    findings: list[Finding] = []
+
+    # x is non-positive after the running-max subtraction (Eq. 5).
+    x = Interval(point.softmax_fmt.min_code, 0)
+    u = x.shift_add(LOG2E_TERMS)
+    stages.append(StageBound(
+        name="softmax.exp.log2e_product",
+        interval=u,
+        declared_bits=point.softmax_fmt.total_bits + 1,
+        required_bits=u.required_signed_bits,
+        description="x * log2(e) shift-add inside the EXP unit",
+    ))
+
+    exp_out = _exp_output_interval(exp)
+    stages.append(StageBound(
+        name="softmax.exp.out",
+        interval=exp_out,
+        declared_bits=exp.out_fmt.total_bits,
+        required_bits=exp_out.required_signed_bits,
+        description=f"EXP unit output codes ({exp.out_fmt})",
+    ))
+    if not exp_out.fits_qformat(exp.out_fmt):
+        findings.append(Finding(
+            code="OVF001",
+            check="overflow",
+            message=(
+                f"EXP unit output {exp_out} exceeds its declared "
+                f"{exp.out_fmt} range"
+            ),
+            details={"stage": "softmax.exp.out",
+                     "bound": [exp_out.lo, exp_out.hi]},
+        ))
+
+    # Row sum: s EXP outputs accumulate into the LN unit's input register.
+    row_sum = exp_out.accumulate(point.s)
+    row_sum = Interval(max(row_sum.lo, 1), max(row_sum.hi, 1))
+    sum_stage = StageBound(
+        name="softmax.row_sum",
+        interval=row_sum,
+        declared_bits=ln.in_fmt.total_bits,
+        required_bits=row_sum.required_signed_bits,
+        description=(
+            f"row-sum register feeding the LN unit ({ln.in_fmt}, "
+            f"sized for rows <= {point.softmax_max_row})"
+        ),
+    )
+    stages.append(sum_stage)
+    if not row_sum.fits_qformat(ln.in_fmt):
+        max_s = ln.in_fmt.max_code // exp_out.hi
+        findings.append(Finding(
+            code="OVF001",
+            check="overflow",
+            message=(
+                f"softmax row-sum register overflows at s={point.s}: "
+                f"worst case {row_sum} exceeds {ln.in_fmt} "
+                f"(max s that fits: {max_s})"
+            ),
+            details={
+                "stage": "softmax.row_sum",
+                "bound": [row_sum.lo, row_sum.hi],
+                "declared_bits": ln.in_fmt.total_bits,
+                "required_bits": sum_stage.required_bits,
+                "breaking_config": {"s": point.s, "max_fitting_s": max_s},
+            },
+        ))
+
+    # LN unit: log2 codes from the leading-one detector + mantissa.
+    out_frac = ln.out_fmt.frac_bits
+    k = Interval(0, ln.in_fmt.total_bits - 1)
+    log2_codes = (
+        (k - Interval.point(ln.in_fmt.frac_bits)).shl(out_frac)
+        + Interval(0, (1 << out_frac) - 1)
+    )
+    stages.append(StageBound(
+        name="softmax.ln.log2_codes",
+        interval=log2_codes,
+        declared_bits=ln.out_fmt.total_bits + 2,
+        required_bits=log2_codes.required_signed_bits,
+        description="LN unit log2(v) codes before the ln(2) constant",
+    ))
+    ln_out = log2_codes.shift_add(LN2_TERMS)
+    ln_stage = StageBound(
+        name="softmax.ln.out",
+        interval=ln_out,
+        declared_bits=ln.out_fmt.total_bits,
+        required_bits=ln_out.required_signed_bits,
+        description=f"LN unit output codes ({ln.out_fmt})",
+    )
+    stages.append(ln_stage)
+    if not ln_out.fits_qformat(ln.out_fmt):
+        findings.append(Finding(
+            code="OVF001",
+            check="overflow",
+            message=(
+                f"LN unit output {ln_out} exceeds its declared "
+                f"{ln.out_fmt} range"
+            ),
+            details={"stage": "softmax.ln.out",
+                     "bound": [ln_out.lo, ln_out.hi],
+                     "required_bits": ln_stage.required_bits},
+        ))
+    return stages, findings
+
+
+def certify_layernorm(
+    point: OverflowPoint,
+) -> tuple[list[StageBound], list[Finding]]:
+    """Certify the Eq. (9) LayerNorm statistics pipeline (Fig. 8).
+
+    Stages: the ``sum G`` and ``sum G^2`` register banks, the
+    requantized squares bus, the mean buses, the variance, and the
+    isqrt LUT input ``var + eps`` against the LUT's declared format
+    (the stage whose under-declaration this certifier originally
+    caught — see ``FixedPointLayerNorm.__post_init__``).
+    """
+    datapath = FixedPointLayerNorm(
+        d_model=point.d_model, in_fmt=point.layernorm_fmt
+    )
+    fmt = point.layernorm_fmt
+    g = Interval.from_qformat(fmt)
+    stages: list[StageBound] = []
+    findings: list[Finding] = []
+
+    def check(
+        stage: StageBound, breaking: Optional[dict[str, Any]] = None
+    ) -> None:
+        stages.append(stage)
+        if not stage.ok:
+            details: dict[str, Any] = {
+                "stage": stage.name,
+                "bound": [stage.interval.lo, stage.interval.hi],
+                "declared_bits": stage.declared_bits,
+                "required_bits": stage.required_bits,
+            }
+            if breaking:
+                details["breaking_config"] = breaking
+            findings.append(Finding(
+                code="OVF001",
+                check="overflow",
+                message=(
+                    f"{stage.description} overflows: worst case "
+                    f"{stage.interval} needs {stage.required_bits} bits "
+                    f"but {stage.declared_bits} are declared"
+                ),
+                details=details,
+            ))
+
+    total = g.accumulate(point.d_model)
+    check(StageBound(
+        name="layernorm.sum",
+        interval=total,
+        declared_bits=point.layernorm_sum_bits,
+        required_bits=total.required_signed_bits,
+        description=f"sum-G register bank over d_model={point.d_model}",
+    ), {"d_model": point.d_model,
+        "max_fitting_d_model": _max_fitting_depth(
+            g, point.layernorm_sum_bits)})
+
+    sq = (g * g).rounding_shr(fmt.frac_bits)
+    check(StageBound(
+        name="layernorm.sq",
+        interval=sq,
+        declared_bits=point.layernorm_sq_bits,
+        required_bits=sq.required_signed_bits,
+        description="requantized G^2 bus",
+    ))
+    sumsq = sq.accumulate(point.d_model)
+    check(StageBound(
+        name="layernorm.sumsq",
+        interval=sumsq,
+        declared_bits=point.layernorm_sumsq_bits,
+        required_bits=sumsq.required_signed_bits,
+        description=f"sum-G^2 register bank over d_model={point.d_model}",
+    ), {"d_model": point.d_model,
+        "max_fitting_d_model": _max_fitting_depth(
+            sq, point.layernorm_sumsq_bits)})
+
+    def mean_of(acc: Interval) -> Interval:
+        if point.d_model & (point.d_model - 1) == 0:
+            return acc.rounding_shr(point.d_model.bit_length() - 1)
+        half = point.d_model // 2
+        return Interval(
+            (acc.lo + half) // point.d_model,
+            (acc.hi + half) // point.d_model,
+        )
+
+    mean = mean_of(total)
+    check(StageBound(
+        name="layernorm.mean",
+        interval=mean,
+        declared_bits=fmt.total_bits,
+        required_bits=mean.required_signed_bits,
+        description=f"E[G] bus ({fmt})",
+    ))
+    mean_sq_stat = mean_of(sumsq)                       # E[G^2]
+    mean_squared = (mean * mean).rounding_shr(fmt.frac_bits)  # E[G]^2
+    var = (mean_sq_stat - mean_squared).nonneg()        # Eq. (9)
+    eps_codes = max(1, round(datapath.eps_value / fmt.scale))
+    isqrt_in = var + Interval.point(eps_codes)
+    isqrt_in = Interval(max(isqrt_in.lo, 1), max(isqrt_in.hi, 1))
+    isqrt_fmt = datapath.isqrt_unit.in_fmt
+    stage = StageBound(
+        name="layernorm.isqrt_in",
+        interval=isqrt_in,
+        declared_bits=isqrt_fmt.total_bits,
+        required_bits=isqrt_in.required_signed_bits,
+        description=f"isqrt LUT input var+eps ({isqrt_fmt})",
+    )
+    stages.append(stage)
+    if not isqrt_in.fits_qformat(isqrt_fmt):
+        findings.append(Finding(
+            code="OVF001",
+            check="overflow",
+            message=(
+                f"isqrt LUT input bus under-declared: var+eps reaches "
+                f"{isqrt_in} but {isqrt_fmt} tops out at "
+                f"{isqrt_fmt.max_code}"
+            ),
+            details={
+                "stage": "layernorm.isqrt_in",
+                "bound": [isqrt_in.lo, isqrt_in.hi],
+                "declared_bits": isqrt_fmt.total_bits,
+                "required_bits": stage.required_bits,
+            },
+        ))
+
+    centered = g - mean
+    check(StageBound(
+        name="layernorm.centered",
+        interval=centered,
+        declared_bits=fmt.total_bits + 1,
+        required_bits=centered.required_signed_bits,
+        description="G - E[G] subtractor output",
+    ))
+    return stages, findings
+
+
+def certify_overflow(
+    point: OverflowPoint,
+) -> tuple[list[StageBound], list[Finding]]:
+    """Run every overflow pass; returns (stage bounds, findings)."""
+    stages: list[StageBound] = []
+    findings: list[Finding] = []
+    for pass_fn in (
+        certify_sa_accumulators, certify_softmax, certify_layernorm
+    ):
+        pass_stages, pass_findings = pass_fn(point)
+        stages.extend(pass_stages)
+        findings.extend(pass_findings)
+    return stages, findings

@@ -1,0 +1,138 @@
+"""Orchestrates the three statcheck passes behind ``repro check``.
+
+:func:`run_check` runs the overflow certifier, the schedule/trace
+linter and the AST lints for one configuration point, merges their
+findings into a single :class:`~repro.statcheck.findings.CheckReport`,
+and optionally writes the JSON artifact the CI job uploads.
+
+The ``seed_bug`` hook deliberately breaks the configuration so tests
+(and the CI job's self-test) can prove the gate actually fails:
+
+* ``"sa-acc-width"`` shrinks the SA accumulator to one bit below the
+  smallest width the point certifies;
+* ``"double-book"`` shifts one pinned-schedule event backwards so two
+  SA passes overlap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Optional
+
+from ..config import paper_accelerator, transformer_base
+from ..core.scheduler import TimelineEvent, schedule_mha
+from ..errors import ConfigError
+from .ast_lints import run_ast_lints
+from .findings import CheckReport, Finding
+from .overflow import OverflowPoint, certify_overflow, min_sa_acc_bits
+from .schedule_lint import lint_paper_points, lint_schedule
+
+#: Pass names accepted by ``skip``.
+PASSES = ("overflow", "schedule", "ast")
+
+#: Supported seeded bugs (see module docstring).
+SEED_BUGS = ("sa-acc-width", "double-book")
+
+
+def _double_booked_schedule():
+    """The paper MHA timeline with its second SA pass shifted to overlap."""
+    result = schedule_mha(transformer_base(), paper_accelerator())
+    second = result.events[1]
+    shift = min(50, second.start)
+    result.events[1] = TimelineEvent(
+        name=second.name, unit=second.unit,
+        start=second.start - shift, end=second.end - shift,
+        active_cycles=second.active_cycles,
+    )
+    return result
+
+
+def run_check(
+    point: Optional[OverflowPoint] = None,
+    sa_acc_bits: Optional[int] = None,
+    seed_bug: Optional[str] = None,
+    skip: Sequence[str] = (),
+    json_path: Optional[str] = None,
+    ast_root: Optional[Path] = None,
+) -> CheckReport:
+    """Run every statcheck pass and return the merged report.
+
+    Args:
+        point: Configuration point to certify (default: the paper point,
+            Transformer-base on the 64x64 SA).
+        sa_acc_bits: Override the declared SA accumulator width.
+        seed_bug: Deliberately break the run (one of :data:`SEED_BUGS`).
+        skip: Pass names to leave out (subset of :data:`PASSES`).
+        json_path: Where to write the JSON findings artifact, if given.
+        ast_root: Source root for the AST lints (default: the installed
+            package).
+    """
+    for name in skip:
+        if name not in PASSES:
+            raise ConfigError(f"unknown pass {name!r}; choose from {PASSES}")
+    if seed_bug is not None and seed_bug not in SEED_BUGS:
+        raise ConfigError(
+            f"unknown seed_bug {seed_bug!r}; choose from {SEED_BUGS}"
+        )
+    point = point or OverflowPoint()
+    if sa_acc_bits is not None:
+        point = dataclasses.replace(point, sa_acc_bits=sa_acc_bits)
+    if seed_bug == "sa-acc-width":
+        point = dataclasses.replace(
+            point, sa_acc_bits=min_sa_acc_bits(point) - 1
+        )
+
+    report = CheckReport(point=point.as_dict())
+    if seed_bug:
+        report.point["seed_bug"] = seed_bug
+
+    if "overflow" not in skip:
+        stages, findings = certify_overflow(point)
+        report.certified = [stage.as_dict() for stage in stages]
+        report.checks_run["overflow"] = len(stages)
+        report.extend(findings)
+
+    if "schedule" not in skip:
+        checked, findings = lint_paper_points()
+        if seed_bug == "double-book":
+            findings = list(findings)
+            findings.extend(lint_schedule(_double_booked_schedule()))
+            checked += 1
+        report.checks_run["schedule"] = checked
+        report.extend(findings)
+
+    if "ast" not in skip:
+        counts, findings = run_ast_lints(root=ast_root)
+        report.checks_run["ast"] = sum(counts.values())
+        report.extend(findings)
+
+    if json_path is not None:
+        report.write_json(json_path)
+    return report
+
+
+def selftest_check(verbose: bool = False) -> list[str]:
+    """Statcheck's entry in ``python -m repro selftest`` (check 6).
+
+    Runs the full gate at the paper point *and* proves the gate can
+    fail, by seeding the undersized-accumulator bug and requiring a
+    finding.  Returns a list of problem strings (empty = pass).
+    """
+    problems: list[str] = []
+    report = run_check()
+    if not report.passed:
+        for finding in report.errors:
+            problems.append(f"statcheck: {finding.render()}")
+    seeded = run_check(seed_bug="sa-acc-width", skip=("schedule", "ast"))
+    if seeded.passed:
+        problems.append(
+            "statcheck: seeded sa-acc-width bug produced no finding "
+            "(the overflow gate cannot fail)"
+        )
+    if verbose and not problems:
+        total = sum(report.checks_run.values())
+        print(f"  statcheck: {total} checks, 0 findings; "
+              "seeded overflow correctly detected")
+    return problems

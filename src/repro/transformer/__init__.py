@@ -5,7 +5,6 @@ evaluation assumes already exists (a trained Transformer, its ResBlocks,
 masks, decoding, BLEU-ready translations) implemented on plain numpy.
 """
 
-from .bert import EncoderOnlyClassifier
 from .attention import (
     MHAResBlock,
     MultiHeadAttention,
@@ -13,6 +12,7 @@ from .attention import (
     merge_heads,
     split_heads,
 )
+from .bert import EncoderOnlyClassifier
 from .decoder import Decoder, DecoderLayer
 from .decoding import DecodeResult, beam_search_decode, greedy_decode
 from .embedding import Embedding, PositionalEncoding, sinusoidal_encoding

@@ -9,7 +9,7 @@ the paper draws.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -47,7 +47,7 @@ class ScaledDotProductAttention(Module):
         k: Tensor,
         v: Tensor,
         mask: Optional[np.ndarray] = None,
-    ) -> Tuple[Tensor, Tensor]:
+    ) -> tuple[Tensor, Tensor]:
         """Returns ``(context, attention_weights)``."""
         d_k = q.shape[-1]
         logits = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(d_k))

@@ -7,7 +7,7 @@ three-ResBlock layout the paper's Fig. 1 draws.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -55,7 +55,7 @@ class Decoder(Module):
     ) -> None:
         super().__init__()
         self.config = config
-        self.layers: List[DecoderLayer] = []
+        self.layers: list[DecoderLayer] = []
         for i in range(config.num_decoder_layers):
             layer = DecoderLayer(config, rng=rng)
             setattr(self, f"layer{i}", layer)

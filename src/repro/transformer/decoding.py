@@ -11,8 +11,8 @@ the quantized model both satisfy this protocol.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from ..errors import DecodingError
 class DecodeResult:
     """One decoded sequence with its accumulated log probability."""
 
-    tokens: List[int]
+    tokens: list[int]
     score: float
 
 
@@ -39,7 +39,7 @@ def greedy_decode(
     bos_id: int,
     eos_id: int,
     max_len: int = 64,
-) -> List[DecodeResult]:
+) -> list[DecodeResult]:
     """Greedy (argmax) decoding of a batch.
 
     Args:
@@ -99,7 +99,7 @@ def beam_search_decode(
     beam_size: int = 4,
     max_len: int = 64,
     length_penalty: float = 0.6,
-) -> List[DecodeResult]:
+) -> list[DecodeResult]:
     """Beam search with GNMT length normalization, one sentence at a time.
 
     Returns the single best hypothesis per batch row.
@@ -141,7 +141,7 @@ def _beam_search_single(
     memory_data = memory.numpy()
 
     beams = [([bos_id], 0.0)]
-    completed: List[DecodeResult] = []
+    completed: list[DecodeResult] = []
     for _ in range(max_len):
         if not beams:
             break

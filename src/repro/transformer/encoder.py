@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -40,7 +40,7 @@ class Encoder(Module):
     ) -> None:
         super().__init__()
         self.config = config
-        self.layers: List[EncoderLayer] = []
+        self.layers: list[EncoderLayer] = []
         for i in range(config.num_encoder_layers):
             layer = EncoderLayer(config, rng=rng)
             setattr(self, f"layer{i}", layer)

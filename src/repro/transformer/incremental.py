@@ -16,7 +16,7 @@ consideration the paper's batch-1/fixed-s design leaves to future work.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -69,7 +69,7 @@ class IncrementalDecoder:
         model.eval()
         self.model = model
         self.config = model.config
-        self._caches: List[_LayerCache] = []
+        self._caches: list[_LayerCache] = []
         self._memory: Optional[np.ndarray] = None
         self._src_length: Optional[int] = None
         self._position = 0
@@ -206,11 +206,11 @@ def greedy_decode_incremental(
     bos_id: int,
     eos_id: int,
     max_len: int = 64,
-) -> List[int]:
+) -> list[int]:
     """Greedy decoding through the KV-cached path (single sentence)."""
     decoder = IncrementalDecoder(model)
     decoder.start(np.asarray(src_ids), src_length)
-    tokens: List[int] = []
+    tokens: list[int] = []
     current = bos_id
     for _ in range(max_len):
         logits = decoder.step(current)

@@ -9,7 +9,7 @@ optimizes it end to end.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -71,7 +71,7 @@ class Transformer(Module):
         tgt_len: int,
         src_len: int,
         tgt_lengths: Optional[np.ndarray] = None,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Build (encoder self, decoder self, cross) masks.
 
         Masks use the paper's convention: 1 marks an illegal connection.

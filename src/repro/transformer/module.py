@@ -8,7 +8,7 @@ quantizer and the accelerator's weight loader address individual matrices.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -42,14 +42,14 @@ class Module:
     # ------------------------------------------------------------------
     # Parameter traversal
     # ------------------------------------------------------------------
-    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
         """Yield ``(dotted_name, parameter)`` pairs, depth first."""
         for key, param in self._parameters.items():
             yield (f"{prefix}{key}", param)
         for key, module in self._modules.items():
             yield from module.named_parameters(prefix=f"{prefix}{key}.")
 
-    def parameters(self) -> List[Parameter]:
+    def parameters(self) -> list[Parameter]:
         """All parameters of this module and its children."""
         return [p for _, p in self.named_parameters()]
 
@@ -65,14 +65,14 @@ class Module:
     # ------------------------------------------------------------------
     # Mode switches
     # ------------------------------------------------------------------
-    def train(self) -> "Module":
+    def train(self) -> Module:
         """Enable training mode (dropout active) recursively."""
         object.__setattr__(self, "training", True)
         for module in self._modules.values():
             module.train()
         return self
 
-    def eval(self) -> "Module":
+    def eval(self) -> Module:
         """Enable inference mode (dropout off) recursively."""
         object.__setattr__(self, "training", False)
         for module in self._modules.values():
@@ -82,11 +82,11 @@ class Module:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def state_dict(self) -> Dict[str, np.ndarray]:
+    def state_dict(self) -> dict[str, np.ndarray]:
         """Copy of every parameter keyed by dotted path."""
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         """Load parameters in place; shapes must match exactly."""
         params = dict(self.named_parameters())
         missing = set(params) - set(state)

@@ -7,7 +7,7 @@ quantization study (paper Section V-A) can start from.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -61,7 +61,7 @@ class Adam:
 
     def __init__(
         self,
-        params: List[Parameter],
+        params: list[Parameter],
         lr: float = 1e-3,
         betas: tuple = (0.9, 0.98),
         eps: float = 1e-9,

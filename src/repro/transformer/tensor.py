@@ -13,7 +13,8 @@ over broadcast dimensions (:func:`_unbroadcast`).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from collections.abc import Callable, Sequence
+from typing import Optional, Union
 
 import numpy as np
 
@@ -22,7 +23,7 @@ from ..errors import ShapeError
 ArrayLike = Union[float, int, np.ndarray, "Tensor"]
 
 
-def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` back to ``shape`` by summing broadcast axes."""
     if grad.shape == shape:
         return grad
@@ -65,7 +66,7 @@ class Tensor:
         self.data = np.asarray(data, dtype=np.float64)
         self.requires_grad = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
-        self._parents: Tuple["Tensor", ...] = tuple(_parents)
+        self._parents: tuple["Tensor", ...] = tuple(_parents)
         self._backward = _backward
         self.name = name
 
@@ -73,7 +74,7 @@ class Tensor:
     # Introspection
     # ------------------------------------------------------------------
     @property
-    def shape(self) -> Tuple[int, ...]:
+    def shape(self) -> tuple[int, ...]:
         return self.data.shape
 
     @property
@@ -91,7 +92,7 @@ class Tensor:
     def item(self) -> float:
         return float(self.data)
 
-    def detach(self) -> "Tensor":
+    def detach(self) -> Tensor:
         """A new tensor sharing data but cut from the graph."""
         return Tensor(self.data, requires_grad=False)
 
@@ -106,7 +107,7 @@ class Tensor:
     # Graph construction helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def _lift(value: ArrayLike) -> "Tensor":
+    def _lift(value: ArrayLike) -> Tensor:
         return value if isinstance(value, Tensor) else Tensor(value)
 
     def _make(
@@ -114,7 +115,7 @@ class Tensor:
         data: np.ndarray,
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
-    ) -> "Tensor":
+    ) -> Tensor:
         requires = any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
@@ -132,7 +133,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Arithmetic
     # ------------------------------------------------------------------
-    def __add__(self, other: ArrayLike) -> "Tensor":
+    def __add__(self, other: ArrayLike) -> Tensor:
         other = Tensor._lift(other)
         out_data = self.data + other.data
 
@@ -144,19 +145,19 @@ class Tensor:
 
     __radd__ = __add__
 
-    def __neg__(self) -> "Tensor":
+    def __neg__(self) -> Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
         return self._make(-self.data, (self,), backward)
 
-    def __sub__(self, other: ArrayLike) -> "Tensor":
+    def __sub__(self, other: ArrayLike) -> Tensor:
         return self + (-Tensor._lift(other))
 
-    def __rsub__(self, other: ArrayLike) -> "Tensor":
+    def __rsub__(self, other: ArrayLike) -> Tensor:
         return Tensor._lift(other) + (-self)
 
-    def __mul__(self, other: ArrayLike) -> "Tensor":
+    def __mul__(self, other: ArrayLike) -> Tensor:
         other = Tensor._lift(other)
         out_data = self.data * other.data
 
@@ -168,7 +169,7 @@ class Tensor:
 
     __rmul__ = __mul__
 
-    def __truediv__(self, other: ArrayLike) -> "Tensor":
+    def __truediv__(self, other: ArrayLike) -> Tensor:
         other = Tensor._lift(other)
         out_data = self.data / other.data
 
@@ -178,10 +179,10 @@ class Tensor:
 
         return self._make(out_data, (self, other), backward)
 
-    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+    def __rtruediv__(self, other: ArrayLike) -> Tensor:
         return Tensor._lift(other) / self
 
-    def __pow__(self, exponent: float) -> "Tensor":
+    def __pow__(self, exponent: float) -> Tensor:
         if not np.isscalar(exponent):
             raise ShapeError("Tensor.__pow__ supports scalar exponents only")
         out_data = self.data ** exponent
@@ -191,7 +192,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
-    def matmul(self, other: ArrayLike) -> "Tensor":
+    def matmul(self, other: ArrayLike) -> Tensor:
         """Batched matrix multiplication (numpy ``@`` semantics)."""
         other = Tensor._lift(other)
         out_data = self.data @ other.data
@@ -208,7 +209,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Nonlinearities
     # ------------------------------------------------------------------
-    def relu(self) -> "Tensor":
+    def relu(self) -> Tensor:
         mask = self.data > 0
         out_data = self.data * mask
 
@@ -217,7 +218,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
-    def exp(self) -> "Tensor":
+    def exp(self) -> Tensor:
         out_data = np.exp(self.data)
 
         def backward(grad: np.ndarray) -> None:
@@ -225,7 +226,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
-    def log(self) -> "Tensor":
+    def log(self) -> Tensor:
         out_data = np.log(self.data)
 
         def backward(grad: np.ndarray) -> None:
@@ -233,10 +234,10 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
-    def sqrt(self) -> "Tensor":
+    def sqrt(self) -> Tensor:
         return self ** 0.5
 
-    def tanh(self) -> "Tensor":
+    def tanh(self) -> Tensor:
         out_data = np.tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
@@ -244,7 +245,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
-    def softmax(self, axis: int = -1) -> "Tensor":
+    def softmax(self, axis: int = -1) -> Tensor:
         """Numerically stable softmax along ``axis``."""
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         exps = np.exp(shifted)
@@ -256,7 +257,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
-    def log_softmax(self, axis: int = -1) -> "Tensor":
+    def log_softmax(self, axis: int = -1) -> Tensor:
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
         out_data = shifted - log_z
@@ -270,7 +271,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
-    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def sum(self, axis=None, keepdims: bool = False) -> Tensor:
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
@@ -281,7 +282,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
-    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def mean(self, axis=None, keepdims: bool = False) -> Tensor:
         if axis is None:
             count = self.data.size
         elif isinstance(axis, tuple):
@@ -290,7 +291,7 @@ class Tensor:
             count = self.data.shape[axis]
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
-    def var(self, axis=-1, keepdims: bool = False) -> "Tensor":
+    def var(self, axis=-1, keepdims: bool = False) -> Tensor:
         """Population variance along ``axis`` (matches LayerNorm's Eq. 8)."""
         mu = self.mean(axis=axis, keepdims=True)
         centered = self - mu
@@ -299,7 +300,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Shape manipulation
     # ------------------------------------------------------------------
-    def reshape(self, *shape: int) -> "Tensor":
+    def reshape(self, *shape: int) -> Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
@@ -310,7 +311,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
-    def transpose(self, *axes: int) -> "Tensor":
+    def transpose(self, *axes: int) -> Tensor:
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -323,12 +324,12 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
-    def swapaxes(self, a: int, b: int) -> "Tensor":
+    def swapaxes(self, a: int, b: int) -> Tensor:
         axes = list(range(self.data.ndim))
         axes[a], axes[b] = axes[b], axes[a]
         return self.transpose(*axes)
 
-    def __getitem__(self, index) -> "Tensor":
+    def __getitem__(self, index) -> Tensor:
         out_data = self.data[index]
 
         def backward(grad: np.ndarray) -> None:
@@ -338,7 +339,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
-    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+    def masked_fill(self, mask: np.ndarray, value: float) -> Tensor:
         """Replace entries where ``mask`` is truthy with ``value``.
 
         The gradient through filled positions is zero — exactly the
@@ -370,10 +371,10 @@ class Tensor:
             grad = np.ones_like(self.data)
 
         # Iterative postorder DFS to avoid recursion limits on deep graphs.
-        order: List[Tensor] = []
+        order: list[Tensor] = []
         expanded = set()
         finished = set()
-        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
         while stack:
             node, processed = stack.pop()
             if processed:

@@ -15,7 +15,7 @@ class TestSelfTest:
             (r.name, r.detail) for r in results if not r.passed
         ]
 
-    def test_five_checks_present(self):
+    def test_six_checks_present(self):
         names = [r.name for r in run_selftest(seed=1)]
         assert names == [
             "quantized-vs-fp32",
@@ -23,6 +23,7 @@ class TestSelfTest:
             "cycle-accurate-sa",
             "scheduler-vs-analytic",
             "streaming-vs-batch",
+            "statcheck",
         ]
 
     def test_different_seed_still_passes(self):

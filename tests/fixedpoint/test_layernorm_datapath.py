@@ -84,3 +84,27 @@ class TestValidation:
     def test_invalid_d_model(self):
         with pytest.raises(FixedPointError):
             FixedPointLayerNorm(d_model=0)
+
+
+class TestIsqrtInputWidth:
+    def test_isqrt_bus_covers_worst_case_variance(self):
+        # Regression: the isqrt LUT input was declared 24 bits wide, but
+        # worst-case E[G^2] codes reach ~2**34 for Q12.12 inputs.  The
+        # bus is now 2*int_bits wide and the statcheck certifier pins it.
+        unit = FixedPointLayerNorm(d_model=512)
+        assert unit.isqrt_unit.in_fmt.int_bits == 2 * unit.in_fmt.int_bits
+        worst = np.full((1, 512), unit.in_fmt.min_code, dtype=np.int64)
+        half = worst.copy()
+        half[:, ::2] = unit.in_fmt.max_code
+        for codes in (worst, half):
+            _, var = unit.statistics(codes)
+            assert np.all(var <= unit.isqrt_unit.in_fmt.max_code)
+
+    def test_extreme_codes_normalize_without_saturation_artifacts(self):
+        unit = FixedPointLayerNorm(d_model=64)
+        g = np.empty((1, 64))
+        g[:, ::2] = unit.in_fmt.dequantize(unit.in_fmt.max_code)
+        g[:, 1::2] = unit.in_fmt.dequantize(unit.in_fmt.min_code)
+        out = unit(g, np.ones(64), np.zeros(64))
+        assert np.isfinite(out).all()
+        assert np.abs(out.mean(-1)).max() < 0.05

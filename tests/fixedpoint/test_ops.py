@@ -121,6 +121,16 @@ class TestLeadingOne:
         with pytest.raises(FixedPointError):
             leading_one_position(np.array([0]))
 
+    def test_exact_beyond_float53(self):
+        # Regression: the float-log2 implementation returned the wrong
+        # MSB for codes >= 2**53 (all-ones values round up to the next
+        # power of two in float64).  The priority encoder must be exact
+        # over the full int64 positive range.
+        values = np.array([
+            (1 << 53) - 1, 1 << 53, (1 << 54) - 1, (1 << 61) - 1, 1 << 62,
+        ])
+        assert leading_one_position(values).tolist() == [52, 53, 53, 60, 62]
+
     def test_clz(self):
         assert clz_width(np.array([1]), 8)[0] == 7
         assert clz_width(np.array([128]), 8)[0] == 0

@@ -1,0 +1,262 @@
+"""Tests for the REPxxx AST lints (real repo clean, seeded bugs fire)."""
+
+import ast
+import textwrap
+
+from repro.core.trace import KNOWN_TRACK_PATTERNS
+from repro.statcheck import ALL_CODES, lint_source, run_ast_lints
+from repro.statcheck.ast_lints import INTEGER_ONLY_MODULES, lint_pricing_parity
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestRepoIsClean:
+    def test_no_findings_on_real_package(self):
+        counts, findings = run_ast_lints()
+        assert findings == []
+        # Every rule actually ran over files.
+        assert counts["REP001"] == len(INTEGER_ONLY_MODULES)
+        assert counts["REP002"] == 2
+        assert counts["REP003"] > 50
+        assert counts["REP004"] > 50
+
+    def test_code_subset_selection(self):
+        counts, _ = run_ast_lints(codes=("REP001",))
+        assert set(counts) == {"REP001"}
+
+
+class TestFloatPurity:
+    def test_float_literal_fires(self):
+        src = "def scale(x):\n    return x * 0.5\n"
+        findings = lint_source(src, "repro/fixedpoint/ops.py")
+        assert codes(findings) == ["REP001"]
+        assert "0.5" in findings[0].message
+
+    def test_true_division_fires(self):
+        src = "def mean(total, n):\n    return total / n\n"
+        findings = lint_source(src, "repro/fixedpoint/ops.py")
+        assert codes(findings) == ["REP001"]
+        assert "true division" in findings[0].message
+
+    def test_prefix_leading_one_bug_is_caught(self):
+        # The exact float round-trip that made leading_one_position
+        # wrong for codes >= 2**53 in the seed.
+        src = textwrap.dedent("""\
+            import numpy as np
+
+            def leading_one_position(values):
+                arr = np.asarray(values)
+                return np.floor(
+                    np.log2(arr.astype(np.float64))
+                ).astype(np.int64)
+        """)
+        findings = lint_source(src, "repro/fixedpoint/ops.py")
+        assert codes(findings) == ["REP001"]
+        assert "float64" in findings[0].message
+        assert "2**53" in findings[0].message
+
+    def test_float_call_fires(self):
+        src = "def f(x):\n    return float(x)\n"
+        assert codes(lint_source(src, "repro/core/pe.py")) == ["REP001"]
+
+    def test_allowlisted_helper_is_exempt(self):
+        src = textwrap.dedent("""\
+            def evaluate(codes, scale):
+                return codes * scale * 1.0
+
+            def max_relative_error(a, b):
+                return abs(a - b) / abs(b)
+        """)
+        assert lint_source(src, "repro/fixedpoint/exp_unit.py") == []
+
+    def test_docstrings_are_exempt(self):
+        src = 'def f(x):\n    """Halve (conceptually 0.5 * x)."""\n    return x >> 1\n'
+        assert lint_source(src, "repro/fixedpoint/ops.py") == []
+
+    def test_non_datapath_module_is_exempt(self):
+        src = "RATIO = 0.5\n"
+        assert lint_source(src, "repro/core/cycle_model.py") == []
+
+
+class TestPricingParity:
+    SCHEDULER = textwrap.dedent("""\
+        def build(t):
+            t.module_event("softmax", "softmax", 0, 4)
+            t.add(unit="sa")
+    """)
+    CYCLE_MODEL = textwrap.dedent("""\
+        class CycleBreakdown:
+            total_cycles: int
+            active_cycles: int
+            issue_cycles: int
+            skew_cycles: int
+            abft_cycles: int
+            softmax_stall_cycles: int
+            layernorm_cycles: int
+            memsys_stall_cycles: int
+            ideal_cycles: int
+    """)
+
+    def run(self, scheduler_src, cycle_src):
+        return lint_pricing_parity(
+            ast.parse(scheduler_src), ast.parse(cycle_src),
+            "core/scheduler.py", "core/cycle_model.py",
+        )
+
+    def test_matching_trees_are_clean(self):
+        assert self.run(self.SCHEDULER, self.CYCLE_MODEL) == []
+
+    def test_unknown_unit_fires(self):
+        src = self.SCHEDULER + '\ndef extra(t):\n    t.add(unit="npu")\n'
+        findings = self.run(src, self.CYCLE_MODEL)
+        assert codes(findings) == ["REP002"]
+        assert findings[0].details["unit"] == "npu"
+        assert findings[0].file == "core/scheduler.py"
+
+    def test_missing_breakdown_field_fires(self):
+        chopped = self.CYCLE_MODEL.replace(
+            "    softmax_stall_cycles: int\n", ""
+        )
+        findings = self.run(self.SCHEDULER, chopped)
+        assert codes(findings) == ["REP002"]
+        assert findings[0].details["missing_fields"] == [
+            "softmax_stall_cycles"
+        ]
+
+    def test_unclaimed_cycles_field_fires(self):
+        padded = self.CYCLE_MODEL + "    mystery_cycles: int\n"
+        findings = self.run(self.SCHEDULER, padded)
+        assert codes(findings) == ["REP002"]
+        assert findings[0].details["field"] == "mystery_cycles"
+
+
+class TestTraceTracks:
+    def test_rogue_track_fires(self):
+        src = 'spans.append(TraceSpan("x", "gpu7", 0.0, 1.0))\n'
+        findings = lint_source(src, "repro/serving/sim.py")
+        assert codes(findings) == ["REP003"]
+        assert findings[0].details["track"] == "gpu7"
+
+    def test_registered_literal_passes(self):
+        src = 'TraceSpan("x", "queue", 0.0, 1.0)\n'
+        assert lint_source(src, "repro/serving/sim.py") == []
+
+    def test_fstring_device_track_passes(self):
+        src = 'TraceSpan("x", f"device{i}", 0.0, 1.0)\n'
+        assert lint_source(src, "repro/serving/sim.py") == []
+
+    def test_fstring_rogue_track_fires(self):
+        src = 'TraceSpan("x", f"node{i}", 0.0, 1.0)\n'
+        assert codes(lint_source(src, "repro/serving/sim.py")) == ["REP003"]
+
+    def test_dynamic_track_is_skipped(self):
+        src = 'TraceSpan("x", track_name, 0.0, 1.0)\n'
+        assert lint_source(src, "repro/serving/sim.py") == []
+
+    def test_track_keyword_form(self):
+        src = 'TraceSpan(name="x", track="rogue", start_us=0.0, duration_us=1.0)\n'
+        assert codes(lint_source(src, "repro/serving/sim.py")) == ["REP003"]
+
+    def test_custom_registry(self):
+        src = 'TraceSpan("x", "lane3", 0.0, 1.0)\n'
+        assert lint_source(
+            src, "x.py", known_patterns=("lane*",)
+        ) == []
+        assert KNOWN_TRACK_PATTERNS  # the real registry is non-empty
+
+
+class TestConfigDocstrings:
+    def test_undocumented_field_fires(self):
+        src = textwrap.dedent('''\
+            from dataclasses import dataclass
+
+            @dataclass
+            class TinyConfig:
+                """A config.
+
+                Attributes:
+                    rows: Row count.
+                """
+
+                rows: int
+                cols: int
+        ''')
+        findings = lint_source(src, "repro/config.py")
+        assert codes(findings) == ["REP004"]
+        assert findings[0].details["field"] == "cols"
+
+    def test_documented_fields_pass(self):
+        src = textwrap.dedent('''\
+            from dataclasses import dataclass
+
+            @dataclass
+            class TinyConfig:
+                """A config.
+
+                Attributes:
+                    rows: Row count.
+                    cols: Column count.
+                """
+
+                rows: int
+                cols: int
+        ''')
+        assert lint_source(src, "repro/config.py") == []
+
+    def test_shared_line_documents_both_fields(self):
+        src = textwrap.dedent('''\
+            from dataclasses import dataclass
+
+            @dataclass
+            class PairConfig:
+                """A config.
+
+                Attributes:
+                    lo / hi: Interval endpoints.
+                """
+
+                lo: int
+                hi: int
+        ''')
+        assert lint_source(src, "repro/config.py") == []
+
+    def test_private_and_constant_fields_exempt(self):
+        src = textwrap.dedent('''\
+            from dataclasses import dataclass
+
+            @dataclass
+            class CacheConfig:
+                """A config."""
+
+                _scratch: int = 0
+                LIMIT: int = 8
+        ''')
+        assert lint_source(src, "repro/config.py") == []
+
+    def test_non_dataclass_ignored(self):
+        src = textwrap.dedent('''\
+            class LooseConfig:
+                """Not a dataclass."""
+
+                rows: int
+        ''')
+        assert lint_source(src, "repro/config.py") == []
+
+    def test_non_config_dataclass_ignored(self):
+        src = textwrap.dedent('''\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Sample:
+                """Not a config."""
+
+                rows: int
+        ''')
+        assert lint_source(src, "repro/config.py") == []
+
+
+class TestCodeRegistry:
+    def test_all_codes_listed(self):
+        assert ALL_CODES == ("REP001", "REP002", "REP003", "REP004")

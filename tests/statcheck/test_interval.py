@@ -1,0 +1,117 @@
+"""Unit tests for the certifier's interval arithmetic."""
+
+import pytest
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import QFormat
+from repro.statcheck import Interval, envelope
+
+
+class TestConstructors:
+    def test_point(self):
+        assert Interval.point(5) == Interval(5, 5)
+
+    def test_from_qformat(self):
+        i = Interval.from_qformat(QFormat(8, 0))
+        assert (i.lo, i.hi) == (-128, 127)
+
+    def test_signed_width(self):
+        i = Interval.signed_width(8)
+        assert (i.lo, i.hi) == (-128, 127)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(FixedPointError):
+            Interval(2, 1)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(FixedPointError):
+            Interval.signed_width(0)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Interval(-1, 2) + Interval(-3, 4) == Interval(-4, 6)
+
+    def test_sub(self):
+        assert Interval(-1, 2) - Interval(-3, 4) == Interval(-5, 5)
+
+    def test_neg(self):
+        assert -Interval(-1, 2) == Interval(-2, 1)
+
+    def test_mul_int8_product(self):
+        i8 = Interval.signed_width(8)
+        prod = i8 * i8
+        assert prod == Interval(-128 * 127, 128 * 128)
+
+    def test_accumulate(self):
+        prod = Interval.signed_width(8) * Interval.signed_width(8)
+        acc = prod.accumulate(64)
+        assert acc == Interval(prod.lo * 64, prod.hi * 64)
+
+    def test_accumulate_zero(self):
+        assert Interval(-5, 5).accumulate(0) == Interval(0, 0)
+
+    def test_shr_floor_on_negatives(self):
+        assert Interval(-5, 5).shr(1) == Interval(-3, 2)
+
+    def test_rounding_shr(self):
+        assert Interval(-5, 5).rounding_shr(1) == Interval(-2, 3)
+
+    def test_shl(self):
+        assert Interval(-1, 3).shl(4) == Interval(-16, 48)
+
+    def test_shift_add_log2e(self):
+        # x * ~1.4375 for non-positive x: [-32768, 0] scaled.
+        x = Interval(-32768, 0)
+        u = x.shift_add(((1, 0), (1, 1), (-1, 4)))
+        assert u.lo == -32768 - 16384
+        assert u.hi == 2048
+
+    def test_nonneg(self):
+        assert Interval(-5, 3).nonneg() == Interval(0, 3)
+        assert Interval(-5, -2).nonneg() == Interval(0, 0)
+
+    def test_union(self):
+        assert Interval(-1, 2).union(Interval(0, 5)) == Interval(-1, 5)
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(FixedPointError):
+            Interval(0, 1).shr(-1)
+
+
+class TestQueries:
+    def test_fits_signed(self):
+        assert Interval(-128, 127).fits_signed(8)
+        assert not Interval(-129, 127).fits_signed(8)
+        assert not Interval(-128, 128).fits_signed(8)
+
+    def test_required_signed_bits(self):
+        assert Interval(0, 0).required_signed_bits == 1
+        assert Interval(-128, 127).required_signed_bits == 8
+        assert Interval(-128, 128).required_signed_bits == 9
+
+    def test_fits_qformat(self):
+        assert Interval(-32768, 32767).fits_qformat(QFormat(6, 10))
+        assert not Interval(-32768, 32768).fits_qformat(QFormat(6, 10))
+
+    def test_contains(self):
+        assert Interval(-3, 3).contains(0)
+        assert not Interval(-3, 3).contains(4)
+
+    def test_contains_interval(self):
+        assert Interval(-3, 3).contains_interval(Interval(-1, 2))
+        assert not Interval(-3, 3).contains_interval(Interval(-4, 2))
+
+    def test_max_abs(self):
+        assert Interval(-5, 3).max_abs == 5
+
+
+class TestEnvelope:
+    def test_envelope(self):
+        assert envelope(
+            [Interval(0, 1), Interval(-2, 0), Interval(1, 3)]
+        ) == Interval(-2, 3)
+
+    def test_empty_envelope_rejected(self):
+        with pytest.raises(FixedPointError):
+            envelope([])

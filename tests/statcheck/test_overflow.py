@@ -1,0 +1,168 @@
+"""Tests for the static overflow certifier."""
+
+import pytest
+
+from repro.config import paper_accelerator, transformer_base
+from repro.errors import ConfigError
+from repro.fixedpoint import FixedPointLayerNorm
+from repro.statcheck import (
+    OverflowPoint,
+    certify_layernorm,
+    certify_overflow,
+    certify_sa_accumulators,
+    certify_softmax,
+    min_sa_acc_bits,
+    paper_point,
+)
+
+
+def stage_map(stages):
+    return {s.name: s for s in stages}
+
+
+class TestPaperPoint:
+    def test_paper_point_is_clean(self):
+        stages, findings = certify_overflow(paper_point())
+        assert findings == []
+        assert all(s.ok for s in stages)
+
+    def test_every_declared_register_is_covered(self):
+        names = {s.name for s in certify_overflow(paper_point())[0]}
+        assert {
+            "sa.mac.product", "sa.acc.proj", "sa.acc.qkt", "sa.acc.pv",
+            "sa.acc.ffn_w1", "sa.acc.ffn_w2",
+            "softmax.exp.out", "softmax.row_sum", "softmax.ln.out",
+            "layernorm.sum", "layernorm.sumsq", "layernorm.isqrt_in",
+        } <= names
+
+    def test_from_configs_matches_default(self):
+        point = OverflowPoint.from_configs(
+            transformer_base(), paper_accelerator(), name="paper"
+        )
+        assert point == paper_point()
+
+    def test_invalid_point_rejected(self):
+        with pytest.raises(ConfigError):
+            OverflowPoint(s=0)
+        with pytest.raises(ConfigError):
+            OverflowPoint(d_model=500, h=8)
+
+
+class TestSaAccumulators:
+    def test_int8_product_bound_is_exact(self):
+        stages = stage_map(certify_sa_accumulators(paper_point())[0])
+        prod = stages["sa.mac.product"].interval
+        assert (prod.lo, prod.hi) == (-128 * 127, 128 * 128)
+
+    def test_deepest_chain_is_ffn_w2(self):
+        stages = stage_map(certify_sa_accumulators(paper_point())[0])
+        assert (stages["sa.acc.ffn_w2"].required_bits
+                == max(s.required_bits for s in stages.values()))
+
+    def test_min_acc_bits_at_paper_point(self):
+        # d_ff = 2048-deep chain of [-16256, 16384] products -> 27 bits.
+        assert min_sa_acc_bits(paper_point()) == 27
+
+    def test_acc32_has_headroom(self):
+        stages = stage_map(certify_sa_accumulators(paper_point())[0])
+        assert stages["sa.acc.ffn_w2"].headroom_bits == 32 - 27
+
+    def test_one_bit_below_minimum_fires(self):
+        point = OverflowPoint(sa_acc_bits=26)
+        stages, findings = certify_sa_accumulators(point)
+        assert findings
+        f = findings[0]
+        assert f.code == "OVF001"
+        assert f.severity == "error"
+        assert f.details["required_bits"] == 27
+        assert f.details["breaking_config"]["max_fitting_depth"] < 2048
+
+    def test_minimum_width_certifies(self):
+        point = OverflowPoint(sa_acc_bits=27)
+        _, findings = certify_sa_accumulators(point)
+        assert findings == []
+
+    def test_breaking_depth_is_tight(self):
+        point = OverflowPoint(sa_acc_bits=26)
+        _, findings = certify_sa_accumulators(point)
+        max_depth = findings[0].details["breaking_config"][
+            "max_fitting_depth"]
+        prod_hi = 128 * 128
+        assert max_depth * prod_hi <= (1 << 25) - 1
+        assert (max_depth + 1) * prod_hi > (1 << 25) - 1
+
+
+class TestSoftmax:
+    def test_row_sum_certifies_to_512(self):
+        _, findings = certify_softmax(OverflowPoint(s=512))
+        assert findings == []
+
+    def test_row_sum_breaks_at_1024(self):
+        _, findings = certify_softmax(OverflowPoint(s=1024))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.details["stage"] == "softmax.row_sum"
+        assert f.details["breaking_config"]["max_fitting_s"] == 512
+
+    def test_exp_out_fits_q2_15(self):
+        stages = stage_map(certify_softmax(paper_point())[0])
+        out = stages["softmax.exp.out"]
+        assert out.ok
+        # Worst case: mantissa 1 + F at F just below 1, shift 0.
+        assert out.interval.hi == (1 << 15) + ((1 << 10) - 1) * (1 << 5)
+
+    def test_ln_out_fits_q6_10(self):
+        stages = stage_map(certify_softmax(paper_point())[0])
+        assert stages["softmax.ln.out"].ok
+
+
+class TestLayerNorm:
+    def test_all_stages_certify_at_paper_point(self):
+        stages, findings = certify_layernorm(paper_point())
+        assert findings == []
+        assert all(s.ok for s in stages)
+
+    def test_isqrt_in_fmt_regression(self):
+        # The seed's FixedPointLayerNorm declared a 24-bit isqrt input
+        # bus; worst-case variance codes reach ~2**34, which the
+        # certifier flags.  The widened Q24.12 bus must cover the
+        # certified interval (the fix this pass originally forced).
+        stages = stage_map(certify_layernorm(paper_point())[0])
+        stage = stages["layernorm.isqrt_in"]
+        assert stage.ok
+        unit = FixedPointLayerNorm(d_model=512)
+        assert unit.isqrt_unit.in_fmt.int_bits == 2 * unit.in_fmt.int_bits
+        assert stage.interval.hi <= unit.isqrt_unit.in_fmt.max_code
+        # And the old 24-bit declaration would indeed have overflowed.
+        assert stage.interval.hi > (1 << 23) - 1
+
+    def test_undersized_sum_register_fires(self):
+        point = OverflowPoint(layernorm_sum_bits=30)
+        _, findings = certify_layernorm(point)
+        assert any(
+            f.details.get("stage") == "layernorm.sum" for f in findings
+        )
+
+    def test_breaking_d_model_reported(self):
+        point = OverflowPoint(layernorm_sumsq_bits=40)
+        _, findings = certify_layernorm(point)
+        f = [x for x in findings
+             if x.details.get("stage") == "layernorm.sumsq"][0]
+        assert f.details["breaking_config"]["max_fitting_d_model"] < 512
+
+
+class TestScaling:
+    @pytest.mark.parametrize("preset_kwargs", [
+        dict(),                                       # Transformer-base
+        dict(h=16, d_model=1024, d_ff=4096),          # Transformer-big
+        dict(h=12, d_model=768, d_ff=3072),           # BERT-base
+    ])
+    def test_table1_presets_certify(self, preset_kwargs):
+        _, findings = certify_overflow(OverflowPoint(**preset_kwargs))
+        assert findings == []
+
+    def test_narrow_accumulator_reports_every_overflowing_chain(self):
+        _, findings = certify_sa_accumulators(OverflowPoint(sa_acc_bits=20))
+        overflowing = {f.details["stage"] for f in findings}
+        assert "sa.acc.ffn_w2" in overflowing
+        assert "sa.acc.proj" in overflowing

@@ -1,0 +1,154 @@
+"""Property tests: the certifier's static bounds are conservative.
+
+Two layers of soundness:
+
+* interval arithmetic — for any points inside the operand intervals,
+  the concrete result lies inside the result interval;
+* datapath bounds — running the *real* fixed-point units on random
+  inputs never escapes the certified stage intervals.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint import FixedPointLayerNorm
+from repro.fixedpoint.exp_unit import ExpUnit
+from repro.fixedpoint.ops import LOG2E_TERMS, shift_add_multiply
+from repro.statcheck import (
+    Interval,
+    OverflowPoint,
+    certify_layernorm,
+    certify_sa_accumulators,
+    certify_softmax,
+)
+
+BOUND = 1 << 40
+
+
+@st.composite
+def interval_and_point(draw):
+    lo = draw(st.integers(-BOUND, BOUND))
+    hi = draw(st.integers(lo, BOUND))
+    x = draw(st.integers(lo, hi))
+    return Interval(lo, hi), x
+
+
+def stage_map(stages):
+    return {s.name: s for s in stages}
+
+
+class TestIntervalSoundness:
+    @given(interval_and_point(), interval_and_point())
+    def test_add_sub_mul(self, ax, bx):
+        a, x = ax
+        b, y = bx
+        assert (a + b).contains(x + y)
+        assert (a - b).contains(x - y)
+        assert (a * b).contains(x * y)
+
+    @given(interval_and_point(), st.integers(0, 48))
+    def test_shifts(self, ax, bits):
+        a, x = ax
+        assert a.shr(bits).contains(x >> bits)
+        assert a.shl(bits).contains(x << bits)
+        rounded = (x + (1 << bits >> 1)) >> bits if bits else x
+        assert a.rounding_shr(bits).contains(rounded)
+
+    @given(interval_and_point(), st.integers(0, 64))
+    def test_accumulate(self, ax, depth):
+        a, x = ax
+        # Any mix of `depth` in-interval terms sums inside the bound;
+        # the all-equal chain is the draw here, extremes are the hull.
+        acc = a.accumulate(depth)
+        assert acc.contains(x * depth)
+        assert acc.contains(a.lo * depth)
+        assert acc.contains(a.hi * depth)
+
+    @given(st.integers(-(1 << 20), 1 << 20))
+    def test_shift_add_matches_hardware(self, x):
+        u = Interval.point(x).shift_add(LOG2E_TERMS)
+        concrete = int(shift_add_multiply(np.array([x]), LOG2E_TERMS)[0])
+        assert u.contains(concrete)
+
+    @given(interval_and_point())
+    def test_shift_add_over_interval(self, ax):
+        a, x = ax
+        u = a.shift_add(LOG2E_TERMS)
+        concrete = int(shift_add_multiply(np.array([x]), LOG2E_TERMS)[0])
+        assert u.contains(concrete)
+
+
+class TestSaBoundsConservative:
+    @given(st.data())
+    @settings(max_examples=50)
+    def test_random_dot_products_inside_certified_interval(self, data):
+        point = OverflowPoint(s=8, h=2, d_model=16, d_ff=32)
+        stages = stage_map(certify_sa_accumulators(point)[0])
+        depths = {"proj": 16, "qkt": 8, "pv": 8, "ffn_w1": 16, "ffn_w2": 32}
+        for kind, depth in depths.items():
+            acts = data.draw(st.lists(
+                st.integers(-128, 127), min_size=depth, max_size=depth,
+            ))
+            wgts = data.draw(st.lists(
+                st.integers(-128, 127), min_size=depth, max_size=depth,
+            ))
+            acc = int(np.dot(np.array(acts, dtype=np.int64),
+                             np.array(wgts, dtype=np.int64)))
+            assert stages[f"sa.acc.{kind}"].interval.contains(acc)
+
+
+class TestSoftmaxBoundsConservative:
+    @given(st.lists(
+        st.integers(-(1 << 15), 0), min_size=1, max_size=63,
+    ))
+    @settings(max_examples=100)
+    def test_exp_outputs_and_row_sum_inside_certified_intervals(self, rest):
+        point = OverflowPoint()
+        stages = stage_map(certify_softmax(point)[0])
+        exp = ExpUnit()
+        # The running-max subtraction guarantees one exact zero per row.
+        row = np.array([0] + rest, dtype=np.int64)
+        out = exp(row)
+        exp_bound = stages["softmax.exp.out"].interval
+        assert int(out.min()) >= exp_bound.lo
+        assert int(out.max()) <= exp_bound.hi
+        assert stages["softmax.row_sum"].interval.contains(int(out.sum()))
+
+
+class TestLayerNormBoundsConservative:
+    @given(st.data())
+    @settings(max_examples=50)
+    def test_statistics_inside_certified_intervals(self, data):
+        point = OverflowPoint(s=8, h=2, d_model=16, d_ff=32)
+        stages = stage_map(certify_layernorm(point)[0])
+        unit = FixedPointLayerNorm(d_model=16)
+        fmt = unit.in_fmt
+        codes = np.array(data.draw(st.lists(
+            st.integers(fmt.min_code, fmt.max_code),
+            min_size=16, max_size=16,
+        )), dtype=np.int64)[None, :]
+        mean, var = unit.statistics(codes)
+        assert stages["layernorm.mean"].interval.contains(int(mean[0]))
+        isqrt_bound = stages["layernorm.isqrt_in"].interval
+        eps_codes = max(1, round(unit.eps_value / fmt.scale))
+        assert isqrt_bound.contains(int(var[0]) + eps_codes)
+
+    def test_adversarial_extremes_stay_inside(self):
+        point = OverflowPoint()
+        stages = stage_map(certify_layernorm(point)[0])
+        unit = FixedPointLayerNorm(d_model=512)
+        fmt = unit.in_fmt
+        half = np.full((1, 512), fmt.min_code, dtype=np.int64)
+        half[:, ::2] = fmt.max_code
+        for codes in (
+            np.full((1, 512), fmt.min_code, dtype=np.int64),
+            np.full((1, 512), fmt.max_code, dtype=np.int64),
+            half,
+        ):
+            mean, var = unit.statistics(codes)
+            assert stages["layernorm.mean"].interval.contains(int(mean[0]))
+            eps_codes = max(1, round(unit.eps_value / fmt.scale))
+            assert stages["layernorm.isqrt_in"].interval.contains(
+                int(var[0]) + eps_codes
+            )

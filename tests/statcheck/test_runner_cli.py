@@ -1,0 +1,129 @@
+"""End-to-end tests: run_check, the CLI gate, and the JSON artifact."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.statcheck import (
+    OverflowPoint,
+    PASSES,
+    SEED_BUGS,
+    run_check,
+    selftest_check,
+)
+
+
+class TestRunCheck:
+    def test_paper_point_passes(self):
+        report = run_check()
+        assert report.passed
+        assert report.errors == []
+        assert set(report.checks_run) == set(PASSES)
+        assert report.checks_run["overflow"] == len(report.certified) == 17
+
+    def test_seeded_acc_width_fails(self):
+        report = run_check(seed_bug="sa-acc-width", skip=("schedule", "ast"))
+        assert not report.passed
+        assert report.point["sa_acc_bits"] == 26
+        assert report.point["seed_bug"] == "sa-acc-width"
+        assert any(f.code == "OVF001" for f in report.errors)
+
+    def test_seeded_double_book_fails(self):
+        report = run_check(seed_bug="double-book", skip=("overflow", "ast"))
+        assert not report.passed
+        assert any(f.code == "SCH001" for f in report.errors)
+
+    def test_skip_drops_pass(self):
+        report = run_check(skip=("ast",))
+        assert "ast" not in report.checks_run
+        assert {"overflow", "schedule"} <= set(report.checks_run)
+
+    def test_unknown_skip_rejected(self):
+        with pytest.raises(ConfigError):
+            run_check(skip=("fuzz",))
+
+    def test_unknown_seed_bug_rejected(self):
+        with pytest.raises(ConfigError):
+            run_check(seed_bug="rowhammer")
+
+    def test_sa_acc_bits_override(self):
+        report = run_check(sa_acc_bits=20, skip=("schedule", "ast"))
+        assert not report.passed
+
+    def test_custom_point(self):
+        report = run_check(
+            point=OverflowPoint(name="big", h=16, d_model=1024, d_ff=4096),
+            skip=("schedule", "ast"),
+        )
+        assert report.passed
+        assert report.point["name"] == "big"
+
+    def test_json_artifact(self, tmp_path):
+        out = tmp_path / "findings.json"
+        report = run_check(
+            seed_bug="sa-acc-width", skip=("schedule", "ast"),
+            json_path=str(out),
+        )
+        payload = json.loads(out.read_text())
+        assert {"point", "summary", "checks_run", "findings",
+                "certified"} <= set(payload)
+        assert payload["point"]["seed_bug"] == "sa-acc-width"
+        assert len(payload["findings"]) == len(report.findings) >= 1
+        assert payload["findings"][0]["code"] == "OVF001"
+
+    def test_seed_bugs_registry(self):
+        assert SEED_BUGS == ("sa-acc-width", "double-book")
+
+
+class TestSelftestHook:
+    def test_selftest_check_passes(self):
+        assert selftest_check() == []
+
+    def test_selftest_appears_in_full_selftest(self):
+        from repro.core.verification import run_selftest
+
+        results = run_selftest()
+        by_name = {r.name: r for r in results}
+        assert "statcheck" in by_name
+        assert by_name["statcheck"].passed
+
+
+class TestCli:
+    def test_check_exits_zero_on_paper_point(self, capsys):
+        assert main(["check", "--point", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+        assert "0 error(s)" in out
+
+    def test_check_exits_nonzero_on_seeded_overflow(self, capsys):
+        rc = main(["check", "--seed-bug", "sa-acc-width",
+                   "--skip", "schedule", "--skip", "ast"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "OVF001" in out
+
+    def test_check_exits_nonzero_on_seeded_double_book(self, capsys):
+        rc = main(["check", "--seed-bug", "double-book",
+                   "--skip", "overflow", "--skip", "ast"])
+        assert rc == 1
+        assert "SCH001" in capsys.readouterr().out
+
+    def test_check_json_artifact(self, tmp_path, capsys):
+        out = tmp_path / "statcheck.json"
+        assert main(["check", "--json", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["error"] == 0
+
+    def test_check_table1_preset(self, capsys):
+        assert main(["check", "--point", "transformer-big",
+                     "--skip", "schedule", "--skip", "ast"]) == 0
+        capsys.readouterr()
+
+    def test_check_acc_bits_override(self, capsys):
+        rc = main(["check", "--sa-acc-bits", "20",
+                   "--skip", "schedule", "--skip", "ast"])
+        assert rc == 1
+        capsys.readouterr()

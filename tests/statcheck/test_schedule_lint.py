@@ -1,0 +1,149 @@
+"""Tests for the schedule/trace invariant linter."""
+
+import copy
+import dataclasses
+
+from repro.config import paper_accelerator, transformer_base
+from repro.core.scheduler import ScheduleResult, TimelineEvent, schedule_mha
+from repro.core.trace import TraceSpan
+from repro.statcheck import (
+    PINNED_PAPER_POINTS,
+    lint_paper_points,
+    lint_schedule,
+    lint_spans,
+)
+
+
+def mutate_double_booking(result):
+    """Shift the second SA event back so it overlaps the first."""
+    mutated = copy.deepcopy(result)
+    sa = [i for i, e in enumerate(mutated.events) if e.unit == "sa"]
+    first, second = sa[0], sa[1]
+    shift = min(50, mutated.events[second].start)
+    mutated.events[second] = dataclasses.replace(
+        mutated.events[second],
+        start=mutated.events[second].start - shift,
+        end=mutated.events[second].end - shift,
+    )
+    return mutated, mutated.events[first], mutated.events[second]
+
+
+class TestPinnedPoints:
+    def test_all_pinned_points_clean(self):
+        checked, findings = lint_paper_points()
+        assert checked == len(PINNED_PAPER_POINTS) == 6
+        assert findings == []
+
+    def test_pinned_totals_cover_paper_and_sweep(self):
+        totals = {(label, block): total
+                  for label, _, block, total in PINNED_PAPER_POINTS}
+        assert totals[("paper", "mha")] == 21_578
+        assert totals[("paper", "ffn")] == 39_052
+        assert totals[("wl8", "mha")] == 21_834
+
+    def test_drifted_accelerator_fires_sch005(self):
+        slow = paper_accelerator().with_updates(sa_drain_cycles=17)
+        _, findings = lint_paper_points(acc=slow)
+        assert any(f.code == "SCH005" for f in findings)
+
+
+class TestScheduleLint:
+    def test_real_schedule_is_clean(self):
+        result = schedule_mha(transformer_base(), paper_accelerator())
+        assert lint_schedule(result) == []
+
+    def test_double_booked_sa_fires_sch001(self):
+        result = schedule_mha(transformer_base(), paper_accelerator())
+        mutated, first, second = mutate_double_booking(result)
+        findings = lint_schedule(mutated)
+        sch001 = [f for f in findings if f.code == "SCH001"]
+        assert sch001
+        assert sch001[0].details["resource"] == "sa"
+        assert sch001[0].details["overlap"] > 0
+
+    def test_empty_interval_fires_sch002(self):
+        result = ScheduleResult(block="mha", events=[
+            TimelineEvent("bad", "sa", start=10, end=10, active_cycles=0),
+        ], total_cycles=10)
+        findings = lint_schedule(result)
+        assert [f.code for f in findings] == ["SCH002"]
+        assert "empty/negative interval" in findings[0].message
+
+    def test_overactive_event_fires_sch002(self):
+        result = ScheduleResult(block="mha", events=[
+            TimelineEvent("busy", "sa", start=0, end=4, active_cycles=9),
+        ], total_cycles=4)
+        assert any(
+            "exceed duration" in f.message for f in lint_schedule(result)
+        )
+
+    def test_unknown_unit_fires_sch002(self):
+        result = ScheduleResult(block="mha", events=[
+            TimelineEvent("odd", "gpu", start=0, end=4, active_cycles=4),
+        ], total_cycles=4)
+        findings = lint_schedule(result)
+        assert any(
+            f.code == "SCH002" and "'gpu'" in f.message for f in findings
+        )
+
+    def test_wrong_total_fires_sch003(self):
+        result = schedule_mha(transformer_base(), paper_accelerator())
+        mutated = copy.deepcopy(result)
+        mutated.total_cycles += 1
+        assert any(f.code == "SCH003" for f in lint_schedule(mutated))
+
+    def test_conservation_vs_breakdown_fires_sch004(self):
+        from repro.core.cycle_model import mha_cycle_breakdown
+
+        model, acc = transformer_base(), paper_accelerator()
+        result = schedule_mha(model, acc)
+        breakdown = mha_cycle_breakdown(
+            model, acc.with_updates(weight_load_cycles=8)
+        )
+        findings = lint_schedule(result, breakdown)
+        assert any(f.code == "SCH004" for f in findings)
+
+    def test_conservation_holds_on_matching_breakdown(self):
+        from repro.core.cycle_model import mha_cycle_breakdown
+
+        model, acc = transformer_base(), paper_accelerator()
+        result = schedule_mha(model, acc)
+        assert lint_schedule(result, mha_cycle_breakdown(model, acc)) == []
+
+
+class TestSpanLint:
+    def test_device_overlap_fires_spn001(self):
+        spans = [
+            TraceSpan("batch0", "device0", start_us=0.0, duration_us=10.0),
+            TraceSpan("batch1", "device0", start_us=5.0, duration_us=10.0),
+        ]
+        findings = lint_spans(spans)
+        assert [f.code for f in findings] == ["SPN001"]
+        assert findings[0].details["resource"] == "device0"
+
+    def test_queue_track_is_not_exclusive(self):
+        spans = [
+            TraceSpan("req0.wait", "queue", start_us=0.0, duration_us=10.0),
+            TraceSpan("req1.wait", "queue", start_us=2.0, duration_us=10.0),
+        ]
+        assert lint_spans(spans) == []
+
+    def test_negative_duration_fires_spn002(self):
+        spans = [
+            TraceSpan("broken", "device3", start_us=4.0, duration_us=-1.0),
+        ]
+        assert [f.code for f in lint_spans(spans)] == ["SPN002"]
+
+    def test_back_to_back_spans_allowed(self):
+        spans = [
+            TraceSpan("batch0", "device0", start_us=0.0, duration_us=5.0),
+            TraceSpan("batch1", "device0", start_us=5.0, duration_us=5.0),
+        ]
+        assert lint_spans(spans) == []
+
+    def test_custom_exclusive_patterns(self):
+        spans = [
+            TraceSpan("a", "queue", start_us=0.0, duration_us=4.0),
+            TraceSpan("b", "queue", start_us=1.0, duration_us=4.0),
+        ]
+        assert lint_spans(spans, exclusive_tracks=("queue",))
