@@ -7,8 +7,12 @@ Every benchmark session additionally writes a machine-readable artifact
 ``BENCH_<suite>.json`` (suite from the ``BENCH_SUITE`` env var, default
 ``smoke``) at the repo root: per-test outcome and wall time, the
 pytest-benchmark timing stats when timing ran, and any headline numbers
-the benches recorded through the :func:`bench_headline` fixture.  CI's
-benchmark-smoke job uploads the file, so runs leave a comparable trail.
+the benches recorded through the :func:`bench_headline` fixture.  The
+artifact is stamped with provenance — git SHA, UTC timestamp, and the
+paper-point config fingerprint — so ``repro bench-diff`` can tell a
+perf regression from a baseline pinned at a different operating point.
+CI's benchmark-smoke job uploads the file, so runs leave a comparable
+trail.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ import json
 import os
 import time
 from collections import OrderedDict
+from datetime import datetime, timezone
 
 import numpy as np
 import pytest
@@ -61,11 +66,18 @@ def _benchmark_stats(session):
 
 
 def pytest_sessionfinish(session, exitstatus):
+    from repro.telemetry import config_fingerprint, git_sha
+
     suite = os.environ.get("BENCH_SUITE", "smoke")
     artifact = {
         "suite": suite,
         "exit_status": int(exitstatus),
         "generated_unix": int(time.time()),
+        "generated_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_sha": git_sha(cwd=str(session.config.rootpath)),
+        "config_fingerprint": config_fingerprint(),
         "tests": dict(_TEST_RESULTS),
         "benchmarks": _benchmark_stats(session),
         "headlines": dict(_HEADLINES),

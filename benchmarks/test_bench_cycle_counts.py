@@ -17,9 +17,13 @@ from repro.core import (
 )
 
 
-def test_bench_cycle_counts(benchmark, base_model, paper_acc):
+def test_bench_cycle_counts(benchmark, base_model, paper_acc,
+                            bench_headline):
     mha = schedule_mha(base_model, paper_acc)
     ffn = schedule_ffn(base_model, paper_acc)
+    bench_headline("cycles.mha_total", mha.total_cycles)
+    bench_headline("cycles.ffn_total", ffn.total_cycles)
+    bench_headline("cycles.sa_utilization_mha", mha.sa_utilization)
 
     rows = [
         deviation_row("MHA ResBlock", mha.total_cycles, PAPER_MHA_CYCLES),

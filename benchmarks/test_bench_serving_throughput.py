@@ -45,8 +45,12 @@ def sweep(model, acc):
     return rows, stats
 
 
-def test_bench_serving_throughput(benchmark, base_model, paper_acc):
+def test_bench_serving_throughput(benchmark, base_model, paper_acc,
+                                  bench_headline):
     rows, stats = sweep(base_model, paper_acc)
+    _, mid_dyn, _ = stats[1]
+    bench_headline("serving.throughput_rps_at_1200", mid_dyn.throughput_rps)
+    bench_headline("serving.p99_us_at_1200", mid_dyn.latency_p99_us)
     print()
     print(render_table(
         "serving under Poisson load (dynamic x8 / batch-1, 1 device)",

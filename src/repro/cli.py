@@ -16,6 +16,13 @@ Commands:
 * ``fault-campaign`` — sweep fault site x mode over seeded injection
   trials, report ABFT detection/correction/silent-corruption rates and
   the protection's cycle overhead.
+* ``profile`` — cycle-attribution profiler: per-unit self-time/stall
+  tables over the instrumented schedules (totals match the closed-form
+  cycle model exactly), with collapsed-stack / JSON / Prometheus
+  outputs.
+* ``bench-diff`` — perf-regression gate: compare ``BENCH_*.json``
+  headlines against ``benchmarks/baseline.json`` tolerance bands;
+  nonzero exit on any regression.
 """
 
 from __future__ import annotations
@@ -209,6 +216,59 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-weight-cache", action="store_true",
         help="refetch every ResBlock's weights on every batch run",
+    )
+    profile = sub.add_parser(
+        "profile",
+        help="cycle-attribution profiler over the instrumented schedules",
+    )
+    profile.add_argument(
+        "--point", default="paper", metavar="NAME",
+        help="configuration point: 'paper' or a Table I preset name "
+             "(default: paper)",
+    )
+    profile.add_argument(
+        "--block", choices=("mha", "ffn", "both"), default="both",
+        help="which ResBlock timelines to profile (default: both)",
+    )
+    profile.add_argument(
+        "--bandwidth-gbps", type=float, default=None,
+        help="profile with a finite off-chip link at this peak GB/s "
+             "(adds the dram track's stall attribution)",
+    )
+    profile.add_argument(
+        "--collapsed", metavar="PATH",
+        help="write collapsed-stack lines for flamegraph tooling",
+    )
+    profile.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="write the metrics registry as structured JSON",
+    )
+    profile.add_argument(
+        "--prom", metavar="PATH",
+        help="write the metrics registry as Prometheus text exposition",
+    )
+    bench_diff = sub.add_parser(
+        "bench-diff",
+        help="compare BENCH_*.json headlines against the committed "
+             "baseline (nonzero exit on regression)",
+    )
+    bench_diff.add_argument(
+        "--current", action="append", metavar="PATH", default=None,
+        help="bench artifact(s) to gate (repeatable; default: every "
+             "BENCH_*.json in the working directory)",
+    )
+    bench_diff.add_argument(
+        "--baseline", default="benchmarks/baseline.json", metavar="PATH",
+        help="pinned baseline document (default: benchmarks/baseline.json)",
+    )
+    bench_diff.add_argument(
+        "--seed-slowdown", type=float, default=None, metavar="FACTOR",
+        help="self-proof: perturb every current headline this many "
+             "times in the bad direction and show the gate fails",
+    )
+    bench_diff.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="also write the comparison report as JSON",
     )
     campaign = sub.add_parser(
         "fault-campaign",
@@ -582,6 +642,124 @@ def _cmd_fault_campaign(args) -> None:
         ))
 
 
+def _cmd_profile(args) -> int:
+    from .config import MemoryConfig
+    from .core.cycle_model import ffn_cycle_breakdown, mha_cycle_breakdown
+    from .telemetry import (
+        MetricsRegistry,
+        profile_schedule,
+        to_prometheus_text,
+        write_collapsed,
+        write_json,
+    )
+
+    if args.point == "paper":
+        model = preset("transformer-base")
+        acc = AcceleratorConfig()
+    else:
+        model = preset(args.point)
+        acc = AcceleratorConfig(
+            seq_len=args.seq_len, clock_mhz=args.clock_mhz
+        )
+    mem = (
+        MemoryConfig(bandwidth_gbps=args.bandwidth_gbps)
+        if args.bandwidth_gbps is not None else None
+    )
+    registry = MetricsRegistry()
+    blocks = ("mha", "ffn") if args.block == "both" else (args.block,)
+    schedulers = {"mha": schedule_mha, "ffn": schedule_ffn}
+    closed_forms = {"mha": mha_cycle_breakdown, "ffn": ffn_cycle_breakdown}
+    results = []
+    mismatch = False
+    for block in blocks:
+        result = schedulers[block](model, acc, mem, registry=registry)
+        results.append(result)
+        prof = profile_schedule(result)
+        closed = closed_forms[block](model, acc, mem).total_cycles
+        print(render_table(
+            f"{block.upper()} cycle attribution — {model.name}, "
+            f"s={acc.seq_len}",
+            ["unit", "busy", "active", "overhead", "exclusive", "share"],
+            prof.rows(),
+        ))
+        agree = prof.attributed_cycles == closed == result.total_cycles
+        print(
+            f"attributed {prof.attributed_cycles:,} cycles; closed-form "
+            f"model says {closed:,} — "
+            + ("exact match" if agree else "MISMATCH")
+        )
+        print()
+        if not agree:
+            mismatch = True
+    if args.collapsed:
+        count = write_collapsed(results, args.collapsed)
+        print(f"wrote {count} collapsed-stack lines to {args.collapsed}")
+    if args.json_path:
+        write_json(registry, args.json_path)
+        print(f"wrote metrics JSON to {args.json_path}")
+    if args.prom:
+        with open(args.prom, "w") as handle:
+            handle.write(to_prometheus_text(registry))
+        print(f"wrote Prometheus exposition to {args.prom}")
+    return 1 if mismatch else 0
+
+
+def _cmd_bench_diff(args) -> int:
+    import glob
+    import json
+
+    from .telemetry import diff_benchmarks, load_json
+
+    paths = args.current or sorted(glob.glob("BENCH_*.json"))
+    if not paths:
+        raise RuntimeError(
+            "no bench artifacts found (run the benchmarks suite or pass "
+            "--current)"
+        )
+    current: dict = {"headlines": {}}
+    suites = []
+    for path in paths:
+        doc = load_json(path)
+        suites.append(str(doc.get("suite", path)))
+        current["headlines"].update(doc.get("headlines", {}))
+        for key in ("git_sha", "generated_utc", "config_fingerprint"):
+            if key in doc:
+                current.setdefault(key, doc[key])
+    current["suite"] = ",".join(suites)
+    baseline = load_json(args.baseline)
+    report = diff_benchmarks(
+        current, baseline, seed_slowdown=args.seed_slowdown
+    )
+    seeded = (
+        f", seeded slowdown x{args.seed_slowdown:g}"
+        if args.seed_slowdown is not None else ""
+    )
+    print(render_table(
+        f"bench-diff — {len(paths)} artifact(s) vs {args.baseline}"
+        + seeded,
+        ["headline", "baseline", "current", "delta", "dir", "tol",
+         "status"],
+        report.table_rows(),
+    ))
+    base_fp = report.baseline_meta.get("config_fingerprint")
+    cur_fp = report.current_meta.get("config_fingerprint")
+    if base_fp and cur_fp and base_fp != cur_fp:
+        print(
+            f"warning: config fingerprint changed ({base_fp} -> "
+            f"{cur_fp}); the baseline pins a different operating point"
+        )
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"wrote comparison report to {args.json_path}")
+    if report.passed:
+        print("gate passed: every pinned headline is inside its band")
+        return 0
+    names = ", ".join(r.name for r in report.regressions)
+    print(f"gate FAILED: {len(report.regressions)} regression(s): {names}")
+    return 1
+
+
 def _cmd_trace(args) -> None:
     model, acc = _configs(args)
     result = (schedule_mha if args.block == "mha" else schedule_ffn)(
@@ -593,7 +771,9 @@ def _cmd_trace(args) -> None:
 
 
 _COMMANDS = {
+    "bench-diff": _cmd_bench_diff,
     "check": _cmd_check,
+    "profile": _cmd_profile,
     "fault-campaign": _cmd_fault_campaign,
     "memsys": _cmd_memsys,
     "schedule": _cmd_schedule,

@@ -37,11 +37,14 @@ only; see DESIGN.md):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..config import AcceleratorConfig, MemoryConfig, ModelConfig
 from ..errors import ScheduleError
 from ..memsys.prefetch import TilePrefetcher
+
+if TYPE_CHECKING:
+    from ..telemetry.registry import MetricsRegistry
 from .cycle_model import ffn_tile_bytes, mha_tile_bytes
 from .layernorm_module import LayerNormModule
 from .partition import plan_qkt
@@ -122,6 +125,8 @@ class _Timeline:
         self,
         config: AcceleratorConfig,
         mem: Optional[MemoryConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        block: str = "",
     ) -> None:
         self.config = config
         self.events: list[TimelineEvent] = []
@@ -131,7 +136,9 @@ class _Timeline:
         self._first_pass = True
         self._prefetch = (
             None if mem is None or mem.is_unlimited
-            else TilePrefetcher(mem, config.clock_mhz)
+            else TilePrefetcher(
+                mem, config.clock_mhz, registry=registry, block=block
+            )
         )
 
     def skew(self, n: int) -> int:
@@ -238,23 +245,42 @@ def _validate(model: ModelConfig, acc: AcceleratorConfig) -> None:
         )
 
 
+def _record(
+    result: ScheduleResult, registry: Optional[MetricsRegistry]
+) -> None:
+    """Fold a finished schedule into ``registry`` (no-op when None).
+
+    The import is lazy so building a schedule never touches
+    :mod:`repro.telemetry` unless a caller actually asked for metrics —
+    instrumentation cannot perturb the model.
+    """
+    if registry is None:
+        return
+    from ..telemetry.instrument import record_schedule
+
+    record_schedule(result, registry)
+
+
 def schedule_mha(
     model: ModelConfig,
     acc: AcceleratorConfig,
     mem: Optional[MemoryConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ScheduleResult:
     """Timeline of one MHA ResBlock (Algorithm 1, lines 1-13).
 
     With a finite ``mem``, every weight-streaming pass's 64-column tile
     is fetched over the off-chip link (``dram`` events); double
     buffered, the fetch overlaps the previous pass and only its excess
-    stalls the SA (:mod:`repro.memsys`).
+    stalls the SA (:mod:`repro.memsys`).  With a ``registry`` the
+    finished timeline is recorded through
+    :func:`repro.telemetry.instrument.record_schedule`.
     """
     _validate(model, acc)
     s = acc.seq_len
     h = model.num_heads
     d_model = model.d_model
-    timeline = _Timeline(acc, mem)
+    timeline = _Timeline(acc, mem, registry, "mha")
     softmax = SoftmaxModule(acc)
     layernorm = LayerNormModule(acc, d_model)
     tile = mha_tile_bytes(model, acc)
@@ -319,6 +345,7 @@ def schedule_mha(
     result.total_cycles = ln_event.end
     result.ideal_sa_cycles = model.mha_macs(s) // acc.num_pes
     result.memsys_stall_cycles = timeline.memsys_stall
+    _record(result, registry)
     return result
 
 
@@ -326,6 +353,7 @@ def schedule_ffn(
     model: ModelConfig,
     acc: AcceleratorConfig,
     mem: Optional[MemoryConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ScheduleResult:
     """Timeline of one FFN ResBlock (Algorithm 1, lines 14-22)."""
     _validate(model, acc)
@@ -333,7 +361,7 @@ def schedule_ffn(
     h = model.num_heads
     d_model = model.d_model
     d_ff = model.d_ff
-    timeline = _Timeline(acc, mem)
+    timeline = _Timeline(acc, mem, registry, "ffn")
     layernorm = LayerNormModule(acc, d_model)
     w1_tile, w2_tile = ffn_tile_bytes(model, acc)
 
@@ -362,6 +390,7 @@ def schedule_ffn(
     result.total_cycles = ln_event.end
     result.ideal_sa_cycles = model.ffn_macs(s) // acc.num_pes
     result.memsys_stall_cycles = timeline.memsys_stall
+    _record(result, registry)
     return result
 
 

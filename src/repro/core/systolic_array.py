@@ -22,11 +22,15 @@ description.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from ..errors import ShapeError
 from .pe import ProcessingElement, flip_bit
+
+if TYPE_CHECKING:
+    from ..telemetry.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -80,7 +84,13 @@ class SystolicArray:
         acc_bits: Saturating accumulator width.
     """
 
-    def __init__(self, rows: int, cols: int, acc_bits: int = 32) -> None:
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        acc_bits: int = 32,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if rows <= 0 or cols <= 0:
             raise ShapeError("SA dimensions must be positive")
         self.rows = rows
@@ -89,6 +99,9 @@ class SystolicArray:
         self._acc_max = (1 << (acc_bits - 1)) - 1
         self._acc_min = -(1 << (acc_bits - 1))
         self._faults = {}
+        # Optional telemetry: the registry is used duck-typed so the
+        # functional simulator never imports repro.telemetry at runtime.
+        self._registry = registry
 
     @property
     def num_pes(self) -> int:
@@ -197,6 +210,19 @@ class SystolicArray:
             if not fault.transient
         }
         useful = s * n * k
+        if self._registry is not None:
+            self._registry.counter(
+                "repro_sa_passes_total",
+                "GEMM passes executed on the functional SA simulator",
+            ).inc(1)
+            self._registry.counter(
+                "repro_sa_compute_cycles_total",
+                "Compute cycles across functional SA passes",
+            ).inc(compute_cycles)
+            self._registry.counter(
+                "repro_sa_useful_macs_total",
+                "MACs with both operands valid across functional passes",
+            ).inc(useful)
         return PassResult(
             product=acc,
             compute_cycles=compute_cycles,

@@ -39,6 +39,10 @@ KNOWN_TRACK_PATTERNS = tuple(_UNIT_TRACKS) + (
     "faults",     # serving: ABFT retries and device-failure markers
     "device*",    # serving: one row per simulated accelerator
     "batch*",     # serving: optional per-batch breakout rows
+    "queue_depth",            # serving: admission-queue depth counter
+    "sa_utilization",         # serving: per-batch useful-MAC share
+    "weight_cache_hit_rate",  # serving: cumulative cache hit rate
+    "repro_*",    # telemetry: registry timeseries exported as counters
 )
 
 
@@ -112,10 +116,25 @@ def counter_events(
     """Build Chrome counter ("C") events from ``(ts_us, value)`` samples.
 
     Counters render as a stacked area chart in the viewer — the natural
-    way to show queue depth over a serving run.
+    way to show queue depth over a serving run.  The sample list must be
+    non-empty and its timestamps non-decreasing (the viewer renders a
+    counter track as-given, so an out-of-order series silently draws a
+    wrong chart): violations raise :class:`ScheduleError`.  Callers with
+    event-ordered samples (e.g. serving retries landing at past
+    completion times) must sort by timestamp first.
     """
+    if not samples:
+        raise ScheduleError(f"counter {name!r} has no samples")
     events = []
+    prev_ts: Optional[float] = None
     for ts_us, value in samples:
+        ts_us = float(ts_us)
+        if prev_ts is not None and ts_us < prev_ts:
+            raise ScheduleError(
+                f"counter {name!r} samples are not time-ordered: "
+                f"{ts_us} after {prev_ts}"
+            )
+        prev_ts = ts_us
         events.append({
             "name": name,
             "cat": category,

@@ -9,7 +9,11 @@ Runs the chain of equivalences the repository's correctness rests on
 4. scheduler vs closed-form cycle model — exactly equal;
 5. streaming softmax/LayerNorm vs their batch modules — bit-equal;
 6. statcheck — the static gate certifies the paper point clean *and*
-   detects a seeded undersized-accumulator bug (:mod:`repro.statcheck`).
+   detects a seeded undersized-accumulator bug (:mod:`repro.statcheck`);
+7. telemetry — the instrumented paper-point schedules are
+   cycle-identical to the uninstrumented runs, and the registry /
+   profiler totals land exactly on the pinned closed-form cycle counts
+   (:mod:`repro.telemetry`).
 
 ``python -m repro selftest`` exposes it from the command line.  Each
 check returns a :class:`CheckResult`; the suite passes only if all do.
@@ -148,6 +152,48 @@ def run_selftest(seed: int = 0, seq_len: int = 12) -> list[CheckResult]:
         "statcheck", not problems,
         "paper point certified; seeded overflow detected"
         if not problems else "; ".join(problems),
+    ))
+
+    # 7. telemetry: the paper-point schedules through the instrumented
+    # path must (a) be cycle-identical to the uninstrumented run —
+    # observation may not perturb the model — and (b) land registry
+    # totals and profiler attribution exactly on the pinned closed-form
+    # totals (21578/39052 hidden-reload, 21834 with exposed weight
+    # loads).
+    from ..config import paper_accelerator, transformer_base
+    from ..telemetry import MetricsRegistry, profile_schedule
+
+    telemetry_ok = True
+    tele_parts = []
+    paper_model = transformer_base()
+    paper_acc = paper_accelerator()
+    exposed_acc = paper_acc.with_updates(weight_load_cycles=8)
+    registry = MetricsRegistry()
+    pinned = (
+        ("mha", schedule_mha, paper_acc, 21_578),
+        ("ffn", schedule_ffn, paper_acc, 39_052),
+        ("mha", schedule_mha, exposed_acc, 21_834),
+    )
+    for block, sched_fn, acc, expected in pinned:
+        plain = sched_fn(paper_model, acc).total_cycles
+        result = sched_fn(paper_model, acc, registry=registry)
+        attributed = profile_schedule(result).attributed_cycles
+        ok = (plain == result.total_cycles == attributed == expected)
+        telemetry_ok &= ok
+        tele_parts.append(
+            f"{block}@wl{acc.weight_load_cycles}: {result.total_cycles}"
+            + ("" if ok else f" (expected {expected})")
+        )
+    cycles = registry.counter("repro_schedule_cycles_total")
+    reg_ok = (
+        cycles.value(block="mha") == 21_578 + 21_834
+        and cycles.value(block="ffn") == 39_052
+    )
+    telemetry_ok &= reg_ok
+    if not reg_ok:
+        tele_parts.append("registry totals off")
+    results.append(CheckResult(
+        "telemetry-attribution", telemetry_ok, "; ".join(tele_parts),
     ))
     return results
 

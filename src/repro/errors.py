@@ -54,3 +54,7 @@ class DecodingError(ReproError):
 
 class TrainingError(ReproError):
     """The numpy training loop diverged or was misconfigured."""
+
+
+class TelemetryError(ReproError):
+    """A metrics instrument, exporter, or the bench-diff gate was misused."""

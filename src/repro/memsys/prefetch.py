@@ -19,10 +19,13 @@ use it without an import cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..config import MemoryConfig
 from ..errors import MemoryModelError
+
+if TYPE_CHECKING:
+    from ..telemetry.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -61,6 +64,8 @@ class TilePrefetcher:
         mem: MemoryConfig,
         clock_mhz: float,
         contenders: int = 1,
+        registry: Optional[MetricsRegistry] = None,
+        block: str = "",
     ) -> None:
         if clock_mhz <= 0:
             raise MemoryModelError("clock_mhz must be positive")
@@ -73,6 +78,10 @@ class TilePrefetcher:
         self.tiles_fetched = 0
         self.bytes_fetched = 0
         self._prev_pass_start: Optional[int] = None
+        # Optional telemetry: the registry object is used duck-typed so
+        # this module still imports only repro.config at runtime.
+        self._registry = registry
+        self._block = block
 
     def fetch_cycles(self, tile_bytes: int) -> int:
         """Transfer cycles for one ``tile_bytes`` tile."""
@@ -104,6 +113,21 @@ class TilePrefetcher:
         self.stall_cycles += stall
         self.tiles_fetched += 1
         self.bytes_fetched += tile_bytes
+        if self._registry is not None:
+            outcome = "stalled" if stall > 0 else "hidden"
+            self._registry.counter(
+                "repro_memsys_prefetch_tiles_total",
+                "Weight-tile fetches by outcome (hidden vs stalled)",
+            ).inc(1, block=self._block, outcome=outcome)
+            self._registry.counter(
+                "repro_memsys_prefetch_bytes_total",
+                "Off-chip bytes fetched for weight tiles",
+            ).inc(tile_bytes, block=self._block)
+            if stall > 0:
+                self._registry.counter(
+                    "repro_memsys_stall_cycles_total",
+                    "SA cycles stalled waiting on weight-tile fetches",
+                ).inc(stall, block=self._block)
         return PrefetchEvent(
             fetch_start=fetch_start,
             fetch_cycles=cycles,

@@ -17,6 +17,7 @@ drives operands, rate draws, and fault placement, so a fixed
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -25,6 +26,9 @@ from ..errors import ReliabilityError
 from ..fixedpoint import ExpUnit, InverseSqrtLUT
 from .abft import ChecksumGemm
 from .faults import FaultInjector, FaultSpec
+
+if TYPE_CHECKING:
+    from ..telemetry.registry import MetricsRegistry
 
 #: Modes each site can physically exhibit.
 SITE_MODES: dict[str, tuple[str, ...]] = {
@@ -250,8 +254,15 @@ def _bias_trial(
     return False, False, error > 0.0, error
 
 
-def run_campaign(spec: CampaignSpec) -> CampaignResult:
-    """Execute the full site x mode x rate sweep."""
+def run_campaign(
+    spec: CampaignSpec, registry: Optional["MetricsRegistry"] = None
+) -> CampaignResult:
+    """Execute the full site x mode x rate sweep.
+
+    With a ``registry`` the finished campaign's per-cell outcome counts
+    (trials / injected / detections / corrections / silent) are folded
+    in through :func:`repro.telemetry.instrument.record_campaign`.
+    """
     injector = FaultInjector(spec.seed)
     outcomes: list[TrialOutcome] = []
     for site in spec.sites:
@@ -271,7 +282,12 @@ def run_campaign(spec: CampaignSpec) -> CampaignResult:
                         detected=detected, corrected=corrected,
                         silent=silent, max_abs_error=error,
                     ))
-    return CampaignResult(spec=spec, outcomes=tuple(outcomes))
+    result = CampaignResult(spec=spec, outcomes=tuple(outcomes))
+    if registry is not None:
+        from ..telemetry.instrument import record_campaign
+
+        record_campaign(result, registry)
+    return result
 
 
 @dataclass(frozen=True)

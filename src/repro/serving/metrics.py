@@ -4,6 +4,14 @@ Percentiles use the deterministic nearest-rank definition (the smallest
 value with at least ``p%`` of the sample at or below it), so the
 reported p50/p95/p99 are always actual observed latencies and runs are
 exactly reproducible.
+
+Since the telemetry refactor the aggregation is registry-backed:
+:func:`compute_metrics` records the raw run into
+:class:`~repro.telemetry.registry.MetricsRegistry` instruments
+(:func:`record_serving`) and derives the :class:`ServingMetrics`
+summary back out of them (:func:`metrics_from_registry`), so the same
+numbers the summary reports are exportable as Prometheus text / JSON /
+Chrome counter tracks.  The public API is unchanged.
 """
 
 from __future__ import annotations
@@ -11,8 +19,10 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..errors import ServingError
+from ..telemetry.registry import MetricsRegistry
 
 
 def percentile(values: Sequence[float], pct: float) -> float:
@@ -131,6 +141,189 @@ class ServingMetrics:
         ]
 
 
+def record_serving(
+    registry: MetricsRegistry,
+    *,
+    latencies_us: Sequence[float],
+    batch_sizes: Sequence[int],
+    batch_tokens: Sequence[int],
+    offered: int,
+    rejected: int,
+    expired: int,
+    depth_samples: Sequence[tuple[float, int]] = (),
+    failed: int = 0,
+    retried: int = 0,
+    corrupted: int = 0,
+    device_failures: int = 0,
+    weight_cache_hits: int = 0,
+    weight_cache_misses: int = 0,
+    reload_stall_cycles: int = 0,
+) -> None:
+    """Record one serving run's raw outcomes into ``registry``.
+
+    Defines the serving metric schema in one place; call once per run
+    (counters accumulate across calls, which is what a registry shared
+    by several runs wants, but :func:`metrics_from_registry` then
+    summarizes the union).
+    """
+    registry.counter(
+        "repro_serving_requests_offered_total",
+        "Requests that arrived at the admission queue",
+    ).inc(offered)
+    outcomes = registry.counter(
+        "repro_serving_requests_total",
+        "Requests by final outcome",
+    )
+    completed = len(latencies_us)
+    for outcome, count in (
+        ("completed", completed), ("rejected", rejected),
+        ("expired", expired), ("failed", failed),
+    ):
+        if count:
+            outcomes.inc(count, outcome=outcome)
+    registry.counter(
+        "repro_serving_retries_total",
+        "Batch re-runs triggered by ABFT-detected faults",
+    ).inc(retried)
+    registry.counter(
+        "repro_serving_corrupted_total",
+        "Completed requests whose batch took a silent fault",
+    ).inc(corrupted)
+    registry.counter(
+        "repro_serving_device_failures_total",
+        "Devices that fail-stopped during the run",
+    ).inc(device_failures)
+    registry.counter(
+        "repro_serving_batches_total", "Batches dispatched",
+    ).inc(len(batch_sizes))
+    registry.counter(
+        "repro_serving_batch_requests_total",
+        "Requests summed over dispatched batches",
+    ).inc(sum(batch_sizes))
+    registry.counter(
+        "repro_serving_batch_tokens_total",
+        "Valid tokens summed over dispatched batches",
+    ).inc(sum(batch_tokens))
+    cache = registry.counter(
+        "repro_serving_weight_cache_lookups_total",
+        "ResBlock weight-set lookups by outcome",
+    )
+    if weight_cache_hits:
+        cache.inc(weight_cache_hits, outcome="hit")
+    if weight_cache_misses:
+        cache.inc(weight_cache_misses, outcome="miss")
+    registry.counter(
+        "repro_serving_reload_stall_cycles_total",
+        "Exposed weight-fetch cycles charged across batch runs",
+    ).inc(reload_stall_cycles)
+    latency = registry.histogram(
+        "repro_serving_latency_us",
+        "Arrival-to-completion latency of completed requests (us)",
+    )
+    for value in latencies_us:
+        latency.observe(value)
+    depth = registry.series(
+        "repro_serving_queue_depth",
+        "Admission-queue depth at each change",
+    )
+    for ts_us, value in depth_samples:
+        depth.sample(ts_us, value)
+
+
+def metrics_from_registry(
+    registry: MetricsRegistry,
+    *,
+    seq_len: int,
+    makespan_us: float,
+    device_busy_fraction: float,
+    ideal_cycles_per_run: int,
+    run_cycles: int,
+) -> ServingMetrics:
+    """Summarize the serving instruments of ``registry``.
+
+    The run-level ratios that need simulation context (makespan, busy
+    fraction, cycle counts) come in as arguments and are published back
+    as gauges, so a registry export carries the full summary.
+    """
+    counter = registry.counter
+    offered = int(counter("repro_serving_requests_offered_total").value())
+    outcomes = counter("repro_serving_requests_total")
+    completed = int(outcomes.value(outcome="completed"))
+    rejected = int(outcomes.value(outcome="rejected"))
+    expired = int(outcomes.value(outcome="expired"))
+    failed = int(outcomes.value(outcome="failed"))
+    latency = registry.histogram("repro_serving_latency_us")
+    nan = float("nan")
+    have = latency.count() > 0
+    seconds = makespan_us / 1e6
+    num_batches = int(counter("repro_serving_batches_total").value())
+    total_requests = counter("repro_serving_batch_requests_total").value()
+    total_tokens = counter("repro_serving_batch_tokens_total").value()
+    occupancy = (
+        total_tokens / (num_batches * seq_len) if num_batches else 0.0
+    )
+    # Useful-MAC share: each run streams ideal_cycles_per_run MACs at
+    # full s; occupancy discounts the rows that were padding.
+    sa_util = 0.0
+    if makespan_us > 0 and run_cycles > 0:
+        busy_share = device_busy_fraction
+        sa_util = busy_share * (ideal_cycles_per_run / run_cycles) * occupancy
+    cache = counter("repro_serving_weight_cache_lookups_total")
+    hits = int(cache.value(outcome="hit"))
+    misses = int(cache.value(outcome="miss"))
+    depth_samples = registry.series("repro_serving_queue_depth").samples()
+    gauges = (
+        ("repro_serving_makespan_us", "Run makespan (us)", makespan_us),
+        ("repro_serving_device_busy_fraction",
+         "Busy device-time / total device-time", device_busy_fraction),
+        ("repro_serving_sa_utilization",
+         "Pool-wide useful-MAC utilization", sa_util),
+        ("repro_serving_occupancy",
+         "Valid tokens / (batches x SA rows)", occupancy),
+    )
+    for name, help_text, value in gauges:
+        registry.gauge(name, help_text).set(value)
+    return ServingMetrics(
+        offered=offered,
+        completed=completed,
+        rejected=rejected,
+        expired=expired,
+        rejection_rate=(rejected + expired) / offered if offered else 0.0,
+        latency_p50_us=latency.percentile(50) if have else nan,
+        latency_p95_us=latency.percentile(95) if have else nan,
+        latency_p99_us=latency.percentile(99) if have else nan,
+        latency_mean_us=latency.mean() if have else nan,
+        throughput_rps=completed / seconds if seconds > 0 else 0.0,
+        tokens_per_s=total_tokens / seconds if seconds > 0 else 0.0,
+        makespan_us=makespan_us,
+        num_batches=num_batches,
+        mean_batch_size=(
+            total_requests / num_batches if num_batches else 0.0
+        ),
+        occupancy=occupancy,
+        device_busy_fraction=device_busy_fraction,
+        sa_utilization=sa_util,
+        mean_queue_depth=mean_queue_depth(depth_samples),
+        max_queue_depth=int(max(
+            (d for _, d in depth_samples), default=0
+        )),
+        failed=failed,
+        retried=int(counter("repro_serving_retries_total").value()),
+        corrupted=int(counter("repro_serving_corrupted_total").value()),
+        device_failures=int(
+            counter("repro_serving_device_failures_total").value()
+        ),
+        weight_cache_hits=hits,
+        weight_cache_misses=misses,
+        weight_cache_hit_rate=(
+            hits / (hits + misses) if (hits + misses) else 0.0
+        ),
+        reload_stall_cycles=int(
+            counter("repro_serving_reload_stall_cycles_total").value()
+        ),
+    )
+
+
 def compute_metrics(
     latencies_us: Sequence[float],
     batch_sizes: Sequence[int],
@@ -152,54 +345,39 @@ def compute_metrics(
     weight_cache_hits: int = 0,
     weight_cache_misses: int = 0,
     reload_stall_cycles: int = 0,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ServingMetrics:
-    """Fold raw simulation records into a :class:`ServingMetrics`."""
-    completed = len(latencies_us)
-    nan = float("nan")
-    have = completed > 0
-    seconds = makespan_us / 1e6
-    total_tokens = sum(batch_tokens)
-    num_batches = len(batch_sizes)
-    occupancy = (
-        total_tokens / (num_batches * seq_len) if num_batches else 0.0
-    )
-    # Useful-MAC share: each run streams ideal_cycles_per_run MACs at
-    # full s; occupancy discounts the rows that were padding.
-    sa_util = 0.0
-    if makespan_us > 0 and run_cycles > 0:
-        busy_share = device_busy_fraction
-        sa_util = busy_share * (ideal_cycles_per_run / run_cycles) * occupancy
-    return ServingMetrics(
+    """Fold raw simulation records into a :class:`ServingMetrics`.
+
+    Registry-backed: the records go through :func:`record_serving` into
+    ``registry`` (a private one when the caller passes none) and the
+    summary is read back with :func:`metrics_from_registry` — so a
+    caller-supplied registry ends the run holding every serving series
+    ready for export.
+    """
+    registry = MetricsRegistry() if registry is None else registry
+    record_serving(
+        registry,
+        latencies_us=latencies_us,
+        batch_sizes=batch_sizes,
+        batch_tokens=batch_tokens,
         offered=offered,
-        completed=completed,
         rejected=rejected,
         expired=expired,
-        rejection_rate=(rejected + expired) / offered if offered else 0.0,
-        latency_p50_us=percentile(latencies_us, 50) if have else nan,
-        latency_p95_us=percentile(latencies_us, 95) if have else nan,
-        latency_p99_us=percentile(latencies_us, 99) if have else nan,
-        latency_mean_us=(sum(latencies_us) / completed) if have else nan,
-        throughput_rps=completed / seconds if seconds > 0 else 0.0,
-        tokens_per_s=total_tokens / seconds if seconds > 0 else 0.0,
-        makespan_us=makespan_us,
-        num_batches=num_batches,
-        mean_batch_size=(
-            sum(batch_sizes) / num_batches if num_batches else 0.0
-        ),
-        occupancy=occupancy,
-        device_busy_fraction=device_busy_fraction,
-        sa_utilization=sa_util,
-        mean_queue_depth=mean_queue_depth(depth_samples),
-        max_queue_depth=max((d for _, d in depth_samples), default=0),
+        depth_samples=depth_samples,
         failed=failed,
         retried=retried,
         corrupted=corrupted,
         device_failures=device_failures,
         weight_cache_hits=weight_cache_hits,
         weight_cache_misses=weight_cache_misses,
-        weight_cache_hit_rate=(
-            weight_cache_hits / (weight_cache_hits + weight_cache_misses)
-            if (weight_cache_hits + weight_cache_misses) else 0.0
-        ),
         reload_stall_cycles=reload_stall_cycles,
+    )
+    return metrics_from_registry(
+        registry,
+        seq_len=seq_len,
+        makespan_us=makespan_us,
+        device_busy_fraction=device_busy_fraction,
+        ideal_cycles_per_run=ideal_cycles_per_run,
+        run_cycles=run_cycles,
     )

@@ -31,7 +31,7 @@ import heapq
 import itertools
 from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -43,6 +43,9 @@ from .batching import Batch, BatchCostModel, DynamicBatcher
 from .devices import WorkerPool
 from .metrics import ServingMetrics, compute_metrics
 from .workload import Request, poisson_workload, validate_workload
+
+if TYPE_CHECKING:
+    from ..telemetry.registry import MetricsRegistry
 
 _ARRIVAL, _DEVICE_FREE, _WAKEUP = 0, 1, 2
 
@@ -84,10 +87,29 @@ class ServingResult:
     batches: list[Batch]
     spans: list[TraceSpan] = field(default_factory=list)
     depth_samples: list[tuple] = field(default_factory=list)
+    util_samples: list[tuple] = field(default_factory=list)
+    cache_samples: list[tuple] = field(default_factory=list)
 
     def write_trace(self, path: str) -> int:
-        """Write the run's spans + queue-depth counter as Chrome JSON."""
-        counters = counter_events("queue_depth", self.depth_samples)
+        """Write the run's spans + counter tracks as Chrome JSON.
+
+        Counter tracks: ``queue_depth`` plus, when batches ran,
+        ``sa_utilization`` (per-batch useful-MAC share) and
+        ``weight_cache_hit_rate`` (cumulative).  Batch samples land at
+        completion times, which retries can push past the next
+        dispatch, so each track is sorted before export
+        (:func:`counter_events` rejects out-of-order samples).
+        """
+        counters = []
+        for name, samples in (
+            ("queue_depth", self.depth_samples),
+            ("sa_utilization", self.util_samples),
+            ("weight_cache_hit_rate", self.cache_samples),
+        ):
+            if samples:
+                counters.extend(counter_events(
+                    name, sorted(samples, key=lambda s: s[0])
+                ))
         return write_span_trace(
             self.spans, path, counters=counters,
             other_data={
@@ -103,6 +125,7 @@ def simulate_serving(
     acc: AcceleratorConfig,
     serving: Optional[ServingConfig] = None,
     workload: Optional[Sequence[Request]] = None,
+    registry: Optional["MetricsRegistry"] = None,
 ) -> ServingResult:
     """Simulate serving ``workload`` (default: seeded Poisson traffic).
 
@@ -112,6 +135,9 @@ def simulate_serving(
         serving: Queue/batching/pool parameters (default
             :class:`ServingConfig`).
         workload: Explicit request list; overrides the generated one.
+        registry: Optional metrics registry; the run's serving series
+            (request outcomes, latency histogram, queue-depth samples,
+            cache lookups) are recorded into it for export.
     """
     serving = ServingConfig() if serving is None else serving
     if serving.max_len > acc.seq_len and workload is None:
@@ -141,6 +167,8 @@ def simulate_serving(
     batches: list[Batch] = []
     spans: list[TraceSpan] = []
     latencies: list[float] = []
+    util_samples: list[tuple] = []
+    cache_samples: list[tuple] = []
     # Independent deterministic fault stream: re-running with the same
     # ServingConfig injects the same batch faults and device failures.
     fault_rng = np.random.default_rng([serving.seed, 0x5EED])
@@ -226,6 +254,20 @@ def simulate_serving(
                 spans.extend(outcome.spans)
                 maybe_fail_device(outcome)
                 faulted = fault_rng.random() < serving.batch_fault_rate
+            # Counter-track samples at the batch's final completion:
+            # the batch's useful-MAC share (occupancy-discounted) and
+            # the pool's cumulative weight-cache hit rate.
+            util_samples.append((
+                outcome.completion_us,
+                (cost.ideal_cycles / cost.run_cycles)
+                * (batch.total_tokens / acc.seq_len),
+            ))
+            lookups = pool.weight_cache_hits + pool.weight_cache_misses
+            if lookups:
+                cache_samples.append((
+                    outcome.completion_us,
+                    pool.weight_cache_hits / lookups,
+                ))
             detected_unrecovered = faulted and acc.abft_protected
             for request in batch.requests:
                 record = records[request.req_id]
@@ -312,6 +354,7 @@ def simulate_serving(
         weight_cache_hits=pool.weight_cache_hits,
         weight_cache_misses=pool.weight_cache_misses,
         reload_stall_cycles=pool.reload_stall_cycles,
+        registry=registry,
     )
     ordered = [records[r.req_id] for r in requests]
     return ServingResult(
@@ -321,4 +364,6 @@ def simulate_serving(
         batches=batches,
         spans=spans,
         depth_samples=list(queue.depth_samples),
+        util_samples=util_samples,
+        cache_samples=cache_samples,
     )

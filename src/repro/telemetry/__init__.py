@@ -1,0 +1,82 @@
+"""repro.telemetry — unified metrics registry, profiler, perf gate.
+
+The observability backbone (docs/ARCHITECTURE.md §13):
+
+* :class:`MetricsRegistry` and its instruments
+  (:mod:`~repro.telemetry.registry`) — label-aware counters, gauges,
+  fixed-bucket histograms with exact p50/p95/p99, and timestamped
+  series, threaded through the scheduler, the memory system, the
+  reliability campaign and the serving simulator;
+* exporters (:mod:`~repro.telemetry.exporters`) — Prometheus text
+  exposition, structured JSON, Chrome-trace counter tracks;
+* the cycle-attribution profiler (:mod:`~repro.telemetry.profiler`)
+  behind ``repro profile`` — per-unit self-time/stall tables whose
+  totals match the closed-form cycle model exactly, plus
+  collapsed-stack output for flamegraph tooling;
+* the perf-regression gate (:mod:`~repro.telemetry.benchdiff`) behind
+  ``repro bench-diff`` — current ``BENCH_*.json`` headlines vs the
+  committed ``benchmarks/baseline.json`` with tolerance bands.
+"""
+
+from .benchdiff import (
+    DEFAULT_REL_TOL,
+    BenchDiffReport,
+    DiffRow,
+    HeadlineSpec,
+    config_fingerprint,
+    diff_benchmarks,
+    git_sha,
+    load_json,
+    parse_baseline,
+)
+from .exporters import (
+    timeseries_counter_events,
+    to_json,
+    to_prometheus_text,
+    write_json,
+)
+from .instrument import record_campaign, record_schedule
+from .profiler import (
+    ScheduleProfile,
+    UnitAttribution,
+    collapsed_stacks,
+    profile_schedule,
+    write_collapsed,
+)
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timeseries,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_REL_TOL",
+    "BenchDiffReport",
+    "Counter",
+    "DiffRow",
+    "Gauge",
+    "HeadlineSpec",
+    "Histogram",
+    "MetricsRegistry",
+    "ScheduleProfile",
+    "Timeseries",
+    "UnitAttribution",
+    "collapsed_stacks",
+    "config_fingerprint",
+    "diff_benchmarks",
+    "git_sha",
+    "load_json",
+    "parse_baseline",
+    "profile_schedule",
+    "record_campaign",
+    "record_schedule",
+    "timeseries_counter_events",
+    "to_json",
+    "to_prometheus_text",
+    "write_collapsed",
+    "write_json",
+]

@@ -1,0 +1,278 @@
+"""Perf-regression gate: current ``BENCH_*.json`` vs a committed baseline.
+
+``benchmarks/baseline.json`` pins the headline numbers a known-good
+commit produced (cycle counts, serving throughput/p99, memsys stall
+shares) together with a tolerance band and a *direction* per headline:
+
+* ``"lower"`` — smaller is better (cycles, latency); a regression is
+  ``current > baseline * (1 + rel_tol)``;
+* ``"higher"`` — bigger is better (throughput, hit rate); a regression
+  is ``current < baseline * (1 - rel_tol)``;
+* ``"either"`` — a tracking number that should simply not move; any
+  relative change beyond ``rel_tol`` regresses.
+
+:func:`diff_benchmarks` compares the ``headlines`` section of a bench
+artifact (:mod:`benchmarks.conftest` writes one per suite run, stamped
+with git SHA / UTC time / config fingerprint) against the baseline and
+``repro bench-diff`` exits nonzero when anything regressed or a pinned
+headline went missing — with a ``--seed-slowdown`` self-proof mode that
+perturbs the current numbers to show the gate actually fails.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import subprocess
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from ..errors import TelemetryError
+
+DIRECTIONS = ("lower", "higher", "either")
+
+#: Default tolerance band when a baseline entry does not set one.
+DEFAULT_REL_TOL = 0.05
+
+
+@dataclass(frozen=True)
+class HeadlineSpec:
+    """One pinned headline: expected value, direction, tolerance."""
+
+    value: float
+    direction: str = "either"
+    rel_tol: float = DEFAULT_REL_TOL
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise TelemetryError(
+                f"direction {self.direction!r} is not one of {DIRECTIONS}"
+            )
+        if self.rel_tol < 0:
+            raise TelemetryError("rel_tol must be non-negative")
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """Comparison outcome for one headline.
+
+    ``status`` is ``"ok"`` (inside the band), ``"improved"`` (outside
+    the band in the good direction), ``"regressed"``, ``"missing"``
+    (pinned but absent from the current run) or ``"new"`` (present in
+    the current run but unpinned — informational).
+    """
+
+    name: str
+    status: str
+    baseline: Optional[float] = None
+    current: Optional[float] = None
+    direction: str = "either"
+    rel_tol: float = DEFAULT_REL_TOL
+
+    @property
+    def delta_rel(self) -> float:
+        if self.baseline in (None, 0) or self.current is None:
+            return float("nan")
+        return self.current / self.baseline - 1.0
+
+
+@dataclass(frozen=True)
+class BenchDiffReport:
+    """Every headline comparison of one gate run."""
+
+    rows: tuple[DiffRow, ...]
+    baseline_meta: dict
+    current_meta: dict
+
+    @property
+    def regressions(self) -> tuple[DiffRow, ...]:
+        return tuple(
+            r for r in self.rows if r.status in ("regressed", "missing")
+        )
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def table_rows(self) -> list[list[str]]:
+        def fmt(value: Optional[float]) -> str:
+            if value is None:
+                return "-"
+            return f"{value:,.6g}"
+
+        rows = []
+        for r in self.rows:
+            delta = (f"{r.delta_rel:+.2%}"
+                     if not math.isnan(r.delta_rel) else "-")
+            rows.append([
+                r.name, fmt(r.baseline), fmt(r.current), delta,
+                r.direction, f"{r.rel_tol:.0%}", r.status,
+            ])
+        return rows
+
+    def as_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "baseline_meta": dict(self.baseline_meta),
+            "current_meta": dict(self.current_meta),
+            "rows": [asdict(r) for r in self.rows],
+        }
+
+
+def _classify(spec: HeadlineSpec, current: float) -> str:
+    if spec.value == 0:
+        # No relative band exists around zero; require exact agreement.
+        return "ok" if current == 0 else (
+            "regressed" if spec.direction in ("lower", "either")
+            and current > 0 else "improved"
+        )
+    rel = current / spec.value - 1.0
+    if abs(rel) <= spec.rel_tol:
+        return "ok"
+    if spec.direction == "either":
+        return "regressed"
+    worse = rel > 0 if spec.direction == "lower" else rel < 0
+    return "regressed" if worse else "improved"
+
+
+def parse_baseline(payload: dict) -> tuple[dict[str, HeadlineSpec], dict]:
+    """Split a baseline document into headline specs and metadata."""
+    if "headlines" not in payload:
+        raise TelemetryError("baseline has no 'headlines' section")
+    specs: dict[str, HeadlineSpec] = {}
+    for name, entry in payload["headlines"].items():
+        if isinstance(entry, dict):
+            try:
+                specs[name] = HeadlineSpec(
+                    value=float(entry["value"]),
+                    direction=entry.get("direction", "either"),
+                    rel_tol=float(
+                        entry.get("rel_tol", DEFAULT_REL_TOL)
+                    ),
+                )
+            except KeyError as exc:
+                raise TelemetryError(
+                    f"baseline headline {name!r} is missing {exc}"
+                ) from exc
+        else:
+            specs[name] = HeadlineSpec(value=float(entry))
+    meta = {k: v for k, v in payload.items() if k != "headlines"}
+    return specs, meta
+
+
+def diff_benchmarks(
+    current: dict,
+    baseline: dict,
+    seed_slowdown: Optional[float] = None,
+) -> BenchDiffReport:
+    """Compare a bench artifact against a baseline document.
+
+    Args:
+        current: Parsed ``BENCH_<suite>.json`` (needs ``headlines``).
+        baseline: Parsed ``benchmarks/baseline.json``.
+        seed_slowdown: Self-proof factor: pretend every lower-is-better
+            headline got this many times slower (and higher-is-better
+            ones proportionally worse) before comparing, so the gate
+            can demonstrate a nonzero exit (analogous to
+            ``repro check --seed-bug``).
+    """
+    specs, baseline_meta = parse_baseline(baseline)
+    headlines = dict(current.get("headlines", {}))
+    if seed_slowdown is not None:
+        if seed_slowdown <= 1.0:
+            raise TelemetryError("seed_slowdown must exceed 1.0")
+        for name, value in headlines.items():
+            spec = specs.get(name)
+            if spec is None or not isinstance(value, (int, float)):
+                continue
+            factor = (seed_slowdown if spec.direction in ("lower", "either")
+                      else 1.0 / seed_slowdown)
+            headlines[name] = value * factor
+    rows: list[DiffRow] = []
+    for name in sorted(specs):
+        spec = specs[name]
+        if name not in headlines:
+            rows.append(DiffRow(
+                name=name, status="missing", baseline=spec.value,
+                direction=spec.direction, rel_tol=spec.rel_tol,
+            ))
+            continue
+        value = headlines.pop(name)
+        if not isinstance(value, (int, float)):
+            raise TelemetryError(
+                f"headline {name!r} is not numeric: {value!r}"
+            )
+        rows.append(DiffRow(
+            name=name,
+            status=_classify(spec, float(value)),
+            baseline=spec.value,
+            current=float(value),
+            direction=spec.direction,
+            rel_tol=spec.rel_tol,
+        ))
+    for name in sorted(headlines):
+        value = headlines[name]
+        rows.append(DiffRow(
+            name=name, status="new",
+            current=(float(value)
+                     if isinstance(value, (int, float)) else None),
+        ))
+    current_meta = {
+        k: current[k]
+        for k in ("suite", "git_sha", "generated_utc",
+                  "config_fingerprint")
+        if k in current
+    }
+    return BenchDiffReport(
+        rows=tuple(rows),
+        baseline_meta=baseline_meta,
+        current_meta=current_meta,
+    )
+
+
+def load_json(path: str) -> dict:
+    """Read one JSON document, with a gate-friendly error."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except FileNotFoundError as exc:
+        raise TelemetryError(f"no such file: {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise TelemetryError(f"{path} is not valid JSON: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Artifact provenance helpers (shared with benchmarks/conftest.py)
+# ----------------------------------------------------------------------
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """Current commit SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def config_fingerprint() -> str:
+    """Stable hash of the paper-point model + accelerator configs.
+
+    Any change to the defaults that define the benchmarked operating
+    point (Transformer-base, the 64x64 SA) changes this fingerprint, so
+    ``repro bench-diff`` can tell a true perf regression from a
+    baseline that simply pins a different configuration.
+    """
+    from ..config import paper_accelerator, transformer_base
+
+    payload = {
+        "model": asdict(transformer_base()),
+        "accelerator": asdict(paper_accelerator()),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    )
+    return digest.hexdigest()[:16]

@@ -1,0 +1,172 @@
+"""Registry exporters: Prometheus text, structured JSON, Chrome counters.
+
+Three consumers, one registry:
+
+* :func:`to_prometheus_text` — the text exposition format every scrape
+  stack understands (``# HELP`` / ``# TYPE`` headers, cumulative
+  ``_bucket{le=...}`` histogram series, timeseries flattened to their
+  latest value as gauges);
+* :func:`to_json` / :func:`write_json` — the machine-readable artifact
+  CI uploads (full series detail, including raw timeseries samples);
+* :func:`timeseries_counter_events` — Chrome-trace counter ("C")
+  events, so Perfetto shows utilization/queue-depth/hit-rate curves
+  alongside the span rows the scheduler and serving simulator already
+  emit.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from ..errors import TelemetryError
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    LabelKey,
+    MetricsRegistry,
+    Timeseries,
+)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-style number: integral values without the trailing .0."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return format(value, ".10g")
+
+
+def _labels_text(key: LabelKey, extra: str = "") -> str:
+    parts = [f'{name}="{value}"' for name, value in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_name(name: str) -> str:
+    """Metric names may use dots internally; Prometheus wants [a-z_:]."""
+    return name.replace(".", "_")
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for inst in registry.instruments():
+        name = _prom_name(inst.name)
+        if inst.help:
+            lines.append(f"# HELP {name} {inst.help}")
+        if isinstance(inst, Counter):
+            lines.append(f"# TYPE {name} counter")
+            for key in inst.label_keys():
+                lines.append(
+                    f"{name}{_labels_text(key)} "
+                    f"{_fmt(inst.series_value(key))}"  # type: ignore[arg-type]
+                )
+        elif isinstance(inst, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            for key in inst.label_keys():
+                lines.append(
+                    f"{name}{_labels_text(key)} "
+                    f"{_fmt(inst.series_value(key))}"  # type: ignore[arg-type]
+                )
+        elif isinstance(inst, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            for key in inst.label_keys():
+                labels = dict(key)
+                for le, count in inst.cumulative_buckets(**labels):
+                    le_text = 'le="' + _fmt(le) + '"'
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(key, le_text)} {count}"
+                    )
+                lines.append(
+                    f"{name}_sum{_labels_text(key)} "
+                    f"{_fmt(inst.sum(**labels))}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_text(key)} "
+                    f"{inst.count(**labels)}"
+                )
+        elif isinstance(inst, Timeseries):
+            # A scrape sees the latest sample; history stays in the
+            # JSON/Chrome exports.
+            lines.append(f"# TYPE {name} gauge")
+            for key in inst.label_keys():
+                lines.append(
+                    f"{name}{_labels_text(key)} "
+                    f"{_fmt(inst.last(**dict(key)))}"
+                )
+        else:  # pragma: no cover - new kinds must pick an exposition
+            raise TelemetryError(
+                f"no Prometheus exposition for instrument kind "
+                f"{inst.kind!r}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _series_json(inst: Instrument) -> list[dict]:
+    return [
+        {"labels": dict(key), "value": inst.series_value(key)}
+        for key in inst.label_keys()
+    ]
+
+
+def to_json(registry: MetricsRegistry) -> dict:
+    """Structured-JSON form of the registry (full series detail)."""
+    return {
+        "metrics": [
+            {
+                "name": inst.name,
+                "kind": inst.kind,
+                "help": inst.help,
+                "series": _series_json(inst),
+            }
+            for inst in registry.instruments()
+        ]
+    }
+
+
+def write_json(registry: MetricsRegistry, path: str) -> int:
+    """Write :func:`to_json` to ``path``; returns the metric count."""
+    payload = to_json(registry)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+    return len(payload["metrics"])
+
+
+def timeseries_counter_events(
+    registry: MetricsRegistry,
+    names: dict[str, str] | None = None,
+    category: str = "metrics",
+) -> list[dict]:
+    """Chrome counter events for every (non-empty) timeseries instrument.
+
+    Args:
+        registry: The registry to export.
+        names: Optional ``{metric_name: track_name}`` mapping; metrics
+            not listed keep their own name as the track.  Only the
+            mapped metrics are exported when a mapping is given.
+        category: Trace-event ``cat`` for the counter samples.
+    """
+    from ..core.trace import counter_events
+
+    events: list[dict] = []
+    for inst in registry.instruments():
+        if not isinstance(inst, Timeseries):
+            continue
+        if names is not None and inst.name not in names:
+            continue
+        track = inst.name if names is None else names[inst.name]
+        for key in inst.label_keys():
+            samples = inst.samples(**dict(key))
+            if not samples:
+                continue
+            suffix = "|".join(f"{k}={v}" for k, v in key)
+            label = f"{track}[{suffix}]" if suffix else track
+            events.extend(counter_events(label, samples, category))
+    return events

@@ -1,0 +1,102 @@
+"""Recording helpers: fold simulation results into a registry.
+
+These helpers define the repo's metric-name schema in one place, so the
+scheduler, the reliability campaign and the CLI all emit the same
+series.  They only *read* the result objects handed to them (duck
+typed), keeping :mod:`repro.telemetry` import-light — the scheduler
+imports this module lazily, only when a caller actually passes a
+registry, so instrumentation can never perturb the model.
+
+Schema (all labels are optional-by-construction; ``block`` is the
+ResBlock, ``unit`` the hardware unit):
+
+* ``repro_schedule_runs_total{block}`` — instrumented schedule builds;
+* ``repro_schedule_cycles_total{block}`` — end-to-end latency cycles;
+* ``repro_schedule_unit_busy_cycles_total{block,unit}`` — per-unit
+  event time on the timeline;
+* ``repro_schedule_sa_active_cycles_total{block}`` — useful MAC
+  streaming cycles;
+* ``repro_schedule_sa_passes_total{block}`` — SA passes issued;
+* ``repro_schedule_memsys_stall_cycles_total{block}`` — SA cycles
+  exposed to off-chip weight fetches;
+* ``repro_reliability_trials_total{site,mode}`` /
+  ``..._injected_total`` / ``..._detections_total`` /
+  ``..._corrections_total`` / ``..._silent_total`` — fault-campaign
+  outcome counters.
+"""
+
+from __future__ import annotations
+
+from .registry import MetricsRegistry
+
+#: Scheduler units recorded per block (mirrors core.trace._UNIT_TRACKS).
+SCHEDULE_UNITS = ("sa", "softmax", "layernorm", "dram")
+
+
+def record_schedule(result, registry: MetricsRegistry) -> None:
+    """Record one :class:`~repro.core.scheduler.ScheduleResult`."""
+    block = result.block
+    registry.counter(
+        "repro_schedule_runs_total",
+        "Instrumented schedule builds",
+    ).inc(1, block=block)
+    registry.counter(
+        "repro_schedule_cycles_total",
+        "End-to-end ResBlock latency in cycles",
+    ).inc(result.total_cycles, block=block)
+    busy = registry.counter(
+        "repro_schedule_unit_busy_cycles_total",
+        "Cycles each hardware unit spends busy on the timeline",
+    )
+    for unit in SCHEDULE_UNITS:
+        cycles = result.unit_busy_cycles(unit)
+        if cycles:
+            busy.inc(cycles, block=block, unit=unit)
+    registry.counter(
+        "repro_schedule_sa_active_cycles_total",
+        "Useful MAC-streaming cycles on the systolic array",
+    ).inc(result.sa_active_cycles, block=block)
+    registry.counter(
+        "repro_schedule_sa_passes_total",
+        "Systolic-array passes issued",
+    ).inc(len(result.sa_events), block=block)
+    if result.memsys_stall_cycles:
+        registry.counter(
+            "repro_schedule_memsys_stall_cycles_total",
+            "SA cycles exposed to off-chip weight-tile fetches",
+        ).inc(result.memsys_stall_cycles, block=block)
+
+
+def record_campaign(result, registry: MetricsRegistry) -> None:
+    """Record a :class:`~repro.reliability.campaign.CampaignResult`."""
+    trials = registry.counter(
+        "repro_reliability_trials_total",
+        "Fault-campaign trials run",
+    )
+    injected = registry.counter(
+        "repro_reliability_injected_total",
+        "Trials in which a fault was actually injected",
+    )
+    detections = registry.counter(
+        "repro_reliability_detections_total",
+        "Injected faults flagged by a checker (ABFT syndrome)",
+    )
+    corrections = registry.counter(
+        "repro_reliability_corrections_total",
+        "Injected faults repaired to the golden output",
+    )
+    silent = registry.counter(
+        "repro_reliability_silent_total",
+        "Injected faults that corrupted the output undetected",
+    )
+    for outcome in result.outcomes:
+        labels = {"site": outcome.site, "mode": outcome.mode}
+        trials.inc(1, **labels)
+        if outcome.injected:
+            injected.inc(1, **labels)
+        if outcome.detected:
+            detections.inc(1, **labels)
+        if outcome.corrected:
+            corrections.inc(1, **labels)
+        if outcome.silent:
+            silent.inc(1, **labels)

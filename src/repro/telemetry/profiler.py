@@ -1,0 +1,197 @@
+"""Cycle-attribution profiler over a :class:`ScheduleResult` timeline.
+
+Answers "where do the cycles go" for one ResBlock run: every wall-clock
+cycle between 0 and ``total_cycles`` is attributed to exactly one unit
+— the SA when it is busy, else the DRAM link (a weight fetch the SA is
+stalled on), else the softmax module (its exposed tail), else the
+LayerNorm module, else *idle*.  Because the attribution partitions the
+wall clock, the per-unit exclusive cycles sum to ``total_cycles``
+**exactly**, which is what lets ``repro profile`` cross-check the table
+against the closed-form cycle model and the selftest pin the paper
+point's 21578/39052/21834 totals.
+
+Two renderings:
+
+* :meth:`ScheduleProfile.rows` — the per-unit self-time/stall table;
+* :func:`collapsed_stacks` — ``block;unit;event cycles`` lines in the
+  collapsed-stack format flamegraph tooling consumes
+  (``flamegraph.pl``, speedscope, inferno).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.scheduler import ScheduleResult, TimelineEvent
+from ..errors import TelemetryError
+
+#: Wall-clock attribution priority: when several units are busy in the
+#: same cycle, the cycle belongs to the first of these.  The SA is the
+#: resource whose stalls the paper reasons about, so it wins; a fetch
+#: only *owns* time the SA spends waiting on it, the softmax tail only
+#: owns time the SA spends waiting on softmax, and so on.
+ATTRIBUTION_PRIORITY = ("sa", "dram", "softmax", "layernorm")
+
+#: Pseudo-unit for wall cycles no unit occupies.
+IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class UnitAttribution:
+    """One unit's share of a profiled ResBlock run.
+
+    Attributes:
+        unit: Hardware unit (``"sa"``, ``"softmax"``, ``"layernorm"``,
+            ``"dram"``) or ``"idle"``.
+        busy_cycles: Total cycles the unit's events span (may overlap
+            other units: the softmax runs under the V projection).
+        active_cycles: Useful cycles inside those events (``k`` per SA
+            pass; equal to ``busy_cycles`` for the module units).
+        exclusive_cycles: Wall-clock cycles attributed to this unit by
+            the priority sweep; these sum to the run's total exactly.
+    """
+
+    unit: str
+    busy_cycles: int
+    active_cycles: int
+    exclusive_cycles: int
+
+    @property
+    def overhead_cycles(self) -> int:
+        """Busy cycles that were not useful work (skew, issue, drain)."""
+        return self.busy_cycles - self.active_cycles
+
+
+@dataclass(frozen=True)
+class ScheduleProfile:
+    """Per-unit cycle attribution of one ResBlock schedule."""
+
+    block: str
+    total_cycles: int
+    units: tuple[UnitAttribution, ...]
+
+    def unit(self, name: str) -> UnitAttribution:
+        for attribution in self.units:
+            if attribution.unit == name:
+                return attribution
+        raise TelemetryError(f"profile has no unit {name!r}")
+
+    @property
+    def attributed_cycles(self) -> int:
+        """Sum of exclusive cycles — always equals ``total_cycles``."""
+        return sum(u.exclusive_cycles for u in self.units)
+
+    def rows(self) -> list[list[str]]:
+        """Table rows: unit, busy, active, overhead, exclusive, share."""
+        rows = []
+        for u in self.units:
+            share = (u.exclusive_cycles / self.total_cycles
+                     if self.total_cycles else 0.0)
+            rows.append([
+                u.unit, f"{u.busy_cycles:,}", f"{u.active_cycles:,}",
+                f"{u.overhead_cycles:,}", f"{u.exclusive_cycles:,}",
+                f"{share:.1%}",
+            ])
+        rows.append([
+            "total", "", "", "", f"{self.attributed_cycles:,}", "100.0%",
+        ])
+        return rows
+
+
+def _boundaries(events: list[TimelineEvent], total: int) -> list[int]:
+    marks = {0, total}
+    for event in events:
+        marks.add(event.start)
+        marks.add(event.end)
+    return sorted(m for m in marks if 0 <= m <= total)
+
+
+def profile_schedule(result: ScheduleResult) -> ScheduleProfile:
+    """Attribute every wall-clock cycle of ``result`` to one unit."""
+    if not result.events:
+        raise TelemetryError("cannot profile a schedule with no events")
+    total = result.total_cycles
+    busy: dict[str, int] = {}
+    active: dict[str, int] = {}
+    for event in result.events:
+        busy[event.unit] = busy.get(event.unit, 0) + event.duration
+        active[event.unit] = (
+            active.get(event.unit, 0) + event.active_cycles
+        )
+    exclusive = {unit: 0 for unit in busy}
+    exclusive[IDLE] = 0
+    marks = _boundaries(result.events, total)
+    for lo, hi in zip(marks, marks[1:]):
+        span = hi - lo
+        covering = {
+            e.unit for e in result.events if e.start <= lo and hi <= e.end
+        }
+        owner = next(
+            (u for u in ATTRIBUTION_PRIORITY if u in covering), IDLE
+        )
+        exclusive[owner] += span
+    units = tuple(
+        UnitAttribution(
+            unit=unit,
+            busy_cycles=busy.get(unit, 0),
+            active_cycles=active.get(unit, 0),
+            exclusive_cycles=exclusive.get(unit, 0),
+        )
+        for unit in (*ATTRIBUTION_PRIORITY, IDLE)
+        if unit in exclusive
+    )
+    return ScheduleProfile(
+        block=result.block, total_cycles=total, units=units
+    )
+
+
+def collapsed_stacks(results: list[ScheduleResult]) -> list[str]:
+    """Collapsed-stack lines for flamegraph tooling.
+
+    One line per timeline event, ``block;unit;event cycles``, weighted
+    by the event's *exclusive* wall-clock cycles (the same priority
+    sweep as :func:`profile_schedule`, resolved to the covering event),
+    plus one ``block;idle`` line when any wall cycles went unowned — so
+    each block's stack totals its ``total_cycles`` exactly.
+    """
+    lines: list[str] = []
+    for result in results:
+        if not result.events:
+            raise TelemetryError(
+                "cannot profile a schedule with no events"
+            )
+        weights: dict[tuple[str, str], int] = {}
+        idle = 0
+        marks = _boundaries(result.events, result.total_cycles)
+        for lo, hi in zip(marks, marks[1:]):
+            span = hi - lo
+            covering = [
+                e for e in result.events
+                if e.start <= lo and hi <= e.end
+            ]
+            owner = None
+            for unit in ATTRIBUTION_PRIORITY:
+                owner = next(
+                    (e for e in covering if e.unit == unit), None
+                )
+                if owner is not None:
+                    break
+            if owner is None:
+                idle += span
+                continue
+            key = (owner.unit, owner.name)
+            weights[key] = weights.get(key, 0) + span
+        for (unit, name), cycles in weights.items():
+            if cycles > 0:
+                lines.append(f"{result.block};{unit};{name} {cycles}")
+        if idle > 0:
+            lines.append(f"{result.block};{IDLE} {idle}")
+    return lines
+
+
+def write_collapsed(results: list[ScheduleResult], path: str) -> int:
+    """Write collapsed stacks to ``path``; returns the line count."""
+    lines = collapsed_stacks(results)
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return len(lines)

@@ -117,6 +117,22 @@ class TestSpanPathway:
         assert events[1]["ts"] == 1.5
         assert events[1]["args"] == {"queue_depth": 3}
 
+    def test_counter_events_empty_rejected(self):
+        with pytest.raises(ScheduleError, match="no samples"):
+            counter_events("queue_depth", [])
+
+    def test_counter_events_non_monotonic_rejected(self):
+        with pytest.raises(ScheduleError, match="not time-ordered"):
+            counter_events(
+                "queue_depth", [(0.0, 0), (5.0, 2), (3.0, 1)]
+            )
+
+    def test_counter_events_equal_timestamps_allowed(self):
+        # Two samples in the same microsecond are fine (depth changes
+        # twice at one event time); only going backwards is an error.
+        events = counter_events("queue_depth", [(1.0, 1), (1.0, 2)])
+        assert len(events) == 2
+
     def test_write_span_trace_round_trip(self, tmp_path):
         path = tmp_path / "spans.json"
         counters = counter_events("queue_depth", [(0.0, 1)])

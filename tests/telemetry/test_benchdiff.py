@@ -1,0 +1,186 @@
+"""Perf-regression gate tests: classification, seeding, provenance."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    HeadlineSpec,
+    config_fingerprint,
+    diff_benchmarks,
+    git_sha,
+    load_json,
+    parse_baseline,
+)
+
+BASELINE = {
+    "git_sha": "abc123",
+    "headlines": {
+        "cycles.total": {
+            "value": 1000, "direction": "lower", "rel_tol": 0.0,
+        },
+        "serving.throughput": {
+            "value": 100.0, "direction": "higher", "rel_tol": 0.05,
+        },
+        "memsys.crossover": {
+            "value": 16.0, "direction": "either", "rel_tol": 0.02,
+        },
+    },
+}
+
+
+def _current(**headlines):
+    return {"suite": "smoke", "headlines": headlines}
+
+
+def _row(report, name):
+    return next(r for r in report.rows if r.name == name)
+
+
+class TestClassification:
+    def test_identical_run_passes(self):
+        report = diff_benchmarks(
+            _current(**{"cycles.total": 1000,
+                        "serving.throughput": 100.0,
+                        "memsys.crossover": 16.0}),
+            BASELINE,
+        )
+        assert report.passed
+        assert {r.status for r in report.rows} == {"ok"}
+
+    def test_lower_direction_regresses_upward_only(self):
+        worse = diff_benchmarks(_current(**{"cycles.total": 1001}),
+                                BASELINE)
+        assert _row(worse, "cycles.total").status == "regressed"
+        better = diff_benchmarks(_current(**{"cycles.total": 999}),
+                                 BASELINE)
+        assert _row(better, "cycles.total").status == "improved"
+
+    def test_higher_direction_regresses_downward_only(self):
+        worse = diff_benchmarks(
+            _current(**{"serving.throughput": 90.0}), BASELINE
+        )
+        assert _row(worse, "serving.throughput").status == "regressed"
+        better = diff_benchmarks(
+            _current(**{"serving.throughput": 120.0}), BASELINE
+        )
+        assert _row(better, "serving.throughput").status == "improved"
+
+    def test_either_direction_regresses_both_ways(self):
+        for value in (16.0 * 1.03, 16.0 * 0.97):
+            report = diff_benchmarks(
+                _current(**{"memsys.crossover": value}), BASELINE
+            )
+            assert _row(report, "memsys.crossover").status == "regressed"
+
+    def test_within_band_is_ok(self):
+        report = diff_benchmarks(
+            _current(**{"serving.throughput": 96.0}), BASELINE
+        )
+        assert _row(report, "serving.throughput").status == "ok"
+
+    def test_zero_baseline_requires_exact_match(self):
+        baseline = {"headlines": {
+            "stalls": {"value": 0, "direction": "lower"},
+        }}
+        assert diff_benchmarks(_current(stalls=0), baseline).passed
+        report = diff_benchmarks(_current(stalls=3), baseline)
+        assert _row(report, "stalls").status == "regressed"
+
+    def test_missing_headline_fails_gate(self):
+        report = diff_benchmarks(_current(), BASELINE)
+        assert not report.passed
+        assert all(r.status == "missing" for r in report.rows)
+
+    def test_unpinned_headline_is_informational(self):
+        report = diff_benchmarks(
+            _current(**{"cycles.total": 1000,
+                        "serving.throughput": 100.0,
+                        "memsys.crossover": 16.0,
+                        "cycles.extra": 7}),
+            BASELINE,
+        )
+        assert report.passed
+        assert _row(report, "cycles.extra").status == "new"
+
+    def test_non_numeric_headline_rejected(self):
+        with pytest.raises(TelemetryError, match="not numeric"):
+            diff_benchmarks(_current(**{"cycles.total": "fast"}),
+                            BASELINE)
+
+
+class TestSeedSlowdown:
+    def test_seeded_slowdown_regresses_every_direction(self):
+        report = diff_benchmarks(
+            _current(**{"cycles.total": 1000,
+                        "serving.throughput": 100.0,
+                        "memsys.crossover": 16.0}),
+            BASELINE,
+            seed_slowdown=1.2,
+        )
+        assert not report.passed
+        assert len(report.regressions) == 3
+
+    def test_factor_must_exceed_one(self):
+        with pytest.raises(TelemetryError, match="exceed 1.0"):
+            diff_benchmarks(_current(), BASELINE, seed_slowdown=1.0)
+
+
+class TestParsing:
+    def test_bare_number_entry_gets_defaults(self):
+        specs, _ = parse_baseline({"headlines": {"x": 5.0}})
+        assert specs["x"] == HeadlineSpec(value=5.0)
+        assert specs["x"].direction == "either"
+
+    def test_missing_headlines_section(self):
+        with pytest.raises(TelemetryError, match="headlines"):
+            parse_baseline({"git_sha": "abc"})
+
+    def test_entry_without_value(self):
+        with pytest.raises(TelemetryError, match="missing"):
+            parse_baseline({"headlines": {"x": {"direction": "lower"}}})
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(TelemetryError, match="direction"):
+            HeadlineSpec(value=1.0, direction="sideways")
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(TelemetryError, match="non-negative"):
+            HeadlineSpec(value=1.0, rel_tol=-0.1)
+
+    def test_metadata_split_and_report_dict(self):
+        report = diff_benchmarks(
+            _current(**{"cycles.total": 1000,
+                        "serving.throughput": 100.0,
+                        "memsys.crossover": 16.0}),
+            BASELINE,
+        )
+        assert report.baseline_meta == {"git_sha": "abc123"}
+        assert report.current_meta["suite"] == "smoke"
+        doc = report.as_dict()
+        assert doc["passed"] is True
+        assert len(doc["rows"]) == 3
+
+    def test_load_json_missing_file(self, tmp_path):
+        with pytest.raises(TelemetryError, match="no such file"):
+            load_json(str(tmp_path / "absent.json"))
+
+    def test_load_json_invalid(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(TelemetryError, match="not valid JSON"):
+            load_json(str(bad))
+
+
+class TestProvenance:
+    def test_config_fingerprint_is_stable(self):
+        fp = config_fingerprint()
+        assert fp == config_fingerprint()
+        assert len(fp) == 16
+        int(fp, 16)
+
+    def test_git_sha_of_this_repo(self):
+        sha = git_sha()
+        assert sha is None or len(sha) == 40
+
+    def test_git_sha_outside_checkout(self, tmp_path):
+        assert git_sha(cwd=str(tmp_path)) is None

@@ -1,0 +1,113 @@
+"""Exporter tests: Prometheus text, JSON artifact, Chrome counters."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    timeseries_counter_events,
+    to_json,
+    to_prometheus_text,
+    write_json,
+)
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_cycles_total", "cycle counter")
+    c.inc(21578, block="mha")
+    c.inc(39052, block="ffn")
+    reg.gauge("repro_util", "utilization").set(0.81)
+    h = reg.histogram("repro_latency_us", "latency", buckets=(10.0, 100.0))
+    for v in (5.0, 50.0, 500.0):
+        h.observe(v)
+    s = reg.series("repro_depth_track", "queue depth")
+    s.sample(0.0, 1)
+    s.sample(2.0, 3)
+    return reg
+
+
+class TestPrometheusText:
+    def test_counter_exposition(self, registry):
+        text = to_prometheus_text(registry)
+        assert "# HELP repro_cycles_total cycle counter" in text
+        assert "# TYPE repro_cycles_total counter" in text
+        assert 'repro_cycles_total{block="mha"} 21578' in text
+        assert 'repro_cycles_total{block="ffn"} 39052' in text
+
+    def test_gauge_exposition(self, registry):
+        assert "repro_util 0.81" in to_prometheus_text(registry)
+
+    def test_histogram_exposition_cumulative(self, registry):
+        text = to_prometheus_text(registry)
+        assert 'repro_latency_us_bucket{le="10"} 1' in text
+        assert 'repro_latency_us_bucket{le="100"} 2' in text
+        assert 'repro_latency_us_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_us_sum 555" in text
+        assert "repro_latency_us_count 3" in text
+
+    def test_timeseries_exposed_as_latest_gauge(self, registry):
+        text = to_prometheus_text(registry)
+        assert "# TYPE repro_depth_track gauge" in text
+        assert "repro_depth_track 3" in text
+
+    def test_dotted_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.cycles.total").inc(1)
+        assert "repro_cycles_total 1" in to_prometheus_text(reg)
+
+    def test_empty_registry(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+
+class TestJson:
+    def test_round_trip_structure(self, registry):
+        doc = to_json(registry)
+        by_name = {m["name"]: m for m in doc["metrics"]}
+        assert by_name["repro_cycles_total"]["kind"] == "counter"
+        series = by_name["repro_cycles_total"]["series"]
+        assert {"labels": {"block": "mha"}, "value": 21578} in series
+        hist = by_name["repro_latency_us"]["series"][0]["value"]
+        assert hist["count"] == 3
+        ts = by_name["repro_depth_track"]["series"][0]["value"]
+        assert ts["samples"][-1] == {"ts_us": 2.0, "value": 3}
+
+    def test_write_json(self, registry, tmp_path):
+        path = tmp_path / "metrics.json"
+        count = write_json(registry, str(path))
+        payload = json.loads(path.read_text())
+        assert count == len(payload["metrics"]) == 4
+
+
+class TestCounterEvents:
+    def test_all_timeseries_exported(self, registry):
+        events = timeseries_counter_events(registry)
+        assert [e["ph"] for e in events] == ["C", "C"]
+        assert events[0]["name"] == "repro_depth_track"
+        assert events[0]["cat"] == "metrics"
+
+    def test_name_mapping_filters_and_renames(self, registry):
+        events = timeseries_counter_events(
+            registry, names={"repro_depth_track": "queue_depth"}
+        )
+        assert all(e["name"] == "queue_depth" for e in events)
+        assert timeseries_counter_events(
+            registry, names={"repro_other": "x"}
+        ) == []
+
+    def test_labelled_series_get_suffixed_tracks(self):
+        reg = MetricsRegistry()
+        s = reg.series("repro_depth_track")
+        s.sample(0.0, 1, device="0")
+        events = timeseries_counter_events(reg)
+        assert events[0]["name"] == "repro_depth_track[device=0]"
+
+    def test_out_of_order_samples_export_sorted(self):
+        reg = MetricsRegistry()
+        s = reg.series("repro_depth_track")
+        s.sample(5.0, 2)
+        s.sample(1.0, 1)
+        events = timeseries_counter_events(reg)
+        assert [e["ts"] for e in events] == [1.0, 5.0]

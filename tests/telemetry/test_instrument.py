@@ -1,0 +1,143 @@
+"""Instrumentation hook tests: registry totals match model outputs.
+
+The pinned paper-point numbers here (21578 / 39052 / 21834) are the
+same closed-form totals the selftest and benchmarks assert, so a drift
+in either the cycle model or the recording path fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import paper_accelerator, transformer_base
+from repro.core import SystolicArray, schedule_ffn, schedule_mha
+from repro.memsys import MemoryConfig
+from repro.reliability import CampaignSpec, run_campaign
+from repro.telemetry import MetricsRegistry, record_schedule
+
+
+@pytest.fixture(scope="module")
+def model():
+    return transformer_base()
+
+
+@pytest.fixture(scope="module")
+def acc():
+    return paper_accelerator()
+
+
+class TestScheduleRecording:
+    def test_paper_point_totals(self, model, acc):
+        reg = MetricsRegistry()
+        schedule_mha(model, acc, registry=reg)
+        schedule_ffn(model, acc, registry=reg)
+        schedule_mha(
+            model, acc.with_updates(weight_load_cycles=8), registry=reg
+        )
+        cycles = reg.get("repro_schedule_cycles_total")
+        assert cycles.value(block="mha") == 21_578 + 21_834
+        assert cycles.value(block="ffn") == 39_052
+        runs = reg.get("repro_schedule_runs_total")
+        assert runs.value(block="mha") == 2
+        assert runs.value(block="ffn") == 1
+
+    def test_registry_does_not_perturb_schedule(self, model, acc):
+        plain = schedule_mha(model, acc)
+        instrumented = schedule_mha(
+            model, acc, registry=MetricsRegistry()
+        )
+        assert instrumented.events == plain.events
+        assert instrumented.total_cycles == plain.total_cycles
+
+    def test_unit_busy_and_sa_counters(self, model, acc):
+        reg = MetricsRegistry()
+        result = schedule_mha(model, acc, registry=reg)
+        busy = reg.get("repro_schedule_unit_busy_cycles_total")
+        for unit in ("sa", "softmax", "layernorm"):
+            assert busy.value(block="mha", unit=unit) == (
+                result.unit_busy_cycles(unit)
+            )
+        sa_active = reg.get("repro_schedule_sa_active_cycles_total")
+        assert sa_active.value(block="mha") == result.sa_active_cycles
+        passes = reg.get("repro_schedule_sa_passes_total")
+        assert passes.value(block="mha") == len(result.sa_events)
+
+    def test_record_schedule_is_additive(self, model, acc):
+        reg = MetricsRegistry()
+        result = schedule_mha(model, acc)
+        record_schedule(result, reg)
+        record_schedule(result, reg)
+        cycles = reg.get("repro_schedule_cycles_total")
+        assert cycles.value(block="mha") == 2 * 21_578
+
+
+class TestMemsysRecording:
+    def test_prefetch_counters_match_schedule(self, model, acc):
+        reg = MetricsRegistry()
+        mem = MemoryConfig(bandwidth_gbps=8.0)
+        result = schedule_mha(model, acc, mem=mem, registry=reg)
+        stalls = reg.get("repro_memsys_stall_cycles_total")
+        assert stalls.value(block="mha") == result.memsys_stall_cycles
+        assert reg.get(
+            "repro_schedule_memsys_stall_cycles_total"
+        ).value(block="mha") == result.memsys_stall_cycles
+        tiles = reg.get("repro_memsys_prefetch_tiles_total")
+        fetched = (tiles.value(block="mha", outcome="stalled")
+                   + tiles.value(block="mha", outcome="hidden"))
+        assert fetched == len(result.dram_events)
+
+    def test_infinite_bandwidth_never_stalls(self, model, acc):
+        reg = MetricsRegistry()
+        schedule_mha(model, acc, registry=reg)
+        assert "repro_memsys_stall_cycles_total" not in reg
+        assert "repro_schedule_memsys_stall_cycles_total" not in reg
+
+
+class TestSystolicArrayRecording:
+    def test_pass_counters(self):
+        reg = MetricsRegistry()
+        sa = SystolicArray(8, 8, registry=reg)
+        rng = np.random.default_rng(3)
+        a = rng.integers(-8, 8, size=(8, 4))
+        b = rng.integers(-8, 8, size=(4, 8))
+        result = sa.run_pass(a, b)
+        sa.run_pass(a, b)
+        assert reg.get("repro_sa_passes_total").value() == 2
+        assert reg.get("repro_sa_compute_cycles_total").value() == (
+            2 * result.compute_cycles
+        )
+        assert reg.get("repro_sa_useful_macs_total").value() == (
+            2 * result.useful_macs
+        )
+
+
+class TestCampaignRecording:
+    SPEC = CampaignSpec(
+        seq_len=16, depth=16, cols=16, trials=8,
+        sites=("sa_accumulator",), seed=5,
+    )
+
+    def test_outcome_counters_match_result(self):
+        reg = MetricsRegistry()
+        result = run_campaign(self.SPEC, registry=reg)
+        labels = {"site": "sa_accumulator", "mode": "stuck_at"}
+        cell = [
+            o for o in result.outcomes
+            if o.site == labels["site"] and o.mode == labels["mode"]
+        ]
+        assert reg.get("repro_reliability_trials_total").value(
+            **labels
+        ) == len(cell)
+        assert reg.get("repro_reliability_injected_total").total() == (
+            sum(o.injected for o in result.outcomes)
+        )
+        assert reg.get("repro_reliability_detections_total").total() == (
+            sum(o.detected for o in result.outcomes)
+        )
+        assert reg.get(
+            "repro_reliability_corrections_total"
+        ).total() == sum(o.corrected for o in result.outcomes)
+
+    def test_registry_does_not_perturb_campaign(self):
+        plain = run_campaign(self.SPEC)
+        instrumented = run_campaign(self.SPEC, registry=MetricsRegistry())
+        assert instrumented.outcomes == plain.outcomes

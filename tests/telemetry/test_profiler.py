@@ -1,0 +1,108 @@
+"""Cycle-attribution profiler tests: exact wall-clock partition."""
+
+import pytest
+
+from repro.config import paper_accelerator, transformer_base
+from repro.core import ScheduleResult, schedule_ffn, schedule_mha
+from repro.errors import TelemetryError
+from repro.memsys import MemoryConfig
+from repro.telemetry import (
+    collapsed_stacks,
+    profile_schedule,
+    write_collapsed,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return transformer_base()
+
+
+@pytest.fixture(scope="module")
+def acc():
+    return paper_accelerator()
+
+
+class TestExactAttribution:
+    def test_paper_point_mha(self, model, acc):
+        profile = profile_schedule(schedule_mha(model, acc))
+        assert profile.total_cycles == 21_578
+        assert profile.attributed_cycles == 21_578
+
+    def test_paper_point_ffn(self, model, acc):
+        profile = profile_schedule(schedule_ffn(model, acc))
+        assert profile.total_cycles == 39_052
+        assert profile.attributed_cycles == 39_052
+
+    def test_exposed_weight_loads(self, model, acc):
+        exposed = acc.with_updates(weight_load_cycles=8)
+        profile = profile_schedule(schedule_mha(model, exposed))
+        assert profile.total_cycles == 21_834
+        assert profile.attributed_cycles == 21_834
+
+    def test_finite_memory_attributes_dram(self, model, acc):
+        mem = MemoryConfig(bandwidth_gbps=8.0)
+        result = schedule_mha(model, acc, mem=mem)
+        profile = profile_schedule(result)
+        assert profile.attributed_cycles == result.total_cycles
+        # Exposed fetch stalls become dram-exclusive wall cycles.
+        assert profile.unit("dram").exclusive_cycles == (
+            result.memsys_stall_cycles
+        )
+
+    def test_sa_priority_wins_overlap(self, model, acc):
+        # Softmax runs entirely under the V projection at the paper
+        # point, so the SA owns every overlapped cycle and softmax's
+        # exclusive share is zero despite 672 busy cycles.
+        profile = profile_schedule(schedule_mha(model, acc))
+        softmax = profile.unit("softmax")
+        assert softmax.busy_cycles > 0
+        assert softmax.exclusive_cycles == 0
+        sa = profile.unit("sa")
+        assert sa.exclusive_cycles == sa.busy_cycles
+
+    def test_unknown_unit_raises(self, model, acc):
+        profile = profile_schedule(schedule_mha(model, acc))
+        with pytest.raises(TelemetryError, match="no unit"):
+            profile.unit("npu")
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(TelemetryError, match="no events"):
+            profile_schedule(ScheduleResult(block="mha"))
+
+
+class TestRows:
+    def test_table_has_total_row_at_100_percent(self, model, acc):
+        rows = profile_schedule(schedule_mha(model, acc)).rows()
+        assert rows[-1][0] == "total"
+        assert rows[-1][-1] == "100.0%"
+        assert rows[-1][4] == "21,578"
+
+
+class TestCollapsedStacks:
+    def test_stacks_sum_to_totals(self, model, acc):
+        mha = schedule_mha(model, acc)
+        ffn = schedule_ffn(model, acc)
+        lines = collapsed_stacks([mha, ffn])
+        totals = {"mha": 0, "ffn": 0}
+        for line in lines:
+            stack, cycles = line.rsplit(" ", 1)
+            totals[stack.split(";")[0]] += int(cycles)
+        assert totals == {"mha": 21_578, "ffn": 39_052}
+
+    def test_stack_frames_are_block_unit_event(self, model, acc):
+        lines = collapsed_stacks([schedule_mha(model, acc)])
+        frames = [line.rsplit(" ", 1)[0].split(";") for line in lines]
+        assert all(f[0] == "mha" for f in frames)
+        assert any(f[1] == "sa" for f in frames)
+
+    def test_write_collapsed(self, model, acc, tmp_path):
+        path = tmp_path / "profile.folded"
+        count = write_collapsed([schedule_mha(model, acc)], str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == count
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(TelemetryError, match="no events"):
+            collapsed_stacks([ScheduleResult(block="mha")])

@@ -1,0 +1,178 @@
+"""MetricsRegistry and instrument tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TelemetryError
+from repro.telemetry import DEFAULT_BUCKETS, MetricsRegistry
+from repro.telemetry.registry import Histogram
+
+
+class TestCounter:
+    def test_labelled_series_are_independent(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_cycles_total", "cycles")
+        c.inc(5, block="mha")
+        c.inc(7, block="ffn")
+        c.inc(1, block="mha")
+        assert c.value(block="mha") == 6
+        assert c.value(block="ffn") == 7
+        assert c.total() == 13
+
+    def test_unlabelled_series(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_runs_total")
+        c.inc()
+        c.inc()
+        assert c.value() == 2
+
+    def test_label_order_does_not_matter(self):
+        c = MetricsRegistry().counter("repro_x_total")
+        c.inc(1, a="1", b="2")
+        c.inc(1, b="2", a="1")
+        assert c.value(a="1", b="2") == 2
+
+    def test_decrement_rejected(self):
+        c = MetricsRegistry().counter("repro_x_total")
+        with pytest.raises(TelemetryError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_unknown_series_reads_zero(self):
+        c = MetricsRegistry().counter("repro_x_total")
+        assert c.value(block="never") == 0
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = MetricsRegistry().gauge("repro_depth")
+        g.set(3, device="0")
+        g.inc(2, device="0")
+        assert g.value(device="0") == 5
+
+    def test_unset_series_raises(self):
+        g = MetricsRegistry().gauge("repro_depth")
+        with pytest.raises(TelemetryError, match="no series"):
+            g.value(device="9")
+
+
+class TestHistogram:
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert len(set(DEFAULT_BUCKETS)) == len(DEFAULT_BUCKETS)
+
+    def test_cumulative_buckets(self):
+        h = Histogram("repro_lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.cumulative_buckets() == [
+            (1.0, 1), (10.0, 3), (100.0, 4), (float("inf"), 5),
+        ]
+
+    def test_count_sum_mean(self):
+        h = Histogram("repro_lat", buckets=(10.0,))
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.count() == 2
+        assert h.sum() == 6.0
+        assert h.mean() == 3.0
+
+    def test_empty_percentile_raises(self):
+        h = Histogram("repro_lat", buckets=(10.0,))
+        with pytest.raises(TelemetryError, match="empty"):
+            h.percentile(50)
+
+    def test_nan_sample_rejected(self):
+        h = Histogram("repro_lat", buckets=(10.0,))
+        with pytest.raises(TelemetryError, match="NaN"):
+            h.observe(float("nan"))
+
+    def test_non_increasing_buckets_rejected(self):
+        with pytest.raises(TelemetryError, match="strictly increase"):
+            Histogram("repro_lat", buckets=(1.0, 1.0))
+
+    def test_infinite_bucket_rejected(self):
+        with pytest.raises(TelemetryError, match="finite"):
+            Histogram("repro_lat", buckets=(1.0, float("inf")))
+
+    def test_percentile_matches_serving_definition(self):
+        from repro.serving.metrics import percentile
+
+        h = Histogram("repro_lat", buckets=(100.0,))
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for v in values:
+            h.observe(v)
+        for pct in (1, 25, 50, 90, 95, 99, 100):
+            assert h.percentile(pct) == percentile(values, pct)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=0.0, max_value=1e9,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1, max_size=200,
+        ),
+        pct=st.sampled_from([50.0, 95.0, 99.0]),
+    )
+    def test_percentile_matches_numpy_reference(self, values, pct):
+        # The nearest-rank percentile is NumPy's
+        # 'inverted_cdf' method: the smallest observed value with at
+        # least pct% of the sample at or below it.
+        h = Histogram("repro_lat", buckets=(1.0, 1e6))
+        for v in values:
+            h.observe(v)
+        reference = float(np.percentile(
+            np.asarray(values), pct, method="inverted_cdf"
+        ))
+        assert h.percentile(pct) == reference
+
+
+class TestTimeseries:
+    def test_out_of_order_samples_sorted_on_read(self):
+        s = MetricsRegistry().series("repro_depth_track")
+        s.sample(5.0, 2)
+        s.sample(1.0, 1)
+        s.sample(3.0, 4)
+        assert s.samples() == [(1.0, 1), (3.0, 4), (5.0, 2)]
+        assert s.last() == 2
+
+    def test_last_of_empty_raises(self):
+        s = MetricsRegistry().series("repro_depth_track")
+        with pytest.raises(TelemetryError, match="no samples"):
+            s.last()
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", "help text")
+        b = reg.counter("repro_x_total")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total")
+        with pytest.raises(TelemetryError, match="is a counter"):
+            reg.gauge("repro_x_total")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(TelemetryError, match="invalid metric name"):
+            MetricsRegistry().counter("not a name!")
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(TelemetryError, match="no metric named"):
+            MetricsRegistry().get("repro_missing")
+
+    def test_contains_and_registration_order(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_b_total")
+        reg.gauge("repro_a")
+        assert "repro_b_total" in reg
+        assert "repro_missing" not in reg
+        assert [i.name for i in reg.instruments()] == [
+            "repro_b_total", "repro_a",
+        ]

@@ -155,3 +155,83 @@ class TestServeSimMemoryFlags:
         out = capsys.readouterr().out
         # Flat accounting: the memory counters exist but stay zero.
         assert "reload stall cycles" in out
+
+
+class TestProfileCommand:
+    def test_paper_point_matches_closed_form(self, capsys):
+        assert main(["profile"]) == 0
+        out = capsys.readouterr().out
+        assert "MHA cycle attribution" in out
+        assert "FFN cycle attribution" in out
+        assert out.count("exact match") == 2
+        assert "21,578" in out
+        assert "39,052" in out
+
+    def test_single_block_with_memory(self, capsys):
+        assert main(["profile", "--block", "mha",
+                     "--bandwidth-gbps", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "FFN" not in out
+        assert "dram" in out
+        assert "exact match" in out
+
+    def test_artifact_outputs(self, tmp_path, capsys):
+        folded = tmp_path / "profile.folded"
+        metrics = tmp_path / "metrics.json"
+        prom = tmp_path / "metrics.prom"
+        assert main(["profile", "--collapsed", str(folded),
+                     "--json", str(metrics), "--prom", str(prom)]) == 0
+        lines = folded.read_text().strip().splitlines()
+        assert sum(
+            int(line.rsplit(" ", 1)[1]) for line in lines
+        ) == 21_578 + 39_052
+        payload = json.loads(metrics.read_text())
+        names = {m["name"] for m in payload["metrics"]}
+        assert "repro_schedule_cycles_total" in names
+        assert "repro_schedule_cycles_total" in prom.read_text()
+
+
+class TestBenchDiffCommand:
+    def _write(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "BENCH_smoke.json"
+        baseline.write_text(json.dumps({
+            "config_fingerprint": "aaaa",
+            "headlines": {
+                "cycles.mha_total": {
+                    "value": 21578, "direction": "lower", "rel_tol": 0.0,
+                },
+            },
+        }))
+        current.write_text(json.dumps({
+            "suite": "smoke",
+            "config_fingerprint": "bbbb",
+            "headlines": {"cycles.mha_total": 21578},
+        }))
+        return str(baseline), str(current)
+
+    def test_clean_run_passes(self, tmp_path, capsys):
+        baseline, current = self._write(tmp_path)
+        assert main(["bench-diff", "--current", current,
+                     "--baseline", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "gate passed" in out
+        assert "config fingerprint changed" in out
+
+    def test_seeded_slowdown_fails(self, tmp_path, capsys):
+        baseline, current = self._write(tmp_path)
+        report = tmp_path / "report.json"
+        assert main(["bench-diff", "--current", current,
+                     "--baseline", baseline,
+                     "--seed-slowdown", "1.2",
+                     "--json", str(report)]) == 1
+        out = capsys.readouterr().out
+        assert "gate FAILED" in out
+        assert "cycles.mha_total" in out
+        assert json.loads(report.read_text())["passed"] is False
+
+    def test_missing_baseline_is_clean_error(self, tmp_path, capsys):
+        _, current = self._write(tmp_path)
+        assert main(["bench-diff", "--current", current,
+                     "--baseline", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
