@@ -1,0 +1,75 @@
+"""[A6] Cluster: SLO-aware routing + autoscaling vs static round-robin.
+
+Runs the pinned heterogeneous scenario (two FPGA pools with different
+memory systems + one V100 roofline pool, three tenants with diurnal /
+steady / bursty arrivals) under the deadline-aware router with
+autoscaling, and under static round-robin at the same per-pool device
+budget.  Records the fleet's SLO attainment and throughput as the A6
+headlines `repro bench-diff` gates on, and asserts the subsystem's
+acceptance criterion: the smart policy beats the naive baseline on the
+same workload at equal budget.  The timed region is one full smart run.
+"""
+
+from repro.analysis import render_table
+from repro.cluster import pinned_cluster, simulate_cluster
+
+REQUESTS_PER_TENANT = 120
+SEED = 0
+
+
+def _run(model, policy, autoscale):
+    cluster = pinned_cluster(
+        requests_per_tenant=REQUESTS_PER_TENANT,
+        router_policy=policy,
+        autoscale=autoscale,
+        seed=SEED,
+    )
+    return simulate_cluster(model, cluster).metrics
+
+
+def test_bench_cluster_slo_routing(benchmark, base_model, bench_headline):
+    smart = _run(base_model, "slo", autoscale=True)
+    naive = _run(base_model, "round_robin", autoscale=False)
+
+    bench_headline("cluster.slo_attainment", smart.slo_attainment)
+    bench_headline("cluster.throughput_rps", smart.throughput_rps)
+    bench_headline("cluster.p99_us", smart.latency_p99_us)
+    bench_headline(
+        "cluster.attainment_gain_vs_rr",
+        smart.slo_attainment - naive.slo_attainment,
+    )
+
+    rows = []
+    for label, cm in (("slo/autoscaled", smart),
+                      ("round_robin/static", naive)):
+        rows.append([
+            label,
+            f"{cm.slo_attainment:.1%}",
+            f"{cm.latency_p99_us / 1e3:.1f}",
+            f"{cm.throughput_rps:.0f}",
+            f"{cm.shed}/{cm.rejected}/{cm.expired}",
+        ])
+    print()
+    print(render_table(
+        "cluster: 3 pools / 3 tenants at equal device budget",
+        ["policy", "SLO attain", "p99 ms", "req/s", "shed/rej/exp"],
+        rows,
+    ))
+
+    # Every request resolves, under both policies.
+    for cm in (smart, naive):
+        assert cm.offered == 3 * REQUESTS_PER_TENANT
+        assert cm.offered == (
+            cm.completed + cm.shed + cm.rejected + cm.expired
+        )
+    # The acceptance criterion: deadline-aware routing + autoscaling
+    # measurably beats static round-robin at the same device budget.
+    assert smart.slo_attainment > naive.slo_attainment
+    assert smart.latency_p99_us < naive.latency_p99_us
+
+    result = benchmark(
+        simulate_cluster, base_model,
+        pinned_cluster(requests_per_tenant=REQUESTS_PER_TENANT,
+                       router_policy="slo", autoscale=True, seed=SEED),
+    )
+    assert result.metrics.completed > 0

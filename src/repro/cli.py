@@ -13,6 +13,12 @@ Commands:
   batching over the accelerator's cycle models (optionally with an
   off-chip memory system: ``--bandwidth-gbps`` / ``--memory-preset``,
   ``--weight-cache-kib``, ``--no-weight-cache``).
+* ``cluster-sim`` — fleet-scale serving over the pinned heterogeneous
+  scenario (2 FPGA pools + 1 GPU pool, 3 tenants): SLO-aware routing
+  (``--policy``), threshold autoscaling (``--no-autoscale`` to freeze
+  the budget), seeded end to end (``--seed``), with Chrome-trace and
+  JSON-report outputs and an equal-budget round-robin comparison
+  (``--compare-round-robin``).
 * ``fault-campaign`` — sweep fault site x mode over seeded injection
   trials, report ABFT detection/correction/silent-corruption rates and
   the protection's cycle overhead.
@@ -217,6 +223,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-weight-cache", action="store_true",
         help="refetch every ResBlock's weights on every batch run",
     )
+    cluster = sub.add_parser(
+        "cluster-sim",
+        help="fleet-scale serving: SLO routing + autoscaling over "
+             "heterogeneous pools (the pinned 3-pool/3-tenant scenario)",
+    )
+    cluster.add_argument(
+        "--requests-per-tenant", type=int, default=400,
+        help="requests each tenant contributes (default: 400)",
+    )
+    cluster.add_argument(
+        "--policy",
+        choices=("round_robin", "least_queue", "ewma", "slo"),
+        default="slo",
+        help="router policy (default: slo)",
+    )
+    cluster.add_argument(
+        "--no-autoscale", action="store_true",
+        help="freeze every pool at its max_devices budget (static run)",
+    )
+    cluster.add_argument(
+        "--seed", type=int, default=0,
+        help="cluster master RNG seed (default: 0)",
+    )
+    cluster.add_argument(
+        "--compare-round-robin", action="store_true",
+        help="also run static round-robin at the same device budget "
+             "and report the SLO-attainment delta",
+    )
+    cluster.add_argument(
+        "--trace-out", help="optional Chrome trace JSON output path"
+    )
+    cluster.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="write the full cluster report (summary + per-tenant + "
+             "per-pool + registry series) as JSON",
+    )
     profile = sub.add_parser(
         "profile",
         help="cycle-attribution profiler over the instrumented schedules",
@@ -265,6 +307,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed-slowdown", type=float, default=None, metavar="FACTOR",
         help="self-proof: perturb every current headline this many "
              "times in the bad direction and show the gate fails",
+    )
+    bench_diff.add_argument(
+        "--only", action="append", metavar="PREFIX", default=None,
+        help="gate only pinned headlines with this name prefix "
+             "(repeatable; for suite-scoped runs, e.g. --only cluster.)",
     )
     bench_diff.add_argument(
         "--json", dest="json_path", metavar="PATH",
@@ -585,6 +632,85 @@ def _cmd_serve_sim(args) -> None:
         print(f"\nwrote {count} trace events to {args.trace_out}")
 
 
+def _cmd_cluster_sim(args) -> None:
+    import dataclasses
+    import json
+
+    from .cluster import pinned_cluster, simulate_cluster
+    from .telemetry import MetricsRegistry, to_json
+
+    model = preset(args.model)
+    cluster = pinned_cluster(
+        requests_per_tenant=args.requests_per_tenant,
+        router_policy=args.policy,
+        autoscale=not args.no_autoscale,
+        seed=args.seed,
+    )
+    registry = MetricsRegistry()
+    result = simulate_cluster(
+        model, cluster, registry=registry, seq_len=args.seq_len
+    )
+    metrics = result.metrics
+    mode = "static" if args.no_autoscale else "autoscaled"
+    print(render_table(
+        f"cluster — {model.name}, {len(cluster.pools)} pools / "
+        f"{len(cluster.tenants)} tenants, policy {args.policy}, {mode}, "
+        f"seed {args.seed}",
+        ["metric", "value"], metrics.as_rows(),
+    ))
+    if args.compare_round_robin:
+        baseline_cfg = pinned_cluster(
+            requests_per_tenant=args.requests_per_tenant,
+            router_policy="round_robin",
+            autoscale=False,
+            seed=args.seed,
+        )
+        baseline = simulate_cluster(
+            model, baseline_cfg, seq_len=args.seq_len
+        ).metrics
+        delta = metrics.slo_attainment - baseline.slo_attainment
+        print()
+        print(render_table(
+            "vs static round-robin at equal device budget",
+            ["metric", f"{args.policy}/{mode}", "round_robin/static"],
+            [["SLO attainment",
+              f"{metrics.slo_attainment:.1%}",
+              f"{baseline.slo_attainment:.1%}"],
+             ["p99 latency",
+              f"{metrics.latency_p99_us:.0f} us",
+              f"{baseline.latency_p99_us:.0f} us"],
+             ["throughput",
+              f"{metrics.throughput_rps:.1f} req/s",
+              f"{baseline.throughput_rps:.1f} req/s"],
+             ["attainment delta", f"{delta:+.1%}", "—"]],
+        ))
+    if args.trace_out:
+        count = result.write_trace(args.trace_out)
+        print(f"\nwrote {count} trace events to {args.trace_out}")
+    if args.json_path:
+        report = {
+            "policy": args.policy,
+            "autoscale": not args.no_autoscale,
+            "seed": args.seed,
+            "summary": {
+                k: v for k, v in dataclasses.asdict(metrics).items()
+                if k not in ("tenants", "pools")
+            },
+            "tenants": {
+                name: dataclasses.asdict(t)
+                for name, t in metrics.tenants.items()
+            },
+            "pools": {
+                name: dataclasses.asdict(p)
+                for name, p in metrics.pools.items()
+            },
+            "registry": to_json(registry),
+        }
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote cluster report to {args.json_path}")
+
+
 def _cmd_fault_campaign(args) -> None:
     from .reliability import (
         CampaignSpec,
@@ -728,7 +854,8 @@ def _cmd_bench_diff(args) -> int:
     current["suite"] = ",".join(suites)
     baseline = load_json(args.baseline)
     report = diff_benchmarks(
-        current, baseline, seed_slowdown=args.seed_slowdown
+        current, baseline, seed_slowdown=args.seed_slowdown,
+        only=args.only,
     )
     seeded = (
         f", seeded slowdown x{args.seed_slowdown:g}"
@@ -773,6 +900,7 @@ def _cmd_trace(args) -> None:
 _COMMANDS = {
     "bench-diff": _cmd_bench_diff,
     "check": _cmd_check,
+    "cluster-sim": _cmd_cluster_sim,
     "profile": _cmd_profile,
     "fault-campaign": _cmd_fault_campaign,
     "memsys": _cmd_memsys,

@@ -1,0 +1,219 @@
+"""Per-pool runtime state: queue + batcher + workers + cost model.
+
+Each :class:`~repro.config.PoolConfig` becomes one :class:`PoolRuntime`
+wrapping the existing serving primitives — an
+:class:`~repro.serving.admission.AdmissionQueue`, a
+:class:`~repro.serving.batching.DynamicBatcher` and a
+:class:`~repro.serving.devices.WorkerPool` whose trace tracks are
+prefixed with the pool name, so one Chrome trace renders every pool's
+devices side by side.
+
+Heterogeneity enters through the cost model:
+
+* ``"fpga"`` pools price batches with the cycle-accurate
+  :class:`~repro.serving.batching.BatchCostModel` (schedules + optional
+  miss-driven weight traffic through a
+  :class:`~repro.config.MemoryConfig`);
+* ``"gpu"`` pools price batches with :class:`GpuBatchCostModel`, which
+  duck-types the same interface on top of the ``repro.gpu_model``
+  roofline kernels (V100 by default).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Union
+
+from ..config import AcceleratorConfig, ClusterConfig, ModelConfig, PoolConfig
+from ..gpu_model.kernels import ffn_resblock_kernels, mha_resblock_kernels
+from ..gpu_model.v100 import GpuSpec, v100_batched
+from ..serving.admission import AdmissionQueue
+from ..serving.batching import BatchCostModel, DynamicBatcher
+from ..serving.devices import WorkerPool
+
+#: Time base of GPU-pool "cycles": 1000 MHz -> one cycle is one
+#: nanosecond, so roofline microsecond latencies convert losslessly.
+GPU_TIME_BASE_MHZ = 1000.0
+
+
+class GpuBatchCostModel:
+    """Roofline batch cost in :class:`BatchCostModel`'s interface.
+
+    The GPU runs the same packed ``s``-row batch the FPGA pools do (the
+    batcher's geometry is the unit of work cluster-wide), priced as the
+    serial kernel sequence of the full model: every encoder layer is
+    one MHA + one FFN ResBlock, every decoder layer two MHA (self +
+    cross) + one FFN.  Latencies come from
+    :meth:`~repro.gpu_model.v100.GpuSpec.sequence_latency_us` and are
+    expressed as nanosecond "cycles" (``acc.clock_mhz`` = 1000) so the
+    :class:`~repro.serving.devices.WorkerPool` machinery needs no
+    special-casing.  GPUs keep weights in HBM — the roofline already
+    prices that traffic — so ``reload_cycles`` is zero.
+    """
+
+    def __init__(self, model: ModelConfig, spec: GpuSpec, seq_len: int) -> None:
+        self.model = model
+        self.spec = spec
+        self.acc = AcceleratorConfig(
+            seq_len=seq_len, clock_mhz=GPU_TIME_BASE_MHZ
+        )
+        mha_us = spec.sequence_latency_us(mha_resblock_kernels(model, seq_len))
+        ffn_us = spec.sequence_latency_us(ffn_resblock_kernels(model, seq_len))
+        self.mha_cycles = round(mha_us * GPU_TIME_BASE_MHZ)
+        self.ffn_cycles = round(ffn_us * GPU_TIME_BASE_MHZ)
+        self.reload_cycles = 0
+
+    @property
+    def layer_units(self) -> list[tuple[str, int, int]]:
+        """Per-layer ``(name, compute_cycles, ideal_cycles)`` entries.
+
+        The roofline has no padding waste of its own, so the "ideal"
+        cycles equal the compute cycles — GPU pools report utilization
+        1.0 and the cluster's utilization stories stay FPGA-side.
+        """
+        enc = ("enc", self.mha_cycles + self.ffn_cycles,
+               self.mha_cycles + self.ffn_cycles)
+        dec = ("dec", 2 * self.mha_cycles + self.ffn_cycles,
+               2 * self.mha_cycles + self.ffn_cycles)
+        return ([enc] * self.model.num_encoder_layers
+                + [dec] * self.model.num_decoder_layers)
+
+    @property
+    def compute_cycles(self) -> int:
+        return sum(cycles for _, cycles, _ in self.layer_units)
+
+    @property
+    def ideal_cycles(self) -> int:
+        return self.compute_cycles
+
+    @property
+    def run_cycles(self) -> int:
+        return self.compute_cycles
+
+    def run_us(self, include_reload: bool = True) -> float:
+        return self.acc.cycles_to_us(self.run_cycles)
+
+
+def build_cost_model(
+    pool: PoolConfig, model: ModelConfig, seq_len: int
+) -> Union[BatchCostModel, GpuBatchCostModel]:
+    """Instantiate the pool's cost model from its config."""
+    if pool.kind == "gpu":
+        base = v100_batched()
+        spec = GpuSpec(
+            name=base.name,
+            peak_flops=base.peak_flops,
+            memory_bandwidth=base.memory_bandwidth,
+            kernel_overhead_s=pool.gpu_kernel_overhead_us * 1e-6,
+            gemm_efficiency=base.gemm_efficiency,
+        )
+        return GpuBatchCostModel(model, spec, seq_len)
+    acc = AcceleratorConfig(
+        seq_len=seq_len,
+        clock_mhz=pool.clock_mhz,
+        abft_protected=pool.abft_protected,
+    )
+    return BatchCostModel(
+        model, acc,
+        double_buffered_weights=(
+            pool.memory.double_buffered_prefetch
+            if pool.memory is not None else False
+        ),
+    )
+
+
+class PoolRuntime:
+    """One pool's live state inside the cluster event loop.
+
+    Bundles the admission queue, the dynamic batcher, the worker pool
+    and the router/autoscaler bookkeeping (latency EWMA, completed-
+    latency window, busy-time snapshots, cooldown stamps) that the
+    cluster-level policies read.
+    """
+
+    def __init__(
+        self, config: PoolConfig, cluster: ClusterConfig, model: ModelConfig,
+        seq_len: int,
+    ) -> None:
+        self.config = config
+        self.name = config.name
+        self.cost = build_cost_model(config, model, seq_len)
+        self.workers = WorkerPool(
+            config.num_devices, config.placement, self.cost, self.cost.acc,
+            mem=config.memory if config.kind == "fpga" else None,
+            track_prefix=f"{config.name}.",
+        )
+        self.queue = AdmissionQueue(
+            cluster.queue_capacity, cluster.queue_timeout_us
+        )
+        self.batcher = DynamicBatcher(
+            seq_len, cluster.max_batch_requests, cluster.max_wait_us
+        )
+        self.run_us = self.cost.run_us()
+        # Router state: latency EWMA seeded with one uncontended run so
+        # the first routing decisions already see the pool's speed.
+        self.ewma_us = self.run_us
+        # Autoscaler state.
+        self.last_scale_up_us = float("-inf")
+        self.last_scale_down_us = float("-inf")
+        self.busy_us_snapshot = 0.0
+        self.completions: deque[tuple[float, float]] = deque()
+        # Accounting.
+        self.routed = 0
+        self.completed = 0
+        self.batches = 0
+        self.batch_log: list[tuple[int, int]] = []
+
+    @property
+    def active_device_count(self) -> int:
+        return len(self.workers.active_devices)
+
+    def depth_per_device(self) -> float:
+        """Queued requests per active device (the scale-up signal)."""
+        return len(self.queue) / max(1, self.active_device_count)
+
+    def predicted_completion_us(self, now_us: float) -> float:
+        """Estimated completion time of a request admitted at ``now_us``.
+
+        Device availability, plus the backlog ahead of the request in
+        full batches, plus the request's own run.  Deliberately ignores
+        the batcher's max-wait hold (small against ``run_us``) — a
+        cheap, honest-at-dispatch estimate, not an oracle.
+        """
+        wait_for_device = max(0.0, self.workers.next_free_us() - now_us)
+        backlog_batches = len(self.queue) / self.batcher.max_requests
+        return now_us + wait_for_device + (backlog_batches + 1.0) * self.run_us
+
+    def observe_completion(
+        self, completion_us: float, latency_us: float, alpha: float
+    ) -> None:
+        """Fold one completed request into the EWMA and the p99 window.
+
+        ``self.completed`` is advanced by the simulator (batch-wise),
+        not here, so the counter and the EWMA cannot drift apart.
+        """
+        self.ewma_us += alpha * (latency_us - self.ewma_us)
+        self.completions.append((completion_us, latency_us))
+
+    def windowed_p99_us(self, now_us: float, window_us: float) -> float:
+        """Nearest-rank p99 of latencies completed in the last window."""
+        while self.completions and self.completions[0][0] < now_us - window_us:
+            self.completions.popleft()
+        if not self.completions:
+            return 0.0
+        ordered = sorted(lat for _, lat in self.completions)
+        rank = max(1, int(0.99 * len(ordered) + 0.9999999))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def interval_busy_fraction(self, interval_us: float) -> float:
+        """Busy fraction since the last snapshot; advances the snapshot.
+
+        Busy time is credited at dispatch for the whole run, so a pool
+        mid-batch looks busy — which is exactly the conservatism the
+        scale-down signal wants.
+        """
+        busy = sum(d.busy_us for d in self.workers.devices)
+        delta = busy - self.busy_us_snapshot
+        self.busy_us_snapshot = busy
+        capacity = max(1, self.active_device_count) * interval_us
+        return min(1.0, delta / capacity) if capacity > 0 else 0.0

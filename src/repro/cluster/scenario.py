@@ -1,0 +1,113 @@
+"""The pinned heterogeneous multi-tenant scenario the A6 bench runs.
+
+Three pools spanning the repo's device models:
+
+* ``fpga-a`` — two paper accelerators behind DDR4-2400 (compute-bound:
+  the prefetcher hides nearly all weight traffic);
+* ``fpga-b`` — one paper accelerator behind LPDDR4-2133 (memory-bound:
+  the FFN's weight streams outrun the link, so every batch carries
+  exposed stall cycles — the slow pool a load-blind router keeps
+  feeding);
+* ``gpu-0`` — one batched-V100 roofline device, roughly 3x faster per
+  batch than an FPGA pool at Transformer-base.
+
+Three tenants exercising all three arrival processes:
+
+* ``interactive`` — diurnal sinusoid, tight SLO, highest weight: the
+  latency-sensitive product traffic;
+* ``batch`` — steady Poisson, loose SLO, low weight: offline work that
+  should soak leftover capacity;
+* ``bursty`` — MMPP calm/burst traffic with a mid SLO: the tenant that
+  periodically slams the cluster and makes admission + autoscaling
+  earn their keep.
+
+The default request counts keep the pinned bench run in seconds of
+wall-clock; scale ``num_requests`` up for longer studies.
+"""
+
+from __future__ import annotations
+
+from ..config import AutoscalerConfig, ClusterConfig, PoolConfig, TenantConfig
+from ..memsys.bandwidth import ddr4_2400, lpddr4_2133
+
+
+def pinned_pools() -> tuple[PoolConfig, ...]:
+    """The scenario's heterogeneous pool set."""
+    return (
+        PoolConfig(
+            name="fpga-a", kind="fpga", num_devices=2,
+            min_devices=1, max_devices=4, memory=ddr4_2400(),
+        ),
+        PoolConfig(
+            name="fpga-b", kind="fpga", num_devices=1,
+            min_devices=1, max_devices=2, memory=lpddr4_2133(),
+        ),
+        PoolConfig(
+            name="gpu-0", kind="gpu", num_devices=1,
+            min_devices=1, max_devices=2,
+        ),
+    )
+
+
+def pinned_tenants(requests_per_tenant: int = 400) -> tuple[TenantConfig, ...]:
+    """The scenario's three traffic contracts."""
+    return (
+        TenantConfig(
+            name="interactive", arrival="diurnal", rate_rps=220.0,
+            num_requests=requests_per_tenant, min_len=8, max_len=32,
+            slo_us=20_000.0, weight=3.0,
+            diurnal_period_us=2_000_000.0, diurnal_amplitude=0.7,
+            seed=1,
+        ),
+        TenantConfig(
+            name="batch", arrival="poisson", rate_rps=120.0,
+            num_requests=requests_per_tenant, min_len=16, max_len=64,
+            slo_us=200_000.0, weight=1.0, seed=2,
+        ),
+        TenantConfig(
+            name="bursty", arrival="mmpp", rate_rps=160.0,
+            num_requests=requests_per_tenant, min_len=8, max_len=48,
+            slo_us=40_000.0, weight=2.0,
+            burst_multiplier=6.0, burst_fraction=0.2,
+            burst_mean_us=120_000.0, seed=3,
+        ),
+    )
+
+
+def pinned_cluster(
+    requests_per_tenant: int = 400,
+    router_policy: str = "slo",
+    autoscale: bool = True,
+    seed: int = 0,
+) -> ClusterConfig:
+    """The pinned scenario, parameterized just enough for the bench.
+
+    With ``autoscale=False`` every pool is frozen at ``max_devices``
+    (and ``num_devices`` raised to match), so policy comparisons run at
+    an equal device-count budget: the static baseline gets the whole
+    budget up front, the autoscaled run has to *earn* it.
+    """
+    pools = pinned_pools()
+    if not autoscale:
+        pools = tuple(
+            p.with_updates(num_devices=p.max_devices) for p in pools
+        )
+    return ClusterConfig(
+        pools=pools,
+        tenants=pinned_tenants(requests_per_tenant),
+        router_policy=router_policy,
+        autoscaler=AutoscalerConfig(
+            enabled=autoscale,
+            interval_us=25_000.0,
+            scale_up_queue_depth=2.0,
+            scale_up_p99_us=None,
+            scale_down_busy=0.2,
+            cooldown_up_us=50_000.0,
+            cooldown_down_us=150_000.0,
+        ),
+        queue_capacity=48,
+        queue_timeout_us=120_000.0,
+        max_batch_requests=4,
+        max_wait_us=800.0,
+        seed=seed,
+    )

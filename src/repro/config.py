@@ -416,6 +416,370 @@ class MemoryConfig:
 
 
 @dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's traffic contract in a cluster run (:mod:`repro.cluster`).
+
+    A tenant is an independent traffic source with its own arrival
+    process, sequence-length range, latency SLO and fair-share weight.
+    The cluster workload layer generates each tenant's request stream
+    from its own seeded RNG and merges the streams time-sorted, so one
+    :class:`ClusterConfig` pins the entire multi-tenant trace.
+
+    Attributes:
+        name: Tenant identifier (label value on every per-tenant metric).
+        arrival: Arrival process: ``"poisson"`` (memoryless at
+            ``rate_rps``), ``"diurnal"`` (inhomogeneous Poisson whose
+            rate follows a sinusoid — the day/night traffic shape), or
+            ``"mmpp"`` (2-state Markov-modulated Poisson process:
+            calm/burst alternation, the classic bursty-traffic model).
+        rate_rps: Mean arrival rate in requests/s (the long-run average
+            for every arrival process).
+        num_requests: Requests this tenant contributes to the run.
+        min_len / max_len: Sequence-length bounds in tokens (uniform).
+        slo_us: Latency SLO — a request completing within ``slo_us`` of
+            its arrival attains the SLO; later completions (and every
+            rejected/expired request) miss it.
+        weight: Fair-share weight for deadline-aware admission; a
+            tenant's share of admitted work is ``weight / sum(weights)``
+            and overload shedding hits tenants above their share first.
+        diurnal_period_us: Period of the diurnal sinusoid.
+        diurnal_amplitude: Relative swing of the diurnal rate in
+            ``[0, 1)``: the instantaneous rate is
+            ``rate_rps * (1 + amplitude * sin(2 pi t / period))``.
+        burst_multiplier: MMPP burst-state rate as a multiple of the
+            calm-state rate (> 1).
+        burst_fraction: Long-run fraction of time spent in the burst
+            state, in ``(0, 1)``.
+        burst_mean_us: Mean sojourn time of one burst episode.
+        seed: Per-tenant RNG stream component; combined with the
+            cluster seed so tenants draw independent streams.
+    """
+
+    name: str
+    arrival: str = "poisson"
+    rate_rps: float = 500.0
+    num_requests: int = 100
+    min_len: int = 8
+    max_len: int = 64
+    slo_us: float = 50_000.0
+    weight: float = 1.0
+    diurnal_period_us: float = 1_000_000.0
+    diurnal_amplitude: float = 0.8
+    burst_multiplier: float = 8.0
+    burst_fraction: float = 0.15
+    burst_mean_us: float = 50_000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on invalid tenant parameters."""
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if self.arrival not in ("poisson", "diurnal", "mmpp"):
+            raise ConfigError(
+                f"tenant {self.name}: arrival {self.arrival!r} is not "
+                "'poisson', 'diurnal' or 'mmpp'"
+            )
+        if self.rate_rps <= 0:
+            raise ConfigError(f"tenant {self.name}: rate_rps must be positive")
+        if self.num_requests <= 0:
+            raise ConfigError(
+                f"tenant {self.name}: num_requests must be positive"
+            )
+        if not 0 < self.min_len <= self.max_len:
+            raise ConfigError(
+                f"tenant {self.name}: need 0 < min_len <= max_len, got "
+                f"[{self.min_len}, {self.max_len}]"
+            )
+        if self.slo_us <= 0:
+            raise ConfigError(f"tenant {self.name}: slo_us must be positive")
+        if self.weight <= 0:
+            raise ConfigError(f"tenant {self.name}: weight must be positive")
+        if self.diurnal_period_us <= 0:
+            raise ConfigError(
+                f"tenant {self.name}: diurnal_period_us must be positive"
+            )
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ConfigError(
+                f"tenant {self.name}: diurnal_amplitude must lie in [0, 1)"
+            )
+        if self.burst_multiplier <= 1.0:
+            raise ConfigError(
+                f"tenant {self.name}: burst_multiplier must exceed 1"
+            )
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ConfigError(
+                f"tenant {self.name}: burst_fraction must lie in (0, 1)"
+            )
+        if self.burst_mean_us <= 0:
+            raise ConfigError(
+                f"tenant {self.name}: burst_mean_us must be positive"
+            )
+
+    def with_updates(self, **changes: object) -> TenantConfig:
+        """Return a copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """One heterogeneous device pool in a cluster (:mod:`repro.cluster`).
+
+    A pool is an independent worker group fronted by its own admission
+    queue and dynamic batcher: either a pool of the paper's FPGA
+    accelerators (priced by the cycle-accurate schedules, optionally
+    through a :class:`MemoryConfig` weight-traffic model) or a pool of
+    ``repro.gpu_model`` V100 devices (priced by the roofline kernel
+    model).  The autoscaler may grow or drain ``"replicate"`` pools
+    between ``min_devices`` and ``max_devices``.
+
+    Attributes:
+        name: Pool identifier (trace-track prefix and metric label).
+        kind: ``"fpga"`` (cycle-model accelerator devices) or ``"gpu"``
+            (:func:`repro.gpu_model.v100_batched` roofline devices).
+        num_devices: Devices the pool starts with.
+        min_devices / max_devices: Autoscaler bounds on the replica
+            count; ``max_devices`` is also the pool's device budget for
+            equal-budget policy comparisons.
+        placement: ``"replicate"`` or ``"layer_shard"`` (FPGA only;
+            layer-sharded pools are static — the pipeline shape cannot
+            change at runtime).
+        clock_mhz: FPGA accelerator clock (ignored for GPU pools).
+        abft_protected: Whether the pool's FPGA accelerators carry ABFT
+            checksums (prices the protection's cycle overhead into
+            every batch; ignored for GPU pools).
+        memory: Off-chip memory system of each FPGA device (``None`` =
+            the free-reload accounting); heterogeneity between pools
+            typically comes from this and from ``kind``.
+        gpu_kernel_overhead_us: Per-kernel overhead of GPU-pool devices
+            in microseconds (default: the batched/steady-state server
+            setup; raise it toward the paper's 96.5 us to model the
+            eager measurement stack).
+    """
+
+    name: str
+    kind: str = "fpga"
+    num_devices: int = 1
+    min_devices: int = 1
+    max_devices: int = 4
+    placement: str = "replicate"
+    clock_mhz: float = 200.0
+    abft_protected: bool = False
+    memory: Optional[MemoryConfig] = None
+    gpu_kernel_overhead_us: float = 5.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on invalid pool parameters."""
+        if not self.name:
+            raise ConfigError("pool name must be non-empty")
+        if self.kind not in ("fpga", "gpu"):
+            raise ConfigError(
+                f"pool {self.name}: kind {self.kind!r} is not 'fpga' or "
+                "'gpu'"
+            )
+        if self.placement not in ("replicate", "layer_shard"):
+            raise ConfigError(
+                f"pool {self.name}: placement {self.placement!r} is not "
+                "'replicate' or 'layer_shard'"
+            )
+        if self.kind == "gpu" and self.placement != "replicate":
+            raise ConfigError(
+                f"pool {self.name}: gpu pools only support 'replicate'"
+            )
+        if not 1 <= self.min_devices <= self.num_devices <= self.max_devices:
+            raise ConfigError(
+                f"pool {self.name}: need 1 <= min_devices <= num_devices "
+                f"<= max_devices, got {self.min_devices} <= "
+                f"{self.num_devices} <= {self.max_devices}"
+            )
+        if self.clock_mhz <= 0:
+            raise ConfigError(f"pool {self.name}: clock_mhz must be positive")
+        if self.gpu_kernel_overhead_us <= 0:
+            raise ConfigError(
+                f"pool {self.name}: gpu_kernel_overhead_us must be positive"
+            )
+        if self.memory is not None and not isinstance(self.memory, MemoryConfig):
+            raise ConfigError(
+                f"pool {self.name}: memory must be a MemoryConfig (or None)"
+            )
+        if self.kind == "gpu" and self.memory is not None:
+            raise ConfigError(
+                f"pool {self.name}: gpu pools take no MemoryConfig (the "
+                "roofline model already prices HBM traffic)"
+            )
+
+    def with_updates(self, **changes: object) -> PoolConfig:
+        """Return a copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Threshold autoscaling policy over a cluster's replicate pools.
+
+    The autoscaler wakes every ``interval_us``, reads each pool's
+    telemetry signals (queue depth per device, windowed p99 latency,
+    busy fraction, weight-cache hit rate) and adds or drains one
+    replica at a time, subject to per-pool cooldowns and the
+    ``[min_devices, max_devices]`` bounds of each
+    :class:`PoolConfig`.  Draining is graceful: a draining device
+    finishes its in-flight batch and only then retires, so scale-down
+    never drops admitted requests.
+
+    Attributes:
+        enabled: Master switch; when False the cluster runs its pools
+            at their configured ``num_devices`` throughout.
+        interval_us: Evaluation period.
+        scale_up_queue_depth: Add a replica when a pool's queued
+            requests per active device exceed this.
+        scale_up_p99_us: Add a replica when a pool's windowed p99
+            latency exceeds this (``None`` disables the signal).
+        scale_down_busy: Drain a replica when a pool's busy fraction
+            over the last interval falls below this and its queue is
+            empty.
+        cooldown_up_us: Minimum time between scale-ups of one pool.
+        cooldown_down_us: Minimum time between drains of one pool.
+        p99_window_us: Width of the completed-latency window the p99
+            signal is computed over.
+    """
+
+    enabled: bool = True
+    interval_us: float = 20_000.0
+    scale_up_queue_depth: float = 4.0
+    scale_up_p99_us: Optional[float] = None
+    scale_down_busy: float = 0.15
+    cooldown_up_us: float = 40_000.0
+    cooldown_down_us: float = 80_000.0
+    p99_window_us: float = 200_000.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on invalid autoscaler parameters."""
+        if self.interval_us <= 0:
+            raise ConfigError("interval_us must be positive")
+        if self.scale_up_queue_depth <= 0:
+            raise ConfigError("scale_up_queue_depth must be positive")
+        if self.scale_up_p99_us is not None and self.scale_up_p99_us <= 0:
+            raise ConfigError("scale_up_p99_us must be positive (or None)")
+        if not 0.0 <= self.scale_down_busy < 1.0:
+            raise ConfigError("scale_down_busy must lie in [0, 1)")
+        if self.cooldown_up_us < 0 or self.cooldown_down_us < 0:
+            raise ConfigError("cooldowns must be non-negative")
+        if self.p99_window_us <= 0:
+            raise ConfigError("p99_window_us must be positive")
+
+    def with_updates(self, **changes: object) -> AutoscalerConfig:
+        """Return a copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Parameters of one simulated cluster run (:mod:`repro.cluster`).
+
+    A cluster is N heterogeneous :class:`PoolConfig` pools fronted by
+    an SLO-aware router, an :class:`AutoscalerConfig` policy, and a
+    multi-tenant workload built from :class:`TenantConfig` traffic
+    contracts.  One config (plus the model preset) pins the entire
+    run bit-for-bit.
+
+    Attributes:
+        pools: The device pools (at least one).
+        tenants: The traffic sources (at least one).
+        router_policy: How arrivals pick a pool: ``"round_robin"``,
+            ``"least_queue"`` (fewest queued requests per active
+            device), ``"ewma"`` (lowest exponentially weighted moving
+            average of completed-request latency) or ``"slo"``
+            (deadline-aware: minimize predicted completion among pools
+            that can make the deadline, with weighted-fairness
+            admission shedding under overload).
+        autoscaler: The scaling policy (see :class:`AutoscalerConfig`).
+        queue_capacity: Per-pool admission-queue bound.
+        queue_timeout_us: Per-pool queueing timeout (``inf`` disables).
+        max_batch_requests: Dynamic-batching request cap per pool batch.
+        max_wait_us: Batch cut-off wait per pool.
+        ewma_alpha: Smoothing factor of the router's latency EWMA.
+        fairness_window_us: Width of the sliding window the router's
+            weighted-fairness admission accounts tenant work over.
+        seed: Master RNG seed; tenant streams combine it with their own
+            ``seed`` field, so one value pins the whole workload.
+    """
+
+    pools: tuple[PoolConfig, ...] = ()
+    tenants: tuple[TenantConfig, ...] = ()
+    router_policy: str = "slo"
+    autoscaler: AutoscalerConfig = dataclasses.field(
+        default_factory=AutoscalerConfig
+    )
+    queue_capacity: int = 64
+    queue_timeout_us: float = float("inf")
+    max_batch_requests: int = 8
+    max_wait_us: float = 500.0
+    ewma_alpha: float = 0.2
+    fairness_window_us: float = 250_000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on invalid cluster parameters."""
+        if not self.pools:
+            raise ConfigError("cluster needs at least one pool")
+        if not self.tenants:
+            raise ConfigError("cluster needs at least one tenant")
+        pool_names = [p.name for p in self.pools]
+        if len(set(pool_names)) != len(pool_names):
+            raise ConfigError(f"duplicate pool names in {pool_names}")
+        tenant_names = [t.name for t in self.tenants]
+        if len(set(tenant_names)) != len(tenant_names):
+            raise ConfigError(f"duplicate tenant names in {tenant_names}")
+        for pool in self.pools:
+            if not isinstance(pool, PoolConfig):
+                raise ConfigError("pools must be PoolConfig instances")
+        for tenant in self.tenants:
+            if not isinstance(tenant, TenantConfig):
+                raise ConfigError("tenants must be TenantConfig instances")
+        if self.router_policy not in (
+            "round_robin", "least_queue", "ewma", "slo"
+        ):
+            raise ConfigError(
+                f"router_policy {self.router_policy!r} is not one of "
+                "'round_robin', 'least_queue', 'ewma', 'slo'"
+            )
+        if not isinstance(self.autoscaler, AutoscalerConfig):
+            raise ConfigError("autoscaler must be an AutoscalerConfig")
+        if self.queue_capacity <= 0:
+            raise ConfigError("queue_capacity must be positive")
+        if self.queue_timeout_us <= 0:
+            raise ConfigError("queue_timeout_us must be positive")
+        if self.max_batch_requests <= 0:
+            raise ConfigError("max_batch_requests must be positive")
+        if self.max_wait_us < 0:
+            raise ConfigError("max_wait_us must be non-negative")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigError("ewma_alpha must lie in (0, 1]")
+        if self.fairness_window_us <= 0:
+            raise ConfigError("fairness_window_us must be positive")
+
+    @property
+    def device_budget(self) -> int:
+        """Total ``max_devices`` across pools — the capacity budget."""
+        return sum(p.max_devices for p in self.pools)
+
+    def with_updates(self, **changes: object) -> ClusterConfig:
+        """Return a copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """Parameters of one simulated serving run (:mod:`repro.serving`).
 

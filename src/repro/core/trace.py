@@ -43,6 +43,12 @@ KNOWN_TRACK_PATTERNS = tuple(_UNIT_TRACKS) + (
     "sa_utilization",         # serving: per-batch useful-MAC share
     "weight_cache_hit_rate",  # serving: cumulative cache hit rate
     "repro_*",    # telemetry: registry timeseries exported as counters
+    "*device*",   # cluster: pool-prefixed device rows (<pool>.deviceN)
+    "*.queue",    # cluster: per-pool admission-wait rows
+    "router",     # cluster: shed-decision markers
+    "autoscaler",  # cluster: scale-up/down action markers
+    "*.queue_depth",  # cluster: per-pool queue-depth counters
+    "*.devices",      # cluster: per-pool active-replica counters
 )
 
 

@@ -195,6 +195,57 @@ def run_selftest(seed: int = 0, seq_len: int = 12) -> list[CheckResult]:
     results.append(CheckResult(
         "telemetry-attribution", telemetry_ok, "; ".join(tele_parts),
     ))
+
+    # 8. cluster: a small heterogeneous multi-tenant run must conserve
+    # requests (every arrival resolves to exactly one outcome), emit
+    # spans only on registered trace tracks (the runtime counterpart of
+    # the REP003 static lint), and produce identical metrics whether or
+    # not a registry observes the run.
+    from fnmatch import fnmatch
+
+    from ..cluster import pinned_cluster, simulate_cluster
+    from ..telemetry import MetricsRegistry as _Registry
+    from .trace import KNOWN_TRACK_PATTERNS
+
+    cluster_cfg = pinned_cluster(requests_per_tenant=40)
+    cluster_registry = _Registry()
+    cluster_run = simulate_cluster(
+        paper_model, cluster_cfg, registry=cluster_registry
+    )
+    plain_run = simulate_cluster(paper_model, cluster_cfg)
+    cm = cluster_run.metrics
+    conserved = (
+        cm.offered
+        == cm.completed + cm.shed + cm.rejected + cm.expired
+        == sum(t.num_requests for t in cluster_cfg.tenants)
+    )
+    bad_tracks = sorted({
+        span.track for span in cluster_run.spans
+        if not any(fnmatch(span.track, p) for p in KNOWN_TRACK_PATTERNS)
+    })
+    instrumented_same = cm == plain_run.metrics
+    registry_consistent = (
+        cluster_registry.counter(
+            "repro_cluster_requests_offered_total"
+        ).total() == cm.offered
+    )
+    cluster_ok = (conserved and not bad_tracks and instrumented_same
+                  and registry_consistent)
+    cluster_parts = [
+        f"{cm.offered} offered -> {cm.completed} completed, "
+        f"{cm.shed + cm.rejected + cm.expired} dropped"
+    ]
+    if not conserved:
+        cluster_parts.append("CONSERVATION VIOLATED")
+    if bad_tracks:
+        cluster_parts.append(f"unregistered tracks: {bad_tracks}")
+    if not instrumented_same:
+        cluster_parts.append("instrumented run diverged")
+    if not registry_consistent:
+        cluster_parts.append("registry totals off")
+    results.append(CheckResult(
+        "cluster-serving", cluster_ok, "; ".join(cluster_parts),
+    ))
     return results
 
 

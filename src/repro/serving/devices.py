@@ -34,7 +34,14 @@ from .batching import Batch, BatchCostModel
 
 @dataclass
 class Device:
-    """One simulated accelerator's availability and usage counters."""
+    """One simulated accelerator's availability and usage counters.
+
+    ``activated_us`` / ``draining`` / ``retired_us`` exist for the
+    cluster autoscaler (:mod:`repro.cluster`): a device added mid-run
+    records when it joined, a draining device finishes its in-flight
+    batch but accepts no new ones, and a retired device records when
+    its drain completed.  Plain serving runs never touch them.
+    """
 
     device_id: int
     free_at_us: float = 0.0
@@ -43,11 +50,18 @@ class Device:
     tokens_served: int = 0
     alive: bool = True
     failed_at_us: Optional[float] = None
+    activated_us: float = 0.0
+    draining: bool = False
+    retired_us: Optional[float] = None
 
     def occupy(self, start_us: float, duration_us: float) -> None:
         if not self.alive:
             raise ServingError(
                 f"device {self.device_id} dispatched after failing"
+            )
+        if self.draining:
+            raise ServingError(
+                f"device {self.device_id} dispatched while draining"
             )
         if start_us < self.free_at_us:
             raise ServingError(
@@ -83,6 +97,7 @@ class WorkerPool:
         cost_model: BatchCostModel,
         acc: AcceleratorConfig,
         mem: Optional[MemoryConfig] = None,
+        track_prefix: str = "",
     ) -> None:
         if num_devices <= 0:
             raise ServingError("num_devices must be positive")
@@ -97,6 +112,7 @@ class WorkerPool:
         self.placement = placement
         self.cost = cost_model
         self.acc = acc
+        self.track_prefix = track_prefix
         self.devices = [Device(i) for i in range(num_devices)]
         if placement == "layer_shard":
             self._stage_us = [
@@ -135,6 +151,11 @@ class WorkerPool:
         return [d for d in self.devices if d.alive]
 
     @property
+    def active_devices(self) -> list[Device]:
+        """Devices that may take new batches: alive and not draining."""
+        return [d for d in self.devices if d.alive and not d.draining]
+
+    @property
     def device_failures(self) -> int:
         return sum(not d.alive for d in self.devices)
 
@@ -143,12 +164,61 @@ class WorkerPool:
         """Whether the pool can still serve batches at all.
 
         A replicated pool degrades replica by replica and dies only when
-        every device has failed; a layer-sharded pipeline dies with its
-        first failed stage (that stage's resident weights are gone).
+        every device has failed (or is draining); a layer-sharded
+        pipeline dies with its first failed stage (that stage's resident
+        weights are gone).
         """
         if self.placement == "replicate":
-            return bool(self.alive_devices)
+            return bool(self.active_devices)
         return all(d.alive for d in self.devices)
+
+    def add_device(self, now_us: float) -> Device:
+        """Grow a ``"replicate"`` pool by one replica (autoscale-up).
+
+        The new device joins idle at ``now_us``; with a memory system
+        it starts with a cold weight cache, so its first runs pay the
+        full miss-driven fetch traffic — exactly what a freshly
+        provisioned accelerator would.
+        """
+        if self.placement != "replicate":
+            raise ServingError("only replicate pools can add devices")
+        device = Device(
+            len(self.devices), free_at_us=now_us, activated_us=now_us
+        )
+        self.devices.append(device)
+        if self._caches is not None:
+            self._caches.append(WeightCache(self._caches[0].capacity_bytes))
+        self._recount_contenders()
+        return device
+
+    def drain_device(self, device_id: int, now_us: float) -> Device:
+        """Begin a graceful drain of one replica (autoscale-down).
+
+        The device stops accepting new batches immediately; an
+        in-flight batch runs to completion (``free_at_us`` stands), and
+        the device retires when it goes idle — so draining never drops
+        admitted work.
+        """
+        if self.placement != "replicate":
+            raise ServingError("only replicate pools can drain devices")
+        if not 0 <= device_id < self.num_devices:
+            raise ServingError(f"no device {device_id} in the pool")
+        device = self.devices[device_id]
+        if not device.alive or device.draining:
+            raise ServingError(
+                f"device {device_id} is already draining or dead"
+            )
+        device.draining = True
+        device.retired_us = max(now_us, device.free_at_us)
+        self._recount_contenders()
+        return device
+
+    def _recount_contenders(self) -> None:
+        """Re-derive DRAM-channel contention from the active replicas."""
+        if self.mem is not None:
+            self._contenders = contenders_per_channel(
+                max(1, len(self.active_devices)), self.mem.shared_channels
+            )
 
     def fail_device(self, device_id: int, at_us: float) -> None:
         """Fail-stop ``device_id`` at ``at_us`` (no effect if dead)."""
@@ -163,7 +233,7 @@ class WorkerPool:
         if not self.pool_alive:
             return float("inf")
         if self.placement == "replicate":
-            return min(d.free_at_us for d in self.alive_devices)
+            return min(d.free_at_us for d in self.active_devices)
         return self.devices[0].free_at_us
 
     def can_accept(self, now_us: float) -> bool:
@@ -181,7 +251,7 @@ class WorkerPool:
             raise ServingError("dispatch to a dead pool")
         if self.placement == "replicate":
             device = min(
-                self.alive_devices,
+                self.active_devices,
                 key=lambda d: (d.free_at_us, d.device_id),
             )
             start = max(now_us, device.free_at_us)
@@ -201,7 +271,7 @@ class WorkerPool:
             device.tokens_served += batch.total_tokens
             span = TraceSpan(
                 name=f"batch{batch.batch_id}",
-                track=f"device{device.device_id}",
+                track=f"{self.track_prefix}device{device.device_id}",
                 start_us=start, duration_us=duration,
                 args={**args, "cycles": run_cycles,
                       "reload_cycles": reload_cycles, **cache_args},
@@ -221,7 +291,7 @@ class WorkerPool:
             device.tokens_served += batch.total_tokens
             spans.append(TraceSpan(
                 name=f"batch{batch.batch_id}.stage{device.device_id}",
-                track=f"device{device.device_id}",
+                track=f"{self.track_prefix}device{device.device_id}",
                 start_us=start, duration_us=stage_us,
                 args=args,
             ))
@@ -280,3 +350,16 @@ class WorkerPool:
             return 0.0
         busy = sum(d.busy_us for d in self.devices)
         return busy / (self.num_devices * makespan_us)
+
+    def device_time_us(self, end_us: float) -> float:
+        """Total device-time provisioned up to ``end_us``.
+
+        Counts each device from its activation to its retirement (or
+        ``end_us`` while it is still provisioned) — the denominator a
+        pool with autoscaled membership needs for its busy fraction.
+        """
+        total = 0.0
+        for device in self.devices:
+            stop = device.retired_us if device.retired_us is not None else end_us
+            total += max(0.0, stop - device.activated_us)
+        return total

@@ -25,6 +25,7 @@ import hashlib
 import json
 import math
 import subprocess
+from collections.abc import Sequence
 from dataclasses import asdict, dataclass
 from typing import Optional
 
@@ -165,6 +166,7 @@ def diff_benchmarks(
     current: dict,
     baseline: dict,
     seed_slowdown: Optional[float] = None,
+    only: Optional[Sequence[str]] = None,
 ) -> BenchDiffReport:
     """Compare a bench artifact against a baseline document.
 
@@ -176,8 +178,22 @@ def diff_benchmarks(
             ones proportionally worse) before comparing, so the gate
             can demonstrate a nonzero exit (analogous to
             ``repro check --seed-bug``).
+        only: Optional headline-name prefixes; when given, the gate
+            considers only pinned headlines matching one of them.  A
+            suite-scoped CI job (e.g. the cluster smoke run, which only
+            produces ``cluster.*`` numbers) uses this so the other
+            suites' pins do not read as "missing" regressions.
     """
     specs, baseline_meta = parse_baseline(baseline)
+    if only:
+        specs = {
+            name: spec for name, spec in specs.items()
+            if any(name.startswith(prefix) for prefix in only)
+        }
+        if not specs:
+            raise TelemetryError(
+                f"no pinned headline matches prefixes {list(only)}"
+            )
     headlines = dict(current.get("headlines", {}))
     if seed_slowdown is not None:
         if seed_slowdown <= 1.0:
@@ -212,6 +228,8 @@ def diff_benchmarks(
             rel_tol=spec.rel_tol,
         ))
     for name in sorted(headlines):
+        if only and not any(name.startswith(p) for p in only):
+            continue
         value = headlines[name]
         rows.append(DiffRow(
             name=name, status="new",

@@ -23,6 +23,32 @@ ResBlock, ``unit`` the hardware unit):
   ``..._injected_total`` / ``..._detections_total`` /
   ``..._corrections_total`` / ``..._silent_total`` — fault-campaign
   outcome counters.
+
+Cluster schema (:mod:`repro.cluster`; ``tenant`` is the traffic
+source, ``pool`` the device pool, ``policy`` the router policy):
+
+* ``repro_cluster_requests_offered_total{tenant}`` — arrivals;
+* ``repro_cluster_requests_total{tenant,outcome}`` — final outcomes
+  (``completed`` / ``shed`` / ``rejected`` / ``expired``);
+* ``repro_cluster_slo_attained_total{tenant}`` — completions within
+  the tenant's SLO;
+* ``repro_cluster_latency_us{tenant}`` — completion-latency histogram;
+* ``repro_cluster_routing_decisions_total{pool,policy}`` — requests
+  the router sent to each pool;
+* ``repro_cluster_shed_total`` — requests the SLO router refused;
+* ``repro_cluster_autoscaler_actions_total{pool,direction,reason}`` —
+  scale-ups/downs by trigger signal;
+* ``repro_cluster_batches_total{pool}`` /
+  ``..._batch_requests_total{pool}`` / ``..._batch_tokens_total{pool}``
+  — per-pool dispatch accounting;
+* ``repro_cluster_weight_cache_lookups_total{pool,outcome}`` —
+  ResBlock weight-cache hits/misses;
+* ``repro_cluster_queue_depth{pool}`` / ``repro_cluster_devices{pool}``
+  — timeseries of queue pressure and replica count;
+* gauges set at summary time: ``repro_cluster_slo_attainment{tenant}``
+  (plus the unlabeled cluster-wide series),
+  ``repro_cluster_pool_busy_fraction{pool}``,
+  ``repro_cluster_throughput_rps``, ``repro_cluster_makespan_us``.
 """
 
 from __future__ import annotations
@@ -100,3 +126,107 @@ def record_campaign(result, registry: MetricsRegistry) -> None:
             corrections.inc(1, **labels)
         if outcome.silent:
             silent.inc(1, **labels)
+
+
+def record_cluster(
+    registry: MetricsRegistry,
+    *,
+    policy: str,
+    tenant_offered: dict,
+    tenant_outcomes: dict,
+    tenant_slo_attained: dict,
+    tenant_latencies_us: dict,
+    routing_decisions: dict,
+    shed: int,
+    autoscale_actions: list,
+    pool_batches: dict,
+    pool_cache: dict,
+    pool_depth_samples: dict,
+    pool_device_samples: dict,
+) -> None:
+    """Record one cluster run's raw outcomes into ``registry``.
+
+    Defines the ``repro_cluster_*`` schema (see the module docstring)
+    in one place, mirroring :func:`repro.serving.metrics.record_serving`.
+    ``pool_batches`` maps pool -> ``(batches, requests, tokens)``
+    totals; ``pool_cache`` maps pool -> ``(hits, misses)``.
+    """
+    offered = registry.counter(
+        "repro_cluster_requests_offered_total",
+        "Requests each tenant's workload generated",
+    )
+    outcomes = registry.counter(
+        "repro_cluster_requests_total",
+        "Requests by tenant and final outcome",
+    )
+    attained = registry.counter(
+        "repro_cluster_slo_attained_total",
+        "Requests completed within their tenant's SLO",
+    )
+    latency = registry.histogram(
+        "repro_cluster_latency_us",
+        "Arrival-to-completion latency of completed requests (us)",
+    )
+    for tenant, count in tenant_offered.items():
+        offered.inc(count, tenant=tenant)
+        for outcome, n in tenant_outcomes[tenant].items():
+            if n:
+                outcomes.inc(n, tenant=tenant, outcome=outcome)
+        if tenant_slo_attained[tenant]:
+            attained.inc(tenant_slo_attained[tenant], tenant=tenant)
+        for value in tenant_latencies_us[tenant]:
+            latency.observe(value, tenant=tenant)
+    decisions = registry.counter(
+        "repro_cluster_routing_decisions_total",
+        "Requests the router sent to each pool",
+    )
+    for pool, count in routing_decisions.items():
+        if count:
+            decisions.inc(count, pool=pool, policy=policy)
+    registry.counter(
+        "repro_cluster_shed_total",
+        "Requests the SLO router refused at the door",
+    ).inc(shed)
+    actions = registry.counter(
+        "repro_cluster_autoscaler_actions_total",
+        "Autoscaler scale-ups/downs by pool and trigger signal",
+    )
+    for _, pool, direction, reason in autoscale_actions:
+        actions.inc(1, pool=pool, direction=direction, reason=reason)
+    batches = registry.counter(
+        "repro_cluster_batches_total", "Batches dispatched per pool",
+    )
+    batch_requests = registry.counter(
+        "repro_cluster_batch_requests_total",
+        "Requests summed over each pool's batches",
+    )
+    batch_tokens = registry.counter(
+        "repro_cluster_batch_tokens_total",
+        "Valid tokens summed over each pool's batches",
+    )
+    cache = registry.counter(
+        "repro_cluster_weight_cache_lookups_total",
+        "ResBlock weight-set lookups by pool and outcome",
+    )
+    depth = registry.series(
+        "repro_cluster_queue_depth",
+        "Per-pool admission-queue depth at each change",
+    )
+    devices = registry.series(
+        "repro_cluster_devices",
+        "Per-pool active replica count at each change",
+    )
+    for pool, (n_batches, n_requests, n_tokens) in pool_batches.items():
+        if n_batches:
+            batches.inc(n_batches, pool=pool)
+            batch_requests.inc(n_requests, pool=pool)
+            batch_tokens.inc(n_tokens, pool=pool)
+        hits, misses = pool_cache[pool]
+        if hits:
+            cache.inc(hits, pool=pool, outcome="hit")
+        if misses:
+            cache.inc(misses, pool=pool, outcome="miss")
+        for ts_us, value in pool_depth_samples[pool]:
+            depth.sample(ts_us, value, pool=pool)
+        for ts_us, value in pool_device_samples[pool]:
+            devices.sample(ts_us, value, pool=pool)

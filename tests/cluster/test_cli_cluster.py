@@ -1,0 +1,94 @@
+"""CLI tests for ``repro cluster-sim`` and seeded reproducibility.
+
+Satellite of the cluster PR: two runs with the same ``--seed`` must
+produce identical metrics (for both ``serve-sim`` and ``cluster-sim``),
+and a different seed must change the run.
+"""
+
+import json
+
+from repro.cli import main
+
+
+class TestClusterSim:
+    def test_runs_pinned_scenario(self, capsys):
+        assert main(["cluster-sim", "--requests-per-tenant", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "3 pools / 3 tenants" in out
+        assert "SLO attainment" in out
+        for name in ("interactive", "batch", "bursty"):
+            assert f"tenant {name}" in out
+        for name in ("fpga-a", "fpga-b", "gpu-0"):
+            assert f"pool {name}" in out
+
+    def test_policy_and_static_flags(self, capsys):
+        assert main(["cluster-sim", "--requests-per-tenant", "30",
+                     "--policy", "least_queue", "--no-autoscale"]) == 0
+        out = capsys.readouterr().out
+        assert "policy least_queue" in out
+        assert "static" in out
+
+    def test_compare_round_robin(self, capsys):
+        assert main(["cluster-sim", "--requests-per-tenant", "40",
+                     "--compare-round-robin"]) == 0
+        out = capsys.readouterr().out
+        assert "vs static round-robin at equal device budget" in out
+        assert "attainment delta" in out
+
+    def test_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "cluster_trace.json"
+        assert main(["cluster-sim", "--requests-per-tenant", "30",
+                     "--trace-out", str(trace)]) == 0
+        payload = json.loads(trace.read_text())
+        assert payload["otherData"]["router_policy"] == "slo"
+        assert payload["traceEvents"]
+
+    def test_json_report(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert main(["cluster-sim", "--requests-per-tenant", "30",
+                     "--json", str(report_path)]) == 0
+        report = json.loads(report_path.read_text())
+        assert report["policy"] == "slo"
+        assert report["summary"]["offered"] == 90
+        assert set(report["tenants"]) == {"interactive", "batch", "bursty"}
+        assert set(report["pools"]) == {"fpga-a", "fpga-b", "gpu-0"}
+        offered = [
+            m for m in report["registry"]["metrics"]
+            if m["name"] == "repro_cluster_requests_offered_total"
+        ]
+        assert offered
+
+
+class TestSeededDeterminism:
+    def _cluster_report(self, tmp_path, capsys, seed, tag):
+        path = tmp_path / f"report_{tag}.json"
+        assert main(["cluster-sim", "--requests-per-tenant", "30",
+                     "--seed", str(seed), "--json", str(path)]) == 0
+        capsys.readouterr()
+        return json.loads(path.read_text())
+
+    def test_cluster_sim_same_seed_identical_metrics(self, tmp_path,
+                                                     capsys):
+        one = self._cluster_report(tmp_path, capsys, 7, "a")
+        two = self._cluster_report(tmp_path, capsys, 7, "b")
+        assert one == two
+
+    def test_cluster_sim_seed_changes_run(self, tmp_path, capsys):
+        one = self._cluster_report(tmp_path, capsys, 7, "a")
+        other = self._cluster_report(tmp_path, capsys, 8, "b")
+        assert one["summary"]["makespan_us"] != other["summary"]["makespan_us"]
+
+    def test_serve_sim_same_seed_identical_metrics(self, capsys):
+        args = ["serve-sim", "--requests", "60", "--seed", "5"]
+        assert main(args) == 0
+        one = capsys.readouterr().out
+        assert main(args) == 0
+        two = capsys.readouterr().out
+        assert one == two
+
+    def test_serve_sim_seed_changes_run(self, capsys):
+        assert main(["serve-sim", "--requests", "60", "--seed", "5"]) == 0
+        one = capsys.readouterr().out
+        assert main(["serve-sim", "--requests", "60", "--seed", "6"]) == 0
+        two = capsys.readouterr().out
+        assert one != two

@@ -15,7 +15,7 @@ class TestSelfTest:
             (r.name, r.detail) for r in results if not r.passed
         ]
 
-    def test_seven_checks_present(self):
+    def test_eight_checks_present(self):
         names = [r.name for r in run_selftest(seed=1)]
         assert names == [
             "quantized-vs-fp32",
@@ -25,6 +25,7 @@ class TestSelfTest:
             "streaming-vs-batch",
             "statcheck",
             "telemetry-attribution",
+            "cluster-serving",
         ]
 
     def test_different_seed_still_passes(self):

@@ -108,6 +108,37 @@ class TestClassification:
                             BASELINE)
 
 
+class TestOnlyPrefixes:
+    def test_suite_scoped_gate_ignores_other_pins(self):
+        # A cycles-only artifact passes when the gate is scoped to the
+        # cycles.* pins, even though the other suites' headlines are
+        # absent from the run.
+        report = diff_benchmarks(
+            _current(**{"cycles.total": 1000}), BASELINE,
+            only=["cycles."],
+        )
+        assert report.passed
+        assert [r.name for r in report.rows] == ["cycles.total"]
+
+    def test_scoped_gate_still_catches_regressions(self):
+        report = diff_benchmarks(
+            _current(**{"cycles.total": 2000}), BASELINE,
+            only=["cycles."],
+        )
+        assert not report.passed
+
+    def test_scoped_gate_hides_out_of_scope_new_headlines(self):
+        report = diff_benchmarks(
+            _current(**{"cycles.total": 1000, "other.thing": 3}),
+            BASELINE, only=["cycles."],
+        )
+        assert [r.name for r in report.rows] == ["cycles.total"]
+
+    def test_unmatched_prefix_is_an_error(self):
+        with pytest.raises(TelemetryError, match="no pinned headline"):
+            diff_benchmarks(_current(), BASELINE, only=["nosuch."])
+
+
 class TestSeedSlowdown:
     def test_seeded_slowdown_regresses_every_direction(self):
         report = diff_benchmarks(
