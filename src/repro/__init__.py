@@ -13,6 +13,8 @@ Subpackages:
 * :mod:`repro.analysis` — Eq. (3) sweeps and report rendering.
 * :mod:`repro.serving` — discrete-event inference-serving simulator with
   dynamic batching over the cycle-accurate accelerator models.
+* :mod:`repro.decode` — fused long-sequence attention, KV-cache pricing
+  and mixed prefill/decode serving.
 
 Quick start::
 
@@ -23,10 +25,11 @@ Quick start::
     print(core.schedule_mha(model_cfg, acc_cfg).total_cycles)
 """
 
-from . import analysis, config, core, errors, fixedpoint, gpu_model, io
-from . import memsys, nmt, quant, serving, transformer
+from . import analysis, config, core, decode, errors, fixedpoint
+from . import gpu_model, io, memsys, nmt, quant, serving, transformer
 from .config import (
     AcceleratorConfig,
+    DecodeConfig,
     MemoryConfig,
     ModelConfig,
     ServingConfig,
@@ -43,6 +46,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AcceleratorConfig",
+    "DecodeConfig",
     "MemoryConfig",
     "ModelConfig",
     "ReproError",
@@ -52,6 +56,7 @@ __all__ = [
     "bert_large",
     "config",
     "core",
+    "decode",
     "errors",
     "fixedpoint",
     "gpu_model",

@@ -19,6 +19,12 @@ Commands:
   the budget), seeded end to end (``--seed``), with Chrome-trace and
   JSON-report outputs and an equal-budget round-robin comparison
   (``--compare-round-robin``).
+* ``decode-sim`` — mixed prefill/decode serving over the fused
+  attention and KV-cache models: autoregressive streams arrive, prefill
+  (fused row-tiled schedule), then generate tokens step by step while
+  new prefills compete for the device (``--policy decode_priority`` or
+  ``prefill_chunk``), with KV residency priced through the memory
+  system (``--kv-capacity-kib``, ``--memory-preset``).
 * ``fault-campaign`` — sweep fault site x mode over seeded injection
   trials, report ABFT detection/correction/silent-corruption rates and
   the protection's cycle overhead.
@@ -258,6 +264,83 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_path", metavar="PATH",
         help="write the full cluster report (summary + per-tenant + "
              "per-pool + registry series) as JSON",
+    )
+    decode = sub.add_parser(
+        "decode-sim",
+        help="mixed prefill/decode serving over the fused-attention "
+             "and KV-cache models",
+    )
+    decode.add_argument(
+        "--policy", choices=("decode_priority", "prefill_chunk"),
+        default="decode_priority",
+        help="prefill/decode interleaving policy (default: "
+             "decode_priority)",
+    )
+    decode.add_argument(
+        "--streams", type=int, default=32,
+        help="generation streams to simulate (default: 32)",
+    )
+    decode.add_argument(
+        "--rate", type=float, default=200.0,
+        help="mean Poisson stream arrival rate, streams/s (default: 200)",
+    )
+    decode.add_argument(
+        "--prefill-min", type=int, default=96,
+        help="minimum prompt length in tokens (default: 96)",
+    )
+    decode.add_argument(
+        "--prefill-max", type=int, default=256,
+        help="maximum prompt length in tokens (default: 256)",
+    )
+    decode.add_argument(
+        "--decode-min", type=int, default=8,
+        help="minimum generated tokens per stream (default: 8)",
+    )
+    decode.add_argument(
+        "--decode-max", type=int, default=32,
+        help="maximum generated tokens per stream (default: 32)",
+    )
+    decode.add_argument(
+        "--max-decode-batch", type=int, default=8,
+        help="decode streams stepped together per dispatch (default: 8)",
+    )
+    decode.add_argument(
+        "--kv-capacity-kib", type=float, default=None,
+        help="on-chip KV budget per device in KiB; 0 = always-refetch "
+             "(default: the Table II BRAM weight-memory budget)",
+    )
+    decode.add_argument(
+        "--devices", type=int, default=1,
+        help="simulated accelerator count (default: 1)",
+    )
+    decode.add_argument(
+        "--queue-capacity", type=int, default=256,
+        help="pending-stream bound before rejection (default: 256)",
+    )
+    decode.add_argument(
+        "--seed", type=int, default=0,
+        help="workload RNG seed (default: 0)",
+    )
+    decode.add_argument(
+        "--memory-preset", default=None, metavar="NAME",
+        help="named off-chip link pricing KV refetch (lpddr4-2133, "
+             "ddr4-2400, ddr4-3200, hbm2-pc, unlimited)",
+    )
+    decode.add_argument(
+        "--bandwidth-gbps", type=float, default=None,
+        help="override the off-chip link's peak GB/s",
+    )
+    decode.add_argument(
+        "--compare-policies", action="store_true",
+        help="also run the other policy on the same workload and show "
+             "the prefill-p99 / tokens-per-s trade",
+    )
+    decode.add_argument(
+        "--trace-out", help="optional Chrome trace JSON output path"
+    )
+    decode.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="write the repro_decode_* metrics registry as JSON",
     )
     profile = sub.add_parser(
         "profile",
@@ -711,6 +794,93 @@ def _cmd_cluster_sim(args) -> None:
         print(f"wrote cluster report to {args.json_path}")
 
 
+def _cmd_decode_sim(args) -> None:
+    from .config import DecodeConfig, MemoryConfig
+    from .decode import simulate_decode
+    from .memsys import memory_preset
+    from .telemetry import MetricsRegistry, write_json
+
+    model, acc = _configs(args)
+    mem = None
+    if args.memory_preset is not None or args.bandwidth_gbps is not None:
+        mem = (memory_preset(args.memory_preset)
+               if args.memory_preset is not None else MemoryConfig())
+        if args.bandwidth_gbps is not None:
+            mem = mem.with_updates(bandwidth_gbps=args.bandwidth_gbps)
+    decode = DecodeConfig(
+        arrival_rate_rps=args.rate,
+        num_streams=args.streams,
+        prefill_len_min=args.prefill_min,
+        prefill_len_max=args.prefill_max,
+        decode_tokens_min=args.decode_min,
+        decode_tokens_max=args.decode_max,
+        policy=args.policy,
+        max_decode_batch=args.max_decode_batch,
+        kv_capacity_bytes=(
+            None if args.kv_capacity_kib is None
+            else int(args.kv_capacity_kib * 1024)
+        ),
+        num_devices=args.devices,
+        queue_capacity=args.queue_capacity,
+        seed=args.seed,
+        memory=mem,
+    )
+    registry = MetricsRegistry()
+    result = simulate_decode(model, acc, decode, registry=registry)
+    m = result.metrics
+
+    def metric_rows(metrics):
+        return [
+            ["streams offered / completed / rejected",
+             f"{metrics.offered} / {metrics.completed} / "
+             f"{metrics.rejected}"],
+            ["decode steps / batches",
+             f"{metrics.decode_steps} / {metrics.decode_batches}"],
+            ["prefill chunks", str(metrics.prefill_chunks)],
+            ["decoded tokens", str(metrics.decoded_tokens)],
+            ["throughput", f"{metrics.tokens_per_s:.1f} tok/s"],
+            ["prefill latency p50 / p99",
+             f"{metrics.prefill_p50_us:.0f} / "
+             f"{metrics.prefill_p99_us:.0f} us"],
+            ["mean inter-token latency",
+             f"{metrics.mean_token_latency_us:.1f} us"],
+            ["KV-cache hit rate", f"{metrics.kv_hit_rate:.1%}"],
+            ["KV refetch cycles", f"{metrics.kv_refetch_cycles:,}"],
+            ["makespan", f"{metrics.makespan_us:.0f} us"],
+        ]
+
+    print(render_table(
+        f"decode — {model.name}, {args.devices} device(s), "
+        f"policy {args.policy}, {args.streams} streams, seed {args.seed}",
+        ["metric", "value"], metric_rows(m),
+    ))
+    if args.compare_policies:
+        other_policy = ("prefill_chunk" if args.policy == "decode_priority"
+                        else "decode_priority")
+        other = simulate_decode(
+            model, acc, decode.with_updates(policy=other_policy)
+        ).metrics
+        print()
+        print(render_table(
+            "policy comparison (same workload)",
+            ["metric", args.policy, other_policy],
+            [["tokens/s", f"{m.tokens_per_s:.1f}",
+              f"{other.tokens_per_s:.1f}"],
+             ["prefill p99", f"{m.prefill_p99_us:.0f} us",
+              f"{other.prefill_p99_us:.0f} us"],
+             ["mean inter-token", f"{m.mean_token_latency_us:.1f} us",
+              f"{other.mean_token_latency_us:.1f} us"],
+             ["KV hit rate", f"{m.kv_hit_rate:.1%}",
+              f"{other.kv_hit_rate:.1%}"]],
+        ))
+    if args.trace_out:
+        count = result.write_trace(args.trace_out)
+        print(f"\nwrote {count} trace events to {args.trace_out}")
+    if args.json_path:
+        write_json(registry, args.json_path)
+        print(f"wrote decode metrics JSON to {args.json_path}")
+
+
 def _cmd_fault_campaign(args) -> None:
     from .reliability import (
         CampaignSpec,
@@ -814,6 +984,15 @@ def _cmd_profile(args) -> int:
             f"model says {closed:,} — "
             + ("exact match" if agree else "MISMATCH")
         )
+        # Padding waste: streamed cycles count every SA column the
+        # array clocked, effective cycles only the useful MACs — the
+        # gap is the zero-padding of partial tiles (near-zero at full
+        # prefill rows, ~(s-1)/s for a one-row decode pass).
+        print(
+            f"SA utilization: {result.sa_utilization:.1%} effective "
+            f"(useful MACs) vs {result.padded_sa_utilization:.1%} "
+            f"streamed (incl. zero-padded rows)"
+        )
         print()
         if not agree:
             mismatch = True
@@ -901,6 +1080,7 @@ _COMMANDS = {
     "bench-diff": _cmd_bench_diff,
     "check": _cmd_check,
     "cluster-sim": _cmd_cluster_sim,
+    "decode-sim": _cmd_decode_sim,
     "profile": _cmd_profile,
     "fault-campaign": _cmd_fault_campaign,
     "memsys": _cmd_memsys,

@@ -22,7 +22,7 @@ Heterogeneity enters through the cost model:
 from __future__ import annotations
 
 from collections import deque
-from typing import Union
+from typing import Optional, Union
 
 from ..config import AcceleratorConfig, ClusterConfig, ModelConfig, PoolConfig
 from ..gpu_model.kernels import ffn_resblock_kernels, mha_resblock_kernels
@@ -183,6 +183,20 @@ class PoolRuntime:
         wait_for_device = max(0.0, self.workers.next_free_us() - now_us)
         backlog_batches = len(self.queue) / self.batcher.max_requests
         return now_us + wait_for_device + (backlog_batches + 1.0) * self.run_us
+
+    def decode_step_us(self, context_len: int) -> Optional[float]:
+        """Per-token decode latency on this pool's hardware.
+
+        Duck-typed through the cost model: FPGA pools price the step
+        via :meth:`BatchCostModel.decode_step_cycles` (the
+        ``repro.decode`` schedule); GPU pools have no decode-step
+        cycle model yet and return ``None`` so routers can skip them
+        for latency-bound generation traffic.
+        """
+        step = getattr(self.cost, "decode_step_cycles", None)
+        if step is None:
+            return None
+        return self.cost.acc.cycles_to_us(step(context_len))
 
     def observe_completion(
         self, completion_us: float, latency_us: float, alpha: float

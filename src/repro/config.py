@@ -895,3 +895,93 @@ class ServingConfig:
     def with_updates(self, **changes: object) -> ServingConfig:
         """Return a copy of this config with the given fields replaced."""
         return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class DecodeConfig:
+    """Parameters of one mixed prefill/decode run (:mod:`repro.decode`).
+
+    Attributes:
+        arrival_rate_rps: Mean Poisson stream arrival rate (streams/s).
+        num_streams: Number of generation streams for the run.
+        prefill_len_min / prefill_len_max: Prompt-length bounds in
+            tokens (uniform); prompts longer than the SA's rows run as
+            fused row-tiled prefill.
+        decode_tokens_min / decode_tokens_max: Tokens generated per
+            stream after prefill (uniform).
+        policy: Interleaving policy when prefills and decode steps
+            compete for a device: ``"decode_priority"`` dispatches
+            pending decode steps before any queued prefill (protects
+            inter-token latency), ``"prefill_chunk"`` splits each
+            prefill into its 64-row tiles and round-robins chunks with
+            decode batches (protects time-to-first-token under load).
+        max_decode_batch: Upper bound on decode streams stepped together
+            in one dispatch (batch cost = slowest member's step +
+            everyone's KV refetch).
+        kv_capacity_bytes: On-chip KV budget per device; ``None`` uses
+            the Table II BRAM default, ``0`` forces always-refetch.
+        kv_page_tokens: Tokens per KV residency page (one SA pass).
+        num_devices: Simulated accelerator count.
+        queue_capacity: Pending-stream bound; arrivals beyond it are
+            rejected.
+        seed: RNG seed; fixing it makes the run fully deterministic.
+        memory: Off-chip link pricing KV refetch (``None`` = free).
+    """
+
+    arrival_rate_rps: float = 200.0
+    num_streams: int = 32
+    prefill_len_min: int = 96
+    prefill_len_max: int = 256
+    decode_tokens_min: int = 8
+    decode_tokens_max: int = 32
+    policy: str = "decode_priority"
+    max_decode_batch: int = 8
+    kv_capacity_bytes: Optional[int] = None
+    kv_page_tokens: int = 64
+    num_devices: int = 1
+    queue_capacity: int = 256
+    seed: int = 0
+    memory: Optional[MemoryConfig] = None
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on invalid decode parameters."""
+        if self.arrival_rate_rps <= 0:
+            raise ConfigError("arrival_rate_rps must be positive")
+        if self.num_streams <= 0:
+            raise ConfigError("num_streams must be positive")
+        if not 0 < self.prefill_len_min <= self.prefill_len_max:
+            raise ConfigError(
+                f"need 0 < prefill_len_min <= prefill_len_max, got "
+                f"[{self.prefill_len_min}, {self.prefill_len_max}]"
+            )
+        if not 0 < self.decode_tokens_min <= self.decode_tokens_max:
+            raise ConfigError(
+                f"need 0 < decode_tokens_min <= decode_tokens_max, got "
+                f"[{self.decode_tokens_min}, {self.decode_tokens_max}]"
+            )
+        if self.policy not in ("decode_priority", "prefill_chunk"):
+            raise ConfigError(
+                f"policy {self.policy!r} is not 'decode_priority' or "
+                "'prefill_chunk'"
+            )
+        if self.max_decode_batch <= 0:
+            raise ConfigError("max_decode_batch must be positive")
+        if self.kv_capacity_bytes is not None and self.kv_capacity_bytes < 0:
+            raise ConfigError(
+                "kv_capacity_bytes must be non-negative (or None)"
+            )
+        if self.kv_page_tokens <= 0:
+            raise ConfigError("kv_page_tokens must be positive")
+        if self.num_devices <= 0:
+            raise ConfigError("num_devices must be positive")
+        if self.queue_capacity <= 0:
+            raise ConfigError("queue_capacity must be positive")
+        if self.memory is not None and not isinstance(self.memory, MemoryConfig):
+            raise ConfigError("memory must be a MemoryConfig (or None)")
+
+    def with_updates(self, **changes: object) -> DecodeConfig:
+        """Return a copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)

@@ -100,10 +100,31 @@ class ScheduleResult:
 
     @property
     def sa_utilization(self) -> float:
-        """Useful-MAC utilization: ideal SA cycles / total latency."""
+        """Effective utilization: ideal (valid-row) SA cycles / latency.
+
+        Counts only useful MACs, so zero-padded rows — a short request
+        in the 64-row array, or a decode step's single valid query row —
+        drag it down.  Compare with :attr:`padded_sa_utilization` to see
+        how much of the gap is padding waste rather than schedule
+        overhead.
+        """
         if self.total_cycles == 0:
             return 0.0
         return self.ideal_sa_cycles / self.total_cycles
+
+    @property
+    def padded_sa_utilization(self) -> float:
+        """Streamed utilization: SA active cycles / total latency.
+
+        Counts every cycle the array streamed operands, including the
+        zero-padded rows it multiplied for nothing.  The ratio
+        ``sa_utilization / padded_sa_utilization`` is the fraction of
+        streamed work that was real — near 1 for full prefill tiles,
+        ``~1/seq_len`` for a single-row decode pass.
+        """
+        if self.total_cycles == 0:
+            return 0.0
+        return self.sa_active_cycles / self.total_cycles
 
     def latency_us(self, clock_mhz: float) -> float:
         return self.total_cycles / clock_mhz

@@ -49,6 +49,9 @@ KNOWN_TRACK_PATTERNS = tuple(_UNIT_TRACKS) + (
     "autoscaler",  # cluster: scale-up/down action markers
     "*.queue_depth",  # cluster: per-pool queue-depth counters
     "*.devices",      # cluster: per-pool active-replica counters
+    "prefill",        # decode: per-stream prefill waits and runs
+    "decode",         # decode: per-batch token-generation steps
+    "kv_cache_hit_rate",  # decode: cumulative KV residency counter
 )
 
 

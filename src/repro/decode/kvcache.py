@@ -1,0 +1,206 @@
+"""KV-cache residency model, priced through :mod:`repro.memsys`.
+
+Autoregressive decode re-reads every past token's K and V rows each
+step.  On this accelerator those rows live in the same BRAM pool the
+Table II budget sizes (:func:`default_kv_cache_bytes` reuses the
+Weight-Memory estimate — the decode datapath repurposes the idle weight
+banks, since cached K/V *are* the weights of the ``q K^T`` and ``p V``
+passes).  What doesn't fit on chip is refetched over the off-chip link
+at :meth:`~repro.config.MemoryConfig.transfer_cycles` prices.
+
+Residency is tracked per 64-token *page* (one SA pass worth of K or V
+rows) with the LRU machinery of
+:class:`~repro.memsys.cache.WeightCache`, keyed
+``s{stream}.l{layer}.{self|cross}.p{page}``.  A zero-capacity cache is
+the always-refetch mode: every lookup misses in full and nothing is
+retained — the upper bound a host-DRAM-resident KV cache would pay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import AcceleratorConfig, MemoryConfig, ModelConfig
+from ..errors import MemoryModelError
+from ..memsys.cache import WeightCache, default_weight_cache_bytes
+
+__all__ = [
+    "KVCacheModel",
+    "KVLookup",
+    "default_kv_cache_bytes",
+    "kv_bytes_per_token",
+]
+
+#: Tokens per residency page — one zero-padded SA pass worth of rows.
+DEFAULT_PAGE_TOKENS = 64
+
+
+def kv_bytes_per_token(model: ModelConfig, acc: AcceleratorConfig) -> int:
+    """Bytes of one token's K and V rows across all heads (one layer)."""
+    return 2 * model.d_model * acc.act_bits // 8
+
+
+def default_kv_cache_bytes(
+    model: ModelConfig, acc: AcceleratorConfig
+) -> int:
+    """KV capacity implied by the Table II BRAM budget (456 banks)."""
+    return default_weight_cache_bytes(model, acc)
+
+
+@dataclass(frozen=True)
+class KVLookup:
+    """Outcome of one decode step's K/V residency check.
+
+    Attributes:
+        pages: Pages the step touched (``ceil(context_len / 64)``).
+        hits / misses: Page-granular outcome split
+            (``hits + misses == pages`` always — the conservation law
+            the telemetry tests pin).
+        missed_bytes: Off-chip bytes behind the misses.
+        refetch_cycles: Link cycles to re-read them (0 with unlimited
+            memory — residency still tracked, refetch free).
+    """
+
+    pages: int
+    hits: int
+    misses: int
+    missed_bytes: int
+    refetch_cycles: int
+
+
+class KVCacheModel:
+    """Page-granular LRU residency of per-layer K/V in the BRAM budget.
+
+    Args:
+        model / acc: Shapes and word widths (page size in bytes).
+        capacity_bytes: On-chip budget; ``None`` uses the Table II
+            default, ``0`` selects always-refetch mode.
+        mem: Off-chip link pricing misses; ``None``/unlimited makes
+            refetch free while still tracking residency.
+        page_tokens: Tokens per page (default one 64-row SA pass).
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        acc: AcceleratorConfig,
+        capacity_bytes: Optional[int] = None,
+        mem: Optional[MemoryConfig] = None,
+        page_tokens: int = DEFAULT_PAGE_TOKENS,
+    ) -> None:
+        if page_tokens <= 0:
+            raise MemoryModelError("page_tokens must be positive")
+        if capacity_bytes is None:
+            capacity_bytes = default_kv_cache_bytes(model, acc)
+        if capacity_bytes < 0:
+            raise MemoryModelError("capacity_bytes must be non-negative")
+        self.model = model
+        self.acc = acc
+        self.mem = mem
+        self.capacity_bytes = int(capacity_bytes)
+        self.page_tokens = page_tokens
+        self.page_bytes = page_tokens * kv_bytes_per_token(model, acc)
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        # WeightCache requires a positive capacity; zero-capacity mode
+        # (always-refetch) never retains anything, so no LRU is needed.
+        self._lru = (
+            WeightCache(self.capacity_bytes)
+            if self.capacity_bytes > 0 else None
+        )
+
+    @property
+    def evictions(self) -> int:
+        return self._lru.evictions if self._lru is not None else 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._lru.used_bytes if self._lru is not None else 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def layer_set_bytes(self, context_len: int) -> int:
+        """On-chip bytes of one layer's full K/V set at ``context_len``."""
+        if context_len <= 0:
+            raise MemoryModelError("context_len must be positive")
+        pages = -(-context_len // self.page_tokens)
+        return pages * self.page_bytes
+
+    def _refetch_cycles(self, missed_bytes: int) -> int:
+        if missed_bytes == 0 or self.mem is None or self.mem.is_unlimited:
+            return 0
+        return self.mem.transfer_cycles(missed_bytes, self.acc.clock_mhz)
+
+    def lookup(
+        self,
+        stream: int,
+        layer: int,
+        context_len: int,
+        kind: str = "self",
+    ) -> KVLookup:
+        """Touch every K/V page one decode step at ``context_len`` reads.
+
+        Pages are touched oldest-first (the order the ``q K^T`` chunk
+        passes consume them), so under pressure the LRU keeps the tail
+        of the context — the pages the *next* step reads last.
+        """
+        if kind not in ("self", "cross"):
+            raise MemoryModelError(
+                f"kind {kind!r} is not 'self' or 'cross'"
+            )
+        if context_len <= 0:
+            raise MemoryModelError("context_len must be positive")
+        pages = -(-context_len // self.page_tokens)
+        hits = 0
+        if self._lru is not None:
+            for page in range(pages):
+                key = f"s{stream}.l{layer}.{kind}.p{page}"
+                if self._lru.access(key, self.page_bytes):
+                    hits += 1
+        misses = pages - hits
+        self.lookups += pages
+        self.hits += hits
+        self.misses += misses
+        missed_bytes = misses * self.page_bytes
+        return KVLookup(
+            pages=pages,
+            hits=hits,
+            misses=misses,
+            missed_bytes=missed_bytes,
+            refetch_cycles=self._refetch_cycles(missed_bytes),
+        )
+
+    def populate(
+        self, stream: int, layer: int, context_len: int, kind: str = "self"
+    ) -> None:
+        """Insert a prefill's K/V pages without counting lookups.
+
+        Prefill *produces* the pages (writes), so residency is seeded
+        but the hit/miss statistics — which describe decode-step
+        *reads* — are left untouched.  No-op in zero-capacity mode.
+        """
+        if self._lru is None:
+            return
+        if context_len <= 0:
+            raise MemoryModelError("context_len must be positive")
+        pages = -(-context_len // self.page_tokens)
+        saved = (self._lru.hits, self._lru.misses)
+        for page in range(pages):
+            self._lru.access(
+                f"s{stream}.l{layer}.{kind}.p{page}", self.page_bytes
+            )
+        self._lru.hits, self._lru.misses = saved
+
+    def evict_stream(self, stream: int) -> None:
+        """Drop a finished stream's pages (frees capacity immediately)."""
+        if self._lru is None:
+            return
+        prefix = f"s{stream}."
+        stale = [key for key in self._lru if key.startswith(prefix)]
+        for key in stale:
+            self._lru.remove(key)

@@ -66,6 +66,10 @@ class WeightCache:
     def __contains__(self, block: str) -> bool:
         return block in self._entries
 
+    def __iter__(self):
+        """Resident block names, least-recently-used first."""
+        return iter(self._entries)
+
     def access(self, block: str, num_bytes: int) -> bool:
         """Touch ``block``; return True on a hit, else insert (LRU).
 
@@ -87,3 +91,13 @@ class WeightCache:
                 self.evictions += 1
             self._entries[block] = num_bytes
         return False
+
+    def remove(self, block: str) -> bool:
+        """Drop ``block`` without counting an eviction (owner freed it).
+
+        Returns True if the block was resident.  Capacity-pressure
+        evictions stay in :attr:`evictions`; explicit removal is the
+        owner releasing storage (e.g. a finished decode stream's KV
+        pages), not the cache running out of room.
+        """
+        return self._entries.pop(block, None) is not None

@@ -20,6 +20,7 @@ from .interval import Interval, envelope
 from .overflow import (
     OverflowPoint,
     StageBound,
+    certify_fused_softmax,
     certify_layernorm,
     certify_overflow,
     certify_sa_accumulators,
@@ -46,6 +47,7 @@ __all__ = [
     "SEED_BUGS",
     "SEVERITIES",
     "StageBound",
+    "certify_fused_softmax",
     "certify_layernorm",
     "certify_overflow",
     "certify_sa_accumulators",

@@ -100,6 +100,12 @@ class OverflowPoint:
             bus after requantization.
         layernorm_sum_bits: Declared width of the ``sum G`` register.
         layernorm_sumsq_bits: Declared width of the ``sum G^2`` register.
+        fused_max_seq: Largest prefill length the fused online-softmax
+            running-sum register is certified for
+            (:func:`repro.decode.schedule_fused_mha` tiles arbitrary
+            ``s``; the accumulator must absorb the whole row).
+        fused_sum_int_bits: Integer bits (incl. sign) of the fused
+            running-sum register's Q-format.
     """
 
     name: str = "paper"
@@ -117,11 +123,15 @@ class OverflowPoint:
     layernorm_sq_bits: int = 36
     layernorm_sum_bits: int = 40
     layernorm_sumsq_bits: int = 48
+    fused_max_seq: int = 4096
+    fused_sum_int_bits: int = 14
 
     def __post_init__(self) -> None:
-        for field_name in ("s", "h", "d_model", "d_ff"):
+        for field_name in ("s", "h", "d_model", "d_ff", "fused_max_seq"):
             if getattr(self, field_name) <= 0:
                 raise ConfigError(f"{field_name} must be positive")
+        if self.fused_sum_int_bits < 1:
+            raise ConfigError("fused_sum_int_bits must include a sign bit")
         if self.d_model % self.h != 0:
             raise ConfigError("d_model must be divisible by h")
         for field_name in ("act_bits", "weight_bits", "sa_acc_bits"):
@@ -400,6 +410,99 @@ def certify_softmax(
     return stages, findings
 
 
+def certify_fused_softmax(
+    point: OverflowPoint,
+) -> tuple[list[StageBound], list[Finding]]:
+    """Certify the fused online-softmax accumulators of ``repro.decode``.
+
+    The fused prefill schedule
+    (:func:`repro.decode.schedule_fused_mha`) streams a row of up to
+    ``fused_max_seq`` logits through three running registers instead of
+    materializing the score matrix:
+
+    * the **running max** ``m`` — a compare/select over codes already in
+      ``softmax_fmt``, so its range is exactly the input format's;
+    * the **rescale factor** ``exp(m_old - m_new)`` — the argument is
+      non-positive by construction (the max is monotone), so the EXP
+      output stays in ``[0, 1 + eps]`` of ``out_fmt``;
+    * the **running sum** ``l`` — up to ``fused_max_seq`` EXP outputs
+      accumulate into a ``Q(fused_sum_int_bits, exp_out_frac_bits)``
+      register (each rescale multiplies by a factor <= 1, so the
+      no-rescale straight sum is the sound worst case).
+
+    A running sum that does not fit yields OVF001 with the exact
+    breaking ``s`` (largest row the register provably absorbs).
+    """
+    exp = ExpUnit(
+        in_fmt=point.softmax_fmt, out_frac_bits=point.exp_out_frac_bits
+    )
+    stages: list[StageBound] = []
+    findings: list[Finding] = []
+
+    running_max = Interval.from_qformat(point.softmax_fmt)
+    stages.append(StageBound(
+        name="fused.softmax.running_max",
+        interval=running_max,
+        declared_bits=point.softmax_fmt.total_bits,
+        required_bits=running_max.required_signed_bits,
+        description=(
+            f"online-softmax running-max register ({point.softmax_fmt}; "
+            "compare/select — no arithmetic growth)"
+        ),
+    ))
+
+    exp_out = _exp_output_interval(exp)
+    stages.append(StageBound(
+        name="fused.softmax.rescale",
+        interval=exp_out,
+        declared_bits=exp.out_fmt.total_bits,
+        required_bits=exp_out.required_signed_bits,
+        description=(
+            f"exp(m_old - m_new) rescale factor ({exp.out_fmt}; "
+            "argument non-positive, value <= 1)"
+        ),
+    ))
+
+    sum_fmt = QFormat(
+        int_bits=point.fused_sum_int_bits,
+        frac_bits=point.exp_out_frac_bits,
+    )
+    running_sum = exp_out.accumulate(point.fused_max_seq)
+    sum_stage = StageBound(
+        name="fused.softmax.running_sum",
+        interval=running_sum,
+        declared_bits=sum_fmt.total_bits,
+        required_bits=running_sum.required_signed_bits,
+        description=(
+            f"online-softmax running-sum register ({sum_fmt}, certified "
+            f"to s <= {point.fused_max_seq})"
+        ),
+    )
+    stages.append(sum_stage)
+    if not running_sum.fits_qformat(sum_fmt):
+        max_s = sum_fmt.max_code // exp_out.hi
+        findings.append(Finding(
+            code="OVF001",
+            check="overflow",
+            message=(
+                f"fused online-softmax running sum overflows at "
+                f"s={point.fused_max_seq}: worst case {running_sum} "
+                f"exceeds {sum_fmt} (max s that fits: {max_s})"
+            ),
+            details={
+                "stage": "fused.softmax.running_sum",
+                "bound": [running_sum.lo, running_sum.hi],
+                "declared_bits": sum_fmt.total_bits,
+                "required_bits": sum_stage.required_bits,
+                "breaking_config": {
+                    "s": point.fused_max_seq,
+                    "max_fitting_s": max_s,
+                },
+            },
+        ))
+    return stages, findings
+
+
 def certify_layernorm(
     point: OverflowPoint,
 ) -> tuple[list[StageBound], list[Finding]]:
@@ -540,7 +643,10 @@ def certify_overflow(
     stages: list[StageBound] = []
     findings: list[Finding] = []
     for pass_fn in (
-        certify_sa_accumulators, certify_softmax, certify_layernorm
+        certify_sa_accumulators,
+        certify_softmax,
+        certify_fused_softmax,
+        certify_layernorm,
     ):
         pass_stages, pass_findings = pass_fn(point)
         stages.extend(pass_stages)

@@ -14,7 +14,8 @@ and :class:`~repro.core.trace.TraceSpan` stream must obey:
   :class:`~repro.core.cycle_model.CycleBreakdown`, and the SA events'
   active cycles equal the breakdown's ``active_cycles`` term.
 * ``SCH005`` — pinned paper points: the Transformer-base schedules
-  reproduce the frozen 21578 / 39052 / 21834 cycle totals.
+  reproduce the frozen 21578 / 39052 / 21834 cycle totals, plus the
+  decode-subsystem points (fused s=512 prefill, one decode step).
 * ``SPN001``/``SPN002`` — the same exclusivity / well-formedness checks
   for :class:`TraceSpan` streams (serving traces), with exclusive
   tracks selected by fnmatch patterns.
@@ -54,6 +55,11 @@ PINNED_PAPER_POINTS: tuple[tuple[str, dict[str, int], str, int], ...] = (
     ("wl8", {"weight_load_cycles": 8}, "ffn", 39_372),
     ("wl64", {"weight_load_cycles": 64}, "mha", 23_626),
     ("wl64", {"weight_load_cycles": 64}, "ffn", 41_612),
+    # Decode-subsystem points: the fused online-softmax prefill at
+    # s = 512 and one autoregressive decode step at context 64 (which
+    # is structurally the base MHA schedule, hence the shared total).
+    ("paper", {}, "fused512", 312_538),
+    ("paper", {}, "decode64", 21_578),
 )
 
 #: Span tracks that model an exclusive resource in serving traces.
@@ -193,9 +199,23 @@ def lint_paper_points(
         if block == "mha":
             result = schedule_mha(model, point_acc)
             breakdown = mha_cycle_breakdown(model, point_acc)
-        else:
+        elif block == "ffn":
             result = schedule_ffn(model, point_acc)
             breakdown = ffn_cycle_breakdown(model, point_acc)
+        elif block == "fused512":
+            # Lazy import: repro.decode builds on repro.core; pulling
+            # it in at module scope would make the core lint depend on
+            # the decode subsystem even when it is never checked.
+            from ..decode import fused_mha_breakdown, schedule_fused_mha
+            result = schedule_fused_mha(model, point_acc, 512)
+            breakdown = fused_mha_breakdown(model, point_acc, 512)
+        else:  # decode64
+            from ..decode import (
+                decode_step_breakdown,
+                schedule_decode_step,
+            )
+            result = schedule_decode_step(model, point_acc, 64)
+            breakdown = decode_step_breakdown(model, point_acc, 64)
         findings.extend(lint_schedule(result, breakdown))
         if result.total_cycles != pinned:
             findings.append(Finding(

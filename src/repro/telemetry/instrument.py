@@ -49,6 +49,26 @@ source, ``pool`` the device pool, ``policy`` the router policy):
   (plus the unlabeled cluster-wide series),
   ``repro_cluster_pool_busy_fraction{pool}``,
   ``repro_cluster_throughput_rps``, ``repro_cluster_makespan_us``.
+
+Decode schema (:mod:`repro.decode`; ``policy`` is the interleaving
+policy, ``outcome`` a KV-residency hit/miss):
+
+* ``repro_decode_streams_total{outcome}`` — stream outcomes
+  (``completed`` / ``rejected``);
+* ``repro_decode_steps_total{policy}`` — per-token decode steps run;
+* ``repro_decode_batches_total{policy}`` /
+  ``repro_decode_prefill_chunks_total{policy}`` — dispatch accounting;
+* ``repro_decode_tokens_total`` — tokens emitted (prefill first token
+  plus decode steps);
+* ``repro_decode_kv_lookups_total{outcome}`` — page-granular KV
+  residency reads (hits + misses == lookups, by construction);
+* ``repro_decode_kv_refetch_cycles_total`` — off-chip cycles re-reading
+  evicted K/V pages;
+* ``repro_decode_prefill_latency_us`` — arrival-to-first-token
+  histogram;
+* ``repro_decode_token_latency_us`` — per-step inter-token histogram;
+* gauges set at summary time: ``repro_decode_tokens_per_s``,
+  ``repro_decode_kv_hit_rate``, ``repro_decode_makespan_us``.
 """
 
 from __future__ import annotations
@@ -126,6 +146,89 @@ def record_campaign(result, registry: MetricsRegistry) -> None:
             corrections.inc(1, **labels)
         if outcome.silent:
             silent.inc(1, **labels)
+
+
+def record_decode(
+    registry: MetricsRegistry,
+    *,
+    policy: str,
+    metrics,
+    prefill_latencies_us: list,
+    token_gaps_us: list,
+    kv_hits: int,
+    kv_misses: int,
+) -> None:
+    """Record one mixed prefill/decode run's ``repro_decode_*`` series.
+
+    ``metrics`` is a :class:`~repro.decode.serving.DecodeMetrics` (duck
+    typed).  Defines the decode schema (see the module docstring) in
+    one place, mirroring :func:`record_cluster`.
+    """
+    streams = registry.counter(
+        "repro_decode_streams_total",
+        "Generation streams by final outcome",
+    )
+    if metrics.completed:
+        streams.inc(metrics.completed, outcome="completed")
+    if metrics.rejected:
+        streams.inc(metrics.rejected, outcome="rejected")
+    if metrics.decode_steps:
+        registry.counter(
+            "repro_decode_steps_total",
+            "Per-token decode steps run",
+        ).inc(metrics.decode_steps, policy=policy)
+    if metrics.decode_batches:
+        registry.counter(
+            "repro_decode_batches_total",
+            "Decode-step batch dispatches",
+        ).inc(metrics.decode_batches, policy=policy)
+    if metrics.prefill_chunks:
+        registry.counter(
+            "repro_decode_prefill_chunks_total",
+            "Prefill dispatches (whole prompts or 64-row chunks)",
+        ).inc(metrics.prefill_chunks, policy=policy)
+    if metrics.decoded_tokens:
+        registry.counter(
+            "repro_decode_tokens_total",
+            "Tokens emitted (first token per prefill + decode steps)",
+        ).inc(metrics.decoded_tokens)
+    lookups = registry.counter(
+        "repro_decode_kv_lookups_total",
+        "Page-granular KV residency reads by outcome",
+    )
+    if kv_hits:
+        lookups.inc(kv_hits, outcome="hit")
+    if kv_misses:
+        lookups.inc(kv_misses, outcome="miss")
+    if metrics.kv_refetch_cycles:
+        registry.counter(
+            "repro_decode_kv_refetch_cycles_total",
+            "Off-chip cycles re-reading evicted K/V pages",
+        ).inc(metrics.kv_refetch_cycles)
+    prefill_hist = registry.histogram(
+        "repro_decode_prefill_latency_us",
+        "Arrival-to-first-token latency of completed prefills (us)",
+    )
+    for value in prefill_latencies_us:
+        prefill_hist.observe(value)
+    token_hist = registry.histogram(
+        "repro_decode_token_latency_us",
+        "Inter-token latency of decode steps (us)",
+    )
+    for value in token_gaps_us:
+        token_hist.observe(value)
+    registry.gauge(
+        "repro_decode_tokens_per_s",
+        "Decode-run token throughput over the makespan",
+    ).set(metrics.tokens_per_s)
+    registry.gauge(
+        "repro_decode_kv_hit_rate",
+        "Cumulative KV-cache page hit rate of the run",
+    ).set(metrics.kv_hit_rate)
+    registry.gauge(
+        "repro_decode_makespan_us",
+        "First arrival to last completion (us)",
+    ).set(metrics.makespan_us)
 
 
 def record_cluster(

@@ -1,0 +1,131 @@
+"""Mixed prefill/decode serving simulator: determinism, policies, spans."""
+
+import dataclasses
+import json
+from fnmatch import fnmatch
+
+from repro.config import AcceleratorConfig, DecodeConfig, MemoryConfig, ModelConfig
+from repro.core.trace import KNOWN_TRACK_PATTERNS
+from repro.decode import simulate_decode
+from repro.statcheck import lint_spans
+from repro.telemetry import MetricsRegistry, to_json
+
+
+def base_model() -> ModelConfig:
+    return ModelConfig(
+        "base", d_model=512, d_ff=2048, num_heads=8,
+        num_encoder_layers=6, num_decoder_layers=6, max_seq_len=64,
+    )
+
+
+def loaded_config(**overrides) -> DecodeConfig:
+    base = dict(
+        arrival_rate_rps=400.0,
+        num_streams=10,
+        prefill_len_min=96,
+        prefill_len_max=256,
+        decode_tokens_min=8,
+        decode_tokens_max=24,
+        kv_capacity_bytes=256 * 1024,
+        memory=MemoryConfig(bandwidth_gbps=10.0),
+        seed=0,
+    )
+    base.update(overrides)
+    return DecodeConfig(**base)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_metrics(self):
+        acc = AcceleratorConfig()
+        a = simulate_decode(base_model(), acc, loaded_config())
+        b = simulate_decode(base_model(), acc, loaded_config())
+        assert a.metrics == b.metrics
+        assert [dataclasses.astuple(s) for s in a.spans] == \
+            [dataclasses.astuple(s) for s in b.spans]
+
+    def test_seed_changes_the_run(self):
+        acc = AcceleratorConfig()
+        a = simulate_decode(base_model(), acc, loaded_config(seed=0))
+        b = simulate_decode(base_model(), acc, loaded_config(seed=7))
+        assert a.metrics != b.metrics
+
+
+class TestPolicies:
+    def test_prefill_chunking_protects_ttft(self):
+        acc = AcceleratorConfig()
+        prio = simulate_decode(
+            base_model(), acc, loaded_config(policy="decode_priority")
+        ).metrics
+        chunk = simulate_decode(
+            base_model(), acc, loaded_config(policy="prefill_chunk")
+        ).metrics
+        # Chunked prefills interleave with decode, so queued prompts
+        # start (and finish) dramatically earlier under load.
+        assert chunk.prefill_p99_us < prio.prefill_p99_us
+        assert chunk.prefill_chunks > prio.prefill_chunks
+        # Both complete every stream and emit every token.
+        assert prio.completed == chunk.completed == 10
+        assert prio.decoded_tokens == chunk.decoded_tokens
+
+    def test_queue_pressure_rejects_streams(self):
+        cfg = loaded_config(
+            num_streams=16, queue_capacity=1, arrival_rate_rps=100000.0
+        )
+        result = simulate_decode(base_model(), AcceleratorConfig(), cfg)
+        assert result.metrics.rejected > 0
+        assert result.metrics.offered == 16
+        assert result.metrics.completed + result.metrics.rejected == 16
+        rejected = [r for r in result.records if r.status == "rejected"]
+        assert len(rejected) == result.metrics.rejected
+
+
+class TestSpansAndTelemetry:
+    def test_all_tracks_are_registered_patterns(self):
+        result = simulate_decode(
+            base_model(), AcceleratorConfig(), loaded_config()
+        )
+        tracks = {span.track for span in result.spans}
+        assert tracks   # prefill + decode + device rows at minimum
+        for track in tracks:
+            assert any(
+                fnmatch(track, pattern)
+                for pattern in KNOWN_TRACK_PATTERNS
+            ), f"track {track!r} not in KNOWN_TRACK_PATTERNS"
+
+    def test_device_tracks_lint_clean(self):
+        result = simulate_decode(
+            base_model(), AcceleratorConfig(),
+            loaded_config(num_devices=2),
+        )
+        assert lint_spans(result.spans) == []
+
+    def test_registry_exports_decode_schema(self):
+        registry = MetricsRegistry()
+        result = simulate_decode(
+            base_model(), AcceleratorConfig(), loaded_config(),
+            registry=registry,
+        )
+        names = {m["name"] for m in to_json(registry)["metrics"]}
+        assert {
+            "repro_decode_streams_total",
+            "repro_decode_steps_total",
+            "repro_decode_tokens_total",
+            "repro_decode_kv_lookups_total",
+            "repro_decode_tokens_per_s",
+            "repro_decode_kv_hit_rate",
+            "repro_decode_prefill_latency_us",
+            "repro_decode_token_latency_us",
+        } <= names
+        assert result.metrics.decoded_tokens > 0
+
+    def test_trace_round_trips_as_chrome_json(self, tmp_path):
+        result = simulate_decode(
+            base_model(), AcceleratorConfig(), loaded_config()
+        )
+        path = tmp_path / "decode_trace.json"
+        count = result.write_trace(str(path))
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == count
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert "X" in phases and "C" in phases  # spans + KV counter
+        assert payload["otherData"]["policy"] == "decode_priority"

@@ -1,0 +1,120 @@
+"""Golden functional tests: decode-step == full-sequence attention.
+
+The decode subsystem's *cycle* models are checked elsewhere; these
+tests pin the *functional* contract they price: a single-token decode
+step through the fixed-point datapath produces bit-identical codes to
+the same token's row of a full-sequence run, and the streamed
+(online-softmax) path reproduces the batch softmax exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import AcceleratorConfig
+from repro.core.streaming import StreamingSoftmax
+from repro.decode import kv_bytes_per_token
+from repro.quant import SOFTMAX_HARDWARE, HardwareSoftmax
+from repro.quant.calibration import Calibrator
+from repro.quant.qmodel import QuantMHAResBlock
+from repro.transformer.incremental import IncrementalDecoder
+from repro.transformer.masks import causal_mask
+
+
+@pytest.fixture
+def quant_block(small_transformer, rng):
+    """A calibrated integer MHA ResBlock with the hardware softmax."""
+    block = small_transformer.decoder.layers[0].self_attn
+    cal = Calibrator(bits=8)
+    qb = QuantMHAResBlock(
+        block, cal, "dec0.self", softmax_mode=SOFTMAX_HARDWARE
+    )
+    t = 12
+    x = rng.normal(size=(1, t, small_transformer.config.d_model))
+    qb.forward_calibrate(x, x, causal_mask(t)[None])
+    cal.freeze()
+    return qb, x, t
+
+
+class TestDecodeStepGolden:
+    def test_last_row_bit_identical_to_full_sequence(self, quant_block):
+        # A decode step is the last query row against the full K/V
+        # context.  Through the whole INT8 datapath — quantized GEMMs,
+        # the Fig. 6 hardware softmax, requantization, LayerNorm — the
+        # step must equal the full-sequence run's last row EXACTLY:
+        # same codes, not merely close.
+        qb, x, t = quant_block
+        mask = causal_mask(t)[None]
+        full = qb.forward_int8(x, x, mask)
+        step = qb.forward_int8(x[:, -1:, :], x, mask[:, -1:, :])
+        assert np.array_equal(full[:, -1, :], step[:, 0, :])
+
+    def test_every_prefix_row_matches(self, quant_block):
+        # The same identity at every context length 1..t (each decode
+        # step of an autoregressive generation).
+        qb, x, t = quant_block
+        mask = causal_mask(t)[None]
+        full = qb.forward_int8(x, x, mask)
+        for ctx in range(1, t + 1):
+            prefix = x[:, :ctx, :]
+            step = qb.forward_int8(
+                prefix[:, -1:, :], prefix, causal_mask(ctx)[None][:, -1:, :]
+            )
+            assert np.array_equal(full[:, ctx - 1, :], step[:, 0, :]), (
+                f"decode step at context {ctx} diverged from the "
+                f"full-sequence row"
+            )
+
+
+class TestStreamingSoftmaxGolden:
+    def test_chunked_stream_equals_batch_softmax(self, rng):
+        # The fused schedule feeds the softmax unit 64-column chunks of
+        # Q K^T as they drain from the SA; the streamed result must be
+        # bit-identical to the one-shot hardware softmax on the full
+        # score matrix.
+        s = 200
+        acc = AcceleratorConfig()
+        logits = rng.normal(scale=4.0, size=(64, s))
+        mask = causal_mask(s)[:64, :]
+        unit = StreamingSoftmax(acc, scale_divisor=8.0)
+        for j in range(s):
+            unit.push_column(logits[:, j], mask[:, j])
+        streamed, events = unit.finalize()
+        batch = HardwareSoftmax(scale_divisor=8.0)(logits, mask)
+        assert np.array_equal(streamed, batch)
+        assert len(events) == s
+
+    def test_running_max_is_the_online_softmax_state(self, rng):
+        # After any prefix of columns the unit's running max equals the
+        # row max over exactly those columns — the m_i register the
+        # fused.softmax.running_max StageBounds certify.
+        s = 130
+        logits = rng.normal(scale=4.0, size=(16, s))
+        unit = StreamingSoftmax(AcceleratorConfig(), scale_divisor=8.0)
+        for chunk_end in (64, 128, s):
+            chunk_start = unit.columns_received
+            for j in range(chunk_start, chunk_end):
+                unit.push_column(logits[:, j])
+            expect = (logits[:, :chunk_end] / 8.0).max(axis=1)
+            assert np.array_equal(unit.running_max, expect)
+
+
+class TestKVFootprintGolden:
+    def test_incremental_cache_matches_kv_accounting(
+        self, small_transformer, small_model_config, rng
+    ):
+        # The functional KV cache in transformer.incremental and the
+        # cycle-model accounting in repro.decode must agree on bytes:
+        # self-attention K/V grows by kv_bytes_per_token per step per
+        # layer (cross-attention K/V is fixed at the source length).
+        acc = AcceleratorConfig(act_bits=8)
+        dec = IncrementalDecoder(small_transformer)
+        src_len = 10
+        dec.start(rng.integers(1, 30, size=src_len))
+        per_token = kv_bytes_per_token(small_model_config, acc)
+        layers = small_model_config.num_decoder_layers
+        cross_bytes = layers * src_len * per_token
+        assert dec.cache_bytes(dtype_bytes=1) == cross_bytes
+        for steps in range(1, 5):
+            dec.step(int(rng.integers(1, 30)))
+            assert dec.cache_bytes(dtype_bytes=1) == \
+                cross_bytes + layers * steps * per_token

@@ -1,0 +1,131 @@
+"""KV-cache residency model: capacity edges and conservation laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AcceleratorConfig, MemoryConfig, ModelConfig
+from repro.decode import (
+    KVCacheModel,
+    default_kv_cache_bytes,
+    kv_bytes_per_token,
+)
+from repro.errors import MemoryModelError
+
+
+def base_model() -> ModelConfig:
+    return ModelConfig(
+        "base", d_model=512, d_ff=2048, num_heads=8,
+        num_encoder_layers=6, num_decoder_layers=6, max_seq_len=64,
+    )
+
+
+def make_cache(capacity_bytes=None, mem=None, page_tokens=64):
+    return KVCacheModel(
+        base_model(), AcceleratorConfig(), capacity_bytes=capacity_bytes,
+        mem=mem, page_tokens=page_tokens,
+    )
+
+
+class TestCapacityEdges:
+    def test_capacity_of_exactly_one_layer_set(self):
+        # The sharpest capacity edge: room for exactly one layer's K/V.
+        # One stream looping over two layers then always evicts the
+        # other layer's pages — every lookup after the first pass of a
+        # layer misses in full.
+        cache = make_cache()
+        cap = cache.layer_set_bytes(256)
+        cache = make_cache(capacity_bytes=cap)
+        first = cache.lookup(stream=0, layer=0, context_len=256)
+        assert first.misses == first.pages == 4
+        # Same layer again: everything resident.
+        again = cache.lookup(stream=0, layer=0, context_len=256)
+        assert again.hits == again.pages
+        # The second layer displaces the first entirely...
+        other = cache.lookup(stream=0, layer=1, context_len=256)
+        assert other.misses == other.pages
+        # ...so revisiting layer 0 misses in full again.
+        back = cache.lookup(stream=0, layer=0, context_len=256)
+        assert back.misses == back.pages
+        assert cache.evictions > 0
+
+    def test_zero_capacity_is_always_refetch(self):
+        mem = MemoryConfig(bandwidth_gbps=10.0)
+        cache = make_cache(capacity_bytes=0, mem=mem)
+        for _ in range(3):
+            look = cache.lookup(stream=0, layer=0, context_len=128)
+            assert look.hits == 0
+            assert look.misses == look.pages
+            assert look.refetch_cycles > 0
+        assert cache.hit_rate == 0.0
+        assert cache.used_bytes == 0
+        # populate() is a no-op without capacity.
+        cache.populate(stream=0, layer=0, context_len=128)
+        assert cache.lookup(0, 0, 128).hits == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(MemoryModelError):
+            make_cache(capacity_bytes=-1)
+
+    def test_default_capacity_holds_a_working_set(self):
+        cache = make_cache()  # Table II BRAM budget (~2 MiB at base)
+        assert cache.capacity_bytes == default_kv_cache_bytes(
+            base_model(), AcceleratorConfig()
+        )
+        cache.populate(stream=0, layer=0, context_len=256)
+        look = cache.lookup(stream=0, layer=0, context_len=256)
+        assert look.hits == look.pages
+
+
+class TestConservation:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.integers(0, 3),      # stream
+            st.integers(0, 5),      # layer
+            st.integers(1, 512),    # context_len
+        ),
+        min_size=1, max_size=40,
+    ), st.sampled_from([0, 64 * 1024, None]))
+    def test_hits_plus_misses_equals_lookups(self, steps, capacity):
+        cache = make_cache(capacity_bytes=capacity)
+        total_pages = 0
+        for stream, layer, context in steps:
+            look = cache.lookup(stream, layer, context)
+            assert look.hits + look.misses == look.pages
+            assert look.missed_bytes == look.misses * cache.page_bytes
+            total_pages += look.pages
+        assert cache.hits + cache.misses == cache.lookups == total_pages
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 512), st.integers(1, 128))
+    def test_layer_set_bytes_matches_page_math(self, context, page_tokens):
+        cache = make_cache(page_tokens=page_tokens)
+        pages = -(-context // page_tokens)
+        assert cache.layer_set_bytes(context) == pages * page_tokens * \
+            kv_bytes_per_token(base_model(), AcceleratorConfig())
+
+
+class TestStreamLifecycle:
+    def test_populate_seeds_residency_without_stats(self):
+        cache = make_cache()
+        cache.populate(stream=0, layer=0, context_len=128)
+        assert cache.lookups == cache.hits == cache.misses == 0
+        look = cache.lookup(stream=0, layer=0, context_len=128)
+        assert look.hits == look.pages
+
+    def test_evict_stream_frees_only_that_stream(self):
+        cache = make_cache()
+        cache.populate(stream=0, layer=0, context_len=128)
+        cache.populate(stream=1, layer=0, context_len=128)
+        used = cache.used_bytes
+        cache.evict_stream(0)
+        assert cache.used_bytes == used // 2
+        assert cache.lookup(1, 0, 128).hits == 2   # stream 1 intact
+        assert cache.lookup(0, 0, 128).misses == 2  # stream 0 gone
+
+    def test_refetch_free_without_memory_system(self):
+        cache = make_cache(capacity_bytes=0, mem=None)
+        look = cache.lookup(0, 0, 256)
+        assert look.misses == look.pages
+        assert look.refetch_cycles == 0

@@ -7,6 +7,7 @@ from repro.errors import ConfigError
 from repro.fixedpoint import FixedPointLayerNorm
 from repro.statcheck import (
     OverflowPoint,
+    certify_fused_softmax,
     certify_layernorm,
     certify_overflow,
     certify_sa_accumulators,
@@ -166,3 +167,57 @@ class TestScaling:
         overflowing = {f.details["stage"] for f in findings}
         assert "sa.acc.ffn_w2" in overflowing
         assert "sa.acc.proj" in overflowing
+
+
+class TestFusedSoftmax:
+    def test_paper_point_certifies_to_4096(self):
+        stages, findings = certify_fused_softmax(paper_point())
+        assert findings == []
+        names = {s.name for s in stages}
+        assert names == {
+            "fused.softmax.running_max",
+            "fused.softmax.rescale",
+            "fused.softmax.running_sum",
+        }
+        assert all(s.ok for s in stages)
+
+    def test_running_sum_bound_is_exact(self):
+        # hi = 4096 * (2**16 - 2**(15 - f)) for the Q1.15 EXP output fed
+        # by SOFTMAX_Q's f fractional bits -- one LSB under the Q14.15
+        # register's 2**28 - 1 ceiling.
+        stages = stage_map(certify_fused_softmax(paper_point())[0])
+        running_sum = stages["fused.softmax.running_sum"]
+        frac = paper_point().softmax_fmt.frac_bits
+        assert running_sum.interval.hi == 4096 * (2**16 - 2**(15 - frac))
+        assert running_sum.declared_bits == 29
+        assert running_sum.headroom_bits == 0
+
+    def test_rescale_factor_never_exceeds_one_plus_lsb_tail(self):
+        stages = stage_map(certify_fused_softmax(paper_point())[0])
+        rescale = stages["fused.softmax.rescale"].interval
+        assert rescale.lo == 0
+        assert rescale.hi < 2 * (1 << 15)  # strictly below 2.0 in Q1.15
+
+    def test_undersized_sum_register_reports_breaking_s(self):
+        point = paper_point(fused_sum_int_bits=5)
+        stages, findings = certify_fused_softmax(point)
+        assert len(findings) == 1
+        breaking = findings[0].details["breaking_config"]
+        assert breaking["s"] == 4096
+        max_s = breaking["max_fitting_s"]
+        assert 0 < max_s < 4096
+        # The reported bound is tight: max_s fits, max_s + 1 does not.
+        ok_point = paper_point(
+            fused_sum_int_bits=5, fused_max_seq=max_s
+        )
+        assert certify_fused_softmax(ok_point)[1] == []
+        over_point = paper_point(
+            fused_sum_int_bits=5, fused_max_seq=max_s + 1
+        )
+        assert certify_fused_softmax(over_point)[1] != []
+
+    def test_invalid_fused_fields_rejected(self):
+        with pytest.raises(ConfigError):
+            OverflowPoint(fused_max_seq=0)
+        with pytest.raises(ConfigError):
+            OverflowPoint(fused_sum_int_bits=0)

@@ -31,7 +31,7 @@ def mutate_double_booking(result):
 class TestPinnedPoints:
     def test_all_pinned_points_clean(self):
         checked, findings = lint_paper_points()
-        assert checked == len(PINNED_PAPER_POINTS) == 6
+        assert checked == len(PINNED_PAPER_POINTS) == 8
         assert findings == []
 
     def test_pinned_totals_cover_paper_and_sweep(self):
@@ -40,6 +40,9 @@ class TestPinnedPoints:
         assert totals[("paper", "mha")] == 21_578
         assert totals[("paper", "ffn")] == 39_052
         assert totals[("wl8", "mha")] == 21_834
+        # Decode-subsystem points (fused prefill + one decode step).
+        assert totals[("paper", "fused512")] == 312_538
+        assert totals[("paper", "decode64")] == totals[("paper", "mha")]
 
     def test_drifted_accelerator_fires_sch005(self):
         slow = paper_accelerator().with_updates(sa_drain_cycles=17)
