@@ -1,0 +1,94 @@
+"""[A8] Compression: ratio x cycles x stalls x quality x throughput.
+
+Runs the pinned compression sweep at the paper point (Transformer-base
+on the 64x64 SA) and records the A8 headlines ``repro bench-diff``
+gates on:
+
+* ``compress.cycle_savings_frac`` — per-layer cycle savings of 2:4
+  structured sparsity vs dense (event-timeline totals, exact
+  closed-form agreement asserted inside the sweep);
+* ``compress.weight_bytes_ratio`` — 2:4 stored bytes / dense bytes
+  with index metadata included;
+* ``compress.throughput_rps`` — simulated serving throughput with the
+  1:4 compressed cost model (the throughput-at-equal-quality numerator).
+
+The BLEU proxy runs on the session-trained synthetic-NMT model through
+the dense-expansion equivalence path, so the quality column is measured
+— not asserted — and printed alongside the cycle story.  The timed
+region is one cycles-only sweep over the default spec ladder.
+"""
+
+from repro.analysis import render_table
+from repro.compress import compression_sweep, default_sweep_specs
+from repro.config import (
+    AcceleratorConfig,
+    ServingConfig,
+    nm_sparse_spec,
+    transformer_base,
+)
+from repro.memsys import memory_preset
+
+
+def test_bench_compress_sweep(benchmark, base_model, trained_nmt_bench,
+                              bench_headline):
+    acc = AcceleratorConfig()
+    model, task, _, test = trained_nmt_bench
+
+    points = benchmark(
+        compression_sweep, base_model, acc,
+        mem=memory_preset("ddr4-2400"),
+    )
+    by_label = {p.label: p for p in points}
+
+    # Quality + serving axes once, outside the timed region.
+    full = compression_sweep(
+        base_model, acc, mem=memory_preset("ddr4-2400"),
+        nmt=(model, task, test), serving=ServingConfig(),
+    )
+    full_by_label = {p.label: p for p in full}
+
+    nm24 = by_label["2:4"]
+    bench_headline("compress.cycle_savings_frac", nm24.cycle_savings_frac)
+    bench_headline("compress.weight_bytes_ratio", nm24.weight_bytes_ratio)
+    bench_headline("compress.throughput_rps",
+                   full_by_label["1:4"].throughput_rps)
+
+    rows = []
+    for point in full:
+        rows.append([
+            point.label, f"{point.compression_ratio:.0f}x",
+            f"{point.weight_bytes_ratio:.3f}",
+            f"{point.mha_cycles + point.ffn_cycles:,}",
+            f"{point.cycle_savings_frac:+.1%}",
+            f"{point.stall_share:.1%}",
+            f"{point.bleu:.1f}",
+            f"{point.throughput_rps:.0f}",
+        ])
+    print()
+    print(render_table(
+        "compression at the paper point (DDR4-2400 weights)",
+        ["spec", "ratio", "bytes", "layer cyc", "savings", "stall",
+         "BLEU", "req/s"],
+        rows,
+    ))
+
+    # Structural acceptance: sparsity must save cycles and lift
+    # throughput; every ladder rung must store fewer bytes than dense.
+    assert nm24.cycle_savings_frac > 0.15
+    assert (full_by_label["1:4"].throughput_rps
+            > full_by_label["dense"].throughput_rps)
+    for spec in default_sweep_specs()[1:]:
+        assert by_label[spec.label].weight_bytes_ratio < 1.0
+
+
+def test_bench_compress_residency(base_model, bench_headline):
+    # Residency is the on-chip payoff: dense Transformer-base does not
+    # fit the Table II budget; the circulant ladder climbs into it.
+    from repro.compress import footprint_report
+    from repro.config import circulant_spec
+
+    acc = AcceleratorConfig()
+    dense = footprint_report(base_model, acc, nm_sparse_spec(4, 4))
+    circ8 = footprint_report(base_model, acc, circulant_spec(8))
+    assert dense.layers_resident == 0
+    assert circ8.layers_resident >= 5

@@ -31,7 +31,13 @@ Commands:
 * ``profile`` — cycle-attribution profiler: per-unit self-time/stall
   tables over the instrumented schedules (totals match the closed-form
   cycle model exactly), with collapsed-stack / JSON / Prometheus
-  outputs.
+  outputs; ``--compression`` profiles the compressed weight passes and
+  splits the cycles the sparsity skipped from the index/row-generator
+  overhead it paid.
+* ``compress`` — block-circulant / N:M structured-sparsity sweep:
+  compression ratio x cycle savings x memsys stall share per spec,
+  optionally with the BLEU proxy on the synthetic NMT task
+  (``--bleu``) and simulated serving throughput (``--serving``).
 * ``bench-diff`` — perf-regression gate: compare ``BENCH_*.json``
   headlines against ``benchmarks/baseline.json`` tolerance bands;
   nonzero exit on any regression.
@@ -361,6 +367,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "(adds the dram track's stall attribution)",
     )
     profile.add_argument(
+        "--compression", default=None, metavar="SPEC",
+        help="profile compressed weight passes: 'circN' "
+             "(block-circulant, block size N) or 'N:M' (structured "
+             "sparse); adds the skipped-vs-paid-overhead split",
+    )
+    profile.add_argument(
         "--collapsed", metavar="PATH",
         help="write collapsed-stack lines for flamegraph tooling",
     )
@@ -399,6 +411,53 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_diff.add_argument(
         "--json", dest="json_path", metavar="PATH",
         help="also write the comparison report as JSON",
+    )
+    compress = sub.add_parser(
+        "compress",
+        help="block-circulant / N:M sparsity sweep: ratio x cycles x "
+             "stalls x quality x throughput",
+    )
+    compress.add_argument(
+        "--specs", nargs="+", default=None, metavar="SPEC",
+        help="specs to sweep: 'dense', 'circN' or 'N:M' (default: "
+             "dense circ4 circ8 circ16 2:4 1:4)",
+    )
+    compress.add_argument(
+        "--memory-preset", default=None, metavar="NAME",
+        help="named off-chip link for the stall terms (lpddr4-2133, "
+             "ddr4-2400, ddr4-3200, hbm2-pc, unlimited)",
+    )
+    compress.add_argument(
+        "--bandwidth-gbps", type=float, default=None,
+        help="override the off-chip link's peak GB/s",
+    )
+    compress.add_argument(
+        "--bleu", action="store_true",
+        help="also train the synthetic-NMT toy model and report each "
+             "spec's BLEU proxy through the dense-expansion path "
+             "(slower)",
+    )
+    compress.add_argument(
+        "--epochs", type=int, default=12,
+        help="training epochs for the --bleu proxy model (default: 12)",
+    )
+    compress.add_argument(
+        "--serving", action="store_true",
+        help="also run the serving simulator per spec and report "
+             "throughput with the compressed cost model",
+    )
+    compress.add_argument(
+        "--seed", type=int, default=7,
+        help="RNG seed for the --bleu proxy model (default: 7)",
+    )
+    compress.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="write the sweep points as JSON",
+    )
+    compress.add_argument(
+        "--trace-out",
+        help="optional Chrome trace JSON: one row per spec plus "
+             "overhead/skipped/bytes counter tracks",
     )
     campaign = sub.add_parser(
         "fault-campaign",
@@ -965,6 +1024,25 @@ def _cmd_profile(args) -> int:
     blocks = ("mha", "ffn") if args.block == "both" else (args.block,)
     schedulers = {"mha": schedule_mha, "ffn": schedule_ffn}
     closed_forms = {"mha": mha_cycle_breakdown, "ffn": ffn_cycle_breakdown}
+    spec = (_parse_compression(args.compression)
+            if getattr(args, "compression", None) else None)
+    if spec is not None:
+        from .compress import (
+            compressed_ffn_breakdown,
+            compressed_mha_breakdown,
+            schedule_compressed_ffn,
+            schedule_compressed_mha,
+        )
+        schedulers = {
+            "mha": lambda m, a, mm, registry=None:
+                schedule_compressed_mha(m, a, spec, mm, registry=registry),
+            "ffn": lambda m, a, mm, registry=None:
+                schedule_compressed_ffn(m, a, spec, mm, registry=registry),
+        }
+        closed_forms = {
+            "mha": lambda m, a, mm: compressed_mha_breakdown(m, a, spec, mm),
+            "ffn": lambda m, a, mm: compressed_ffn_breakdown(m, a, spec, mm),
+        }
     results = []
     mismatch = False
     for block in blocks:
@@ -972,9 +1050,11 @@ def _cmd_profile(args) -> int:
         results.append(result)
         prof = profile_schedule(result)
         closed = closed_forms[block](model, acc, mem).total_cycles
+        title = f"{block.upper()} cycle attribution — {model.name}, "
+        if spec is not None:
+            title += f"compression {spec.label}, "
         print(render_table(
-            f"{block.upper()} cycle attribution — {model.name}, "
-            f"s={acc.seq_len}",
+            title + f"s={acc.seq_len}",
             ["unit", "busy", "active", "overhead", "exclusive", "share"],
             prof.rows(),
         ))
@@ -988,11 +1068,34 @@ def _cmd_profile(args) -> int:
         # array clocked, effective cycles only the useful MACs — the
         # gap is the zero-padding of partial tiles (near-zero at full
         # prefill rows, ~(s-1)/s for a one-row decode pass).
+        # Under compression the effective number stays on the dense MAC
+        # roofline so it reads as speedup-vs-dense-ideal: >100% means
+        # pruned MACs let the array outrun its own dense peak.
+        roofline = " of the dense roofline" if spec is not None else ""
         print(
             f"SA utilization: {result.sa_utilization:.1%} effective "
-            f"(useful MACs) vs {result.padded_sa_utilization:.1%} "
+            f"(useful MACs{roofline}) vs {result.padded_sa_utilization:.1%} "
             f"streamed (incl. zero-padded rows)"
         )
+        if spec is not None:
+            # The compressed split: the paid overhead is on the wall
+            # clock (inside the sa row's overhead attribution, so the
+            # partition above still sums exactly); the skipped MACs
+            # never ran, so they are reported as avoided cycles next
+            # to the dense reference rather than folded into a row.
+            dense_result = (schedule_mha if block == "mha"
+                            else schedule_ffn)(model, acc, mem)
+            skipped = (dense_result.sa_active_cycles
+                       - result.sa_active_cycles)
+            savings = 1.0 - result.total_cycles / dense_result.total_cycles
+            print(
+                f"compressed split ({spec.label}): paid "
+                f"{result.compress_overhead_cycles:,} index/row-gen "
+                f"overhead cycles on the wall clock; skipped "
+                f"{skipped:,} MAC cycles vs dense "
+                f"({dense_result.total_cycles:,} -> "
+                f"{result.total_cycles:,}, {savings:+.1%})"
+            )
         print()
         if not agree:
             mismatch = True
@@ -1007,6 +1110,125 @@ def _cmd_profile(args) -> int:
             handle.write(to_prometheus_text(registry))
         print(f"wrote Prometheus exposition to {args.prom}")
     return 1 if mismatch else 0
+
+
+def _parse_compression(text: str):
+    """Parse a CLI spec string: ``dense``, ``circN`` or ``N:M``."""
+    from .config import CompressionSpec, circulant_spec, nm_sparse_spec
+    from .errors import ConfigError
+
+    token = text.strip().lower()
+    if token == "dense":
+        return CompressionSpec()
+    if token.startswith("circ") and token[4:].isdigit():
+        return circulant_spec(int(token[4:]))
+    if ":" in token:
+        n_text, _, m_text = token.partition(":")
+        if n_text.isdigit() and m_text.isdigit():
+            return nm_sparse_spec(int(n_text), int(m_text))
+    raise ConfigError(
+        f"unrecognized compression spec {text!r} "
+        "(expected 'dense', 'circN' or 'N:M')"
+    )
+
+
+def _cmd_compress(args) -> None:
+    from .compress import compress_trace_spans, compression_sweep
+    from .config import MemoryConfig, ServingConfig
+    from .core.trace import write_span_trace
+    from .memsys import memory_preset
+    from .telemetry import MetricsRegistry
+
+    model, acc = _configs(args)
+    mem = None
+    if args.memory_preset is not None or args.bandwidth_gbps is not None:
+        mem = (memory_preset(args.memory_preset)
+               if args.memory_preset is not None else MemoryConfig())
+        if args.bandwidth_gbps is not None:
+            mem = mem.with_updates(bandwidth_gbps=args.bandwidth_gbps)
+    specs = (None if args.specs is None
+             else [_parse_compression(s) for s in args.specs])
+    nmt = None
+    if args.bleu:
+        import numpy as np
+
+        from .config import ModelConfig
+        from .nmt import SyntheticTranslationTask, train_model
+        from .transformer import Transformer
+
+        task = SyntheticTranslationTask(num_words=16, min_len=3, max_len=7)
+        nmt_config = ModelConfig(
+            "nmt-proxy", d_model=64, d_ff=256, num_heads=1,
+            num_encoder_layers=1, num_decoder_layers=1,
+            max_seq_len=16, dropout=0.0,
+        )
+        proxy = Transformer(
+            nmt_config, len(task.src_vocab), len(task.tgt_vocab),
+            rng=np.random.default_rng(args.seed),
+        )
+        train, _, test = task.splits(train=1200, valid=40, test=60,
+                                     seed=args.seed + 4)
+        print(f"training the BLEU proxy model ({args.epochs} epochs)...")
+        train_model(proxy, task, train, epochs=args.epochs, batch_size=32,
+                    warmup=200, lr_factor=2.0, seed=args.seed + 2)
+        nmt = (proxy, task, test)
+    serving = ServingConfig() if args.serving else None
+    registry = MetricsRegistry()
+    points = compression_sweep(
+        model, acc, specs=specs, mem=mem, nmt=nmt, serving=serving,
+        registry=registry,
+    )
+    headers = ["spec", "ratio", "bytes", "mha", "ffn", "savings",
+               "overhead", "skipped", "stall", "resident"]
+    if args.bleu:
+        headers += ["BLEU", "drop"]
+    if args.serving:
+        headers += ["req/s"]
+    rows = []
+    for p in points:
+        row = [
+            p.label, f"{p.compression_ratio:.1f}x",
+            f"{p.weight_bytes_ratio:.3f}", f"{p.mha_cycles:,}",
+            f"{p.ffn_cycles:,}", f"{p.cycle_savings_frac:+.1%}",
+            f"{p.index_overhead_cycles:,}", f"{p.skipped_cycles:,}",
+            f"{p.stall_share:.1%}", str(p.footprint.layers_resident),
+        ]
+        if args.bleu:
+            row += [f"{p.bleu:.1f}", f"{p.bleu_drop:+.1f}"]
+        if args.serving:
+            row += [f"{p.throughput_rps:.1f}"]
+        rows.append(row)
+    mem_label = (f"{mem.bandwidth_gbps:g} GB/s" if mem is not None
+                 else "free weights")
+    print(render_table(
+        f"compression sweep — {model.name} @ s={acc.seq_len}, "
+        f"{mem_label} (per-layer MHA+FFN cycles; savings vs dense)",
+        headers, rows,
+    ))
+    print(
+        "overhead = paid row-generator/index-decode cycles; skipped = "
+        "MAC cycles pruned vs dense; resident = encoder layer sets in "
+        "the Table II weight cache"
+    )
+    if args.json_path:
+        import json as json_module
+
+        payload = {
+            "model": model.name,
+            "seq_len": acc.seq_len,
+            "bandwidth_gbps": mem.bandwidth_gbps if mem else None,
+            "points": [p.as_dict() for p in points],
+        }
+        with open(args.json_path, "w") as handle:
+            json_module.dump(payload, handle, indent=1)
+        print(f"wrote sweep JSON to {args.json_path}")
+    if args.trace_out:
+        spans, counters = compress_trace_spans(points, acc.clock_mhz)
+        count = write_span_trace(
+            spans, args.trace_out, counters=counters,
+            other_data={"model": model.name, "seq_len": acc.seq_len},
+        )
+        print(f"wrote {count} trace events to {args.trace_out}")
 
 
 def _cmd_bench_diff(args) -> int:
@@ -1080,6 +1302,7 @@ _COMMANDS = {
     "bench-diff": _cmd_bench_diff,
     "check": _cmd_check,
     "cluster-sim": _cmd_cluster_sim,
+    "compress": _cmd_compress,
     "decode-sim": _cmd_decode_sim,
     "profile": _cmd_profile,
     "fault-campaign": _cmd_fault_campaign,

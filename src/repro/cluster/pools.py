@@ -119,6 +119,7 @@ def build_cost_model(
             pool.memory.double_buffered_prefetch
             if pool.memory is not None else False
         ),
+        compression=pool.compression,
     )
 
 

@@ -1,0 +1,85 @@
+"""Structured weight compression as a first-class scenario.
+
+Block-circulant (FTRANS-style) and N:M structured-sparse weight
+representations, aligned to the SA's 64-column tiles and priced through
+the whole stack:
+
+* :mod:`formats <repro.compress.formats>` — the numeric containers
+  with INT8 quantization and the dense-expansion equivalence path;
+* :mod:`schedule <repro.compress.schedule>` /
+  :mod:`cycle_model <repro.compress.cycle_model>` — event-timeline and
+  closed-form pricing of compressed passes, held to exact agreement
+  (zero row-groups skipped, index/setup overhead charged);
+* :mod:`footprint <repro.compress.footprint>` — BRAM residency and
+  off-chip bandwidth relief (:mod:`repro.memsys` terms);
+* :mod:`apply <repro.compress.apply>` — project a trained Transformer
+  onto a spec's family for the BLEU proxy;
+* :mod:`sweep <repro.compress.sweep>` — the full
+  ratio x cycles x stalls x BLEU x throughput measurement behind
+  ``repro compress``.
+
+The spec itself (:class:`repro.config.CompressionSpec`) lives in
+:mod:`repro.config` so serving/cluster configs can carry one without
+importing this package.
+"""
+
+from ..config import CompressionSpec, circulant_spec, nm_sparse_spec
+from .apply import (
+    RESBLOCK_WEIGHT_LEAVES,
+    compress_model,
+    resblock_weight_keys,
+    restore_weights,
+    snapshot_weights,
+)
+from .cycle_model import (
+    compressed_ffn_breakdown,
+    compressed_ffn_tile_bytes,
+    compressed_mha_breakdown,
+    compressed_mha_tile_bytes,
+)
+from .footprint import (
+    FootprintReport,
+    ffn_weight_bytes,
+    footprint_report,
+    layer_weight_bytes,
+    mha_weight_bytes,
+)
+from .formats import BlockCirculantMatrix, NMSparseMatrix, compress_dense
+from .schedule import schedule_compressed_ffn, schedule_compressed_mha
+from .sweep import (
+    CompressPoint,
+    compress_trace_spans,
+    compression_sweep,
+    default_sweep_specs,
+    sweep_point,
+)
+
+__all__ = [
+    "BlockCirculantMatrix",
+    "CompressPoint",
+    "CompressionSpec",
+    "FootprintReport",
+    "NMSparseMatrix",
+    "RESBLOCK_WEIGHT_LEAVES",
+    "circulant_spec",
+    "compress_dense",
+    "compress_model",
+    "compressed_ffn_breakdown",
+    "compressed_ffn_tile_bytes",
+    "compressed_mha_breakdown",
+    "compressed_mha_tile_bytes",
+    "compress_trace_spans",
+    "compression_sweep",
+    "default_sweep_specs",
+    "ffn_weight_bytes",
+    "footprint_report",
+    "layer_weight_bytes",
+    "mha_weight_bytes",
+    "nm_sparse_spec",
+    "resblock_weight_keys",
+    "restore_weights",
+    "schedule_compressed_ffn",
+    "schedule_compressed_mha",
+    "snapshot_weights",
+    "sweep_point",
+]

@@ -1,0 +1,101 @@
+"""Apply a compression spec to a trained Transformer (BLEU-proxy path).
+
+The accelerator streams compressed weights; the numpy model cannot, so
+quality is measured through the *dense-expansion equivalence path*:
+every ResBlock weight matrix is projected onto the spec's structured
+family (:func:`repro.compress.formats.compress_dense`) and written back
+as an ordinary dense matrix.  The resulting model computes exactly what
+the hardware's compressed stream would, and
+:func:`repro.nmt.evaluate_bleu` scores it unchanged.
+
+Only the weights the accelerator actually tiles are touched — the
+Q/K/V/G projections of every attention ResBlock and the W1/W2 matrices
+of every FFN ResBlock.  Embeddings and the generator stay dense (out of
+the accelerator's scope, paper Section II-A).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Optional
+
+import numpy as np
+
+from ..config import CompressionSpec
+from ..errors import ConfigError
+from .formats import compress_dense
+
+#: Weight leaves of one ResBlock, in streaming order.
+RESBLOCK_WEIGHT_LEAVES = (
+    "q_proj.weight", "k_proj.weight", "v_proj.weight", "out_proj.weight",
+    "linear1.weight", "linear2.weight",
+)
+
+
+def resblock_weight_keys(model) -> dict[str, list[str]]:
+    """Group the model's compressible weight names by ResBlock.
+
+    Returns ``{"encoder.layer0.self_attn": [...weight names...], ...}``
+    in model order; keys match the ResBlock labels the compression
+    tolerance sweep reports.
+    """
+    groups: dict[str, list[str]] = {}
+    for name, param in model.named_parameters():
+        if param.data.ndim != 2:
+            continue
+        for leaf in RESBLOCK_WEIGHT_LEAVES:
+            if name.endswith("." + leaf):
+                block = name[: -len(leaf) - 1]
+                # Drop the wrapper module level (``.mha`` / ``.ffn``).
+                head, _, tail = block.rpartition(".")
+                if tail in ("mha", "ffn") and head:
+                    block = head
+                groups.setdefault(block, []).append(name)
+                break
+    return groups
+
+
+def compress_model(
+    model,
+    spec: CompressionSpec,
+    blocks: Optional[Iterable[str]] = None,
+) -> dict[str, int]:
+    """Project ``model``'s ResBlock weights onto ``spec``'s family.
+
+    Modifies the model in place (use :func:`snapshot_weights` /
+    :func:`restore_weights` around it to measure and roll back).
+    ``blocks`` restricts the projection to the named ResBlocks
+    (default: all of them).  Returns ``{block: matrices_compressed}``.
+    """
+    groups = resblock_weight_keys(model)
+    if blocks is not None:
+        wanted = list(blocks)
+        unknown = [b for b in wanted if b not in groups]
+        if unknown:
+            raise ConfigError(f"unknown ResBlocks: {unknown}")
+        groups = {b: groups[b] for b in wanted}
+    params = dict(model.named_parameters())
+    compressed: dict[str, int] = {}
+    for block, names in groups.items():
+        for name in names:
+            param = params[name]
+            param.data[...] = compress_dense(np.asarray(param.data), spec)
+        compressed[block] = len(names)
+    return compressed
+
+
+def snapshot_weights(model) -> dict[str, np.ndarray]:
+    """Copies of every compressible weight (for later restoration)."""
+    groups = resblock_weight_keys(model)
+    params = dict(model.named_parameters())
+    return {
+        name: np.array(params[name].data, copy=True)
+        for names in groups.values() for name in names
+    }
+
+
+def restore_weights(model, snapshot: Mapping[str, np.ndarray]) -> None:
+    """Write a :func:`snapshot_weights` copy back into the model."""
+    params = dict(model.named_parameters())
+    for name, data in snapshot.items():
+        params[name].data[...] = data

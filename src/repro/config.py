@@ -416,6 +416,182 @@ class MemoryConfig:
 
 
 @dataclass(frozen=True)
+class CompressionSpec:
+    """Structured weight-compression scheme (:mod:`repro.compress`).
+
+    Describes how the off-chip weight matrices are stored and how the
+    accelerator prices a compressed weight pass.  Two hardware-friendly
+    families, both aligned to the SA's 64-column tile partitioning:
+
+    * ``circulant`` — FTRANS-style block-circulant weights: each
+      ``block_size x block_size`` sub-block is a circulant matrix and
+      stores only its defining column.  A rotation unit regenerates the
+      block rows while streaming, so the SA's active cycles are
+      unchanged but the tile's off-chip footprint shrinks by
+      ``block_size`` (bandwidth/BRAM relief) at a small per-pass
+      row-generator setup cost.
+    * ``nm_sparse`` — N:M structured sparsity over the reduction
+      dimension: in every group of ``m`` consecutive weight rows only
+      ``n`` are nonzero, with the mask shared by all 64 columns of a
+      tile so whole zero rows are *skipped* by the SA (fewer active
+      cycles).  The pass pays an index-decode overhead and the tile
+      carries per-group index metadata.
+
+    The ``dense`` scheme — and any parameterization with compression
+    ratio 1.0 (``block_size == 1`` or ``n == m``) — degenerates to the
+    uncompressed schedule bit-for-bit.
+
+    Attributes:
+        scheme: ``"dense"``, ``"circulant"`` or ``"nm_sparse"``.
+        block_size: Circulant block edge; must divide the SA tile width
+            (64) and every weight-matrix depth it is applied to.
+        n: Nonzero rows kept per sparsity group (``nm_sparse`` only).
+        m: Sparsity group size in rows; must divide the SA tile width
+            (64) and every weight-matrix depth (``nm_sparse`` only).
+    """
+
+    scheme: str = "dense"
+    block_size: int = 8
+    n: int = 2
+    m: int = 4
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on invalid compression parameters."""
+        if self.scheme not in ("dense", "circulant", "nm_sparse"):
+            raise ConfigError(
+                f"unknown compression scheme {self.scheme!r} "
+                "(expected dense | circulant | nm_sparse)"
+            )
+        if self.scheme == "circulant":
+            if self.block_size <= 0:
+                raise ConfigError("block_size must be positive")
+            if SA_COLS % self.block_size:
+                raise ConfigError(
+                    f"block_size must divide the SA tile width {SA_COLS}"
+                )
+        if self.scheme == "nm_sparse":
+            if self.m <= 0 or self.n <= 0:
+                raise ConfigError("n and m must be positive")
+            if self.n > self.m:
+                raise ConfigError("n:m sparsity needs n <= m")
+            if SA_COLS % self.m:
+                raise ConfigError(
+                    f"m must divide the SA tile width {SA_COLS}"
+                )
+
+    @property
+    def is_dense(self) -> bool:
+        """Whether this spec degenerates to the uncompressed schedule."""
+        if self.scheme == "dense":
+            return True
+        if self.scheme == "circulant":
+            return self.block_size == 1
+        return self.n == self.m
+
+    @property
+    def label(self) -> str:
+        """Short human label (``dense``, ``circ8``, ``2:4``)."""
+        if self.scheme == "dense":
+            return "dense"
+        if self.scheme == "circulant":
+            return f"circ{self.block_size}"
+        return f"{self.n}:{self.m}"
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense / compressed weight-value count (index bytes excluded)."""
+        if self.is_dense:
+            return 1.0
+        if self.scheme == "circulant":
+            return float(self.block_size)
+        return self.m / self.n
+
+    def _check_depth(self, k: int) -> None:
+        if k <= 0:
+            raise ConfigError("weight depth k must be positive")
+        if self.scheme == "circulant" and k % self.block_size:
+            raise ConfigError(
+                f"circulant block_size {self.block_size} must divide the "
+                f"weight depth {k}"
+            )
+        if self.scheme == "nm_sparse" and k % self.m:
+            raise ConfigError(
+                f"sparsity group m={self.m} must divide the weight depth {k}"
+            )
+
+    def effective_depth(self, k: int) -> int:
+        """SA active cycles of a compressed pass over depth ``k``.
+
+        Circulant streaming regenerates every row (same MAC count);
+        N:M sparsity skips the zero row-groups entirely.
+        """
+        self._check_depth(k)
+        if self.scheme == "nm_sparse" and not self.is_dense:
+            return k * self.n // self.m
+        return k
+
+    def pass_overhead_cycles(self, k: int) -> int:
+        """Extra per-pass control cycles a compressed weight pass pays.
+
+        Circulant: one row-generator seed load per block row
+        (``k / block_size``).  N:M: one index-decode cycle per row
+        group (``k / m``).  Dense (or ratio 1.0): zero.
+        """
+        self._check_depth(k)
+        if self.is_dense:
+            return 0
+        if self.scheme == "circulant":
+            return k // self.block_size
+        return k // self.m
+
+    def index_bits_per_group(self) -> int:
+        """Metadata bits encoding the kept-row positions of one group."""
+        if self.scheme != "nm_sparse" or self.is_dense:
+            return 0
+        return self.n * max(1, (self.m - 1).bit_length())
+
+    def weight_tile_bytes(self, k: int, cols: int, weight_bits: int) -> int:
+        """Off-chip bytes of one compressed ``k x cols`` weight tile.
+
+        Circulant stores one defining column per block (``1/block_size``
+        of the values); N:M stores the kept rows plus the per-group
+        index metadata (shared across the tile's columns).
+        """
+        self._check_depth(k)
+        if cols <= 0 or weight_bits <= 0:
+            raise ConfigError("cols and weight_bits must be positive")
+        if self.is_dense:
+            return k * cols * weight_bits // 8
+        if self.scheme == "circulant":
+            return k * cols * weight_bits // (8 * self.block_size)
+        values = (k * self.n // self.m) * cols * weight_bits
+        index = (k // self.m) * self.index_bits_per_group()
+        return -(-(values + index) // 8)
+
+    def weight_bytes_ratio(self, k: int, cols: int, weight_bits: int) -> float:
+        """Compressed / dense tile bytes (metadata included)."""
+        dense = k * cols * weight_bits // 8
+        return self.weight_tile_bytes(k, cols, weight_bits) / dense
+
+    def with_updates(self, **changes: object) -> CompressionSpec:
+        """Return a copy of this spec with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+def circulant_spec(block_size: int = 8) -> CompressionSpec:
+    """Block-circulant spec with the given block edge."""
+    return CompressionSpec(scheme="circulant", block_size=block_size)
+
+
+def nm_sparse_spec(n: int = 2, m: int = 4) -> CompressionSpec:
+    """N:M structured-sparsity spec (default the common 2:4)."""
+    return CompressionSpec(scheme="nm_sparse", n=n, m=m)
+
+
+@dataclass(frozen=True)
 class TenantConfig:
     """One tenant's traffic contract in a cluster run (:mod:`repro.cluster`).
 
@@ -557,6 +733,10 @@ class PoolConfig:
             in microseconds (default: the batched/steady-state server
             setup; raise it toward the paper's 96.5 us to model the
             eager measurement stack).
+        compression: Weight-compression spec the pool's model is served
+            with (``None`` = dense weights); FPGA pools price
+            compressed passes through :mod:`repro.compress`, GPU pools
+            take no spec.
     """
 
     name: str
@@ -569,6 +749,7 @@ class PoolConfig:
     abft_protected: bool = False
     memory: Optional[MemoryConfig] = None
     gpu_kernel_overhead_us: float = 5.0
+    compression: Optional[CompressionSpec] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -612,6 +793,17 @@ class PoolConfig:
                 f"pool {self.name}: gpu pools take no MemoryConfig (the "
                 "roofline model already prices HBM traffic)"
             )
+        if self.compression is not None:
+            if not isinstance(self.compression, CompressionSpec):
+                raise ConfigError(
+                    f"pool {self.name}: compression must be a "
+                    "CompressionSpec (or None)"
+                )
+            if self.kind == "gpu":
+                raise ConfigError(
+                    f"pool {self.name}: gpu pools take no CompressionSpec "
+                    "(the roofline model prices dense kernels only)"
+                )
 
     def with_updates(self, **changes: object) -> PoolConfig:
         """Return a copy of this config with the given fields replaced."""
@@ -829,6 +1021,11 @@ class ServingConfig:
             over a shared DRAM channel, replacing the flat
             ``model_reload_cycles`` constant; ``None`` keeps the
             legacy flat-reload accounting.
+        compression: Weight-compression spec the served model uses
+            (``None`` = dense weights).  Batches are priced with the
+            compressed MHA/FFN schedules and the smaller compressed
+            weight footprint flows into the reload/cache traffic
+            (:mod:`repro.compress`).
     """
 
     arrival_rate_rps: float = 2000.0
@@ -848,6 +1045,7 @@ class ServingConfig:
     max_retries: int = 1
     seed: int = 0
     memory: Optional[MemoryConfig] = None
+    compression: Optional[CompressionSpec] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -891,6 +1089,9 @@ class ServingConfig:
             raise ConfigError("max_retries must be non-negative")
         if self.memory is not None and not isinstance(self.memory, MemoryConfig):
             raise ConfigError("memory must be a MemoryConfig (or None)")
+        if self.compression is not None and not isinstance(
+                self.compression, CompressionSpec):
+            raise ConfigError("compression must be a CompressionSpec (or None)")
 
     def with_updates(self, **changes: object) -> ServingConfig:
         """Return a copy of this config with the given fields replaced."""

@@ -85,6 +85,7 @@ class ScheduleResult:
     total_cycles: int = 0
     ideal_sa_cycles: int = 0
     memsys_stall_cycles: int = 0
+    compress_overhead_cycles: int = 0
 
     @property
     def sa_events(self) -> list[TimelineEvent]:
@@ -153,6 +154,7 @@ class _Timeline:
         self.events: list[TimelineEvent] = []
         self.sa_free = 0
         self.memsys_stall = 0
+        self.compress_overhead = 0
         self._last_buffer: Optional[str] = None
         self._first_pass = True
         self._prefetch = (
@@ -176,6 +178,7 @@ class _Timeline:
         not_before: int = 0,
         loads_weights: bool = True,
         tile_bytes: int = 0,
+        extra_overhead: int = 0,
     ) -> TimelineEvent:
         """Schedule one SA pass and return its event.
 
@@ -196,9 +199,17 @@ class _Timeline:
             tile_bytes: Off-chip bytes of the pass's weight tile; with a
                 finite memory system the tile prefetcher prices its
                 fetch (a ``dram`` event) and may stall the pass start.
+            extra_overhead: Additional control cycles charged like issue
+                overhead (compressed weight passes pay their circulant
+                row-generator setup / N:M index decode here;
+                :mod:`repro.compress`).
         """
         if k <= 0:
             raise ScheduleError(f"pass {name!r} has non-positive k={k}")
+        if extra_overhead < 0:
+            raise ScheduleError(
+                f"pass {name!r} has negative extra_overhead={extra_overhead}"
+            )
         cfg = self.config
         n = cfg.sa_cols if n is None else n
         start = max(self.sa_free, not_before)
@@ -212,7 +223,8 @@ class _Timeline:
                 ))
             start = fetch.pass_start
             self.memsys_stall += fetch.stall_cycles
-        overhead = cfg.pass_issue_cycles
+        overhead = cfg.pass_issue_cycles + extra_overhead
+        self.compress_overhead += extra_overhead
         if loads_weights:
             overhead += cfg.weight_load_cycles
         port_conflict = (

@@ -52,6 +52,7 @@ KNOWN_TRACK_PATTERNS = tuple(_UNIT_TRACKS) + (
     "prefill",        # decode: per-stream prefill waits and runs
     "decode",         # decode: per-batch token-generation steps
     "kv_cache_hit_rate",  # decode: cumulative KV residency counter
+    "compress.*",     # compress: one row per swept spec + counter rows
 )
 
 

@@ -24,8 +24,10 @@ from .quantizer import (
 )
 from .sensitivity import (
     SensitivityResult,
+    compression_tolerance,
     full_vs_sum_of_parts,
     rank_by_sensitivity,
+    surviving_blocks,
     tap_sensitivity,
 )
 
@@ -41,10 +43,12 @@ __all__ = [
     "SOFTMAX_FP32",
     "SOFTMAX_HARDWARE",
     "SensitivityResult",
+    "compression_tolerance",
     "full_vs_sum_of_parts",
     "int_gemm",
     "quantization_error",
     "rank_by_sensitivity",
+    "surviving_blocks",
     "symmetric_scale",
     "tap_sensitivity",
 ]

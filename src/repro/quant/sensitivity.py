@@ -115,6 +115,75 @@ def rank_by_sensitivity(
     return [(r.tap_group, r.relative_rms) for r in ranked]
 
 
+def compression_tolerance(
+    model: Transformer,
+    spec,
+    src: np.ndarray,
+    tgt: np.ndarray,
+    lengths: np.ndarray,
+    blocks: Sequence[str] | None = None,
+) -> list[SensitivityResult]:
+    """Compress one ResBlock at a time; measure logit perturbation.
+
+    The compression twin of :func:`tap_sensitivity`: each ResBlock's
+    weights are projected onto ``spec``'s structured family
+    (:func:`repro.compress.apply.compress_model`) while every other
+    block stays dense, and the FP32 logit perturbation is measured over
+    the probe batch.  Results reuse :class:`SensitivityResult` with the
+    ResBlock label in ``tap_group``, so :func:`rank_by_sensitivity`
+    ranks them unchanged — most compression-*intolerant* first.
+    """
+    from ..compress.apply import (
+        compress_model,
+        resblock_weight_keys,
+        restore_weights,
+        snapshot_weights,
+    )
+
+    model.eval()
+    fp_logits = model(src, tgt, src_lengths=lengths).numpy()
+    fp_rms = float(np.sqrt(np.mean(fp_logits ** 2)))
+    all_blocks = list(resblock_weight_keys(model))
+    chosen = all_blocks if blocks is None else list(blocks)
+    unknown = [b for b in chosen if b not in all_blocks]
+    if unknown:
+        raise QuantizationError(f"unknown ResBlocks: {unknown}")
+    snapshot = snapshot_weights(model)
+    results = []
+    try:
+        for block in chosen:
+            compress_model(model, spec, blocks=[block])
+            got = model(src, tgt, src_lengths=lengths).numpy()
+            restore_weights(model, snapshot)
+            err = got - fp_logits
+            rms = float(np.sqrt(np.mean(err ** 2)))
+            results.append(SensitivityResult(
+                tap_group=block,
+                rms_error=rms,
+                max_error=float(np.abs(err).max()),
+                relative_rms=rms / fp_rms if fp_rms else 0.0,
+            ))
+    finally:
+        restore_weights(model, snapshot)
+    return results
+
+
+def surviving_blocks(
+    results: Sequence[SensitivityResult],
+    max_relative_rms: float = 0.1,
+) -> list[str]:
+    """ResBlocks whose perturbation stays under the tolerance threshold.
+
+    The blocks that "survive" the compression scheme — candidates for
+    compressing in deployment while the intolerant blocks stay dense.
+    """
+    if not results:
+        raise QuantizationError("no tolerance results")
+    return [
+        r.tap_group for r in results if r.relative_rms <= max_relative_rms
+    ]
+
+
 def full_vs_sum_of_parts(
     model: Transformer,
     quant: QuantizedTransformer,

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..config import AcceleratorConfig, ModelConfig
+from ..config import AcceleratorConfig, CompressionSpec, ModelConfig
 from ..core.model_runner import model_reload_cycles
 from ..core.scheduler import schedule_ffn, schedule_mha
 from ..errors import ServingError
@@ -71,6 +71,11 @@ class BatchCostModel:
       reloads every block from off-array memory; ``"layer_shard"`` keeps
       weights resident);
     * the ideal-MAC cycle count used for utilization accounting.
+
+    With a ``compression`` spec the per-ResBlock totals come from the
+    compressed schedules (:mod:`repro.compress.schedule`) and the
+    ResBlock weight sets shrink to their compressed footprint, so the
+    reload/cache traffic and throughput both feel the compression.
     """
 
     def __init__(
@@ -78,11 +83,24 @@ class BatchCostModel:
         model: ModelConfig,
         acc: AcceleratorConfig,
         double_buffered_weights: bool = False,
+        compression: Optional[CompressionSpec] = None,
     ) -> None:
         self.model = model
         self.acc = acc
-        mha = schedule_mha(model, acc)
-        ffn = schedule_ffn(model, acc)
+        self.compression = compression
+        if compression is not None and not compression.is_dense:
+            # Lazy import: serving stays importable without pulling the
+            # compress subsystem into every dense run.
+            from ..compress.schedule import (
+                schedule_compressed_ffn,
+                schedule_compressed_mha,
+            )
+
+            mha = schedule_compressed_mha(model, acc, compression)
+            ffn = schedule_compressed_ffn(model, acc, compression)
+        else:
+            mha = schedule_mha(model, acc)
+            ffn = schedule_ffn(model, acc)
         self.mha_cycles = mha.total_cycles
         self.ffn_cycles = ffn.total_cycles
         self.mha_ideal = mha.ideal_sa_cycles
@@ -115,8 +133,19 @@ class BatchCostModel:
         """
         wb = self.acc.weight_bits
         d = self.model.d_model
-        mha_bytes = 4 * d * d * wb // 8
-        ffn_bytes = 2 * d * self.model.d_ff * wb // 8
+        if self.compression is not None and not self.compression.is_dense:
+            from ..compress.footprint import (
+                ffn_weight_bytes,
+                mha_weight_bytes,
+            )
+
+            mha_bytes = mha_weight_bytes(self.model, self.acc,
+                                         self.compression)
+            ffn_bytes = ffn_weight_bytes(self.model, self.acc,
+                                         self.compression)
+        else:
+            mha_bytes = 4 * d * d * wb // 8
+            ffn_bytes = 2 * d * self.model.d_ff * wb // 8
         blocks: list[tuple[str, int, int]] = []
         for i in range(self.model.num_encoder_layers):
             blocks.append((f"enc{i}.mha", self.mha_cycles, mha_bytes))

@@ -163,7 +163,8 @@ def simulate_serving(
     validate_workload(requests, acc.seq_len)
 
     cost = BatchCostModel(
-        model, acc, double_buffered_weights=serving.double_buffered_weights
+        model, acc, double_buffered_weights=serving.double_buffered_weights,
+        compression=serving.compression,
     )
     queue = AdmissionQueue(serving.queue_capacity, serving.queue_timeout_us)
     batcher = DynamicBatcher(

@@ -20,6 +20,7 @@ from .interval import Interval, envelope
 from .overflow import (
     OverflowPoint,
     StageBound,
+    certify_compress,
     certify_fused_softmax,
     certify_layernorm,
     certify_overflow,
@@ -47,6 +48,7 @@ __all__ = [
     "SEED_BUGS",
     "SEVERITIES",
     "StageBound",
+    "certify_compress",
     "certify_fused_softmax",
     "certify_layernorm",
     "certify_overflow",

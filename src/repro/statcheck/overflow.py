@@ -106,6 +106,13 @@ class OverflowPoint:
             ``s``; the accumulator must absorb the whole row).
         fused_sum_int_bits: Integer bits (incl. sign) of the fused
             running-sum register's Q-format.
+        compress_block_size: Circulant block size the row-generator is
+            certified for (:mod:`repro.compress` weight passes).
+        compress_n / compress_m: N:M group shape the index-decode path
+            is certified for.
+        compress_counter_bits: Declared width of the compress control
+            registers (rotation-offset counter, group counter, index
+            row-offset register).
     """
 
     name: str = "paper"
@@ -125,13 +132,22 @@ class OverflowPoint:
     layernorm_sumsq_bits: int = 48
     fused_max_seq: int = 4096
     fused_sum_int_bits: int = 14
+    compress_block_size: int = 8
+    compress_n: int = 2
+    compress_m: int = 4
+    compress_counter_bits: int = 16
 
     def __post_init__(self) -> None:
-        for field_name in ("s", "h", "d_model", "d_ff", "fused_max_seq"):
+        for field_name in ("s", "h", "d_model", "d_ff", "fused_max_seq",
+                           "compress_block_size", "compress_m"):
             if getattr(self, field_name) <= 0:
                 raise ConfigError(f"{field_name} must be positive")
         if self.fused_sum_int_bits < 1:
             raise ConfigError("fused_sum_int_bits must include a sign bit")
+        if not 0 < self.compress_n <= self.compress_m:
+            raise ConfigError("compress_n must satisfy 0 < n <= m")
+        if self.compress_counter_bits < 2:
+            raise ConfigError("compress_counter_bits must be at least 2")
         if self.d_model % self.h != 0:
             raise ConfigError("d_model must be divisible by h")
         for field_name in ("act_bits", "weight_bits", "sa_acc_bits"):
@@ -503,6 +519,147 @@ def certify_fused_softmax(
     return stages, findings
 
 
+def certify_compress(
+    point: OverflowPoint,
+) -> tuple[list[StageBound], list[Finding]]:
+    """Certify the compressed-weight-pass datapath additions.
+
+    The :mod:`repro.compress` weight passes add two pieces of hardware
+    next to the SA, both certified here:
+
+    * the **circulant row generator** — a rotation-offset counter
+      cycling ``0..b-1`` while the seed rows are re-issued, leaving the
+      MAC chain at its full dense depth (``compress.circulant.acc``
+      proves the dense accumulator bound still applies unchanged);
+    * the **N:M index decode** — a group counter walking ``k/m`` row
+      groups and, per kept value, a stored row-offset in ``[0, m-1]``;
+      the pruned chain reduces to ``k*n/m`` terms, so the
+      ``compress.nm.acc`` bound demonstrates the sparse pass's extra
+      accumulator headroom vs dense.
+
+    Control registers are unsigned counters held in
+    ``compress_counter_bits``-wide registers; an overflowing group
+    counter (deepest walk: the W2 pass, ``d_ff/m`` groups) yields
+    OVF001 with the largest ``d_ff`` that fits.
+    """
+    act = Interval.signed_width(point.act_bits)
+    wgt = Interval.signed_width(point.weight_bits)
+    product = act * wgt
+    b = point.compress_block_size
+    n, m = point.compress_n, point.compress_m
+    stages: list[StageBound] = []
+    findings: list[Finding] = []
+
+    rotation = Interval(0, b - 1)
+    stages.append(StageBound(
+        name="compress.circulant.rotation_counter",
+        interval=rotation,
+        declared_bits=point.compress_counter_bits,
+        required_bits=rotation.required_signed_bits,
+        description=(
+            f"row-generator rotation offset over one {b}x{b} "
+            "circulant block"
+        ),
+    ))
+
+    circ_acc = product.accumulate(point.d_ff)
+    stages.append(StageBound(
+        name="compress.circulant.acc",
+        interval=circ_acc,
+        declared_bits=point.sa_acc_bits,
+        required_bits=circ_acc.required_signed_bits,
+        description=(
+            f"circulant W2 MAC chain ({point.d_ff} deep — row "
+            "regeneration keeps the dense depth)"
+        ),
+    ))
+
+    index_field = Interval(0, m - 1)
+    stages.append(StageBound(
+        name="compress.nm.index_field",
+        interval=index_field,
+        declared_bits=point.compress_counter_bits,
+        required_bits=index_field.required_signed_bits,
+        description=(
+            f"index-decode row offset within one {n}:{m} group"
+        ),
+    ))
+
+    deepest_groups = max(point.d_model, point.d_ff) // m
+    group_counter = Interval(0, max(0, deepest_groups - 1))
+    group_stage = StageBound(
+        name="compress.nm.group_counter",
+        interval=group_counter,
+        declared_bits=point.compress_counter_bits,
+        required_bits=group_counter.required_signed_bits,
+        description=(
+            f"group counter over the deepest pruned walk "
+            f"({deepest_groups} groups of {m})"
+        ),
+    )
+    stages.append(group_stage)
+    if not group_stage.ok:
+        max_groups = (1 << (point.compress_counter_bits - 1)) - 1
+        findings.append(Finding(
+            code="OVF001",
+            check="overflow",
+            message=(
+                f"compress group counter overflows: {deepest_groups} "
+                f"groups need {group_stage.required_bits} bits but only "
+                f"{point.compress_counter_bits} are declared "
+                f"(max groups that fit: {max_groups})"
+            ),
+            details={
+                "stage": group_stage.name,
+                "bound": [group_counter.lo, group_counter.hi],
+                "declared_bits": point.compress_counter_bits,
+                "required_bits": group_stage.required_bits,
+                "breaking_config": {
+                    "groups": deepest_groups,
+                    "max_fitting_groups": max_groups,
+                },
+            },
+        ))
+
+    nm_depth = max(1, point.d_ff * n // m)
+    nm_acc = product.accumulate(nm_depth)
+    nm_stage = StageBound(
+        name="compress.nm.acc",
+        interval=nm_acc,
+        declared_bits=point.sa_acc_bits,
+        required_bits=nm_acc.required_signed_bits,
+        description=(
+            f"{n}:{m}-pruned W2 MAC chain ({nm_depth} deep — sparse "
+            "headroom vs dense)"
+        ),
+    )
+    stages.append(nm_stage)
+    if not nm_stage.ok:
+        max_depth = _max_fitting_depth(product, point.sa_acc_bits)
+        findings.append(Finding(
+            code="OVF001",
+            check="overflow",
+            message=(
+                f"SA accumulator overflows on the {n}:{m}-pruned W2 "
+                f"pass: {nm_depth}-deep chain reaches {nm_acc}, "
+                f"needing {nm_stage.required_bits} bits but only "
+                f"{point.sa_acc_bits} are declared "
+                f"(max depth that fits: {max_depth})"
+            ),
+            details={
+                "stage": nm_stage.name,
+                "bound": [nm_acc.lo, nm_acc.hi],
+                "declared_bits": point.sa_acc_bits,
+                "required_bits": nm_stage.required_bits,
+                "breaking_config": {
+                    "chain_depth": nm_depth,
+                    "max_fitting_depth": max_depth,
+                },
+            },
+        ))
+    return stages, findings
+
+
 def certify_layernorm(
     point: OverflowPoint,
 ) -> tuple[list[StageBound], list[Finding]]:
@@ -646,6 +803,7 @@ def certify_overflow(
         certify_sa_accumulators,
         certify_softmax,
         certify_fused_softmax,
+        certify_compress,
         certify_layernorm,
     ):
         pass_stages, pass_findings = pass_fn(point)

@@ -60,6 +60,14 @@ PINNED_PAPER_POINTS: tuple[tuple[str, dict[str, int], str, int], ...] = (
     # is structurally the base MHA schedule, hence the shared total).
     ("paper", {}, "fused512", 312_538),
     ("paper", {}, "decode64", 21_578),
+    # Compress-subsystem points: block-circulant b=8 pays the
+    # row-generator setup on every weight pass (slower without a
+    # memory system, the bytes win shows up in memsys stalls); 2:4
+    # sparsity halves the weight-pass chains net of index decode.
+    ("paper", {}, "circ8_mha", 23_626),
+    ("paper", {}, "circ8_ffn", 43_148),
+    ("paper", {}, "nm24_mha", 17_482),
+    ("paper", {}, "nm24_ffn", 30_860),
 )
 
 #: Span tracks that model an exclusive resource in serving traces.
@@ -209,13 +217,29 @@ def lint_paper_points(
             from ..decode import fused_mha_breakdown, schedule_fused_mha
             result = schedule_fused_mha(model, point_acc, 512)
             breakdown = fused_mha_breakdown(model, point_acc, 512)
-        else:  # decode64
+        elif block == "decode64":
             from ..decode import (
                 decode_step_breakdown,
                 schedule_decode_step,
             )
             result = schedule_decode_step(model, point_acc, 64)
             breakdown = decode_step_breakdown(model, point_acc, 64)
+        else:  # circ8_* / nm24_* — compressed weight passes
+            from ..compress import (
+                compressed_ffn_breakdown,
+                compressed_mha_breakdown,
+                schedule_compressed_ffn,
+                schedule_compressed_mha,
+            )
+            from ..config import circulant_spec, nm_sparse_spec
+            spec = (circulant_spec(8) if block.startswith("circ8")
+                    else nm_sparse_spec(2, 4))
+            if block.endswith("_mha"):
+                result = schedule_compressed_mha(model, point_acc, spec)
+                breakdown = compressed_mha_breakdown(model, point_acc, spec)
+            else:
+                result = schedule_compressed_ffn(model, point_acc, spec)
+                breakdown = compressed_ffn_breakdown(model, point_acc, spec)
         findings.extend(lint_schedule(result, breakdown))
         if result.total_cycles != pinned:
             findings.append(Finding(

@@ -69,6 +69,25 @@ policy, ``outcome`` a KV-residency hit/miss):
 * ``repro_decode_token_latency_us`` — per-step inter-token histogram;
 * gauges set at summary time: ``repro_decode_tokens_per_s``,
   ``repro_decode_kv_hit_rate``, ``repro_decode_makespan_us``.
+
+Compress schema (:mod:`repro.compress`; ``spec`` is the compression
+spec label — ``dense``, ``circ8``, ``2:4`` — and ``scheme`` its
+family):
+
+* ``repro_compress_points_total{scheme}`` — sweep points measured;
+* ``repro_compress_layer_cycles_total{spec}`` — compressed MHA + FFN
+  layer cycles at the swept operating point;
+* ``repro_compress_index_overhead_cycles_total{spec}`` — paid
+  circulant row-generator / N:M index-decode cycles;
+* ``repro_compress_skipped_cycles_total{spec}`` — SA active cycles the
+  sparsity skipped vs the dense schedule;
+* ``repro_compress_memsys_stall_cycles_total{spec}`` — layer memsys
+  stall at the swept point;
+* gauges set per point: ``repro_compress_cycle_savings_frac{spec}``,
+  ``repro_compress_weight_bytes_ratio{spec}``,
+  ``repro_compress_layers_resident{spec}``, and — when the sweep
+  measured them — ``repro_compress_bleu{spec}`` and
+  ``repro_compress_throughput_rps{spec}``.
 """
 
 from __future__ import annotations
@@ -229,6 +248,61 @@ def record_decode(
         "repro_decode_makespan_us",
         "First arrival to last completion (us)",
     ).set(metrics.makespan_us)
+
+
+def record_compress(registry: MetricsRegistry, *, point) -> None:
+    """Record one compression sweep point's ``repro_compress_*`` series.
+
+    ``point`` is a :class:`~repro.compress.sweep.CompressPoint` (duck
+    typed).  Defines the compress schema (see the module docstring) in
+    one place, mirroring :func:`record_decode`.
+    """
+    spec = point.label
+    registry.counter(
+        "repro_compress_points_total",
+        "Compression sweep points measured",
+    ).inc(1, scheme=point.spec.scheme)
+    registry.counter(
+        "repro_compress_layer_cycles_total",
+        "Compressed MHA + FFN layer cycles at the swept point",
+    ).inc(point.mha_cycles + point.ffn_cycles, spec=spec)
+    if point.index_overhead_cycles:
+        registry.counter(
+            "repro_compress_index_overhead_cycles_total",
+            "Paid circulant row-generator / N:M index-decode cycles",
+        ).inc(point.index_overhead_cycles, spec=spec)
+    if point.skipped_cycles:
+        registry.counter(
+            "repro_compress_skipped_cycles_total",
+            "SA active cycles skipped vs the dense schedule",
+        ).inc(point.skipped_cycles, spec=spec)
+    if point.memsys_stall_cycles:
+        registry.counter(
+            "repro_compress_memsys_stall_cycles_total",
+            "Layer memsys stall cycles at the swept point",
+        ).inc(point.memsys_stall_cycles, spec=spec)
+    registry.gauge(
+        "repro_compress_cycle_savings_frac",
+        "Layer cycle savings vs dense (negative = overhead dominates)",
+    ).set(point.cycle_savings_frac, spec=spec)
+    registry.gauge(
+        "repro_compress_weight_bytes_ratio",
+        "Compressed / dense layer weight bytes (metadata included)",
+    ).set(point.weight_bytes_ratio, spec=spec)
+    registry.gauge(
+        "repro_compress_layers_resident",
+        "Encoder-layer weight sets fitting the Table II BRAM budget",
+    ).set(point.footprint.layers_resident, spec=spec)
+    if point.bleu is not None:
+        registry.gauge(
+            "repro_compress_bleu",
+            "BLEU proxy of the compressed NMT model",
+        ).set(point.bleu, spec=spec)
+    if point.throughput_rps is not None:
+        registry.gauge(
+            "repro_compress_throughput_rps",
+            "Simulated serving throughput with the compressed cost model",
+        ).set(point.throughput_rps, spec=spec)
 
 
 def record_cluster(

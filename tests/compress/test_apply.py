@@ -1,0 +1,134 @@
+"""Projecting trained models onto compressed families (apply + quant)."""
+
+import numpy as np
+import pytest
+
+from repro.compress import (
+    RESBLOCK_WEIGHT_LEAVES,
+    compress_dense,
+    compress_model,
+    resblock_weight_keys,
+    restore_weights,
+    snapshot_weights,
+)
+from repro.config import CompressionSpec, circulant_spec, nm_sparse_spec
+from repro.errors import ConfigError
+
+
+class TestResblockGrouping:
+    def test_groups_cover_all_attention_and_ffn_weights(
+            self, small_transformer):
+        groups = resblock_weight_keys(small_transformer)
+        labels = set(groups)
+        assert "encoder.layer0.self_attn" in labels
+        assert "encoder.layer0.ffn" in labels
+        assert "decoder.layer0.cross_attn" in labels
+        for block, keys in groups.items():
+            assert keys, block
+            for key in keys:
+                assert key.rsplit(".", 2)[-2] + "." + key.rsplit(
+                    ".", 1)[-1] in RESBLOCK_WEIGHT_LEAVES
+
+    def test_embeddings_and_norms_excluded(self, small_transformer):
+        groups = resblock_weight_keys(small_transformer)
+        all_keys = [k for keys in groups.values() for k in keys]
+        assert not any("embed" in k or "norm" in k or "bias" in k
+                       for k in all_keys)
+
+
+class TestCompressModel:
+    def test_snapshot_restore_roundtrip(self, small_transformer):
+        snapshot = snapshot_weights(small_transformer)
+        before = {k: v.data.copy()
+                  for k, v in small_transformer.named_parameters()}
+        compress_model(small_transformer, nm_sparse_spec(1, 4))
+        changed = any(
+            not np.array_equal(before[k], v.data)
+            for k, v in small_transformer.named_parameters()
+        )
+        assert changed
+        restore_weights(small_transformer, snapshot)
+        for k, v in small_transformer.named_parameters():
+            np.testing.assert_array_equal(before[k], v.data)
+
+    def test_projected_weights_live_in_the_family(self, small_transformer):
+        spec = nm_sparse_spec(2, 4)
+        groups = resblock_weight_keys(small_transformer)
+        compress_model(small_transformer, spec)
+        params = dict(small_transformer.named_parameters())
+        for keys in groups.values():
+            for key in keys:
+                w = params[key].data
+                # Re-projecting a projected weight is a no-op.
+                np.testing.assert_allclose(
+                    w, compress_dense(w, spec), rtol=1e-10, atol=1e-12
+                )
+
+    def test_block_subset_only_touches_named_blocks(self, small_transformer):
+        groups = resblock_weight_keys(small_transformer)
+        target = "encoder.layer0.ffn"
+        before = {k: v.data.copy()
+                  for k, v in small_transformer.named_parameters()}
+        counts = compress_model(
+            small_transformer, nm_sparse_spec(1, 4), blocks=[target]
+        )
+        assert set(counts) == {target}
+        for block, keys in groups.items():
+            for key in keys:
+                same = np.array_equal(
+                    before[key],
+                    dict(small_transformer.named_parameters())[key].data,
+                )
+                assert same == (block != target)
+
+    def test_unknown_block_raises(self, small_transformer):
+        with pytest.raises(ConfigError):
+            compress_model(small_transformer, circulant_spec(8),
+                           blocks=["encoder.layer9.ffn"])
+
+    def test_dense_spec_is_identity(self, small_transformer):
+        before = {k: v.data.copy()
+                  for k, v in small_transformer.named_parameters()}
+        compress_model(small_transformer, CompressionSpec())
+        for k, v in small_transformer.named_parameters():
+            np.testing.assert_array_equal(before[k], v.data)
+
+
+class TestCompressionTolerance:
+    def test_ranks_blocks_and_restores_weights(self, small_transformer,
+                                               rng):
+        from repro.quant import (
+            compression_tolerance,
+            rank_by_sensitivity,
+            surviving_blocks,
+        )
+
+        src = rng.integers(1, 30, size=(2, 12))
+        tgt = rng.integers(1, 30, size=(2, 12))
+        lengths = np.array([12, 9])
+        before = {k: v.data.copy()
+                  for k, v in small_transformer.named_parameters()}
+        results = compression_tolerance(
+            small_transformer, nm_sparse_spec(2, 4), src, tgt, lengths
+        )
+        # One result per ResBlock, model left untouched.
+        assert len(results) == len(resblock_weight_keys(small_transformer))
+        for k, v in small_transformer.named_parameters():
+            np.testing.assert_array_equal(before[k], v.data)
+        ranked = rank_by_sensitivity(results)
+        assert ranked[0][1] >= ranked[-1][1]
+        survivors = surviving_blocks(results, max_relative_rms=float("inf"))
+        assert set(survivors) == {r.tap_group for r in results}
+        assert surviving_blocks(results, max_relative_rms=-1.0) == []
+
+    def test_dense_spec_causes_zero_perturbation(self, small_transformer,
+                                                 rng):
+        from repro.quant import compression_tolerance
+
+        src = rng.integers(1, 30, size=(2, 12))
+        tgt = rng.integers(1, 30, size=(2, 12))
+        results = compression_tolerance(
+            small_transformer, CompressionSpec(), src, tgt,
+            np.array([12, 9]),
+        )
+        assert all(r.rms_error == 0.0 for r in results)

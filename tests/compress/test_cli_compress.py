@@ -1,0 +1,71 @@
+"""CLI tests for ``repro compress`` and ``repro profile --compression``."""
+
+import json
+
+from repro.cli import main
+
+
+class TestCompressCommand:
+    def test_default_sweep_pins_paper_totals(self, capsys):
+        assert main(["compress"]) == 0
+        out = capsys.readouterr().out
+        assert "compression sweep" in out
+        for label in ("dense", "circ8", "2:4", "1:4"):
+            assert label in out
+        assert "21,578" in out   # dense MHA reference
+        assert "17,482" in out   # 2:4 MHA pinned total
+        assert "30,860" in out   # 2:4 FFN pinned total
+
+    def test_spec_selection_and_bandwidth(self, capsys):
+        assert main(["compress", "--specs", "dense", "circ8",
+                     "--bandwidth-gbps", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "circ8" in out
+        assert "circ4" not in out
+        assert "2 GB/s" in out
+
+    def test_json_and_trace_artifacts(self, tmp_path, capsys):
+        json_path = tmp_path / "sweep.json"
+        trace_path = tmp_path / "trace.json"
+        assert main(["compress", "--specs", "dense", "2:4",
+                     "--json", str(json_path),
+                     "--trace-out", str(trace_path)]) == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["model"] == "Transformer-base"
+        labels = [p["spec"] for p in payload["points"]]
+        assert labels == ["dense", "2:4"]
+        assert payload["points"][1]["mha_cycles"] == 17_482
+        trace = json.loads(trace_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "compress.index_overhead_cycles" in names
+
+    def test_bad_spec_is_clean_error(self, capsys):
+        assert main(["compress", "--specs", "turbo"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_memory_preset(self, capsys):
+        assert main(["compress", "--specs", "dense", "circ16",
+                     "--memory-preset", "lpddr4-2133"]) == 0
+        assert "circ16" in capsys.readouterr().out
+
+
+class TestProfileCompression:
+    def test_sparse_split_and_exact_match(self, capsys):
+        assert main(["profile", "--compression", "2:4"]) == 0
+        out = capsys.readouterr().out
+        assert "compression 2:4" in out
+        assert "exact match" in out
+        assert "MISMATCH" not in out
+        assert "compressed split (2:4)" in out
+        assert "skipped" in out
+
+    def test_circulant_split_with_memory(self, capsys):
+        assert main(["profile", "--compression", "circ8",
+                     "--bandwidth-gbps", "19.2", "--block", "ffn"]) == 0
+        out = capsys.readouterr().out
+        assert "compressed split (circ8)" in out
+        assert "exact match" in out
+
+    def test_uncompressed_profile_has_no_split(self, capsys):
+        assert main(["profile", "--block", "mha"]) == 0
+        assert "compressed split" not in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""Footprint accounting: bytes identities, residency, crossover."""
+
+import pytest
+
+from repro.compress import (
+    ffn_weight_bytes,
+    footprint_report,
+    layer_weight_bytes,
+    mha_weight_bytes,
+)
+from repro.config import (
+    AcceleratorConfig,
+    CompressionSpec,
+    circulant_spec,
+    nm_sparse_spec,
+    transformer_base,
+)
+
+
+@pytest.fixture
+def paper():
+    return transformer_base(), AcceleratorConfig()
+
+
+class TestByteIdentities:
+    def test_dense_matches_model_arithmetic(self, paper):
+        model, acc = paper
+        dense = CompressionSpec()
+        d, ff, wb = model.d_model, model.d_ff, acc.weight_bits
+        assert mha_weight_bytes(model, acc, dense) == 4 * d * d * wb // 8
+        assert ffn_weight_bytes(model, acc, dense) == 2 * d * ff * wb // 8
+        assert layer_weight_bytes(model, acc, dense) == (
+            mha_weight_bytes(model, acc, dense)
+            + ffn_weight_bytes(model, acc, dense)
+        )
+
+    def test_circulant_divides_values_exactly(self, paper):
+        model, acc = paper
+        dense = CompressionSpec()
+        for b in (2, 4, 8, 16):
+            spec = circulant_spec(b)
+            assert (mha_weight_bytes(model, acc, spec)
+                    == mha_weight_bytes(model, acc, dense) // b)
+            assert (ffn_weight_bytes(model, acc, spec)
+                    == ffn_weight_bytes(model, acc, dense) // b)
+
+    def test_nm_bytes_exceed_value_fraction(self, paper):
+        # Index metadata makes 2:4 strictly more than half of dense.
+        model, acc = paper
+        spec = nm_sparse_spec(2, 4)
+        dense_bytes = layer_weight_bytes(model, acc, CompressionSpec())
+        nm_bytes = layer_weight_bytes(model, acc, spec)
+        assert dense_bytes // 2 < nm_bytes < dense_bytes
+
+
+class TestReport:
+    def test_residency_grows_with_compression(self, paper):
+        model, acc = paper
+        reports = [
+            footprint_report(model, acc, spec)
+            for spec in (CompressionSpec(), nm_sparse_spec(2, 4),
+                         circulant_spec(8), circulant_spec(16))
+        ]
+        residencies = [r.layers_resident for r in reports]
+        assert residencies == sorted(residencies)
+        # Dense Transformer-base does not fit the Table II budget at
+        # all; circ16 fits many layers.
+        assert reports[0].layers_resident == 0
+        assert reports[-1].layers_resident >= 10
+
+    def test_dense_reference_consistency(self, paper):
+        model, acc = paper
+        report = footprint_report(model, acc, circulant_spec(8))
+        assert report.dense_mha_bytes == mha_weight_bytes(
+            model, acc, CompressionSpec())
+        assert report.weight_bytes_ratio == pytest.approx(0.125)
+        assert report.spec_label == "circ8"
+
+    def test_crossover_drops_with_compression(self, paper):
+        # Smaller tiles over the same hiding window -> the compressed
+        # block stays compute bound on a weaker link.
+        model, acc = paper
+        dense = footprint_report(model, acc, CompressionSpec())
+        circ = footprint_report(model, acc, circulant_spec(8))
+        assert circ.mha_crossover_gbps < dense.mha_crossover_gbps
+        assert circ.ffn_crossover_gbps < dense.ffn_crossover_gbps
+
+    def test_explicit_capacity_override(self, paper):
+        model, acc = paper
+        layer = layer_weight_bytes(model, acc, CompressionSpec())
+        report = footprint_report(
+            model, acc, CompressionSpec(), cache_capacity_bytes=3 * layer
+        )
+        assert report.layers_resident == 3
+        assert report.cache_capacity_bytes == 3 * layer

@@ -1,0 +1,117 @@
+"""CompressionSpec validation, pricing helpers and degeneracy flags."""
+
+import pytest
+
+from repro.config import (
+    CompressionSpec,
+    PoolConfig,
+    ServingConfig,
+    circulant_spec,
+    nm_sparse_spec,
+)
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_dense_default(self):
+        spec = CompressionSpec()
+        assert spec.is_dense
+        assert spec.label == "dense"
+        assert spec.compression_ratio == 1.0
+
+    @pytest.mark.parametrize("b", [1, 2, 4, 8, 16, 32, 64])
+    def test_valid_circulant_blocks(self, b):
+        assert circulant_spec(b).block_size == b
+
+    @pytest.mark.parametrize("b", [0, -4, 3, 5, 48, 128])
+    def test_invalid_circulant_blocks(self, b):
+        with pytest.raises(ConfigError):
+            circulant_spec(b)
+
+    @pytest.mark.parametrize("n,m", [(2, 4), (1, 4), (4, 4), (3, 8),
+                                     (1, 64)])
+    def test_valid_nm_shapes(self, n, m):
+        spec = nm_sparse_spec(n, m)
+        assert (spec.n, spec.m) == (n, m)
+
+    @pytest.mark.parametrize("n,m", [(0, 4), (5, 4), (1, 3), (2, 0),
+                                     (1, 128)])
+    def test_invalid_nm_shapes(self, n, m):
+        with pytest.raises(ConfigError):
+            nm_sparse_spec(n, m)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigError):
+            CompressionSpec(scheme="pruned")
+
+    def test_depth_must_divide(self):
+        with pytest.raises(ConfigError):
+            circulant_spec(16).effective_depth(24)
+        with pytest.raises(ConfigError):
+            nm_sparse_spec(2, 8).pass_overhead_cycles(12)
+
+
+class TestDegeneracy:
+    def test_circulant_block_one_is_dense(self):
+        spec = circulant_spec(1)
+        assert spec.is_dense
+        assert spec.compression_ratio == 1.0
+        assert spec.pass_overhead_cycles(512) == 0
+        assert spec.weight_tile_bytes(512, 64, 8) == 512 * 64
+
+    def test_nm_full_is_dense(self):
+        spec = nm_sparse_spec(4, 4)
+        assert spec.is_dense
+        assert spec.effective_depth(512) == 512
+        assert spec.pass_overhead_cycles(512) == 0
+        assert spec.weight_tile_bytes(512, 64, 8) == 512 * 64
+
+
+class TestPricing:
+    def test_circulant_effective_depth_unchanged(self):
+        # The rotation unit regenerates rows: full MAC depth, fewer
+        # stored bytes.
+        spec = circulant_spec(8)
+        assert spec.effective_depth(512) == 512
+        assert spec.weight_tile_bytes(512, 64, 8) == 512 * 64 // 8
+        assert spec.pass_overhead_cycles(512) == 64
+        assert spec.compression_ratio == 8.0
+
+    def test_nm_effective_depth_pruned(self):
+        spec = nm_sparse_spec(2, 4)
+        assert spec.effective_depth(512) == 256
+        assert spec.pass_overhead_cycles(512) == 128
+        assert spec.compression_ratio == 2.0
+
+    def test_nm_tile_bytes_include_index_metadata(self):
+        spec = nm_sparse_spec(2, 4)
+        # 256 kept rows x 64 cols x 1 byte, plus 2 bits/kept-row x 2
+        # rows over 128 groups -> 4 index bits per group.
+        kept_bytes = 256 * 64
+        index_bits = (512 // 4) * spec.index_bits_per_group()
+        expected = kept_bytes + -(-index_bits // 8)
+        assert spec.weight_tile_bytes(512, 64, 8) == expected
+        assert spec.weight_bytes_ratio(512, 64, 8) > 0.5
+
+    def test_index_bits_per_group(self):
+        assert nm_sparse_spec(2, 4).index_bits_per_group() == 4
+        assert nm_sparse_spec(1, 2).index_bits_per_group() == 1
+        assert nm_sparse_spec(3, 8).index_bits_per_group() == 9
+
+
+class TestConfigIntegration:
+    def test_serving_config_carries_spec(self):
+        sv = ServingConfig(compression=circulant_spec(8))
+        assert sv.compression.label == "circ8"
+        with pytest.raises(ConfigError):
+            ServingConfig(compression="circ8")
+
+    def test_pool_config_carries_spec(self):
+        pool = PoolConfig(name="edge", kind="fpga",
+                          compression=nm_sparse_spec(2, 4))
+        assert pool.compression.label == "2:4"
+
+    def test_gpu_pool_rejects_compression(self):
+        with pytest.raises(ConfigError):
+            PoolConfig(name="gpu", kind="gpu",
+                       compression=circulant_spec(8))

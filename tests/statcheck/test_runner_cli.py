@@ -21,7 +21,7 @@ class TestRunCheck:
         assert report.passed
         assert report.errors == []
         assert set(report.checks_run) == set(PASSES)
-        assert report.checks_run["overflow"] == len(report.certified) == 20
+        assert report.checks_run["overflow"] == len(report.certified) == 25
 
     def test_seeded_acc_width_fails(self):
         report = run_check(seed_bug="sa-acc-width", skip=("schedule", "ast"))

@@ -31,7 +31,7 @@ def mutate_double_booking(result):
 class TestPinnedPoints:
     def test_all_pinned_points_clean(self):
         checked, findings = lint_paper_points()
-        assert checked == len(PINNED_PAPER_POINTS) == 8
+        assert checked == len(PINNED_PAPER_POINTS) == 12
         assert findings == []
 
     def test_pinned_totals_cover_paper_and_sweep(self):
@@ -43,6 +43,11 @@ class TestPinnedPoints:
         # Decode-subsystem points (fused prefill + one decode step).
         assert totals[("paper", "fused512")] == 312_538
         assert totals[("paper", "decode64")] == totals[("paper", "mha")]
+        # Compress-subsystem points (circulant + N:M sparse layers).
+        assert totals[("paper", "circ8_mha")] == 23_626
+        assert totals[("paper", "circ8_ffn")] == 43_148
+        assert totals[("paper", "nm24_mha")] == 17_482
+        assert totals[("paper", "nm24_ffn")] == 30_860
 
     def test_drifted_accelerator_fires_sch005(self):
         slow = paper_accelerator().with_updates(sa_drain_cycles=17)
