@@ -1,0 +1,58 @@
+"""[A7] Statcheck: full-gate wall time and warm incremental-cache speed.
+
+Runs the complete six-pass ``repro check`` gate (overflow, schedule,
+AST, DET, QFMT, PRC) cold and records its wall time as the headline
+`repro bench-diff --only check.` gates on; a second timed region proves
+the warm content-hash cache keeps an incremental re-check under the
+one-second budget the CLI promises for ``repro check --changed``.  The
+timed region is one cold uncached full run.
+"""
+
+import time
+
+from repro.analysis import render_table
+from repro.statcheck import CheckCache, run_check
+
+WARM_BUDGET_S = 1.0
+
+
+def test_bench_check_gate(benchmark, bench_headline, tmp_path):
+    start = time.perf_counter()
+    cold = run_check()
+    cold_s = time.perf_counter() - start
+    assert cold.passed and cold.errors == []
+
+    cache = CheckCache(path=tmp_path / "cache.json")
+    run_check(cache=cache)
+    cache.save()
+
+    warm_cache = CheckCache.load(tmp_path / "cache.json")
+    start = time.perf_counter()
+    warm = run_check(cache=warm_cache)
+    warm_s = time.perf_counter() - start
+    assert warm.passed
+    assert warm.cache_stats["misses"] == 0
+    assert warm.findings == cold.findings
+
+    bench_headline("check.wall_time_s", cold_s)
+    bench_headline("check.warm_wall_time_s", warm_s)
+    bench_headline("check.checks_total", sum(cold.checks_run.values()))
+
+    print()
+    print(render_table(
+        "statcheck: full six-pass gate",
+        ["run", "wall s", "checks", "cache hits/misses"],
+        [
+            ["cold", f"{cold_s:.3f}",
+             str(sum(cold.checks_run.values())), "-"],
+            ["warm", f"{warm_s:.3f}",
+             str(sum(warm.checks_run.values())),
+             f"{warm.cache_stats['hits']}/{warm.cache_stats['misses']}"],
+        ],
+    ))
+
+    # The CLI promise: a warm `repro check --changed` is sub-second.
+    assert warm_s < WARM_BUDGET_S
+
+    result = benchmark(run_check)
+    assert result.passed

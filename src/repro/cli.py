@@ -95,8 +95,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("selftest", help="run the numerical-contract checks")
     check = sub.add_parser(
         "check",
-        help="static checks: overflow certifier, schedule linter, AST "
-             "lints (non-zero exit on any error finding)",
+        help="static checks: overflow certifier, schedule linter, AST/"
+             "determinism lints, Q-format dataflow, pricing coverage",
+        description=(
+            "Run the statcheck gate: overflow certification, schedule "
+            "lints, REP/DET source lints, the Q-format dataflow graph "
+            "and pricing/telemetry coverage.  Exit codes: 0 = no "
+            "error-severity findings (warnings never fail the gate); "
+            "1 = at least one unsuppressed error finding; 2 = usage "
+            "error (bad flags, malformed baseline file)."
+        ),
     )
     check.add_argument(
         "--point", default="paper", metavar="NAME",
@@ -108,16 +116,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the findings/certified-bounds JSON artifact",
     )
     check.add_argument(
+        "--sarif", dest="sarif_path", metavar="PATH",
+        help="also write a SARIF 2.1.0 artifact (code-scanning upload)",
+    )
+    check.add_argument(
+        "--baseline", dest="baseline_path", metavar="FILE",
+        help="reviewed suppression file; matched findings are reported "
+             "but do not fail the gate, stale entries warn (BAS001)",
+    )
+    check.add_argument(
+        "--changed", action="store_true",
+        help="incremental mode: replay cached results for source-"
+             "scanning passes whose inputs are content-identical "
+             "(cache file: --cache-file)",
+    )
+    check.add_argument(
+        "--cache-file", default=".repro-check-cache.json", metavar="PATH",
+        help="incremental cache location (default: "
+             ".repro-check-cache.json; only used with --changed)",
+    )
+    check.add_argument(
         "--sa-acc-bits", type=int, default=None,
         help="override the declared SA accumulator width",
     )
     check.add_argument(
-        "--seed-bug", choices=("sa-acc-width", "double-book"),
-        help="deliberately break the run (gate self-test)",
+        "--seed-bug",
+        choices=("sa-acc-width", "double-book", "unseeded-rng",
+                 "set-order", "orphan-bound", "port-width",
+                 "unpriced-cycle", "unregistered-metric"),
+        help="deliberately break the run (gate self-proof; never "
+             "touches the cache)",
     )
     check.add_argument(
         "--skip", action="append", default=[],
-        choices=("overflow", "schedule", "ast"),
+        choices=("overflow", "schedule", "ast", "det", "qformat",
+                 "pricing"),
         help="skip one pass (repeatable)",
     )
     trace = sub.add_parser("trace", help="write a Chrome trace JSON")
@@ -610,7 +643,8 @@ def _cmd_selftest(args) -> None:
 
 
 def _cmd_check(args) -> int:
-    from .statcheck import OverflowPoint, run_check
+    from .errors import ConfigError
+    from .statcheck import CheckCache, OverflowPoint, run_check
 
     if args.point == "paper":
         point = OverflowPoint()
@@ -620,16 +654,28 @@ def _cmd_check(args) -> int:
             seq_len=args.seq_len, clock_mhz=args.clock_mhz
         )
         point = OverflowPoint.from_configs(model, acc)
-    report = run_check(
-        point=point,
-        sa_acc_bits=args.sa_acc_bits,
-        seed_bug=args.seed_bug,
-        skip=tuple(args.skip),
-        json_path=args.json_path,
-    )
+    cache = None
+    if args.changed and not args.seed_bug:
+        cache = CheckCache.load(args.cache_file)
+    try:
+        report = run_check(
+            point=point,
+            sa_acc_bits=args.sa_acc_bits,
+            seed_bug=args.seed_bug,
+            skip=tuple(args.skip),
+            json_path=args.json_path,
+            sarif_path=args.sarif_path,
+            baseline_path=args.baseline_path,
+            cache=cache,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(report.render_text())
     if args.json_path:
         print(f"wrote findings artifact to {args.json_path}")
+    if args.sarif_path:
+        print(f"wrote SARIF artifact to {args.sarif_path}")
     return 0 if report.passed else 1
 
 

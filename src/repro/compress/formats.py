@@ -37,6 +37,14 @@ from ..errors import ConfigError
 from ..quant.quantizer import QuantParams
 
 
+#: Declared width of the compressed-pass control registers — the
+#: circulant rotation-offset counter, the N:M group counter and the
+#: stored row-offset field (statcheck QFMT graph hook; the overflow
+#: certifier's ``OverflowPoint.compress_counter_bits`` default mirrors
+#: this value and the two are cross-checked by the QFMT engine).
+CONTROL_COUNTER_BITS = 16
+
+
 def _check_2d(dense: np.ndarray) -> None:
     if dense.ndim != 2:
         raise ConfigError(f"expected a 2-D weight matrix, got {dense.shape}")

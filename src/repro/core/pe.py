@@ -18,6 +18,23 @@ from typing import Optional
 from ..errors import FixedPointError
 
 
+def mac_port_widths(
+    act_bits: int = 8, weight_bits: int = 8, acc_bits: int = 32
+) -> dict[str, int]:
+    """Declared bit widths of one PE's ports (statcheck QFMT graph hook).
+
+    The product bus carries one full-precision ``act x weight`` result;
+    the accumulator is the stationary partial-sum register whose
+    saturation width :class:`ProcessingElement` enforces.
+    """
+    return {
+        "act": act_bits,
+        "weight": weight_bits,
+        "product": act_bits + weight_bits,
+        "acc": acc_bits,
+    }
+
+
 def flip_bit(value: int, bit: int, width: int) -> int:
     """Flip ``bit`` of a two's-complement ``width``-bit ``value``.
 

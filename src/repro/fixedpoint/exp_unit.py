@@ -52,6 +52,10 @@ class ExpUnit:
         """Output format: Q2.out_frac_bits (values in (0, 1])."""
         return QFormat(int_bits=2, frac_bits=self.out_frac_bits)
 
+    def ports(self) -> dict[str, QFormat]:
+        """Q-formats of the unit's ports (statcheck QFMT graph hook)."""
+        return {"in": self.in_fmt, "out": self.out_fmt}
+
     @property
     def log2e_constant(self) -> float:
         """The shift-add approximation of log2(e) actually implemented."""

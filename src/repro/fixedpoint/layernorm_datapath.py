@@ -75,6 +75,15 @@ class FixedPointLayerNorm:
         """The LUT unit (exposed for the static overflow certifier)."""
         return self._isqrt
 
+    def ports(self) -> dict[str, QFormat]:
+        """Q-formats of the datapath's ports (statcheck QFMT graph hook)."""
+        return {
+            "in": self.in_fmt,
+            "affine": self.affine_fmt,
+            "isqrt_in": self._isqrt.in_fmt,
+            "out": self.out_fmt,
+        }
+
     # ------------------------------------------------------------------
     def _mean_codes(self, sums: np.ndarray) -> np.ndarray:
         """``sum / d_model`` on integer codes."""

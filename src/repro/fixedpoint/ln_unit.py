@@ -46,6 +46,10 @@ class LnUnit:
         """The shift-add approximation of ln(2) actually implemented."""
         return shift_add_constant(LN2_TERMS)
 
+    def ports(self) -> dict[str, QFormat]:
+        """Q-formats of the unit's ports (statcheck QFMT graph hook)."""
+        return {"in": self.in_fmt, "out": self.out_fmt}
+
     def __call__(self, codes: np.ndarray) -> np.ndarray:
         """Evaluate ``ln`` on positive input codes.
 

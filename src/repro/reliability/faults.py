@@ -45,6 +45,10 @@ import numpy as np
 from ..core.pe import flip_bit
 from ..errors import ReliabilityError
 
+#: Opt this module into the statcheck determinism lints (DET001-004):
+#: fault placement must replay bit-identically from the injector seed.
+__simulation__ = True
+
 FAULT_SITES = (
     "sa_accumulator",
     "sa_multiplier",
@@ -170,7 +174,7 @@ class FaultInjector:
             )
         upsets = spec.num_bits if spec.mode == "multi_bit_flip" else 1
         events: list = []
-        rng = self.rng
+        rng: np.random.Generator = self.rng   # seeded in __init__
 
         def hook(codes: np.ndarray) -> np.ndarray:
             out = np.array(codes, dtype=np.int64)

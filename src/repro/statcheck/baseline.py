@@ -1,0 +1,192 @@
+"""Reviewed baseline suppressions for ``repro check``.
+
+A baseline file lets a reviewed, deliberately-accepted finding stop
+failing the gate without weakening the check for new code.  The format
+is JSON so entries diff cleanly and carry a mandatory ``reason``::
+
+    {
+      "version": 1,
+      "suppressions": [
+        {"code": "QFMT003", "file": "repro/fixedpoint/exp_unit.py",
+         "reason": "intentional requantize documented in Fig. 6"}
+      ]
+    }
+
+Matching is by ``code`` (required) plus optional ``file`` (exact
+relative path), ``line`` and ``message_prefix``.  Every entry must
+suppress at least one finding in the run it is applied to — otherwise
+it is *stale* and reported as a ``BAS001`` warning, so dead
+suppressions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from ..errors import ConfigError
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One reviewed baseline entry."""
+
+    code: str
+    reason: str
+    file: Optional[str] = None
+    line: Optional[int] = None
+    message_prefix: Optional[str] = None
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.code != self.code:
+            return False
+        if self.file is not None and finding.file != self.file:
+            return False
+        if self.line is not None and finding.line != self.line:
+            return False
+        if (self.message_prefix is not None
+                and not finding.message.startswith(self.message_prefix)):
+            return False
+        return True
+
+    def as_dict(self) -> dict[str, Any]:
+        entry: dict[str, Any] = {"code": self.code, "reason": self.reason}
+        for key in ("file", "line", "message_prefix"):
+            value = getattr(self, key)
+            if value is not None:
+                entry[key] = value
+        return entry
+
+    def describe(self) -> str:
+        parts = [self.code]
+        if self.file:
+            loc = self.file if self.line is None else f"{self.file}:{self.line}"
+            parts.append(loc)
+        if self.message_prefix:
+            parts.append(f"message^={self.message_prefix!r}")
+        return " ".join(parts)
+
+
+@dataclass
+class Baseline:
+    """A parsed suppression file."""
+
+    suppressions: list[Suppression] = field(default_factory=list)
+    path: Optional[str] = None
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[Suppression]]:
+        """Split ``findings`` against the baseline.
+
+        Returns ``(kept, suppressed, stale)`` where ``stale`` are
+        entries that matched nothing.
+        """
+        kept: list[Finding] = []
+        suppressed: list[Finding] = []
+        used: set[int] = set()
+        for finding in findings:
+            hit = False
+            for index, entry in enumerate(self.suppressions):
+                if entry.matches(finding):
+                    used.add(index)
+                    hit = True
+            (suppressed if hit else kept).append(finding)
+        stale = [
+            entry for index, entry in enumerate(self.suppressions)
+            if index not in used
+        ]
+        return kept, suppressed, stale
+
+    def stale_findings(self, stale: Sequence[Suppression]) -> list[Finding]:
+        """BAS001 warnings for entries that matched nothing."""
+        return [
+            Finding(
+                code="BAS001",
+                check="baseline",
+                severity="warning",
+                file=self.path,
+                message=(
+                    f"stale baseline entry ({entry.describe()}): it "
+                    "suppresses nothing — delete it or fix the pattern"
+                ),
+                details={"entry": entry.as_dict()},
+            )
+            for entry in stale
+        ]
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Parse a baseline file (raises ConfigError on malformed input)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ConfigError(f"baseline {path} must be a JSON object")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ConfigError(
+            f"baseline {path} has version {version!r}; "
+            f"expected {BASELINE_VERSION}"
+        )
+    entries = payload.get("suppressions", [])
+    if not isinstance(entries, list):
+        raise ConfigError(f"baseline {path}: 'suppressions' must be a list")
+    suppressions: list[Suppression] = []
+    for index, raw in enumerate(entries):
+        if not isinstance(raw, dict):
+            raise ConfigError(
+                f"baseline {path}: entry {index} must be an object"
+            )
+        unknown = set(raw) - {"code", "reason", "file", "line",
+                              "message_prefix"}
+        if unknown:
+            raise ConfigError(
+                f"baseline {path}: entry {index} has unknown keys "
+                f"{sorted(unknown)}"
+            )
+        code = raw.get("code")
+        reason = raw.get("reason")
+        if not isinstance(code, str) or not code:
+            raise ConfigError(
+                f"baseline {path}: entry {index} needs a 'code' string"
+            )
+        if not isinstance(reason, str) or not reason.strip():
+            raise ConfigError(
+                f"baseline {path}: entry {index} needs a non-empty "
+                "'reason' (suppressions must be reviewed)"
+            )
+        suppressions.append(Suppression(
+            code=code,
+            reason=reason,
+            file=raw.get("file"),
+            line=raw.get("line"),
+            message_prefix=raw.get("message_prefix"),
+        ))
+    return Baseline(suppressions=suppressions, path=str(path))
+
+
+def write_baseline(
+    suppressions: Sequence[Suppression], path: str | Path
+) -> None:
+    """Write a baseline file (sorted, one canonical form)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "suppressions": [
+            entry.as_dict()
+            for entry in sorted(
+                suppressions,
+                key=lambda e: (e.code, e.file or "", e.line or 0),
+            )
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n")

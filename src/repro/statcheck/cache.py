@@ -1,0 +1,190 @@
+"""Content-hash incremental cache for ``repro check``.
+
+Each analysis is split into *units* with honest dependency sets:
+
+* per-file units (one DET lint per simulation module) depend on that
+  file alone;
+* whole-program units (overflow/qformat at a point, schedule lints,
+  the REP parity and PRC coverage scans) depend on every source file
+  they may read, plus the configuration point.
+
+A unit's cache key is the SHA-256 of its name, an engine-version
+stamp, its parameter payload and the ``(path, content-hash)`` list of
+its dependencies — so touching one file invalidates exactly the units
+that could see it, and a warm ``repro check --changed`` run reduces to
+hashing the tree and replaying stored findings (sub-second).  Seeded
+bug runs never consult or populate the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
+
+from .findings import Finding
+
+#: Bump when any engine's semantics change, to invalidate old caches.
+ENGINE_VERSION = "statcheck-v2.0"
+
+CACHE_FORMAT_VERSION = 1
+
+#: Default cache location (repo-local, git-ignored).
+DEFAULT_CACHE_NAME = ".repro-check-cache.json"
+
+
+def file_sha(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """What one analysis unit produced (what the cache stores)."""
+
+    checks: int
+    findings: tuple[Finding, ...]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "checks": self.checks,
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "UnitResult":
+        return cls(
+            checks=int(payload["checks"]),
+            findings=tuple(
+                _finding_from_dict(raw) for raw in payload["findings"]
+            ),
+        )
+
+
+def _finding_from_dict(payload: dict[str, Any]) -> Finding:
+    return Finding(
+        code=payload["code"],
+        message=payload["message"],
+        severity=payload.get("severity", "error"),
+        file=payload.get("file"),
+        line=payload.get("line"),
+        check=payload.get("check", ""),
+        details=dict(payload.get("details", {})),
+    )
+
+
+@dataclass(frozen=True)
+class AnalysisUnit:
+    """One cacheable slice of the whole check.
+
+    Attributes:
+        name: Stable identifier (``det:repro/serving/simulator.py``,
+            ``qformat@paper``, ...).
+        deps: Files whose *content* the unit's result depends on.
+        params: Extra key material (the operating point, rule set).
+        run: Produces ``(checks_run, findings)`` when there is no hit.
+    """
+
+    name: str
+    deps: tuple[Path, ...]
+    run: Callable[[], tuple[int, Sequence[Finding]]]
+    params: str = ""
+
+    def key(self, hashes: dict[Path, str]) -> str:
+        material = {
+            "unit": self.name,
+            "engine": ENGINE_VERSION,
+            "params": self.params,
+            "deps": [
+                (path.as_posix(), hashes[path]) for path in self.deps
+            ],
+        }
+        blob = json.dumps(material, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class CheckCache:
+    """The on-disk key -> :class:`UnitResult` store."""
+
+    entries: dict[str, UnitResult] = field(default_factory=dict)
+    path: Optional[Path] = None
+    hits: int = 0
+    misses: int = 0
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CheckCache":
+        """Load a cache file; corrupt or mismatched caches start empty."""
+        path = Path(path)
+        cache = cls(path=path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return cache
+        if (not isinstance(payload, dict)
+                or payload.get("format") != CACHE_FORMAT_VERSION
+                or payload.get("engine") != ENGINE_VERSION):
+            return cache
+        for key, raw in payload.get("entries", {}).items():
+            try:
+                cache.entries[key] = UnitResult.from_dict(raw)
+            except (KeyError, TypeError, ValueError):
+                continue
+        return cache
+
+    def save(self, path: Optional[str | Path] = None) -> None:
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            return
+        payload = {
+            "format": CACHE_FORMAT_VERSION,
+            "engine": ENGINE_VERSION,
+            "entries": {
+                key: result.as_dict()
+                for key, result in self.entries.items()
+            },
+        }
+        target.write_text(json.dumps(payload, indent=1) + "\n")
+
+    def run_units(
+        self, units: Sequence[AnalysisUnit]
+    ) -> dict[str, UnitResult]:
+        """Run every unit, replaying cached results where keys match.
+
+        File hashes are computed once per distinct dependency across
+        all units, so a fully-warm run costs one hash pass over the
+        tree plus dictionary lookups.
+        """
+        hashes: dict[Path, str] = {}
+        for unit in units:
+            for dep in unit.deps:
+                if dep not in hashes:
+                    hashes[dep] = file_sha(dep)
+        results: dict[str, UnitResult] = {}
+        for unit in units:
+            key = unit.key(hashes)
+            cached = self.entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                results[unit.name] = cached
+                continue
+            self.misses += 1
+            checks, findings = unit.run()
+            result = UnitResult(checks=checks, findings=tuple(findings))
+            self.entries[key] = result
+            results[unit.name] = result
+        return results
+
+
+def run_units_uncached(
+    units: Sequence[AnalysisUnit],
+) -> dict[str, UnitResult]:
+    """The cold path: run every unit directly."""
+    results: dict[str, UnitResult] = {}
+    for unit in units:
+        checks, findings = unit.run()
+        results[unit.name] = UnitResult(
+            checks=checks, findings=tuple(findings)
+        )
+    return results

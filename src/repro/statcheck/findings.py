@@ -104,12 +104,18 @@ class CheckReport:
         checks_run: Per-pass count of individual checks executed, so an
             all-green report still shows the coverage it bought.
         point: Description of the configuration point that was checked.
+        suppressed: Findings a reviewed baseline file silenced (kept so
+            the artifact still shows them, marked as suppressed).
+        cache_stats: ``{"hits": n, "misses": m}`` when the incremental
+            cache was consulted (empty on cold/uncached runs).
     """
 
     findings: list[Finding] = field(default_factory=list)
     certified: list[dict[str, Any]] = field(default_factory=list)
     checks_run: dict[str, int] = field(default_factory=dict)
     point: dict[str, Any] = field(default_factory=dict)
+    suppressed: list[Finding] = field(default_factory=list)
+    cache_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def errors(self) -> list[Finding]:
@@ -128,6 +134,7 @@ class CheckReport:
         for finding in self.findings:
             counts[finding.severity] += 1
         counts["checks_run"] = sum(self.checks_run.values())
+        counts["suppressed"] = len(self.suppressed)
         return counts
 
     def render_text(self) -> str:
@@ -143,6 +150,11 @@ class CheckReport:
         if self.point:
             desc = ", ".join(f"{k}={v}" for k, v in self.point.items())
             lines.append(f"point: {desc}")
+        if self.cache_stats:
+            lines.append(
+                f"cache: {self.cache_stats.get('hits', 0)} hit(s), "
+                f"{self.cache_stats.get('misses', 0)} miss(es)"
+            )
         ordered = sort_findings(self.findings)
         if not ordered:
             lines.append("no findings — all declared widths and schedule "
@@ -150,20 +162,30 @@ class CheckReport:
         for finding in ordered:
             lines.append(finding.render())
         summary = self.summary()
-        lines.append(
+        tail = (
             f"{summary['error']} error(s), {summary['warning']} warning(s), "
             f"{summary['info']} info"
         )
+        if self.suppressed:
+            tail += f", {len(self.suppressed)} suppressed by baseline"
+        lines.append(tail)
         return "\n".join(lines)
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "point": dict(self.point),
             "summary": self.summary(),
             "checks_run": dict(self.checks_run),
             "findings": [f.as_dict() for f in sort_findings(self.findings)],
             "certified": [dict(stage) for stage in self.certified],
         }
+        if self.suppressed:
+            payload["suppressed"] = [
+                f.as_dict() for f in sort_findings(self.suppressed)
+            ]
+        if self.cache_stats:
+            payload["cache"] = dict(self.cache_stats)
+        return payload
 
     def write_json(self, path: str) -> None:
         """Write the JSON artifact consumed by the CI job."""

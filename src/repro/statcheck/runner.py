@@ -1,17 +1,44 @@
-"""Orchestrates the three statcheck passes behind ``repro check``.
+"""Orchestrates the statcheck passes behind ``repro check``.
 
-:func:`run_check` runs the overflow certifier, the schedule/trace
-linter and the AST lints for one configuration point, merges their
-findings into a single :class:`~repro.statcheck.findings.CheckReport`,
-and optionally writes the JSON artifact the CI job uploads.
+:func:`run_check` runs six passes for one configuration point and
+merges their findings into a single
+:class:`~repro.statcheck.findings.CheckReport`:
 
-The ``seed_bug`` hook deliberately breaks the configuration so tests
-(and the CI job's self-test) can prove the gate actually fails:
+* **overflow** — interval-arithmetic certification of every register;
+* **schedule** — timeline/trace invariants on the paper's schedules;
+* **ast** — REP001-004 source lints (pricing literals, parity, tracks);
+* **det** — DET001-004 determinism lints over the simulation packages;
+* **qformat** — the Q-format/width dataflow graph (QFMT001-004);
+* **pricing** — whole-program pricing/telemetry coverage (PRC001-005).
 
-* ``"sa-acc-width"`` shrinks the SA accumulator to one bit below the
-  smallest width the point certifies;
-* ``"double-book"`` shifts one pinned-schedule event backwards so two
-  SA passes overlap.
+The three source-scanning passes (``ast``, ``det``, ``pricing``)
+dominate the runtime, so they are split into
+:class:`~repro.statcheck.cache.AnalysisUnit` slices with honest
+dependency sets and replayed from a content-hash cache when a
+:class:`~repro.statcheck.cache.CheckCache` is supplied — a warm
+``repro check --changed`` run reduces to hashing the tree.  The
+pure-math passes re-run every time (they cost milliseconds).
+
+The ``seed_bug`` hook deliberately breaks the run so tests (and the CI
+job's self-proof) can show each gate actually fails:
+
+* ``"sa-acc-width"`` — SA accumulator one bit below the certified
+  minimum (overflow pass);
+* ``"double-book"`` — one pinned SA pass shifted to overlap (schedule);
+* ``"unseeded-rng"`` — synthetic sim module drawing from an unseeded
+  generator (det, DET001);
+* ``"set-order"`` — synthetic sim module dispatching from a bare set
+  (det, DET002);
+* ``"orphan-bound"`` — phantom StageBound no datapath node backs
+  (qformat, QFMT002);
+* ``"port-width"`` — the softmax row-sum port shrunk to 8 bits
+  (qformat, QFMT001);
+* ``"unpriced-cycle"`` — synthetic scheduler booking a ``dma2`` unit
+  UNIT_PRICING does not map (pricing, PRC001);
+* ``"unregistered-metric"`` — synthetic emission of a ``repro_*``
+  family METRIC_FAMILIES does not register (pricing, PRC002).
+
+Seeded runs never consult or populate the cache.
 """
 
 from __future__ import annotations
@@ -19,21 +46,80 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Sequence
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
 from ..config import paper_accelerator, transformer_base
 from ..core.scheduler import TimelineEvent, schedule_mha
 from ..errors import ConfigError
 from .ast_lints import run_ast_lints
+from .baseline import load_baseline
+from .cache import AnalysisUnit, CheckCache, run_units_uncached
+from .det_lints import lint_determinism_source, sim_module_files
 from .findings import CheckReport, Finding
 from .overflow import OverflowPoint, certify_overflow, min_sa_acc_bits
+from .pricing_graph import check_pricing
+from .qformat import build_datapath_graph, check_graph
+from .sarif import write_sarif
 from .schedule_lint import lint_paper_points, lint_schedule
 
 #: Pass names accepted by ``skip``.
-PASSES = ("overflow", "schedule", "ast")
+PASSES = ("overflow", "schedule", "ast", "det", "qformat", "pricing")
 
 #: Supported seeded bugs (see module docstring).
-SEED_BUGS = ("sa-acc-width", "double-book")
+SEED_BUGS = (
+    "sa-acc-width",
+    "double-book",
+    "unseeded-rng",
+    "set-order",
+    "orphan-bound",
+    "port-width",
+    "unpriced-cycle",
+    "unregistered-metric",
+)
+
+#: Which pass each seeded bug breaks (the self-proof runs only that one).
+SEED_BUG_PASS = {
+    "sa-acc-width": "overflow",
+    "double-book": "schedule",
+    "unseeded-rng": "det",
+    "set-order": "det",
+    "orphan-bound": "qformat",
+    "port-width": "qformat",
+    "unpriced-cycle": "pricing",
+    "unregistered-metric": "pricing",
+}
+
+_SEEDED_DET_SOURCES = {
+    "unseeded-rng": (
+        "repro/serving/_seeded_bug.py",
+        "import numpy as np\n"
+        "__simulation__ = True\n"
+        "def jitter():\n"
+        "    rng = np.random.default_rng()\n"
+        "    return rng.random()\n",
+    ),
+    "set-order": (
+        "repro/serving/_seeded_bug.py",
+        "__simulation__ = True\n"
+        "def dispatch(pending, emit):\n"
+        "    for device in {1, 2, 3}:\n"
+        "        emit(device)\n",
+    ),
+}
+
+_SEEDED_PRICING_SOURCES = {
+    "unpriced-cycle": {
+        "repro/core/_seeded_bug.py":
+            "def schedule(timeline):\n"
+            "    timeline.module_event('rowgen', 'dma2', 0, 64)\n",
+    },
+    "unregistered-metric": {
+        "repro/telemetry/_seeded_bug.py":
+            "def record(registry):\n"
+            "    registry.counter(\n"
+            "        'repro_phantom_widget_total', 'seeded').inc(1)\n",
+    },
+}
 
 
 def _double_booked_schedule():
@@ -49,6 +135,75 @@ def _double_booked_schedule():
     return result
 
 
+def _source_root(ast_root: Optional[Path]) -> Path:
+    if ast_root is not None:
+        return Path(ast_root)
+    return Path(__file__).resolve().parents[2]
+
+
+def _package_files(root: Path) -> list[Path]:
+    package = root / "repro"
+    return sorted(package.rglob("*.py")) if package.is_dir() else []
+
+
+def _engine_file(name: str) -> Path:
+    return Path(__file__).resolve().parent / name
+
+
+def build_units(
+    skip: Sequence[str] = (),
+    ast_root: Optional[Path] = None,
+) -> list[AnalysisUnit]:
+    """The cacheable source-scanning slices of one check run.
+
+    ``ast`` and ``pricing`` are whole-program (REP002 parity and PRC
+    coverage cross files), so they depend on the full tree; the DET
+    lints are per-file, so each simulation module is its own unit and
+    touching one re-analyzes only that unit plus the whole-program
+    ones.
+    """
+    root = _source_root(ast_root)
+    all_files = tuple(_package_files(root))
+    units: list[AnalysisUnit] = []
+    if "ast" not in skip:
+        def _run_ast() -> tuple[int, Sequence[Finding]]:
+            counts, findings = run_ast_lints(root=root)
+            return sum(counts.values()), findings
+
+        units.append(AnalysisUnit(
+            name="ast", deps=all_files, run=_run_ast,
+        ))
+    if "det" not in skip:
+        det_engine = _engine_file("det_lints.py")
+
+        def _det_runner(path: Path) -> Callable[
+            [], tuple[int, Sequence[Finding]]
+        ]:
+            def _run() -> tuple[int, Sequence[Finding]]:
+                rel = path.relative_to(root).as_posix()
+                findings = lint_determinism_source(path.read_text(), rel)
+                return 1, findings
+            return _run
+
+        for path in sim_module_files(root):
+            rel = path.relative_to(root).as_posix()
+            units.append(AnalysisUnit(
+                name=f"det:{rel}",
+                deps=(path, det_engine),
+                run=_det_runner(path),
+            ))
+    if "pricing" not in skip:
+        def _run_pricing() -> tuple[int, Sequence[Finding]]:
+            return check_pricing(root=root)
+
+        units.append(AnalysisUnit(
+            name="pricing",
+            deps=all_files + (_engine_file("pricing_graph.py"),),
+            run=_run_pricing,
+        ))
+    return units
+
+
 def run_check(
     point: Optional[OverflowPoint] = None,
     sa_acc_bits: Optional[int] = None,
@@ -56,6 +211,9 @@ def run_check(
     skip: Sequence[str] = (),
     json_path: Optional[str] = None,
     ast_root: Optional[Path] = None,
+    sarif_path: Optional[str] = None,
+    baseline_path: Optional[str] = None,
+    cache: Optional[CheckCache] = None,
 ) -> CheckReport:
     """Run every statcheck pass and return the merged report.
 
@@ -66,8 +224,14 @@ def run_check(
         seed_bug: Deliberately break the run (one of :data:`SEED_BUGS`).
         skip: Pass names to leave out (subset of :data:`PASSES`).
         json_path: Where to write the JSON findings artifact, if given.
-        ast_root: Source root for the AST lints (default: the installed
-            package).
+        ast_root: Source root for the source-scanning passes (default:
+            the installed package).
+        sarif_path: Where to write a SARIF 2.1.0 artifact, if given.
+        baseline_path: Reviewed suppression file; suppressed findings
+            move to ``report.suppressed`` and stale entries warn
+            (BAS001).
+        cache: Incremental content-hash cache for the source-scanning
+            passes; ignored when ``seed_bug`` is set.
     """
     for name in skip:
         if name not in PASSES:
@@ -87,9 +251,12 @@ def run_check(
     report = CheckReport(point=point.as_dict())
     if seed_bug:
         report.point["seed_bug"] = seed_bug
+        cache = None   # seeded runs must never pollute or reuse the cache
 
+    certified_names: list[str] = []
     if "overflow" not in skip:
         stages, findings = certify_overflow(point)
+        certified_names = [stage.name for stage in stages]
         report.certified = [stage.as_dict() for stage in stages]
         report.checks_run["overflow"] = len(stages)
         report.extend(findings)
@@ -103,36 +270,97 @@ def run_check(
         report.checks_run["schedule"] = checked
         report.extend(findings)
 
-    if "ast" not in skip:
-        counts, findings = run_ast_lints(root=ast_root)
-        report.checks_run["ast"] = sum(counts.values())
+    if "qformat" not in skip:
+        graph = build_datapath_graph(point)
+        extra_certified: tuple[str, ...] = ()
+        if seed_bug == "orphan-bound":
+            extra_certified = ("softmax.ghost_reg",)
+        elif seed_bug == "port-width":
+            graph.override_width("softmax.row_sum", 8)
+        if "overflow" in skip:
+            stages, _ = certify_overflow(point)
+            certified_names = [stage.name for stage in stages]
+        checked, findings = check_graph(
+            graph, certified_names=certified_names + list(extra_certified)
+        )
+        report.checks_run["qformat"] = checked
         report.extend(findings)
 
+    # Cached source-scanning passes (ast / det / pricing).
+    units = build_units(skip=skip, ast_root=ast_root)
+    if units:
+        if cache is not None:
+            results = cache.run_units(units)
+            report.cache_stats = {
+                "hits": cache.hits, "misses": cache.misses,
+            }
+        else:
+            results = run_units_uncached(units)
+        for unit_name, result in results.items():
+            pass_name = unit_name.split(":", 1)[0]
+            report.checks_run[pass_name] = (
+                report.checks_run.get(pass_name, 0) + result.checks
+            )
+            report.extend(result.findings)
+
+    # Seeded source-level bugs run outside the cache, on synthetic input.
+    if seed_bug in _SEEDED_DET_SOURCES and "det" not in skip:
+        rel, source = _SEEDED_DET_SOURCES[seed_bug]
+        report.extend(lint_determinism_source(source, rel))
+        report.checks_run["det"] = report.checks_run.get("det", 0) + 1
+    if seed_bug in _SEEDED_PRICING_SOURCES and "pricing" not in skip:
+        extra = _SEEDED_PRICING_SOURCES[seed_bug]
+        checked, findings = check_pricing(
+            root=_source_root(ast_root), extra_sources=extra,
+        )
+        seeded_only = [
+            f for f in findings if f.file in extra
+        ]
+        report.extend(seeded_only)
+
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+        kept, suppressed, stale = baseline.apply(report.findings)
+        report.findings = kept
+        report.suppressed = suppressed
+        report.extend(baseline.stale_findings(stale))
+
+    if cache is not None:
+        cache.save()
     if json_path is not None:
         report.write_json(json_path)
+    if sarif_path is not None:
+        write_sarif(report, sarif_path)
     return report
 
 
 def selftest_check(verbose: bool = False) -> list[str]:
     """Statcheck's entry in ``python -m repro selftest`` (check 6).
 
-    Runs the full gate at the paper point *and* proves the gate can
-    fail, by seeding the undersized-accumulator bug and requiring a
-    finding.  Returns a list of problem strings (empty = pass).
+    Runs the full gate at the paper point *and* proves each engine's
+    gate can fail, by seeding one bug per pass family and requiring an
+    error finding.  Returns a list of problem strings (empty = pass).
     """
     problems: list[str] = []
     report = run_check()
     if not report.passed:
         for finding in report.errors:
             problems.append(f"statcheck: {finding.render()}")
-    seeded = run_check(seed_bug="sa-acc-width", skip=("schedule", "ast"))
-    if seeded.passed:
-        problems.append(
-            "statcheck: seeded sa-acc-width bug produced no finding "
-            "(the overflow gate cannot fail)"
+    for bug in ("sa-acc-width", "unseeded-rng", "orphan-bound",
+                "unpriced-cycle"):
+        target = SEED_BUG_PASS[bug]
+        seeded = run_check(
+            seed_bug=bug,
+            skip=tuple(p for p in PASSES
+                       if p not in (target, "overflow")),
         )
+        if seeded.passed:
+            problems.append(
+                f"statcheck: seeded {bug} bug produced no finding "
+                f"(the {target} gate cannot fail)"
+            )
     if verbose and not problems:
         total = sum(report.checks_run.values())
         print(f"  statcheck: {total} checks, 0 findings; "
-              "seeded overflow correctly detected")
+              "all seeded bugs correctly detected")
     return problems

@@ -1,0 +1,151 @@
+"""SARIF 2.1.0 export for ``repro check`` findings.
+
+`SARIF <https://sarifweb.azurewebsites.net/>`__ is the interchange
+format code-scanning UIs (GitHub, VS Code) ingest; exporting it lets
+the statcheck gate annotate PR diffs instead of only failing CI.  One
+:class:`~repro.statcheck.findings.CheckReport` maps to one run of a
+single ``repro-statcheck`` tool whose rule inventory is
+:data:`RULE_DOCS`.
+
+Only the stable core of the spec is emitted (tool + rules + results
+with physical locations); optional blocks the consumers ignore are left
+out so the artifact stays diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from .findings import CheckReport, Finding, sort_findings
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: ``severity`` -> SARIF ``level``.
+LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+#: Rule inventory: code -> (name, short description).
+RULE_DOCS: dict[str, tuple[str, str]] = {
+    "OVF001": ("overflow-width", "Certified interval exceeds a declared "
+               "register width"),
+    "SCH001": ("schedule-overlap", "Two passes double-book a hardware unit"),
+    "SCH002": ("schedule-bounds", "Event cycle accounting is inconsistent"),
+    "SCH003": ("schedule-order", "Pinned schedule violates the paper's "
+               "pass order"),
+    "SCH004": ("schedule-dependency", "Consumer pass starts before its "
+               "producer drains"),
+    "REP001": ("pricing-literal", "Cycle cost written as a magic literal"),
+    "REP002": ("pricing-parity", "UNIT_PRICING and CycleBreakdown disagree"),
+    "REP003": ("trace-track", "Trace track name is not registered"),
+    "REP004": ("float-cycles", "Cycle arithmetic leaves the integer domain"),
+    "DET001": ("unseeded-rng", "Random draw from an unseeded generator in "
+               "a simulation path"),
+    "DET002": ("set-iteration", "Iteration over an unordered set feeds "
+               "event ordering"),
+    "DET003": ("wall-clock", "Wall-clock time read inside a simulation "
+               "path"),
+    "DET004": ("float-tiebreak", "Float equality used as an ordering "
+               "tie-break"),
+    "QFMT001": ("truncating-connection", "Connection narrows the word "
+                "width with no declared requantize/truncate"),
+    "QFMT002": ("orphan-certification", "Certified stage is not reachable "
+                "from any input port"),
+    "QFMT003": ("format-mismatch", "Q-format fractional widths differ "
+                "across an unmarked connection"),
+    "QFMT004": ("dangling-node", "Datapath node unreachable from the "
+                "input ports"),
+    "PRC001": ("unpriced-cycle-site", "Timeline booking names a unit with "
+               "no UNIT_PRICING mapping"),
+    "PRC002": ("unregistered-metric", "Emitted metric family is not in "
+               "METRIC_FAMILIES"),
+    "PRC003": ("stale-metric-family", "Registered metric family is never "
+               "emitted"),
+    "PRC004": ("dynamic-metric-name", "Metric/unit name is not statically "
+               "resolvable"),
+    "PRC005": ("unmapped-cycle-field", "CycleBreakdown field maps to no "
+               "registered metric family"),
+    "BAS001": ("stale-suppression", "Baseline entry matches no current "
+               "finding"),
+}
+
+
+def _artifact_uri(finding: Finding) -> Optional[str]:
+    """Repo-relative URI for a finding's file, if it has one.
+
+    AST-based passes report paths relative to the source root
+    (``repro/...``); the repository keeps that tree under ``src/``.
+    """
+    if finding.file is None:
+        return None
+    uri = finding.file.replace("\\", "/")
+    if uri.startswith("repro/"):
+        uri = f"src/{uri}"
+    return uri
+
+
+def _result(finding: Finding) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.code,
+        "level": LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+    }
+    uri = _artifact_uri(finding)
+    if uri is not None:
+        region = {}
+        if finding.line is not None:
+            region = {"region": {"startLine": finding.line}}
+        result["locations"] = [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": uri},
+                **region,
+            },
+        }]
+    if finding.details:
+        result["properties"] = {
+            key: value for key, value in finding.details.items()
+        }
+    return result
+
+
+def to_sarif(report: CheckReport) -> dict[str, Any]:
+    """Render one check report as a SARIF 2.1.0 log object."""
+    used = sorted({f.code for f in report.findings})
+    rules = []
+    for code in used:
+        name, description = RULE_DOCS.get(
+            code, (code.lower(), "repro statcheck finding")
+        )
+        rules.append({
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": description},
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-statcheck",
+                    "informationUri":
+                        "https://github.com/paper-repro/repro",
+                    "rules": rules,
+                },
+            },
+            "results": [
+                _result(finding)
+                for finding in sort_findings(report.findings)
+            ],
+        }],
+    }
+
+
+def write_sarif(report: CheckReport, path: str) -> None:
+    """Write the SARIF artifact the CI job uploads."""
+    with open(path, "w") as handle:
+        json.dump(to_sarif(report), handle, indent=1)
+        handle.write("\n")

@@ -88,6 +88,40 @@ family):
   ``repro_compress_layers_resident{spec}``, and — when the sweep
   measured them — ``repro_compress_bleu{spec}`` and
   ``repro_compress_throughput_rps{spec}``.
+
+Serving schema (:mod:`repro.serving`; ``outcome``/``reason`` label the
+request disposition):
+
+* ``repro_serving_requests_offered_total`` /
+  ``repro_serving_requests_total{outcome}`` /
+  ``repro_serving_retries_total`` — request accounting;
+* ``repro_serving_batches_total`` / ``..._batch_requests_total`` /
+  ``..._batch_tokens_total`` — dispatch accounting;
+* ``repro_serving_device_failures_total`` /
+  ``repro_serving_corrupted_total`` /
+  ``repro_serving_reload_stall_cycles_total`` — fault handling;
+* ``repro_serving_weight_cache_lookups_total{outcome}`` — ResBlock
+  weight-cache hits/misses;
+* ``repro_serving_latency_us`` / ``repro_serving_queue_depth`` —
+  latency histogram and queue-pressure series;
+* gauges set at summary time: ``repro_serving_makespan_us``,
+  ``repro_serving_device_busy_fraction``,
+  ``repro_serving_sa_utilization``, ``repro_serving_occupancy``.
+
+Device-level schema (emitted by the instrumented units themselves):
+
+* ``repro_sa_passes_total`` / ``repro_sa_compute_cycles_total`` /
+  ``repro_sa_useful_macs_total`` —
+  :class:`repro.core.systolic_array.SystolicArray` pass accounting;
+* ``repro_memsys_prefetch_tiles_total`` /
+  ``repro_memsys_prefetch_bytes_total`` /
+  ``repro_memsys_stall_cycles_total`` —
+  :class:`repro.memsys.prefetch.WeightPrefetcher` traffic.
+
+:data:`METRIC_FAMILIES` below is the machine-readable form of this
+schema; the statcheck PRC engine proves every emission site in the
+package names one of these families, and every family is emitted
+somewhere.
 """
 
 from __future__ import annotations
@@ -96,6 +130,101 @@ from .registry import MetricsRegistry
 
 #: Scheduler units recorded per block (mirrors core.trace._UNIT_TRACKS).
 SCHEDULE_UNITS = ("sa", "softmax", "layernorm", "dram")
+
+#: The canonical metric-family registry — every ``repro_*`` name any
+#: module may emit.  Adding an emission site without registering its
+#: family here fails ``repro check`` (PRC002); registering a family no
+#: site emits warns (PRC003).  Keep sorted.
+METRIC_FAMILIES: tuple[str, ...] = (
+    "repro_cluster_autoscaler_actions_total",
+    "repro_cluster_batch_requests_total",
+    "repro_cluster_batch_tokens_total",
+    "repro_cluster_batches_total",
+    "repro_cluster_devices",
+    "repro_cluster_latency_us",
+    "repro_cluster_makespan_us",
+    "repro_cluster_pool_busy_fraction",
+    "repro_cluster_queue_depth",
+    "repro_cluster_requests_offered_total",
+    "repro_cluster_requests_total",
+    "repro_cluster_routing_decisions_total",
+    "repro_cluster_shed_total",
+    "repro_cluster_slo_attained_total",
+    "repro_cluster_slo_attainment",
+    "repro_cluster_throughput_rps",
+    "repro_cluster_weight_cache_lookups_total",
+    "repro_compress_bleu",
+    "repro_compress_cycle_savings_frac",
+    "repro_compress_index_overhead_cycles_total",
+    "repro_compress_layer_cycles_total",
+    "repro_compress_layers_resident",
+    "repro_compress_memsys_stall_cycles_total",
+    "repro_compress_points_total",
+    "repro_compress_skipped_cycles_total",
+    "repro_compress_throughput_rps",
+    "repro_compress_weight_bytes_ratio",
+    "repro_decode_batches_total",
+    "repro_decode_kv_hit_rate",
+    "repro_decode_kv_lookups_total",
+    "repro_decode_kv_refetch_cycles_total",
+    "repro_decode_makespan_us",
+    "repro_decode_prefill_chunks_total",
+    "repro_decode_prefill_latency_us",
+    "repro_decode_steps_total",
+    "repro_decode_streams_total",
+    "repro_decode_token_latency_us",
+    "repro_decode_tokens_per_s",
+    "repro_decode_tokens_total",
+    "repro_memsys_prefetch_bytes_total",
+    "repro_memsys_prefetch_tiles_total",
+    "repro_memsys_stall_cycles_total",
+    "repro_reliability_corrections_total",
+    "repro_reliability_detections_total",
+    "repro_reliability_injected_total",
+    "repro_reliability_silent_total",
+    "repro_reliability_trials_total",
+    "repro_sa_compute_cycles_total",
+    "repro_sa_passes_total",
+    "repro_sa_useful_macs_total",
+    "repro_schedule_cycles_total",
+    "repro_schedule_memsys_stall_cycles_total",
+    "repro_schedule_runs_total",
+    "repro_schedule_sa_active_cycles_total",
+    "repro_schedule_sa_passes_total",
+    "repro_schedule_unit_busy_cycles_total",
+    "repro_serving_batch_requests_total",
+    "repro_serving_batch_tokens_total",
+    "repro_serving_batches_total",
+    "repro_serving_corrupted_total",
+    "repro_serving_device_busy_fraction",
+    "repro_serving_device_failures_total",
+    "repro_serving_latency_us",
+    "repro_serving_makespan_us",
+    "repro_serving_occupancy",
+    "repro_serving_queue_depth",
+    "repro_serving_reload_stall_cycles_total",
+    "repro_serving_requests_offered_total",
+    "repro_serving_requests_total",
+    "repro_serving_retries_total",
+    "repro_serving_sa_utilization",
+    "repro_serving_weight_cache_lookups_total",
+)
+
+#: Where each CycleBreakdown field surfaces in telemetry — the last hop
+#: of the pricing chain (scheduler unit -> UNIT_PRICING -> breakdown
+#: field -> metric family).  ``ideal_cycles`` is MACs / PE count, so it
+#: surfaces through the useful-MAC counter rather than a latency family.
+CYCLE_FIELD_FAMILIES: dict[str, str] = {
+    "active_cycles": "repro_schedule_sa_active_cycles_total",
+    "issue_cycles": "repro_schedule_unit_busy_cycles_total",
+    "skew_cycles": "repro_schedule_unit_busy_cycles_total",
+    "softmax_stall_cycles": "repro_schedule_unit_busy_cycles_total",
+    "layernorm_cycles": "repro_schedule_unit_busy_cycles_total",
+    "abft_cycles": "repro_schedule_unit_busy_cycles_total",
+    "memsys_stall_cycles": "repro_schedule_memsys_stall_cycles_total",
+    "total_cycles": "repro_schedule_cycles_total",
+    "ideal_cycles": "repro_sa_useful_macs_total",
+}
 
 
 def record_schedule(result, registry: MetricsRegistry) -> None:

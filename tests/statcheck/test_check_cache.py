@@ -1,0 +1,204 @@
+"""Unit and property tests for the incremental check cache."""
+
+import json
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.statcheck import (
+    AnalysisUnit,
+    CheckCache,
+    Finding,
+    UnitResult,
+    build_units,
+    run_check,
+)
+from repro.statcheck.cache import (
+    CACHE_FORMAT_VERSION,
+    ENGINE_VERSION,
+    file_sha,
+    run_units_uncached,
+)
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src"
+
+
+def counting_unit(name, deps, calls, checks=1, findings=()):
+    def run():
+        calls.append(name)
+        return checks, list(findings)
+
+    return AnalysisUnit(name=name, deps=deps, run=run)
+
+
+class TestUnitResult:
+    def test_round_trip_preserves_findings(self):
+        result = UnitResult(checks=3, findings=(
+            Finding(code="DET001", message="m", file="repro/x.py", line=7,
+                    check="det", details={"name": "rng"}),
+        ))
+        assert UnitResult.from_dict(result.as_dict()) == result
+
+
+class TestCheckCache:
+    def test_miss_then_hit(self, tmp_path):
+        dep = tmp_path / "a.py"
+        dep.write_text("x = 1\n")
+        calls = []
+        units = [counting_unit("u", (dep,), calls)]
+        cache = CheckCache(path=tmp_path / "c.json")
+        first = cache.run_units(units)
+        second = cache.run_units(units)
+        assert calls == ["u"]
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert first == second
+
+    def test_content_change_invalidates(self, tmp_path):
+        dep = tmp_path / "a.py"
+        dep.write_text("x = 1\n")
+        calls = []
+        units = [counting_unit("u", (dep,), calls)]
+        cache = CheckCache()
+        cache.run_units(units)
+        dep.write_text("x = 2\n")
+        cache.run_units(units)
+        assert calls == ["u", "u"]
+
+    def test_touch_without_content_change_still_hits(self, tmp_path):
+        # Keyed on content hashes, not mtimes.
+        dep = tmp_path / "a.py"
+        dep.write_text("x = 1\n")
+        calls = []
+        cache = CheckCache()
+        cache.run_units([counting_unit("u", (dep,), calls)])
+        dep.write_text("x = 1\n")
+        cache.run_units([counting_unit("u", (dep,), calls)])
+        assert calls == ["u"]
+
+    def test_params_partition_the_key(self, tmp_path):
+        dep = tmp_path / "a.py"
+        dep.write_text("x = 1\n")
+        calls = []
+
+        def unit(params):
+            def run():
+                calls.append(params)
+                return 1, []
+
+            return AnalysisUnit(name="u", deps=(dep,), run=run,
+                                params=params)
+
+        cache = CheckCache()
+        cache.run_units([unit("paper")])
+        cache.run_units([unit("big")])
+        cache.run_units([unit("paper")])
+        assert calls == ["paper", "big"]
+
+    def test_save_load_round_trip(self, tmp_path):
+        dep = tmp_path / "a.py"
+        dep.write_text("x = 1\n")
+        path = tmp_path / "c.json"
+        calls = []
+        cache = CheckCache(path=path)
+        cache.run_units([counting_unit(
+            "u", (dep,), calls,
+            findings=[Finding(code="DET001", message="m", check="det")],
+        )])
+        cache.save()
+        reloaded = CheckCache.load(path)
+        results = reloaded.run_units([counting_unit("u", (dep,), calls)])
+        assert calls == ["u"]
+        assert reloaded.hits == 1
+        assert results["u"].findings[0].code == "DET001"
+
+    def test_corrupt_cache_starts_empty(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text("{not json")
+        assert CheckCache.load(path).entries == {}
+
+    def test_engine_version_mismatch_starts_empty(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({
+            "format": CACHE_FORMAT_VERSION,
+            "engine": "statcheck-v0.0",
+            "entries": {"k": {"checks": 1, "findings": []}},
+        }))
+        assert CheckCache.load(path).entries == {}
+        assert ENGINE_VERSION != "statcheck-v0.0"
+
+
+class TestBuildUnits:
+    def test_unit_inventory(self):
+        units = build_units(ast_root=SRC_ROOT)
+        names = [u.name for u in units]
+        assert "ast" in names
+        assert "pricing" in names
+        det = [n for n in names if n.startswith("det:")]
+        assert len(det) >= 20
+        assert len(names) == len(set(names))
+
+    def test_touching_one_sim_file_invalidates_only_dependents(
+            self, tmp_path):
+        units = build_units(ast_root=SRC_ROOT)
+        hashes = {
+            dep: file_sha(dep) for u in units for dep in u.deps
+        }
+        before = {u.name: u.key(hashes) for u in units}
+
+        target = next(
+            dep for u in units if u.name.startswith("det:repro/serving/")
+            for dep in u.deps if "serving" in dep.as_posix()
+        )
+        hashes[target] = "0" * 64  # simulate an edit to one serving file
+        after = {u.name: u.key(hashes) for u in units}
+
+        changed = {name for name in before if before[name] != after[name]}
+        # The edited file's own DET unit plus the whole-program scans.
+        per_file = {n for n in changed if n.startswith("det:")}
+        assert len(per_file) == 1
+        assert "ast" in changed and "pricing" in changed
+        untouched_det = {
+            n for n in before if n.startswith("det:")
+        } - per_file
+        assert untouched_det and untouched_det.isdisjoint(changed)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_cold_and_warm_runs_agree(self, salt):
+        # Property: replaying from cache is indistinguishable from
+        # running the unit, for any unit contents.
+        finding = Finding(
+            code="DET001", message=f"salted {salt}", check="det",
+            file="repro/x.py", line=salt % 997 + 1,
+        )
+
+        def make_unit():
+            return AnalysisUnit(
+                name=f"u{salt}",
+                deps=(),
+                run=lambda: (salt % 7 + 1, [finding]),
+                params=str(salt),
+            )
+
+        cold = run_units_uncached([make_unit()])
+        cache = CheckCache()
+        cache.run_units([make_unit()])          # populate
+        warm = cache.run_units([make_unit()])   # replay
+        assert warm == cold
+        assert cache.hits == 1
+
+
+class TestRunCheckIntegration:
+    def test_cached_run_matches_uncached(self, tmp_path):
+        cold = run_check(skip=("ast",))
+        cache = CheckCache(path=tmp_path / "c.json")
+        run_check(skip=("ast",), cache=cache)
+        warm = run_check(
+            skip=("ast",), cache=CheckCache.load(tmp_path / "c.json")
+        )
+        assert warm.passed == cold.passed
+        assert warm.findings == cold.findings
+        assert warm.checks_run == cold.checks_run
+        assert warm.cache_stats["misses"] == 0
+        assert warm.cache_stats["hits"] > 0

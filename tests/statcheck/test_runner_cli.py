@@ -7,8 +7,10 @@ import pytest
 from repro.cli import main
 from repro.errors import ConfigError
 from repro.statcheck import (
+    CheckCache,
     OverflowPoint,
     PASSES,
+    SEED_BUG_PASS,
     SEED_BUGS,
     run_check,
     selftest_check,
@@ -74,7 +76,40 @@ class TestRunCheck:
         assert payload["findings"][0]["code"] == "OVF001"
 
     def test_seed_bugs_registry(self):
-        assert SEED_BUGS == ("sa-acc-width", "double-book")
+        assert SEED_BUGS == (
+            "sa-acc-width",
+            "double-book",
+            "unseeded-rng",
+            "set-order",
+            "orphan-bound",
+            "port-width",
+            "unpriced-cycle",
+            "unregistered-metric",
+        )
+
+    @pytest.mark.parametrize("bug,code", [
+        ("unseeded-rng", "DET001"),
+        ("set-order", "DET002"),
+        ("orphan-bound", "QFMT002"),
+        ("port-width", "QFMT001"),
+        ("unpriced-cycle", "PRC001"),
+        ("unregistered-metric", "PRC002"),
+    ])
+    def test_each_seeded_bug_fails_with_its_code(self, bug, code):
+        target = SEED_BUG_PASS[bug]
+        skip = tuple(p for p in PASSES if p not in (target, "overflow"))
+        report = run_check(seed_bug=bug, skip=skip)
+        assert not report.passed
+        assert any(f.code == code for f in report.errors)
+
+    def test_seeded_run_ignores_cache(self, tmp_path):
+        cache = CheckCache(path=tmp_path / "cache.json")
+        report = run_check(seed_bug="unseeded-rng",
+                           skip=("schedule", "ast", "pricing"),
+                           cache=cache)
+        assert not report.passed
+        assert cache.entries == {}
+        assert report.cache_stats == {}
 
 
 class TestSelftestHook:
@@ -127,3 +162,61 @@ class TestCli:
                    "--skip", "schedule", "--skip", "ast"])
         assert rc == 1
         capsys.readouterr()
+
+    def test_check_sarif_artifact(self, tmp_path, capsys):
+        out = tmp_path / "check.sarif"
+        assert main(["check", "--sarif", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["tool"]["driver"]["name"] == (
+            "repro-statcheck"
+        )
+
+    def test_check_baseline_suppresses_and_warns_stale(
+            self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "suppressions": [
+                {"code": "OVF001", "reason": "reviewed: seeded run"},
+                {"code": "SCH999", "reason": "stale on purpose"},
+            ],
+        }))
+        rc = main(["check", "--seed-bug", "sa-acc-width",
+                   "--skip", "schedule", "--skip", "ast",
+                   "--skip", "det", "--skip", "qformat",
+                   "--skip", "pricing",
+                   "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 0          # the only error is suppressed
+        assert "suppressed by baseline" in out
+        assert "BAS001" in out  # the SCH999 entry is stale
+
+    def test_check_malformed_baseline_exits_two(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 99}')
+        rc = main(["check", "--baseline", str(baseline),
+                   "--skip", "schedule", "--skip", "ast",
+                   "--skip", "det", "--skip", "pricing"])
+        assert rc == 2
+        capsys.readouterr()
+
+    def test_check_changed_warm_run_hits_cache(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["check", "--changed",
+                     "--cache-file", str(tmp_path / "c.json")]) == 0
+        first = capsys.readouterr().out
+        assert "miss" in first
+        assert main(["check", "--changed",
+                     "--cache-file", str(tmp_path / "c.json")]) == 0
+        second = capsys.readouterr().out
+        assert "0 miss(es)" in second
+
+    def test_check_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["check", "--help"])
+        out = capsys.readouterr().out
+        assert "Exit codes" in out
+        assert "2 = usage" in out

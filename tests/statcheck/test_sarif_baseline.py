@@ -1,0 +1,140 @@
+"""Unit tests for SARIF export and baseline suppressions."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.statcheck import (
+    Baseline,
+    CheckReport,
+    Finding,
+    RULE_DOCS,
+    Suppression,
+    load_baseline,
+    run_check,
+    to_sarif,
+    write_baseline,
+    write_sarif,
+)
+
+
+def sample_report():
+    return CheckReport(findings=[
+        Finding(code="DET001", message="unseeded rng", check="det",
+                file="repro/serving/simulator.py", line=42),
+        Finding(code="QFMT003", message="format mismatch",
+                severity="warning", check="qformat"),
+    ])
+
+
+class TestSarif:
+    def test_shape_and_levels(self):
+        log = to_sarif(sample_report())
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-statcheck"
+        results = run["results"]
+        assert [r["level"] for r in results] == ["error", "warning"]
+
+    def test_location_uri_is_repo_relative(self):
+        log = to_sarif(sample_report())
+        loc = log["runs"][0]["results"][0]["locations"][0]
+        phys = loc["physicalLocation"]
+        assert phys["artifactLocation"]["uri"] == (
+            "src/repro/serving/simulator.py"
+        )
+        assert phys["region"]["startLine"] == 42
+
+    def test_config_finding_has_no_location(self):
+        log = to_sarif(sample_report())
+        warning = log["runs"][0]["results"][1]
+        assert "locations" not in warning
+
+    def test_rules_cover_used_codes_only(self):
+        log = to_sarif(sample_report())
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == ["DET001", "QFMT003"]
+
+    def test_rule_docs_cover_every_engine_code(self):
+        for prefix in ("OVF", "SCH", "REP", "DET", "QFMT", "PRC", "BAS"):
+            assert any(code.startswith(prefix) for code in RULE_DOCS)
+
+    def test_write_sarif_round_trips(self, tmp_path):
+        path = tmp_path / "out.sarif"
+        write_sarif(sample_report(), str(path))
+        assert json.loads(path.read_text())["version"] == "2.1.0"
+
+    def test_full_run_emits_valid_sarif(self, tmp_path):
+        path = tmp_path / "check.sarif"
+        run_check(skip=("ast", "det", "pricing"), sarif_path=str(path))
+        payload = json.loads(path.read_text())
+        assert payload["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert isinstance(payload["runs"][0]["results"], list)
+
+
+class TestBaseline:
+    def test_match_by_code_and_file(self):
+        entry = Suppression(code="DET001", reason="reviewed",
+                            file="repro/serving/simulator.py")
+        report = sample_report()
+        kept, suppressed, stale = Baseline([entry]).apply(report.findings)
+        assert [f.code for f in suppressed] == ["DET001"]
+        assert [f.code for f in kept] == ["QFMT003"]
+        assert stale == []
+
+    def test_message_prefix_match(self):
+        entry = Suppression(code="QFMT003", reason="reviewed",
+                            message_prefix="format")
+        _, suppressed, stale = Baseline([entry]).apply(
+            sample_report().findings
+        )
+        assert len(suppressed) == 1 and stale == []
+
+    def test_stale_entry_becomes_bas001_warning(self):
+        baseline = Baseline(
+            [Suppression(code="OVF001", reason="reviewed")],
+            path="b.json",
+        )
+        kept, suppressed, stale = baseline.apply(sample_report().findings)
+        warnings = baseline.stale_findings(stale)
+        assert len(warnings) == 1
+        assert warnings[0].code == "BAS001"
+        assert warnings[0].severity == "warning"
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(
+            [Suppression(code="DET001", reason="why", line=3)], path
+        )
+        loaded = load_baseline(path)
+        assert loaded.suppressions == [
+            Suppression(code="DET001", reason="why", line=3)
+        ]
+
+    @pytest.mark.parametrize("payload", [
+        "[]",
+        '{"version": 2, "suppressions": []}',
+        '{"version": 1, "suppressions": [{"code": "X"}]}',
+        '{"version": 1, "suppressions": [{"code": "X", "reason": " "}]}',
+        '{"version": 1, "suppressions": [{"code": "X", "reason": "r", '
+        '"typo": 1}]}',
+        "not json",
+    ])
+    def test_malformed_baseline_rejected(self, tmp_path, payload):
+        path = tmp_path / "baseline.json"
+        path.write_text(payload)
+        with pytest.raises(ConfigError):
+            load_baseline(path)
+
+    def test_repo_baseline_is_valid_and_not_stale(self):
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        baseline = load_baseline(repo / "statcheck-baseline.json")
+        # Every entry shipped in the repo must still suppress something;
+        # an empty suppression list is the steady state.
+        report = run_check(baseline_path=str(repo / "statcheck-baseline.json"))
+        assert report.passed
+        assert not any(f.code == "BAS001" for f in report.findings)
+        assert isinstance(baseline.suppressions, list)
