@@ -10,6 +10,8 @@ acceptance criterion: the smart policy beats the naive baseline on the
 same workload at equal budget.  The timed region is one full smart run.
 """
 
+import time
+
 from repro.analysis import render_table
 from repro.cluster import pinned_cluster, simulate_cluster
 
@@ -66,6 +68,18 @@ def test_bench_cluster_slo_routing(benchmark, base_model, bench_headline):
     # measurably beats static round-robin at the same device budget.
     assert smart.slo_attainment > naive.slo_attainment
     assert smart.latency_p99_us < naive.latency_p99_us
+
+    # Simulator wall-clock throughput (see the serving bench for the
+    # rationale behind the loose rel_tol 0.9 band).
+    t0 = time.perf_counter()
+    timed = simulate_cluster(
+        base_model,
+        pinned_cluster(requests_per_tenant=REQUESTS_PER_TENANT,
+                       router_policy="slo", autoscale=True, seed=SEED),
+    )
+    elapsed = time.perf_counter() - t0
+    bench_headline("cluster.sim_requests_per_s",
+                   len(timed.records) / elapsed)
 
     result = benchmark(
         simulate_cluster, base_model,

@@ -7,6 +7,8 @@ future scaling/caching/sharding PRs are measured against.  The timed
 region is one full mid-load simulation.
 """
 
+import time
+
 from repro.analysis import render_table
 from repro.config import ServingConfig
 from repro.serving import simulate_serving
@@ -65,6 +67,19 @@ def test_bench_serving_throughput(benchmark, base_model, paper_acc,
         if rate >= RATES_RPS[1]:
             assert dyn.throughput_rps > 1.5 * base.throughput_rps
             assert dyn.latency_p99_us < base.latency_p99_us
+
+    # Simulator wall-clock throughput: how many simulated requests the
+    # serving simulator itself resolves per real second.  Gated loosely
+    # (rel_tol 0.9) — it guards against order-of-magnitude slowdowns
+    # from instrumentation, not against machine-to-machine jitter.
+    t0 = time.perf_counter()
+    timed = simulate_serving(
+        base_model, paper_acc,
+        _serving(RATES_RPS[1], max_batch_requests=8, max_wait_us=1000.0),
+    )
+    elapsed = time.perf_counter() - t0
+    bench_headline("serving.sim_requests_per_s",
+                   len(timed.records) / elapsed)
 
     result = benchmark(
         simulate_serving, base_model, paper_acc,

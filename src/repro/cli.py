@@ -153,9 +153,83 @@ def _build_parser() -> argparse.ArgumentParser:
                  "pricing"),
         help="skip one pass (repeatable)",
     )
-    trace = sub.add_parser("trace", help="write a Chrome trace JSON")
+    trace = sub.add_parser(
+        "trace",
+        help="write a Chrome trace JSON for one ResBlock schedule, or "
+             "(with --requests) report causal request traces from a "
+             "simulated serving/cluster/decode run",
+    )
     trace.add_argument("--block", choices=("mha", "ffn"), default="mha")
-    trace.add_argument("--out", required=True, help="output .json path")
+    trace.add_argument(
+        "--out", help="output .json path (required in block mode)"
+    )
+    trace.add_argument(
+        "--requests", choices=("serving", "cluster", "decode"),
+        default=None,
+        help="trace a simulated run instead of one ResBlock schedule",
+    )
+    trace.add_argument(
+        "--top", type=int, default=10,
+        help="slowest requests to list in the report (default: 10)",
+    )
+    trace.add_argument(
+        "--req-id", type=int, default=None,
+        help="print the per-hop waterfall of one request id instead of "
+             "the top-N summary",
+    )
+    trace.add_argument(
+        "--otlp-out", metavar="PATH",
+        help="also export the collected traces as OTLP-JSON",
+    )
+    trace.add_argument(
+        "--requests-per-tenant", type=int, default=120,
+        help="requests (serving), requests per tenant (cluster) or "
+             "streams (decode) to simulate (default: 120)",
+    )
+    trace.add_argument(
+        "--head-rate", type=float, default=0.05,
+        help="head-sampling rate for unremarkable completed requests; "
+             "SLO-violating/retried/shed traces are always kept in "
+             "full (default: 0.05)",
+    )
+    trace.add_argument(
+        "--seed", type=int, default=0,
+        help="workload + sampling seed (default: 0)",
+    )
+    slo = sub.add_parser(
+        "slo-report",
+        help="per-tenant multi-window SLO burn-rate report over a "
+             "simulated cluster run (timeline, violations, alert "
+             "firings)",
+    )
+    slo.add_argument(
+        "--scenario", choices=("pinned", "bursty"), default="pinned",
+        help="cluster scenario: the pinned 3-pool/3-tenant mix, or the "
+             "single-pool bursty tenant whose only scale-up signal is "
+             "the burn-rate hook (default: pinned)",
+    )
+    slo.add_argument(
+        "--requests-per-tenant", type=int, default=120,
+        help="requests each tenant contributes (default: 120)",
+    )
+    slo.add_argument(
+        "--objective", type=float, default=None,
+        help="SLO objective to monitor against, e.g. 0.95 "
+             "(default: the SloPolicy default)",
+    )
+    slo.add_argument(
+        "--seed", type=int, default=0,
+        help="cluster master RNG seed (default: 0)",
+    )
+    slo.add_argument(
+        "--trace-out", metavar="PATH",
+        help="optional Chrome trace with the slo_alerts track overlaid "
+             "on the cluster timeline",
+    )
+    slo.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="write the burn-rate timeline + alert log as JSON",
+    )
     memsys = sub.add_parser(
         "memsys",
         help="off-chip bandwidth sweep with stall shares and crossover",
@@ -895,7 +969,8 @@ def _cmd_cluster_sim(args) -> None:
             "registry": to_json(registry),
         }
         with open(args.json_path, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
+            json.dump(report, fh, indent=2, sort_keys=True,
+                      allow_nan=False)
         print(f"wrote cluster report to {args.json_path}")
 
 
@@ -1334,7 +1409,13 @@ def _cmd_bench_diff(args) -> int:
     return 1
 
 
-def _cmd_trace(args) -> None:
+def _cmd_trace(args) -> int:
+    if args.requests is not None:
+        return _cmd_trace_requests(args)
+    if args.out is None:
+        print("error: --out is required in block mode (or pass "
+              "--requests to trace a simulated run)", file=sys.stderr)
+        return 1
     model, acc = _configs(args)
     result = (schedule_mha if args.block == "mha" else schedule_ffn)(
         model, acc
@@ -1342,6 +1423,129 @@ def _cmd_trace(args) -> None:
     count = write_trace(result, args.out, acc.clock_mhz)
     print(f"wrote {count} events ({result.total_cycles:,} cycles) to "
           f"{args.out}")
+    return 0
+
+
+def _run_traced(args):
+    """Run the chosen simulator with a tail-sampling trace collector."""
+    from .obs import SamplingPolicy, TraceCollector, TraceSampler
+
+    # A requested waterfall must be full regardless of sampling luck.
+    head_rate = 1.0 if args.req_id is not None else args.head_rate
+    sampler = TraceSampler(
+        SamplingPolicy(head_rate=head_rate, seed=args.seed)
+    )
+    tracer = TraceCollector(sampler=sampler)
+    model, acc = _configs(args)
+    if args.requests == "serving":
+        from .config import ServingConfig
+        from .serving import simulate_serving
+
+        serving = ServingConfig(
+            num_requests=args.requests_per_tenant,
+            max_len=acc.seq_len,
+            seed=args.seed,
+        )
+        simulate_serving(model, acc, serving, tracer=tracer)
+    elif args.requests == "cluster":
+        from .cluster import pinned_cluster, simulate_cluster
+
+        cluster = pinned_cluster(
+            requests_per_tenant=args.requests_per_tenant, seed=args.seed
+        )
+        simulate_cluster(
+            model, cluster, seq_len=args.seq_len, tracer=tracer
+        )
+    else:
+        from .config import DecodeConfig
+        from .decode import simulate_decode
+
+        decode = DecodeConfig(
+            num_streams=args.requests_per_tenant, seed=args.seed
+        )
+        simulate_decode(model, acc, decode, tracer=tracer)
+    return tracer
+
+
+def _cmd_trace_requests(args) -> int:
+    from .obs import render_trace_report, render_waterfall, write_otlp
+
+    tracer = _run_traced(args)
+    if args.req_id is not None:
+        trace = tracer.get(args.req_id)
+        if trace is None:
+            print(f"error: no trace for request id {args.req_id} "
+                  f"({len(tracer)} traces collected)", file=sys.stderr)
+            return 1
+        print(render_waterfall(trace))
+    else:
+        print(render_trace_report(tracer.traces, top=args.top))
+    if args.otlp_out:
+        count = write_otlp(tracer.traces, args.otlp_out, seed=args.seed)
+        print(f"\nwrote {count} OTLP spans "
+              f"({len(tracer.retained())} full traces of {len(tracer)}) "
+              f"to {args.otlp_out}")
+    if args.out:
+        print("note: --out is ignored in --requests mode "
+              "(use --otlp-out)", file=sys.stderr)
+    return 0
+
+
+def _cmd_slo_report(args) -> None:
+    import json
+
+    from .cluster import pinned_cluster, simulate_cluster
+    from .cluster.scenario import bursty_obs_cluster
+    from .obs import (
+        BurnRateMonitor,
+        SloPolicy,
+        render_slo_report,
+        slo_report_data,
+    )
+
+    model = preset(args.model)
+    if args.scenario == "bursty":
+        cluster = bursty_obs_cluster(
+            requests_per_tenant=args.requests_per_tenant, seed=args.seed
+        )
+    else:
+        cluster = pinned_cluster(
+            requests_per_tenant=args.requests_per_tenant, seed=args.seed
+        )
+    policy = (SloPolicy() if args.objective is None
+              else SloPolicy(objective=args.objective))
+    monitor = BurnRateMonitor(policy=policy)
+    result = simulate_cluster(
+        model, cluster, seq_len=args.seq_len, monitor=monitor
+    )
+    metrics = result.metrics
+    print(render_table(
+        f"cluster — scenario {args.scenario}, seed {args.seed}",
+        ["metric", "value"],
+        [["offered", str(metrics.offered)],
+         ["completed", str(metrics.completed)],
+         ["SLO attainment", f"{metrics.slo_attainment:.1%}"],
+         ["scale-ups (slo_burn)", str(sum(
+             1 for a in result.actions
+             if a.direction == "up" and a.reason == "slo_burn"
+         ))]],
+    ))
+    print()
+    print(render_slo_report(monitor))
+    if args.trace_out:
+        count = result.write_trace(
+            args.trace_out, extra_spans=monitor.alert_spans()
+        )
+        print(f"\nwrote {count} trace events to {args.trace_out}")
+    if args.json_path:
+        payload = slo_report_data(monitor)
+        payload["scenario"] = args.scenario
+        payload["seed"] = args.seed
+        payload["slo_attainment"] = metrics.slo_attainment
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True,
+                      allow_nan=False)
+        print(f"wrote slo report to {args.json_path}")
 
 
 _COMMANDS = {
@@ -1358,6 +1562,7 @@ _COMMANDS = {
     "power": _cmd_power,
     "selftest": _cmd_selftest,
     "serve-sim": _cmd_serve_sim,
+    "slo-report": _cmd_slo_report,
     "tables": _cmd_tables,
     "trace": _cmd_trace,
 }

@@ -5,8 +5,11 @@ one replica at a time:
 
 * **scale up** when queued requests per active device exceed
   ``scale_up_queue_depth``, or (optionally) when the windowed p99
-  latency exceeds ``scale_up_p99_us`` — both are leading indicators of
-  an SLO breach;
+  latency exceeds ``scale_up_p99_us``, or (optionally, with a
+  :class:`~repro.obs.slo.BurnRateMonitor` attached through
+  :meth:`Autoscaler.attach_burn_source`) when the worst short-window
+  SLO burn rate exceeds ``scale_up_burn_rate`` — all leading
+  indicators of an SLO breach;
 * **scale down** when the busy fraction over the last interval fell
   below ``scale_down_busy`` *and* the queue is empty — trailing
   evidence of overprovisioning.
@@ -37,8 +40,8 @@ class ScaleAction:
         pool: Pool the action applied to.
         direction: ``"up"`` (device added) or ``"down"`` (drain begun).
         device_id: The added or draining device.
-        reason: The signal that tripped (``"queue_depth"``, ``"p99"``
-            or ``"idle"``).
+        reason: The signal that tripped (``"queue_depth"``, ``"p99"``,
+            ``"slo_burn"`` or ``"idle"``).
     """
 
     at_us: float
@@ -55,6 +58,18 @@ class Autoscaler:
         self.config = config
         self.pools = pools
         self.actions: list[ScaleAction] = []
+        self._burn_source = None
+
+    def attach_burn_source(self, source) -> None:
+        """Opt into the SLO burn-rate up-signal.
+
+        ``source(now_us)`` must return the worst current short-window
+        burn rate across tenants (typically
+        :meth:`repro.obs.slo.BurnRateMonitor.max_short_burn`); it fires
+        the ``"slo_burn"`` scale-up reason when it exceeds
+        ``config.scale_up_burn_rate``.
+        """
+        self._burn_source = source
 
     def evaluate(self, now_us: float) -> list[ScaleAction]:
         """Run one scaler tick; mutates pools, returns the actions taken."""
@@ -102,6 +117,10 @@ class Autoscaler:
                 and pool.windowed_p99_us(now_us, cfg.p99_window_us)
                 > cfg.scale_up_p99_us):
             return "p99"
+        if (cfg.scale_up_burn_rate is not None
+                and self._burn_source is not None
+                and self._burn_source(now_us) > cfg.scale_up_burn_rate):
+            return "slo_burn"
         return None
 
     @staticmethod

@@ -40,7 +40,8 @@ class TenantSummary:
         slo_attainment: ``slo_attained / offered`` (0 when nothing was
             offered).
         latency_p50_us / latency_p99_us / latency_mean_us: Latency of
-            completed requests (NaN when none completed).
+            completed requests (all 0.0 when none completed — explicit
+            empty-safe zeros, never NaN).
     """
 
     offered: int
@@ -100,7 +101,7 @@ class ClusterMetrics:
         throughput_rps: Completed requests per second of makespan.
         makespan_us: First arrival to last completion.
         latency_p50_us / latency_p99_us / latency_mean_us: Latency over
-            all completed requests (NaN when none completed).
+            all completed requests (all 0.0 when none completed).
         router_policy: The policy the run used.
         autoscale_ups / autoscale_downs: Total autoscaler actions.
         tenants: Per-tenant :class:`TenantSummary`, insertion-ordered.
@@ -135,8 +136,10 @@ class ClusterMetrics:
             ["rejected (full)", str(self.rejected)],
             ["expired (timeout)", str(self.expired)],
             ["SLO attainment", f"{self.slo_attainment:.1%}"],
-            ["p50 latency", f"{self.latency_p50_us:.1f} us"],
-            ["p99 latency", f"{self.latency_p99_us:.1f} us"],
+            ["p50 latency",
+             f"{self.latency_p50_us:.1f} us" if self.completed else "n/a"],
+            ["p99 latency",
+             f"{self.latency_p99_us:.1f} us" if self.completed else "n/a"],
             ["throughput", f"{self.throughput_rps:.1f} req/s"],
             ["makespan", f"{self.makespan_us / 1e3:.1f} ms"],
             ["scale-ups / downs",
@@ -164,9 +167,14 @@ def _percentile(ordered: list[float], pct: float) -> float:
 
 
 def _latency_stats(latencies: list[float]) -> tuple[float, float, float]:
+    """Empty-safe (p50, p99, mean): all 0.0 when nothing completed.
+
+    Zero — not NaN — so windowed summaries for a tenant that admitted
+    no requests survive ``json.dump(..., allow_nan=False)`` and
+    comparisons in downstream gates.
+    """
     if not latencies:
-        nan = float("nan")
-        return nan, nan, nan
+        return 0.0, 0.0, 0.0
     ordered = sorted(latencies)
     return (
         _percentile(ordered, 50),

@@ -111,3 +111,55 @@ def pinned_cluster(
         max_wait_us=800.0,
         seed=seed,
     )
+
+
+def bursty_obs_cluster(
+    requests_per_tenant: int = 300,
+    seed: int = 0,
+) -> ClusterConfig:
+    """One bursty tenant on one undersized pool, scaled by SLO burn only.
+
+    The observability scenario behind ``repro slo-report --scenario
+    bursty``: the pool starts at a single device and the autoscaler's
+    queue-depth/p99 signals are disabled (the depth threshold is set
+    unreachably high), so the *only* way the cluster grows is the
+    burn-rate hook — a :class:`~repro.obs.slo.BurnRateMonitor` passed
+    to :func:`~repro.cluster.simulator.simulate_cluster` feeding
+    ``scale_up_burn_rate``.  The MMPP bursts against a tight SLO drive
+    the short-window burn over threshold, alerts fire, and the
+    alert-driven scale-up is visible in the actions log as
+    ``reason="slo_burn"``.
+    """
+    return ClusterConfig(
+        pools=(
+            PoolConfig(
+                name="fpga-a", kind="fpga", num_devices=1,
+                min_devices=1, max_devices=4, memory=ddr4_2400(),
+            ),
+        ),
+        tenants=(
+            TenantConfig(
+                name="bursty", arrival="mmpp", rate_rps=260.0,
+                num_requests=requests_per_tenant, min_len=8, max_len=48,
+                slo_us=15_000.0, weight=1.0,
+                burst_multiplier=6.0, burst_fraction=0.25,
+                burst_mean_us=120_000.0, seed=3,
+            ),
+        ),
+        router_policy="least_queue",
+        autoscaler=AutoscalerConfig(
+            enabled=True,
+            interval_us=25_000.0,
+            scale_up_queue_depth=10_000.0,  # unreachable: burn-only
+            scale_up_p99_us=None,
+            scale_down_busy=0.0,            # never drains
+            cooldown_up_us=50_000.0,
+            cooldown_down_us=150_000.0,
+            scale_up_burn_rate=1.0,
+        ),
+        queue_capacity=64,
+        queue_timeout_us=120_000.0,
+        max_batch_requests=4,
+        max_wait_us=800.0,
+        seed=seed,
+    )

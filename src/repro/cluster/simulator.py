@@ -34,6 +34,8 @@ from typing import TYPE_CHECKING, Optional
 from ..config import ClusterConfig, ModelConfig
 from ..core.trace import TraceSpan, counter_events, write_span_trace
 from ..errors import ServingError
+from ..obs.spans import AttemptSpan, request_trace
+from ..serving.simulator import attempt_boundary
 from .autoscaler import Autoscaler, ScaleAction
 from .metrics import OUTCOMES, ClusterMetrics, compute_cluster_metrics
 from .pools import PoolRuntime
@@ -41,6 +43,8 @@ from .router import Router
 from .workload import ClusterRequest, cluster_workload, validate_cluster_workload
 
 if TYPE_CHECKING:
+    from ..obs.slo import BurnRateMonitor
+    from ..obs.spans import TraceCollector
     from ..telemetry.registry import MetricsRegistry
 
 _COMPLETION, _ARRIVAL, _POOL_FREE, _WAKEUP, _SCALER = 0, 1, 2, 3, 4
@@ -85,14 +89,21 @@ class ClusterResult:
     depth_samples: dict[str, list[tuple]] = field(default_factory=dict)
     device_samples: dict[str, list[tuple]] = field(default_factory=dict)
 
-    def write_trace(self, path: str) -> int:
+    def write_trace(
+        self,
+        path: str,
+        extra_spans: Optional[list[TraceSpan]] = None,
+    ) -> int:
         """Write one Chrome trace covering the whole cluster.
 
         Per-pool device tracks come from the worker pools' prefixed
         spans; each pool additionally gets ``<pool>.queue_depth`` and
         ``<pool>.devices`` counter tracks, so the autoscaler's replica
         ramps render next to the queues that triggered them.
+        ``extra_spans`` appends caller-supplied tracks — e.g. a
+        :class:`~repro.obs.slo.BurnRateMonitor`'s ``slo_alerts`` row.
         """
+        spans = self.spans + list(extra_spans or ())
         counters = []
         for pool_name, samples in self.depth_samples.items():
             if samples:
@@ -107,7 +118,7 @@ class ClusterResult:
                     sorted(samples, key=lambda s: s[0]),
                 ))
         return write_span_trace(
-            self.spans, path, counters=counters,
+            spans, path, counters=counters,
             other_data={
                 "router_policy": self.metrics.router_policy,
                 "slo_attainment": self.metrics.slo_attainment,
@@ -123,6 +134,8 @@ def simulate_cluster(
     workload: Optional[Sequence[ClusterRequest]] = None,
     registry: Optional["MetricsRegistry"] = None,
     seq_len: int = DEFAULT_SEQ_LEN,
+    tracer: Optional["TraceCollector"] = None,
+    monitor: Optional["BurnRateMonitor"] = None,
 ) -> ClusterResult:
     """Simulate one cluster run (default workload: the config's tenants).
 
@@ -133,6 +146,15 @@ def simulate_cluster(
         registry: Optional metrics registry; the run's
             ``repro_cluster_*`` series are recorded into it for export.
         seq_len: SA row count / max sequence length of every pool.
+        tracer: Optional :class:`~repro.obs.spans.TraceCollector`; every
+            request gets one causal span tree whose hops sum exactly to
+            its latency.  Strictly passive.
+        monitor: Optional :class:`~repro.obs.slo.BurnRateMonitor` fed
+            every terminal request event in time order.  Passive unless
+            ``cluster.autoscaler.scale_up_burn_rate`` is set, in which
+            case the autoscaler consumes the monitor's worst
+            short-window burn as an additional up-signal (the explicit
+            alert→autoscaler opt-in).
     """
     requests = (
         list(workload) if workload is not None
@@ -154,6 +176,8 @@ def simulate_cluster(
     by_name = {p.name: p for p in pools}
     router = Router(cluster, pools)
     scaler = Autoscaler(cluster.autoscaler, pools)
+    if monitor is not None and cluster.autoscaler.scale_up_burn_rate is not None:
+        scaler.attach_burn_source(monitor.max_short_burn)
 
     records: dict[int, ClusterRecord] = {}
     spans: list[TraceSpan] = []
@@ -222,6 +246,20 @@ def simulate_cluster(
                  (pool, batch, outcome)),
             )
 
+    def expire_queue(pool: PoolRuntime, now_us: float) -> None:
+        for request in pool.queue.expire(now_us):
+            records[request.req_id].status = "expired"
+            if tracer is not None:
+                tracer.add(request_trace(
+                    req_id=request.req_id, status="expired",
+                    arrival_us=request.arrival_us,
+                    end_us=request.arrival_us + cluster.queue_timeout_us,
+                    tenant=request.tenant,
+                    attrs={"pool": pool.name},
+                ))
+            if monitor is not None:
+                monitor.observe(now_us, request.tenant, False)
+
     def run_scaler(now_us: float) -> None:
         for action in scaler.evaluate(now_us):
             pool = by_name[action.pool]
@@ -265,6 +303,33 @@ def simulate_cluster(
                     outcome.completion_us, record.latency_us,
                     cluster.ewma_alpha,
                 )
+                if tracer is not None:
+                    tracer.add(request_trace(
+                        req_id=request.req_id, status="completed",
+                        arrival_us=request.arrival_us,
+                        dispatched_us=record.dispatched_us,
+                        attempts=(AttemptSpan(
+                            record.dispatched_us, outcome.start_us,
+                            outcome.completion_us,
+                            attempt_boundary(pool.workers.acc, outcome),
+                            attrs={"devices": ",".join(
+                                map(str, outcome.device_ids)
+                            )},
+                        ),),
+                        tenant=request.tenant,
+                        attrs={
+                            "pool": pool.name,
+                            "batch": batch.batch_id,
+                            "deadline_us": request.deadline_us,
+                            "attained": record.attained,
+                            "slo_violated": not record.attained,
+                        },
+                    ))
+                if monitor is not None:
+                    monitor.observe(
+                        outcome.completion_us, request.tenant,
+                        record.attained,
+                    )
             attempt_dispatch(pool, now_us)
             continue
         if kind == _ARRIVAL:
@@ -280,6 +345,14 @@ def simulate_cluster(
                     args={"tenant": payload.tenant,
                           "deadline_us": payload.deadline_us},
                 ))
+                if tracer is not None:
+                    tracer.add(request_trace(
+                        req_id=payload.req_id, status="shed",
+                        arrival_us=payload.arrival_us,
+                        tenant=payload.tenant,
+                    ))
+                if monitor is not None:
+                    monitor.observe(now_us, payload.tenant, False)
                 if remaining_arrivals == 0:
                     for p in pools:
                         attempt_dispatch(p, now_us)
@@ -288,6 +361,15 @@ def simulate_cluster(
             pool.routed += 1
             if not pool.queue.offer(payload, now_us):
                 record.status = "rejected"
+                if tracer is not None:
+                    tracer.add(request_trace(
+                        req_id=payload.req_id, status="rejected",
+                        arrival_us=payload.arrival_us,
+                        tenant=payload.tenant,
+                        attrs={"pool": pool.name},
+                    ))
+                if monitor is not None:
+                    monitor.observe(now_us, payload.tenant, False)
             else:
                 record.status = "queued"
                 if cluster.queue_timeout_us != float("inf"):
@@ -296,8 +378,7 @@ def simulate_cluster(
                         (payload.arrival_us + cluster.queue_timeout_us,
                          _WAKEUP, next(seq), pool),
                     )
-            for request in pool.queue.expire(now_us):
-                records[request.req_id].status = "expired"
+            expire_queue(pool, now_us)
             attempt_dispatch(pool, now_us)
             # The last arrival force-flushes every pool's partial batch.
             if remaining_arrivals == 0:
@@ -310,8 +391,7 @@ def simulate_cluster(
             continue
         # _POOL_FREE / _WAKEUP carry the pool they concern.
         pool = payload
-        for request in pool.queue.expire(now_us):
-            records[request.req_id].status = "expired"
+        expire_queue(pool, now_us)
         attempt_dispatch(pool, now_us)
 
     if any(r.status == "queued" for r in records.values()):

@@ -838,6 +838,12 @@ class AutoscalerConfig:
         cooldown_down_us: Minimum time between drains of one pool.
         p99_window_us: Width of the completed-latency window the p99
             signal is computed over.
+        scale_up_burn_rate: Add a replica when the SLO monitor's worst
+            short-window burn rate exceeds this (``None`` disables the
+            signal).  Only active when a
+            :class:`~repro.obs.slo.BurnRateMonitor` is passed to
+            :func:`~repro.cluster.simulator.simulate_cluster` — the
+            explicit alert→autoscaler opt-in.
     """
 
     enabled: bool = True
@@ -848,6 +854,7 @@ class AutoscalerConfig:
     cooldown_up_us: float = 40_000.0
     cooldown_down_us: float = 80_000.0
     p99_window_us: float = 200_000.0
+    scale_up_burn_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -866,6 +873,11 @@ class AutoscalerConfig:
             raise ConfigError("cooldowns must be non-negative")
         if self.p99_window_us <= 0:
             raise ConfigError("p99_window_us must be positive")
+        if (self.scale_up_burn_rate is not None
+                and self.scale_up_burn_rate <= 0):
+            raise ConfigError(
+                "scale_up_burn_rate must be positive (or None)"
+            )
 
     def with_updates(self, **changes: object) -> AutoscalerConfig:
         """Return a copy of this config with the given fields replaced."""

@@ -53,6 +53,7 @@ KNOWN_TRACK_PATTERNS = tuple(_UNIT_TRACKS) + (
     "decode",         # decode: per-batch token-generation steps
     "kv_cache_hit_rate",  # decode: cumulative KV residency counter
     "compress.*",     # compress: one row per swept spec + counter rows
+    "slo_alerts",     # obs: burn-rate alert intervals per tenant
 )
 
 

@@ -35,10 +35,12 @@ from ..config import AcceleratorConfig, DecodeConfig, ModelConfig
 from ..core.cycle_model import ffn_cycle_breakdown
 from ..core.trace import TraceSpan, counter_events, write_span_trace
 from ..errors import ServingError
+from ..obs.spans import stream_trace
 from .cycle_model import decode_step_breakdown, prefill_layer_cycles
 from .kvcache import KVCacheModel
 
 if TYPE_CHECKING:
+    from ..obs.spans import TraceCollector
     from ..telemetry.registry import MetricsRegistry
 
 __all__ = [
@@ -225,6 +227,7 @@ def simulate_decode(
     decode: Optional[DecodeConfig] = None,
     streams: Optional[list[DecodeStream]] = None,
     registry: Optional["MetricsRegistry"] = None,
+    tracer: Optional["TraceCollector"] = None,
 ) -> DecodeResult:
     """Simulate mixed prefill/decode serving (seeded, deterministic).
 
@@ -236,6 +239,10 @@ def simulate_decode(
         streams: Explicit stream list; overrides the generated one.
         registry: Optional metrics registry; the run's
             ``repro_decode_*`` series are recorded for export.
+        tracer: Optional :class:`~repro.obs.spans.TraceCollector`;
+            every stream gets one span tree (waits, prefill chunks,
+            decode steps) whose hops sum exactly to arrival →
+            completion.  Strictly passive.
     """
     decode = DecodeConfig() if decode is None else decode
     workload = (
@@ -257,6 +264,8 @@ def simulate_decode(
     records: dict[int, StreamRecord] = {}
     spans: list[TraceSpan] = []
     kv_samples: list[tuple] = []
+    # stream_id -> [(label, kind, start_us, end_us, attrs)], tracer-only
+    trace_intervals: dict[int, list] = {}
     prefill_latencies: list[float] = []
     token_gaps: list[float] = []
     decode_steps = 0
@@ -348,6 +357,15 @@ def simulate_decode(
         total_cycles = step_cycles + refetch
         refetch_cycles_total += refetch
         end_us = now_us + total_cycles / clock
+        if tracer is not None:
+            for item in batch:
+                trace_intervals.setdefault(
+                    item.stream.stream_id, []
+                ).append((
+                    f"s{item.stream.stream_id}.decode.b{decode_batches}",
+                    "decode_step", now_us, end_us,
+                    {"device": device, "batch_streams": len(batch)},
+                ))
         spans.append(TraceSpan(
             name=f"decode.batch{decode_batches}",
             track=f"device{device}",
@@ -387,6 +405,15 @@ def simulate_decode(
             chunk_cycles = cost.prefill_cycles(item.stream.prefill_len)
             label = f"prefill.s{item.stream.stream_id}"
         end_us = now_us + chunk_cycles / clock
+        if tracer is not None:
+            trace_intervals.setdefault(
+                item.stream.stream_id, []
+            ).append((
+                label,
+                ("prefill_chunk" if decode.policy == "prefill_chunk"
+                 else "prefill"),
+                now_us, end_us, {"device": device},
+            ))
         spans.append(TraceSpan(
             name=label,
             track=f"device{device}",
@@ -495,6 +522,19 @@ def simulate_decode(
             kv_misses=kv.misses,
         )
     ordered = [records[s.stream_id] for s in arrivals]
+    if tracer is not None:
+        for record in ordered:
+            sid = record.stream.stream_id
+            tracer.add(stream_trace(
+                stream_id=sid,
+                status=record.status,
+                arrival_us=record.stream.arrival_us,
+                intervals=tuple(trace_intervals.get(sid, ())),
+                attrs={
+                    "prefill_len": record.stream.prefill_len,
+                    "decode_tokens": record.stream.decode_tokens,
+                },
+            ))
     return DecodeResult(
         decode=decode,
         metrics=metrics,

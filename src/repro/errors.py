@@ -58,3 +58,7 @@ class TrainingError(ReproError):
 
 class TelemetryError(ReproError):
     """A metrics instrument, exporter, or the bench-diff gate was misused."""
+
+
+class ObsError(ReproError):
+    """A request trace, trace sampler, or SLO monitor was misused."""

@@ -1,0 +1,66 @@
+"""End-to-end observability: causal request traces + SLO burn alerts.
+
+``repro.obs`` gives the simulators the per-request half of the story
+the profiler gives per-cycle: every request's wall time exactly
+partitioned across its hops (:mod:`~repro.obs.spans`), tail-based
+sampling that keeps every interesting trace (:mod:`~repro.obs.sampling`),
+a streaming multi-window SLO burn-rate monitor with an opt-in
+autoscaler hook (:mod:`~repro.obs.slo`), OTLP-JSON export plus
+histogram exemplars (:mod:`~repro.obs.export`) and the text/JSON
+reports behind ``repro trace`` / ``repro slo-report``
+(:mod:`~repro.obs.report`).
+"""
+
+from .export import (
+    attach_latency_exemplars,
+    span_id_hex,
+    trace_id_hex,
+    traces_to_otlp,
+    write_otlp,
+)
+from .report import (
+    hop_rollup,
+    render_slo_report,
+    render_trace_report,
+    render_waterfall,
+    slo_report_data,
+    slowest_traces,
+    waterfall_rows,
+)
+from .sampling import SamplingPolicy, TraceSampler
+from .slo import BurnRateAlert, BurnRateMonitor, BurnRateWindow, SloPolicy
+from .spans import (
+    AttemptSpan,
+    RequestTrace,
+    Span,
+    TraceCollector,
+    request_trace,
+    stream_trace,
+)
+
+__all__ = [
+    "AttemptSpan",
+    "BurnRateAlert",
+    "BurnRateMonitor",
+    "BurnRateWindow",
+    "RequestTrace",
+    "SamplingPolicy",
+    "SloPolicy",
+    "Span",
+    "TraceCollector",
+    "TraceSampler",
+    "attach_latency_exemplars",
+    "hop_rollup",
+    "render_slo_report",
+    "render_trace_report",
+    "render_waterfall",
+    "request_trace",
+    "slo_report_data",
+    "slowest_traces",
+    "span_id_hex",
+    "stream_trace",
+    "trace_id_hex",
+    "traces_to_otlp",
+    "waterfall_rows",
+    "write_otlp",
+]

@@ -1,0 +1,192 @@
+"""OTLP-JSON trace export and histogram exemplar attachment.
+
+:func:`traces_to_otlp` renders a set of :class:`~repro.obs.spans.RequestTrace`
+trees into the OTLP/JSON resource-span shape (``resourceSpans`` →
+``scopeSpans`` → ``spans`` with hex trace/span ids and nanosecond Unix
+timestamps), so the artifact is loadable by any OpenTelemetry-aware
+viewer.  Ids are derived from ``(req_id, span index, seed)`` through a
+splitmix64-style pure-integer mix — deterministic across processes,
+no RNG, no ``hash()``.
+
+:func:`attach_latency_exemplars` wires retained traces into a latency
+histogram in the metrics registry: each completed trace's end-to-end
+latency lands an exemplar (its trace id) in the bucket the latency
+falls in, so a p99 bucket links straight to the offending traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .spans import RequestTrace, Span
+
+if TYPE_CHECKING:
+    from ..telemetry.registry import MetricsRegistry
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: a high-quality deterministic bit mixer."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def trace_id_hex(req_id: int, seed: int = 0) -> str:
+    """Deterministic 128-bit trace id (32 hex chars) for a request."""
+    hi = _mix64(req_id * 2 + 1 + seed * 0x1000)
+    lo = _mix64(req_id * 2 + 2 + seed * 0x1000)
+    return f"{hi:016x}{lo:016x}"
+
+
+def span_id_hex(req_id: int, index: int, seed: int = 0) -> str:
+    """Deterministic 64-bit span id (16 hex chars); index is pre-order."""
+    return f"{_mix64((req_id << 20) + index + 1 + seed * 0x2000):016x}"
+
+
+def _attr_value(value: object) -> dict:
+    # bool before int: bool is an int subclass.
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _attributes(attrs: dict) -> list[dict]:
+    return [
+        {"key": key, "value": _attr_value(attrs[key])}
+        for key in sorted(attrs)
+    ]
+
+
+def _nanos(us: float) -> str:
+    return str(int(round(us * 1000.0)))
+
+
+def _otlp_span(trace: RequestTrace, span: Span, index: int,
+               parent_index: Optional[int], seed: int) -> dict:
+    out = {
+        "traceId": trace_id_hex(trace.req_id, seed),
+        "spanId": span_id_hex(trace.req_id, index, seed),
+        "name": span.name,
+        "kind": 1,  # SPAN_KIND_INTERNAL
+        "startTimeUnixNano": _nanos(span.start_us),
+        "endTimeUnixNano": _nanos(span.end_us),
+        "attributes": _attributes({"repro.kind": span.kind, **span.attrs}),
+        "status": {
+            "code": 1 if trace.status == "completed" else 2,  # OK / ERROR
+        },
+    }
+    if parent_index is not None:
+        out["parentSpanId"] = span_id_hex(trace.req_id, parent_index, seed)
+    return out
+
+
+def _walk_with_parent(
+    span: Span,
+) -> list[tuple[Span, Optional[int], int]]:
+    """Pre-order ``(span, parent_index, index)`` enumeration."""
+    order: list[tuple[Span, Optional[int], int]] = []
+
+    def visit(node: Span, parent_idx: Optional[int]) -> None:
+        my_idx = len(order)
+        order.append((node, parent_idx, my_idx))
+        for child in node.children:
+            visit(child, my_idx)
+
+    visit(span, None)
+    return order
+
+
+def traces_to_otlp(
+    traces: Sequence[RequestTrace],
+    service_name: str = "repro-sim",
+    seed: int = 0,
+) -> dict:
+    """Render traces as one OTLP-JSON export payload."""
+    spans = []
+    for trace in traces:
+        root_attrs = {
+            "repro.req_id": trace.req_id,
+            "repro.status": trace.status,
+            "repro.sampled": trace.sampled,
+            **({"repro.tenant": trace.tenant} if trace.tenant else {}),
+            **{f"repro.{k}": v for k, v in trace.attrs.items()},
+        }
+        for span, parent_idx, idx in _walk_with_parent(trace.root):
+            rendered = _otlp_span(trace, span, idx, parent_idx, seed)
+            if parent_idx is None:
+                rendered["attributes"] = _attributes(
+                    {"repro.kind": span.kind, **root_attrs}
+                )
+            spans.append(rendered)
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": _attributes(
+                        {"service.name": service_name}
+                    ),
+                },
+                "scopeSpans": [
+                    {
+                        "scope": {"name": "repro.obs", "version": "1"},
+                        "spans": spans,
+                    }
+                ],
+            }
+        ]
+    }
+
+
+def write_otlp(
+    traces: Sequence[RequestTrace],
+    path: str,
+    service_name: str = "repro-sim",
+    seed: int = 0,
+) -> int:
+    """Write the OTLP-JSON payload to ``path``; returns the span count."""
+    payload = traces_to_otlp(traces, service_name=service_name, seed=seed)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True, allow_nan=False)
+        fh.write("\n")
+    return len(payload["resourceSpans"][0]["scopeSpans"][0]["spans"])
+
+
+def attach_latency_exemplars(
+    registry: "MetricsRegistry",
+    traces: Sequence[RequestTrace],
+    family: str,
+    seed: int = 0,
+    label: Optional[str] = None,
+) -> int:
+    """Attach trace-id exemplars to a latency histogram.
+
+    Every *retained* completed trace contributes its end-to-end latency
+    and trace id to ``family``'s matching bucket.  With ``label`` set,
+    exemplars are filed under that label keyed by the trace's tenant
+    (matching how the cluster simulator labels its latency series).
+    Returns the number of exemplars attached (0 when the family was
+    never emitted).
+    """
+    if family not in registry:
+        return 0
+    hist = registry.get(family)
+    attached = 0
+    for trace in traces:
+        if trace.status != "completed" or not trace.sampled:
+            continue
+        labels = {}
+        if label is not None and trace.tenant is not None:
+            labels[label] = trace.tenant
+        hist.attach_exemplar(
+            trace.latency_us, trace_id_hex(trace.req_id, seed), **labels
+        )
+        attached += 1
+    return attached

@@ -1,0 +1,201 @@
+"""Trace and SLO reporting: waterfalls, rollups, burn-rate timelines.
+
+Render helpers behind ``repro trace --requests ...`` and
+``repro slo-report``: top-N slowest completions, a per-hop critical-path
+rollup across retained traces, the per-hop waterfall of one request,
+and the per-tenant burn-rate/alert summary of a
+:class:`~repro.obs.slo.BurnRateMonitor`.  Everything is derived from
+already-deterministic inputs, so same-seed runs render byte-identical
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.report import render_table
+from .slo import BurnRateMonitor
+from .spans import RequestTrace, Span
+
+
+def slowest_traces(
+    traces: Sequence[RequestTrace], n: int
+) -> list[RequestTrace]:
+    """Top-``n`` completed traces by latency (ties broken by req id)."""
+    completed = [t for t in traces if t.status == "completed"]
+    completed.sort(key=lambda t: (-t.latency_us, t.req_id))
+    return completed[:n]
+
+
+def waterfall_rows(trace: RequestTrace) -> list[list[object]]:
+    """One row per span, depth-indented, with offset/duration/share."""
+    total = trace.latency_us
+    rows: list[list[object]] = []
+
+    def visit(span: Span, depth: int) -> None:
+        share = (span.duration_us / total * 100.0) if total > 0 else 0.0
+        rows.append([
+            "  " * depth + span.name,
+            span.kind,
+            f"{span.start_us - trace.root.start_us:,.1f}",
+            f"{span.duration_us:,.1f}",
+            f"{share:.1f}%" if not span.children else "",
+        ])
+        for child in span.children:
+            visit(child, depth + 1)
+
+    visit(trace.root, 0)
+    return rows
+
+
+def render_waterfall(trace: RequestTrace) -> str:
+    """The per-hop waterfall of one request, as a text table."""
+    title = (
+        f"req {trace.req_id} — {trace.status}, "
+        f"{trace.latency_us:,.1f} us end-to-end"
+        + (f", tenant {trace.tenant}" if trace.tenant else "")
+    )
+    return render_table(
+        title,
+        ["span", "kind", "offset_us", "duration_us", "share"],
+        waterfall_rows(trace),
+    )
+
+
+def hop_rollup(traces: Sequence[RequestTrace]) -> dict[str, dict]:
+    """Aggregate leaf-hop time by kind across completed traces.
+
+    Root-only (tail-sampled-away) traces are skipped — their single
+    leaf is the whole request, which would swamp the per-hop shares.
+    The per-trace partition is exact, so the rollup's total equals the
+    summed end-to-end latency of the retained traces — the fleet-level
+    analogue of the profiler's cycle attribution.
+    """
+    out: dict[str, dict] = {}
+    for trace in traces:
+        if trace.status != "completed" or not trace.sampled:
+            continue
+        for leaf in trace.hops():
+            entry = out.setdefault(
+                leaf.kind, {"total_us": 0.0, "spans": 0, "max_us": 0.0}
+            )
+            entry["total_us"] += leaf.duration_us
+            entry["spans"] += 1
+            entry["max_us"] = max(entry["max_us"], leaf.duration_us)
+    return out
+
+
+def render_trace_report(
+    traces: Sequence[RequestTrace], top: int
+) -> str:
+    """Top-N slowest table + critical-path rollup across all traces."""
+    slowest = slowest_traces(traces, top)
+    rows = []
+    for trace in slowest:
+        hops = trace.hops()
+        worst = max(hops, key=lambda h: (h.duration_us, h.name))
+        rows.append([
+            trace.req_id,
+            trace.tenant or "-",
+            f"{trace.latency_us:,.1f}",
+            trace.attrs.get("retries", 0),
+            worst.kind,
+            f"{worst.duration_us:,.1f}",
+            "full" if trace.sampled else "root-only",
+        ])
+    sections = [render_table(
+        f"top {len(slowest)} slowest requests "
+        f"({len(traces)} traces collected)",
+        ["req", "tenant", "latency_us", "retries", "critical_hop",
+         "hop_us", "sampling"],
+        rows,
+    )]
+    rollup = hop_rollup(traces)
+    total = sum(e["total_us"] for e in rollup.values())
+    roll_rows = [
+        [kind, entry["spans"], f"{entry['total_us']:,.1f}",
+         f"{entry['max_us']:,.1f}",
+         f"{entry['total_us'] / total * 100.0:.1f}%" if total else "0.0%"]
+        for kind, entry in sorted(
+            rollup.items(), key=lambda kv: -kv[1]["total_us"]
+        )
+    ]
+    sections.append(render_table(
+        "hop rollup (fully-sampled completed traces; shares sum to "
+        "100%)",
+        ["hop", "spans", "total_us", "max_us", "share"],
+        roll_rows,
+    ))
+    return "\n\n".join(sections)
+
+
+def slo_report_data(monitor: BurnRateMonitor) -> dict:
+    """JSON-ready slo-report payload: summary, timelines, alerts."""
+    return {
+        "policy": {
+            "objective": monitor.policy.objective,
+            "long_window_us": monitor.policy.long.window_us,
+            "long_threshold": monitor.policy.long.threshold,
+            "short_window_us": monitor.policy.short.window_us,
+            "short_threshold": monitor.policy.short.threshold,
+            "min_events": monitor.policy.min_events,
+        },
+        "tenants": monitor.summary(),
+        "alerts": [
+            {
+                "tenant": a.tenant,
+                "fired_us": a.fired_us,
+                "resolved_us": a.resolved_us,
+                "burn_long": a.burn_long,
+                "burn_short": a.burn_short,
+            }
+            for a in monitor.alerts
+        ],
+        "timeline": {
+            tenant: [
+                {"ts_us": ts, "burn_long": bl, "burn_short": bs}
+                for ts, bl, bs in points
+            ]
+            for tenant, points in sorted(monitor.timeline.items())
+        },
+    }
+
+
+def render_slo_report(monitor: BurnRateMonitor) -> str:
+    """Per-tenant burn-rate summary + alert log, as text tables."""
+    policy = monitor.policy
+    summary = monitor.summary()
+    rows = [
+        [tenant, entry["events"],
+         f"{entry['peak_burn_long']:.2f}",
+         f"{entry['peak_burn_short']:.2f}",
+         entry["alerts_fired"], entry["alerts_unresolved"]]
+        for tenant, entry in summary.items()
+    ]
+    sections = [render_table(
+        f"SLO burn-rate report — objective {policy.objective:.0%}, "
+        f"windows {policy.long.window_us / 1000.0:.0f} ms"
+        f"@{policy.long.threshold:g}x + "
+        f"{policy.short.window_us / 1000.0:.0f} ms"
+        f"@{policy.short.threshold:g}x",
+        ["tenant", "events", "peak_long", "peak_short", "alerts",
+         "unresolved"],
+        rows,
+    )]
+    if monitor.alerts:
+        alert_rows = [
+            [a.tenant, f"{a.fired_us:,.0f}",
+             f"{a.resolved_us:,.0f}" if a.resolved_us is not None
+             else "active",
+             f"{a.burn_long:.2f}", f"{a.burn_short:.2f}"]
+            for a in monitor.alerts
+        ]
+        sections.append(render_table(
+            "alert firings",
+            ["tenant", "fired_us", "resolved_us", "burn_long",
+             "burn_short"],
+            alert_rows,
+        ))
+    else:
+        sections.append("no burn-rate alerts fired")
+    return "\n\n".join(sections)

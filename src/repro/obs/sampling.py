@@ -1,0 +1,70 @@
+"""Tail-based trace sampling.
+
+The sampler decides *after* a request finishes whether its full span
+tree is worth keeping — the standard tail-based policy: every
+interesting outcome (SLO violation, ABFT retry, shed / rejection /
+expiry / failure) is retained at 100%, and a seeded head-sample keeps
+a deterministic fraction of the boring completions so the healthy
+baseline stays visible.
+
+Determinism: the head-sample uses a pure-integer multiplicative hash
+of ``(req_id, seed)`` — no RNG state, no ``hash()`` randomization — so
+the same workload keeps the same traces on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ObsError
+from .spans import RequestTrace
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """Tail-based retention policy.
+
+    Attributes:
+        head_rate: Fraction of *uninteresting* completed traces kept by
+            the deterministic head-sample, in ``[0, 1]``.
+        seed: Mixes into the head-sample hash so different runs can
+            keep different healthy exemplars.
+    """
+
+    head_rate: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.head_rate <= 1.0:
+            raise ObsError(
+                f"head_rate must lie in [0, 1], got {self.head_rate}"
+            )
+
+
+class TraceSampler:
+    """Applies a :class:`SamplingPolicy` to finished traces."""
+
+    def __init__(self, policy: SamplingPolicy | None = None):
+        self.policy = SamplingPolicy() if policy is None else policy
+
+    def keep(self, trace: RequestTrace) -> bool:
+        """True when the full tree should be retained."""
+        if trace.status != "completed":
+            return True
+        if trace.attrs.get("retries", 0) > 0:
+            return True
+        if trace.attrs.get("slo_violated", False):
+            return True
+        if trace.attrs.get("corrupted", False):
+            return True
+        return self._head_sample(trace.req_id)
+
+    def _head_sample(self, req_id: int) -> bool:
+        # Knuth-style multiplicative hash over (req_id, seed) mapped to
+        # [0, 1); purely arithmetic so it is stable across processes.
+        # The seed multiplier must be large relative to 2**32 so that
+        # adjacent seeds select visibly different exemplar sets.
+        mixed = (
+            req_id * 2654435761 + self.policy.seed * 2246822519 + 12345
+        )
+        return (mixed % 2**32) / 2**32 < self.policy.head_rate

@@ -38,6 +38,7 @@ import numpy as np
 from ..config import AcceleratorConfig, ModelConfig, ServingConfig
 from ..core.trace import TraceSpan, counter_events, write_span_trace
 from ..errors import ServingError
+from ..obs.spans import AttemptSpan, request_trace
 from .admission import AdmissionQueue
 from .batching import Batch, BatchCostModel, DynamicBatcher
 from .devices import WorkerPool
@@ -45,9 +46,27 @@ from .metrics import ServingMetrics, compute_metrics
 from .workload import Request, poisson_workload, validate_workload
 
 if TYPE_CHECKING:
+    from ..obs.spans import TraceCollector
     from ..telemetry.registry import MetricsRegistry
 
 _ARRIVAL, _DEVICE_FREE, _WAKEUP = 0, 1, 2
+
+
+def attempt_boundary(acc: AcceleratorConfig, outcome) -> Optional[float]:
+    """Where compute ends and the exposed reload stall begins.
+
+    Only attributable for single-span (replicated) dispatches whose
+    span args carry the run/reload cycle split; layer-sharded
+    pipelines interleave stages and return ``None``.
+    """
+    if len(outcome.spans) != 1:
+        return None
+    args = outcome.spans[0].args
+    cycles = args.get("cycles")
+    reload_cycles = args.get("reload_cycles")
+    if cycles is None or reload_cycles is None:
+        return None
+    return outcome.start_us + acc.cycles_to_us(cycles - reload_cycles)
 
 
 @dataclass
@@ -137,6 +156,7 @@ def simulate_serving(
     serving: Optional[ServingConfig] = None,
     workload: Optional[Sequence[Request]] = None,
     registry: Optional["MetricsRegistry"] = None,
+    tracer: Optional["TraceCollector"] = None,
 ) -> ServingResult:
     """Simulate serving ``workload`` (default: seeded Poisson traffic).
 
@@ -149,6 +169,11 @@ def simulate_serving(
         registry: Optional metrics registry; the run's serving series
             (request outcomes, latency histogram, queue-depth samples,
             cache lookups) are recorded into it for export.
+        tracer: Optional :class:`~repro.obs.spans.TraceCollector`;
+            every request gets one causal span tree (queue wait,
+            device wait, compute, memsys stall, retries, terminal
+            markers) whose hops sum exactly to its latency.  Strictly
+            passive — outputs are bit-identical with or without it.
     """
     serving = ServingConfig() if serving is None else serving
     if serving.max_len > acc.seq_len and workload is None:
@@ -211,6 +236,14 @@ def simulate_serving(
         )
     remaining_arrivals = len(requests)
 
+    def attempt(dispatched_us: float, outcome) -> AttemptSpan:
+        """Trace view of one dispatch attempt (tracer-only path)."""
+        return AttemptSpan(
+            dispatched_us, outcome.start_us, outcome.completion_us,
+            attempt_boundary(acc, outcome),
+            attrs={"devices": ",".join(map(str, outcome.device_ids))},
+        )
+
     def attempt_dispatch(now_us: float) -> None:
         nonlocal retried
         while len(queue):
@@ -218,6 +251,12 @@ def simulate_serving(
                 # Degraded to dead: strand everything still queued.
                 for request in queue.pop_front(len(queue), now_us):
                     records[request.req_id].status = "failed"
+                    if tracer is not None:
+                        tracer.add(request_trace(
+                            req_id=request.req_id, status="failed",
+                            arrival_us=request.arrival_us, end_us=now_us,
+                            attrs={"reason": "pool_dead"},
+                        ))
                 return
             if not pool.can_accept(now_us):
                 free_at = pool.next_free_us()
@@ -241,6 +280,8 @@ def simulate_serving(
             outcome = pool.dispatch(batch, now_us)
             batches.append(batch)
             spans.extend(outcome.spans)
+            attempts_log = [attempt(now_us, outcome)] \
+                if tracer is not None else []
             maybe_fail_device(outcome)
             # Per-batch fault events: with ABFT the checksum syndrome
             # flags the run at drain and the batch is re-dispatched
@@ -256,14 +297,17 @@ def simulate_serving(
                    and pool.pool_alive):
                 attempts += 1
                 retried += 1
+                retry_at = outcome.completion_us
                 spans.append(TraceSpan(
                     name=f"batch{batch.batch_id}.retry{attempts}",
                     track="faults",
-                    start_us=outcome.completion_us, duration_us=0.0,
+                    start_us=retry_at, duration_us=0.0,
                     args={"event": "abft_retry", "attempt": attempts},
                 ))
-                outcome = pool.dispatch(batch, outcome.completion_us)
+                outcome = pool.dispatch(batch, retry_at)
                 spans.extend(outcome.spans)
+                if tracer is not None:
+                    attempts_log.append(attempt(retry_at, outcome))
                 maybe_fail_device(outcome)
                 faulted = fault_rng.random() < serving.batch_fault_rate
             # Counter-track samples at the batch's final completion:
@@ -287,11 +331,29 @@ def simulate_serving(
                 record.dispatched_us = now_us
                 if detected_unrecovered:
                     record.status = "failed"
+                    if tracer is not None:
+                        tracer.add(request_trace(
+                            req_id=request.req_id, status="failed",
+                            arrival_us=request.arrival_us,
+                            dispatched_us=now_us,
+                            attempts=tuple(attempts_log),
+                            attrs={"batch": batch.batch_id,
+                                   "reason": "retries_exhausted"},
+                        ))
                     continue
                 record.status = "completed"
                 record.completed_us = outcome.completion_us
                 record.corrupted = faulted
                 latencies.append(record.latency_us)
+                if tracer is not None:
+                    tracer.add(request_trace(
+                        req_id=request.req_id, status="completed",
+                        arrival_us=request.arrival_us,
+                        dispatched_us=now_us,
+                        attempts=tuple(attempts_log),
+                        attrs={"batch": batch.batch_id,
+                               "corrupted": faulted},
+                    ))
                 wait = now_us - request.arrival_us
                 if wait > 0:
                     spans.append(TraceSpan(
@@ -316,8 +378,19 @@ def simulate_serving(
                         (payload.arrival_us + serving.queue_timeout_us,
                          _WAKEUP, next(seq), None),
                     )
+            elif tracer is not None:
+                tracer.add(request_trace(
+                    req_id=payload.req_id, status="rejected",
+                    arrival_us=payload.arrival_us,
+                ))
         for request in queue.expire(now_us):
             records[request.req_id].status = "expired"
+            if tracer is not None:
+                tracer.add(request_trace(
+                    req_id=request.req_id, status="expired",
+                    arrival_us=request.arrival_us,
+                    end_us=request.arrival_us + serving.queue_timeout_us,
+                ))
         attempt_dispatch(now_us)
 
     if any(r.status == "queued" for r in records.values()):

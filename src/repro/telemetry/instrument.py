@@ -108,6 +108,23 @@ request disposition):
   ``repro_serving_device_busy_fraction``,
   ``repro_serving_sa_utilization``, ``repro_serving_occupancy``.
 
+Observability schema (:mod:`repro.obs`; ``tenant`` labels the traffic
+source and ``window`` the burn-rate lookback):
+
+* ``repro_obs_traces_total{status}`` — request traces the collector
+  observed, by terminal status;
+* ``repro_obs_traces_retained_total`` — traces kept in full by the
+  tail-based sampler (violations/retries/sheds always, plus the seeded
+  head-sample);
+* ``repro_obs_slo_good_total{tenant}`` / ``repro_obs_slo_bad_total{tenant}``
+  — terminal request events the SLO monitor scored;
+* ``repro_obs_burn_rate{tenant,window}`` — windowed burn-rate
+  timeseries (bad fraction over the error budget, long + short
+  windows);
+* ``repro_obs_alerts_total{tenant}`` — burn-rate alert firings;
+* ``repro_obs_alert_active{tenant}`` — 1 while a tenant's alert is
+  firing, 0 once the short window clears.
+
 Device-level schema (emitted by the instrumented units themselves):
 
 * ``repro_sa_passes_total`` / ``repro_sa_compute_cycles_total`` /
@@ -178,6 +195,13 @@ METRIC_FAMILIES: tuple[str, ...] = (
     "repro_memsys_prefetch_bytes_total",
     "repro_memsys_prefetch_tiles_total",
     "repro_memsys_stall_cycles_total",
+    "repro_obs_alert_active",
+    "repro_obs_alerts_total",
+    "repro_obs_burn_rate",
+    "repro_obs_slo_bad_total",
+    "repro_obs_slo_good_total",
+    "repro_obs_traces_retained_total",
+    "repro_obs_traces_total",
     "repro_reliability_corrections_total",
     "repro_reliability_detections_total",
     "repro_reliability_injected_total",

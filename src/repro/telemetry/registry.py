@@ -45,6 +45,9 @@ DEFAULT_BUCKETS: tuple[float, ...] = tuple(
     m * 10.0 ** e for e in range(9) for m in (1.0, 2.0, 5.0)
 )
 
+#: Trace exemplars kept per histogram bucket (largest values win).
+MAX_EXEMPLARS_PER_BUCKET = 4
+
 
 def _label_key(labels: dict) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
@@ -139,12 +142,14 @@ class Gauge(Instrument):
 
 
 class _HistogramSeries:
-    __slots__ = ("bucket_counts", "total", "samples")
+    __slots__ = ("bucket_counts", "total", "samples", "exemplars")
 
     def __init__(self, num_buckets: int) -> None:
         self.bucket_counts = [0] * (num_buckets + 1)  # + overflow
         self.total = 0.0
         self.samples: list[float] = []
+        # bucket index -> [(value, ref)] kept sorted by value desc
+        self.exemplars: dict[int, list[tuple[float, str]]] = {}
 
 
 class Histogram(Instrument):
@@ -198,6 +203,36 @@ class Histogram(Instrument):
         series.total += value
         series.samples.append(value)
 
+    def attach_exemplar(
+        self, value: float, ref: str, **labels: object
+    ) -> None:
+        """Link a trace reference to the bucket ``value`` falls in.
+
+        Exemplars are the histogram-to-trace bridge: a p99 bucket can
+        point at the ids of the slowest traces that landed in it.  At
+        most :data:`MAX_EXEMPLARS_PER_BUCKET` refs are kept per bucket,
+        preferring the largest values (the interesting tail).
+        """
+        value = float(value)
+        if math.isnan(value):
+            raise TelemetryError(f"histogram {self.name}: NaN exemplar")
+        series = self._get(labels)
+        idx = bisect_left(self.buckets, value)
+        bucket = series.exemplars.setdefault(idx, [])
+        bucket.append((value, ref))
+        bucket.sort(key=lambda e: (-e[0], e[1]))
+        del bucket[MAX_EXEMPLARS_PER_BUCKET:]
+
+    def exemplars(
+        self, **labels: object
+    ) -> dict[int, list[tuple[float, str]]]:
+        """Exemplars of one series, keyed by bucket index."""
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            return {}
+        return {idx: list(refs) for idx, refs in series.exemplars.items()}
+
     def count(self, **labels: object) -> int:
         key = _label_key(labels)
         return len(self._series[key].samples) if key in self._series else 0
@@ -245,14 +280,31 @@ class Histogram(Instrument):
 
     def series_value(self, key: LabelKey) -> object:
         series = self._series[key]
-        return {
+        value: dict[str, object] = {
             "count": len(series.samples),
             "sum": series.total,
+            # The overflow bound renders as the string "+Inf" so the
+            # JSON export stays loadable under allow_nan=False.
             "buckets": [
-                {"le": le, "count": count}
+                {"le": "+Inf" if math.isinf(le) else le, "count": count}
                 for le, count in self.cumulative_buckets(**dict(key))
             ],
         }
+        if series.exemplars:
+            # "+Inf" stays a string so json.dump(..., allow_nan=False)
+            # callers survive the overflow bucket.
+            value["exemplars"] = [
+                {
+                    "le": (self.buckets[idx] if idx < len(self.buckets)
+                           else "+Inf"),
+                    "refs": [
+                        {"value": v, "trace": ref}
+                        for v, ref in series.exemplars[idx]
+                    ],
+                }
+                for idx in sorted(series.exemplars)
+            ]
+        return value
 
 
 class Timeseries(Instrument):

@@ -1,0 +1,191 @@
+"""Issue acceptance criteria for the observability stack.
+
+Pins the end-to-end guarantees: on the pinned cluster scenario every
+request id appears in exactly one trace tree whose per-hop spans sum
+*exactly* (Fraction arithmetic, no epsilon) to the recorded latency;
+tail sampling retains 100% of SLO-violating requests; and in the
+bursty-tenant scenario the burn-rate monitor drives at least one
+``slo_burn`` autoscale-up that does not happen without it.
+"""
+
+from fractions import Fraction
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import pinned_cluster, simulate_cluster
+from repro.cluster.scenario import bursty_obs_cluster
+from repro.config import (
+    AcceleratorConfig,
+    DecodeConfig,
+    ServingConfig,
+    transformer_base,
+)
+from repro.decode import simulate_decode
+from repro.memsys.bandwidth import ddr4_2400
+from repro.obs import (
+    BurnRateMonitor,
+    SamplingPolicy,
+    TraceCollector,
+    TraceSampler,
+)
+from repro.serving import simulate_serving
+
+
+@pytest.fixture(scope="module")
+def model():
+    return transformer_base()
+
+
+def exact_leaf_sum(trace) -> float:
+    total = sum(
+        (Fraction(h.end_us) - Fraction(h.start_us) for h in trace.hops()),
+        Fraction(0),
+    )
+    return float(total)
+
+
+@pytest.fixture(scope="module")
+def pinned_traced(model):
+    tracer = TraceCollector()  # no sampler: every tree kept whole
+    result = simulate_cluster(
+        model, pinned_cluster(requests_per_tenant=60), tracer=tracer
+    )
+    return result, tracer
+
+
+class TestPinnedClusterAcceptance:
+    def test_every_request_id_in_exactly_one_tree(self, pinned_traced):
+        result, tracer = pinned_traced
+        record_ids = [r.request.req_id for r in result.records]
+        assert len(record_ids) == len(set(record_ids))
+        assert sorted(record_ids) == [t.req_id for t in tracer.traces]
+
+    def test_statuses_and_tenants_match_records(self, pinned_traced):
+        result, tracer = pinned_traced
+        for record in result.records:
+            trace = tracer.get(record.request.req_id)
+            assert trace.status == record.status
+            assert trace.tenant == record.request.tenant
+
+    def test_hops_sum_exactly_to_recorded_latency(self, pinned_traced):
+        result, tracer = pinned_traced
+        checked = 0
+        for record in result.records:
+            trace = tracer.get(record.request.req_id)
+            trace.validate()
+            assert exact_leaf_sum(trace) == trace.latency_us
+            if record.status == "completed":
+                assert trace.root.start_us == record.request.arrival_us
+                assert trace.root.end_us == record.completed_us
+                assert trace.latency_us == record.latency_us
+                checked += 1
+        assert checked > 0
+
+    def test_violation_flag_mirrors_attainment(self, pinned_traced):
+        result, tracer = pinned_traced
+        for record in result.records:
+            if record.status != "completed":
+                continue
+            trace = tracer.get(record.request.req_id)
+            assert trace.attrs["slo_violated"] == (not record.attained)
+
+
+class TestServingExactPartition:
+    def test_faulty_memsys_run_partitions_exactly(self, model):
+        acc = AcceleratorConfig(abft_protected=True)
+        serving = ServingConfig(
+            num_requests=80, max_len=64, batch_fault_rate=0.08,
+            max_retries=2, queue_timeout_us=60_000.0,
+            memory=ddr4_2400(), seed=0,
+        )
+        tracer = TraceCollector()
+        result = simulate_serving(model, acc, serving, tracer=tracer)
+        assert len(tracer) == len(result.records)
+        kinds = set()
+        for record in result.records:
+            trace = tracer.get(record.request.req_id)
+            trace.validate()
+            assert exact_leaf_sum(trace) == trace.latency_us
+            kinds.update(h.kind for h in trace.hops())
+        # The interesting hops all appear in this configuration.
+        assert {"queue_wait", "compute", "memsys_stall"} <= kinds
+        retried = [
+            t for t in tracer.traces if t.attrs.get("retries", 0) > 0
+        ]
+        assert retried, "fault rate should have forced at least one retry"
+
+
+class TestDecodeExactPartition:
+    def test_streams_partition_exactly(self, model):
+        acc = AcceleratorConfig()
+        tracer = TraceCollector()
+        result = simulate_decode(
+            model, acc, DecodeConfig(num_streams=24, seed=0),
+            tracer=tracer,
+        )
+        assert len(tracer) == len(result.records)
+        for record in result.records:
+            trace = tracer.get(record.stream.stream_id)
+            trace.validate()
+            assert exact_leaf_sum(trace) == trace.latency_us
+            if record.status == "completed":
+                assert trace.root.end_us == record.completed_us
+
+
+class TestBurstyAlertAutoscale:
+    @pytest.fixture(scope="class")
+    def bursty_run(self, model):
+        monitor = BurnRateMonitor()
+        tracer = TraceCollector(
+            sampler=TraceSampler(SamplingPolicy(head_rate=0.0))
+        )
+        result = simulate_cluster(
+            model, bursty_obs_cluster(requests_per_tenant=200),
+            tracer=tracer, monitor=monitor,
+        )
+        return result, monitor, tracer
+
+    def test_alert_driven_scale_up_fires(self, bursty_run):
+        result, monitor, _ = bursty_run
+        assert monitor.alerts
+        assert any(
+            a.direction == "up" and a.reason == "slo_burn"
+            for a in result.actions
+        )
+
+    def test_without_monitor_nothing_scales(self, model):
+        # The scenario disables every other up-signal, so the burn
+        # hook is provably the cause of the scale-up above.
+        result = simulate_cluster(
+            model, bursty_obs_cluster(requests_per_tenant=200)
+        )
+        assert not any(a.direction == "up" for a in result.actions)
+
+    def test_all_slo_violations_retained_at_zero_head_rate(
+        self, bursty_run
+    ):
+        _, _, tracer = bursty_run
+        violating = [
+            t for t in tracer.traces
+            if t.attrs.get("slo_violated", False)
+        ]
+        assert violating
+        assert all(t.sampled for t in violating)
+
+    def test_monitored_run_is_deterministic(self, model, bursty_run):
+        result_a, monitor_a, _ = bursty_run
+        monitor_b = BurnRateMonitor()
+        result_b = simulate_cluster(
+            model, bursty_obs_cluster(requests_per_tenant=200),
+            monitor=monitor_b,
+        )
+        assert result_a.actions == result_b.actions
+        assert [dataclasses.astuple(r) for r in result_a.records] == [
+            dataclasses.astuple(r) for r in result_b.records
+        ]
+        assert [dataclasses.astuple(a) for a in monitor_a.alerts] == [
+            dataclasses.astuple(a) for a in monitor_b.alerts
+        ]
+        assert monitor_a.timeline == monitor_b.timeline

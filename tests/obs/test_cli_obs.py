@@ -1,0 +1,105 @@
+"""CLI tests for ``repro trace --requests`` and ``repro slo-report``.
+
+Both commands must be deterministic under a fixed seed: two invocations
+print byte-identical reports and write byte-identical artifacts.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, argv):
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestTraceRequestsMode:
+    def test_cluster_report_is_deterministic(self, capsys):
+        argv = ["trace", "--requests", "cluster",
+                "--requests-per-tenant", "20", "--top", "5"]
+        first = run(capsys, argv)
+        second = run(capsys, argv)
+        assert first == second
+        assert "slowest requests" in first
+        assert "hop rollup" in first
+
+    def test_serving_waterfall_for_one_request(self, capsys):
+        out = run(capsys, [
+            "trace", "--requests", "serving",
+            "--requests-per-tenant", "30", "--req-id", "3",
+        ])
+        assert "req 3" in out
+        assert "share" in out
+
+    def test_decode_report(self, capsys):
+        out = run(capsys, [
+            "trace", "--requests", "decode",
+            "--requests-per-tenant", "8",
+        ])
+        assert "traces collected" in out
+
+    def test_missing_req_id_is_clean_error(self, capsys):
+        assert main([
+            "trace", "--requests", "serving",
+            "--requests-per-tenant", "10", "--req-id", "9999",
+        ]) == 1
+        assert "no trace for request id" in capsys.readouterr().err
+
+    def test_otlp_artifact_is_deterministic(self, tmp_path, capsys):
+        paths = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            run(capsys, [
+                "trace", "--requests", "serving",
+                "--requests-per-tenant", "25",
+                "--otlp-out", str(path),
+            ])
+            paths.append(path.read_bytes())
+        assert paths[0] == paths[1]
+        payload = json.loads(paths[0])
+        assert payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+
+    def test_block_mode_without_out_is_clean_error(self, capsys):
+        assert main(["trace", "--block", "ffn"]) == 1
+        assert "--out is required" in capsys.readouterr().err
+
+
+class TestSloReport:
+    @pytest.mark.parametrize("scenario", ["pinned", "bursty"])
+    def test_deterministic_output(self, capsys, scenario):
+        argv = ["slo-report", "--scenario", scenario,
+                "--requests-per-tenant", "60"]
+        first = run(capsys, argv)
+        second = run(capsys, argv)
+        assert first == second
+        assert "SLO burn-rate report" in first
+
+    def test_bursty_fires_and_scales(self, capsys, tmp_path):
+        json_path = tmp_path / "slo.json"
+        trace_path = tmp_path / "trace.json"
+        out = run(capsys, [
+            "slo-report", "--scenario", "bursty",
+            "--requests-per-tenant", "200",
+            "--json", str(json_path), "--trace-out", str(trace_path),
+        ])
+        assert "alert firings" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["scenario"] == "bursty"
+        assert payload["alerts"]
+        assert payload["tenants"]["bursty"]["alerts_fired"] >= 1
+        trace = json.loads(trace_path.read_text())
+        tracks = {
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert "slo_alerts" in tracks
+
+    def test_objective_override(self, capsys):
+        out = run(capsys, [
+            "slo-report", "--requests-per-tenant", "20",
+            "--objective", "0.5",
+        ])
+        assert "objective 50%" in out

@@ -1,0 +1,174 @@
+"""OTLP-JSON export and histogram-exemplar tests (repro.obs.export).
+
+Ids must be pure functions of ``(req_id, index, seed)`` — stable across
+processes and runs — and the emitted JSON must be loadable (strict
+``allow_nan=False``), with every non-root span's ``parentSpanId``
+resolving to a span in the same tree.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    AttemptSpan,
+    attach_latency_exemplars,
+    request_trace,
+    span_id_hex,
+    trace_id_hex,
+    traces_to_otlp,
+    write_otlp,
+)
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.registry import MAX_EXEMPLARS_PER_BUCKET
+
+
+def sample_trace(req_id=1, latency=20.0, tenant="a", sampled=True):
+    att = AttemptSpan(
+        dispatched_us=10.0, start_us=12.0, end_us=10.0 + latency,
+        compute_boundary_us=15.0,
+    )
+    trace = request_trace(
+        req_id=req_id, status="completed", arrival_us=10.0,
+        attempts=(att,), tenant=tenant,
+        attrs={"batch": 3, "corrupted": False},
+    )
+    if not sampled:
+        trace.sampled = False
+        trace.root.children.clear()
+    return trace
+
+
+class TestIds:
+    def test_shapes_and_determinism(self):
+        assert len(trace_id_hex(7)) == 32
+        assert len(span_id_hex(7, 0)) == 16
+        assert trace_id_hex(7) == trace_id_hex(7)
+        assert span_id_hex(7, 2) == span_id_hex(7, 2)
+        int(trace_id_hex(7), 16)  # valid hex
+
+    def test_distinct_across_requests_indices_and_seeds(self):
+        assert trace_id_hex(1) != trace_id_hex(2)
+        assert trace_id_hex(1, seed=0) != trace_id_hex(1, seed=1)
+        assert span_id_hex(1, 0) != span_id_hex(1, 1)
+        assert span_id_hex(1, 0) != span_id_hex(2, 0)
+
+
+class TestOtlpShape:
+    def test_span_tree_renders_with_parent_links(self):
+        trace = sample_trace()
+        payload = traces_to_otlp([trace])
+        spans = payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert len(spans) == len(list(trace.root.walk()))
+        by_id = {s["spanId"]: s for s in spans}
+        roots = [s for s in spans if "parentSpanId" not in s]
+        assert len(roots) == 1
+        for span in spans:
+            assert span["traceId"] == trace_id_hex(1)
+            assert span["kind"] == 1
+            if "parentSpanId" in span:
+                assert span["parentSpanId"] in by_id
+            # Nanosecond stamps are stringified integers (OTLP-JSON).
+            assert span["startTimeUnixNano"] == str(
+                int(span["startTimeUnixNano"])
+            )
+
+    def test_root_carries_request_attributes(self):
+        payload = traces_to_otlp([sample_trace()])
+        spans = payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        root = next(s for s in spans if "parentSpanId" not in s)
+        attrs = {a["key"]: a["value"] for a in root["attributes"]}
+        assert attrs["repro.req_id"] == {"intValue": "1"}
+        assert attrs["repro.status"] == {"stringValue": "completed"}
+        assert attrs["repro.tenant"] == {"stringValue": "a"}
+        # bool must render as boolValue, not intValue (bool < int).
+        assert attrs["repro.corrupted"] == {"boolValue": False}
+        assert attrs["repro.sampled"] == {"boolValue": True}
+        assert attrs["repro.batch"] == {"intValue": "3"}
+
+    def test_failed_trace_maps_to_error_status(self):
+        trace = request_trace(
+            req_id=5, status="expired", arrival_us=0.0, end_us=4.0
+        )
+        payload = traces_to_otlp([trace])
+        spans = payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert all(s["status"]["code"] == 2 for s in spans)
+
+    def test_write_otlp_roundtrip(self, tmp_path):
+        path = tmp_path / "otlp.json"
+        count = write_otlp([sample_trace(), sample_trace(req_id=2)],
+                           str(path))
+        payload = json.loads(path.read_text())
+        spans = payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert len(spans) == count
+        resource = payload["resourceSpans"][0]["resource"]["attributes"]
+        assert resource[0]["key"] == "service.name"
+
+    def test_two_calls_emit_identical_payloads(self):
+        traces = [sample_trace(), sample_trace(req_id=2, latency=5.0)]
+        a = json.dumps(traces_to_otlp(traces), sort_keys=True)
+        b = json.dumps(traces_to_otlp(traces), sort_keys=True)
+        assert a == b
+
+
+class TestLatencyExemplars:
+    FAMILY = "repro_serving_latency_us"
+
+    def _registry_with_hist(self, values=(5.0, 50.0, 5000.0)):
+        registry = MetricsRegistry()
+        hist = registry.histogram(self.FAMILY, "request latency")
+        for v in values:
+            hist.observe(v)
+        return registry
+
+    def test_attaches_only_retained_completed(self):
+        registry = self._registry_with_hist()
+        traces = [
+            sample_trace(req_id=1, latency=40.0),
+            sample_trace(req_id=2, latency=60.0, sampled=False),
+            request_trace(req_id=3, status="shed", arrival_us=0.0),
+        ]
+        attached = attach_latency_exemplars(registry, traces, self.FAMILY)
+        assert attached == 1
+        hist = registry.get(self.FAMILY)
+        refs = [
+            ref for bucket in hist.exemplars().values()
+            for _, ref in bucket
+        ]
+        assert refs == [trace_id_hex(1)]
+
+    def test_absent_family_is_a_noop(self):
+        registry = MetricsRegistry()
+        assert attach_latency_exemplars(
+            registry, [sample_trace()], "repro_never_emitted"
+        ) == 0
+
+    def test_bucket_cap_keeps_slowest(self):
+        registry = self._registry_with_hist()
+        hist = registry.get(self.FAMILY)
+        # All land in the same bucket; only the largest values survive.
+        for i in range(MAX_EXEMPLARS_PER_BUCKET + 3):
+            hist.attach_exemplar(40.0 + i, f"ref{i}")
+        buckets = hist.exemplars()
+        (bucket,) = buckets.values()
+        assert len(bucket) == MAX_EXEMPLARS_PER_BUCKET
+        values = [v for v, _ in bucket]
+        assert values == sorted(values, reverse=True)
+        assert values[0] == 40.0 + MAX_EXEMPLARS_PER_BUCKET + 2
+
+    def test_exemplars_surface_in_series_value(self):
+        registry = self._registry_with_hist()
+        hist = registry.get(self.FAMILY)
+        hist.attach_exemplar(1e9, "overflow-ref")  # beyond the last edge
+        value = hist.series_value(())
+        assert "exemplars" in value
+        tops = [e for e in value["exemplars"] if e["le"] == "+Inf"]
+        assert tops and tops[0]["refs"] == [
+            {"value": 1e9, "trace": "overflow-ref"}
+        ]
+
+    def test_nan_exemplar_rejected(self):
+        registry = self._registry_with_hist()
+        hist = registry.get(self.FAMILY)
+        with pytest.raises(Exception):
+            hist.attach_exemplar(float("nan"), "bad")

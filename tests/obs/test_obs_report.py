@@ -1,0 +1,116 @@
+"""Trace/SLO report rendering tests (repro.obs.report)."""
+
+import json
+
+from repro.obs import (
+    AttemptSpan,
+    BurnRateMonitor,
+    hop_rollup,
+    render_slo_report,
+    render_trace_report,
+    render_waterfall,
+    request_trace,
+    slo_report_data,
+    slowest_traces,
+    waterfall_rows,
+)
+
+
+def make_trace(req_id, latency, status="completed", sampled=True, **attrs):
+    att = AttemptSpan(
+        dispatched_us=2.0, start_us=2.0, end_us=latency,
+        compute_boundary_us=latency - 1.0,
+    )
+    if status == "completed":
+        trace = request_trace(
+            req_id=req_id, status=status, arrival_us=0.0,
+            attempts=(att,), tenant="a", attrs=attrs,
+        )
+    else:
+        end_us = latency if status in ("failed", "expired") else None
+        trace = request_trace(
+            req_id=req_id, status=status, arrival_us=0.0,
+            end_us=end_us, attrs=attrs,
+        )
+    if not sampled:
+        trace.sampled = False
+        trace.root.children.clear()
+    return trace
+
+
+class TestSlowest:
+    def test_orders_by_latency_then_req_id(self):
+        traces = [
+            make_trace(1, 10.0), make_trace(2, 30.0),
+            make_trace(3, 30.0), make_trace(4, 5.0),
+            make_trace(5, 99.0, status="shed"),
+        ]
+        top = slowest_traces(traces, 3)
+        assert [t.req_id for t in top] == [2, 3, 1]
+
+    def test_only_completed_counted(self):
+        traces = [make_trace(1, 99.0, status="rejected")]
+        assert slowest_traces(traces, 5) == []
+
+
+class TestWaterfall:
+    def test_offsets_relative_to_root(self):
+        trace = make_trace(7, 10.0)
+        rows = waterfall_rows(trace)
+        assert rows[0][0] == "req7"
+        # Leaf shares are printed; internal nodes leave share blank.
+        leaf_shares = [r[4] for r in rows if r[4]]
+        assert leaf_shares  # at least the hops
+        text = render_waterfall(trace)
+        assert "req 7" in text
+        assert "queue_wait" in text
+
+    def test_zero_latency_trace_renders(self):
+        text = render_waterfall(make_trace(1, 0.0, status="shed"))
+        assert "shed" in text
+
+
+class TestRollup:
+    def test_skips_unsampled_and_non_completed(self):
+        traces = [
+            make_trace(1, 10.0),
+            make_trace(2, 10.0, sampled=False),
+            make_trace(3, 10.0, status="expired"),
+        ]
+        rollup = hop_rollup(traces)
+        # Only trace 1 contributes: queue_wait + compute + memsys_stall.
+        assert sum(e["spans"] for e in rollup.values()) == 3
+        assert sum(e["total_us"] for e in rollup.values()) == 10.0
+
+    def test_report_renders_both_sections(self):
+        traces = [make_trace(i, 10.0 + i) for i in range(5)]
+        text = render_trace_report(traces, top=3)
+        assert "top 3 slowest requests" in text
+        assert "hop rollup" in text
+
+
+class TestSloReport:
+    def _monitor(self, fire=True):
+        monitor = BurnRateMonitor()
+        for i in range(10):
+            monitor.observe(i * 1000.0, "t", good=not fire)
+        return monitor
+
+    def test_no_alert_branch(self):
+        text = render_slo_report(self._monitor(fire=False))
+        assert "no burn-rate alerts fired" in text
+
+    def test_alert_branch(self):
+        text = render_slo_report(self._monitor())
+        assert "alert firings" in text
+        assert "active" in text
+
+    def test_data_payload_is_strict_json(self):
+        monitor = self._monitor()
+        payload = slo_report_data(monitor)
+        encoded = json.dumps(payload, allow_nan=False, sort_keys=True)
+        decoded = json.loads(encoded)
+        assert decoded["policy"]["objective"] == 0.95
+        assert decoded["tenants"]["t"]["alerts_fired"] == 1
+        assert len(decoded["timeline"]["t"]) == 10
+        assert decoded["alerts"][0]["resolved_us"] is None

@@ -1,0 +1,100 @@
+"""Instrumentation parity: tracing/monitoring never perturbs a run.
+
+The tracer and burn-rate monitor are strictly passive observers.  An
+instrumented simulation must produce bit-identical outputs — metrics,
+per-request records, Chrome-trace spans, autoscaler actions — to the
+same run without instrumentation.  This extends the PR 5 registry
+parity tests to the serving tracer and to cluster/decode.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import pinned_cluster, simulate_cluster
+from repro.config import (
+    AcceleratorConfig,
+    DecodeConfig,
+    ServingConfig,
+    transformer_base,
+)
+from repro.decode import simulate_decode
+from repro.obs import BurnRateMonitor, SamplingPolicy, TraceCollector, TraceSampler
+from repro.serving import simulate_serving
+
+
+@pytest.fixture(scope="module")
+def model():
+    return transformer_base()
+
+
+@pytest.fixture(scope="module")
+def acc():
+    return AcceleratorConfig(abft_protected=True)
+
+
+def serving_config():
+    return ServingConfig(
+        num_requests=80, max_len=64, batch_fault_rate=0.05,
+        max_retries=2, queue_timeout_us=60_000.0, seed=0,
+    )
+
+
+class TestServingParity:
+    def test_tracer_does_not_perturb_the_run(self, model, acc):
+        cfg = serving_config()
+        plain = simulate_serving(model, acc, cfg)
+        tracer = TraceCollector(sampler=TraceSampler(SamplingPolicy()))
+        traced = simulate_serving(model, acc, cfg, tracer=tracer)
+        assert traced.metrics == plain.metrics
+        assert traced.spans == plain.spans
+        assert [dataclasses.astuple(r) for r in traced.records] == [
+            dataclasses.astuple(r) for r in plain.records
+        ]
+        assert len(tracer) == len(plain.records)
+
+
+class TestClusterParity:
+    def test_tracer_and_monitor_do_not_perturb_the_run(self, model):
+        cluster = pinned_cluster(requests_per_tenant=40)
+        plain = simulate_cluster(model, cluster)
+        tracer = TraceCollector(sampler=TraceSampler(SamplingPolicy()))
+        monitor = BurnRateMonitor()
+        traced = simulate_cluster(
+            model, cluster, tracer=tracer, monitor=monitor
+        )
+        assert traced.metrics == plain.metrics
+        assert traced.spans == plain.spans
+        assert traced.actions == plain.actions
+        assert [dataclasses.astuple(r) for r in traced.records] == [
+            dataclasses.astuple(r) for r in plain.records
+        ]
+        assert len(tracer) == len(plain.records)
+        # The monitor saw every terminal event.
+        assert sum(
+            e["events"] for e in monitor.summary().values()
+        ) == len(plain.records)
+
+    def test_burn_hook_changes_nothing_when_disabled(self, model):
+        # pinned_cluster leaves scale_up_burn_rate unset, so attaching
+        # a monitor must not alter autoscaling even in principle.
+        cluster = pinned_cluster(requests_per_tenant=40)
+        assert cluster.autoscaler.scale_up_burn_rate is None
+        monitor = BurnRateMonitor()
+        with_mon = simulate_cluster(model, cluster, monitor=monitor)
+        without = simulate_cluster(model, cluster)
+        assert with_mon.actions == without.actions
+
+
+class TestDecodeParity:
+    def test_tracer_does_not_perturb_the_run(self, model, acc):
+        decode = DecodeConfig(num_streams=24, seed=0)
+        plain = simulate_decode(model, acc, decode)
+        tracer = TraceCollector()
+        traced = simulate_decode(model, acc, decode, tracer=tracer)
+        assert traced.metrics == plain.metrics
+        assert traced.spans == plain.spans
+        assert [dataclasses.astuple(r) for r in traced.records] == [
+            dataclasses.astuple(r) for r in plain.records
+        ]
+        assert len(tracer) == len(plain.records)

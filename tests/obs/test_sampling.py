@@ -1,0 +1,103 @@
+"""Tail-based sampling tests (repro.obs.sampling).
+
+The acceptance-critical rule: every interesting outcome — SLO
+violation, retry, corruption, and every non-completed terminal — is
+retained at 100%, regardless of head_rate.  The head-sample itself is a
+pure arithmetic hash, so retention decisions are identical across runs
+and processes.
+"""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    AttemptSpan,
+    SamplingPolicy,
+    TraceCollector,
+    TraceSampler,
+    request_trace,
+)
+
+
+def completed_trace(req_id: int, **attrs):
+    att = AttemptSpan(dispatched_us=0.0, start_us=0.0, end_us=1.0)
+    return request_trace(
+        req_id=req_id, status="completed", arrival_us=0.0,
+        attempts=(att,), attrs=attrs,
+    )
+
+
+class TestPolicy:
+    def test_head_rate_bounds(self):
+        SamplingPolicy(head_rate=0.0)
+        SamplingPolicy(head_rate=1.0)
+        with pytest.raises(ObsError):
+            SamplingPolicy(head_rate=1.5)
+        with pytest.raises(ObsError):
+            SamplingPolicy(head_rate=-0.1)
+
+
+class TestKeepRules:
+    def test_interesting_outcomes_always_kept(self):
+        sampler = TraceSampler(SamplingPolicy(head_rate=0.0))
+        assert sampler.keep(completed_trace(0, slo_violated=True))
+        assert sampler.keep(completed_trace(1, corrupted=True))
+        retried = completed_trace(2)
+        retried.attrs["retries"] = 1
+        assert sampler.keep(retried)
+        for status in ("shed", "rejected"):
+            assert sampler.keep(request_trace(
+                req_id=3, status=status, arrival_us=0.0
+            ))
+        assert sampler.keep(request_trace(
+            req_id=4, status="expired", arrival_us=0.0, end_us=5.0
+        ))
+
+    def test_boring_completions_follow_head_rate_extremes(self):
+        keep_none = TraceSampler(SamplingPolicy(head_rate=0.0))
+        keep_all = TraceSampler(SamplingPolicy(head_rate=1.0))
+        for req_id in range(50):
+            trace = completed_trace(req_id)
+            assert not keep_none.keep(trace)
+            assert keep_all.keep(trace)
+
+    def test_head_sample_is_deterministic(self):
+        a = TraceSampler(SamplingPolicy(head_rate=0.3, seed=7))
+        b = TraceSampler(SamplingPolicy(head_rate=0.3, seed=7))
+        decisions_a = [a.keep(completed_trace(i)) for i in range(200)]
+        decisions_b = [b.keep(completed_trace(i)) for i in range(200)]
+        assert decisions_a == decisions_b
+        # And roughly proportional — the hash should not be degenerate.
+        kept = sum(decisions_a)
+        assert 30 <= kept <= 90
+
+    def test_seed_changes_which_exemplars_survive(self):
+        a = TraceSampler(SamplingPolicy(head_rate=0.3, seed=0))
+        b = TraceSampler(SamplingPolicy(head_rate=0.3, seed=1))
+        decisions_a = [a.keep(completed_trace(i)) for i in range(200)]
+        decisions_b = [b.keep(completed_trace(i)) for i in range(200)]
+        assert decisions_a != decisions_b
+
+
+class TestCollectorIntegration:
+    def test_dropped_trace_keeps_only_its_root(self):
+        collector = TraceCollector(
+            sampler=TraceSampler(SamplingPolicy(head_rate=0.0))
+        )
+        collector.add(completed_trace(0))
+        trace = collector.get(0)
+        assert not trace.sampled
+        assert trace.root.children == []
+        # A root-only tree still satisfies the partition invariant and
+        # still answers latency queries.
+        trace.validate()
+        assert trace.latency_us == 1.0
+        assert collector.retained() == []
+
+    def test_violating_trace_survives_zero_head_rate(self):
+        collector = TraceCollector(
+            sampler=TraceSampler(SamplingPolicy(head_rate=0.0))
+        )
+        collector.add(completed_trace(0, slo_violated=True))
+        assert collector.get(0).sampled
+        assert len(collector.retained()) == 1

@@ -1,0 +1,173 @@
+"""Burn-rate monitor tests (repro.obs.slo).
+
+The default policy burns error budget at ``(bad/total)/(1-objective)``,
+so at the 95% objective an all-bad window burns at 20x.  Alerts need
+*both* windows over threshold plus ``min_events`` in the long window
+(no single-request page), and resolve on the short window alone
+(hysteresis: the long window's memory does not pin an alert active
+after traffic recovers).
+"""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import BurnRateMonitor, BurnRateWindow, SloPolicy
+from repro.telemetry import MetricsRegistry
+
+
+def feed(monitor, start_us, count, good, tenant="t", gap_us=1000.0):
+    ts = start_us
+    for _ in range(count):
+        monitor.observe(ts, tenant, good)
+        ts += gap_us
+    return ts
+
+
+class TestPolicyValidation:
+    def test_objective_bounds(self):
+        with pytest.raises(ObsError):
+            SloPolicy(objective=0.0)
+        with pytest.raises(ObsError):
+            SloPolicy(objective=1.0)
+
+    def test_short_window_cannot_exceed_long(self):
+        with pytest.raises(ObsError):
+            SloPolicy(
+                long=BurnRateWindow(50_000.0, 3.0),
+                short=BurnRateWindow(60_000.0, 6.0),
+            )
+
+    def test_window_validation(self):
+        with pytest.raises(ObsError):
+            BurnRateWindow(0.0, 3.0)
+        with pytest.raises(ObsError):
+            BurnRateWindow(1000.0, 0.0)
+
+    def test_budget(self):
+        assert SloPolicy(objective=0.95).budget == pytest.approx(0.05)
+
+
+class TestAlertLifecycle:
+    def test_fires_only_past_min_events(self):
+        monitor = BurnRateMonitor()
+        feed(monitor, 0.0, 9, good=False)
+        assert monitor.alerts == []
+        feed(monitor, 9_000.0, 1, good=False)
+        assert len(monitor.alerts) == 1
+        assert monitor.alerts[0].active
+
+    def test_no_alert_when_burn_is_low(self):
+        monitor = BurnRateMonitor()
+        # 1 bad in 40: burn = 20 * 1/40 = 0.5, far below thresholds.
+        feed(monitor, 0.0, 39, good=True)
+        monitor.observe(39_000.0, "t", False)
+        assert monitor.alerts == []
+
+    def test_resolves_when_short_window_clears(self):
+        monitor = BurnRateMonitor()
+        end = feed(monitor, 0.0, 10, good=False)
+        alert = monitor.alerts[0]
+        assert alert.active
+        # Good traffic inside the short window dilutes bad/total below
+        # 6/20 = 0.3; the long window still remembers the bad burst,
+        # which must NOT keep the alert pinned (hysteresis is
+        # short-window only).
+        feed(monitor, end, 30, good=True, gap_us=500.0)
+        assert not monitor.alerts[0].active
+        assert monitor.alerts[0].resolved_us is not None
+
+    def test_no_double_fire_while_active(self):
+        monitor = BurnRateMonitor()
+        feed(monitor, 0.0, 20, good=False)
+        assert len(monitor.alerts) == 1
+
+    def test_refire_after_resolution(self):
+        monitor = BurnRateMonitor()
+        end = feed(monitor, 0.0, 10, good=False)
+        end = feed(monitor, end, 30, good=True, gap_us=500.0)
+        assert not monitor.alerts[0].active
+        # A fresh bad burst past the long window's memory re-fires.
+        feed(monitor, end + 400_000.0, 10, good=False)
+        assert len(monitor.alerts) == 2
+
+    def test_time_regression_rejected(self):
+        monitor = BurnRateMonitor()
+        monitor.observe(1000.0, "t", True)
+        with pytest.raises(ObsError):
+            monitor.observe(999.0, "t", True)
+
+    def test_tenants_are_independent(self):
+        monitor = BurnRateMonitor()
+        for i in range(10):
+            monitor.observe(i * 1000.0, "bad-tenant", False)
+            monitor.observe(i * 1000.0, "good-tenant", True)
+        assert [a.tenant for a in monitor.alerts] == ["bad-tenant"]
+
+
+class TestAccessors:
+    def test_short_burn_and_max_short_burn(self):
+        monitor = BurnRateMonitor()
+        feed(monitor, 0.0, 10, good=False, tenant="a")
+        feed(monitor, 9_000.0, 10, good=True, tenant="b")
+        assert monitor.short_burn(10_000.0, "a") == pytest.approx(20.0)
+        assert monitor.short_burn(10_000.0, "b") == 0.0
+        assert monitor.short_burn(10_000.0, "ghost") == 0.0
+        assert monitor.max_short_burn(10_000.0) == pytest.approx(20.0)
+        # Past the short window the burn decays to idle.
+        assert monitor.short_burn(1e9, "a") == 0.0
+
+    def test_alert_spans_on_registered_track(self):
+        monitor = BurnRateMonitor()
+        end = feed(monitor, 0.0, 10, good=False)
+        feed(monitor, end, 30, good=True, gap_us=500.0)
+        feed(monitor, 500_000.0, 10, good=False)
+        spans = monitor.alert_spans()
+        assert len(spans) == 2
+        resolved, unresolved = spans
+        assert all(s.track == "slo_alerts" for s in spans)
+        assert resolved.args["resolved"] is True
+        assert resolved.duration_us > 0
+        assert unresolved.args["resolved"] is False
+        # Unresolved alerts extend to the last observed event.
+        assert unresolved.end_us == 509_000.0
+
+    def test_summary_rollup(self):
+        monitor = BurnRateMonitor()
+        feed(monitor, 0.0, 10, good=False, tenant="b")
+        feed(monitor, 9_000.0, 5, good=True, tenant="a")
+        summary = monitor.summary()
+        assert list(summary) == ["a", "b"]  # sorted, deterministic
+        assert summary["b"]["events"] == 10
+        assert summary["b"]["alerts_fired"] == 1
+        assert summary["b"]["alerts_unresolved"] == 1
+        assert summary["b"]["peak_burn_short"] == pytest.approx(20.0)
+        assert summary["a"]["alerts_fired"] == 0
+
+    def test_timeline_records_every_event(self):
+        monitor = BurnRateMonitor()
+        feed(monitor, 0.0, 7, good=True)
+        assert len(monitor.timeline["t"]) == 7
+        ts = [p[0] for p in monitor.timeline["t"]]
+        assert ts == sorted(ts)
+
+
+class TestRegistryEmission:
+    def test_families_and_values(self):
+        registry = MetricsRegistry()
+        monitor = BurnRateMonitor(registry=registry)
+        feed(monitor, 0.0, 10, good=False)
+        feed(monitor, 9_000.0, 4, good=True)
+        assert registry.counter(
+            "repro_obs_slo_bad_total",
+            "SLO-bad terminal request events per tenant",
+        ).total() == 10
+        assert registry.counter(
+            "repro_obs_slo_good_total",
+            "SLO-good terminal request events per tenant",
+        ).total() == 4
+        assert registry.counter(
+            "repro_obs_alerts_total",
+            "Burn-rate alert firings per tenant",
+        ).total() == 1
+        assert "repro_obs_burn_rate" in registry
+        assert "repro_obs_alert_active" in registry

@@ -1,0 +1,312 @@
+"""Span-tree unit and property tests (repro.obs.spans).
+
+The load-bearing invariant: a request trace's leaf spans *exactly*
+partition its wall time — children share boundary timestamps, so the
+exact (Fraction) sum of leaf durations telescopes to end_us − start_us,
+and rounding that single difference to float reproduces the recorded
+latency bit-for-bit.  The hypothesis properties pin that for arbitrary
+attempt chains; the unit tests pin each builder shape and each
+validator rejection.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObsError
+from repro.obs import (
+    AttemptSpan,
+    RequestTrace,
+    Span,
+    TraceCollector,
+    request_trace,
+    stream_trace,
+)
+from repro.telemetry import MetricsRegistry
+
+
+def exact_leaf_sum(trace: RequestTrace) -> float:
+    """Float of the exact Fraction sum of leaf durations."""
+    total = sum(
+        (Fraction(h.end_us) - Fraction(h.start_us) for h in trace.hops()),
+        Fraction(0),
+    )
+    return float(total)
+
+
+class TestBuilders:
+    def test_completed_with_queue_wait_and_stall_split(self):
+        att = AttemptSpan(
+            dispatched_us=10.0, start_us=12.0, end_us=20.0,
+            compute_boundary_us=17.0,
+        )
+        trace = request_trace(
+            req_id=1, status="completed", arrival_us=3.0,
+            attempts=(att,), tenant="a",
+        )
+        kinds = [h.kind for h in trace.hops()]
+        assert kinds == [
+            "queue_wait", "device_wait", "compute", "memsys_stall",
+        ]
+        assert trace.latency_us == 20.0 - 3.0
+        assert exact_leaf_sum(trace) == trace.latency_us
+        assert trace.attrs["retries"] == 0
+
+    def test_retry_attempts_and_counter(self):
+        attempts = (
+            AttemptSpan(dispatched_us=0.0, start_us=0.0, end_us=5.0),
+            AttemptSpan(dispatched_us=5.0, start_us=6.0, end_us=11.0),
+        )
+        trace = request_trace(
+            req_id=2, status="completed", arrival_us=0.0,
+            attempts=attempts,
+        )
+        assert trace.attrs["retries"] == 1
+        names = [h.name for h in trace.hops()]
+        assert "retry1.device_wait" in names
+        assert "retry1.compute" in names
+        assert exact_leaf_sum(trace) == trace.latency_us
+
+    def test_no_queue_wait_when_dispatched_at_arrival(self):
+        att = AttemptSpan(dispatched_us=4.0, start_us=4.0, end_us=9.0)
+        trace = request_trace(
+            req_id=3, status="completed", arrival_us=4.0, attempts=(att,)
+        )
+        assert [h.kind for h in trace.hops()] == ["compute"]
+
+    def test_boundary_outside_run_collapses_to_compute(self):
+        # Clamped boundary at (or past) either edge must not produce a
+        # zero-width stall split — a single compute hop covers the run.
+        for boundary in (3.9, 4.0, 9.0, 9.5):
+            att = AttemptSpan(
+                dispatched_us=4.0, start_us=4.0, end_us=9.0,
+                compute_boundary_us=boundary,
+            )
+            trace = request_trace(
+                req_id=4, status="completed", arrival_us=0.0,
+                attempts=(att,),
+            )
+            kinds = [h.kind for h in trace.hops()]
+            assert kinds == ["queue_wait", "compute"]
+
+    def test_failed_after_attempts_gets_zero_width_marker(self):
+        att = AttemptSpan(dispatched_us=1.0, start_us=1.0, end_us=6.0)
+        trace = request_trace(
+            req_id=5, status="failed", arrival_us=0.0, attempts=(att,)
+        )
+        marker = trace.hops()[-1]
+        assert marker.kind == "failed"
+        assert marker.duration_us == 0.0
+        assert exact_leaf_sum(trace) == trace.latency_us
+
+    def test_expired_requires_end_us(self):
+        with pytest.raises(ObsError):
+            request_trace(req_id=6, status="expired", arrival_us=0.0)
+        trace = request_trace(
+            req_id=6, status="expired", arrival_us=2.0, end_us=12.0
+        )
+        assert [h.kind for h in trace.hops()] == ["queue_wait", "expired"]
+        assert trace.latency_us == 10.0
+
+    def test_rejected_and_shed_hold_no_wall_time(self):
+        for status in ("rejected", "shed"):
+            trace = request_trace(
+                req_id=7, status=status, arrival_us=42.0
+            )
+            assert trace.latency_us == 0.0
+            assert [h.kind for h in trace.hops()] == [status]
+
+    def test_completed_without_attempts_rejected(self):
+        with pytest.raises(ObsError):
+            request_trace(req_id=8, status="completed", arrival_us=0.0)
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ObsError):
+            request_trace(req_id=9, status="teleported", arrival_us=0.0)
+
+
+class TestStreamTrace:
+    def test_gaps_become_wait_spans(self):
+        intervals = (
+            ("s0.prefill", "prefill", 5.0, 9.0, {}),
+            ("s0.decode.b0", "decode_step", 12.0, 15.0, {}),
+        )
+        trace = stream_trace(
+            stream_id=0, status="completed", arrival_us=2.0,
+            intervals=intervals,
+        )
+        kinds = [h.kind for h in trace.hops()]
+        assert kinds == [
+            "wait", "prefill", "wait", "decode_step",
+        ]
+        assert exact_leaf_sum(trace) == trace.latency_us == 13.0
+
+    def test_back_to_back_intervals_need_no_wait(self):
+        intervals = (
+            ("s1.prefill", "prefill", 0.0, 4.0, {}),
+            ("s1.decode.b0", "decode_step", 4.0, 6.0, {}),
+        )
+        trace = stream_trace(
+            stream_id=1, status="completed", arrival_us=0.0,
+            intervals=intervals,
+        )
+        assert [h.kind for h in trace.hops()] == ["prefill", "decode_step"]
+
+    def test_out_of_order_interval_rejected(self):
+        intervals = (
+            ("s2.prefill", "prefill", 4.0, 8.0, {}),
+            ("s2.decode.b0", "decode_step", 7.0, 9.0, {}),
+        )
+        with pytest.raises(ObsError):
+            stream_trace(
+                stream_id=2, status="completed", arrival_us=0.0,
+                intervals=intervals,
+            )
+
+    def test_rejected_stream(self):
+        trace = stream_trace(stream_id=3, status="rejected", arrival_us=1.0)
+        assert trace.latency_us == 0.0
+
+
+class TestValidate:
+    def test_gap_between_children_rejected(self):
+        root = Span("r", "request", 0.0, 10.0)
+        root.child("a", "queue_wait", 0.0, 4.0)
+        root.child("b", "compute", 5.0, 10.0)  # 4.0 != 5.0
+        with pytest.raises(ObsError):
+            root.validate()
+
+    def test_first_child_must_start_with_parent(self):
+        root = Span("r", "request", 0.0, 10.0)
+        root.child("a", "compute", 1.0, 10.0)
+        with pytest.raises(ObsError):
+            root.validate()
+
+    def test_last_child_must_end_with_parent(self):
+        root = Span("r", "request", 0.0, 10.0)
+        root.child("a", "compute", 0.0, 9.0)
+        with pytest.raises(ObsError):
+            root.validate()
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ObsError):
+            Span("r", "request", 5.0, 4.0).validate()
+
+    def test_validation_recurses(self):
+        root = Span("r", "request", 0.0, 10.0)
+        mid = root.child("a", "service", 0.0, 10.0)
+        mid.children.append(Span("bad", "compute", 0.0, 9.0))
+        with pytest.raises(ObsError):
+            root.validate()
+
+
+class TestCollector:
+    def _trace(self, req_id: int) -> RequestTrace:
+        att = AttemptSpan(dispatched_us=0.0, start_us=0.0, end_us=1.0)
+        return request_trace(
+            req_id=req_id, status="completed", arrival_us=0.0,
+            attempts=(att,),
+        )
+
+    def test_duplicate_req_id_rejected(self):
+        collector = TraceCollector()
+        collector.add(self._trace(0))
+        with pytest.raises(ObsError):
+            collector.add(self._trace(0))
+
+    def test_traces_in_req_id_order(self):
+        collector = TraceCollector()
+        for req_id in (4, 1, 3):
+            collector.add(self._trace(req_id))
+        assert [t.req_id for t in collector.traces] == [1, 3, 4]
+        assert len(collector) == 3
+        assert collector.get(3).req_id == 3
+        assert collector.get(99) is None
+
+    def test_retention_counters(self):
+        registry = MetricsRegistry()
+        collector = TraceCollector(registry=registry)
+        collector.add(self._trace(0))
+        collector.add(self._trace(1))
+        assert registry.counter(
+            "repro_obs_traces_total",
+            "Request traces observed by the collector",
+        ).total() == 2
+        assert registry.counter(
+            "repro_obs_traces_retained_total",
+            "Request traces retained in full by tail-based sampling",
+        ).total() == 2
+
+
+# Strategy: an attempt chain with queue wait, device waits, runs and
+# optional stall boundaries, all built from raw floats so boundary
+# timestamps inherit real rounding behavior.
+_DELTAS = st.floats(
+    min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False
+)
+_POSITIVE = st.floats(
+    min_value=1e-3, max_value=1e5, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def attempt_chains(draw):
+    arrival = draw(_DELTAS)
+    cursor = arrival + draw(_DELTAS)  # dispatch time
+    dispatched = cursor
+    attempts = []
+    for _ in range(draw(st.integers(1, 4))):
+        wait = draw(_DELTAS)
+        run = draw(_POSITIVE)
+        start = cursor + wait
+        end = start + run
+        boundary = None
+        if draw(st.booleans()):
+            # Anywhere around the run window: clamping must cope.
+            boundary = start + run * draw(st.floats(
+                min_value=-0.5, max_value=1.5,
+                allow_nan=False, allow_infinity=False,
+            ))
+        attempts.append(AttemptSpan(
+            dispatched_us=cursor, start_us=start, end_us=end,
+            compute_boundary_us=boundary,
+        ))
+        cursor = end
+    return arrival, dispatched, tuple(attempts)
+
+
+class TestPartitionProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(chain=attempt_chains(), failed=st.booleans())
+    def test_hops_partition_latency_exactly(self, chain, failed):
+        arrival, dispatched, attempts = chain
+        trace = request_trace(
+            req_id=0,
+            status="failed" if failed else "completed",
+            arrival_us=arrival,
+            dispatched_us=dispatched,
+            attempts=attempts,
+        )
+        trace.validate()
+        # Exact telescoping: float of the exact sum equals the (itself
+        # correctly-rounded) end-to-end latency.
+        assert exact_leaf_sum(trace) == trace.latency_us
+
+    @settings(max_examples=200, deadline=None)
+    @given(chain=attempt_chains())
+    def test_children_stay_inside_parent(self, chain):
+        arrival, dispatched, attempts = chain
+        trace = request_trace(
+            req_id=0, status="completed", arrival_us=arrival,
+            dispatched_us=dispatched, attempts=attempts,
+        )
+        for span in trace.root.walk():
+            for child in span.children:
+                assert child.start_us >= span.start_us
+                assert child.end_us <= span.end_us
+        # Leaves are non-overlapping by the tiling invariant.
+        hops = trace.hops()
+        for prev, nxt in zip(hops, hops[1:]):
+            assert prev.end_us == nxt.start_us

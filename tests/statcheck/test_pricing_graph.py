@@ -86,3 +86,41 @@ class TestRegistryParity:
 
     def test_families_sorted_and_unique(self):
         assert list(METRIC_FAMILIES) == sorted(set(METRIC_FAMILIES))
+
+
+class TestObsCoverage:
+    """PR 10: the observability families are wired into the PRC graph."""
+
+    OBS_FAMILIES = (
+        "repro_obs_alert_active",
+        "repro_obs_alerts_total",
+        "repro_obs_burn_rate",
+        "repro_obs_slo_bad_total",
+        "repro_obs_slo_good_total",
+        "repro_obs_traces_retained_total",
+        "repro_obs_traces_total",
+    )
+
+    def test_all_obs_families_registered(self):
+        for family in self.OBS_FAMILIES:
+            assert family in METRIC_FAMILIES, family
+
+    def test_every_obs_family_has_a_literal_emission_site(self):
+        # PRC002 matches literal family names at call sites; each obs
+        # family must therefore appear in the scanned inventory (no
+        # f-string names that the lint cannot resolve).
+        inv = scan_pricing(SRC_ROOT)
+        emitted = inv.emitted_families()
+        for family in self.OBS_FAMILIES:
+            assert family in emitted, family
+
+    def test_obs_emission_sites_live_in_the_obs_package(self):
+        inv = scan_pricing(SRC_ROOT)
+        files = {
+            site.file
+            for site in inv.emissions
+            if (site.metric or "").startswith("repro_obs_")
+        }
+        assert files
+        assert all(f.endswith(("obs/spans.py", "obs/slo.py"))
+                   for f in sorted(files)), sorted(files)
